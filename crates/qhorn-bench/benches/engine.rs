@@ -1,0 +1,67 @@
+//! Engine throughput: compiled columnar evaluation vs interpreted
+//! evaluation, and signature-deduplicated execution vs a full scan (the
+//! DESIGN.md §5 index ablation).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use qhorn_bench::bench_role_preserving_target;
+use qhorn_core::Obj;
+use qhorn_engine::exec::{execute, execute_scan};
+use qhorn_engine::plan::CompiledQuery;
+use qhorn_engine::storage::Store;
+use qhorn_sim::genobject::random_dense_object;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn make_store(n: u16, objects: usize, distinct: usize) -> Store {
+    let mut rng = SmallRng::seed_from_u64(7);
+    let signatures: Vec<Obj> = (0..distinct)
+        .map(|_| random_dense_object(n, 6, &mut rng))
+        .collect();
+    let mut store = Store::new(n);
+    for i in 0..objects {
+        store.insert(signatures[i % signatures.len()].clone());
+    }
+    store
+}
+
+fn bench_execution(c: &mut Criterion) {
+    let n = 12u16;
+    let target = bench_role_preserving_target(n);
+    let plan = CompiledQuery::compile(&target);
+    let mut group = c.benchmark_group("execute_10k_objects");
+    group.throughput(Throughput::Elements(10_000));
+    for distinct in [100usize, 10_000] {
+        let store = make_store(n, 10_000, distinct);
+        group.bench_with_input(
+            BenchmarkId::new("signature_dedup", distinct),
+            &store,
+            |b, store| b.iter(|| black_box(execute(&plan, store).len())),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("full_scan", distinct),
+            &store,
+            |b, store| b.iter(|| black_box(execute_scan(&plan, store).len())),
+        );
+    }
+    group.finish();
+}
+
+fn bench_matches(c: &mut Criterion) {
+    let n = 12u16;
+    let target = bench_role_preserving_target(n);
+    let plan = CompiledQuery::compile(&target);
+    let mut rng = SmallRng::seed_from_u64(9);
+    let obj = random_dense_object(n, 64, &mut rng);
+    let mut group = c.benchmark_group("single_object_eval");
+    group.bench_function("compiled_columnar", |b| {
+        b.iter(|| black_box(plan.matches(&obj)))
+    });
+    group.bench_function("interpreted", |b| {
+        b.iter(|| black_box(target.accepts(&obj)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_execution, bench_matches);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Wall-clock cost of the learners (complementing the question-count
+//! experiments E4/E6/E8): `learn_qhorn1` across n, `learn_role_preserving`
+//! across n and θ.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qhorn_bench::{bench_qhorn1_target, bench_role_preserving_target};
+use qhorn_core::learn::{learn_qhorn1, learn_role_preserving, LearnOptions};
+use qhorn_core::oracle::QueryOracle;
+use qhorn_sim::experiments::scaling::disjoint_bodies_target;
+use std::hint::black_box;
+
+fn bench_learn_qhorn1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("learn_qhorn1");
+    for n in [16u16, 32, 64, 128] {
+        let target = bench_qhorn1_target(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let mut oracle = QueryOracle::new(target.clone());
+                let out = learn_qhorn1(n, &mut oracle, &LearnOptions::default()).unwrap();
+                black_box(out.stats().questions)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_learn_role_preserving(c: &mut Criterion) {
+    let mut group = c.benchmark_group("learn_role_preserving");
+    group.sample_size(20);
+    for n in [8u16, 12, 16] {
+        let target = bench_role_preserving_target(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let mut oracle = QueryOracle::new(target.clone());
+                let out =
+                    learn_role_preserving(n, &mut oracle, &LearnOptions::default()).unwrap();
+                black_box(out.stats().questions)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_universal_theta(c: &mut Criterion) {
+    // Ablation: body search cost as causal density grows (Thm 3.5).
+    let mut group = c.benchmark_group("universal_bodies_by_theta");
+    group.sample_size(15);
+    for theta in [1usize, 2, 3] {
+        let target = disjoint_bodies_target(12, theta);
+        group.bench_with_input(BenchmarkId::from_parameter(theta), &theta, |b, _| {
+            b.iter(|| {
+                let mut oracle = QueryOracle::new(target.clone());
+                let out = learn_role_preserving(
+                    target.arity(),
+                    &mut oracle,
+                    &LearnOptions::default(),
+                )
+                .unwrap();
+                black_box(out.stats().questions)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_learn_qhorn1,
+    bench_learn_role_preserving,
+    bench_universal_theta
+);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Normalization and lattice-primitive costs (the inner loops of learning
+//! and verification).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qhorn_bench::bench_role_preserving_target;
+use qhorn_core::lattice::{choice_product, non_violating_children};
+use qhorn_core::{BoolTuple, VarSet};
+use std::hint::black_box;
+
+fn bench_normal_form(c: &mut Criterion) {
+    let mut group = c.benchmark_group("normal_form");
+    for n in [8u16, 16, 32] {
+        let q = bench_role_preserving_target(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &q, |b, q| {
+            b.iter(|| black_box(q.normal_form().existentials().len()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_lattice_children(c: &mut Criterion) {
+    let n = 24u16;
+    let q = bench_role_preserving_target(n);
+    let universals: Vec<_> = q.normal_form().universals().iter().cloned().collect();
+    let t = BoolTuple::all_true(n);
+    c.bench_function("non_violating_children_n24", |b| {
+        b.iter(|| black_box(non_violating_children(&t, &universals).len()))
+    });
+}
+
+fn bench_choice_product(c: &mut Criterion) {
+    let sets: Vec<VarSet> = (0..4)
+        .map(|i| VarSet::from_indices([3 * i, 3 * i + 1, 3 * i + 2]))
+        .collect();
+    c.bench_function("choice_product_3^4", |b| {
+        b.iter(|| black_box(choice_product(&sets).count()))
+    });
+}
+
+fn bench_varset_ops(c: &mut Criterion) {
+    let a = VarSet::from_indices((0..96).step_by(2));
+    let b2 = VarSet::from_indices((0..96).step_by(3));
+    c.bench_function("varset_union_96", |b| b.iter(|| black_box(a.union(&b2).len())));
+    c.bench_function("varset_subset_96", |b| b.iter(|| black_box(b2.is_subset(&a))));
+}
+
+criterion_group!(
+    benches,
+    bench_normal_form,
+    bench_lattice_children,
+    bench_choice_product,
+    bench_varset_ops
+);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Ablation (DESIGN.md §5): binary-search body discovery (Find/FindAll,
+//! §3.1.2 "we can do better") vs the naive linear scan, measured in
+//! membership questions and wall time.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qhorn_core::learn::{learn_qhorn1, LearnOptions};
+use qhorn_core::oracle::{CountingOracle, MembershipOracle, QueryOracle};
+use qhorn_core::{Expr, Query, VarId, VarSet};
+use std::hint::black_box;
+
+/// Target: one universal head with a small body among many variables —
+/// the case where binary search shines.
+fn target(n: u16) -> Query {
+    let head = VarId(n - 1);
+    let body = VarSet::from_indices([0, 1]);
+    let exprs: Vec<Expr> = std::iter::once(Expr::universal(body, head))
+        .chain((2..n - 1).map(|i| Expr::conj(VarSet::from_indices([i]))))
+        .collect();
+    Query::new(n, exprs).unwrap()
+}
+
+/// The naive §3.1.2 strategy: test dependence on each variable serially
+/// (O(n) universal dependence questions for the body).
+fn linear_body_discovery(n: u16, oracle: &mut impl MembershipOracle) -> VarSet {
+    use qhorn_core::learn::qhorn1::universal_dependence_question;
+    let head = VarId(n - 1);
+    let mut body = VarSet::new();
+    for i in 0..n - 1 {
+        let v = VarId(i);
+        let q = universal_dependence_question(n, head, &VarSet::singleton(v));
+        if oracle.ask(&q).is_answer() {
+            body.insert(v);
+        }
+    }
+    body
+}
+
+fn bench_strategies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("body_discovery");
+    for n in [32u16, 64, 128] {
+        let t = target(n);
+        group.bench_with_input(BenchmarkId::new("binary_search_full_learner", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut oracle = CountingOracle::new(QueryOracle::new(t.clone()));
+                let out = learn_qhorn1(n, &mut oracle, &LearnOptions::default()).unwrap();
+                black_box(out.stats().questions)
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("linear_scan_bodies_only", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut oracle = CountingOracle::new(QueryOracle::new(t.clone()));
+                black_box(linear_body_discovery(n, &mut oracle).len())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_strategies);
+criterion_main!(benches);

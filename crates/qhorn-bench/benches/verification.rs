@@ -1,0 +1,37 @@
+//! Wall-clock cost of verification (E12/E15): building Fig. 6 sets and
+//! running them, vs learning the same target.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qhorn_bench::bench_role_preserving_target;
+use qhorn_core::oracle::QueryOracle;
+use qhorn_core::verify::VerificationSet;
+use std::hint::black_box;
+
+fn bench_build_set(c: &mut Criterion) {
+    let mut group = c.benchmark_group("verification_set_build");
+    for n in [8u16, 16, 24] {
+        let target = bench_role_preserving_target(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(VerificationSet::build(&target).unwrap().len()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_run_set(c: &mut Criterion) {
+    let mut group = c.benchmark_group("verification_run");
+    for n in [8u16, 16, 24] {
+        let target = bench_role_preserving_target(n);
+        let set = VerificationSet::build(&target).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let mut user = QueryOracle::new(target.clone());
+                black_box(set.verify(&mut user).is_verified())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_build_set, bench_run_set);
+criterion_main!(benches);

@@ -1,0 +1,7 @@
+//! E5 / Lemmas 3.3+3.4: c-tuple questions cost ≈ n²/c².
+fn main() {
+    println!(
+        "{}",
+        qhorn_sim::experiments::lower_bounds::constant_width_lower_bound(64, &[2, 4, 8, 16])
+    );
+}

@@ -1,0 +1,4 @@
+//! E2: the §2 counting arguments (tuples, objects, Bell-number bound).
+fn main() {
+    println!("{}", qhorn_sim::experiments::counting::counting_table(4));
+}

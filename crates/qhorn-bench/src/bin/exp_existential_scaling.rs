@@ -1,0 +1,7 @@
+//! E8/E9 / Theorems 3.8+3.9: k conjunctions cost O(k·n lg n) questions.
+fn main() {
+    println!(
+        "{}",
+        qhorn_sim::experiments::scaling::existential_scaling(&[8, 12, 16, 24], &[2, 4, 6], 10, 0xE8)
+    );
+}

@@ -1,0 +1,7 @@
+//! E-NOISE (§5): exact learning under mislabeling with majority hardening.
+fn main() {
+    println!(
+        "{}",
+        qhorn_sim::experiments::noise::noise_hardening(8, &[0.0, 0.05, 0.1], &[0, 2, 5], 30, 0x105E)
+    );
+}

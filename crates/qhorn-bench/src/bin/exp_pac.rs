@@ -1,0 +1,7 @@
+//! E-PAC (§6 future work): PAC-learning error vs requested ε.
+fn main() {
+    println!(
+        "{}",
+        qhorn_sim::experiments::pac_curve::pac_curve(&[0.5, 0.25, 0.1, 0.05], 40, 0x9AC)
+    );
+}

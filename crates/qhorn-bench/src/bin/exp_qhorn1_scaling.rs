@@ -1,0 +1,7 @@
+//! E4 / Theorem 3.1: qhorn-1 learning uses O(n lg n) questions.
+fn main() {
+    println!(
+        "{}",
+        qhorn_sim::experiments::scaling::qhorn1_scaling(&[8, 16, 32, 64, 128, 256], 20, 0xE4)
+    );
+}

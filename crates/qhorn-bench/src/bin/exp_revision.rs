@@ -1,0 +1,7 @@
+//! E-REV (§6): revision cost vs lattice distance.
+fn main() {
+    println!(
+        "{}",
+        qhorn_sim::experiments::revision_curve::revision_curve(8, &[0, 1, 2, 4], 15, 0xEE)
+    );
+}

@@ -1,0 +1,7 @@
+//! E6 / Theorem 3.5: the θ bodies of a head cost O(n^θ) questions.
+fn main() {
+    println!(
+        "{}",
+        qhorn_sim::experiments::scaling::universal_scaling(&[8, 16, 24, 32], &[1, 2, 3])
+    );
+}

@@ -1,0 +1,50 @@
+//! E11 / Figs. 4–5: the Boolean lattice and the §3.2.1 body search for
+//! head x5 of the running example, traced question by question.
+
+use qhorn_core::learn::{learn_role_preserving, LearnOptions, Phase};
+use qhorn_core::oracle::{MembershipOracle, QueryOracle, TranscriptOracle};
+use qhorn_core::lattice::tuples_at_level;
+use qhorn_lang::parse;
+
+fn main() {
+    println!("## Fig. 4: the Boolean lattice on four variables\n");
+    for level in 0..=4usize {
+        let tuples: Vec<String> = tuples_at_level(4, level)
+            .iter()
+            .map(qhorn_core::BoolTuple::to_bits)
+            .collect();
+        println!("level {level}: {}", tuples.join(" "));
+    }
+    println!();
+
+    println!("## Fig. 5: learning the bodies of x5 in the running example\n");
+    let target =
+        parse("∀x1x4→x5 ∀x3x4→x5 ∀x1x2→x6 ∃x1x2x3 ∃x2x3x4 ∃x1x2x5 ∃x2x3x5x6").unwrap();
+    println!("target: {target}\n");
+    let mut oracle = TranscriptOracle::new(QueryOracle::new(target.clone()));
+    let outcome = learn_role_preserving(6, &mut oracle, &LearnOptions::default()).unwrap();
+    let nf = outcome.query().normal_form();
+    println!("learned universal expressions:");
+    for (b, h) in nf.universals() {
+        println!("  ∀{b} → {h}");
+    }
+    println!("\nlearned dominant conjunctions:");
+    for c in nf.existentials() {
+        println!("  ∃{c}");
+    }
+    let stats = outcome.stats();
+    println!("\nquestions: {} total", stats.questions);
+    for phase in [
+        Phase::ClassifyHeads,
+        Phase::BodylessCheck,
+        Phase::UniversalBodies,
+        Phase::ExistentialLattice,
+    ] {
+        println!("  {:<22} {}", phase.to_string(), stats.phase(phase));
+    }
+    println!("\nfirst 12 membership questions of the transcript:");
+    for (i, (q, r)) in oracle.transcript().iter().take(12).enumerate() {
+        println!("  {i:>2}. {q} → {r}");
+    }
+    let _ = oracle.ask(&qhorn_core::Obj::from_bits("111111"));
+}

@@ -1,0 +1,7 @@
+//! E12/E15 / Fig. 6 + §4: verification-set sizes per question family.
+fn main() {
+    println!(
+        "{}",
+        qhorn_sim::experiments::verification::verification_scaling(&[6, 9, 12, 15], 5, 0xF6)
+    );
+}

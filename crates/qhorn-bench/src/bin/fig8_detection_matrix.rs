@@ -1,0 +1,4 @@
+//! E14 / Fig. 8: which question family detects each given/intended pair.
+fn main() {
+    println!("{}", qhorn_sim::experiments::verification::two_variable_detection_matrix());
+}

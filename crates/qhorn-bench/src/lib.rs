@@ -1,0 +1,45 @@
+//! # qhorn-bench
+//!
+//! Criterion benchmarks (`cargo bench`) and the table/figure regeneration
+//! binaries (`cargo run --release --bin <exp_…>`); see DESIGN.md §4 for
+//! the experiment ↔ binary index and EXPERIMENTS.md for recorded output.
+//!
+//! Shared fixtures for the benchmarks live here.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use qhorn_core::Query;
+use qhorn_sim::genquery::{random_qhorn1, random_role_preserving, RolePreservingParams};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Deterministic qhorn-1 benchmark target of arity `n`.
+#[must_use]
+pub fn bench_qhorn1_target(n: u16) -> Query {
+    random_qhorn1(n, &mut SmallRng::seed_from_u64(0xBEEF))
+}
+
+/// Deterministic role-preserving benchmark target of arity `n`.
+#[must_use]
+pub fn bench_role_preserving_target(n: u16) -> Query {
+    let params = RolePreservingParams {
+        heads: (n as usize / 3).max(1),
+        theta: 2,
+        body_size: (1, 3),
+        conjunctions: (n as usize / 2).max(2),
+        conj_size: (1, n as usize),
+    };
+    random_role_preserving(n, &params, &mut SmallRng::seed_from_u64(0xBEEF))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_are_deterministic() {
+        assert_eq!(bench_qhorn1_target(12), bench_qhorn1_target(12));
+        assert_eq!(bench_role_preserving_target(9), bench_role_preserving_target(9));
+    }
+}

@@ -1,0 +1,213 @@
+//! Boolean-lattice utilities (§3.2, Fig. 4).
+//!
+//! The role-preserving learning algorithms walk the Boolean lattice on the
+//! query's variables: level `l` holds the tuples with exactly `l` false
+//! variables; a tuple's children set one more variable to false. Tuples
+//! that violate an already-learned universal Horn expression (body true,
+//! head false) are removed from the lattice before the existential search
+//! (§3.2.2).
+
+use crate::tuple::BoolTuple;
+use crate::var::{VarId, VarSet};
+
+/// `true` iff the tuple violates `∀ body → head` (body satisfied, head
+/// false).
+#[must_use]
+pub fn violates(t: &BoolTuple, body: &VarSet, head: VarId) -> bool {
+    t.satisfies_all(body) && !t.get(head)
+}
+
+/// `true` iff the tuple violates any of the given universal Horn
+/// expressions.
+#[must_use]
+pub fn violates_any<'a, I>(t: &BoolTuple, universals: I) -> bool
+where
+    I: IntoIterator<Item = &'a (VarSet, VarId)>,
+{
+    universals.into_iter().any(|(b, h)| violates(t, b, *h))
+}
+
+/// The children of `t` that do not violate any of the given universal Horn
+/// expressions — the lattice restriction of §3.2.2 ("we remove all tuples
+/// that violate a universal Horn expression").
+#[must_use]
+pub fn non_violating_children(t: &BoolTuple, universals: &[(VarSet, VarId)]) -> Vec<BoolTuple> {
+    t.children()
+        .into_iter()
+        .filter(|c| !violates_any(c, universals))
+        .collect()
+}
+
+/// All tuples at lattice level `level` (exactly `level` variables false)
+/// over `n` variables, `C(n, level)` of them.
+///
+/// # Panics
+/// Panics if `level > n` or `n > 20`.
+#[must_use]
+pub fn tuples_at_level(n: u16, level: usize) -> Vec<BoolTuple> {
+    assert!(level <= n as usize, "level {level} > n {n}");
+    assert!(n <= 20);
+    let mut out = Vec::new();
+    let mut current = VarSet::new();
+    choose_rec(n, 0, level, &mut current, &mut out);
+    out
+}
+
+fn choose_rec(n: u16, start: u16, remaining: usize, current: &mut VarSet, out: &mut Vec<BoolTuple>) {
+    if remaining == 0 {
+        let falses = current.clone();
+        out.push(BoolTuple::from_true_set(n, VarSet::full(n).difference(&falses)));
+        return;
+    }
+    for i in start..n {
+        if ((n - i) as usize) < remaining {
+            break;
+        }
+        current.insert(VarId(i));
+        choose_rec(n, i + 1, remaining - 1, current, out);
+        current.remove(VarId(i));
+    }
+}
+
+/// Iterates the Cartesian product of the given variable sets, yielding one
+/// choice (one variable per set) at a time. Used for the "search roots" of
+/// §3.2.1 (one body variable from each discovered body set to false) and
+/// the A3 verification question (§4.2).
+///
+/// Yields nothing if any set is empty; yields the empty choice once if
+/// `sets` is empty.
+pub fn choice_product<'a>(sets: &'a [VarSet]) -> ChoiceProduct<'a> {
+    ChoiceProduct {
+        sets,
+        elems: sets.iter().map(VarSet::to_vec).collect(),
+        idx: vec![0; sets.len()],
+        done: sets.iter().any(VarSet::is_empty),
+        first: true,
+    }
+}
+
+/// Iterator over one-variable-per-set choices; see [`choice_product`].
+pub struct ChoiceProduct<'a> {
+    sets: &'a [VarSet],
+    elems: Vec<Vec<VarId>>,
+    idx: Vec<usize>,
+    done: bool,
+    first: bool,
+}
+
+impl Iterator for ChoiceProduct<'_> {
+    /// The chosen variables, as a set (choices picking the same variable
+    /// from two sets collapse).
+    type Item = VarSet;
+
+    fn next(&mut self) -> Option<VarSet> {
+        if self.done {
+            return None;
+        }
+        if self.first {
+            self.first = false;
+            if self.sets.is_empty() {
+                self.done = true;
+                return Some(VarSet::new());
+            }
+        } else {
+            // Advance the mixed-radix counter.
+            let mut i = 0;
+            loop {
+                if i == self.idx.len() {
+                    self.done = true;
+                    return None;
+                }
+                self.idx[i] += 1;
+                if self.idx[i] < self.elems[i].len() {
+                    break;
+                }
+                self.idx[i] = 0;
+                i += 1;
+            }
+        }
+        Some(
+            self.idx
+                .iter()
+                .zip(&self.elems)
+                .map(|(&i, es)| es[i])
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::varset;
+
+    fn v(i: u16) -> VarId {
+        VarId::from_one_based(i)
+    }
+
+    #[test]
+    fn violation_detection() {
+        let t = BoolTuple::from_bits("111110");
+        assert!(violates(&t, &varset![1, 2], v(6)), "x1x2 true, x6 false");
+        assert!(!violates(&t, &varset![1, 2], v(5)));
+        assert!(!violates(&BoolTuple::from_bits("101110"), &varset![1, 2], v(6)));
+        // Bodyless: ∀h violated iff h false.
+        assert!(violates(&t, &VarSet::new(), v(6)));
+    }
+
+    #[test]
+    fn section_3_2_2_children_filtering() {
+        // "we removed 111010 because it violates ∀x1x2→x6" — children of
+        // 111011 under the paper-example universals.
+        let universals = vec![
+            (varset![1, 4], v(5)),
+            (varset![3, 4], v(5)),
+            (varset![1, 2], v(6)),
+        ];
+        let t = BoolTuple::from_bits("111011");
+        let kids: Vec<String> = non_violating_children(&t, &universals)
+            .iter()
+            .map(BoolTuple::to_bits)
+            .collect();
+        let expected = ["011011", "101011", "110011", "111001"];
+        assert_eq!(kids.len(), 4);
+        for e in expected {
+            assert!(kids.contains(&e.to_string()), "missing {e}: {kids:?}");
+        }
+        assert!(!kids.contains(&"111010".to_string()));
+    }
+
+    #[test]
+    fn levels_have_binomial_sizes() {
+        // Fig. 4: the four-variable lattice.
+        assert_eq!(tuples_at_level(4, 0), vec![BoolTuple::all_true(4)]);
+        assert_eq!(tuples_at_level(4, 1).len(), 4);
+        assert_eq!(tuples_at_level(4, 2).len(), 6);
+        assert_eq!(tuples_at_level(4, 4), vec![BoolTuple::all_false(4)]);
+        for t in tuples_at_level(4, 2) {
+            assert_eq!(t.level(), 2);
+        }
+    }
+
+    #[test]
+    fn choice_product_enumerates_search_roots() {
+        // §3.2.1: bodies {x1,x4} and {x3,x4} give roots excluding one
+        // variable from each: {x1,x3}, {x1,x4}, {x4,x3}, {x4} (collapsed).
+        let sets = [varset![1, 4], varset![3, 4]];
+        let choices: Vec<VarSet> = choice_product(&sets).collect();
+        assert_eq!(choices.len(), 4);
+        assert!(choices.contains(&varset![1, 3]));
+        assert!(choices.contains(&varset![1, 4]));
+        assert!(choices.contains(&varset![3, 4]));
+        assert!(choices.contains(&varset![4]), "same variable chosen from both sets collapses");
+    }
+
+    #[test]
+    fn choice_product_edge_cases() {
+        assert_eq!(choice_product(&[]).collect::<Vec<_>>(), vec![VarSet::new()]);
+        let with_empty = [varset![1], VarSet::new()];
+        assert_eq!(choice_product(&with_empty).count(), 0);
+        let single = [varset![2, 3]];
+        assert_eq!(choice_product(&single).count(), 2);
+    }
+}

@@ -1,0 +1,256 @@
+//! Query learning from membership questions (§3).
+//!
+//! Two exact learners:
+//!
+//! * [`learn_qhorn1`] — §3.1, Theorem 3.1: learns any complete qhorn-1
+//!   query with O(n lg n) membership questions in polynomial time.
+//! * [`learn_role_preserving`] — §3.2, Theorems 3.5 and 3.8: learns any
+//!   complete role-preserving qhorn query with O(n^{θ+1} + k·n lg n)
+//!   membership questions, where k is query size and θ causal density.
+//!
+//! Both assume the target is **complete** (every variable occurs in some
+//! expression; see DESIGN.md §1). [`free_vars`] lifts the assumption at a
+//! cost of n extra questions. [`constant_width`] implements the
+//! tuple-budgeted learner of Lemma 3.4, [`revision`] and [`pac`] the
+//! future-work extensions sketched in §6.
+
+pub mod constant_width;
+pub mod existential;
+pub mod free_vars;
+pub mod gethead;
+pub mod noise;
+pub mod pac;
+pub mod prune;
+pub mod qhorn1;
+pub mod questions;
+pub mod revision;
+pub mod role_preserving;
+pub mod search;
+pub mod universal;
+pub mod validate;
+
+pub use qhorn1::learn_qhorn1;
+pub use role_preserving::learn_role_preserving;
+
+use crate::object::{Obj, Response};
+use crate::oracle::MembershipOracle;
+use crate::query::Query;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Tuning knobs for the learners.
+#[derive(Clone, Debug)]
+#[derive(Default)]
+pub struct LearnOptions {
+    /// Spend n extra single-tuple questions up front detecting variables
+    /// the target query does not mention, then learn over the constrained
+    /// subspace (lifts the completeness assumption). Default `false`.
+    pub detect_free_variables: bool,
+    /// Hard question budget; learning aborts with
+    /// [`LearnError::BudgetExceeded`] once reached. Default `None`.
+    pub max_questions: Option<usize>,
+}
+
+
+/// Which subtask of the learning algorithm asked a question — the paper
+/// analyzes each subtask's question count separately (Lemmas 3.2, 3.3,
+/// Thms 3.5, 3.8).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum Phase {
+    /// Free-variable scan (extension).
+    FreeVariableScan,
+    /// §3.1.1 / §3.2.1: is each variable a universal head?
+    ClassifyHeads,
+    /// §3.2.1: is a universal head bodyless?
+    BodylessCheck,
+    /// §3.1.2 / §3.2.1: universal dependence questions locating bodies.
+    UniversalBodies,
+    /// §3.1.3: existential independence questions.
+    ExistentialDependence,
+    /// §3.1.3: independence matrix questions (GetHead).
+    MatrixQuestions,
+    /// §3.2.2: lattice search for existential conjunctions.
+    ExistentialLattice,
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Phase::FreeVariableScan => "free-variable scan",
+            Phase::ClassifyHeads => "classify heads",
+            Phase::BodylessCheck => "bodyless check",
+            Phase::UniversalBodies => "universal bodies",
+            Phase::ExistentialDependence => "existential dependence",
+            Phase::MatrixQuestions => "matrix questions",
+            Phase::ExistentialLattice => "existential lattice",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Question accounting per learning phase.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct LearnStats {
+    /// Total membership questions asked.
+    pub questions: usize,
+    /// Total tuples across all questions.
+    pub tuples: usize,
+    /// Largest question, in tuples.
+    pub max_tuples_per_question: usize,
+    /// Questions per phase.
+    pub by_phase: BTreeMap<Phase, usize>,
+}
+
+impl LearnStats {
+    /// Questions asked in one phase.
+    #[must_use]
+    pub fn phase(&self, p: Phase) -> usize {
+        self.by_phase.get(&p).copied().unwrap_or(0)
+    }
+}
+
+/// A successfully learned query plus its cost accounting.
+#[derive(Clone, Debug)]
+pub struct LearnOutcome {
+    query: Query,
+    stats: LearnStats,
+}
+
+impl LearnOutcome {
+    pub(crate) fn new(query: Query, stats: LearnStats) -> Self {
+        LearnOutcome { query, stats }
+    }
+
+    /// The learned query (semantically equal to the target for oracles
+    /// consistent with the promised class).
+    #[must_use]
+    pub fn query(&self) -> &Query {
+        &self.query
+    }
+
+    /// Question accounting.
+    #[must_use]
+    pub fn stats(&self) -> &LearnStats {
+        &self.stats
+    }
+
+    /// Destructures the outcome.
+    #[must_use]
+    pub fn into_parts(self) -> (Query, LearnStats) {
+        (self.query, self.stats)
+    }
+}
+
+/// Learning failures.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LearnError {
+    /// The question budget ([`LearnOptions::max_questions`]) was exhausted.
+    BudgetExceeded {
+        /// Questions asked before aborting.
+        asked: usize,
+    },
+    /// The oracle's responses are not consistent with any query in the
+    /// promised class (noisy user or out-of-class target).
+    InconsistentOracle {
+        /// Human-readable description of the contradiction.
+        detail: String,
+    },
+}
+
+impl fmt::Display for LearnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LearnError::BudgetExceeded { asked } => {
+                write!(f, "question budget exhausted after {asked} questions")
+            }
+            LearnError::InconsistentOracle { detail } => {
+                write!(f, "oracle responses inconsistent with the promised query class: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LearnError {}
+
+/// Internal oracle wrapper: per-phase accounting plus budget enforcement.
+pub(crate) struct Asker<'a, O: MembershipOracle + ?Sized> {
+    oracle: &'a mut O,
+    stats: LearnStats,
+    phase: Phase,
+    budget: Option<usize>,
+}
+
+impl<'a, O: MembershipOracle + ?Sized> Asker<'a, O> {
+    pub(crate) fn new(oracle: &'a mut O, opts: &LearnOptions) -> Self {
+        Asker {
+            oracle,
+            stats: LearnStats::default(),
+            phase: Phase::ClassifyHeads,
+            budget: opts.max_questions,
+        }
+    }
+
+    pub(crate) fn set_phase(&mut self, phase: Phase) {
+        self.phase = phase;
+    }
+
+    pub(crate) fn ask(&mut self, q: &Obj) -> Result<Response, LearnError> {
+        if let Some(b) = self.budget {
+            if self.stats.questions >= b {
+                return Err(LearnError::BudgetExceeded { asked: self.stats.questions });
+            }
+        }
+        self.stats.questions += 1;
+        self.stats.tuples += q.len();
+        self.stats.max_tuples_per_question = self.stats.max_tuples_per_question.max(q.len());
+        *self.stats.by_phase.entry(self.phase).or_insert(0) += 1;
+        Ok(self.oracle.ask(q))
+    }
+
+    /// `true` iff the oracle labels `q` an answer.
+    pub(crate) fn is_answer(&mut self, q: &Obj) -> Result<bool, LearnError> {
+        Ok(self.ask(q)?.is_answer())
+    }
+
+    pub(crate) fn into_stats(self) -> LearnStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::QueryOracle;
+    use crate::query::Expr;
+    use crate::varset;
+
+    #[test]
+    fn asker_counts_by_phase_and_enforces_budget() {
+        let target = Query::new(2, [Expr::conj(varset![1, 2])]).unwrap();
+        let mut oracle = QueryOracle::new(target);
+        let opts = LearnOptions { max_questions: Some(2), ..Default::default() };
+        let mut asker = Asker::new(&mut oracle, &opts);
+        asker.set_phase(Phase::ClassifyHeads);
+        asker.ask(&Obj::from_bits("11")).unwrap();
+        asker.set_phase(Phase::UniversalBodies);
+        asker.ask(&Obj::from_bits("11 01")).unwrap();
+        let err = asker.ask(&Obj::from_bits("11")).unwrap_err();
+        assert_eq!(err, LearnError::BudgetExceeded { asked: 2 });
+        let stats = asker.into_stats();
+        assert_eq!(stats.questions, 2);
+        assert_eq!(stats.tuples, 3);
+        assert_eq!(stats.phase(Phase::ClassifyHeads), 1);
+        assert_eq!(stats.phase(Phase::UniversalBodies), 1);
+        assert_eq!(stats.phase(Phase::MatrixQuestions), 0);
+    }
+
+    #[test]
+    fn error_display() {
+        let e = LearnError::BudgetExceeded { asked: 7 };
+        assert!(e.to_string().contains('7'));
+        let e = LearnError::InconsistentOracle { detail: "x".into() };
+        assert!(e.to_string().contains("inconsistent"));
+    }
+}

@@ -1,0 +1,153 @@
+//! Noise hardening — repetition with majority vote.
+//!
+//! §5's "noisy users" discussion proposes interface-level remedies
+//! (response history + restart, implemented in `qhorn-engine::session`).
+//! This module adds the classic algorithmic remedy: ask each question
+//! `2r + 1` times and take the majority. For a user who mislabels each
+//! presentation independently with probability `p < 1/2`, the per-question
+//! error drops to `P[Binomial(2r+1, p) > r]`, which shrinks exponentially
+//! in `r`; a union bound over the learner's Q questions then bounds the
+//! overall failure probability.
+//!
+//! The wrapper caches majority verdicts so repeated questions (common in
+//! replay scenarios) are not re-amplified.
+
+use crate::object::{Obj, Response};
+use crate::oracle::MembershipOracle;
+use std::collections::HashMap;
+
+/// Majority-vote amplification over a noisy oracle.
+pub struct MajorityOracle<O> {
+    inner: O,
+    repetitions: usize,
+    cache: HashMap<Obj, Response>,
+    presentations: usize,
+}
+
+impl<O: MembershipOracle> MajorityOracle<O> {
+    /// Wraps `inner`, asking each distinct question `2r + 1` times.
+    #[must_use]
+    pub fn new(inner: O, r: usize) -> Self {
+        MajorityOracle {
+            inner,
+            repetitions: 2 * r + 1,
+            cache: HashMap::new(),
+            presentations: 0,
+        }
+    }
+
+    /// Total presentations made to the inner (noisy) user.
+    #[must_use]
+    pub fn presentations(&self) -> usize {
+        self.presentations
+    }
+
+    /// Distinct questions asked.
+    #[must_use]
+    pub fn distinct_questions(&self) -> usize {
+        self.cache.len()
+    }
+}
+
+impl<O: MembershipOracle> MembershipOracle for MajorityOracle<O> {
+    fn ask(&mut self, question: &Obj) -> Response {
+        if let Some(&r) = self.cache.get(question) {
+            return r;
+        }
+        let mut answers = 0usize;
+        for done in 0..self.repetitions {
+            self.presentations += 1;
+            if self.inner.ask(question).is_answer() {
+                answers += 1;
+            }
+            // Early exit once the majority is decided.
+            let remaining = self.repetitions - done - 1;
+            if answers > self.repetitions / 2 || answers + remaining <= self.repetitions / 2 {
+                break;
+            }
+        }
+        let verdict = Response::from_bool(answers > self.repetitions / 2);
+        self.cache.insert(question.clone(), verdict);
+        verdict
+    }
+}
+
+/// Per-question failure probability of a `2r+1` majority against flip
+/// probability `p`: `P[Binomial(2r+1, p) ≥ r+1]`.
+#[must_use]
+pub fn majority_failure_probability(r: usize, p: f64) -> f64 {
+    let trials = 2 * r + 1;
+    let mut prob = 0.0;
+    for k in (r + 1)..=trials {
+        prob += binomial(trials, k) * p.powi(k as i32) * (1.0 - p).powi((trials - k) as i32);
+    }
+    prob
+}
+
+fn binomial(n: usize, k: usize) -> f64 {
+    let mut out = 1.0f64;
+    for i in 0..k {
+        out = out * (n - i) as f64 / (i + 1) as f64;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::{FnOracle, QueryOracle};
+    use crate::query::{Expr, Query};
+    use crate::varset;
+
+    #[test]
+    fn clean_oracle_passes_through() {
+        let q = Query::new(2, [Expr::conj(varset![1, 2])]).unwrap();
+        let mut o = MajorityOracle::new(QueryOracle::new(q), 2);
+        assert_eq!(o.ask(&Obj::from_bits("11")), Response::Answer);
+        assert_eq!(o.ask(&Obj::from_bits("10")), Response::NonAnswer);
+        // Early exit: a unanimous prefix of r+1 answers decides.
+        assert_eq!(o.presentations(), 6, "3 + 3 presentations with early exit");
+    }
+
+    #[test]
+    fn cache_prevents_reamplification() {
+        let q = Query::new(2, [Expr::conj(varset![1, 2])]).unwrap();
+        let mut o = MajorityOracle::new(QueryOracle::new(q), 1);
+        o.ask(&Obj::from_bits("11"));
+        let after_first = o.presentations();
+        o.ask(&Obj::from_bits("11"));
+        assert_eq!(o.presentations(), after_first);
+        assert_eq!(o.distinct_questions(), 1);
+    }
+
+    #[test]
+    fn deterministic_flipper_outvoted() {
+        // A user who flips every third presentation.
+        let mut count = 0usize;
+        let inner = FnOracle(move |_: &Obj| {
+            count += 1;
+            Response::from_bool(!count.is_multiple_of(3)) // 2/3 of answers honest "yes"
+        });
+        let mut o = MajorityOracle::new(inner, 2);
+        assert_eq!(o.ask(&Obj::from_bits("1")), Response::Answer);
+    }
+
+    #[test]
+    fn failure_probability_decreases_with_r() {
+        let p = 0.2;
+        let f0 = majority_failure_probability(0, p);
+        let f2 = majority_failure_probability(2, p);
+        let f5 = majority_failure_probability(5, p);
+        assert!((f0 - p).abs() < 1e-12, "r=0 is a single presentation");
+        assert!(f2 < f0 && f5 < f2, "{f0} {f2} {f5}");
+        assert!(f5 < 0.02);
+    }
+
+    #[test]
+    fn failure_probability_is_half_at_half() {
+        for r in [0usize, 1, 3] {
+            let f = majority_failure_probability(r, 0.5);
+            assert!((f - 0.5).abs() < 1e-9, "r={r}: {f}");
+        }
+    }
+}

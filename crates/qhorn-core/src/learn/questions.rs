@@ -1,0 +1,162 @@
+//! Constructors for the membership-question shapes the paper defines.
+//!
+//! Every learner question is one of a handful of two-tuple or tuple-family
+//! patterns; centralizing the constructors keeps the learners readable and
+//! lets tests pin the exact shapes the paper prescribes.
+
+use crate::object::Obj;
+use crate::tuple::BoolTuple;
+use crate::var::{VarId, VarSet};
+
+/// §3.1.1 head-classification question for variable `v`:
+/// `{1^n, the tuple with only v false}`.
+///
+/// Non-answer ⟺ `v` is a universal head variable (all potential body
+/// variables are true, other heads are neutralized true, yet `v` may be
+/// false only if no universal expression forces it).
+#[must_use]
+pub fn classify_head(n: u16, v: VarId) -> Obj {
+    let top = BoolTuple::all_true(n);
+    let probe = top.with(v, false);
+    Obj::new(n, [top, probe])
+}
+
+/// Def. 3.1 universal dependence question on head `h` and variable set `vs`:
+/// `{1^n, the tuple with h and vs false, everything else true}`.
+///
+/// Answer ⟺ some body variable of `h` lies in `vs` (the body is no longer
+/// fully true, so `h` may be false).
+#[must_use]
+pub fn universal_dependence(n: u16, h: VarId, vs: &VarSet) -> Obj {
+    let top = BoolTuple::all_true(n);
+    let probe = top.with_all(vs, false).with(h, false);
+    Obj::new(n, [top, probe])
+}
+
+/// §3.2.1 bodyless-check question for head `h`: `{1^n, the tuple with h and
+/// all non-head variables false, other heads true}`.
+///
+/// Non-answer ⟺ `h` is bodyless (`∀h` is in the query): every non-empty
+/// body is broken by the probe tuple, so only `∀h` can reject it.
+#[must_use]
+pub fn bodyless_check(n: u16, h: VarId, non_heads: &VarSet) -> Obj {
+    let top = BoolTuple::all_true(n);
+    let probe = top.with_all(non_heads, false).with(h, false);
+    Obj::new(n, [top, probe])
+}
+
+/// §3.2.1 body-search question for head `h`: `{1^n, the tuple whose
+/// non-head variables are exactly `true_non_heads`, h false, other heads
+/// true}` — the lattice probe of Fig. 5.
+///
+/// Non-answer ⟺ some body of `h` is contained in `true_non_heads`.
+#[must_use]
+pub fn body_probe(n: u16, h: VarId, non_heads: &VarSet, true_non_heads: &VarSet) -> Obj {
+    debug_assert!(true_non_heads.is_subset(non_heads));
+    let top = BoolTuple::all_true(n);
+    let probe = top
+        .with_all(&non_heads.difference(true_non_heads), false)
+        .with(h, false);
+    Obj::new(n, [top, probe])
+}
+
+/// Def. 3.2 existential independence question on disjoint variable sets
+/// `xs` and `ys`: `{tuple with xs false, tuple with ys false}` (all other
+/// variables true).
+///
+/// Non-answer ⟺ the sets *depend* on each other: some conjunction of the
+/// target contains a variable of `xs` and a variable of `ys` (or spans
+/// both probes).
+#[must_use]
+pub fn existential_independence(n: u16, xs: &VarSet, ys: &VarSet) -> Obj {
+    debug_assert!(xs.is_disjoint(ys), "independence question requires disjoint sets");
+    let top = BoolTuple::all_true(n);
+    Obj::new(n, [top.with_all(xs, false), top.with_all(ys, false)])
+}
+
+/// Def. 3.3 independence matrix question on variable set `ds`: one tuple
+/// per `d ∈ ds` with only `d` false.
+///
+/// Within the dependents of a pure existential part, answer ⟺ at least two
+/// existential head variables lie in `ds` (Lemma 3.3).
+#[must_use]
+pub fn matrix(n: u16, ds: &VarSet) -> Obj {
+    let top = BoolTuple::all_true(n);
+    Obj::new(n, ds.iter().map(|d| top.with(d, false)))
+}
+
+/// Extension (DESIGN.md): free-variable probe — the single-tuple question
+/// `{tuple with only v false}`. Answer ⟺ `v` occurs in no expression of
+/// the target query.
+#[must_use]
+pub fn free_var_probe(n: u16, v: VarId) -> Obj {
+    Obj::new(n, [BoolTuple::all_true(n).with(v, false)])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::varset;
+
+    fn v(i: u16) -> VarId {
+        VarId::from_one_based(i)
+    }
+
+    #[test]
+    fn classify_head_shape_matches_section_3_1_1() {
+        // "we ask the user if the set {111, 011} is an answer" (for x1, n=3).
+        let q = classify_head(3, v(1));
+        assert_eq!(q.to_string(), "{011, 111}");
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn universal_dependence_shape() {
+        // h = x1, V = {x2, x3} over 4 vars: {1111, 0001}.
+        let q = universal_dependence(4, v(1), &varset![2, 3]);
+        assert!(q.contains(&BoolTuple::from_bits("1111")));
+        assert!(q.contains(&BoolTuple::from_bits("0001")));
+    }
+
+    #[test]
+    fn matrix_shape_matches_def_3_3() {
+        // D = {x2, x3, x4} over 4 vars: {1011, 1101, 1110}.
+        let q = matrix(4, &varset![2, 3, 4]);
+        assert_eq!(q.len(), 3);
+        for bits in ["1011", "1101", "1110"] {
+            assert!(q.contains(&BoolTuple::from_bits(bits)), "missing {bits}");
+        }
+    }
+
+    #[test]
+    fn independence_shape() {
+        let q = existential_independence(4, &varset![1], &varset![3, 4]);
+        assert!(q.contains(&BoolTuple::from_bits("0111")));
+        assert!(q.contains(&BoolTuple::from_bits("1100")));
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn bodyless_shape() {
+        // heads {x1, x4}, non-heads {x2, x3}; checking h = x1:
+        // {1111, 0001}.
+        let q = bodyless_check(4, v(1), &varset![2, 3]);
+        assert!(q.contains(&BoolTuple::from_bits("0001")));
+    }
+
+    #[test]
+    fn body_probe_shape() {
+        // non-heads {x1..x4}, heads {x5, x6}; probing h=x5 with true set
+        // {x1, x4}: probe tuple 100101.
+        let q = body_probe(6, v(5), &varset![1, 2, 3, 4], &varset![1, 4]);
+        assert!(q.contains(&BoolTuple::from_bits("100101")));
+        assert!(q.contains(&BoolTuple::from_bits("111111")));
+    }
+
+    #[test]
+    fn free_var_probe_is_single_tuple() {
+        let q = free_var_probe(3, v(2));
+        assert_eq!(q.len(), 1);
+        assert!(q.contains(&BoolTuple::from_bits("101")));
+    }
+}

@@ -1,0 +1,144 @@
+//! `Find` and `FindAll` (Algorithms 2 and 3): binary / group-testing search
+//! over variables using a "does this subset contain a hit?" predicate
+//! derived from membership questions.
+//!
+//! Both require the predicate to be a *coverage* test: `test(D)` is true
+//! iff `D` contains at least one hit. This is exactly what universal
+//! dependence questions (Def. 3.1: hits = body variables) and existential
+//! independence questions (Def. 3.2: hits = dependents) provide.
+//!
+//! `find_one` asks `1 + ⌈lg |D|⌉` questions; `find_all` asks
+//! `O(|hits| · lg |D|)` questions — the counts behind Lemma 3.2.
+
+use super::LearnError;
+use crate::var::VarId;
+
+/// Result alias for predicate calls that may exhaust the question budget.
+pub type TestResult = Result<bool, LearnError>;
+
+/// Algorithm 2 (`Find`): returns one hit within `vars`, or `None` if
+/// `vars` contains no hit. Asks `test` on `vars` first, then halves.
+pub fn find_one(
+    vars: &[VarId],
+    test: &mut impl FnMut(&[VarId]) -> TestResult,
+) -> Result<Option<VarId>, LearnError> {
+    if vars.is_empty() || !test(vars)? {
+        return Ok(None);
+    }
+    let mut slice = vars;
+    while slice.len() > 1 {
+        let (a, b) = slice.split_at(slice.len() / 2);
+        // A hit is known to be in `slice`; if not in `a` it must be in `b`.
+        slice = if test(a)? { a } else { b };
+    }
+    Ok(Some(slice[0]))
+}
+
+/// Algorithm 3 (`FindAll`): returns every hit within `vars`, in input
+/// order, via group testing.
+pub fn find_all(
+    vars: &[VarId],
+    test: &mut impl FnMut(&[VarId]) -> TestResult,
+) -> Result<Vec<VarId>, LearnError> {
+    if vars.is_empty() || !test(vars)? {
+        return Ok(Vec::new());
+    }
+    if vars.len() == 1 {
+        return Ok(vec![vars[0]]);
+    }
+    let (a, b) = vars.split_at(vars.len() / 2);
+    let mut hits = find_all(a, test)?;
+    hits.extend(find_all(b, test)?);
+    Ok(hits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::Cell;
+
+    fn vars(n: u16) -> Vec<VarId> {
+        (0..n).map(VarId).collect()
+    }
+
+    fn subset_test<'a>(
+        hits: &'a [u16],
+        counter: &'a Cell<usize>,
+    ) -> impl FnMut(&[VarId]) -> TestResult + 'a {
+        move |d: &[VarId]| {
+            counter.set(counter.get() + 1);
+            Ok(d.iter().any(|v| hits.contains(&v.0)))
+        }
+    }
+
+    #[test]
+    fn find_one_locates_a_hit() {
+        let count = Cell::new(0);
+        let found = find_one(&vars(16), &mut subset_test(&[11], &count)).unwrap();
+        assert_eq!(found, Some(VarId(11)));
+        assert!(count.get() <= 1 + 4, "O(lg n) questions, got {}", count.get());
+    }
+
+    #[test]
+    fn find_one_none_when_no_hit() {
+        let count = Cell::new(0);
+        let found = find_one(&vars(16), &mut subset_test(&[], &count)).unwrap();
+        assert_eq!(found, None);
+        assert_eq!(count.get(), 1, "one question suffices to rule everything out");
+    }
+
+    #[test]
+    fn find_one_empty_domain_asks_nothing() {
+        let count = Cell::new(0);
+        let found = find_one(&[], &mut subset_test(&[3], &count)).unwrap();
+        assert_eq!(found, None);
+        assert_eq!(count.get(), 0);
+    }
+
+    #[test]
+    fn find_all_collects_every_hit() {
+        let count = Cell::new(0);
+        let hits = [2u16, 7, 8, 15];
+        let found = find_all(&vars(16), &mut subset_test(&hits, &count)).unwrap();
+        assert_eq!(found, vec![VarId(2), VarId(7), VarId(8), VarId(15)]);
+        // O(|hits| lg n): generous constant.
+        assert!(count.get() <= 4 * 2 * 5, "too many questions: {}", count.get());
+    }
+
+    #[test]
+    fn find_all_no_hits_single_question() {
+        let count = Cell::new(0);
+        let found = find_all(&vars(64), &mut subset_test(&[], &count)).unwrap();
+        assert!(found.is_empty());
+        assert_eq!(count.get(), 1);
+    }
+
+    #[test]
+    fn find_all_all_hits() {
+        let count = Cell::new(0);
+        let all: Vec<u16> = (0..8).collect();
+        let found = find_all(&vars(8), &mut subset_test(&all, &count)).unwrap();
+        assert_eq!(found.len(), 8);
+    }
+
+    #[test]
+    fn errors_propagate() {
+        let mut failing = |_: &[VarId]| -> TestResult {
+            Err(LearnError::BudgetExceeded { asked: 0 })
+        };
+        assert!(find_one(&vars(4), &mut failing).is_err());
+        assert!(find_all(&vars(4), &mut failing).is_err());
+    }
+
+    #[test]
+    fn find_one_exhaustive_positions() {
+        // The search must find the hit wherever it is, for every size.
+        for n in 1..=20u16 {
+            for hit in 0..n {
+                let count = Cell::new(0);
+                let found = find_one(&vars(n), &mut subset_test(&[hit], &count)).unwrap();
+                assert_eq!(found, Some(VarId(hit)), "n={n} hit={hit}");
+            }
+        }
+    }
+}

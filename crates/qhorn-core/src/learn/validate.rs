@@ -1,0 +1,162 @@
+//! Class-membership validation — §6 future work: "we plan to design
+//! algorithms to verify that the user's query is indeed in qhorn-1 or
+//! role-preserving qhorn".
+//!
+//! Exact learners are only guaranteed correct when the oracle's intent
+//! lies in the promised class. [`learn_and_validate`] composes the learner
+//! with the §4 verifier: learn under the class assumption, then run the
+//! learned query's verification set against the same oracle. By
+//! Theorem 4.2:
+//!
+//! * if the intent is in the class, learning is exact and verification
+//!   passes — [`Validated::InClass`];
+//! * if the intent is outside the class (or the user is noisy), either
+//!   the learner's invariants break mid-run or the verification set
+//!   surfaces a disagreement — [`Validated::OutOfClass`] with the witness.
+//!
+//! This is sound (an `InClass` verdict is justified by Thm 4.2 whenever
+//! the intent is role-preserving) and complete for role-preserving
+//! intents; for intents outside qhorn entirely it is a best-effort
+//! refutation — some non-qhorn intents coincide with a qhorn query on
+//! every asked question, and no finite question set can rule that out.
+
+use super::role_preserving::learn_role_preserving;
+use super::{LearnError, LearnOptions, LearnOutcome};
+use crate::oracle::MembershipOracle;
+use crate::verify::{Discrepancy, VerificationSet};
+
+/// Verdict of [`learn_and_validate`].
+#[derive(Debug)]
+pub enum Validated {
+    /// Learning succeeded and the user confirmed every verification
+    /// question: the intent is (indistinguishable from) the learned
+    /// role-preserving query.
+    InClass(LearnOutcome),
+    /// The intent is not a (complete) role-preserving query: either the
+    /// learner hit contradictory answers, or verification surfaced a
+    /// disagreement with the learned query.
+    OutOfClass {
+        /// The query learned under the class assumption, if learning
+        /// finished.
+        best_effort: Option<LearnOutcome>,
+        /// The verification disagreement, when one was found.
+        witness: Option<Discrepancy>,
+        /// The learner error, when learning itself failed.
+        learn_error: Option<LearnError>,
+    },
+}
+
+impl Validated {
+    /// `true` for [`Validated::InClass`].
+    #[must_use]
+    pub fn is_in_class(&self) -> bool {
+        matches!(self, Validated::InClass(_))
+    }
+}
+
+/// Learns under the role-preserving assumption, then validates the result
+/// against the same oracle with the §4 verification set.
+pub fn learn_and_validate<O: MembershipOracle + ?Sized>(
+    n: u16,
+    oracle: &mut O,
+    opts: &LearnOptions,
+) -> Validated {
+    let outcome = match learn_role_preserving(n, oracle, opts) {
+        Ok(o) => o,
+        Err(e) => {
+            return Validated::OutOfClass {
+                best_effort: None,
+                witness: None,
+                learn_error: Some(e),
+            }
+        }
+    };
+    let set = VerificationSet::build(outcome.query())
+        .expect("the learner emits role-preserving queries");
+    let mut discrepancies = set.verify_all(&mut *oracle);
+    if discrepancies.is_empty() {
+        Validated::InClass(outcome)
+    } else {
+        Validated::OutOfClass {
+            best_effort: Some(outcome),
+            witness: Some(discrepancies.remove(0)),
+            learn_error: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::{FnOracle, QueryOracle};
+    use crate::query::equiv::equivalent;
+    use crate::query::{Expr, Query};
+    use crate::var::VarId;
+    use crate::{varset, Obj, Response};
+
+    #[test]
+    fn in_class_intent_is_validated() {
+        let target = crate::query::tests::paper_example();
+        let mut user = QueryOracle::new(target.clone());
+        let verdict = learn_and_validate(6, &mut user, &LearnOptions::default());
+        match verdict {
+            Validated::InClass(outcome) => {
+                assert!(equivalent(outcome.query(), &target));
+            }
+            other => panic!("expected InClass, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn alias_intent_demonstrates_best_effort_limit() {
+        // Thm 2.1's alias query is general qhorn, not role-preserving: x1
+        // and x2 are each other's heads and bodies. Its behaviour agrees
+        // with ∀x1 ∀x2 on every verification question, so the validator
+        // cannot flag it (Thm 4.2 covers role-preserving intents only) —
+        // but the accepted query is provably NOT the intent, witnessed by
+        // an object outside the verification set.
+        let alias = Query::new(
+            2,
+            [
+                Expr::universal(varset![1], VarId(1)),
+                Expr::universal(varset![2], VarId(0)),
+            ],
+        )
+        .unwrap();
+        let mut user = QueryOracle::new(alias.clone());
+        let verdict = learn_and_validate(2, &mut user, &LearnOptions::default());
+        match verdict {
+            Validated::InClass(outcome) => {
+                let witness = crate::query::generate::all_objects(2)
+                    .find(|o| outcome.query().accepts(o) != alias.accepts(o));
+                assert!(
+                    witness.is_some(),
+                    "if the verdict is InClass the intent must genuinely differ \
+                     somewhere the verification set cannot look"
+                );
+            }
+            Validated::OutOfClass { .. } => {} // also acceptable
+        }
+    }
+
+    #[test]
+    fn cardinality_intent_is_flagged() {
+        // "At least two distinct tuples" is not expressible in qhorn.
+        let mut user = FnOracle(|q: &Obj| Response::from_bool(q.len() >= 2));
+        let verdict = learn_and_validate(2, &mut user, &LearnOptions::default());
+        assert!(!verdict.is_in_class(), "{verdict:?}");
+        if let Validated::OutOfClass { witness, learn_error, .. } = verdict {
+            assert!(witness.is_some() || learn_error.is_some());
+        }
+    }
+
+    #[test]
+    fn negation_intent_is_flagged() {
+        // "No tuple has x1 ∧ x2" — anti-monotone, outside qhorn.
+        let mut user = FnOracle(|q: &Obj| {
+            Response::from_bool(!q.some_tuple_satisfies(&varset![1, 2]))
+        });
+        let verdict = learn_and_validate(2, &mut user, &LearnOptions::default());
+        assert!(!verdict.is_in_class(), "{verdict:?}");
+    }
+}

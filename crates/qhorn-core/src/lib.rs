@@ -1,0 +1,63 @@
+//! # qhorn-core
+//!
+//! A faithful implementation of *"Learning and Verifying Quantified Boolean
+//! Queries by Example"* (Abouzied, Angluin, Papadimitriou, Hellerstein,
+//! Silberschatz — PODS 2013).
+//!
+//! Quantified Boolean queries evaluate propositions over *sets* of tuples:
+//! an object (e.g. a box of chocolates) is an answer iff every quantified
+//! expression holds over its tuple set. The paper studies **qhorn** —
+//! conjunctions of quantified Horn expressions with guarantee clauses — and
+//! shows that two subclasses can be learned exactly from polynomially many
+//! *membership questions* (example objects the user labels as answers or
+//! non-answers), and verified with O(k) questions.
+//!
+//! This crate provides:
+//!
+//! * the Boolean substrate: [`VarId`], [`VarSet`], [`BoolTuple`], [`Obj`],
+//!   and Boolean-lattice utilities ([`lattice`]);
+//! * the query model: [`Query`], [`Expr`], evaluation, class membership
+//!   ([`query::classes`]), normalization ([`NormalForm`]) and semantic
+//!   equivalence ([`query::equiv`]);
+//! * the learning algorithms: [`learn::learn_qhorn1`] (Thm 3.1,
+//!   O(n lg n) questions) and [`learn::learn_role_preserving`]
+//!   (Thms 3.5/3.8, O(n^{θ+1} + k·n lg n) questions);
+//! * the verifier: [`verify::VerificationSet`] (Fig. 6, O(k) questions);
+//! * oracles simulating users ([`oracle`]).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use qhorn_core::{learn::learn_qhorn1, oracle::QueryOracle, Expr, Query, VarId, varset};
+//!
+//! // The user's hidden intent: ∀x1x2 → x3  ∃x4  (a qhorn-1 query).
+//! let target = Query::new(4, [
+//!     Expr::universal(varset![1, 2], VarId::from_one_based(3)),
+//!     Expr::conj(varset![4]),
+//! ]).unwrap();
+//!
+//! // A simulated user answers membership questions about the target.
+//! let mut user = QueryOracle::new(target.clone());
+//! let outcome = learn_qhorn1(4, &mut user, &Default::default()).unwrap();
+//!
+//! // The learner recovers a semantically equivalent query.
+//! assert!(qhorn_core::query::equiv::equivalent(outcome.query(), &target));
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod lattice;
+pub mod learn;
+pub mod object;
+pub mod oracle;
+pub mod query;
+pub mod tuple;
+pub mod var;
+pub mod verify;
+
+pub use object::{Obj, Response};
+pub use oracle::{CountingOracle, MembershipOracle, OracleStats, QueryOracle};
+pub use query::{Expr, NormalForm, Query, QueryClass};
+pub use tuple::BoolTuple;
+pub use var::{VarId, VarSet};

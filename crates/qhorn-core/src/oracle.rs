@@ -1,0 +1,338 @@
+//! Membership-question oracles — the "user" in the learning model (§2.1.2).
+//!
+//! A learner constructs membership questions (objects) and an oracle labels
+//! each as an answer or a non-answer for the *intended* query. The paper's
+//! ideal user is [`QueryOracle`], backed by a hidden target query.
+//! Decorators add the instrumentation the experiments need:
+//!
+//! * [`CountingOracle`] — counts questions and tuples (the paper's cost
+//!   measures);
+//! * [`TranscriptOracle`] — records every (question, response) pair, which
+//!   powers the response-history / restart workflow discussed in §5;
+//! * [`LimitOracle`] — enforces a question budget (tests of the complexity
+//!   bounds use it to fail fast on runaway learners);
+//! * [`FnOracle`] — wraps a closure (adversaries, brute-force cross-checks).
+
+use crate::object::{Obj, Response};
+use crate::query::Query;
+
+/// Anything that can label membership questions.
+pub trait MembershipOracle {
+    /// Labels one membership question.
+    fn ask(&mut self, question: &Obj) -> Response;
+}
+
+impl<T: MembershipOracle + ?Sized> MembershipOracle for &mut T {
+    fn ask(&mut self, question: &Obj) -> Response {
+        (**self).ask(question)
+    }
+}
+
+impl MembershipOracle for Box<dyn MembershipOracle + '_> {
+    fn ask(&mut self, question: &Obj) -> Response {
+        (**self).ask(question)
+    }
+}
+
+/// The ideal user: labels questions according to a hidden target query.
+#[derive(Clone, Debug)]
+pub struct QueryOracle {
+    target: Query,
+    relax_universal_guarantees: bool,
+}
+
+impl QueryOracle {
+    /// An oracle answering according to `target` under full qhorn semantics
+    /// (guarantee clauses enforced).
+    #[must_use]
+    pub fn new(target: Query) -> Self {
+        QueryOracle { target, relax_universal_guarantees: false }
+    }
+
+    /// An oracle using the footnote-1 relaxation: universal expressions do
+    /// not require guarantee witnesses. Learning algorithms remain correct
+    /// under either semantics; this variant additionally allows empty-set
+    /// questions.
+    #[must_use]
+    pub fn relaxed(target: Query) -> Self {
+        QueryOracle { target, relax_universal_guarantees: true }
+    }
+
+    /// The hidden target (tests and experiment harnesses use this; a real
+    /// user interface would not expose it).
+    #[must_use]
+    pub fn target(&self) -> &Query {
+        &self.target
+    }
+}
+
+impl MembershipOracle for QueryOracle {
+    fn ask(&mut self, question: &Obj) -> Response {
+        let ok = if self.relax_universal_guarantees {
+            self.target.accepts_without_universal_guarantees(question)
+        } else {
+            self.target.accepts(question)
+        };
+        Response::from_bool(ok)
+    }
+}
+
+/// Wraps a closure as an oracle.
+pub struct FnOracle<F: FnMut(&Obj) -> Response>(pub F);
+
+impl<F: FnMut(&Obj) -> Response> MembershipOracle for FnOracle<F> {
+    fn ask(&mut self, question: &Obj) -> Response {
+        (self.0)(question)
+    }
+}
+
+/// Question/tuple accounting (the paper's cost measures: number of
+/// membership questions, tuples per question).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct OracleStats {
+    /// Total membership questions asked.
+    pub questions: usize,
+    /// Total tuples across all questions.
+    pub tuples: usize,
+    /// Largest single question, in tuples.
+    pub max_tuples_per_question: usize,
+}
+
+/// Counts questions and tuples flowing to an inner oracle.
+#[derive(Clone, Debug)]
+pub struct CountingOracle<O> {
+    inner: O,
+    stats: OracleStats,
+}
+
+impl<O: MembershipOracle> CountingOracle<O> {
+    /// Wraps `inner` with counting.
+    #[must_use]
+    pub fn new(inner: O) -> Self {
+        CountingOracle { inner, stats: OracleStats::default() }
+    }
+
+    /// The statistics so far.
+    #[must_use]
+    pub fn stats(&self) -> OracleStats {
+        self.stats
+    }
+
+    /// Consumes the wrapper, returning the inner oracle and the statistics.
+    pub fn into_parts(self) -> (O, OracleStats) {
+        (self.inner, self.stats)
+    }
+}
+
+impl<O: MembershipOracle> MembershipOracle for CountingOracle<O> {
+    fn ask(&mut self, question: &Obj) -> Response {
+        self.stats.questions += 1;
+        self.stats.tuples += question.len();
+        self.stats.max_tuples_per_question = self.stats.max_tuples_per_question.max(question.len());
+        self.inner.ask(question)
+    }
+}
+
+/// Records the full transcript of questions and responses.
+///
+/// DataPlay-style interfaces show the user their response history so that
+/// mistakes can be corrected and learning restarted from the point of error
+/// (§5); [`crate::oracle::ReplayOracle`] replays a corrected transcript.
+#[derive(Clone, Debug)]
+pub struct TranscriptOracle<O> {
+    inner: O,
+    transcript: Vec<(Obj, Response)>,
+}
+
+impl<O: MembershipOracle> TranscriptOracle<O> {
+    /// Wraps `inner` with transcript recording.
+    #[must_use]
+    pub fn new(inner: O) -> Self {
+        TranscriptOracle { inner, transcript: Vec::new() }
+    }
+
+    /// The recorded (question, response) pairs, in order.
+    #[must_use]
+    pub fn transcript(&self) -> &[(Obj, Response)] {
+        &self.transcript
+    }
+
+    /// Consumes the wrapper, returning the transcript.
+    #[must_use]
+    pub fn into_transcript(self) -> Vec<(Obj, Response)> {
+        self.transcript
+    }
+}
+
+impl<O: MembershipOracle> MembershipOracle for TranscriptOracle<O> {
+    fn ask(&mut self, question: &Obj) -> Response {
+        let r = self.inner.ask(question);
+        self.transcript.push((question.clone(), r));
+        r
+    }
+}
+
+/// Serves responses from a (possibly corrected) transcript, falling back to
+/// an inner oracle for novel questions.
+///
+/// This implements §5's restart-from-error workflow: replaying a corrected
+/// transcript re-runs the learner without re-asking the user questions whose
+/// answers are already known.
+#[derive(Clone, Debug)]
+pub struct ReplayOracle<O> {
+    inner: O,
+    cache: std::collections::HashMap<Obj, Response>,
+    replayed: usize,
+    fresh: usize,
+}
+
+impl<O: MembershipOracle> ReplayOracle<O> {
+    /// Builds a replay oracle from a transcript (later entries win on
+    /// duplicates, so corrections are appended).
+    #[must_use]
+    pub fn new(inner: O, transcript: impl IntoIterator<Item = (Obj, Response)>) -> Self {
+        ReplayOracle {
+            inner,
+            cache: transcript.into_iter().collect(),
+            replayed: 0,
+            fresh: 0,
+        }
+    }
+
+    /// Number of questions served from the transcript.
+    #[must_use]
+    pub fn replayed(&self) -> usize {
+        self.replayed
+    }
+
+    /// Number of questions forwarded to the inner oracle.
+    #[must_use]
+    pub fn fresh(&self) -> usize {
+        self.fresh
+    }
+}
+
+impl<O: MembershipOracle> MembershipOracle for ReplayOracle<O> {
+    fn ask(&mut self, question: &Obj) -> Response {
+        if let Some(&r) = self.cache.get(question) {
+            self.replayed += 1;
+            return r;
+        }
+        self.fresh += 1;
+        let r = self.inner.ask(question);
+        self.cache.insert(question.clone(), r);
+        r
+    }
+}
+
+/// Enforces a hard question budget.
+///
+/// # Panics
+/// `ask` panics once the budget is exceeded. Complexity tests use this to
+/// turn "the learner asks too many questions" into an immediate failure.
+#[derive(Clone, Debug)]
+pub struct LimitOracle<O> {
+    inner: O,
+    remaining: usize,
+}
+
+impl<O: MembershipOracle> LimitOracle<O> {
+    /// Wraps `inner` with a budget of `max_questions`.
+    #[must_use]
+    pub fn new(inner: O, max_questions: usize) -> Self {
+        LimitOracle { inner, remaining: max_questions }
+    }
+
+    /// Questions left in the budget.
+    #[must_use]
+    pub fn remaining(&self) -> usize {
+        self.remaining
+    }
+}
+
+impl<O: MembershipOracle> MembershipOracle for LimitOracle<O> {
+    fn ask(&mut self, question: &Obj) -> Response {
+        assert!(self.remaining > 0, "question budget exhausted");
+        self.remaining -= 1;
+        self.inner.ask(question)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::Expr;
+    use crate::varset;
+
+    fn target() -> Query {
+        Query::new(2, [Expr::conj(varset![1, 2])]).unwrap()
+    }
+
+    #[test]
+    fn query_oracle_labels_by_target() {
+        let mut o = QueryOracle::new(target());
+        assert_eq!(o.ask(&Obj::from_bits("11")), Response::Answer);
+        assert_eq!(o.ask(&Obj::from_bits("10 01")), Response::NonAnswer);
+    }
+
+    #[test]
+    fn relaxed_oracle_ignores_universal_guarantees() {
+        let q = Query::new(1, [Expr::universal_bodyless(crate::VarId(0))]).unwrap();
+        let mut strict = QueryOracle::new(q.clone());
+        let mut relaxed = QueryOracle::relaxed(q);
+        assert_eq!(strict.ask(&Obj::empty(1)), Response::NonAnswer);
+        assert_eq!(relaxed.ask(&Obj::empty(1)), Response::Answer);
+    }
+
+    #[test]
+    fn counting_oracle_tracks_questions_and_tuples() {
+        let mut o = CountingOracle::new(QueryOracle::new(target()));
+        o.ask(&Obj::from_bits("11"));
+        o.ask(&Obj::from_bits("10 01 11"));
+        let s = o.stats();
+        assert_eq!(s.questions, 2);
+        assert_eq!(s.tuples, 4);
+        assert_eq!(s.max_tuples_per_question, 3);
+    }
+
+    #[test]
+    fn transcript_records_in_order() {
+        let mut o = TranscriptOracle::new(QueryOracle::new(target()));
+        o.ask(&Obj::from_bits("11"));
+        o.ask(&Obj::from_bits("01"));
+        let t = o.into_transcript();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t[0].1, Response::Answer);
+        assert_eq!(t[1].1, Response::NonAnswer);
+    }
+
+    #[test]
+    fn replay_serves_cache_then_falls_back() {
+        // Correction: pretend the user mislabeled 11 and fixed it.
+        let corrected = vec![(Obj::from_bits("11"), Response::NonAnswer)];
+        let mut o = ReplayOracle::new(QueryOracle::new(target()), corrected);
+        assert_eq!(o.ask(&Obj::from_bits("11")), Response::NonAnswer, "served from transcript");
+        assert_eq!(o.ask(&Obj::from_bits("01")), Response::NonAnswer, "fresh question");
+        assert_eq!(o.replayed(), 1);
+        assert_eq!(o.fresh(), 1);
+        // The fresh answer is now cached.
+        o.ask(&Obj::from_bits("01"));
+        assert_eq!(o.replayed(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "budget")]
+    fn limit_oracle_panics_past_budget() {
+        let mut o = LimitOracle::new(QueryOracle::new(target()), 1);
+        o.ask(&Obj::from_bits("11"));
+        o.ask(&Obj::from_bits("11"));
+    }
+
+    #[test]
+    fn fn_oracle_wraps_closures() {
+        let mut o = FnOracle(|q: &Obj| Response::from_bool(q.len() > 1));
+        assert_eq!(o.ask(&Obj::from_bits("11 01")), Response::Answer);
+        assert_eq!(o.ask(&Obj::from_bits("11")), Response::NonAnswer);
+    }
+}

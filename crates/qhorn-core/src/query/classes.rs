@@ -1,0 +1,322 @@
+//! Query-class membership: qhorn-1 (§2.1.3) and role-preserving qhorn
+//! (§2.1.4).
+//!
+//! * **qhorn-1**: no variable repetition — different expressions' bodies
+//!   are equal or disjoint, heads are distinct, and no variable is both a
+//!   head and a body variable. Headless conjunctions participate with their
+//!   variable set in the body-disjointness rule.
+//! * **role-preserving qhorn**: variables may repeat, but across universal
+//!   Horn expressions head variables only repeat as heads and body
+//!   variables only as body variables (the universal-head and
+//!   universal-body variable sets are disjoint). Existential expressions
+//!   are conjunctions without roles.
+//!
+//! qhorn-1 ⊂ role-preserving ⊂ qhorn; the classifier returns the most
+//! specific class.
+
+use super::{Expr, Query};
+use crate::var::{VarId, VarSet};
+use std::fmt;
+
+/// The most specific class a query belongs to.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum QueryClass {
+    /// Satisfies the qhorn-1 syntactic restrictions (§2.1.3).
+    Qhorn1,
+    /// Role-preserving but not qhorn-1 (§2.1.4).
+    RolePreserving,
+    /// General qhorn: some variable plays both head and body roles across
+    /// universal Horn expressions (e.g. the alias queries of Thm 2.1).
+    GeneralQhorn,
+}
+
+impl fmt::Display for QueryClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryClass::Qhorn1 => f.write_str("qhorn-1"),
+            QueryClass::RolePreserving => f.write_str("role-preserving qhorn"),
+            QueryClass::GeneralQhorn => f.write_str("qhorn"),
+        }
+    }
+}
+
+/// Why a query fails a class's syntactic restrictions.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ClassError {
+    /// qhorn-1 restriction 1: two bodies overlap without being equal.
+    OverlappingBodies {
+        /// First body (or conjunction variable set).
+        a: VarSet,
+        /// Second body (or conjunction variable set).
+        b: VarSet,
+    },
+    /// qhorn-1 restriction 2: the same head appears in two expressions.
+    RepeatedHead {
+        /// The repeated head variable.
+        head: VarId,
+    },
+    /// qhorn-1 restriction 3 / role-preservation: a variable is both a
+    /// head and a body variable.
+    HeadUsedAsBody {
+        /// The offending variable.
+        var: VarId,
+    },
+}
+
+impl fmt::Display for ClassError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClassError::OverlappingBodies { a, b } => {
+                write!(f, "bodies {a} and {b} overlap without being equal")
+            }
+            ClassError::RepeatedHead { head } => {
+                write!(f, "head variable {head} appears in more than one expression")
+            }
+            ClassError::HeadUsedAsBody { var } => {
+                write!(f, "variable {var} is used both as a head and as a body variable")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClassError {}
+
+/// Validates the qhorn-1 restrictions (§2.1.3). `Ok(())` iff the query is
+/// in qhorn-1.
+pub fn validate_qhorn1(q: &Query) -> Result<(), ClassError> {
+    // Bodies: Horn bodies plus headless conjunction variable sets.
+    let mut bodies: Vec<VarSet> = Vec::new();
+    let mut heads: Vec<VarId> = Vec::new();
+    for e in q.exprs() {
+        match e {
+            Expr::UniversalHorn { body, head } | Expr::ExistentialHorn { body, head } => {
+                bodies.push(body.clone());
+                heads.push(*head);
+            }
+            Expr::ExistentialConj { vars } => bodies.push(vars.clone()),
+        }
+    }
+    // Restriction 1: Bi ∩ Bj = ∅ ∨ Bi = Bj.
+    for (i, a) in bodies.iter().enumerate() {
+        for b in bodies.iter().skip(i + 1) {
+            if !a.is_disjoint(b) && a != b {
+                return Err(ClassError::OverlappingBodies { a: a.clone(), b: b.clone() });
+            }
+        }
+    }
+    // Restriction 2: hi ≠ hj.
+    let mut seen = VarSet::new();
+    for &h in &heads {
+        if !seen.insert(h) {
+            return Err(ClassError::RepeatedHead { head: h });
+        }
+    }
+    // Restriction 3: B ∩ H = ∅.
+    for b in &bodies {
+        if let Some(v) = b.iter().find(|v| seen.contains(*v)) {
+            return Err(ClassError::HeadUsedAsBody { var: v });
+        }
+    }
+    Ok(())
+}
+
+/// Validates the role-preserving restriction (§2.1.4): universal head
+/// variables and universal body variables are disjoint sets.
+pub fn validate_role_preserving(q: &Query) -> Result<(), ClassError> {
+    let heads = q.universal_heads();
+    let body_vars = q.universal_body_vars();
+    if let Some(v) = heads.intersection(&body_vars).first() {
+        return Err(ClassError::HeadUsedAsBody { var: v });
+    }
+    Ok(())
+}
+
+/// `true` iff the query satisfies the qhorn-1 restrictions.
+#[must_use]
+pub fn is_qhorn1(q: &Query) -> bool {
+    validate_qhorn1(q).is_ok()
+}
+
+/// `true` iff the query is role-preserving.
+#[must_use]
+pub fn is_role_preserving(q: &Query) -> bool {
+    validate_role_preserving(q).is_ok()
+}
+
+/// Classifies a query into the most specific class.
+#[must_use]
+pub fn classify(q: &Query) -> QueryClass {
+    if is_qhorn1(q) {
+        QueryClass::Qhorn1
+    } else if is_role_preserving(q) {
+        QueryClass::RolePreserving
+    } else {
+        QueryClass::GeneralQhorn
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::varset;
+
+    fn v(i: u16) -> VarId {
+        VarId::from_one_based(i)
+    }
+
+    #[test]
+    fn fig2_query_is_qhorn1() {
+        // ∀x1x2→x4 ∃x1x2→x5 ∃x3→x6 (Fig. 2).
+        let q = Query::new(
+            6,
+            [
+                Expr::universal(varset![1, 2], v(4)),
+                Expr::existential_horn(varset![1, 2], v(5)),
+                Expr::existential_horn(varset![3], v(6)),
+            ],
+        )
+        .unwrap();
+        assert_eq!(classify(&q), QueryClass::Qhorn1);
+    }
+
+    #[test]
+    fn fig3_query_is_role_preserving_not_qhorn1() {
+        // ∃x3x5x6 ∃x1x2x5 ∃x2x3x4 ∀x1x2→x4 (Fig. 3).
+        let q = Query::new(
+            6,
+            [
+                Expr::conj(varset![3, 5, 6]),
+                Expr::conj(varset![1, 2, 5]),
+                Expr::conj(varset![2, 3, 4]),
+                Expr::universal(varset![1, 2], v(4)),
+            ],
+        )
+        .unwrap();
+        assert_eq!(classify(&q), QueryClass::RolePreserving);
+        // x5 appears in two conjunctions → overlapping, unequal bodies.
+        assert!(matches!(
+            validate_qhorn1(&q),
+            Err(ClassError::OverlappingBodies { .. })
+        ));
+    }
+
+    #[test]
+    fn section_2_1_4_positive_example() {
+        // ∀x1x4→x5 ∀x3x4→x5 ∀x2x4→x6 ∃x1x2x3 ∃x1x2x5x6 is role-preserving.
+        let q = Query::new(
+            6,
+            [
+                Expr::universal(varset![1, 4], v(5)),
+                Expr::universal(varset![3, 4], v(5)),
+                Expr::universal(varset![2, 4], v(6)),
+                Expr::conj(varset![1, 2, 3]),
+                Expr::conj(varset![1, 2, 5, 6]),
+            ],
+        )
+        .unwrap();
+        assert_eq!(classify(&q), QueryClass::RolePreserving);
+    }
+
+    #[test]
+    fn section_2_1_4_negative_example() {
+        // ∀x1x4→x5 ∀x2x3x5→x6 is NOT role-preserving: x5 is head and body.
+        let q = Query::new(
+            6,
+            [
+                Expr::universal(varset![1, 4], v(5)),
+                Expr::universal(varset![2, 3, 5], v(6)),
+            ],
+        )
+        .unwrap();
+        assert_eq!(classify(&q), QueryClass::GeneralQhorn);
+        assert_eq!(
+            validate_role_preserving(&q),
+            Err(ClassError::HeadUsedAsBody { var: v(5) })
+        );
+    }
+
+    #[test]
+    fn alias_queries_are_general_qhorn() {
+        // Thm 2.1's alias cycle.
+        let q = Query::new(
+            2,
+            [
+                Expr::universal(varset![1], v(2)),
+                Expr::universal(varset![2], v(1)),
+            ],
+        )
+        .unwrap();
+        assert_eq!(classify(&q), QueryClass::GeneralQhorn);
+    }
+
+    #[test]
+    fn repeated_head_rejected_in_qhorn1() {
+        let q = Query::new(
+            4,
+            [
+                Expr::universal(varset![1], v(3)),
+                Expr::universal(varset![2], v(3)),
+            ],
+        )
+        .unwrap();
+        assert_eq!(validate_qhorn1(&q), Err(ClassError::RepeatedHead { head: v(3) }));
+        // But it is role-preserving (θ = 2 for x3).
+        assert_eq!(classify(&q), QueryClass::RolePreserving);
+    }
+
+    #[test]
+    fn conjunction_overlapping_horn_body_rejected_in_qhorn1() {
+        let q = Query::new(
+            4,
+            [
+                Expr::universal(varset![1, 2], v(3)),
+                Expr::conj(varset![2, 4]),
+            ],
+        )
+        .unwrap();
+        assert!(matches!(validate_qhorn1(&q), Err(ClassError::OverlappingBodies { .. })));
+    }
+
+    #[test]
+    fn head_reused_as_conjunction_member_rejected_in_qhorn1_but_role_preserving() {
+        // ∀x1→x2 ∃x2x3: x2 is a universal head inside a conjunction —
+        // fine for role-preserving (conjunction variables have no role),
+        // not for qhorn-1.
+        let q = Query::new(
+            3,
+            [Expr::universal(varset![1], v(2)), Expr::conj(varset![2, 3])],
+        )
+        .unwrap();
+        assert!(validate_qhorn1(&q).is_err());
+        assert_eq!(classify(&q), QueryClass::RolePreserving);
+    }
+
+    #[test]
+    fn empty_and_simple_queries_are_qhorn1() {
+        assert_eq!(classify(&Query::empty(3)), QueryClass::Qhorn1);
+        let q = Query::new(2, [Expr::universal_bodyless(v(1)), Expr::conj(varset![2])]).unwrap();
+        assert_eq!(classify(&q), QueryClass::Qhorn1);
+    }
+
+    #[test]
+    fn shared_body_two_heads_is_qhorn1() {
+        // ∀x1x2→x4 ∃x1x2→x5: equal bodies allowed.
+        let q = Query::new(
+            5,
+            [
+                Expr::universal(varset![1, 2], v(4)),
+                Expr::existential_horn(varset![1, 2], v(5)),
+            ],
+        )
+        .unwrap();
+        assert_eq!(classify(&q), QueryClass::Qhorn1);
+    }
+
+    #[test]
+    fn class_display() {
+        assert_eq!(QueryClass::Qhorn1.to_string(), "qhorn-1");
+        assert_eq!(QueryClass::RolePreserving.to_string(), "role-preserving qhorn");
+        assert_eq!(QueryClass::GeneralQhorn.to_string(), "qhorn");
+    }
+}

@@ -1,0 +1,158 @@
+//! Distinguishing tuples (Defs. 3.4 and 3.5).
+//!
+//! * The **existential distinguishing tuple** of a conjunction `∃ C` sets
+//!   exactly the variables of `C` true (Def. 3.5). On the Boolean lattice,
+//!   questions built from its upset are answers and questions built only
+//!   from the rest of the lattice are non-answers — it is the inflection
+//!   point the lattice learner (§3.2.2) searches for.
+//! * The **universal distinguishing tuple** of `∀ B → h` sets the body `B`
+//!   true and the head `h` false; the remaining head variables are true
+//!   (neutralized) and all remaining variables false (Def. 3.4 / §4.1.2).
+//!
+//! Proposition 4.1: two role-preserving queries are semantically equivalent
+//! iff they induce identical sets of existential and universal
+//! distinguishing tuples.
+
+use super::normalize::NormalForm;
+use crate::tuple::BoolTuple;
+use crate::var::{VarId, VarSet};
+use std::collections::BTreeSet;
+
+/// The distinguishing tuple of the existential conjunction `conj` in a
+/// query of arity `n`: the tuple whose true-set is exactly `conj`.
+///
+/// `conj` must already be closed under the query's universal implications
+/// (rule R3) or the tuple would violate a universal Horn expression; the
+/// sets in [`NormalForm::existentials`] are closed.
+#[must_use]
+pub fn existential_tuple(n: u16, conj: &VarSet) -> BoolTuple {
+    BoolTuple::from_true_set(n, conj.clone())
+}
+
+/// The distinguishing tuple of the universal Horn expression
+/// `∀ body → head`: body true, head false, other universal heads
+/// (`all_heads − {head}`) true, everything else false.
+#[must_use]
+pub fn universal_tuple(n: u16, body: &VarSet, head: VarId, all_heads: &VarSet) -> BoolTuple {
+    let trues = body.union(&all_heads.without(head));
+    BoolTuple::from_true_set(n, trues)
+}
+
+impl NormalForm {
+    /// The set of existential distinguishing tuples: one per dominant,
+    /// closed conjunction (guarantee clauses included).
+    #[must_use]
+    pub fn existential_distinguishing_tuples(&self) -> BTreeSet<BoolTuple> {
+        self.existentials()
+            .iter()
+            .map(|c| existential_tuple(self.arity(), c))
+            .collect()
+    }
+
+    /// The set of universal distinguishing tuples: one per dominant
+    /// universal Horn expression.
+    #[must_use]
+    pub fn universal_distinguishing_tuples(&self) -> BTreeSet<BoolTuple> {
+        let heads = self.universal_heads();
+        self.universals()
+            .iter()
+            .map(|(b, h)| universal_tuple(self.arity(), b, *h, &heads))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::{Expr, Query};
+    use crate::varset;
+
+    fn v(i: u16) -> VarId {
+        VarId::from_one_based(i)
+    }
+
+    #[test]
+    fn universal_tuples_match_section_4_2() {
+        // §4.2 [A2]: ∀x1x4→x5 ⇒ 100101, ∀x3x4→x5 ⇒ 001101, ∀x1x2→x6 ⇒ 110010.
+        let q = crate::query::tests::paper_example();
+        let nf = q.normal_form();
+        let tuples: Vec<String> = nf
+            .universal_distinguishing_tuples()
+            .iter()
+            .map(BoolTuple::to_bits)
+            .collect();
+        for expected in ["100101", "001101", "110010"] {
+            assert!(tuples.contains(&expected.to_string()), "missing {expected}: {tuples:?}");
+        }
+        assert_eq!(tuples.len(), 3);
+    }
+
+    #[test]
+    fn existential_tuples_match_section_4_2() {
+        // §4.2 [A1] after dominance pruning:
+        // 111001 011110 110011 011011 100110.
+        let q = crate::query::tests::paper_example();
+        let nf = q.normal_form();
+        let tuples: BTreeSet<String> = nf
+            .existential_distinguishing_tuples()
+            .iter()
+            .map(BoolTuple::to_bits)
+            .collect();
+        let expected: BTreeSet<String> = ["111001", "011110", "110011", "011011", "100110"]
+            .into_iter()
+            .map(String::from)
+            .collect();
+        assert_eq!(tuples, expected);
+    }
+
+    #[test]
+    fn fig5_distinguishing_tuples_for_x5() {
+        // Fig. 5 marks 100101 and 001101 as the distinguishing tuples of
+        // x5's two universal Horn expressions.
+        let q = Query::new(
+            6,
+            [
+                Expr::universal(varset![1, 4], v(5)),
+                Expr::universal(varset![3, 4], v(5)),
+                Expr::universal(varset![1, 2], v(6)),
+            ],
+        )
+        .unwrap();
+        let heads = q.normal_form().universal_heads();
+        assert_eq!(universal_tuple(6, &varset![1, 4], v(5), &heads).to_bits(), "100101");
+        assert_eq!(universal_tuple(6, &varset![3, 4], v(5), &heads).to_bits(), "001101");
+    }
+
+    #[test]
+    fn bodyless_universal_tuple() {
+        // ∀h alone: tuple is all-false except other heads.
+        let q = Query::new(2, [Expr::universal_bodyless(v(1))]).unwrap();
+        let nf = q.normal_form();
+        let ts = nf.universal_distinguishing_tuples();
+        assert_eq!(ts.len(), 1);
+        assert_eq!(ts.first().unwrap().to_bits(), "00");
+    }
+
+    #[test]
+    fn proposition_4_1_equal_tuples_iff_equal_normal_forms() {
+        // Two syntactically different but equivalent queries share tuples.
+        let q1 = Query::new(
+            3,
+            [Expr::universal(varset![1], v(3)), Expr::conj(varset![1, 2])],
+        )
+        .unwrap();
+        let q2 = Query::new(
+            3,
+            [
+                Expr::universal(varset![1], v(3)),
+                Expr::universal(varset![1, 2], v(3)), // dominated (R2)
+                Expr::conj(varset![1, 2, 3]),         // closure of ∃x1x2 (R3)
+            ],
+        )
+        .unwrap();
+        let (n1, n2) = (q1.normal_form(), q2.normal_form());
+        assert_eq!(n1.existential_distinguishing_tuples(), n2.existential_distinguishing_tuples());
+        assert_eq!(n1.universal_distinguishing_tuples(), n2.universal_distinguishing_tuples());
+        assert_eq!(n1, n2);
+    }
+}

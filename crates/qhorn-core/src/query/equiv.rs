@@ -1,0 +1,104 @@
+//! Semantic equivalence of queries.
+//!
+//! Two queries are equivalent iff they label every object identically. For
+//! role-preserving qhorn queries, Proposition 4.1 reduces this to equality
+//! of normal forms ([`crate::NormalForm`]); [`equivalent`] uses that. For
+//! small arities [`equivalent_brute_force`] decides equivalence by
+//! enumerating all `2^(2^n)` objects, and is used in tests to validate the
+//! normal-form route.
+
+use super::generate::all_objects;
+use super::Query;
+
+/// Semantic equivalence via normal forms (Prop. 4.1).
+///
+/// Sound and complete for qhorn queries (conjunctions of quantified Horn
+/// expressions with guarantee clauses) of the classes the paper studies;
+/// validated against [`equivalent_brute_force`] in the test suite.
+#[must_use]
+pub fn equivalent(a: &Query, b: &Query) -> bool {
+    a.arity() == b.arity() && a.normal_form() == b.normal_form()
+}
+
+/// Decides equivalence by evaluating both queries on **every** object over
+/// `n` variables (`2^(2^n)` objects — exponential; intended for `n ≤ 4`).
+///
+/// # Panics
+/// Panics if the arities differ or `n > 4` (the enumeration would exceed
+/// 4 billion objects).
+#[must_use]
+pub fn equivalent_brute_force(a: &Query, b: &Query) -> bool {
+    assert_eq!(a.arity(), b.arity(), "cannot compare queries of different arity");
+    assert!(a.arity() <= 4, "brute-force equivalence is limited to n ≤ 4");
+    all_objects(a.arity()).all(|obj| a.accepts(&obj) == b.accepts(&obj))
+}
+
+/// Finds an object on which the two queries disagree, if any (brute force,
+/// `n ≤ 4`). Useful in tests for diagnosing learner bugs.
+#[must_use]
+pub fn find_counterexample(a: &Query, b: &Query) -> Option<crate::Obj> {
+    assert_eq!(a.arity(), b.arity());
+    assert!(a.arity() <= 4);
+    all_objects(a.arity()).find(|obj| a.accepts(obj) != b.accepts(obj))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::Expr;
+    use crate::var::VarId;
+    use crate::varset;
+
+    fn v(i: u16) -> VarId {
+        VarId::from_one_based(i)
+    }
+
+    #[test]
+    fn syntactic_variants_are_equivalent() {
+        // R1/R2/R3 rewrites preserve semantics.
+        let a = Query::new(
+            3,
+            [Expr::universal(varset![1], v(3)), Expr::conj(varset![1, 2])],
+        )
+        .unwrap();
+        let b = Query::new(
+            3,
+            [
+                Expr::universal(varset![1], v(3)),
+                Expr::universal(varset![1, 2], v(3)),
+                Expr::conj(varset![1, 2, 3]),
+                Expr::conj(varset![2]),
+            ],
+        )
+        .unwrap();
+        assert!(equivalent(&a, &b));
+        assert!(equivalent_brute_force(&a, &b));
+        assert!(find_counterexample(&a, &b).is_none());
+    }
+
+    #[test]
+    fn different_queries_are_distinguished() {
+        let a = Query::new(2, [Expr::universal_bodyless(v(1))]).unwrap();
+        let b = Query::new(2, [Expr::conj(varset![1])]).unwrap();
+        assert!(!equivalent(&a, &b));
+        assert!(!equivalent_brute_force(&a, &b));
+        let cex = find_counterexample(&a, &b).unwrap();
+        assert_ne!(a.accepts(&cex), b.accepts(&cex));
+    }
+
+    #[test]
+    fn normal_form_equivalence_matches_brute_force_exhaustively_n2() {
+        // Prop. 4.1 validated: over a broad syntactic universe on two
+        // variables, normal-form equality coincides with brute force.
+        let qs = crate::query::generate::enumerate_syntactic_role_preserving(2);
+        for (i, a) in qs.iter().enumerate() {
+            for b in qs.iter().skip(i) {
+                assert_eq!(
+                    equivalent(a, b),
+                    equivalent_brute_force(a, b),
+                    "normal-form equivalence disagrees with brute force for\n  a = {a}\n  b = {b}"
+                );
+            }
+        }
+    }
+}

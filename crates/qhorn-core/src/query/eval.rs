@@ -1,0 +1,301 @@
+//! Query evaluation: mapping objects to answers / non-answers (Def. 2.4).
+//!
+//! Semantics of a query `Q` on an object `S` (a set of Boolean tuples):
+//!
+//! * every universal Horn expression `∀ B → h` must hold for **all** tuples
+//!   (`B ⊆ t` implies `h ∈ t`), **and** its guarantee clause
+//!   `∃ t ⊇ B ∪ {h}` must hold;
+//! * every existential expression must have a witness tuple containing all
+//!   of its participating variables (this subsumes existential Horn
+//!   expressions, which are implied by their guarantee clauses, §2.1);
+//! * `S` is an answer iff all expressions hold.
+//!
+//! Consequently the empty object is an answer only for the empty query:
+//! guarantee clauses demand at least one positive instance per expression
+//! (the "no empty chocolate boxes" rule, §2.1 item 2).
+
+use super::{Expr, Query};
+use crate::object::{Obj, Response};
+use crate::tuple::BoolTuple;
+use crate::var::{VarId, VarSet};
+
+impl Query {
+    /// Evaluates the query on an object.
+    ///
+    /// # Panics
+    /// Panics if the object's arity differs from the query's.
+    #[must_use]
+    pub fn eval(&self, obj: &Obj) -> Response {
+        Response::from_bool(self.accepts(obj))
+    }
+
+    /// `true` iff `obj` is an answer to the query.
+    ///
+    /// # Panics
+    /// Panics if the object's arity differs from the query's.
+    #[must_use]
+    pub fn accepts(&self, obj: &Obj) -> bool {
+        assert_eq!(
+            obj.arity(),
+            self.arity(),
+            "object arity {} does not match query arity {}",
+            obj.arity(),
+            self.arity()
+        );
+        self.exprs().iter().all(|e| expr_holds(e, obj))
+    }
+
+    /// Evaluates the query *without* guarantee clauses on universal
+    /// expressions (the footnote-1 relaxation in §3.2.2, needed when a
+    /// learner asks about objects that contain no positive instance for a
+    /// universal expression, e.g. the empty object).
+    ///
+    /// Existential expressions still require witnesses (they *are* their
+    /// guarantee clauses).
+    #[must_use]
+    pub fn accepts_without_universal_guarantees(&self, obj: &Obj) -> bool {
+        assert_eq!(obj.arity(), self.arity());
+        self.exprs().iter().all(|e| match e {
+            Expr::UniversalHorn { body, head } => universal_holds(body, *head, obj),
+            _ => expr_holds(e, obj),
+        })
+    }
+}
+
+/// `∀ t ∈ S: (∧body) → head` — vacuously true on the empty object.
+fn universal_holds(body: &VarSet, head: VarId, obj: &Obj) -> bool {
+    obj.tuples()
+        .iter()
+        .all(|t| !t.satisfies_all(body) || t.get(head))
+}
+
+/// Finds a tuple violating `∀ body → head`, if any (used by the engine for
+/// explain-style output).
+fn find_universal_violation<'a>(
+    body: &VarSet,
+    head: VarId,
+    obj: &'a Obj,
+) -> Option<&'a BoolTuple> {
+    obj.tuples()
+        .iter()
+        .find(|t| t.satisfies_all(body) && !t.get(head))
+}
+
+/// Why an object fails a query — the first failing expression, for
+/// explain-style output (DataPlay-like interfaces show users *why* an
+/// example is a non-answer).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum FailureReason {
+    /// A universal Horn expression is violated by a specific tuple.
+    UniversalViolated {
+        /// The expression's body.
+        body: VarSet,
+        /// The expression's head.
+        head: VarId,
+        /// The violating tuple (body true, head false).
+        tuple: BoolTuple,
+    },
+    /// An existential conjunction (or guarantee clause) has no witness.
+    MissingWitness {
+        /// The conjunction with no witness tuple.
+        vars: VarSet,
+    },
+}
+
+impl std::fmt::Display for FailureReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FailureReason::UniversalViolated { body, head, tuple } => {
+                if body.is_empty() {
+                    write!(f, "tuple {tuple} violates ∀{head}")
+                } else {
+                    write!(f, "tuple {tuple} violates ∀{body} → {head}")
+                }
+            }
+            FailureReason::MissingWitness { vars } => {
+                write!(f, "no tuple witnesses ∃{vars}")
+            }
+        }
+    }
+}
+
+impl Query {
+    /// Explains why `obj` is a non-answer, or `None` if it is an answer.
+    /// Reports the first failing expression in query order (universal
+    /// violations before missing guarantees within one expression).
+    #[must_use]
+    pub fn explain_failure(&self, obj: &Obj) -> Option<FailureReason> {
+        assert_eq!(obj.arity(), self.arity());
+        for e in self.exprs() {
+            match e {
+                Expr::UniversalHorn { body, head } => {
+                    if let Some(t) = find_universal_violation(body, *head, obj) {
+                        return Some(FailureReason::UniversalViolated {
+                            body: body.clone(),
+                            head: *head,
+                            tuple: t.clone(),
+                        });
+                    }
+                    let g = body.with(*head);
+                    if !obj.some_tuple_satisfies(&g) {
+                        return Some(FailureReason::MissingWitness { vars: g });
+                    }
+                }
+                Expr::ExistentialHorn { body, head } => {
+                    let g = body.with(*head);
+                    if !obj.some_tuple_satisfies(&g) {
+                        return Some(FailureReason::MissingWitness { vars: g });
+                    }
+                }
+                Expr::ExistentialConj { vars } => {
+                    if !obj.some_tuple_satisfies(vars) {
+                        return Some(FailureReason::MissingWitness { vars: vars.clone() });
+                    }
+                }
+            }
+        }
+        None
+    }
+}
+
+fn expr_holds(e: &Expr, obj: &Obj) -> bool {
+    match e {
+        Expr::UniversalHorn { body, head } => {
+            universal_holds(body, *head, obj) && obj.some_tuple_satisfies(&body.with(*head))
+        }
+        Expr::ExistentialHorn { body, head } => obj.some_tuple_satisfies(&body.with(*head)),
+        Expr::ExistentialConj { vars } => obj.some_tuple_satisfies(vars),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::varset;
+
+    fn v(i: u16) -> VarId {
+        VarId::from_one_based(i)
+    }
+
+    /// The intro's chocolate query (1):
+    /// `∀c (isDark) ∧ ∃c (hasFilling ∧ origin=Madagascar)` over
+    /// x1=isDark, x2=hasFilling, x3=origin=Madagascar.
+    fn chocolate_query() -> Query {
+        Query::new(
+            3,
+            [Expr::universal_bodyless(v(1)), Expr::conj(varset![2, 3])],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn fig1_boxes() {
+        // Fig. 1: Global Ground = {111, 101, 110}? — from the figure the
+        // Boolean rows for box S1 are {111, 000, 110} and S2 = {100, 110}.
+        let q = chocolate_query();
+        let s1 = Obj::from_bits("111 000 110");
+        let s2 = Obj::from_bits("100 110");
+        // S1 has a non-dark chocolate (000) — violates ∀ isDark.
+        assert_eq!(q.eval(&s1), Response::NonAnswer);
+        // S2 is all dark but has no filled Madagascar chocolate.
+        assert_eq!(q.eval(&s2), Response::NonAnswer);
+        let good = Obj::from_bits("111 110");
+        assert_eq!(q.eval(&good), Response::Answer);
+    }
+
+    #[test]
+    fn universal_horn_with_body() {
+        // ∀x1x2 → x3 with guarantee ∃x1x2x3.
+        let q = Query::new(3, [Expr::universal(varset![1, 2], v(3))]).unwrap();
+        assert!(q.accepts(&Obj::from_bits("111 001 100")));
+        // 110 has the body true but head false.
+        assert!(!q.accepts(&Obj::from_bits("111 110")));
+        // No tuple satisfies the guarantee clause ∃x1x2x3.
+        assert!(!q.accepts(&Obj::from_bits("100 010")));
+        // Without-guarantee relaxation accepts it.
+        assert!(q.accepts_without_universal_guarantees(&Obj::from_bits("100 010")));
+    }
+
+    #[test]
+    fn empty_object_needs_empty_query() {
+        let q = Query::new(2, [Expr::universal_bodyless(v(1)), Expr::conj(varset![2])]).unwrap();
+        assert!(!q.accepts(&Obj::empty(2)), "guarantee clauses reject empty boxes");
+        assert!(Query::empty(2).accepts(&Obj::empty(2)));
+        // Relaxed semantics: universal part vacuous, but ∃x2 still fails.
+        assert!(!q.accepts_without_universal_guarantees(&Obj::empty(2)));
+        let uni_only = Query::new(2, [Expr::universal_bodyless(v(1))]).unwrap();
+        assert!(uni_only.accepts_without_universal_guarantees(&Obj::empty(2)));
+        assert!(!uni_only.accepts(&Obj::empty(2)));
+    }
+
+    #[test]
+    fn existential_horn_equivalent_to_guarantee_conjunction() {
+        let horn = Query::new(3, [Expr::existential_horn(varset![1, 2], v(3))]).unwrap();
+        let conj = Query::new(3, [Expr::conj(varset![1, 2, 3])]).unwrap();
+        // Exhaustive check over all 2^(2^3) = 256 objects.
+        for obj in crate::query::generate::all_objects(3) {
+            assert_eq!(horn.accepts(&obj), conj.accepts(&obj), "differ on {obj}");
+        }
+    }
+
+    #[test]
+    fn query_1_from_paper_section_2() {
+        // ∀t (x1) ∧ ∃t (x2 ∧ x3): an answer needs all-dark and a
+        // Madagascar-filled chocolate.
+        let q = chocolate_query();
+        assert!(q.accepts(&Obj::from_bits("111")));
+        assert!(!q.accepts(&Obj::from_bits("100")));
+        assert!(!q.accepts(&Obj::from_bits("111 011")), "011 is not dark");
+    }
+
+    #[test]
+    fn violation_finder() {
+        let obj = Obj::from_bits("111 110");
+        let t = find_universal_violation(&varset![1, 2], v(3), &obj);
+        assert_eq!(t.unwrap().to_bits(), "110");
+        assert!(find_universal_violation(&varset![1, 2], v(3), &Obj::from_bits("111")).is_none());
+    }
+
+    #[test]
+    fn explain_failure_reports_cause() {
+        let q = Query::new(3, [Expr::universal(varset![1, 2], v(3))]).unwrap();
+        let why = q.explain_failure(&Obj::from_bits("111 110")).unwrap();
+        assert!(matches!(why, FailureReason::UniversalViolated { .. }));
+        assert!(why.to_string().contains("violates"));
+        let why = q.explain_failure(&Obj::from_bits("100")).unwrap();
+        assert!(matches!(why, FailureReason::MissingWitness { .. }));
+        assert!(why.to_string().contains("∃"));
+        assert!(q.explain_failure(&Obj::from_bits("111")).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_mismatch_panics() {
+        let _ = chocolate_query().accepts(&Obj::from_bits("1111"));
+    }
+
+    #[test]
+    fn theorem_2_1_alias_example() {
+        // φ = Uni({x1,x3,x5}) ∧ Alias({x2,x4,x6}):
+        // ∀x1 ∀x3 ∀x5 ∀x2→x4 ∀x4→x6 ∀x6→x2.
+        let q = Query::new(
+            6,
+            [
+                Expr::universal_bodyless(v(1)),
+                Expr::universal_bodyless(v(3)),
+                Expr::universal_bodyless(v(5)),
+                Expr::universal(varset![2], v(4)),
+                Expr::universal(varset![4], v(6)),
+                Expr::universal(varset![6], v(2)),
+            ],
+        )
+        .unwrap();
+        // Exactly the two satisfying questions from the proof of Thm 2.1.
+        assert!(q.accepts(&Obj::from_bits("111111")));
+        assert!(q.accepts(&Obj::from_bits("111111 101010")));
+        // One false uni variable → non-answer.
+        assert!(!q.accepts(&Obj::from_bits("111111 011010")));
+        // Mixed alias values → non-answer (x6 true forces x2 true).
+        assert!(!q.accepts(&Obj::from_bits("111111 101011")));
+    }
+}

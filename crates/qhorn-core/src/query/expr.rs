@@ -1,0 +1,281 @@
+//! Query expressions — quantified Horn expressions and conjunctions (§2.1).
+//!
+//! A qhorn query is a conjunction of quantified Horn expressions. Each
+//! expression quantifies over the tuples `t ∈ S` of an object:
+//!
+//! * `∀ B → h` — **universal Horn expression**: every tuple with all body
+//!   variables `B` true must have the head `h` true. `B = ∅` gives the
+//!   degenerate *bodyless* form `∀ h`.
+//! * `∃ B → h` — **existential Horn expression** (qhorn-1 form): some tuple
+//!   satisfies `∧B → h`. Together with its mandatory guarantee clause it is
+//!   semantically equivalent to the conjunction `∃ (B ∧ h)`.
+//! * `∃ V` — **existential conjunction**: some tuple has all of `V` true.
+//!   This is the degenerate *headless* Horn expression, and the only
+//!   existential form in role-preserving qhorn.
+//!
+//! Every expression carries an implicit **guarantee clause** (§2.1 item 2):
+//! the conjunction of all its variables must hold existentially. Guarantee
+//! clauses are not stored; evaluation ([`crate::query::Query::eval`]) and
+//! normalization add them.
+
+use crate::var::{VarId, VarSet};
+use std::fmt;
+
+/// One expression of a qhorn query.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum Expr {
+    /// `∀ body → head` (bodyless when `body` is empty).
+    UniversalHorn {
+        /// Conjunction of body variables (may be empty).
+        body: VarSet,
+        /// The implied head variable.
+        head: VarId,
+    },
+    /// `∃ body → head` — qhorn-1's existential Horn expression.
+    ExistentialHorn {
+        /// Conjunction of body variables (may be empty: `∃ ∅ → h` ≡ `∃ h`).
+        body: VarSet,
+        /// The implied head variable.
+        head: VarId,
+    },
+    /// `∃ vars` — existential conjunction over a non-empty variable set.
+    ExistentialConj {
+        /// The conjunction's variables.
+        vars: VarSet,
+    },
+}
+
+impl Expr {
+    /// Convenience constructor for `∀ body → head`.
+    #[must_use]
+    pub fn universal(body: VarSet, head: VarId) -> Self {
+        Expr::UniversalHorn { body, head }
+    }
+
+    /// Convenience constructor for the bodyless `∀ head`.
+    #[must_use]
+    pub fn universal_bodyless(head: VarId) -> Self {
+        Expr::UniversalHorn { body: VarSet::new(), head }
+    }
+
+    /// Convenience constructor for `∃ body → head`.
+    #[must_use]
+    pub fn existential_horn(body: VarSet, head: VarId) -> Self {
+        Expr::ExistentialHorn { body, head }
+    }
+
+    /// Convenience constructor for `∃ vars`.
+    #[must_use]
+    pub fn conj(vars: VarSet) -> Self {
+        Expr::ExistentialConj { vars }
+    }
+
+    /// `true` for `UniversalHorn`.
+    #[must_use]
+    pub fn is_universal(&self) -> bool {
+        matches!(self, Expr::UniversalHorn { .. })
+    }
+
+    /// `true` for either existential form.
+    #[must_use]
+    pub fn is_existential(&self) -> bool {
+        !self.is_universal()
+    }
+
+    /// All variables participating in the expression (body ∪ head, or the
+    /// conjunction's variables). This is also the expression's guarantee
+    /// clause.
+    #[must_use]
+    pub fn participating_vars(&self) -> VarSet {
+        match self {
+            Expr::UniversalHorn { body, head } | Expr::ExistentialHorn { body, head } => {
+                body.with(*head)
+            }
+            Expr::ExistentialConj { vars } => vars.clone(),
+        }
+    }
+
+    /// The guarantee clause of this expression (§2.1 item 2): the
+    /// existential conjunction of all its participating variables.
+    #[must_use]
+    pub fn guarantee_clause(&self) -> VarSet {
+        self.participating_vars()
+    }
+
+    /// The head variable, if the expression has one.
+    #[must_use]
+    pub fn head(&self) -> Option<VarId> {
+        match self {
+            Expr::UniversalHorn { head, .. } | Expr::ExistentialHorn { head, .. } => Some(*head),
+            Expr::ExistentialConj { .. } => None,
+        }
+    }
+
+    /// The body variables (empty set for conjunctions — a headless
+    /// expression is "all body", but we report it via
+    /// [`Expr::participating_vars`] instead to avoid role confusion).
+    #[must_use]
+    pub fn body(&self) -> Option<&VarSet> {
+        match self {
+            Expr::UniversalHorn { body, .. } | Expr::ExistentialHorn { body, .. } => Some(body),
+            Expr::ExistentialConj { .. } => None,
+        }
+    }
+
+    /// Validates the expression against arity `n`:
+    /// * every variable in range;
+    /// * the head not contained in its own body (degenerate, always true);
+    /// * conjunctions non-empty.
+    pub fn validate(&self, n: u16) -> Result<(), ExprError> {
+        let vars = self.participating_vars();
+        if let Some(max) = vars.iter().last() {
+            if max.index() >= n as usize {
+                return Err(ExprError::VarOutOfRange { var: max, arity: n });
+            }
+        }
+        match self {
+            Expr::UniversalHorn { body, head } | Expr::ExistentialHorn { body, head } => {
+                if body.contains(*head) {
+                    return Err(ExprError::HeadInBody { head: *head });
+                }
+            }
+            Expr::ExistentialConj { vars } => {
+                if vars.is_empty() {
+                    return Err(ExprError::EmptyConjunction);
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Structural errors for a single expression.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ExprError {
+    /// A variable index is `>= n`.
+    VarOutOfRange {
+        /// The offending variable.
+        var: VarId,
+        /// The query arity.
+        arity: u16,
+    },
+    /// The head appears in its own body (`∀ x1 x2 → x1` is trivially true).
+    HeadInBody {
+        /// The offending head.
+        head: VarId,
+    },
+    /// `∃ ∅` — an empty existential conjunction.
+    EmptyConjunction,
+}
+
+impl fmt::Display for ExprError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExprError::VarOutOfRange { var, arity } => {
+                write!(f, "variable {var} out of range for query arity {arity}")
+            }
+            ExprError::HeadInBody { head } => {
+                write!(f, "head variable {head} appears in its own body (trivial expression)")
+            }
+            ExprError::EmptyConjunction => f.write_str("existential conjunction over no variables"),
+        }
+    }
+}
+
+impl std::error::Error for ExprError {}
+
+fn write_vars(f: &mut fmt::Formatter<'_>, vars: &VarSet) -> fmt::Result {
+    for v in vars.iter() {
+        write!(f, "{v}")?;
+    }
+    Ok(())
+}
+
+impl fmt::Display for Expr {
+    /// Renders in the paper's shorthand, e.g. `∀x1x2 → x3`, `∃x4`, `∀x5`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::UniversalHorn { body, head } => {
+                if body.is_empty() {
+                    write!(f, "∀{head}")
+                } else {
+                    write!(f, "∀")?;
+                    write_vars(f, body)?;
+                    write!(f, " → {head}")
+                }
+            }
+            Expr::ExistentialHorn { body, head } => {
+                if body.is_empty() {
+                    write!(f, "∃{head}")
+                } else {
+                    write!(f, "∃")?;
+                    write_vars(f, body)?;
+                    write!(f, " → {head}")
+                }
+            }
+            Expr::ExistentialConj { vars } => {
+                write!(f, "∃")?;
+                write_vars(f, vars)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::varset;
+
+    #[test]
+    fn display_matches_paper_shorthand() {
+        let e = Expr::universal(varset![1, 2], VarId::from_one_based(3));
+        assert_eq!(e.to_string(), "∀x1x2 → x3");
+        assert_eq!(Expr::universal_bodyless(VarId::from_one_based(4)).to_string(), "∀x4");
+        assert_eq!(Expr::conj(varset![5]).to_string(), "∃x5");
+        assert_eq!(
+            Expr::existential_horn(varset![1, 2], VarId::from_one_based(5)).to_string(),
+            "∃x1x2 → x5"
+        );
+    }
+
+    #[test]
+    fn participating_vars_and_guarantee() {
+        let e = Expr::universal(varset![1, 2], VarId::from_one_based(3));
+        assert_eq!(e.participating_vars(), varset![1, 2, 3]);
+        assert_eq!(e.guarantee_clause(), varset![1, 2, 3]);
+        let c = Expr::conj(varset![2, 4]);
+        assert_eq!(c.participating_vars(), varset![2, 4]);
+    }
+
+    #[test]
+    fn validate_catches_range_and_head_in_body() {
+        let e = Expr::universal(varset![1, 2], VarId::from_one_based(9));
+        assert!(matches!(e.validate(4), Err(ExprError::VarOutOfRange { .. })));
+        assert!(e.validate(9).is_ok());
+        let bad = Expr::universal(varset![1, 3], VarId::from_one_based(3));
+        assert!(matches!(bad.validate(4), Err(ExprError::HeadInBody { .. })));
+        let empty = Expr::conj(VarSet::new());
+        assert!(matches!(empty.validate(4), Err(ExprError::EmptyConjunction)));
+    }
+
+    #[test]
+    fn head_body_accessors() {
+        let e = Expr::universal(varset![1], VarId::from_one_based(2));
+        assert_eq!(e.head(), Some(VarId::from_one_based(2)));
+        assert_eq!(e.body(), Some(&varset![1]));
+        let c = Expr::conj(varset![1, 2]);
+        assert_eq!(c.head(), None);
+        assert_eq!(c.body(), None);
+        assert!(c.is_existential());
+        assert!(e.is_universal());
+    }
+
+    #[test]
+    fn error_messages_are_informative() {
+        let msg = ExprError::HeadInBody { head: VarId(0) }.to_string();
+        assert!(msg.contains("x1"));
+        let msg = ExprError::VarOutOfRange { var: VarId(5), arity: 3 }.to_string();
+        assert!(msg.contains("x6") && msg.contains('3'));
+    }
+}

@@ -1,0 +1,347 @@
+//! Exhaustive enumeration of tuples, objects and small query classes.
+//!
+//! Supports the counting arguments of §2 (`2^n` tuples, `2^(2^n)` objects,
+//! Bell-number lower bound on |qhorn-1|) and the exhaustive two-variable
+//! verification tables of §4.3 (Figs. 7 and 8).
+
+use super::{Expr, Query};
+use crate::object::Obj;
+use crate::tuple::BoolTuple;
+use crate::var::{VarId, VarSet};
+use std::collections::BTreeMap;
+
+/// All `2^n` Boolean tuples over `n` variables, in increasing order of the
+/// underlying bitmask.
+///
+/// # Panics
+/// Panics if `n > 20` (guard against runaway allocation).
+#[must_use]
+pub fn all_tuples(n: u16) -> Vec<BoolTuple> {
+    assert!(n <= 20, "all_tuples is limited to n ≤ 20");
+    (0u32..(1 << n))
+        .map(|mask| {
+            let trues: VarSet = (0..n).filter(|i| mask & (1 << i) != 0).map(VarId).collect();
+            BoolTuple::from_true_set(n, trues)
+        })
+        .collect()
+}
+
+/// Iterates all `2^(2^n)` objects over `n` variables (including the empty
+/// object).
+///
+/// # Panics
+/// Panics if `n > 4`.
+pub fn all_objects(n: u16) -> impl Iterator<Item = Obj> {
+    assert!(n <= 4, "all_objects is limited to n ≤ 4 (2^(2^n) objects)");
+    let tuples = all_tuples(n);
+    let count: u64 = 1 << tuples.len();
+    (0..count).map(move |mask| {
+        Obj::new(
+            n,
+            tuples
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| mask & (1 << i) != 0)
+                .map(|(_, t)| t.clone()),
+        )
+    })
+}
+
+/// All non-empty subsets of `vars`, as `VarSet`s.
+#[must_use]
+pub fn non_empty_subsets(vars: &VarSet) -> Vec<VarSet> {
+    let vs = vars.to_vec();
+    assert!(vs.len() <= 20);
+    (1u32..(1 << vs.len()))
+        .map(|mask| {
+            vs.iter()
+                .enumerate()
+                .filter(|(i, _)| mask & (1 << *i) != 0)
+                .map(|(_, v)| *v)
+                .collect()
+        })
+        .collect()
+}
+
+/// All subsets of `vars` including the empty set.
+#[must_use]
+pub fn all_subsets(vars: &VarSet) -> Vec<VarSet> {
+    let mut out = vec![VarSet::new()];
+    out.extend(non_empty_subsets(vars));
+    out
+}
+
+/// Enumerates a syntactic universe of **role-preserving** queries over `n`
+/// variables and deduplicates them by normal form. Returns one canonical
+/// representative per semantic class.
+///
+/// The universe: every subset of
+/// `{∀B→h : h ∈ V, B ⊆ V−{h}} ∪ {∃C : ∅ ≠ C ⊆ V}` that passes the
+/// role-preserving validation. With `complete_only`, only queries
+/// mentioning every variable are kept (the learning model's assumption).
+///
+/// # Panics
+/// Panics if `n > 3` (the universe has `2^(n·2^(n−1) + 2^n − 1)` subsets).
+#[must_use]
+pub fn enumerate_role_preserving(n: u16, complete_only: bool) -> Vec<Query> {
+    let universe = enumerate_syntactic_role_preserving(n);
+    let mut by_nf: BTreeMap<String, Query> = BTreeMap::new();
+    for q in universe {
+        if complete_only && !q.is_complete() {
+            continue;
+        }
+        let key = format!("{:?}", q.normal_form());
+        by_nf.entry(key).or_insert(q);
+    }
+    by_nf.into_values().collect()
+}
+
+/// The raw syntactic universe behind [`enumerate_role_preserving`]
+/// (role-preserving-valid queries, duplicates by semantics included).
+///
+/// # Panics
+/// Panics if `n > 3`.
+#[must_use]
+pub fn enumerate_syntactic_role_preserving(n: u16) -> Vec<Query> {
+    assert!(n <= 3, "syntactic enumeration is limited to n ≤ 3");
+    let vars = VarSet::full(n);
+    // Candidate expressions.
+    let mut candidates: Vec<Expr> = Vec::new();
+    for h in vars.iter() {
+        for body in all_subsets(&vars.without(h)) {
+            candidates.push(Expr::universal(body, h));
+        }
+    }
+    for c in non_empty_subsets(&vars) {
+        candidates.push(Expr::conj(c));
+    }
+    assert!(candidates.len() <= 24, "universe too large");
+    let mut out = Vec::new();
+    for mask in 0u64..(1 << candidates.len()) {
+        let exprs: Vec<Expr> = candidates
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask & (1 << *i) != 0)
+            .map(|(_, e)| e.clone())
+            .collect();
+        let q = Query::new(n, exprs).expect("candidates are valid");
+        if super::classes::classify(&q) != super::classes::QueryClass::GeneralQhorn {
+            out.push(q);
+        }
+    }
+    out
+}
+
+/// Enumerates distinct (by normal form) **qhorn-1** queries over `n`
+/// variables via the paper's partition construction (§2.1.3): every
+/// partition of the variables into parts, each part configured as a body
+/// with quantified heads, a headless conjunction, or (singletons) a single
+/// quantified variable.
+///
+/// Used to validate the Bell-number lower bound `|qhorn-1| ≥ B_n`.
+///
+/// # Panics
+/// Panics if `n > 6`.
+#[must_use]
+pub fn enumerate_qhorn1(n: u16) -> Vec<Query> {
+    assert!((1..=6).contains(&n), "qhorn-1 enumeration is limited to 1 ≤ n ≤ 6");
+    let mut by_nf: BTreeMap<String, Query> = BTreeMap::new();
+    for partition in set_partitions(n) {
+        let per_part_configs: Vec<Vec<Vec<Expr>>> =
+            partition.iter().map(part_configs).collect();
+        // Cartesian product of per-part configurations.
+        let mut stack: Vec<Vec<Expr>> = vec![Vec::new()];
+        for configs in &per_part_configs {
+            let mut next = Vec::with_capacity(stack.len() * configs.len());
+            for prefix in &stack {
+                for cfg in configs {
+                    let mut e = prefix.clone();
+                    e.extend(cfg.iter().cloned());
+                    next.push(e);
+                }
+            }
+            stack = next;
+        }
+        for exprs in stack {
+            let q = Query::new(n, exprs).expect("generated expressions are valid");
+            debug_assert!(super::classes::is_qhorn1(&q), "generator must emit qhorn-1: {q}");
+            let key = format!("{:?}", q.normal_form());
+            by_nf.entry(key).or_insert(q);
+        }
+    }
+    by_nf.into_values().collect()
+}
+
+/// All configurations of one partition part as qhorn-1 expressions.
+fn part_configs(part: &VarSet) -> Vec<Vec<Expr>> {
+    let vs = part.to_vec();
+    let mut out = Vec::new();
+    if vs.len() == 1 {
+        // ∀x or ∃x.
+        out.push(vec![Expr::universal_bodyless(vs[0])]);
+        out.push(vec![Expr::conj(part.clone())]);
+        return out;
+    }
+    // Headless conjunction ∃part.
+    out.push(vec![Expr::conj(part.clone())]);
+    // Choose a non-empty proper subset as the body; the rest are heads,
+    // each independently quantified ∀ or ∃.
+    for body in non_empty_subsets(part) {
+        if body.len() == part.len() {
+            continue;
+        }
+        let heads = part.difference(&body).to_vec();
+        for qmask in 0u32..(1 << heads.len()) {
+            let exprs: Vec<Expr> = heads
+                .iter()
+                .enumerate()
+                .map(|(i, &h)| {
+                    if qmask & (1 << i) != 0 {
+                        Expr::universal(body.clone(), h)
+                    } else {
+                        Expr::existential_horn(body.clone(), h)
+                    }
+                })
+                .collect();
+            out.push(exprs);
+        }
+    }
+    out
+}
+
+/// All partitions of `{x1..xn}` into non-empty parts (Bell(n) of them),
+/// via restricted-growth strings.
+#[must_use]
+pub fn set_partitions(n: u16) -> Vec<Vec<VarSet>> {
+    assert!((1..=10).contains(&n));
+    let mut out = Vec::new();
+    // rgs[i] = part index of variable i; rgs[0] = 0; rgs[i] ≤ max(rgs[..i]) + 1.
+    let mut rgs = vec![0usize; n as usize];
+    loop {
+        let parts_count = rgs.iter().copied().max().unwrap() + 1;
+        let mut parts = vec![VarSet::new(); parts_count];
+        for (i, &p) in rgs.iter().enumerate() {
+            parts[p].insert(VarId(i as u16));
+        }
+        out.push(parts);
+        // Next restricted-growth string.
+        let mut i = n as usize - 1;
+        loop {
+            if i == 0 {
+                return out;
+            }
+            let max_prefix = rgs[..i].iter().copied().max().unwrap();
+            if rgs[i] <= max_prefix {
+                rgs[i] += 1;
+                for r in rgs.iter_mut().skip(i + 1) {
+                    *r = 0;
+                }
+                break;
+            }
+            i -= 1;
+        }
+    }
+}
+
+/// Bell numbers `B_0..=B_n` (number of set partitions).
+#[must_use]
+pub fn bell_numbers(n: usize) -> Vec<u128> {
+    // Bell triangle.
+    let mut row = vec![1u128];
+    let mut bells = vec![1u128];
+    for _ in 0..n {
+        let mut next = Vec::with_capacity(row.len() + 1);
+        next.push(*row.last().unwrap());
+        for &x in &row {
+            let last = *next.last().unwrap();
+            next.push(last + x);
+        }
+        bells.push(next[0]);
+        row = next;
+    }
+    bells.truncate(n + 1);
+    bells
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tuple_and_object_counts_match_section_2() {
+        // "With n propositions, we can construct 2^n Boolean tuples" and
+        // "there are 2^(2^n) possible sets of Boolean tuples".
+        assert_eq!(all_tuples(3).len(), 8);
+        assert_eq!(all_objects(3).count(), 256);
+        assert_eq!(all_objects(2).count(), 16);
+    }
+
+    #[test]
+    fn all_tuples_distinct() {
+        let ts = all_tuples(4);
+        let set: std::collections::BTreeSet<_> = ts.iter().cloned().collect();
+        assert_eq!(set.len(), 16);
+    }
+
+    #[test]
+    fn subsets_counts() {
+        let s = VarSet::full(4);
+        assert_eq!(non_empty_subsets(&s).len(), 15);
+        assert_eq!(all_subsets(&s).len(), 16);
+    }
+
+    #[test]
+    fn set_partitions_counts_are_bell_numbers() {
+        let bells = bell_numbers(6);
+        assert_eq!(bells, vec![1, 1, 2, 5, 15, 52, 203]);
+        for n in 1..=6u16 {
+            assert_eq!(set_partitions(n).len() as u128, bells[n as usize], "n = {n}");
+        }
+    }
+
+    #[test]
+    fn qhorn1_count_at_least_bell_number() {
+        // §2.1.3: a unique query exists for every partition, so
+        // |qhorn-1 / ≡| ≥ B_n.
+        let bells = bell_numbers(4);
+        for n in 1..=4u16 {
+            let count = enumerate_qhorn1(n).len() as u128;
+            assert!(
+                count >= bells[n as usize],
+                "n = {n}: {count} distinct qhorn-1 queries < Bell {}",
+                bells[n as usize]
+            );
+        }
+    }
+
+    #[test]
+    fn qhorn1_enumeration_small_cases() {
+        // n = 1: ∀x1 vs ∃x1 — two semantically distinct queries.
+        assert_eq!(enumerate_qhorn1(1).len(), 2);
+        // n = 2: singletons (2×2 combos) + {x1x2} part configs:
+        // ∃x1x2, ∀B→h and ∃B→h for B/h splits. ∃x1→x2 ≡ ∃x2→x1 ≡ ∃x1x2.
+        // Distinct: ∀x1∀x2, ∀x1∃x2, ∃x1∀x2, ∃x1∃x2, ∃x1x2, ∀x1→x2, ∀x2→x1 = 7.
+        assert_eq!(enumerate_qhorn1(2).len(), 7);
+    }
+
+    #[test]
+    fn role_preserving_enumeration_n2() {
+        let all = enumerate_role_preserving(2, true);
+        // Every returned query is complete, role-preserving and pairwise
+        // non-equivalent.
+        for q in &all {
+            assert!(q.is_complete());
+            assert_ne!(super::super::classes::classify(q), super::super::classes::QueryClass::GeneralQhorn);
+        }
+        for (i, a) in all.iter().enumerate() {
+            for b in all.iter().skip(i + 1) {
+                assert!(!crate::query::equiv::equivalent(a, b), "{a} ≡ {b}");
+            }
+        }
+        // Fig. 7 tabulates the role-preserving queries on two variables;
+        // the exhaustive list (excluding the empty query, which mentions no
+        // variable) is printed by fig7_two_var_sets. Sanity: at least the 7
+        // qhorn-1 classes exist.
+        assert!(all.len() >= 7, "found only {}", all.len());
+    }
+}

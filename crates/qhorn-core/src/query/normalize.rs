@@ -1,0 +1,344 @@
+//! Normal forms: dominance (rules R1, R2), head closure (rule R3) and the
+//! canonical representation used for equivalence and verification (§2.1.1,
+//! §4.1).
+//!
+//! The paper's equivalence rules:
+//!
+//! * **R1** — an existential conjunction over `V` dominates any conjunction
+//!   over a subset of `V`.
+//! * **R2** — a universal Horn expression `∀ B → h` dominates `∀ B′ → h`
+//!   whenever `B′ ⊇ B`. The dominated expression's *guarantee clause*
+//!   survives as an existential conjunction (`∀x1x2x3→h ∀x1→h` ≡
+//!   `∀x1→h ∃x1x2x3h`).
+//! * **R3** — `∀ x1 → h  ∃ x1 x3` ≡ `∀ x1 → h  ∃ x1 x3 h`: existential
+//!   conjunctions are closed under the universal implications they trigger.
+//!
+//! [`NormalForm`] applies all three rules and keeps only dominant
+//! expressions. By Proposition 4.1, two role-preserving queries are
+//! semantically equivalent iff their normal forms coincide; this is also
+//! exactly the data the verifier (§4) consumes.
+
+use super::{Expr, Query};
+use crate::var::{VarId, VarSet};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// The canonical semantic form of a qhorn query.
+///
+/// * `universals`: the dominant universal Horn expressions, as
+///   `(body, head)` pairs with per-head minimal bodies (R2);
+/// * `existentials`: the dominant existential conjunctions — user
+///   conjunctions *and* every expression's guarantee clause — closed under
+///   universal implication (R3) and maximal under inclusion (R1).
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct NormalForm {
+    n: u16,
+    universals: BTreeSet<(VarSet, VarId)>,
+    existentials: BTreeSet<VarSet>,
+}
+
+impl NormalForm {
+    /// Computes the normal form of a query.
+    #[must_use]
+    pub fn of(q: &Query) -> Self {
+        let n = q.arity();
+
+        // All universal (body, head) pairs, deduplicated.
+        let all_universals: BTreeSet<(VarSet, VarId)> = q
+            .universal_horns()
+            .map(|(b, h)| (b.clone(), h))
+            .collect();
+
+        // R2: keep per-head minimal bodies.
+        let universals: BTreeSet<(VarSet, VarId)> = all_universals
+            .iter()
+            .filter(|(b, h)| {
+                !all_universals
+                    .iter()
+                    .any(|(b2, h2)| h2 == h && b2.is_subset(b) && b2 != b)
+            })
+            .cloned()
+            .collect();
+
+        // Candidate conjunctions: every existential expression plus every
+        // guarantee clause (including those of dominated universal
+        // expressions, which survive normalization as conjunctions).
+        let mut candidates: BTreeSet<VarSet> = q.existential_conjunctions().collect();
+        for g in q.guarantee_clauses() {
+            candidates.insert(g);
+        }
+
+        // R3: close each candidate under the universal implications.
+        let closed: BTreeSet<VarSet> = candidates
+            .into_iter()
+            .map(|c| close_under(&c, &universals))
+            .collect();
+
+        // R1: keep maximal conjunctions.
+        let existentials: BTreeSet<VarSet> = closed
+            .iter()
+            .filter(|c| !closed.iter().any(|c2| c.is_subset(c2) && *c != c2))
+            .cloned()
+            .collect();
+
+        NormalForm { n, universals, existentials }
+    }
+
+    /// Query arity.
+    #[must_use]
+    pub fn arity(&self) -> u16 {
+        self.n
+    }
+
+    /// The dominant universal Horn expressions as `(body, head)` pairs.
+    #[must_use]
+    pub fn universals(&self) -> &BTreeSet<(VarSet, VarId)> {
+        &self.universals
+    }
+
+    /// The dominant, closed existential conjunctions (including surviving
+    /// guarantee clauses).
+    #[must_use]
+    pub fn existentials(&self) -> &BTreeSet<VarSet> {
+        &self.existentials
+    }
+
+    /// The set of universal head variables.
+    #[must_use]
+    pub fn universal_heads(&self) -> VarSet {
+        self.universals.iter().map(|(_, h)| *h).collect()
+    }
+
+    /// The dominant bodies of one head variable.
+    #[must_use]
+    pub fn bodies_of(&self, head: VarId) -> Vec<VarSet> {
+        self.universals
+            .iter()
+            .filter(|(_, h)| *h == head)
+            .map(|(b, _)| b.clone())
+            .collect()
+    }
+
+    /// Causal density θ (Def. 2.6) of the normalized query.
+    #[must_use]
+    pub fn causal_density(&self) -> usize {
+        self.universal_heads()
+            .iter()
+            .map(|h| self.universals.iter().filter(|(_, hh)| *hh == h).count())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Closes a variable set under this normal form's universal
+    /// implications (rule R3).
+    #[must_use]
+    pub fn close(&self, vars: &VarSet) -> VarSet {
+        close_under(vars, &self.universals)
+    }
+
+    /// `true` iff the guarantee clause of some dominant universal expression
+    /// closes to exactly `conj` — i.e. `conj` is "due to a guarantee clause"
+    /// (used when building N1 verification questions, Fig. 6).
+    #[must_use]
+    pub fn is_guarantee_conjunction(&self, conj: &VarSet) -> bool {
+        self.universals
+            .iter()
+            .any(|(b, h)| &self.close(&b.with(*h)) == conj)
+    }
+
+    /// Rebuilds a canonical [`Query`] with exactly the dominant expressions.
+    /// The result is semantically equivalent to the original query.
+    #[must_use]
+    pub fn to_query(&self) -> Query {
+        let exprs = self
+            .universals
+            .iter()
+            .map(|(b, h)| Expr::universal(b.clone(), *h))
+            .chain(self.existentials.iter().map(|c| Expr::conj(c.clone())))
+            .collect::<Vec<_>>();
+        Query::new(self.n, exprs).expect("normal form is structurally valid")
+    }
+}
+
+/// Fixpoint closure of `vars` under `{(body, head)}` implications: while a
+/// body is contained, add its head.
+fn close_under(vars: &VarSet, universals: &BTreeSet<(VarSet, VarId)>) -> VarSet {
+    let mut c = vars.clone();
+    loop {
+        let mut changed = false;
+        for (b, h) in universals {
+            if !c.contains(*h) && b.is_subset(&c) {
+                c.insert(*h);
+                changed = true;
+            }
+        }
+        if !changed {
+            return c;
+        }
+    }
+}
+
+impl fmt::Display for NormalForm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_query())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::generate::all_objects;
+    use crate::varset;
+
+    fn v(i: u16) -> VarId {
+        VarId::from_one_based(i)
+    }
+
+    #[test]
+    fn rule_r1_subset_conjunctions_dominated() {
+        // ∃x1x2x3 ∃x1x2 ∃x2x3 ≡ ∃x1x2x3 (§2.1.1 R1).
+        let q = Query::new(
+            3,
+            [
+                Expr::conj(varset![1, 2, 3]),
+                Expr::conj(varset![1, 2]),
+                Expr::conj(varset![2, 3]),
+            ],
+        )
+        .unwrap();
+        let nf = q.normal_form();
+        assert_eq!(nf.existentials().len(), 1);
+        assert!(nf.existentials().contains(&varset![1, 2, 3]));
+    }
+
+    #[test]
+    fn rule_r2_superset_bodies_dominated_but_guarantee_survives() {
+        // ∀x1x2x3→h ∀x1x2→h ∀x1→h ≡ ∀x1→h ∃x1x2x3h (§2.1.1 R2, h = x4).
+        let q = Query::new(
+            4,
+            [
+                Expr::universal(varset![1, 2, 3], v(4)),
+                Expr::universal(varset![1, 2], v(4)),
+                Expr::universal(varset![1], v(4)),
+            ],
+        )
+        .unwrap();
+        let nf = q.normal_form();
+        assert_eq!(nf.universals().len(), 1);
+        assert!(nf.universals().contains(&(varset![1], v(4))));
+        // The dominated expressions' guarantee ∃x1x2x3x4 survives and
+        // dominates ∃x1x2x4 and ∃x1x4.
+        assert_eq!(nf.existentials().len(), 1);
+        assert!(nf.existentials().contains(&varset![1, 2, 3, 4]));
+    }
+
+    #[test]
+    fn rule_r3_conjunctions_closed_under_implication() {
+        // ∀x1 → h ∃x1x3 ≡ ∀x1 → h ∃x1x3h (§2.1.1 R3, h = x2).
+        let q = Query::new(
+            3,
+            [Expr::universal(varset![1], v(2)), Expr::conj(varset![1, 3])],
+        )
+        .unwrap();
+        let nf = q.normal_form();
+        assert!(nf.existentials().contains(&varset![1, 2, 3]));
+        // Guarantee of ∀x1→x2 is ∃x1x2, dominated by ∃x1x2x3.
+        assert_eq!(nf.existentials().len(), 1);
+    }
+
+    #[test]
+    fn closure_is_fixpoint_through_chains() {
+        // x1 → x2, x2 → x3: closing {x1} adds both heads.
+        let q = Query::new(
+            3,
+            [
+                Expr::universal(varset![1], v(2)),
+                Expr::universal(varset![2], v(3)),
+            ],
+        )
+        .unwrap();
+        let nf = q.normal_form();
+        assert_eq!(nf.close(&varset![1]), varset![1, 2, 3]);
+        assert_eq!(nf.close(&varset![3]), varset![3]);
+    }
+
+    #[test]
+    fn paper_example_normalization_matches_section_3_2_2() {
+        // Query (2): the normalized dominant conjunctions are
+        // ∃x1x4x5 ∃x1x2x3x6 ∃x2x3x4x5 ∃x1x2x5x6 ∃x2x3x5x6.
+        let q = crate::query::tests::paper_example();
+        let nf = q.normal_form();
+        let expected: BTreeSet<VarSet> = [
+            varset![1, 4, 5],
+            varset![1, 2, 3, 6],
+            varset![2, 3, 4, 5],
+            varset![1, 2, 5, 6],
+            varset![2, 3, 5, 6],
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(nf.existentials(), &expected);
+        assert_eq!(nf.universals().len(), 3);
+        assert_eq!(nf.causal_density(), 2);
+    }
+
+    #[test]
+    fn guarantee_conjunction_detection() {
+        let q = crate::query::tests::paper_example();
+        let nf = q.normal_form();
+        // ∃x1x4x5 is (the closure of) the guarantee of ∀x1x4→x5.
+        assert!(nf.is_guarantee_conjunction(&varset![1, 4, 5]));
+        // ∃x1x2x3x6 is a user conjunction, not a guarantee closure.
+        assert!(!nf.is_guarantee_conjunction(&varset![1, 2, 3, 6]));
+    }
+
+    #[test]
+    fn to_query_is_semantically_equivalent_exhaustive() {
+        let queries = [
+            crate::query::tests::paper_example(),
+            Query::new(
+                3,
+                [
+                    Expr::universal(varset![1], v(3)),
+                    Expr::conj(varset![2]),
+                    Expr::existential_horn(varset![2], v(1)),
+                ],
+            )
+            .unwrap(),
+        ];
+        for q in queries {
+            let canon = q.normal_form().to_query();
+            if q.arity() <= 3 {
+                for obj in all_objects(q.arity()) {
+                    assert_eq!(q.accepts(&obj), canon.accepts(&obj), "differ on {obj}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bodyless_universal_dominates_all_bodies_of_same_head() {
+        let q = Query::new(
+            3,
+            [
+                Expr::universal_bodyless(v(3)),
+                Expr::universal(varset![1], v(3)),
+            ],
+        )
+        .unwrap();
+        let nf = q.normal_form();
+        assert_eq!(nf.universals().len(), 1);
+        assert!(nf.universals().contains(&(VarSet::new(), v(3))));
+        assert_eq!(nf.bodies_of(v(3)), vec![VarSet::new()]);
+    }
+
+    #[test]
+    fn empty_query_normal_form() {
+        let nf = Query::empty(3).normal_form();
+        assert!(nf.universals().is_empty());
+        assert!(nf.existentials().is_empty());
+        assert_eq!(nf.causal_density(), 0);
+        assert_eq!(nf.to_query(), Query::empty(3));
+    }
+}

@@ -1,0 +1,443 @@
+//! Variables and variable sets.
+//!
+//! Propositions over the embedded relation are abstracted into Boolean
+//! variables `x1, ..., xn` (§2 of the paper). Internally variables are
+//! 0-based indices ([`VarId`]); the `Display` impl and the
+//! [`VarId::from_one_based`]/[`VarId::one_based`] helpers use the paper's
+//! 1-based `x1..xn` convention.
+//!
+//! [`VarSet`] is a growable bitset used pervasively: Horn-expression bodies,
+//! conjunction variable sets, true-sets of Boolean tuples, lattice
+//! bookkeeping. It is kept in a canonical form (no trailing zero words) so
+//! that `Eq`/`Ord`/`Hash` are structural.
+
+use std::fmt;
+
+/// Identifier of a Boolean variable (0-based).
+///
+/// `VarId(0)` corresponds to the paper's `x1`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct VarId(pub u16);
+
+impl VarId {
+    /// Builds a `VarId` from the paper's 1-based index (`x1` → `from_one_based(1)`).
+    ///
+    /// # Panics
+    /// Panics if `i == 0`.
+    #[must_use]
+    pub fn from_one_based(i: u16) -> Self {
+        assert!(i > 0, "one-based variable indices start at 1");
+        VarId(i - 1)
+    }
+
+    /// The paper's 1-based index of this variable.
+    #[must_use]
+    pub fn one_based(self) -> u16 {
+        self.0 + 1
+    }
+
+    /// The 0-based index.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for VarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.one_based())
+    }
+}
+
+impl From<u16> for VarId {
+    fn from(i: u16) -> Self {
+        VarId(i)
+    }
+}
+
+/// A set of Boolean variables, stored as a bitset.
+///
+/// The representation is canonical: trailing all-zero words are trimmed, so
+/// two `VarSet`s are `==` iff they contain the same variables, regardless of
+/// how they were built.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct VarSet {
+    words: Vec<u64>,
+}
+
+impl VarSet {
+    /// The empty set.
+    #[must_use]
+    pub fn new() -> Self {
+        VarSet { words: Vec::new() }
+    }
+
+    /// A singleton set.
+    #[must_use]
+    pub fn singleton(v: VarId) -> Self {
+        let mut s = VarSet::new();
+        s.insert(v);
+        s
+    }
+
+    /// The full set `{x1, ..., xn}` over a universe of `n` variables.
+    #[must_use]
+    pub fn full(n: u16) -> Self {
+        let mut s = VarSet::new();
+        for i in 0..n {
+            s.insert(VarId(i));
+        }
+        s
+    }
+
+    /// Builds a set from 0-based indices.
+    #[must_use]
+    pub fn from_indices<I: IntoIterator<Item = u16>>(ids: I) -> Self {
+        ids.into_iter().map(VarId).collect()
+    }
+
+    /// Builds a set from the paper's 1-based indices (`[1, 4, 5]` → `{x1, x4, x5}`).
+    #[must_use]
+    pub fn from_one_based<I: IntoIterator<Item = u16>>(ids: I) -> Self {
+        ids.into_iter().map(VarId::from_one_based).collect()
+    }
+
+    fn trim(&mut self) {
+        while self.words.last() == Some(&0) {
+            self.words.pop();
+        }
+    }
+
+    /// Inserts a variable; returns `true` if it was newly added.
+    pub fn insert(&mut self, v: VarId) -> bool {
+        let (w, b) = (v.index() / 64, v.index() % 64);
+        if w >= self.words.len() {
+            self.words.resize(w + 1, 0);
+        }
+        let had = self.words[w] & (1 << b) != 0;
+        self.words[w] |= 1 << b;
+        !had
+    }
+
+    /// Removes a variable; returns `true` if it was present.
+    pub fn remove(&mut self, v: VarId) -> bool {
+        let (w, b) = (v.index() / 64, v.index() % 64);
+        if w >= self.words.len() {
+            return false;
+        }
+        let had = self.words[w] & (1 << b) != 0;
+        self.words[w] &= !(1 << b);
+        self.trim();
+        had
+    }
+
+    /// Membership test.
+    #[must_use]
+    pub fn contains(&self, v: VarId) -> bool {
+        let (w, b) = (v.index() / 64, v.index() % 64);
+        w < self.words.len() && self.words[w] & (1 << b) != 0
+    }
+
+    /// Number of variables in the set.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// `true` iff the set is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Set union.
+    #[must_use]
+    pub fn union(&self, other: &VarSet) -> VarSet {
+        let mut words = vec![0u64; self.words.len().max(other.words.len())];
+        for (i, w) in words.iter_mut().enumerate() {
+            *w = self.words.get(i).copied().unwrap_or(0) | other.words.get(i).copied().unwrap_or(0);
+        }
+        let mut s = VarSet { words };
+        s.trim();
+        s
+    }
+
+    /// Set intersection.
+    #[must_use]
+    pub fn intersection(&self, other: &VarSet) -> VarSet {
+        let mut words = vec![0u64; self.words.len().min(other.words.len())];
+        for (i, w) in words.iter_mut().enumerate() {
+            *w = self.words[i] & other.words[i];
+        }
+        let mut s = VarSet { words };
+        s.trim();
+        s
+    }
+
+    /// Set difference `self − other`.
+    #[must_use]
+    pub fn difference(&self, other: &VarSet) -> VarSet {
+        let mut words = self.words.clone();
+        for (i, w) in words.iter_mut().enumerate() {
+            *w &= !other.words.get(i).copied().unwrap_or(0);
+        }
+        let mut s = VarSet { words };
+        s.trim();
+        s
+    }
+
+    /// Symmetric difference.
+    #[must_use]
+    pub fn symmetric_difference(&self, other: &VarSet) -> VarSet {
+        let mut words = vec![0u64; self.words.len().max(other.words.len())];
+        for (i, w) in words.iter_mut().enumerate() {
+            *w = self.words.get(i).copied().unwrap_or(0) ^ other.words.get(i).copied().unwrap_or(0);
+        }
+        let mut s = VarSet { words };
+        s.trim();
+        s
+    }
+
+    /// `true` iff `self ⊆ other`.
+    #[must_use]
+    pub fn is_subset(&self, other: &VarSet) -> bool {
+        self.words.iter().enumerate().all(|(i, w)| {
+            let o = other.words.get(i).copied().unwrap_or(0);
+            w & !o == 0
+        })
+    }
+
+    /// `true` iff `self ⊇ other`.
+    #[must_use]
+    pub fn is_superset(&self, other: &VarSet) -> bool {
+        other.is_subset(self)
+    }
+
+    /// `true` iff the sets share no variable.
+    #[must_use]
+    pub fn is_disjoint(&self, other: &VarSet) -> bool {
+        self.words
+            .iter()
+            .zip(other.words.iter())
+            .all(|(a, b)| a & b == 0)
+    }
+
+    /// `true` iff the sets intersect.
+    #[must_use]
+    pub fn intersects(&self, other: &VarSet) -> bool {
+        !self.is_disjoint(other)
+    }
+
+    /// Iterates the variables in increasing index order.
+    pub fn iter(&self) -> impl Iterator<Item = VarId> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let base = (wi * 64) as u32;
+            BitIter { word: w, base }
+        })
+    }
+
+    /// The smallest variable, if any.
+    ///
+    /// Named `first` (not `min`) to avoid clashing with `Ord::min`.
+    #[must_use]
+    pub fn first(&self) -> Option<VarId> {
+        self.iter().next()
+    }
+
+    /// Collects into a sorted `Vec<VarId>`.
+    #[must_use]
+    pub fn to_vec(&self) -> Vec<VarId> {
+        self.iter().collect()
+    }
+
+    /// Returns the set with `v` inserted (functional update).
+    #[must_use]
+    pub fn with(&self, v: VarId) -> VarSet {
+        let mut s = self.clone();
+        s.insert(v);
+        s
+    }
+
+    /// Returns the set with `v` removed (functional update).
+    #[must_use]
+    pub fn without(&self, v: VarId) -> VarSet {
+        let mut s = self.clone();
+        s.remove(v);
+        s
+    }
+}
+
+struct BitIter {
+    word: u64,
+    base: u32,
+}
+
+impl Iterator for BitIter {
+    type Item = VarId;
+    fn next(&mut self) -> Option<VarId> {
+        if self.word == 0 {
+            return None;
+        }
+        let tz = self.word.trailing_zeros();
+        self.word &= self.word - 1;
+        Some(VarId((self.base + tz) as u16))
+    }
+}
+
+impl FromIterator<VarId> for VarSet {
+    fn from_iter<I: IntoIterator<Item = VarId>>(iter: I) -> Self {
+        let mut s = VarSet::new();
+        for v in iter {
+            s.insert(v);
+        }
+        s
+    }
+}
+
+impl<'a> IntoIterator for &'a VarSet {
+    type Item = VarId;
+    type IntoIter = Box<dyn Iterator<Item = VarId> + 'a>;
+    fn into_iter(self) -> Self::IntoIter {
+        Box::new(self.iter())
+    }
+}
+
+impl fmt::Display for VarSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, v) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl fmt::Debug for VarSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+/// Convenience macro: `varset![1, 4, 5]` builds `{x1, x4, x5}` using the
+/// paper's 1-based naming.
+#[macro_export]
+macro_rules! varset {
+    ($($i:expr),* $(,)?) => {
+        $crate::VarSet::from_one_based([$($i),*])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_based_round_trip() {
+        let v = VarId::from_one_based(4);
+        assert_eq!(v.index(), 3);
+        assert_eq!(v.one_based(), 4);
+        assert_eq!(v.to_string(), "x4");
+    }
+
+    #[test]
+    #[should_panic(expected = "one-based")]
+    fn one_based_zero_panics() {
+        let _ = VarId::from_one_based(0);
+    }
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = VarSet::new();
+        assert!(s.insert(VarId(3)));
+        assert!(!s.insert(VarId(3)));
+        assert!(s.contains(VarId(3)));
+        assert!(!s.contains(VarId(2)));
+        assert!(s.remove(VarId(3)));
+        assert!(!s.remove(VarId(3)));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn canonical_after_remove_high_bit() {
+        let mut s = VarSet::new();
+        s.insert(VarId(100));
+        s.remove(VarId(100));
+        assert_eq!(s, VarSet::new());
+        let mut h = std::collections::HashSet::new();
+        h.insert(s);
+        h.insert(VarSet::new());
+        assert_eq!(h.len(), 1);
+    }
+
+    #[test]
+    fn set_operations() {
+        let a = VarSet::from_indices([0, 1, 2, 70]);
+        let b = VarSet::from_indices([2, 3, 70]);
+        assert_eq!(a.union(&b), VarSet::from_indices([0, 1, 2, 3, 70]));
+        assert_eq!(a.intersection(&b), VarSet::from_indices([2, 70]));
+        assert_eq!(a.difference(&b), VarSet::from_indices([0, 1]));
+        assert_eq!(a.symmetric_difference(&b), VarSet::from_indices([0, 1, 3]));
+    }
+
+    #[test]
+    fn subset_disjoint() {
+        let a = VarSet::from_indices([1, 2]);
+        let b = VarSet::from_indices([1, 2, 3]);
+        let c = VarSet::from_indices([5, 64]);
+        assert!(a.is_subset(&b));
+        assert!(!b.is_subset(&a));
+        assert!(b.is_superset(&a));
+        assert!(a.is_disjoint(&c));
+        assert!(a.intersects(&b));
+        assert!(VarSet::new().is_subset(&a));
+        assert!(VarSet::new().is_disjoint(&a));
+    }
+
+    #[test]
+    fn subset_across_word_lengths() {
+        let small = VarSet::from_indices([1]);
+        let big = VarSet::from_indices([1, 130]);
+        assert!(small.is_subset(&big));
+        assert!(!big.is_subset(&small));
+        assert!(big.is_superset(&small));
+    }
+
+    #[test]
+    fn iteration_order_and_len() {
+        let s = VarSet::from_indices([65, 0, 3]);
+        assert_eq!(s.len(), 3);
+        assert_eq!(
+            s.to_vec(),
+            vec![VarId(0), VarId(3), VarId(65)],
+            "iteration is in increasing order"
+        );
+        assert_eq!(s.first(), Some(VarId(0)));
+    }
+
+    #[test]
+    fn full_universe() {
+        let s = VarSet::full(130);
+        assert_eq!(s.len(), 130);
+        assert!(s.contains(VarId(129)));
+        assert!(!s.contains(VarId(130)));
+    }
+
+    #[test]
+    fn display_uses_one_based_names() {
+        let s = varset![1, 4, 5];
+        assert_eq!(s.to_string(), "{x1, x4, x5}");
+    }
+
+    #[test]
+    fn functional_updates() {
+        let s = varset![1, 2];
+        assert_eq!(s.with(VarId::from_one_based(3)), varset![1, 2, 3]);
+        assert_eq!(s.without(VarId::from_one_based(2)), varset![1]);
+        assert_eq!(s, varset![1, 2], "original untouched");
+    }
+}

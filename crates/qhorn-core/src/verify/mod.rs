@@ -1,0 +1,30 @@
+//! Query verification (§4): deciding whether a *given* role-preserving
+//! query matches the user's intent with O(k) membership questions.
+//!
+//! Learning is a search problem; verification is the decision problem. For
+//! a given query `qg` the verifier builds a **verification set** — the six
+//! question families of Fig. 6 — with the property (Theorem 4.2) that any
+//! role-preserving intent `qi` semantically different from `qg` disagrees
+//! with `qg` on at least one question in the set.
+//!
+//! ```
+//! use qhorn_core::{verify::VerificationSet, oracle::QueryOracle, Expr, Query, VarId, varset};
+//!
+//! let given = Query::new(2, [Expr::universal(varset![1], VarId::from_one_based(2))]).unwrap();
+//! let set = VerificationSet::build(&given).unwrap();
+//!
+//! // A user who intended exactly `given` confirms every question…
+//! let mut same = QueryOracle::new(given.clone());
+//! assert!(set.verify(&mut same).is_verified());
+//!
+//! // …while a user who intended something else is caught.
+//! let other = Query::new(2, [Expr::conj(varset![1, 2])]).unwrap();
+//! let mut different = QueryOracle::new(other);
+//! assert!(!set.verify(&mut different).is_verified());
+//! ```
+
+mod check;
+mod set;
+
+pub use check::{Discrepancy, VerificationOutcome};
+pub use set::{QuestionKind, VerificationQuestion, VerificationSet};

@@ -1,0 +1,522 @@
+//! Verification-set construction — the six membership-question families of
+//! Fig. 6.
+//!
+//! All questions are built from the *normalized* given query (dominant
+//! expressions only, §4.1). Expected labels:
+//!
+//! | kind | expected    | detects (Thm 4.2)                                   |
+//! |------|-------------|------------------------------------------------------|
+//! | A1   | answer      | intent with extra/incomparable conjunctions (Lem 4.3) |
+//! | N1   | non-answer  | intent with more specific conjunctions (Lem 4.3)      |
+//! | A2   | answer      | intent with a smaller body for a head (Lem 4.4)       |
+//! | N2   | non-answer  | intent with a larger body for a head (Lem 4.5)        |
+//! | A3   | answer      | intent with an extra incomparable body (Lem 4.6)      |
+//! | A4   | answer      | intent where a non-head is actually a head (Lem 4.7)  |
+
+use crate::lattice::{choice_product, violates_any};
+use crate::object::{Obj, Response};
+use crate::query::classes::{validate_role_preserving, ClassError};
+use crate::query::distinguish::{existential_tuple, universal_tuple};
+use crate::query::{NormalForm, Query};
+use crate::tuple::BoolTuple;
+use crate::var::{VarId, VarSet};
+use std::fmt;
+
+/// Which Fig. 6 family a verification question belongs to.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum QuestionKind {
+    /// All dominant existential distinguishing tuples in one object.
+    A1,
+    /// One dominant existential tuple replaced by its children.
+    N1,
+    /// All-true tuple plus the children of a universal distinguishing tuple.
+    A2,
+    /// All-true tuple plus a universal distinguishing tuple.
+    N2,
+    /// Search roots for additional bodies inside a dominating conjunction.
+    A3,
+    /// All-true tuple plus one almost-true tuple per non-head variable.
+    A4,
+}
+
+impl QuestionKind {
+    /// The label a user whose intent equals the given query must assign.
+    #[must_use]
+    pub fn expected(self) -> Response {
+        match self {
+            QuestionKind::N1 | QuestionKind::N2 => Response::NonAnswer,
+            _ => Response::Answer,
+        }
+    }
+}
+
+impl fmt::Display for QuestionKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            QuestionKind::A1 => "A1",
+            QuestionKind::N1 => "N1",
+            QuestionKind::A2 => "A2",
+            QuestionKind::N2 => "N2",
+            QuestionKind::A3 => "A3",
+            QuestionKind::A4 => "A4",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One membership question of a verification set, with its expected label.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct VerificationQuestion {
+    /// Fig. 6 family.
+    pub kind: QuestionKind,
+    /// The object to show the user.
+    pub question: Obj,
+    /// The label implied by the given query.
+    pub expected: Response,
+    /// Human-readable provenance (which expression the question probes).
+    pub about: String,
+}
+
+/// The verification set of a role-preserving query (Fig. 6): O(k)
+/// membership questions that surface any semantic difference from the
+/// user's intent (Theorem 4.2).
+#[derive(Clone, Debug)]
+pub struct VerificationSet {
+    n: u16,
+    given: Query,
+    items: Vec<VerificationQuestion>,
+}
+
+impl VerificationSet {
+    /// Builds the verification set for `given`.
+    ///
+    /// # Errors
+    /// [`ClassError`] if `given` is not role-preserving (qhorn-1 queries
+    /// are, so both learnable classes are supported — footnote 2).
+    pub fn build(given: &Query) -> Result<Self, ClassError> {
+        validate_role_preserving(given)?;
+        let n = given.arity();
+        let nf = given.normal_form();
+        let heads = nf.universal_heads();
+        let top = BoolTuple::all_true(n);
+        let universals: Vec<(VarSet, VarId)> = nf.universals().iter().cloned().collect();
+        let mut items = Vec::new();
+
+        // ---- A1: all dominant existential distinguishing tuples. -------
+        let a1_tuples: Vec<BoolTuple> = nf
+            .existentials()
+            .iter()
+            .map(|c| existential_tuple(n, c))
+            .collect();
+        if !a1_tuples.is_empty() {
+            items.push(VerificationQuestion {
+                kind: QuestionKind::A1,
+                question: Obj::new(n, a1_tuples.iter().cloned()),
+                expected: Response::Answer,
+                about: "all dominant existential distinguishing tuples".to_string(),
+            });
+        }
+
+        // ---- N1: drop one non-guarantee tuple to its children. ---------
+        for conj in nf.existentials() {
+            if nf.is_guarantee_conjunction(conj) {
+                continue;
+            }
+            let dt = existential_tuple(n, conj);
+            let children: Vec<BoolTuple> = dt
+                .children()
+                .into_iter()
+                .filter(|c| !violates_any(c, universals.iter()))
+                .collect();
+            let tuples = a1_tuples
+                .iter()
+                .filter(|t| *t != &dt)
+                .cloned()
+                .chain(children);
+            items.push(VerificationQuestion {
+                kind: QuestionKind::N1,
+                question: Obj::new(n, tuples),
+                expected: Response::NonAnswer,
+                about: format!("∃{} replaced by its children", fmt_vars(conj)),
+            });
+        }
+
+        // ---- A2 / N2: per dominant universal Horn expression. -----------
+        for (body, head) in &universals {
+            let dt = universal_tuple(n, body, *head, &heads);
+            if !body.is_empty() {
+                // A2: children flip one body variable (other heads stay true).
+                let children = body.iter().map(|b| dt.with(b, false));
+                items.push(VerificationQuestion {
+                    kind: QuestionKind::A2,
+                    question: Obj::new(n, std::iter::once(top.clone()).chain(children)),
+                    expected: Response::Answer,
+                    about: format!("children of the distinguishing tuple of ∀{} → {head}", fmt_vars(body)),
+                });
+            }
+            items.push(VerificationQuestion {
+                kind: QuestionKind::N2,
+                question: Obj::new(n, [top.clone(), dt]),
+                expected: Response::NonAnswer,
+                about: format!("distinguishing tuple of ∀{} → {head}", fmt_vars(body)),
+            });
+        }
+
+        // ---- A3: search roots for missing bodies inside conjunctions. --
+        // One question per (dominant conjunction C, head h ∈ C) such that C
+        // *strictly* dominates the guarantee clause of some body of h — the
+        // "∃x2x3x4x5 dominates ∃x3x4x5" condition of §4.2. (The worked
+        // example lists only its x5 question; Theorem 4.2's case 2(b)(ii)
+        // needs the rule applied to every such pair, which we do.)
+        for conj in nf.existentials() {
+            for head in heads.iter().filter(|h| conj.contains(*h)) {
+                let bodies_in: Vec<VarSet> = nf
+                    .bodies_of(head)
+                    .into_iter()
+                    .filter(|b| b.is_subset(conj))
+                    .collect();
+                let strictly_dominates = bodies_in
+                    .iter()
+                    .any(|b| &nf.close(&b.with(head)) != conj);
+                if bodies_in.is_empty()
+                    || bodies_in.iter().any(VarSet::is_empty)
+                    || !strictly_dominates
+                {
+                    // No guarantee strictly dominated by this conjunction,
+                    // or the head is bodyless (∅ dominates every body).
+                    continue;
+                }
+                let outside: Vec<VarSet> = nf
+                    .bodies_of(head)
+                    .into_iter()
+                    .filter(|b| !b.is_subset(conj))
+                    .collect();
+                let roots: Vec<BoolTuple> = choice_product(&bodies_in)
+                    .map(|choice| {
+                        let mut t = top.with(head, false).with_all(&choice, false);
+                        // Break any remaining body of h that is still fully
+                        // true by clearing its outside-C variables (keeps
+                        // every C variable other than the choice true —
+                        // e.g. 010101 vs 111001 in §4.2).
+                        while let Some(b) = outside.iter().find(|b| t.satisfies_all(b)) {
+                            t = t.with_all(&b.difference(conj), false);
+                        }
+                        t
+                    })
+                    .collect();
+                items.push(VerificationQuestion {
+                    kind: QuestionKind::A3,
+                    question: Obj::new(n, std::iter::once(top.clone()).chain(roots)),
+                    expected: Response::Answer,
+                    about: format!(
+                        "search roots for additional bodies of {head} within ∃{}",
+                        fmt_vars(conj)
+                    ),
+                });
+            }
+        }
+
+        // ---- A4: every non-head variable could secretly be a head. -----
+        let non_heads = VarSet::full(n).difference(&heads);
+        items.push(VerificationQuestion {
+            kind: QuestionKind::A4,
+            question: Obj::new(
+                n,
+                std::iter::once(top.clone()).chain(non_heads.iter().map(|x| top.with(x, false))),
+            ),
+            expected: Response::Answer,
+            about: "one almost-true tuple per non-head variable".to_string(),
+        });
+
+        let set = VerificationSet { n, given: given.clone(), items };
+        debug_assert!(set.self_consistent(&nf), "expected labels must match the given query");
+        Ok(set)
+    }
+
+    /// Arity of the underlying query.
+    #[must_use]
+    pub fn arity(&self) -> u16 {
+        self.n
+    }
+
+    /// The query being verified.
+    #[must_use]
+    pub fn given(&self) -> &Query {
+        &self.given
+    }
+
+    /// The questions, grouped A1, N1*, (A2, N2)*, A3*, A4.
+    #[must_use]
+    pub fn questions(&self) -> &[VerificationQuestion] {
+        &self.items
+    }
+
+    /// Number of membership questions (O(k), §4).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// `true` if the set is empty (only possible for the empty query).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Questions of one kind.
+    pub fn of_kind(&self, kind: QuestionKind) -> impl Iterator<Item = &VerificationQuestion> {
+        self.items.iter().filter(move |i| i.kind == kind)
+    }
+
+    /// Internal invariant: the given query itself labels every question as
+    /// expected (a correct user whose intent equals `given` verifies).
+    fn self_consistent(&self, _nf: &NormalForm) -> bool {
+        self.items
+            .iter()
+            .all(|i| self.given.eval(&i.question) == i.expected)
+    }
+}
+
+fn fmt_vars(vs: &VarSet) -> String {
+    vs.iter().map(|v| v.to_string()).collect::<Vec<_>>().join("")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::Expr;
+    use crate::varset;
+    use std::collections::BTreeSet;
+
+    fn v(i: u16) -> VarId {
+        VarId::from_one_based(i)
+    }
+
+    fn bits(o: &Obj) -> BTreeSet<String> {
+        o.tuples().iter().map(BoolTuple::to_bits).collect()
+    }
+
+    fn set_for_paper_example() -> VerificationSet {
+        VerificationSet::build(&crate::query::tests::paper_example()).unwrap()
+    }
+
+    #[test]
+    fn a1_matches_section_4_2() {
+        let set = set_for_paper_example();
+        let a1: Vec<_> = set.of_kind(QuestionKind::A1).collect();
+        assert_eq!(a1.len(), 1);
+        let expected: BTreeSet<String> = ["111001", "011110", "110011", "011011", "100110"]
+            .into_iter()
+            .map(String::from)
+            .collect();
+        assert_eq!(bits(&a1[0].question), expected);
+    }
+
+    #[test]
+    fn n1_matches_section_4_2() {
+        // Four N1 questions (100110 is a guarantee clause and is skipped).
+        let set = set_for_paper_example();
+        let n1: Vec<_> = set.of_kind(QuestionKind::N1).collect();
+        assert_eq!(n1.len(), 4);
+        // The question for ∃x2x3x5x6 (tuple 011011) from §4.2 [N1].
+        let expected: BTreeSet<String> = [
+            "111001", "011110", "110011", // other A1 tuples
+            "011010", "011001", "010011", "001011", // children of 011011
+            "100110", // guarantee tuple from A1
+        ]
+        .into_iter()
+        .map(String::from)
+        .collect();
+        let found = n1
+            .iter()
+            .find(|q| q.about.contains("x2x3x5x6"))
+            .expect("question for ∃x2x3x5x6");
+        assert_eq!(bits(&found.question), expected);
+    }
+
+    #[test]
+    fn n1_respects_universal_violations() {
+        // §4.2 [N1] for ∃x1x2x3(x6): children are 110001, 101001, 011001 —
+        // flipping x6 would violate ∀x1x2→x6 and is excluded.
+        let set = set_for_paper_example();
+        let found = set
+            .of_kind(QuestionKind::N1)
+            .find(|q| q.about.contains("x1x2x3x6"))
+            .unwrap();
+        let b = bits(&found.question);
+        assert!(b.contains("110001"));
+        assert!(b.contains("101001"));
+        assert!(b.contains("011001"));
+        assert!(!b.contains("111000"), "child violating ∀x1x2→x6 excluded");
+    }
+
+    #[test]
+    fn a2_matches_section_4_2() {
+        let set = set_for_paper_example();
+        let a2: Vec<_> = set.of_kind(QuestionKind::A2).collect();
+        assert_eq!(a2.len(), 3);
+        // ∀x1x4→x5: {111111, 100001? — children of 100101 flipping x1/x4:
+        // 000101 and 100001}.
+        let q = a2.iter().find(|q| q.about.contains("x1x4")).unwrap();
+        let expected: BTreeSet<String> =
+            ["111111", "000101", "100001"].into_iter().map(String::from).collect();
+        assert_eq!(bits(&q.question), expected);
+    }
+
+    #[test]
+    fn n2_matches_section_4_2() {
+        let set = set_for_paper_example();
+        let n2: Vec<_> = set.of_kind(QuestionKind::N2).collect();
+        assert_eq!(n2.len(), 3);
+        let q = n2.iter().find(|q| q.about.contains("x1x2")).unwrap();
+        let expected: BTreeSet<String> = ["111111", "110010"].into_iter().map(String::from).collect();
+        assert_eq!(bits(&q.question), expected);
+    }
+
+    #[test]
+    fn a3_matches_section_4_2() {
+        // ∃x2x3x4x5 dominates the guarantee of ∀x3x4→x5; §4.2 shows the
+        // question {111111, 010101, 111001}. (The worked example lists only
+        // this question; the Fig. 6 rule applied to every (conjunction,
+        // head) pair also yields two x6 questions, which completeness
+        // requires — see DESIGN.md §3.)
+        let set = set_for_paper_example();
+        let a3: Vec<_> = set.of_kind(QuestionKind::A3).collect();
+        let x5 = a3
+            .iter()
+            .find(|q| q.about.contains("x5 within ∃x2x3x4x5"))
+            .expect("the paper's A3 question");
+        let expected: BTreeSet<String> =
+            ["111111", "010101", "111001"].into_iter().map(String::from).collect();
+        assert_eq!(bits(&x5.question), expected);
+        // The two x6 questions (∃x1x2x3x6 and ∃x1x2x5x6 strictly dominate
+        // the guarantee ∃x1x2x6 of ∀x1x2→x6).
+        assert_eq!(a3.len(), 3);
+        assert!(a3.iter().all(|q| q.expected == Response::Answer));
+        // ∃x1x4x5 equals its own guarantee clause — no A3 question for it.
+        assert!(!a3.iter().any(|q| q.about.contains("∃x1x4x5")));
+    }
+
+    #[test]
+    fn a4_matches_section_4_2() {
+        let set = set_for_paper_example();
+        let a4: Vec<_> = set.of_kind(QuestionKind::A4).collect();
+        assert_eq!(a4.len(), 1);
+        let expected: BTreeSet<String> =
+            ["111111", "011111", "101111", "110111", "111011"]
+                .into_iter()
+                .map(String::from)
+                .collect();
+        assert_eq!(bits(&a4[0].question), expected);
+    }
+
+    #[test]
+    fn expected_labels_follow_kind() {
+        let set = set_for_paper_example();
+        for item in set.questions() {
+            assert_eq!(item.expected, item.kind.expected());
+        }
+    }
+
+    #[test]
+    fn self_consistency_for_enumerated_queries() {
+        // A user whose intent equals the given query confirms every
+        // question — for every role-preserving query on 2 variables.
+        for q in crate::query::generate::enumerate_role_preserving(2, true) {
+            let set = VerificationSet::build(&q).unwrap();
+            for item in set.questions() {
+                assert_eq!(
+                    q.eval(&item.question),
+                    item.expected,
+                    "query {q}, {} question {} about {}",
+                    item.kind,
+                    item.question,
+                    item.about
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn non_role_preserving_rejected() {
+        let alias = Query::new(
+            2,
+            [Expr::universal(varset![1], v(2)), Expr::universal(varset![2], v(1))],
+        )
+        .unwrap();
+        assert!(VerificationSet::build(&alias).is_err());
+    }
+
+    #[test]
+    fn bodyless_heads_have_n2_but_no_a2() {
+        // ∀x1 has no body variables to flip: A2 would be vacuous ({1^n}
+        // alone) and is omitted; N2 carries the detection burden
+        // (Lemma 4.5 never applies to ∅ ⊂ B since every body ⊃ ∅).
+        let q = Query::new(2, [Expr::universal_bodyless(v(1)), Expr::conj(varset![2])]).unwrap();
+        let set = VerificationSet::build(&q).unwrap();
+        assert_eq!(set.of_kind(QuestionKind::A2).count(), 0);
+        assert_eq!(set.of_kind(QuestionKind::N2).count(), 1);
+    }
+
+    #[test]
+    fn n1_skips_guarantee_only_conjunctions_everywhere() {
+        // For every enumerated 2-var query: N1 questions exist only for
+        // dominant conjunctions that are not pure guarantee closures.
+        for q in crate::query::generate::enumerate_role_preserving(2, true) {
+            let nf = q.normal_form();
+            let set = VerificationSet::build(&q).unwrap();
+            let expected = nf
+                .existentials()
+                .iter()
+                .filter(|c| !nf.is_guarantee_conjunction(c))
+                .count();
+            assert_eq!(set.of_kind(QuestionKind::N1).count(), expected, "{q}");
+        }
+    }
+
+    #[test]
+    fn question_tuple_counts_match_fig6_orders() {
+        // Fig. 6's tuples-per-question column: A1 is one question with k_e
+        // tuples; N2 questions have exactly 2 tuples; A2 ≤ |body| + 1;
+        // A4 has #non-heads + 1.
+        let q = crate::query::tests::paper_example();
+        let nf = q.normal_form();
+        let set = VerificationSet::build(&q).unwrap();
+        for item in set.questions() {
+            match item.kind {
+                QuestionKind::A1 => assert_eq!(item.question.len(), nf.existentials().len()),
+                QuestionKind::N2 => assert_eq!(item.question.len(), 2),
+                QuestionKind::A2 => assert!(item.question.len() <= 3, "1^n + ≤2 children"),
+                QuestionKind::A4 => {
+                    let non_heads = 6 - nf.universal_heads().len();
+                    assert_eq!(item.question.len(), non_heads + 1);
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn empty_query_has_minimal_set() {
+        let q = Query::empty(2);
+        let set = VerificationSet::build(&q).unwrap();
+        // No conjunctions → no A1/N1; no universals → no A2/N2/A3; A4
+        // remains and detects any intent with a universal head.
+        assert_eq!(set.len(), 1);
+        assert_eq!(set.questions()[0].kind, QuestionKind::A4);
+        let intent = Query::new(2, [Expr::universal_bodyless(v(1))]).unwrap();
+        let mut user = crate::oracle::QueryOracle::new(intent);
+        assert!(!set.verify(&mut user).is_verified());
+    }
+
+    #[test]
+    fn size_is_linear_in_query_size() {
+        // O(k) questions (§4): A1 + N1(≤k) + A2/N2 (≤2k) + A3(≤k·heads) + A4.
+        let q = crate::query::tests::paper_example();
+        let set = VerificationSet::build(&q).unwrap();
+        let k = q.normal_form().existentials().len() + q.normal_form().universals().len();
+        assert!(set.len() <= 4 * k + 2, "|set| = {} vs k = {k}", set.len());
+        assert!(!set.is_empty());
+    }
+}

@@ -1,0 +1,207 @@
+//! Property-based tests for the core data structures and semantic
+//! invariants (proptest).
+
+use proptest::prelude::*;
+use qhorn_core::query::generate::{all_objects, all_subsets};
+use qhorn_core::query::{classes, equiv, Expr, NormalForm, Query};
+use qhorn_core::{BoolTuple, Obj, VarId, VarSet};
+
+fn arb_varset(n: u16) -> impl Strategy<Value = VarSet> {
+    prop::collection::btree_set(0..n, 0..=n as usize)
+        .prop_map(|ids| ids.into_iter().map(VarId).collect())
+}
+
+fn arb_tuple(n: u16) -> impl Strategy<Value = BoolTuple> {
+    arb_varset(n).prop_map(move |s| BoolTuple::from_true_set(n, s))
+}
+
+fn arb_object(n: u16) -> impl Strategy<Value = Obj> {
+    prop::collection::vec(arb_tuple(n), 0..6).prop_map(move |ts| Obj::new(n, ts))
+}
+
+/// Random syntactic role-preserving query over `n` variables: heads are
+/// the upper variable range, bodies drawn from the lower.
+fn arb_role_preserving(n: u16) -> impl Strategy<Value = Query> {
+    let heads = n / 3 + 1;
+    let non_heads = n - heads;
+    let universal = (non_heads..n, arb_varset(non_heads))
+        .prop_map(|(h, body)| Expr::universal(body, VarId(h)));
+    let conj = arb_varset(n)
+        .prop_filter("non-empty", |s| !s.is_empty())
+        .prop_map(Expr::conj);
+    prop::collection::vec(prop_oneof![universal, conj], 0..6)
+        .prop_map(move |exprs| Query::new(n, exprs).expect("valid by construction"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // ---------------- VarSet laws ----------------
+
+    #[test]
+    fn varset_union_is_commutative_and_idempotent(a in arb_varset(40), b in arb_varset(40)) {
+        prop_assert_eq!(a.union(&b), b.union(&a));
+        prop_assert_eq!(a.union(&a), a.clone());
+        prop_assert!(a.is_subset(&a.union(&b)));
+    }
+
+    #[test]
+    fn varset_difference_laws(a in arb_varset(40), b in arb_varset(40)) {
+        let d = a.difference(&b);
+        prop_assert!(d.is_disjoint(&b));
+        prop_assert_eq!(d.union(&a.intersection(&b)), a.clone());
+        prop_assert_eq!(
+            a.symmetric_difference(&b),
+            a.difference(&b).union(&b.difference(&a))
+        );
+    }
+
+    #[test]
+    fn varset_len_inclusion_exclusion(a in arb_varset(40), b in arb_varset(40)) {
+        prop_assert_eq!(
+            a.union(&b).len() + a.intersection(&b).len(),
+            a.len() + b.len()
+        );
+    }
+
+    #[test]
+    fn varset_iteration_round_trips(a in arb_varset(70)) {
+        let back: VarSet = a.iter().collect();
+        prop_assert_eq!(back, a.clone());
+        let v = a.to_vec();
+        prop_assert!(v.windows(2).all(|w| w[0] < w[1]), "sorted, deduplicated");
+    }
+
+    // ---------------- Tuple / lattice laws ----------------
+
+    #[test]
+    fn tuple_children_parents_inverse(t in arb_tuple(10)) {
+        for c in t.children() {
+            prop_assert_eq!(c.level(), t.level() + 1);
+            prop_assert!(c.in_downset_of(&t));
+            prop_assert!(c.parents().contains(&t));
+        }
+        for p in t.parents() {
+            prop_assert!(t.in_downset_of(&p));
+        }
+    }
+
+    #[test]
+    fn tuple_bits_round_trip(t in arb_tuple(12)) {
+        prop_assert_eq!(BoolTuple::from_bits(&t.to_bits()), t);
+    }
+
+    // ---------------- Query semantics ----------------
+
+    #[test]
+    fn adding_tuples_preserves_existential_sat(q in arb_role_preserving(6), obj in arb_object(6), extra in arb_tuple(6)) {
+        // Monotonicity of the existential part: if an object is an answer
+        // and the added tuple violates no universal expression, the
+        // enlarged object is still an answer.
+        let violates = q
+            .universal_horns()
+            .any(|(b, h)| extra.satisfies_all(b) && !extra.get(h));
+        if q.accepts(&obj) && !violates {
+            prop_assert!(q.accepts(&obj.with_tuple(extra)));
+        }
+    }
+
+    #[test]
+    fn normal_form_is_idempotent(q in arb_role_preserving(6)) {
+        let nf = q.normal_form();
+        let again = nf.to_query().normal_form();
+        prop_assert_eq!(nf, again);
+    }
+
+    #[test]
+    fn normal_form_closure_is_monotone_and_idempotent(q in arb_role_preserving(6), s in arb_varset(6)) {
+        let nf = q.normal_form();
+        let c = nf.close(&s);
+        prop_assert!(s.is_subset(&c));
+        prop_assert_eq!(nf.close(&c), c);
+    }
+
+    #[test]
+    fn classification_is_monotone_under_class_inclusion(q in arb_role_preserving(6)) {
+        // Everything we generate is at least role-preserving.
+        prop_assert!(classes::is_role_preserving(&q));
+        if classes::is_qhorn1(&q) {
+            prop_assert_eq!(classes::classify(&q), qhorn_core::QueryClass::Qhorn1);
+        }
+    }
+
+    #[test]
+    fn equivalence_is_consistent_with_eval(q in arb_role_preserving(4), obj in arb_object(4)) {
+        let canon = q.normal_form().to_query();
+        prop_assert_eq!(q.accepts(&obj), canon.accepts(&obj));
+        prop_assert!(equiv::equivalent(&q, &canon));
+    }
+
+    #[test]
+    fn causal_density_bounded_by_dominant_universal_count(q in arb_role_preserving(7)) {
+        let nf = q.normal_form();
+        prop_assert!(nf.causal_density() <= nf.universals().len());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    #[test]
+    fn brute_force_agrees_with_normal_form_equivalence(
+        a in arb_role_preserving(3),
+        b in arb_role_preserving(3),
+    ) {
+        prop_assert_eq!(
+            equiv::equivalent(&a, &b),
+            equiv::equivalent_brute_force(&a, &b),
+            "Prop 4.1 violated for {} vs {}", a, b
+        );
+    }
+
+    #[test]
+    fn normal_form_existentials_are_an_antichain(q in arb_role_preserving(6)) {
+        let nf: NormalForm = q.normal_form();
+        let conjs: Vec<&VarSet> = nf.existentials().iter().collect();
+        for (i, a) in conjs.iter().enumerate() {
+            for b in conjs.iter().skip(i + 1) {
+                prop_assert!(!a.is_subset(b) && !b.is_subset(a), "{a} vs {b} comparable");
+            }
+        }
+        // And per-head bodies are an antichain too (R2).
+        for h in nf.universal_heads().iter() {
+            let bodies = nf.bodies_of(h);
+            for (i, a) in bodies.iter().enumerate() {
+                for b in bodies.iter().skip(i + 1) {
+                    prop_assert!(!a.is_subset(b) && !b.is_subset(a));
+                }
+            }
+        }
+    }
+}
+
+/// Deterministic exhaustive check kept out of proptest: dominance pruning
+/// never changes acceptance on any object (n = 3, a structured query set).
+#[test]
+fn normalization_exhaustive_small() {
+    let universe = all_subsets(&VarSet::full(3));
+    for body in &universe {
+        for h in 0..3u16 {
+            let head = VarId(h);
+            if body.contains(head) {
+                continue;
+            }
+            for conj in universe.iter().filter(|c| !c.is_empty()) {
+                let q = Query::new(
+                    3,
+                    [Expr::universal(body.clone(), head), Expr::conj(conj.clone())],
+                )
+                .unwrap();
+                let canon = q.normal_form().to_query();
+                for obj in all_objects(3) {
+                    assert_eq!(q.accepts(&obj), canon.accepts(&obj), "{q} on {obj}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! Query execution over a store, with signature-level deduplication.
+
+use crate::plan::{CompiledQuery, TupleMatrix};
+use crate::storage::{ObjectId, Store};
+
+/// Execution statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Objects in the store.
+    pub objects: usize,
+    /// Distinct signatures actually evaluated.
+    pub signatures_evaluated: usize,
+    /// Objects returned as answers.
+    pub answers: usize,
+}
+
+/// Evaluates the plan against every object, returning the ids of the
+/// answers in ascending order. Objects sharing a signature are evaluated
+/// once.
+#[must_use]
+pub fn execute(plan: &CompiledQuery, store: &Store) -> Vec<ObjectId> {
+    execute_with_stats(plan, store).0
+}
+
+/// [`execute`] plus statistics.
+#[must_use]
+pub fn execute_with_stats(plan: &CompiledQuery, store: &Store) -> (Vec<ObjectId>, ExecStats) {
+    assert_eq!(plan.arity(), store.arity(), "plan/store arity mismatch");
+    let mut hits: Vec<ObjectId> = Vec::new();
+    let mut evaluated = 0usize;
+    for (signature, ids) in store.index().groups() {
+        evaluated += 1;
+        let matrix = TupleMatrix::build(signature);
+        if plan.matches_matrix(&matrix) {
+            hits.extend_from_slice(ids);
+        }
+    }
+    hits.sort_unstable();
+    let stats = ExecStats {
+        objects: store.len(),
+        signatures_evaluated: evaluated,
+        answers: hits.len(),
+    };
+    (hits, stats)
+}
+
+/// Scan-based execution without the signature index (the baseline the
+/// `eval_engine` bench compares against).
+#[must_use]
+pub fn execute_scan(plan: &CompiledQuery, store: &Store) -> Vec<ObjectId> {
+    assert_eq!(plan.arity(), store.arity());
+    store
+        .iter()
+        .filter(|(_, obj)| plan.matches(obj))
+        .map(|(id, _)| id)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qhorn_core::{Obj, Query};
+    use qhorn_lang::parse_with_arity;
+
+    fn store() -> Store {
+        let mut s = Store::new(3);
+        s.insert(Obj::from_bits("111"));
+        s.insert(Obj::from_bits("111 000"));
+        s.insert(Obj::from_bits("110 011"));
+        s.insert(Obj::from_bits("000 111")); // same signature as #1
+        s.insert(Obj::from_bits("101"));
+        s
+    }
+
+    fn plan(src: &str) -> CompiledQuery {
+        CompiledQuery::compile(&parse_with_arity(src, 3).unwrap())
+    }
+
+    #[test]
+    fn executes_universal_query() {
+        // ∀x1: answers are objects where every tuple has x1 true.
+        let (hits, stats) = execute_with_stats(&plan("all x1"), &store());
+        assert_eq!(hits, vec![ObjectId(0), ObjectId(4)]);
+        assert_eq!(stats.objects, 5);
+        assert_eq!(stats.answers, 2);
+        assert!(stats.signatures_evaluated < stats.objects, "dedup kicked in");
+    }
+
+    #[test]
+    fn executes_conjunction_query() {
+        let hits = execute(&plan("some x1 x2 x3"), &store());
+        assert_eq!(hits, vec![ObjectId(0), ObjectId(1), ObjectId(3)]);
+    }
+
+    #[test]
+    fn scan_and_indexed_agree() {
+        let s = store();
+        for src in ["all x1", "some x1 x2", "all x1 -> x2", "some x2 x3", "all x3"] {
+            let p = plan(src);
+            let mut scan = execute_scan(&p, &s);
+            scan.sort_unstable();
+            assert_eq!(execute(&p, &s), scan, "query {src}");
+        }
+    }
+
+    #[test]
+    fn empty_store() {
+        let s = Store::new(3);
+        let (hits, stats) = execute_with_stats(&plan("some x1"), &s);
+        assert!(hits.is_empty());
+        assert_eq!(stats.signatures_evaluated, 0);
+    }
+
+    #[test]
+    fn empty_query_matches_everything() {
+        let s = store();
+        let p = CompiledQuery::compile(&Query::empty(3));
+        assert_eq!(execute(&p, &s).len(), 5);
+    }
+}

@@ -1,0 +1,106 @@
+//! EXPLAIN-style output: why a stored object is (not) an answer.
+//!
+//! DataPlay's example-driven correction loop (§1) hinges on users
+//! understanding *why* a result appeared; this module pairs the engine's
+//! execution with [`qhorn_core::query::FailureReason`] so sessions can
+//! show "this box was excluded because tuple 110 violates ∀x1x2 → x6".
+
+use crate::storage::{ObjectId, Store};
+use qhorn_core::query::FailureReason;
+use qhorn_core::Query;
+use std::fmt;
+
+/// The engine's verdict on one object, with the reason for rejections.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Verdict {
+    /// The object satisfies the query.
+    Answer,
+    /// The object fails the query for this (first) reason.
+    NonAnswer(FailureReason),
+}
+
+impl Verdict {
+    /// `true` for [`Verdict::Answer`].
+    #[must_use]
+    pub fn is_answer(&self) -> bool {
+        matches!(self, Verdict::Answer)
+    }
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Verdict::Answer => f.write_str("answer"),
+            Verdict::NonAnswer(reason) => write!(f, "non-answer: {reason}"),
+        }
+    }
+}
+
+/// Explains one stored object against a query.
+///
+/// # Panics
+/// Panics on arity mismatch.
+#[must_use]
+pub fn explain(query: &Query, store: &Store, id: ObjectId) -> Verdict {
+    let obj = store.get(id);
+    match query.explain_failure(obj) {
+        None => Verdict::Answer,
+        Some(reason) => Verdict::NonAnswer(reason),
+    }
+}
+
+/// Explains every stored object, in id order.
+#[must_use]
+pub fn explain_all(query: &Query, store: &Store) -> Vec<(ObjectId, Verdict)> {
+    store.iter().map(|(id, _)| (id, explain(query, store, id))).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qhorn_core::Obj;
+    use qhorn_lang::parse_with_arity;
+
+    fn store() -> Store {
+        let mut s = Store::new(3);
+        s.insert(Obj::from_bits("111"));
+        s.insert(Obj::from_bits("110 111"));
+        s.insert(Obj::from_bits("001"));
+        s
+    }
+
+    #[test]
+    fn explains_universal_violation() {
+        let q = parse_with_arity("all x1 -> x3", 3).unwrap();
+        let v = explain(&q, &store(), ObjectId(1));
+        match &v {
+            Verdict::NonAnswer(FailureReason::UniversalViolated { tuple, .. }) => {
+                assert_eq!(tuple.to_bits(), "110");
+            }
+            other => panic!("expected a universal violation, got {other}"),
+        }
+        assert!(v.to_string().contains("violates"));
+    }
+
+    #[test]
+    fn explains_missing_witness() {
+        let q = parse_with_arity("some x1 x2", 3).unwrap();
+        let v = explain(&q, &store(), ObjectId(2));
+        assert!(matches!(v, Verdict::NonAnswer(FailureReason::MissingWitness { .. })));
+    }
+
+    #[test]
+    fn answers_have_no_reason() {
+        let q = parse_with_arity("all x1 -> x3", 3).unwrap();
+        assert!(explain(&q, &store(), ObjectId(0)).is_answer());
+    }
+
+    #[test]
+    fn explain_all_agrees_with_eval() {
+        let q = parse_with_arity("all x1 -> x3; some x2", 3).unwrap();
+        let s = store();
+        for (id, verdict) in explain_all(&q, &s) {
+            assert_eq!(verdict.is_answer(), q.accepts(s.get(id)));
+        }
+    }
+}

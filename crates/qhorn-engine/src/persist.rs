@@ -1,0 +1,135 @@
+//! JSON persistence for Boolean-domain stores and learned queries.
+//!
+//! Learned queries and labeled example stores are the durable artifacts of
+//! a DataPlay-style session; this module serializes both so sessions can
+//! resume and learned queries can be shipped to other systems.
+
+use crate::storage::Store;
+use qhorn_core::{Obj, Query};
+use std::fmt;
+
+/// Persistence failures.
+#[derive(Debug)]
+pub enum PersistError {
+    /// JSON (de)serialization failed.
+    Json(serde_json::Error),
+    /// The payload is structurally inconsistent (e.g. mixed arities).
+    Corrupt(String),
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::Json(e) => write!(f, "json error: {e}"),
+            PersistError::Corrupt(msg) => write!(f, "corrupt store payload: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<serde_json::Error> for PersistError {
+    fn from(e: serde_json::Error) -> Self {
+        PersistError::Json(e)
+    }
+}
+
+#[derive(serde::Serialize, serde::Deserialize)]
+struct StorePayload {
+    arity: u16,
+    objects: Vec<Obj>,
+}
+
+/// Serializes a store (arity + objects, ids preserved by position).
+pub fn store_to_json(store: &Store) -> Result<String, PersistError> {
+    let payload = StorePayload {
+        arity: store.arity(),
+        objects: store.iter().map(|(_, o)| o.clone()).collect(),
+    };
+    Ok(serde_json::to_string_pretty(&payload)?)
+}
+
+/// Deserializes a store; object ids are assigned in payload order, so a
+/// round trip preserves ids.
+pub fn store_from_json(json: &str) -> Result<Store, PersistError> {
+    let payload: StorePayload = serde_json::from_str(json)?;
+    let mut store = Store::new(payload.arity);
+    for obj in payload.objects {
+        if obj.arity() != payload.arity {
+            return Err(PersistError::Corrupt(format!(
+                "object arity {} ≠ store arity {}",
+                obj.arity(),
+                payload.arity
+            )));
+        }
+        store.insert(obj);
+    }
+    Ok(store)
+}
+
+/// Serializes a query (expressions + arity).
+pub fn query_to_json(query: &Query) -> Result<String, PersistError> {
+    Ok(serde_json::to_string_pretty(query)?)
+}
+
+/// Deserializes a query.
+pub fn query_from_json(json: &str) -> Result<Query, PersistError> {
+    Ok(serde_json::from_str(json)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec;
+    use crate::plan::CompiledQuery;
+    use qhorn_lang::parse_with_arity;
+
+    fn store() -> Store {
+        let mut s = Store::new(3);
+        s.insert(Obj::from_bits("111"));
+        s.insert(Obj::from_bits("110 011"));
+        s.insert(Obj::from_bits("001"));
+        s
+    }
+
+    #[test]
+    fn store_round_trips_with_ids_and_index() {
+        let original = store();
+        let json = store_to_json(&original).unwrap();
+        let loaded = store_from_json(&json).unwrap();
+        assert_eq!(loaded.len(), original.len());
+        for (id, obj) in original.iter() {
+            assert_eq!(loaded.get(id), obj);
+        }
+        // The signature index is rebuilt on load.
+        assert_eq!(
+            loaded.find_by_signature(&Obj::from_bits("011 110")),
+            original.find_by_signature(&Obj::from_bits("110 011"))
+        );
+    }
+
+    #[test]
+    fn query_round_trips_and_still_executes() {
+        let q = parse_with_arity("all x1 -> x2; some x3", 3).unwrap();
+        let json = query_to_json(&q).unwrap();
+        let loaded = query_from_json(&json).unwrap();
+        assert_eq!(loaded, q);
+        let s = store();
+        let a = exec::execute(&CompiledQuery::compile(&q), &s);
+        let b = exec::execute(&CompiledQuery::compile(&loaded), &s);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn corrupt_payloads_are_rejected() {
+        assert!(matches!(store_from_json("not json"), Err(PersistError::Json(_))));
+        // Arity mismatch inside the payload.
+        let bad = r#"{"arity": 2, "objects": [{"n": 3, "tuples": [{"n": 3, "trues": {"words": [7]}}]}]}"#;
+        match store_from_json(bad) {
+            Err(PersistError::Corrupt(msg)) => assert!(msg.contains("arity")),
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+        let err = query_from_json("{}").unwrap_err();
+        assert!(err.to_string().contains("json"));
+    }
+}

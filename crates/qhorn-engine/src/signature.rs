@@ -1,0 +1,67 @@
+//! Signature index: grouping stored objects by their distinct Boolean
+//! tuple sets.
+//!
+//! Query semantics depend only on an object's *set* of Boolean tuples (its
+//! signature), so objects sharing a signature evaluate identically. The
+//! index powers (a) evaluate-once-per-signature execution ([`crate::exec`])
+//! and (b) finding a real stored object realizing a learner's membership
+//! question ([`crate::session`]).
+
+use crate::storage::ObjectId;
+use qhorn_core::Obj;
+use std::collections::HashMap;
+
+/// Map from signature (the canonical `Obj` itself — sorted, deduplicated)
+/// to the ids of the objects sharing it.
+#[derive(Clone, Debug, Default)]
+pub struct SignatureIndex {
+    groups: HashMap<Obj, Vec<ObjectId>>,
+}
+
+impl SignatureIndex {
+    /// An empty index.
+    #[must_use]
+    pub fn new() -> Self {
+        SignatureIndex::default()
+    }
+
+    /// Registers an object under its signature.
+    pub fn add(&mut self, obj: &Obj, id: ObjectId) {
+        self.groups.entry(obj.clone()).or_default().push(id);
+    }
+
+    /// Ids of objects whose signature equals `obj`'s.
+    #[must_use]
+    pub fn find(&self, obj: &Obj) -> &[ObjectId] {
+        self.groups.get(obj).map_or(&[], Vec::as_slice)
+    }
+
+    /// Number of distinct signatures.
+    #[must_use]
+    pub fn distinct(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Iterates `(signature, ids)` groups (arbitrary order).
+    pub fn groups(&self) -> impl Iterator<Item = (&Obj, &[ObjectId])> {
+        self.groups.iter().map(|(o, ids)| (o, ids.as_slice()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_by_tuple_set() {
+        let mut idx = SignatureIndex::new();
+        idx.add(&Obj::from_bits("11 01"), ObjectId(0));
+        idx.add(&Obj::from_bits("01 11"), ObjectId(1)); // same set
+        idx.add(&Obj::from_bits("11"), ObjectId(2));
+        assert_eq!(idx.distinct(), 2);
+        assert_eq!(idx.find(&Obj::from_bits("11 01")), &[ObjectId(0), ObjectId(1)]);
+        assert_eq!(idx.find(&Obj::from_bits("11")), &[ObjectId(2)]);
+        assert!(idx.find(&Obj::from_bits("00")).is_empty());
+        assert_eq!(idx.groups().count(), 2);
+    }
+}

@@ -1,0 +1,224 @@
+//! Object stores: Boolean-domain ([`Store`]) and data-domain
+//! ([`DataStore`], keeping nested objects aligned with their Boolean
+//! abstractions).
+
+use crate::signature::SignatureIndex;
+use qhorn_core::Obj;
+use qhorn_relation::binding::Booleanizer;
+use qhorn_relation::proposition::PropError;
+use qhorn_relation::relation::{NestedObject, NestedRelation};
+use std::fmt;
+
+/// Identifier of a stored object.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct ObjectId(pub u32);
+
+impl fmt::Display for ObjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// A Boolean-domain object store with a signature index.
+#[derive(Clone, Debug)]
+pub struct Store {
+    n: u16,
+    objects: Vec<Obj>,
+    index: SignatureIndex,
+}
+
+impl Store {
+    /// An empty store over `n` Boolean variables.
+    #[must_use]
+    pub fn new(n: u16) -> Self {
+        Store { n, objects: Vec::new(), index: SignatureIndex::new() }
+    }
+
+    /// Arity of stored objects.
+    #[must_use]
+    pub fn arity(&self) -> u16 {
+        self.n
+    }
+
+    /// Inserts an object.
+    ///
+    /// # Panics
+    /// Panics on arity mismatch.
+    pub fn insert(&mut self, obj: Obj) -> ObjectId {
+        assert_eq!(obj.arity(), self.n, "arity mismatch");
+        let id = ObjectId(self.objects.len() as u32);
+        self.index.add(&obj, id);
+        self.objects.push(obj);
+        id
+    }
+
+    /// Fetches an object.
+    #[must_use]
+    pub fn get(&self, id: ObjectId) -> &Obj {
+        &self.objects[id.0 as usize]
+    }
+
+    /// Number of stored objects.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// `true` iff empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+
+    /// Iterates `(id, object)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (ObjectId, &Obj)> {
+        self.objects.iter().enumerate().map(|(i, o)| (ObjectId(i as u32), o))
+    }
+
+    /// The signature index (distinct tuple-set groups).
+    #[must_use]
+    pub fn index(&self) -> &SignatureIndex {
+        &self.index
+    }
+
+    /// Objects whose tuple set equals `obj`'s (signature lookup).
+    #[must_use]
+    pub fn find_by_signature(&self, obj: &Obj) -> &[ObjectId] {
+        self.index.find(obj)
+    }
+}
+
+/// A nested-relation store aligned with its Boolean abstraction.
+#[derive(Clone, Debug)]
+pub struct DataStore {
+    relation: NestedRelation,
+    bridge: Booleanizer,
+    boolean: Store,
+}
+
+impl DataStore {
+    /// Booleanizes every object of `relation` under `bridge` and builds the
+    /// aligned stores. Object `i` of the relation is [`ObjectId`] `i`.
+    pub fn from_relation(
+        relation: NestedRelation,
+        bridge: Booleanizer,
+    ) -> Result<Self, PropError> {
+        let mut boolean = Store::new(bridge.n());
+        for obj in &relation.objects {
+            boolean.insert(bridge.booleanize_object(obj)?);
+        }
+        Ok(DataStore { relation, bridge, boolean })
+    }
+
+    /// The Boolean-domain store.
+    #[must_use]
+    pub fn boolean(&self) -> &Store {
+        &self.boolean
+    }
+
+    /// The underlying nested relation.
+    #[must_use]
+    pub fn relation(&self) -> &NestedRelation {
+        &self.relation
+    }
+
+    /// The proposition binding.
+    #[must_use]
+    pub fn bridge(&self) -> &Booleanizer {
+        &self.bridge
+    }
+
+    /// The data object behind an id.
+    #[must_use]
+    pub fn data_object(&self, id: ObjectId) -> &NestedObject {
+        &self.relation.objects[id.0 as usize]
+    }
+
+    /// Inserts a new data object into both stores.
+    pub fn insert(&mut self, obj: NestedObject) -> Result<ObjectId, StoreError> {
+        let boolean = self.bridge.booleanize_object(&obj).map_err(StoreError::Prop)?;
+        self.relation.push(obj).map_err(StoreError::Schema)?;
+        Ok(self.boolean.insert(boolean))
+    }
+}
+
+/// Insertion errors for [`DataStore`].
+#[derive(Debug)]
+pub enum StoreError {
+    /// Proposition evaluation failed.
+    Prop(PropError),
+    /// Schema validation failed.
+    Schema(qhorn_relation::schema::SchemaError),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Prop(e) => write!(f, "{e}"),
+            StoreError::Schema(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qhorn_relation::datasets::chocolates;
+
+    #[test]
+    fn store_round_trip() {
+        let mut s = Store::new(3);
+        let a = s.insert(Obj::from_bits("111 010"));
+        let b = s.insert(Obj::from_bits("101"));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.get(a), &Obj::from_bits("010 111"));
+        assert_eq!(s.get(b), &Obj::from_bits("101"));
+        assert_eq!(s.iter().count(), 2);
+    }
+
+    #[test]
+    fn signature_lookup_groups_equal_tuple_sets() {
+        let mut s = Store::new(2);
+        let a = s.insert(Obj::from_bits("11 01"));
+        let _b = s.insert(Obj::from_bits("10"));
+        let c = s.insert(Obj::from_bits("01 11")); // same signature as a
+        assert_eq!(s.find_by_signature(&Obj::from_bits("11 01")), &[a, c]);
+        assert!(s.find_by_signature(&Obj::from_bits("00")).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_mismatch_rejected() {
+        Store::new(2).insert(Obj::from_bits("111"));
+    }
+
+    #[test]
+    fn data_store_aligns_ids() {
+        let ds = DataStore::from_relation(chocolates::fig1_boxes(), chocolates::booleanizer())
+            .unwrap();
+        assert_eq!(ds.boolean().len(), 2);
+        assert_eq!(
+            ds.data_object(ObjectId(0)).attrs.get(0),
+            &qhorn_relation::value::Value::str("Global Ground")
+        );
+        assert_eq!(ds.boolean().get(ObjectId(0)), &Obj::from_bits("111 000 110"));
+    }
+
+    #[test]
+    fn data_store_insert_keeps_alignment() {
+        let mut ds = DataStore::from_relation(chocolates::fig1_boxes(), chocolates::booleanizer())
+            .unwrap();
+        let obj = NestedObject::new(
+            qhorn_relation::relation::DataTuple::new([qhorn_relation::value::Value::str(
+                "New Box",
+            )]),
+            vec![chocolates::chocolate("Madagascar", false, true, true, false)],
+        );
+        let id = ds.insert(obj).unwrap();
+        assert_eq!(id, ObjectId(2));
+        assert_eq!(ds.boolean().get(id), &Obj::from_bits("111"));
+        assert_eq!(ds.relation().len(), 3);
+    }
+}

@@ -1,0 +1,88 @@
+//! Parse errors with source positions.
+
+use std::fmt;
+
+/// A parse failure, with the byte offset of the offending token.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ParseError {
+    /// Byte offset into the source string.
+    pub offset: usize,
+    /// What went wrong.
+    pub kind: ParseErrorKind,
+}
+
+/// The kinds of parse failure.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ParseErrorKind {
+    /// A character that starts no token.
+    UnexpectedChar(char),
+    /// `x` not followed by digits, or an index of 0 (`x0`).
+    BadVariable(String),
+    /// An expression did not start with a quantifier.
+    ExpectedQuantifier(String),
+    /// A quantifier with no variables after it.
+    EmptyExpression,
+    /// `∀x1x2` without `-> head`: a multi-variable universal expression
+    /// needs an explicit head.
+    UniversalNeedsHead,
+    /// `-> h` with more than one (or zero) head variables.
+    BadHead,
+    /// The head variable also appears in the body.
+    HeadInBody(String),
+    /// A variable index exceeds the declared arity.
+    VarBeyondArity {
+        /// Variable's 1-based index.
+        var: u16,
+        /// Declared arity.
+        arity: u16,
+    },
+}
+
+impl ParseError {
+    pub(crate) fn new(offset: usize, kind: ParseErrorKind) -> Self {
+        ParseError { offset, kind }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: ", self.offset)?;
+        match &self.kind {
+            ParseErrorKind::UnexpectedChar(c) => write!(f, "unexpected character {c:?}"),
+            ParseErrorKind::BadVariable(s) => {
+                write!(f, "bad variable {s:?} (variables are x1, x2, …)")
+            }
+            ParseErrorKind::ExpectedQuantifier(s) => {
+                write!(f, "expected a quantifier (∀/∃/all/some), found {s:?}")
+            }
+            ParseErrorKind::EmptyExpression => f.write_str("quantifier with no variables"),
+            ParseErrorKind::UniversalNeedsHead => f.write_str(
+                "a universal expression over several variables needs an explicit head: \
+                 write `all x1 x2 -> x3` (or a single bodyless head, `all x3`)",
+            ),
+            ParseErrorKind::BadHead => f.write_str("expected exactly one head variable after ->"),
+            ParseErrorKind::HeadInBody(v) => {
+                write!(f, "head variable {v} also appears in the body")
+            }
+            ParseErrorKind::VarBeyondArity { var, arity } => {
+                write!(f, "variable x{var} exceeds the declared arity {arity}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_actionable() {
+        let e = ParseError::new(3, ParseErrorKind::UniversalNeedsHead);
+        assert!(e.to_string().contains("all x1 x2 -> x3"));
+        let e = ParseError::new(0, ParseErrorKind::VarBeyondArity { var: 9, arity: 4 });
+        assert!(e.to_string().contains("x9"));
+        assert!(e.to_string().contains('4'));
+    }
+}

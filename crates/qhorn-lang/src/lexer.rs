@@ -1,0 +1,215 @@
+//! Tokenizer for the shorthand notation.
+//!
+//! Tokens: quantifiers (`∀`, `∃`, `all`, `some`, `forall`, `exists`),
+//! variables (`x` followed by a 1-based index; juxtaposed variables like
+//! `x1x2` lex as two tokens), arrows (`->`, `→`, `⇒`, `implies`), and
+//! expression separators (`;`, `,` — optional, whitespace suffices).
+
+use crate::error::{ParseError, ParseErrorKind};
+
+/// One lexical token with its byte offset.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Token {
+    /// Byte offset in the source.
+    pub offset: usize,
+    /// Token kind.
+    pub kind: TokenKind,
+}
+
+/// The token kinds of the shorthand language.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum TokenKind {
+    /// `∀` / `all` / `forall` / `every`.
+    Forall,
+    /// `∃` / `some` / `exists`.
+    Exists,
+    /// `->` / `→` / `⇒` / `implies`.
+    Arrow,
+    /// A variable with its 1-based index (`x4` → `Var(4)`).
+    Var(u16),
+    /// `;` or `,` — an explicit expression separator.
+    Separator,
+    /// `⊤` / `top` — the empty query (everything is an answer).
+    Top,
+}
+
+/// Tokenizes a source string.
+///
+/// # Errors
+/// [`ParseError`] on unknown characters or malformed variables.
+pub fn lex(src: &str) -> Result<Vec<Token>, ParseError> {
+    let mut out = Vec::new();
+    let bytes = src.char_indices().collect::<Vec<_>>();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let (off, c) = bytes[i];
+        match c {
+            c if c.is_whitespace() => i += 1,
+            ';' | ',' => {
+                out.push(Token { offset: off, kind: TokenKind::Separator });
+                i += 1;
+            }
+            '∀' => {
+                out.push(Token { offset: off, kind: TokenKind::Forall });
+                i += 1;
+            }
+            '⊤' => {
+                out.push(Token { offset: off, kind: TokenKind::Top });
+                i += 1;
+            }
+            '∃' => {
+                out.push(Token { offset: off, kind: TokenKind::Exists });
+                i += 1;
+            }
+            '→' | '⇒' => {
+                out.push(Token { offset: off, kind: TokenKind::Arrow });
+                i += 1;
+            }
+            '-' => {
+                if matches!(bytes.get(i + 1), Some((_, '>'))) {
+                    out.push(Token { offset: off, kind: TokenKind::Arrow });
+                    i += 2;
+                } else {
+                    return Err(ParseError::new(off, ParseErrorKind::UnexpectedChar('-')));
+                }
+            }
+            'x' | 'X' => {
+                let mut j = i + 1;
+                let mut digits = String::new();
+                while j < bytes.len() && bytes[j].1.is_ascii_digit() {
+                    digits.push(bytes[j].1);
+                    j += 1;
+                }
+                if digits.is_empty() {
+                    let (word, _) = read_word(&bytes, i);
+                    return Err(ParseError::new(off, ParseErrorKind::BadVariable(word)));
+                }
+                let idx: u32 = digits.parse().map_err(|_| {
+                    ParseError::new(off, ParseErrorKind::BadVariable(format!("x{digits}")))
+                })?;
+                if idx == 0 || idx > u32::from(u16::MAX) {
+                    return Err(ParseError::new(
+                        off,
+                        ParseErrorKind::BadVariable(format!("x{digits}")),
+                    ));
+                }
+                out.push(Token { offset: off, kind: TokenKind::Var(idx as u16) });
+                i = j;
+            }
+            c if c.is_alphabetic() => {
+                let (word, j) = read_word(&bytes, i);
+                let kind = match word.to_ascii_lowercase().as_str() {
+                    "all" | "forall" | "every" => TokenKind::Forall,
+                    "some" | "exists" => TokenKind::Exists,
+                    "implies" => TokenKind::Arrow,
+                    "top" => TokenKind::Top,
+                    _ => {
+                        return Err(ParseError::new(
+                            off,
+                            ParseErrorKind::ExpectedQuantifier(word),
+                        ))
+                    }
+                };
+                out.push(Token { offset: off, kind });
+                i = j;
+            }
+            other => return Err(ParseError::new(off, ParseErrorKind::UnexpectedChar(other))),
+        }
+    }
+    Ok(out)
+}
+
+fn read_word(bytes: &[(usize, char)], start: usize) -> (String, usize) {
+    let mut j = start;
+    let mut word = String::new();
+    while j < bytes.len() && bytes[j].1.is_alphanumeric() {
+        word.push(bytes[j].1);
+        j += 1;
+    }
+    (word, j)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_unicode_shorthand() {
+        assert_eq!(
+            kinds("∀x1x2 → x3"),
+            vec![
+                TokenKind::Forall,
+                TokenKind::Var(1),
+                TokenKind::Var(2),
+                TokenKind::Arrow,
+                TokenKind::Var(3)
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_ascii_keywords() {
+        assert_eq!(
+            kinds("all x1 x2 -> x3; some x5"),
+            vec![
+                TokenKind::Forall,
+                TokenKind::Var(1),
+                TokenKind::Var(2),
+                TokenKind::Arrow,
+                TokenKind::Var(3),
+                TokenKind::Separator,
+                TokenKind::Exists,
+                TokenKind::Var(5)
+            ]
+        );
+    }
+
+    #[test]
+    fn juxtaposed_variables_split() {
+        assert_eq!(kinds("x12x3"), vec![TokenKind::Var(12), TokenKind::Var(3)]);
+    }
+
+    #[test]
+    fn alternative_spellings() {
+        assert_eq!(kinds("forall x1 implies x2")[0], TokenKind::Forall);
+        assert_eq!(kinds("exists x1")[0], TokenKind::Exists);
+        assert_eq!(kinds("every x1")[0], TokenKind::Forall);
+        assert_eq!(kinds("∃x1 ⇒ x2")[2], TokenKind::Arrow);
+    }
+
+    #[test]
+    fn rejects_x0_and_bare_x() {
+        assert!(lex("x0").is_err());
+        assert!(lex("∃ x y").is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_words_and_chars() {
+        let err = lex("grab x1").unwrap_err();
+        assert!(err.to_string().contains("grab"));
+        assert!(lex("x1 & x2").is_err());
+        assert!(lex("x1 - x2").is_err());
+    }
+
+    #[test]
+    fn offsets_point_into_source() {
+        let toks = lex("  ∀x1").unwrap();
+        assert_eq!(toks[0].offset, 2);
+    }
+
+    #[test]
+    fn top_token() {
+        assert_eq!(kinds("⊤"), vec![TokenKind::Top]);
+        assert_eq!(kinds("top"), vec![TokenKind::Top]);
+    }
+
+    #[test]
+    fn empty_source_lexes_to_nothing() {
+        assert!(lex("").unwrap().is_empty());
+        assert!(lex("  \n\t ").unwrap().is_empty());
+    }
+}

@@ -1,0 +1,40 @@
+//! # qhorn-lang
+//!
+//! A small front end for the paper's shorthand query notation (§2.1):
+//!
+//! ```text
+//! ∀x1x2 → x3  ∀x4  ∃x5
+//! ```
+//!
+//! with an ASCII-friendly spelling accepted interchangeably:
+//!
+//! ```text
+//! all x1 x2 -> x3; all x4; some x5
+//! ```
+//!
+//! The parser produces [`qhorn_core::Query`] values directly; printers
+//! render queries back to shorthand (Unicode or ASCII) and to an annotated
+//! SQL-style form for documentation.
+//!
+//! ```
+//! use qhorn_lang::{parse, printer};
+//!
+//! let q = parse("all x1 x2 -> x3; some x5").unwrap();
+//! assert_eq!(q.arity(), 5);
+//! assert_eq!(printer::to_ascii(&q), "all x1 x2 -> x3  some x5");
+//! assert_eq!(printer::to_unicode(&q), "∀x1x2 → x3  ∃x5");
+//!
+//! // Round trip.
+//! assert_eq!(parse(&printer::to_unicode(&q)).unwrap(), q);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod error;
+pub mod lexer;
+pub mod parser;
+pub mod printer;
+
+pub use error::ParseError;
+pub use parser::{parse, parse_with_arity};

@@ -1,0 +1,246 @@
+//! Parser: token stream → [`qhorn_core::Query`].
+//!
+//! Grammar (expressions separated by whitespace or `;`/`,`):
+//!
+//! ```text
+//! query := expr*
+//! expr  := quant var+ (arrow var)?
+//! ```
+//!
+//! Disambiguation rules, following the paper's conventions:
+//!
+//! * `∀x4` (single variable, no arrow) is the **bodyless** universal `∀x4`;
+//! * `∀x1x2` without an arrow is rejected — the paper never writes a
+//!   multi-variable universal without a head, and silently splitting it
+//!   into bodyless expressions would be surprising;
+//! * `∃x1x2` is a headless existential conjunction;
+//! * `∃x1x2 → x3` is an existential Horn expression (≡ `∃x1x2x3` given its
+//!   guarantee clause, but the role structure is preserved for qhorn-1).
+
+use crate::error::{ParseError, ParseErrorKind};
+use crate::lexer::{lex, Token, TokenKind};
+use qhorn_core::{Expr, Query, VarId, VarSet};
+
+/// Parses a query, inferring the arity as the largest variable index
+/// mentioned (`parse("∃x5")` yields arity 5).
+///
+/// # Errors
+/// [`ParseError`] on lexical or structural problems.
+pub fn parse(src: &str) -> Result<Query, ParseError> {
+    let exprs = parse_exprs(src)?;
+    let n = exprs
+        .iter()
+        .flat_map(|e| e.participating_vars().to_vec())
+        .map(|v| v.one_based())
+        .max()
+        .unwrap_or(0);
+    build(n, exprs, src)
+}
+
+/// Parses a query with an explicit arity; variables beyond `n` are
+/// rejected.
+///
+/// # Errors
+/// [`ParseError`] on lexical or structural problems, or variables `> n`.
+pub fn parse_with_arity(src: &str, n: u16) -> Result<Query, ParseError> {
+    let exprs = parse_exprs(src)?;
+    for e in &exprs {
+        if let Some(v) = e.participating_vars().iter().find(|v| v.index() >= n as usize) {
+            return Err(ParseError::new(
+                0,
+                ParseErrorKind::VarBeyondArity { var: v.one_based(), arity: n },
+            ));
+        }
+    }
+    build(n, exprs, src)
+}
+
+fn build(n: u16, exprs: Vec<Expr>, _src: &str) -> Result<Query, ParseError> {
+    Query::new(n, exprs).map_err(|e| match e {
+        qhorn_core::query::ExprError::HeadInBody { head } => {
+            ParseError::new(0, ParseErrorKind::HeadInBody(head.to_string()))
+        }
+        other => unreachable!("parser emits structurally valid expressions: {other}"),
+    })
+}
+
+fn parse_exprs(src: &str) -> Result<Vec<Expr>, ParseError> {
+    let tokens = lex(src)?;
+    let mut exprs = Vec::new();
+    let mut pos = 0usize;
+    while pos < tokens.len() {
+        if matches!(tokens[pos].kind, TokenKind::Separator | TokenKind::Top) {
+            // `⊤` contributes no expressions (the empty query's rendering).
+            pos += 1;
+            continue;
+        }
+        let (expr, next) = parse_expr(&tokens, pos)?;
+        exprs.push(expr);
+        pos = next;
+    }
+    Ok(exprs)
+}
+
+fn parse_expr(tokens: &[Token], start: usize) -> Result<(Expr, usize), ParseError> {
+    let quant = &tokens[start];
+    let universal = match quant.kind {
+        TokenKind::Forall => true,
+        TokenKind::Exists => false,
+        ref other => {
+            return Err(ParseError::new(
+                quant.offset,
+                ParseErrorKind::ExpectedQuantifier(format!("{other:?}")),
+            ))
+        }
+    };
+    let mut pos = start + 1;
+    let mut vars: Vec<VarId> = Vec::new();
+    while let Some(Token { kind: TokenKind::Var(i), .. }) = tokens.get(pos) {
+        vars.push(VarId::from_one_based(*i));
+        pos += 1;
+    }
+    if vars.is_empty() {
+        return Err(ParseError::new(quant.offset, ParseErrorKind::EmptyExpression));
+    }
+    let head = if let Some(Token { kind: TokenKind::Arrow, offset }) = tokens.get(pos) {
+        pos += 1;
+        match tokens.get(pos) {
+            Some(Token { kind: TokenKind::Var(i), .. }) => {
+                let h = VarId::from_one_based(*i);
+                pos += 1;
+                // Exactly one head: another variable right after is an error.
+                if let Some(Token { kind: TokenKind::Var(_), offset }) = tokens.get(pos) {
+                    return Err(ParseError::new(*offset, ParseErrorKind::BadHead));
+                }
+                Some(h)
+            }
+            _ => return Err(ParseError::new(*offset, ParseErrorKind::BadHead)),
+        }
+    } else {
+        None
+    };
+
+    let body: VarSet = vars.iter().copied().collect();
+    let expr = match (universal, head) {
+        (true, Some(h)) => Expr::universal(body, h),
+        (false, Some(h)) => Expr::existential_horn(body, h),
+        (true, None) => {
+            if vars.len() > 1 {
+                return Err(ParseError::new(quant.offset, ParseErrorKind::UniversalNeedsHead));
+            }
+            Expr::universal_bodyless(vars[0])
+        }
+        (false, None) => Expr::conj(body),
+    };
+    Ok((expr, pos))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qhorn_core::varset;
+
+    fn v(i: u16) -> VarId {
+        VarId::from_one_based(i)
+    }
+
+    #[test]
+    fn parses_the_paper_shorthand() {
+        // §2.1: "∀x1x2 → x3 ∀x4 ∃x5".
+        let q = parse("∀x1x2 → x3 ∀x4 ∃x5").unwrap();
+        assert_eq!(q.arity(), 5);
+        assert_eq!(
+            q.exprs(),
+            &[
+                Expr::universal(varset![1, 2], v(3)),
+                Expr::universal_bodyless(v(4)),
+                Expr::conj(varset![5]),
+            ]
+        );
+    }
+
+    #[test]
+    fn ascii_and_unicode_agree() {
+        let a = parse("all x1 x2 -> x3; some x5").unwrap();
+        let b = parse("∀x1x2 → x3 ∃x5").unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn existential_horn_preserved() {
+        let q = parse("some x1 x2 -> x5").unwrap();
+        assert_eq!(q.exprs(), &[Expr::existential_horn(varset![1, 2], v(5))]);
+    }
+
+    #[test]
+    fn paper_running_example_parses() {
+        let q = parse("∀x1x4→x5 ∀x3x4→x5 ∀x1x2→x6 ∃x1x2x3 ∃x2x3x4 ∃x1x2x5 ∃x2x3x5x6").unwrap();
+        assert_eq!(q.arity(), 6);
+        assert_eq!(q.size(), 7);
+        assert_eq!(q.universal_heads(), varset![5, 6]);
+    }
+
+    #[test]
+    fn empty_source_is_the_empty_query() {
+        let q = parse("").unwrap();
+        assert_eq!(q, Query::empty(0));
+        // The empty query's Display form round-trips too.
+        assert_eq!(parse("⊤").unwrap(), Query::empty(0));
+        assert_eq!(parse("top").unwrap(), Query::empty(0));
+        assert_eq!(parse(&Query::empty(0).to_string()).unwrap(), Query::empty(0));
+    }
+
+    #[test]
+    fn multi_variable_universal_without_head_rejected() {
+        let err = parse("all x1 x2").unwrap_err();
+        assert!(matches!(err.kind, ParseErrorKind::UniversalNeedsHead));
+    }
+
+    #[test]
+    fn two_heads_rejected() {
+        let err = parse("all x1 -> x2 x3").unwrap_err();
+        assert!(matches!(err.kind, ParseErrorKind::BadHead));
+        let err = parse("all x1 ->").unwrap_err();
+        assert!(matches!(err.kind, ParseErrorKind::BadHead));
+    }
+
+    #[test]
+    fn quantifier_required() {
+        assert!(parse("x1 x2").is_err());
+        let err = parse("∃").unwrap_err();
+        assert!(matches!(err.kind, ParseErrorKind::EmptyExpression));
+    }
+
+    #[test]
+    fn head_in_body_rejected() {
+        let err = parse("all x1 x2 -> x1").unwrap_err();
+        assert!(matches!(err.kind, ParseErrorKind::HeadInBody(_)));
+    }
+
+    #[test]
+    fn arity_inference_vs_explicit() {
+        let q = parse("∃x3").unwrap();
+        assert_eq!(q.arity(), 3);
+        let q = parse_with_arity("∃x3", 6).unwrap();
+        assert_eq!(q.arity(), 6);
+        let err = parse_with_arity("∃x7", 6).unwrap_err();
+        assert!(matches!(err.kind, ParseErrorKind::VarBeyondArity { var: 7, arity: 6 }));
+    }
+
+    #[test]
+    fn separators_are_optional_and_flexible() {
+        let a = parse("∀x1 ∃x2").unwrap();
+        let b = parse("∀x1; ∃x2").unwrap();
+        let c = parse("∀x1,∃x2").unwrap();
+        assert_eq!(a, b);
+        assert_eq!(b, c);
+    }
+
+    #[test]
+    fn display_round_trip() {
+        // core's Display output parses back to the same query.
+        let q = parse("∀x1x2 → x3 ∀x4 ∃x5 ∃x1x2 → x6").unwrap();
+        let printed = q.to_string();
+        assert_eq!(parse(&printed).unwrap(), q);
+    }
+}

@@ -1,0 +1,171 @@
+//! Printers: shorthand (Unicode / ASCII) and an annotated SQL-style view.
+
+use qhorn_core::{Expr, Query, VarSet};
+use std::fmt::Write;
+
+/// Renders the paper's Unicode shorthand (`∀x1x2 → x3  ∃x5`). Identical to
+/// the query's `Display` output.
+#[must_use]
+pub fn to_unicode(q: &Query) -> String {
+    q.to_string()
+}
+
+/// Renders ASCII shorthand (`all x1 x2 -> x3  some x5`), accepted back by
+/// [`crate::parse`].
+#[must_use]
+pub fn to_ascii(q: &Query) -> String {
+    if q.exprs().is_empty() {
+        return String::new();
+    }
+    let mut out = String::new();
+    for (i, e) in q.exprs().iter().enumerate() {
+        if i > 0 {
+            out.push_str("  ");
+        }
+        match e {
+            Expr::UniversalHorn { body, head } => {
+                if body.is_empty() {
+                    let _ = write!(out, "all {head}");
+                } else {
+                    let _ = write!(out, "all {} -> {head}", vars_spaced(body));
+                }
+            }
+            Expr::ExistentialHorn { body, head } => {
+                if body.is_empty() {
+                    let _ = write!(out, "some {head}");
+                } else {
+                    let _ = write!(out, "some {} -> {head}", vars_spaced(body));
+                }
+            }
+            Expr::ExistentialConj { vars } => {
+                let _ = write!(out, "some {}", vars_spaced(vars));
+            }
+        }
+    }
+    out
+}
+
+fn vars_spaced(vs: &VarSet) -> String {
+    vs.iter().map(|v| v.to_string()).collect::<Vec<_>>().join(" ")
+}
+
+/// Renders an annotated SQL-style view over a nested relation, with one
+/// `EXISTS`/`NOT EXISTS` subquery per expression — the style of query the
+/// paper's introduction shows users struggling to write by hand.
+///
+/// `props` supplies a human-readable name per variable (defaults to
+/// `p1..pn` when `None`); `object` and `collection` name the outer relation
+/// and the nested set attribute.
+#[must_use]
+pub fn to_sql_like(q: &Query, object: &str, collection: &str, props: Option<&[&str]>) -> String {
+    let name = |i: usize| -> String {
+        match props {
+            Some(ps) if i < ps.len() => ps[i].to_string(),
+            _ => format!("p{}", i + 1),
+        }
+    };
+    let conj = |vs: &VarSet, neg: Option<qhorn_core::VarId>| -> String {
+        let mut parts: Vec<String> = vs.iter().map(|v| format!("{}(t)", name(v.index()))).collect();
+        if let Some(h) = neg {
+            parts.push(format!("NOT {}(t)", name(h.index())));
+        }
+        parts.join(" AND ")
+    };
+    let mut clauses: Vec<String> = Vec::new();
+    for e in q.exprs() {
+        match e {
+            Expr::UniversalHorn { body, head } => {
+                // ∀ body → head  ≡  no tuple has body true and head false;
+                // plus the guarantee clause.
+                clauses.push(format!(
+                    "NOT EXISTS (SELECT 1 FROM {object}.{collection} t WHERE {})",
+                    conj(body, Some(*head))
+                ));
+                clauses.push(format!(
+                    "EXISTS (SELECT 1 FROM {object}.{collection} t WHERE {})",
+                    conj(&body.with(*head), None)
+                ));
+            }
+            Expr::ExistentialHorn { body, head } => {
+                clauses.push(format!(
+                    "EXISTS (SELECT 1 FROM {object}.{collection} t WHERE {})",
+                    conj(&body.with(*head), None)
+                ));
+            }
+            Expr::ExistentialConj { vars } => {
+                clauses.push(format!(
+                    "EXISTS (SELECT 1 FROM {object}.{collection} t WHERE {})",
+                    conj(vars, None)
+                ));
+            }
+        }
+    }
+    if clauses.is_empty() {
+        return format!("SELECT * FROM {object}");
+    }
+    format!("SELECT * FROM {object} WHERE\n      {}", clauses.join("\n  AND "))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    #[test]
+    fn ascii_round_trips_through_parse() {
+        let q = parse("∀x1x2 → x3 ∀x4 ∃x5 ∃x1x2 → x6").unwrap();
+        let ascii = to_ascii(&q);
+        assert_eq!(ascii, "all x1 x2 -> x3  all x4  some x5  some x1 x2 -> x6");
+        assert_eq!(parse(&ascii).unwrap(), q);
+    }
+
+    #[test]
+    fn unicode_matches_display() {
+        let q = parse("all x1 -> x2").unwrap();
+        assert_eq!(to_unicode(&q), "∀x1 → x2");
+    }
+
+    #[test]
+    fn empty_query_prints_empty_ascii() {
+        assert_eq!(to_ascii(&Query::empty(3)), "");
+    }
+
+    #[test]
+    fn sql_like_rendering_of_intro_query() {
+        // Query (1): ∀c (isDark) ∧ ∃c (hasFilling ∧ origin=Madagascar).
+        let q = parse("∀x1 ∃x2x3").unwrap();
+        let sql = to_sql_like(
+            &q,
+            "box",
+            "chocolates",
+            Some(&["is_dark", "has_filling", "from_madagascar"]),
+        );
+        assert!(sql.contains("NOT EXISTS"), "{sql}");
+        assert!(sql.contains("NOT is_dark(t)"), "{sql}");
+        assert!(sql.contains("has_filling(t) AND from_madagascar(t)"), "{sql}");
+        // Guarantee clause of the bodyless universal.
+        assert!(sql.contains("WHERE is_dark(t)"), "{sql}");
+    }
+
+    #[test]
+    fn sql_like_default_names() {
+        let q = parse("some x1 x2 -> x3").unwrap();
+        let sql = to_sql_like(&q, "obj", "items", None);
+        assert!(sql.contains("p1(t) AND p2(t) AND p3(t)"), "{sql}");
+    }
+
+    #[test]
+    fn sql_like_empty_query() {
+        assert_eq!(to_sql_like(&Query::empty(2), "obj", "items", None), "SELECT * FROM obj");
+    }
+
+    #[test]
+    fn round_trip_all_enumerated_small_queries() {
+        // Both printers round-trip for every distinct role-preserving
+        // query on two variables.
+        for q in qhorn_core::query::generate::enumerate_role_preserving(2, true) {
+            assert_eq!(parse(&to_unicode(&q)).unwrap(), q, "unicode: {q}");
+            assert_eq!(parse(&to_ascii(&q)).unwrap(), q, "ascii: {}", to_ascii(&q));
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! Parser robustness: never panics, errors are positioned, and round-trips
+//! hold on generated queries.
+
+use proptest::prelude::*;
+use qhorn_lang::{parse, parse_with_arity, printer};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The parser returns Ok or Err but never panics, on fully arbitrary
+    /// input.
+    #[test]
+    fn parser_never_panics_on_arbitrary_input(s in "\\PC{0,60}") {
+        let _ = parse(&s);
+    }
+
+    /// …including inputs built from the language's own alphabet, which are
+    /// far more likely to reach deep parser states.
+    #[test]
+    fn parser_never_panics_on_language_alphabet(
+        tokens in prop::collection::vec(
+            prop_oneof![
+                Just("all".to_string()),
+                Just("some".to_string()),
+                Just("∀".to_string()),
+                Just("∃".to_string()),
+                Just("->".to_string()),
+                Just("→".to_string()),
+                Just(";".to_string()),
+                (1u16..9).prop_map(|i| format!("x{i}")),
+            ],
+            0..12,
+        )
+    ) {
+        let src = tokens.join(" ");
+        if let Ok(q) = parse(&src) {
+            // Whatever parses must print and re-parse to itself.
+            prop_assert_eq!(&parse(&printer::to_unicode(&q)).unwrap(), &q);
+            prop_assert_eq!(&parse(&printer::to_ascii(&q)).unwrap(), &q);
+        }
+    }
+
+    /// Structured round-trip: generated shorthand for random expressions.
+    #[test]
+    fn structured_round_trip(
+        exprs in prop::collection::vec(
+            (
+                any::<bool>(),
+                prop::collection::btree_set(1u16..7, 1..4),
+                prop::option::of(1u16..7),
+            ),
+            1..5,
+        )
+    ) {
+        let mut src = String::new();
+        for (universal, body, head) in &exprs {
+            let quant = if *universal { "all" } else { "some" };
+            let vars: Vec<String> = body.iter().map(|i| format!("x{i}")).collect();
+            match head {
+                Some(h) if !body.contains(h) => {
+                    src.push_str(&format!("{quant} {} -> x{h}; ", vars.join(" ")));
+                }
+                _ if !*universal || body.len() == 1 => {
+                    src.push_str(&format!("{quant} {}; ", vars.join(" ")));
+                }
+                _ => continue, // multi-var universal without head: skipped
+            }
+        }
+        if src.is_empty() {
+            return Ok(());
+        }
+        if let Ok(q) = parse(&src) {
+            prop_assert_eq!(&parse(&printer::to_ascii(&q)).unwrap(), &q);
+        }
+    }
+
+    /// Error positions always lie within the source.
+    #[test]
+    fn error_offsets_in_bounds(s in "\\PC{0,40}") {
+        if let Err(e) = parse(&s) {
+            prop_assert!(e.offset <= s.len(), "offset {} beyond {}", e.offset, s.len());
+        }
+        if let Err(e) = parse_with_arity(&s, 3) {
+            prop_assert!(e.offset <= s.len());
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! # qhorn-relation
+//!
+//! The data-domain substrate of the paper (§2, Fig. 1): nested relations
+//! with single-level nesting, user propositions over the embedded
+//! relation's attributes, and the bridge between the data domain and the
+//! Boolean domain the learning/verification algorithms operate in.
+//!
+//! * **Forward** ([`binding::Booleanizer`]): evaluate each proposition on
+//!   each embedded tuple, turning objects into [`qhorn_core::Obj`]s.
+//! * **Backward** ([`synthesize::Synthesizer`]): given a Boolean tuple the
+//!   learner wants to show the user, construct an actual data tuple
+//!   realizing that true/false pattern — the paper's answer to the
+//!   "arbitrary examples" criticism of active learning (§5).
+//! * **Interference** ([`interference`]): detect proposition pairs whose
+//!   truth values cannot vary independently (e.g. `origin = Madagascar`
+//!   vs `origin = Belgium`), violating the paper's §2 assumption (ii).
+//!
+//! ```
+//! use qhorn_relation::datasets::chocolates;
+//! use qhorn_relation::binding::Booleanizer;
+//!
+//! let schema = chocolates::schema();
+//! let props = chocolates::propositions();
+//! let bridge = Booleanizer::new(schema.embedded.clone(), props).unwrap();
+//!
+//! // Fig. 1: the boxes become sets of 3-variable Boolean tuples — three
+//! // propositions over each chocolate.
+//! let boxes = chocolates::fig1_boxes();
+//! let obj = bridge.booleanize_object(&boxes.objects[0]).unwrap();
+//! assert_eq!(obj.arity(), 3);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod binding;
+pub mod datasets;
+pub mod interference;
+pub mod proposition;
+pub mod relation;
+pub mod schema;
+pub mod synthesize;
+pub mod value;
+
+pub use binding::Booleanizer;
+pub use proposition::{Cmp, PropError, Proposition};
+pub use relation::{DataTuple, FlatRelation, NestedObject, NestedRelation};
+pub use schema::{Attr, FlatSchema, NestedSchema, SchemaError};
+pub use synthesize::{DomainHints, SynthesisError, Synthesizer};
+pub use value::{AttrType, Value};

@@ -1,0 +1,237 @@
+//! Flat and nested relation schemas (Defs. 2.1–2.3).
+//!
+//! A nested relation has at least one domain that is a powerset of another
+//! relation (Def. 2.2). The paper analyzes single-level nesting: the
+//! embedded relation is flat (Def. 2.3). [`NestedSchema`] encodes that
+//! restriction by construction — the embedded part *is* a [`FlatSchema`].
+
+use crate::value::{AttrType, Value};
+use std::fmt;
+
+/// A named, typed attribute.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Attr {
+    /// Attribute name (unique within its schema).
+    pub name: String,
+    /// Attribute type.
+    pub ty: AttrType,
+}
+
+impl Attr {
+    /// Convenience constructor.
+    #[must_use]
+    pub fn new(name: &str, ty: AttrType) -> Self {
+        Attr { name: name.to_string(), ty }
+    }
+}
+
+/// Schema errors.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum SchemaError {
+    /// Two attributes share a name.
+    DuplicateAttr(String),
+    /// An attribute name was not found.
+    NoSuchAttr(String),
+    /// A value's type does not match the attribute's declared type.
+    TypeMismatch {
+        /// The attribute.
+        attr: String,
+        /// Declared type.
+        expected: AttrType,
+        /// Provided value's type.
+        got: AttrType,
+    },
+    /// A tuple has the wrong number of values.
+    WrongArity {
+        /// Declared attribute count.
+        expected: usize,
+        /// Provided value count.
+        got: usize,
+    },
+}
+
+impl fmt::Display for SchemaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchemaError::DuplicateAttr(a) => write!(f, "duplicate attribute {a:?}"),
+            SchemaError::NoSuchAttr(a) => write!(f, "no attribute named {a:?}"),
+            SchemaError::TypeMismatch { attr, expected, got } => {
+                write!(f, "attribute {attr:?} expects {expected}, got {got}")
+            }
+            SchemaError::WrongArity { expected, got } => {
+                write!(f, "tuple has {got} values but the schema declares {expected} attributes")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SchemaError {}
+
+/// A flat relation schema (Def. 2.3): named, typed attributes, none of
+/// which is set-valued.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct FlatSchema {
+    attrs: Vec<Attr>,
+}
+
+impl FlatSchema {
+    /// Builds a schema, rejecting duplicate attribute names.
+    pub fn new<I: IntoIterator<Item = Attr>>(attrs: I) -> Result<Self, SchemaError> {
+        let attrs: Vec<Attr> = attrs.into_iter().collect();
+        for (i, a) in attrs.iter().enumerate() {
+            if attrs.iter().skip(i + 1).any(|b| b.name == a.name) {
+                return Err(SchemaError::DuplicateAttr(a.name.clone()));
+            }
+        }
+        Ok(FlatSchema { attrs })
+    }
+
+    /// The attributes, in declaration order.
+    #[must_use]
+    pub fn attrs(&self) -> &[Attr] {
+        &self.attrs
+    }
+
+    /// Number of attributes.
+    #[must_use]
+    pub fn arity(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// Index of an attribute by name.
+    pub fn index_of(&self, name: &str) -> Result<usize, SchemaError> {
+        self.attrs
+            .iter()
+            .position(|a| a.name == name)
+            .ok_or_else(|| SchemaError::NoSuchAttr(name.to_string()))
+    }
+
+    /// Type of an attribute by name.
+    pub fn type_of(&self, name: &str) -> Result<AttrType, SchemaError> {
+        Ok(self.attrs[self.index_of(name)?].ty)
+    }
+
+    /// Validates one tuple's values against the schema.
+    pub fn check_tuple(&self, values: &[Value]) -> Result<(), SchemaError> {
+        if values.len() != self.attrs.len() {
+            return Err(SchemaError::WrongArity { expected: self.attrs.len(), got: values.len() });
+        }
+        for (a, v) in self.attrs.iter().zip(values) {
+            if v.attr_type() != a.ty {
+                return Err(SchemaError::TypeMismatch {
+                    attr: a.name.clone(),
+                    expected: a.ty,
+                    got: v.attr_type(),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A nested relation schema with single-level nesting (Def. 2.2 +
+/// the paper's restriction): object-level attributes plus one embedded
+/// flat relation.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct NestedSchema {
+    /// Name of the nested relation (e.g. `Box`).
+    pub name: String,
+    /// Object-level attributes (e.g. `name`).
+    pub object_attrs: FlatSchema,
+    /// Name of the embedded relation (e.g. `Chocolate`).
+    pub embedded_name: String,
+    /// Schema of the embedded flat relation.
+    pub embedded: FlatSchema,
+}
+
+impl NestedSchema {
+    /// Convenience constructor.
+    #[must_use]
+    pub fn new(
+        name: &str,
+        object_attrs: FlatSchema,
+        embedded_name: &str,
+        embedded: FlatSchema,
+    ) -> Self {
+        NestedSchema {
+            name: name.to_string(),
+            object_attrs,
+            embedded_name: embedded_name.to_string(),
+            embedded,
+        }
+    }
+}
+
+impl fmt::Display for NestedSchema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let obj: Vec<String> = self.object_attrs.attrs().iter().map(|a| a.name.clone()).collect();
+        let emb: Vec<String> = self.embedded.attrs().iter().map(|a| a.name.clone()).collect();
+        write!(
+            f,
+            "{}({}, {}({}))",
+            self.name,
+            obj.join(", "),
+            self.embedded_name,
+            emb.join(", ")
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chocolate() -> FlatSchema {
+        FlatSchema::new([
+            Attr::new("isDark", AttrType::Bool),
+            Attr::new("hasFilling", AttrType::Bool),
+            Attr::new("origin", AttrType::Str),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn duplicate_attrs_rejected() {
+        let err = FlatSchema::new([
+            Attr::new("a", AttrType::Bool),
+            Attr::new("a", AttrType::Int),
+        ])
+        .unwrap_err();
+        assert_eq!(err, SchemaError::DuplicateAttr("a".into()));
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let s = chocolate();
+        assert_eq!(s.index_of("origin").unwrap(), 2);
+        assert_eq!(s.type_of("isDark").unwrap(), AttrType::Bool);
+        assert!(matches!(s.index_of("nope"), Err(SchemaError::NoSuchAttr(_))));
+    }
+
+    #[test]
+    fn tuple_validation() {
+        let s = chocolate();
+        assert!(s
+            .check_tuple(&[Value::Bool(true), Value::Bool(false), Value::str("Belgium")])
+            .is_ok());
+        assert!(matches!(
+            s.check_tuple(&[Value::Bool(true), Value::Bool(false)]),
+            Err(SchemaError::WrongArity { expected: 3, got: 2 })
+        ));
+        assert!(matches!(
+            s.check_tuple(&[Value::Int(1), Value::Bool(false), Value::str("x")]),
+            Err(SchemaError::TypeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn nested_schema_display_matches_paper_style() {
+        let s = NestedSchema::new(
+            "Box",
+            FlatSchema::new([Attr::new("name", AttrType::Str)]).unwrap(),
+            "Chocolate",
+            chocolate(),
+        );
+        assert_eq!(s.to_string(), "Box(name, Chocolate(isDark, hasFilling, origin))");
+    }
+}

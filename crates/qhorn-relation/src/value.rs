@@ -1,0 +1,102 @@
+//! Attribute values and their types.
+
+use std::fmt;
+
+/// The type of an attribute.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum AttrType {
+    /// Boolean attribute (e.g. `isDark`).
+    Bool,
+    /// 64-bit integer attribute (e.g. `cocoaPercent`).
+    Int,
+    /// String attribute (e.g. `origin`).
+    Str,
+}
+
+impl fmt::Display for AttrType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttrType::Bool => f.write_str("bool"),
+            AttrType::Int => f.write_str("int"),
+            AttrType::Str => f.write_str("string"),
+        }
+    }
+}
+
+/// A typed attribute value.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Debug, Hash)]
+pub enum Value {
+    /// Boolean.
+    Bool(bool),
+    /// Integer.
+    Int(i64),
+    /// String.
+    Str(String),
+}
+
+impl Value {
+    /// The value's type.
+    #[must_use]
+    pub fn attr_type(&self) -> AttrType {
+        match self {
+            Value::Bool(_) => AttrType::Bool,
+            Value::Int(_) => AttrType::Int,
+            Value::Str(_) => AttrType::Str,
+        }
+    }
+
+    /// Convenience constructor for string values.
+    #[must_use]
+    pub fn str(s: &str) -> Value {
+        Value::Str(s.to_string())
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Str(s.to_string())
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn types_and_conversions() {
+        assert_eq!(Value::from(true).attr_type(), AttrType::Bool);
+        assert_eq!(Value::from(42i64).attr_type(), AttrType::Int);
+        assert_eq!(Value::from("Belgium").attr_type(), AttrType::Str);
+        assert_eq!(Value::str("x"), Value::Str("x".into()));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Value::Bool(true).to_string(), "true");
+        assert_eq!(Value::Int(-3).to_string(), "-3");
+        assert_eq!(Value::str("Belgium").to_string(), "\"Belgium\"");
+        assert_eq!(AttrType::Str.to_string(), "string");
+    }
+}

@@ -1,0 +1,251 @@
+//! Executable lower-bound adversaries.
+//!
+//! The paper's lower bounds (Thm 2.1, Lemma 3.4, Thm 3.6) all argue the
+//! same way: fix a query family, and let an adversary answer membership
+//! questions so as to eliminate as few candidate targets as possible; any
+//! exact learner then needs ≈ |family| questions. [`CandidateAdversary`]
+//! makes the argument executable: it tracks the surviving candidates and
+//! always answers with the majority label (consistency is maintained —
+//! whatever the learner concludes, some surviving candidate justifies
+//! every answer given).
+
+use qhorn_core::oracle::MembershipOracle;
+use qhorn_core::{BoolTuple, Expr, Obj, Query, Response, VarId, VarSet};
+
+/// A worst-case oracle over a finite candidate family.
+pub struct CandidateAdversary {
+    candidates: Vec<Query>,
+    questions: usize,
+}
+
+impl CandidateAdversary {
+    /// Builds an adversary over the family.
+    ///
+    /// # Panics
+    /// Panics on an empty family.
+    #[must_use]
+    pub fn new(candidates: Vec<Query>) -> Self {
+        assert!(!candidates.is_empty());
+        CandidateAdversary { candidates, questions: 0 }
+    }
+
+    /// Surviving candidates.
+    #[must_use]
+    pub fn remaining(&self) -> usize {
+        self.candidates.len()
+    }
+
+    /// Questions answered so far.
+    #[must_use]
+    pub fn questions(&self) -> usize {
+        self.questions
+    }
+
+    /// A surviving candidate (the adversary's final "intended" query once
+    /// the learner commits).
+    #[must_use]
+    pub fn any_survivor(&self) -> &Query {
+        &self.candidates[0]
+    }
+}
+
+impl MembershipOracle for CandidateAdversary {
+    fn ask(&mut self, question: &Obj) -> Response {
+        self.questions += 1;
+        let accepting = self.candidates.iter().filter(|c| c.accepts(question)).count();
+        let rejecting = self.candidates.len() - accepting;
+        // Majority label; ties break to NonAnswer (the proofs' choice).
+        let label = if accepting > rejecting { Response::Answer } else { Response::NonAnswer };
+        self.candidates.retain(|c| c.eval(question) == label);
+        label
+    }
+}
+
+/// The Thm 2.1 family `φ = Uni(X − Y) ∧ Alias(Y)` over `n` variables —
+/// one candidate per alias set `Y ⊆ X` (2^n candidates). Alias sets of
+/// size ≥ 2 become implication cycles; size ≤ 1 leaves the variable
+/// unconstrained.
+#[must_use]
+pub fn alias_candidates(n: u16) -> Vec<Query> {
+    assert!(n <= 16, "2^n candidates — keep n small");
+    (0u32..(1 << n))
+        .map(|mask| {
+            let y: Vec<VarId> = (0..n).filter(|i| mask & (1 << i) != 0).map(VarId).collect();
+            let mut exprs: Vec<Expr> = (0..n)
+                .map(VarId)
+                .filter(|v| !y.contains(v))
+                .map(Expr::universal_bodyless)
+                .collect();
+            if y.len() >= 2 {
+                for (i, &v) in y.iter().enumerate() {
+                    let next = y[(i + 1) % y.len()];
+                    exprs.push(Expr::universal(VarSet::singleton(v), next));
+                }
+            }
+            Query::new(n, exprs).expect("alias candidates are valid queries")
+        })
+        .collect()
+}
+
+/// The 2^n informative membership questions for the alias family: for each
+/// `Y`, the question `{1^n, the tuple with exactly Y false}` (the proof
+/// shows each satisfies exactly one candidate).
+#[must_use]
+pub fn alias_probe_questions(n: u16) -> Vec<Obj> {
+    assert!(n <= 16);
+    let top = BoolTuple::all_true(n);
+    (0u32..(1 << n))
+        .map(|mask| {
+            let y: VarSet = (0..n).filter(|i| mask & (1 << i) != 0).map(VarId).collect();
+            Obj::new(n, [top.clone(), top.with_all(&y, false)])
+        })
+        .collect()
+}
+
+/// Runs the Thm 2.1 game: a learner that asks every informative question
+/// in order against the alias adversary. Returns (questions asked until
+/// the family collapses to one candidate, family size).
+#[must_use]
+pub fn play_alias_game(n: u16) -> (usize, usize) {
+    let family = alias_candidates(n);
+    let size = family.len();
+    let mut adversary = CandidateAdversary::new(family);
+    for q in alias_probe_questions(n) {
+        if adversary.remaining() <= 1 {
+            break;
+        }
+        let _ = adversary.ask(&q);
+    }
+    (adversary.questions(), size)
+}
+
+/// The Thm 3.6 family: head `h = x_{n+1}`, `θ−1` fixed disjoint bodies of
+/// size `n/(θ−1)` over body variables `x1..xn`, plus one unknown body
+/// `Bθ` that omits exactly one variable from each fixed body. One
+/// candidate per omission choice — `(n/(θ−1))^(θ−1)` candidates.
+///
+/// # Panics
+/// Panics unless `θ ≥ 2` and `(θ−1) | n`.
+#[must_use]
+pub fn overlapping_body_candidates(n: u16, theta: usize) -> Vec<Query> {
+    assert!(theta >= 2);
+    let groups = theta - 1;
+    assert_eq!(n as usize % groups, 0, "(θ−1) must divide n");
+    let per = n as usize / groups;
+    let h = VarId(n); // the head is an extra variable
+    let fixed: Vec<VarSet> = (0..groups)
+        .map(|g| ((g * per) as u16..((g + 1) * per) as u16).map(VarId).collect())
+        .collect();
+    // Enumerate omission choices via mixed-radix counting.
+    let mut out = Vec::new();
+    let mut idx = vec![0usize; groups];
+    loop {
+        let omitted: VarSet = idx
+            .iter()
+            .enumerate()
+            .map(|(g, &i)| VarId((g * per + i) as u16))
+            .collect();
+        let b_theta = VarSet::full(n).difference(&omitted);
+        let mut exprs: Vec<Expr> = fixed.iter().map(|b| Expr::universal(b.clone(), h)).collect();
+        exprs.push(Expr::universal(b_theta, h));
+        out.push(Query::new(n + 1, exprs).expect("valid"));
+        // Advance.
+        let mut g = 0;
+        loop {
+            if g == groups {
+                return out;
+            }
+            idx[g] += 1;
+            if idx[g] < per {
+                break;
+            }
+            idx[g] = 0;
+            g += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alias_family_size_is_2_to_n() {
+        assert_eq!(alias_candidates(4).len(), 16);
+        assert_eq!(alias_probe_questions(4).len(), 16);
+    }
+
+    #[test]
+    fn thm21_example_instance() {
+        // Uni({x1,x3,x5}) ∧ Alias({x2,x4,x6}): only {1^6} and
+        // {1^6, 101010} satisfy it.
+        let family = alias_candidates(6);
+        let mask = 0b101010; // x2, x4, x6 (0-based bits 1, 3, 5)
+        let q = &family[mask];
+        assert!(q.accepts(&Obj::from_bits("111111")));
+        assert!(q.accepts(&Obj::from_bits("111111 101010")));
+        assert!(!q.accepts(&Obj::from_bits("111111 011010")));
+        // Each probe with a non-empty alias set satisfies exactly one
+        // candidate (the core of the Ω(2^n) argument); the Y = ∅ probe is
+        // the all-true question every candidate accepts.
+        let family = alias_candidates(4);
+        for (mask, probe) in alias_probe_questions(4).iter().enumerate() {
+            let satisfying = family.iter().filter(|c| c.accepts(probe)).count();
+            if mask == 0 {
+                assert_eq!(satisfying, family.len(), "probe {probe}");
+            } else {
+                assert_eq!(satisfying, 1, "probe {probe}");
+            }
+        }
+    }
+
+    #[test]
+    fn alias_game_needs_2_to_n_questions() {
+        for n in [2u16, 4, 6] {
+            let (questions, family) = play_alias_game(n);
+            assert_eq!(family, 1 << n);
+            assert!(
+                questions >= family - 1,
+                "n={n}: adversary eliminated one candidate per question ({questions} < {})",
+                family - 1
+            );
+        }
+    }
+
+    #[test]
+    fn adversary_answers_stay_consistent() {
+        let mut adv = CandidateAdversary::new(alias_candidates(3));
+        let mut transcript: Vec<(Obj, Response)> = Vec::new();
+        for q in alias_probe_questions(3) {
+            let r = adv.ask(&q);
+            transcript.push((q, r));
+        }
+        assert!(adv.remaining() >= 1);
+        let survivor = adv.any_survivor().clone();
+        for (q, r) in transcript {
+            assert_eq!(survivor.eval(&q), r, "survivor must justify every answer");
+        }
+    }
+
+    #[test]
+    fn overlapping_body_family_counts() {
+        // θ=3, n=6: (6/2)^2 = 9 candidates.
+        let family = overlapping_body_candidates(6, 3);
+        assert_eq!(family.len(), 9);
+        // Every candidate has θ incomparable bodies for the head.
+        for q in &family {
+            assert_eq!(q.causal_density(), 3, "{q}");
+        }
+    }
+
+    #[test]
+    fn paper_thm36_instance_shape() {
+        // n=12 body vars, θ=4: the example instance's B4 has 9 variables.
+        let family = overlapping_body_candidates(12, 4);
+        assert_eq!(family.len(), 4usize.pow(3), "(12/3)^3 candidates");
+        let q = &family[0];
+        let nf = q.normal_form();
+        let biggest = nf.universals().iter().map(|(b, _)| b.len()).max().unwrap();
+        assert_eq!(biggest, 9, "B4 omits one variable from each fixed body");
+    }
+}

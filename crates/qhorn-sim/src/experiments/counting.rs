@@ -1,0 +1,62 @@
+//! E2 — the counting arguments of §2: 2^n tuples, 2^(2^n) objects, the
+//! Bell-number lower bound on |qhorn-1| (§2.1.3), and exact class sizes by
+//! exhaustive enumeration for small n.
+
+use crate::report::Table;
+use qhorn_core::query::generate::{
+    all_objects, all_tuples, bell_numbers, enumerate_qhorn1, enumerate_role_preserving,
+};
+
+/// Tabulates the §2 counting quantities for `n = 1..=max_n` (class sizes
+/// enumerate exhaustively; role-preserving enumeration caps at n = 3).
+#[must_use]
+pub fn counting_table(max_n: u16) -> Table {
+    let mut table = Table::new(
+        "E2 (§2, §2.1.3): tuples 2^n, objects 2^(2^n), |qhorn-1/≡| ≥ Bell(n)",
+        &["n", "tuples 2^n", "objects 2^(2^n)", "Bell(n)", "|qhorn-1/≡|", "|role-preserving/≡|"],
+    );
+    let bells = bell_numbers(max_n as usize);
+    for n in 1..=max_n {
+        let tuples = all_tuples(n).len();
+        let objects = if n <= 4 {
+            all_objects(n).count().to_string()
+        } else {
+            format!("2^{}", 1u64 << n)
+        };
+        let qhorn1 = if n <= 5 { enumerate_qhorn1(n).len().to_string() } else { "—".into() };
+        let rp = if n <= 3 {
+            enumerate_role_preserving(n, true).len().to_string()
+        } else {
+            "—".into()
+        };
+        table.push([
+            n.to_string(),
+            tuples.to_string(),
+            objects,
+            bells[n as usize].to_string(),
+            qhorn1,
+            rp,
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counting_matches_the_paper_for_n3() {
+        // "With our three chocolate propositions, we can construct 256
+        // boxes of distinct mixes of the 8 chocolate classes."
+        let t = counting_table(3);
+        let n3 = &t.rows[2];
+        assert_eq!(n3[1], "8");
+        assert_eq!(n3[2], "256");
+        assert_eq!(n3[3], "5", "Bell(3) = 5");
+        let qhorn1: usize = n3[4].parse().unwrap();
+        assert!(qhorn1 >= 5, "|qhorn-1| ≥ Bell(n)");
+        let rp: usize = n3[5].parse().unwrap();
+        assert!(rp >= qhorn1, "qhorn-1 ⊆ role-preserving");
+    }
+}

@@ -1,0 +1,142 @@
+//! Lower-bound experiments: the adversary games of Thm 2.1, Lemma 3.4 and
+//! Thm 3.6, measured rather than merely stated.
+
+use crate::adversary::{overlapping_body_candidates, play_alias_game, CandidateAdversary};
+use crate::report::{f2, Table};
+use qhorn_core::learn::constant_width::{learn_pair_heads, pair_head_query};
+use qhorn_core::learn::{learn_qhorn1, learn_role_preserving, LearnOptions, Phase};
+use qhorn_core::oracle::QueryOracle;
+use qhorn_core::query::equiv::equivalent;
+use qhorn_core::VarId;
+
+/// E3 / Theorem 2.1: learning general qhorn (variables repeating across
+/// roles) needs Ω(2^n) questions — the Uni∧Alias adversary concedes one
+/// candidate per question.
+#[must_use]
+pub fn alias_lower_bound(ns: &[u16]) -> Table {
+    let mut table = Table::new(
+        "E3 (Thm 2.1): the Uni∧Alias adversary forces Ω(2^n) questions",
+        &["n", "family size 2^n", "questions to identify", "questions/2^n"],
+    );
+    for &n in ns {
+        let (questions, family) = play_alias_game(n);
+        table.push([
+            n.to_string(),
+            family.to_string(),
+            questions.to_string(),
+            f2(questions as f64 / family as f64),
+        ]);
+    }
+    table
+}
+
+/// E5 / Lemma 3.4: with at most `c` tuples per question, learning the
+/// pair-head family costs ≈ n²/c² questions; the unrestricted matrix-
+/// question learner (Lemma 3.3, inside `learn_qhorn1`) needs only
+/// O(n lg n) in total and O(lg n) matrix questions.
+#[must_use]
+pub fn constant_width_lower_bound(n: u16, cs: &[usize]) -> Table {
+    let mut table = Table::new(
+        "E5 (Lemmas 3.3/3.4): c-tuple questions cost ≈ n²/c²; unrestricted matrix questions cost O(lg n)",
+        &["n", "width c", "questions (worst pair)", "n²/c²", "ratio"],
+    );
+    for &c in cs {
+        // Worst case for the block strategy: heads in the last block.
+        let target = pair_head_query(n, VarId(n - 2), VarId(n - 1));
+        let mut oracle = QueryOracle::new(target);
+        let out = learn_pair_heads(n, c, &mut oracle, &LearnOptions::default())
+            .expect("consistent oracle");
+        assert_eq!(out.heads, (VarId(n - 2), VarId(n - 1)));
+        let asked = out.stats.questions;
+        let bound = f64::from(n) * f64::from(n) / (c * c) as f64;
+        table.push([
+            n.to_string(),
+            c.to_string(),
+            asked.to_string(),
+            f2(bound),
+            f2(asked as f64 / bound),
+        ]);
+    }
+    // Reference row: the unrestricted learner on the same family.
+    let target = pair_head_query(n, VarId(n - 2), VarId(n - 1));
+    let mut oracle = QueryOracle::new(target.clone());
+    let outcome = learn_qhorn1(n, &mut oracle, &LearnOptions::default()).expect("consistent");
+    assert!(equivalent(outcome.query(), &target));
+    table.push([
+        n.to_string(),
+        "unrestricted".to_string(),
+        format!("{} (matrix: {})", outcome.stats().questions, outcome.stats().phase(Phase::MatrixQuestions)),
+        "—".to_string(),
+        "—".to_string(),
+    ]);
+    table
+}
+
+/// E7 / Theorem 3.6: against the overlapping-body family, any learner —
+/// ours included — must ask at least (n/(θ−1))^(θ−1) − 1 questions
+/// eliminating candidates one at a time.
+#[must_use]
+pub fn body_lower_bound(n: u16, thetas: &[usize]) -> Table {
+    let mut table = Table::new(
+        "E7 (Thm 3.6): overlapping bodies force Ω((n/θ)^(θ−1)) questions",
+        &["n (body vars)", "θ", "family size", "(n/θ)^(θ−1)", "learner questions", "exact?"],
+    );
+    for &theta in thetas {
+        if !(n as usize).is_multiple_of(theta - 1) {
+            continue;
+        }
+        let family = overlapping_body_candidates(n, theta);
+        let family_size = family.len();
+        let mut adversary = CandidateAdversary::new(family);
+        let outcome =
+            learn_role_preserving(n + 1, &mut adversary, &LearnOptions::default())
+                .expect("adversary is always consistent with a survivor");
+        // The learner must have cornered the adversary into one candidate
+        // and identified it.
+        let exact = adversary.remaining() >= 1
+            && equivalent(outcome.query(), adversary.any_survivor());
+        let paper_bound = (f64::from(n) / theta as f64).powi(theta as i32 - 1);
+        table.push([
+            n.to_string(),
+            theta.to_string(),
+            family_size.to_string(),
+            f2(paper_bound),
+            adversary.questions().to_string(),
+            exact.to_string(),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alias_game_grows_exponentially() {
+        let t = alias_lower_bound(&[2, 3, 4, 5]);
+        let q: Vec<usize> = t.rows.iter().map(|r| r[2].parse().unwrap()).collect();
+        for w in q.windows(2) {
+            assert!(w[1] >= 2 * w[0] - 2, "question counts must roughly double: {q:?}");
+        }
+    }
+
+    #[test]
+    fn constant_width_measures_quadratic_gap() {
+        let t = constant_width_lower_bound(16, &[2, 4]);
+        let q2: usize = t.rows[0][2].parse().unwrap();
+        let q4: usize = t.rows[1][2].parse().unwrap();
+        assert!(q2 > 2 * q4, "width 2 ({q2}) should far exceed width 4 ({q4})");
+        assert!(t.rows[2][1] == "unrestricted");
+    }
+
+    #[test]
+    fn body_lower_bound_learner_exceeds_floor() {
+        let t = body_lower_bound(6, &[3]);
+        assert_eq!(t.rows.len(), 1);
+        let floor: f64 = t.rows[0][3].parse().unwrap();
+        let asked: f64 = t.rows[0][4].parse().unwrap();
+        assert!(asked >= floor, "learner asked {asked} < floor {floor}");
+        assert_eq!(t.rows[0][5], "true");
+    }
+}

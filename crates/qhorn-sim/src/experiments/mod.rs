@@ -1,0 +1,16 @@
+//! Experiment drivers — one per table/figure of the paper (DESIGN.md §4).
+//!
+//! Every driver is deterministic given its seed, returns a [`crate::Table`]
+//! whose rows pair the paper's claimed bound with the measured quantity,
+//! and is exercised (at reduced size) by unit tests. The `qhorn-bench`
+//! binaries print the full-size tables recorded in EXPERIMENTS.md.
+
+pub mod counting;
+pub mod lower_bounds;
+pub mod noise;
+pub mod pac_curve;
+pub mod revision_curve;
+pub mod scaling;
+pub mod soak;
+pub mod teaching;
+pub mod verification;

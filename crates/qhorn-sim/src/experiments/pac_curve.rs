@@ -1,0 +1,84 @@
+//! PAC-learning curve (§6 future work, E-PAC): error of the version-space
+//! learner as a function of the number of random labelled examples, with
+//! the Occam bound for reference.
+
+use crate::report::{f2, Table};
+use qhorn_core::learn::pac::{pac_learn_role_preserving, sample_bound, PacParams};
+use qhorn_core::oracle::QueryOracle;
+use qhorn_core::query::generate::{all_objects, enumerate_role_preserving};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// True error of `h` against `target` under the uniform distribution on
+/// all objects (exhaustive for n ≤ 3).
+fn uniform_error(h: &qhorn_core::Query, target: &qhorn_core::Query) -> f64 {
+    let mut total = 0usize;
+    let mut wrong = 0usize;
+    for obj in all_objects(h.arity()) {
+        total += 1;
+        if h.accepts(&obj) != target.accepts(&obj) {
+            wrong += 1;
+        }
+    }
+    wrong as f64 / total as f64
+}
+
+/// Sweeps ε for fixed δ on two-variable targets: measured mean error vs
+/// the requested ε, and the Occam sample bound.
+#[must_use]
+pub fn pac_curve(epsilons: &[f64], trials: usize, seed: u64) -> Table {
+    let mut table = Table::new(
+        "E-PAC (§6): version-space PAC learner — measured error ≤ requested ε",
+        &["n", "ε", "δ", "sample bound", "mean samples", "mean error", "max error"],
+    );
+    let n = 2u16;
+    let class = enumerate_role_preserving(n, true);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    for &epsilon in epsilons {
+        let params = PacParams { epsilon, delta: 0.1 };
+        let bound = sample_bound(class.len(), &params);
+        let mut used = 0usize;
+        let mut err_sum = 0.0f64;
+        let mut err_max = 0.0f64;
+        for _ in 0..trials {
+            let target = class[rng.gen_range(0..class.len())].clone();
+            let mut teacher = QueryOracle::new(target.clone());
+            // Train on the same distribution the error is measured under:
+            // uniform over all 2^(2^n) objects.
+            let universe: Vec<qhorn_core::Obj> = all_objects(n).collect();
+            let mut sampler_rng = SmallRng::seed_from_u64(rng.gen());
+            let mut sample = move || universe[sampler_rng.gen_range(0..universe.len())].clone();
+            let out = pac_learn_role_preserving(n, &mut sample, &mut teacher, &params)
+                .expect("teacher is consistent");
+            used += out.samples_used;
+            let e = uniform_error(&out.query, &target);
+            err_sum += e;
+            err_max = err_max.max(e);
+        }
+        table.push([
+            n.to_string(),
+            f2(epsilon),
+            f2(0.1),
+            bound.to_string(),
+            f2(used as f64 / trials as f64),
+            format!("{:.4}", err_sum / trials as f64),
+            format!("{err_max:.4}"),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tighter_epsilon_means_more_samples_and_less_error() {
+        let t = pac_curve(&[0.5, 0.05], 10, 5);
+        let loose_bound: usize = t.rows[0][3].parse().unwrap();
+        let tight_bound: usize = t.rows[1][3].parse().unwrap();
+        assert!(tight_bound > loose_bound);
+        let tight_err: f64 = t.rows[1][5].parse().unwrap();
+        assert!(tight_err <= 0.2, "tight ε should give low measured error: {tight_err}");
+    }
+}

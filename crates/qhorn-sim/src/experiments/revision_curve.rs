@@ -1,0 +1,84 @@
+//! E-REV (§6 future work): revision cost as a function of the lattice
+//! distance between the given query and the intent.
+//!
+//! The baseline strategy (verify, then relearn with transcript replay) is
+//! O(k) when the distance is 0 and pays the full learning cost otherwise;
+//! the paper's open problem asks for cost polynomial in the distance. This
+//! experiment provides the measurement harness a better algorithm would be
+//! judged against.
+
+use crate::genquery::{random_role_preserving, RolePreservingParams};
+use crate::report::{f2, Table};
+use qhorn_core::learn::revision::{distance, revise};
+use qhorn_core::learn::LearnOptions;
+use qhorn_core::oracle::{CountingOracle, QueryOracle};
+use qhorn_core::query::equiv::equivalent;
+use qhorn_core::{Expr, Query};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Perturbs a query by dropping `drops` random expressions (re-adding one
+/// catch-all conjunction if completeness breaks).
+fn perturb<R: Rng>(q: &Query, drops: usize, rng: &mut R) -> Query {
+    let mut exprs: Vec<Expr> = q.exprs().to_vec();
+    for _ in 0..drops.min(exprs.len().saturating_sub(1)) {
+        let i = rng.gen_range(0..exprs.len());
+        exprs.remove(i);
+    }
+    Query::new(q.arity(), exprs).expect("subset of valid expressions")
+}
+
+/// Sweeps perturbation size; reports distance vs questions spent revising.
+#[must_use]
+pub fn revision_curve(n: u16, drops: &[usize], trials: usize, seed: u64) -> Table {
+    let mut table = Table::new(
+        "E-REV (§6): revision cost vs lattice distance (verify-then-relearn baseline)",
+        &["n", "drops", "mean distance", "mean verify q", "mean relearn q", "exact"],
+    );
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let params = RolePreservingParams::default();
+    for &drops in drops {
+        let mut dist = 0usize;
+        let mut verify_q = 0usize;
+        let mut relearn_q = 0usize;
+        let mut exact = 0usize;
+        for _ in 0..trials {
+            let intent = random_role_preserving(n, &params, &mut rng);
+            let given = perturb(&intent, drops, &mut rng);
+            dist += distance(&given, &intent);
+            let mut user = CountingOracle::new(QueryOracle::new(intent.clone()));
+            let out = revise(&given, &mut user, &LearnOptions::default())
+                .expect("role-preserving given");
+            verify_q += out.verification_questions;
+            relearn_q += out.learning_questions;
+            if equivalent(&out.query, &intent) {
+                exact += 1;
+            }
+        }
+        table.push([
+            n.to_string(),
+            drops.to_string(),
+            f2(dist as f64 / trials as f64),
+            f2(verify_q as f64 / trials as f64),
+            f2(relearn_q as f64 / trials as f64),
+            format!("{exact}/{trials}"),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_drops_verifies_cheaply() {
+        let t = revision_curve(6, &[0, 2], 4, 17);
+        assert_eq!(t.rows[0][5], "4/4");
+        assert_eq!(t.rows[1][5], "4/4");
+        let relearn_at_zero: f64 = t.rows[0][4].parse().unwrap();
+        assert_eq!(relearn_at_zero, 0.0, "distance 0 needs no relearning");
+        let d0: f64 = t.rows[0][2].parse().unwrap();
+        assert_eq!(d0, 0.0);
+    }
+}

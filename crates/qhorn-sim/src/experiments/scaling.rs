@@ -1,0 +1,205 @@
+//! Question-count scaling experiments for the learners:
+//!
+//! * [`qhorn1_scaling`] — E4 / Theorem 3.1: O(n lg n) questions, with the
+//!   per-subtask breakdown of Lemmas 3.2 and 3.3;
+//! * [`universal_scaling`] — E6 / Theorem 3.5: O(n^θ) questions for the θ
+//!   bodies of one head;
+//! * [`existential_scaling`] — E8/E9 / Theorems 3.8 and 3.9: O(k·n lg n)
+//!   questions for k conjunctions vs the Ω(nk) information bound.
+
+use crate::genquery::{random_qhorn1, random_role_preserving, RolePreservingParams};
+use crate::report::{f2, Table};
+use qhorn_core::learn::{learn_qhorn1, learn_role_preserving, LearnOptions, Phase};
+use qhorn_core::oracle::QueryOracle;
+use qhorn_core::query::equiv::equivalent;
+use qhorn_core::{Expr, Query, VarId, VarSet};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// E4: learn random complete qhorn-1 targets, reporting mean/max questions
+/// and the normalized ratio to n·lg n (Theorem 3.1 predicts a bounded
+/// ratio).
+#[must_use]
+pub fn qhorn1_scaling(ns: &[u16], trials: usize, seed: u64) -> Table {
+    let mut table = Table::new(
+        "E4 (Thm 3.1): qhorn-1 learning uses O(n lg n) membership questions",
+        &["n", "trials", "mean q", "max q", "q/(n lg n)", "classify", "bodies", "existential"],
+    );
+    let mut rng = SmallRng::seed_from_u64(seed);
+    for &n in ns {
+        let mut total = 0usize;
+        let mut max = 0usize;
+        let mut classify = 0usize;
+        let mut bodies = 0usize;
+        let mut existential = 0usize;
+        for _ in 0..trials {
+            let target = random_qhorn1(n, &mut rng);
+            let mut oracle = QueryOracle::new(target.clone());
+            let outcome = learn_qhorn1(n, &mut oracle, &LearnOptions::default())
+                .expect("learning cannot fail on consistent oracles");
+            assert!(
+                equivalent(outcome.query(), &target),
+                "exactness violated for {target}"
+            );
+            let s = outcome.stats();
+            total += s.questions;
+            max = max.max(s.questions);
+            classify += s.phase(Phase::ClassifyHeads);
+            bodies += s.phase(Phase::UniversalBodies);
+            existential +=
+                s.phase(Phase::ExistentialDependence) + s.phase(Phase::MatrixQuestions);
+        }
+        let mean = total as f64 / trials as f64;
+        let nlgn = f64::from(n) * f64::from(n).log2().max(1.0);
+        table.push([
+            n.to_string(),
+            trials.to_string(),
+            f2(mean),
+            max.to_string(),
+            f2(mean / nlgn),
+            f2(classify as f64 / trials as f64),
+            f2(bodies as f64 / trials as f64),
+            f2(existential as f64 / trials as f64),
+        ]);
+    }
+    table
+}
+
+/// The θ-incomparable-bodies target used by [`universal_scaling`]: one head
+/// `x_{n+1}` with θ disjoint two-variable bodies over `x1..xn`.
+#[must_use]
+pub fn disjoint_bodies_target(n: u16, theta: usize) -> Query {
+    assert!(n as usize >= 2 * theta, "need 2θ body variables");
+    let h = VarId(n);
+    let exprs: Vec<Expr> = (0..theta)
+        .map(|i| {
+            let body: VarSet = VarSet::from_indices([(2 * i) as u16, (2 * i + 1) as u16]);
+            Expr::universal(body, h)
+        })
+        .chain(std::iter::once(Expr::conj(VarSet::full(n + 1))))
+        .collect();
+    Query::new(n + 1, exprs).expect("valid")
+}
+
+/// E6: universal-body questions scale as O(n^θ) (Theorem 3.5). Reports the
+/// `UniversalBodies`-phase question count against n^θ.
+#[must_use]
+pub fn universal_scaling(ns: &[u16], thetas: &[usize]) -> Table {
+    let mut table = Table::new(
+        "E6 (Thm 3.5): the θ bodies of a head cost O(n^θ) questions",
+        &["n (body vars)", "θ", "body-phase q", "total q", "q/n^θ"],
+    );
+    for &theta in thetas {
+        for &n in ns {
+            if (n as usize) < 2 * theta {
+                continue;
+            }
+            let target = disjoint_bodies_target(n, theta);
+            let mut oracle = QueryOracle::new(target.clone());
+            let outcome =
+                learn_role_preserving(target.arity(), &mut oracle, &LearnOptions::default())
+                    .expect("consistent oracle");
+            assert!(equivalent(outcome.query(), &target));
+            let body_q = outcome.stats().phase(Phase::UniversalBodies);
+            let ratio = body_q as f64 / f64::from(n).powi(theta as i32);
+            table.push([
+                n.to_string(),
+                theta.to_string(),
+                body_q.to_string(),
+                outcome.stats().questions.to_string(),
+                f2(ratio),
+            ]);
+        }
+    }
+    table
+}
+
+/// E8/E9: existential-conjunction questions scale as O(k·n lg n)
+/// (Thm 3.8), against the Ω(nk/2 − k lg k) information-theoretic floor
+/// (Thm 3.9).
+#[must_use]
+pub fn existential_scaling(ns: &[u16], ks: &[usize], trials: usize, seed: u64) -> Table {
+    let mut table = Table::new(
+        "E8/E9 (Thms 3.8, 3.9): k conjunctions cost O(k·n lg n) questions (floor nk/2 − k lg k)",
+        &["n", "k", "mean lattice q", "q/(k n lg n)", "info floor", "floor/measured"],
+    );
+    let mut rng = SmallRng::seed_from_u64(seed);
+    for &n in ns {
+        for &k in ks {
+            if k > n as usize {
+                continue;
+            }
+            let params = RolePreservingParams {
+                heads: 0,
+                theta: 0,
+                body_size: (1, 1),
+                conjunctions: k,
+                conj_size: (2, (n as usize / 2).max(2)),
+            };
+            let mut total = 0usize;
+            let mut realized_k = 0usize;
+            for _ in 0..trials {
+                let target = random_role_preserving(n, &params, &mut rng);
+                let mut oracle = QueryOracle::new(target.clone());
+                let outcome =
+                    learn_role_preserving(n, &mut oracle, &LearnOptions::default())
+                        .expect("consistent oracle");
+                assert!(equivalent(outcome.query(), &target));
+                total += outcome.stats().phase(Phase::ExistentialLattice);
+                realized_k += target.normal_form().existentials().len();
+            }
+            let mean = total as f64 / trials as f64;
+            let mean_k = realized_k as f64 / trials as f64;
+            let bound = mean_k * f64::from(n) * f64::from(n).log2().max(1.0);
+            let floor = (f64::from(n) * mean_k / 2.0 - mean_k * mean_k.log2().max(0.0)).max(1.0);
+            table.push([
+                n.to_string(),
+                format!("{mean_k:.1}"),
+                f2(mean),
+                f2(mean / bound),
+                f2(floor),
+                f2(floor / mean),
+            ]);
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qhorn1_scaling_ratio_is_bounded() {
+        let t = qhorn1_scaling(&[8, 16, 32], 3, 1);
+        assert_eq!(t.rows.len(), 3);
+        for row in &t.rows {
+            let ratio: f64 = row[4].parse().unwrap();
+            assert!(ratio < 8.0, "n={} ratio {ratio} too large for O(n lg n)", row[0]);
+        }
+        // The ratio must not grow with n (within slack ×2).
+        let first: f64 = t.rows[0][4].parse().unwrap();
+        let last: f64 = t.rows[2][4].parse().unwrap();
+        assert!(last <= first * 2.0 + 1.0, "ratio grows: {first} → {last}");
+    }
+
+    #[test]
+    fn universal_scaling_ratio_is_bounded() {
+        let t = universal_scaling(&[6, 10], &[1, 2]);
+        for row in &t.rows {
+            let ratio: f64 = row[4].parse().unwrap();
+            assert!(ratio < 10.0, "row {row:?}");
+        }
+    }
+
+    #[test]
+    fn existential_scaling_sits_between_floor_and_bound() {
+        let t = existential_scaling(&[8], &[2, 3], 2, 7);
+        for row in &t.rows {
+            let norm: f64 = row[3].parse().unwrap();
+            assert!(norm < 8.0, "above the O(k n lg n) envelope: {row:?}");
+            let floor_ratio: f64 = row[5].parse().unwrap();
+            assert!(floor_ratio < 8.0, "measured below the information floor: {row:?}");
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! E16 — the headline end-to-end claim: both learners exactly identify
+//! every randomly drawn target, and the verifier confirms the learned
+//! query / refutes perturbed ones.
+
+use crate::genquery::{random_qhorn1, random_role_preserving, RolePreservingParams};
+use crate::report::{f2, Table};
+use qhorn_core::learn::{learn_qhorn1, learn_role_preserving, LearnOptions};
+use qhorn_core::oracle::{CountingOracle, QueryOracle};
+use qhorn_core::query::equiv::equivalent;
+use qhorn_core::verify::VerificationSet;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Runs `trials` random targets per class and arity; reports exactness and
+/// verification outcomes. Panics on any failure (the soak *is* the test).
+#[must_use]
+pub fn soak(ns: &[u16], trials: usize, seed: u64) -> Table {
+    let mut table = Table::new(
+        "E16: end-to-end exact learning + verification across random targets",
+        &["class", "n", "trials", "exact", "mean learn q", "verified", "perturbed refuted"],
+    );
+    let mut rng = SmallRng::seed_from_u64(seed);
+    for &n in ns {
+        // qhorn-1 targets through the qhorn-1 learner.
+        let mut exact = 0usize;
+        let mut questions = 0usize;
+        let mut verified = 0usize;
+        let mut refuted = 0usize;
+        for _ in 0..trials {
+            let target = random_qhorn1(n, &mut rng);
+            let mut oracle = CountingOracle::new(QueryOracle::new(target.clone()));
+            let outcome = learn_qhorn1(n, &mut oracle, &LearnOptions::default())
+                .expect("consistent oracle");
+            assert!(equivalent(outcome.query(), &target), "mislearned {target}");
+            exact += 1;
+            questions += oracle.stats().questions;
+            // Verify the learned query against the same user…
+            let set = VerificationSet::build(outcome.query()).expect("learned is in class");
+            if set.verify(&mut QueryOracle::new(target.clone())).is_verified() {
+                verified += 1;
+            }
+            // …and check a perturbed target is refuted.
+            let other = random_qhorn1(n, &mut rng);
+            if !equivalent(&other, &target)
+                && !set.verify(&mut QueryOracle::new(other)).is_verified()
+            {
+                refuted += 1;
+            } else if equivalent(outcome.query(), &target) {
+                refuted += 1; // identical draw — counts as trivially handled
+            }
+        }
+        table.push([
+            "qhorn-1".into(),
+            n.to_string(),
+            trials.to_string(),
+            format!("{exact}/{trials}"),
+            f2(questions as f64 / trials as f64),
+            format!("{verified}/{trials}"),
+            format!("{refuted}/{trials}"),
+        ]);
+
+        // Role-preserving targets through the lattice learner.
+        let params = RolePreservingParams {
+            heads: (n as usize / 3).max(1),
+            theta: 2,
+            body_size: (1, 3),
+            conjunctions: (n as usize / 2).max(1),
+            conj_size: (1, n as usize),
+        };
+        let mut exact = 0usize;
+        let mut questions = 0usize;
+        let mut verified = 0usize;
+        for _ in 0..trials {
+            let target = random_role_preserving(n, &params, &mut rng);
+            let mut oracle = CountingOracle::new(QueryOracle::new(target.clone()));
+            let outcome = learn_role_preserving(n, &mut oracle, &LearnOptions::default())
+                .expect("consistent oracle");
+            assert!(equivalent(outcome.query(), &target), "mislearned {target}");
+            exact += 1;
+            questions += oracle.stats().questions;
+            let set = VerificationSet::build(outcome.query()).expect("in class");
+            if set.verify(&mut QueryOracle::new(target.clone())).is_verified() {
+                verified += 1;
+            }
+        }
+        table.push([
+            "role-preserving".into(),
+            n.to_string(),
+            trials.to_string(),
+            format!("{exact}/{trials}"),
+            f2(questions as f64 / trials as f64),
+            format!("{verified}/{trials}"),
+            "—".into(),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_soak_is_perfect() {
+        let t = soak(&[5, 7], 3, 11);
+        for row in &t.rows {
+            assert_eq!(row[3], format!("{}/{}", 3, 3), "exactness: {row:?}");
+            assert_eq!(row[5], "3/3", "verification: {row:?}");
+        }
+    }
+}

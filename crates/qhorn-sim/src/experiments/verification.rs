@@ -1,0 +1,166 @@
+//! Verification experiments:
+//!
+//! * [`verification_scaling`] — E12/E15 / Fig. 6 and §4: verification sets
+//!   have O(k) questions, orders of magnitude below the learning cost;
+//! * [`two_variable_sets`] — E13 / Fig. 7: the exact verification sets of
+//!   every role-preserving query on two variables;
+//! * [`two_variable_detection_matrix`] — E14 / Fig. 8: which question
+//!   family detects each (given, intended) discrepancy.
+
+use crate::genquery::{random_role_preserving, RolePreservingParams};
+use crate::report::{f2, Table};
+use qhorn_core::learn::{learn_role_preserving, LearnOptions};
+use qhorn_core::oracle::QueryOracle;
+use qhorn_core::query::equiv::equivalent;
+use qhorn_core::query::generate::enumerate_role_preserving;
+use qhorn_core::verify::{QuestionKind, VerificationSet};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// E12/E15: verification-set size per question family vs query size k,
+/// contrasted with the cost of learning the same target from scratch.
+#[must_use]
+pub fn verification_scaling(ns: &[u16], trials: usize, seed: u64) -> Table {
+    let mut table = Table::new(
+        "E12/E15 (Fig. 6, §4): verification uses O(k) questions vs O(n^θ+1 + kn lg n) to learn",
+        &["n", "k (dominant)", "θ", "A1", "N1", "A2", "N2", "A3", "A4", "verify q", "q/k", "learn q"],
+    );
+    let mut rng = SmallRng::seed_from_u64(seed);
+    for &n in ns {
+        for _ in 0..trials {
+            let params = RolePreservingParams {
+                heads: (n as usize / 3).max(1),
+                theta: 2,
+                body_size: (1, 3),
+                conjunctions: (n as usize / 2).max(2),
+                conj_size: (1, n as usize),
+            };
+            let target = random_role_preserving(n, &params, &mut rng);
+            let nf = target.normal_form();
+            let k = nf.existentials().len() + nf.universals().len();
+            let set = VerificationSet::build(&target).expect("role-preserving");
+            let count = |kind: QuestionKind| set.of_kind(kind).count();
+            // A matching user verifies with exactly |set| questions.
+            let mut user = QueryOracle::new(target.clone());
+            let outcome = set.verify(&mut user);
+            assert!(outcome.is_verified());
+            // Learning cost for the same target.
+            let mut oracle = QueryOracle::new(target.clone());
+            let learn = learn_role_preserving(n, &mut oracle, &LearnOptions::default())
+                .expect("consistent oracle");
+            assert!(equivalent(learn.query(), &target));
+            table.push([
+                n.to_string(),
+                k.to_string(),
+                nf.causal_density().to_string(),
+                count(QuestionKind::A1).to_string(),
+                count(QuestionKind::N1).to_string(),
+                count(QuestionKind::A2).to_string(),
+                count(QuestionKind::N2).to_string(),
+                count(QuestionKind::A3).to_string(),
+                count(QuestionKind::A4).to_string(),
+                set.len().to_string(),
+                f2(set.len() as f64 / k.max(1) as f64),
+                learn.stats().questions.to_string(),
+            ]);
+        }
+    }
+    table
+}
+
+/// E13 / Fig. 7: the verification set of every (semantically distinct,
+/// complete) role-preserving query on two variables — one row per
+/// question.
+#[must_use]
+pub fn two_variable_sets() -> Table {
+    let mut table = Table::new(
+        "E13 (Fig. 7): verification sets for every role-preserving query on two variables",
+        &["query", "kind", "question", "expected"],
+    );
+    for q in enumerate_role_preserving(2, true) {
+        let set = VerificationSet::build(&q).expect("role-preserving");
+        for item in set.questions() {
+            table.push([
+                q.to_string(),
+                item.kind.to_string(),
+                item.question.to_string(),
+                item.expected.to_string(),
+            ]);
+        }
+    }
+    table
+}
+
+/// E14 / Fig. 8: for each ordered pair of distinct two-variable queries,
+/// the question families that surface the discrepancy (the first one
+/// detected is what a sequential verifier reports).
+#[must_use]
+pub fn two_variable_detection_matrix() -> Table {
+    let mut table = Table::new(
+        "E14 (Fig. 8): question families detecting given ≠ intended on two variables",
+        &["given", "intended", "first detector", "all detectors"],
+    );
+    let all = enumerate_role_preserving(2, true);
+    for given in &all {
+        let set = VerificationSet::build(given).expect("role-preserving");
+        for intended in &all {
+            if equivalent(given, intended) {
+                continue;
+            }
+            let discrepancies = set.verify_all(&mut QueryOracle::new(intended.clone()));
+            assert!(
+                !discrepancies.is_empty(),
+                "Thm 4.2 violated: {given} vs {intended}"
+            );
+            let mut kinds: Vec<String> =
+                discrepancies.iter().map(|d| d.kind.to_string()).collect();
+            kinds.dedup();
+            table.push([
+                given.to_string(),
+                intended.to_string(),
+                discrepancies[0].kind.to_string(),
+                kinds.join(" "),
+            ]);
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verification_is_much_cheaper_than_learning() {
+        let t = verification_scaling(&[6, 8], 2, 3);
+        for row in &t.rows {
+            let verify: f64 = row[9].parse().unwrap();
+            let learn: f64 = row[11].parse().unwrap();
+            assert!(verify < learn, "verification should beat learning: {row:?}");
+            let per_k: f64 = row[10].parse().unwrap();
+            assert!(per_k <= 6.0, "questions per expression bounded: {row:?}");
+        }
+    }
+
+    #[test]
+    fn fig7_table_covers_every_query_and_kind_a1() {
+        let t = two_variable_sets();
+        let queries: std::collections::BTreeSet<&String> =
+            t.rows.iter().map(|r| &r[0]).collect();
+        assert!(queries.len() >= 7, "Fig. 7 has at least the 7 qhorn-1 classes");
+        // Every query has an A4 question.
+        for q in queries {
+            assert!(
+                t.rows.iter().any(|r| &r[0] == q && r[1] == "A4"),
+                "{q} lacks A4"
+            );
+        }
+    }
+
+    #[test]
+    fn fig8_matrix_complete() {
+        let t = two_variable_detection_matrix();
+        let n = enumerate_role_preserving(2, true).len();
+        assert_eq!(t.rows.len(), n * (n - 1), "every ordered pair detected");
+    }
+}

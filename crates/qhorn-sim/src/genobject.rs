@@ -1,0 +1,66 @@
+//! Random Boolean objects — sample distributions for PAC learning and
+//! engine benchmarks.
+
+use qhorn_core::{BoolTuple, Obj, VarId, VarSet};
+use rand::Rng;
+
+/// Draws a uniform random tuple over `n` variables.
+pub fn random_tuple<R: Rng>(n: u16, rng: &mut R) -> BoolTuple {
+    let trues: VarSet = (0..n).filter(|_| rng.gen_bool(0.5)).map(VarId).collect();
+    BoolTuple::from_true_set(n, trues)
+}
+
+/// Draws a random object with 1..=`max_tuples` random tuples.
+pub fn random_object<R: Rng>(n: u16, max_tuples: usize, rng: &mut R) -> Obj {
+    let count = rng.gen_range(1..=max_tuples.max(1));
+    Obj::new(n, (0..count).map(|_| random_tuple(n, rng)))
+}
+
+/// Draws a random object biased towards mostly-true tuples (answers are
+/// rare under uniform sampling once queries have several expressions; this
+/// skew keeps both labels represented).
+pub fn random_dense_object<R: Rng>(n: u16, max_tuples: usize, rng: &mut R) -> Obj {
+    let count = rng.gen_range(1..=max_tuples.max(1));
+    Obj::new(
+        n,
+        (0..count).map(|_| {
+            let trues: VarSet = (0..n).filter(|_| rng.gen_bool(0.85)).map(VarId).collect();
+            BoolTuple::from_true_set(n, trues)
+        }),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn objects_have_requested_shape() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..50 {
+            let o = random_object(6, 5, &mut rng);
+            assert_eq!(o.arity(), 6);
+            assert!(!o.is_empty() && o.len() <= 5);
+        }
+    }
+
+    #[test]
+    fn dense_objects_lean_true() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let total: usize = (0..200)
+            .map(|_| random_dense_object(8, 3, &mut rng))
+            .map(|o| o.tuples().iter().map(|t| t.count_true()).sum::<usize>())
+            .sum();
+        let tuples: usize = 200 * 2; // roughly
+        assert!(total > tuples * 8 / 2, "dense sampler should skew true");
+    }
+
+    #[test]
+    fn deterministic_with_seed() {
+        let a = random_object(5, 4, &mut SmallRng::seed_from_u64(9));
+        let b = random_object(5, 4, &mut SmallRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+}

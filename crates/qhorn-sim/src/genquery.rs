@@ -1,0 +1,221 @@
+//! Random target-query generators.
+//!
+//! All generators emit **complete** queries (every variable mentioned),
+//! matching the learning model's assumption, and are deterministic given
+//! the RNG seed.
+
+use qhorn_core::query::classes;
+use qhorn_core::{Expr, Query, VarId, VarSet};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Draws a random complete qhorn-1 query over `n` variables via the
+/// partition construction (§2.1.3): variables are partitioned, each part
+/// becomes a body with quantified heads, a headless conjunction, or a
+/// quantified singleton.
+pub fn random_qhorn1<R: Rng>(n: u16, rng: &mut R) -> Query {
+    assert!(n >= 1);
+    let mut vars: Vec<VarId> = (0..n).map(VarId).collect();
+    vars.shuffle(rng);
+    let mut exprs: Vec<Expr> = Vec::new();
+    let mut i = 0usize;
+    while i < vars.len() {
+        let remaining = vars.len() - i;
+        // Geometric-ish part sizes, capped by what's left.
+        let size = (1 + rng.gen_range(0..=2) + rng.gen_range(0..=2)).min(remaining);
+        let part: Vec<VarId> = vars[i..i + size].to_vec();
+        i += size;
+        if size == 1 {
+            if rng.gen_bool(0.5) {
+                exprs.push(Expr::universal_bodyless(part[0]));
+            } else {
+                exprs.push(Expr::conj(VarSet::singleton(part[0])));
+            }
+            continue;
+        }
+        // Headless conjunction with probability 1/4.
+        if rng.gen_bool(0.25) {
+            exprs.push(Expr::conj(part.iter().copied().collect()));
+            continue;
+        }
+        // Split into body + heads (both non-empty).
+        let head_count = rng.gen_range(1..size);
+        let (heads, body) = part.split_at(head_count);
+        let body: VarSet = body.iter().copied().collect();
+        for &h in heads {
+            if rng.gen_bool(0.5) {
+                exprs.push(Expr::universal(body.clone(), h));
+            } else {
+                exprs.push(Expr::existential_horn(body.clone(), h));
+            }
+        }
+    }
+    let q = Query::new(n, exprs).expect("generated expressions are valid");
+    debug_assert!(classes::is_qhorn1(&q), "generator must emit qhorn-1: {q}");
+    debug_assert!(q.is_complete());
+    q
+}
+
+/// Parameters for [`random_role_preserving`].
+#[derive(Clone, Debug)]
+pub struct RolePreservingParams {
+    /// Number of universal head variables (0 allowed).
+    pub heads: usize,
+    /// Maximum causal density per head (bodies are pruned to an
+    /// antichain, so the realized θ may be smaller).
+    pub theta: usize,
+    /// Body size bounds (min, max).
+    pub body_size: (usize, usize),
+    /// Number of existential conjunctions to draw.
+    pub conjunctions: usize,
+    /// Conjunction size bounds (min, max).
+    pub conj_size: (usize, usize),
+}
+
+impl Default for RolePreservingParams {
+    fn default() -> Self {
+        RolePreservingParams {
+            heads: 2,
+            theta: 2,
+            body_size: (1, 3),
+            conjunctions: 3,
+            conj_size: (1, 4),
+        }
+    }
+}
+
+/// Draws a random complete role-preserving query over `n` variables.
+///
+/// # Panics
+/// Panics if `params.heads >= n` (some non-head variables are required
+/// when any head has a body).
+pub fn random_role_preserving<R: Rng>(
+    n: u16,
+    params: &RolePreservingParams,
+    rng: &mut R,
+) -> Query {
+    assert!(n >= 1);
+    assert!(params.heads < n as usize || params.heads == 0, "need non-head variables");
+    let mut vars: Vec<VarId> = (0..n).map(VarId).collect();
+    vars.shuffle(rng);
+    let (head_slice, non_head_slice) = vars.split_at(params.heads.min(vars.len()));
+    let heads: Vec<VarId> = head_slice.to_vec();
+    let non_heads: Vec<VarId> = non_head_slice.to_vec();
+
+    let mut exprs: Vec<Expr> = Vec::new();
+    for &h in &heads {
+        // Draw up to θ bodies; keep an antichain (drop dominated ones).
+        let mut bodies: Vec<VarSet> = Vec::new();
+        let count = rng.gen_range(1..=params.theta.max(1));
+        for _ in 0..count {
+            let body = random_subset(&non_heads, params.body_size, rng);
+            let dominated = bodies.iter().any(|b| b.is_subset(&body));
+            if !dominated {
+                bodies.retain(|b| !body.is_subset(b));
+                bodies.push(body);
+            }
+        }
+        for b in bodies {
+            exprs.push(Expr::universal(b, h));
+        }
+    }
+    for _ in 0..params.conjunctions {
+        let all: Vec<VarId> = (0..n).map(VarId).collect();
+        exprs.push(Expr::conj(random_subset(&all, params.conj_size, rng)));
+    }
+    // Completeness: sweep unmentioned variables into one extra conjunction.
+    let mentioned: VarSet = exprs.iter().flat_map(|e| e.participating_vars().to_vec()).collect();
+    let missing = VarSet::full(n).difference(&mentioned);
+    if !missing.is_empty() {
+        exprs.push(Expr::conj(missing));
+    }
+    let q = Query::new(n, exprs).expect("generated expressions are valid");
+    debug_assert!(classes::is_role_preserving(&q), "generator must be role-preserving: {q}");
+    debug_assert!(q.is_complete());
+    q
+}
+
+fn random_subset<R: Rng>(pool: &[VarId], (lo, hi): (usize, usize), rng: &mut R) -> VarSet {
+    assert!(!pool.is_empty(), "cannot draw from an empty pool");
+    let lo = lo.clamp(1, pool.len());
+    let hi = hi.clamp(lo, pool.len());
+    let size = rng.gen_range(lo..=hi);
+    let mut pool: Vec<VarId> = pool.to_vec();
+    pool.shuffle(rng);
+    pool.into_iter().take(size).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qhorn_core::query::classes::{classify, QueryClass};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn qhorn1_generator_emits_valid_complete_queries() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for n in [1u16, 2, 3, 5, 8, 16, 40] {
+            for _ in 0..20 {
+                let q = random_qhorn1(n, &mut rng);
+                assert_eq!(classify(&q), QueryClass::Qhorn1, "{q}");
+                assert!(q.is_complete(), "{q}");
+                assert_eq!(q.arity(), n);
+            }
+        }
+    }
+
+    #[test]
+    fn role_preserving_generator_respects_theta() {
+        let mut rng = SmallRng::seed_from_u64(13);
+        let params = RolePreservingParams { heads: 2, theta: 3, ..Default::default() };
+        for _ in 0..50 {
+            let q = random_role_preserving(10, &params, &mut rng);
+            assert!(classes::is_role_preserving(&q), "{q}");
+            assert!(q.is_complete(), "{q}");
+            assert!(q.causal_density() <= 3, "θ ≤ 3 requested: {q}");
+        }
+    }
+
+    #[test]
+    fn generators_are_seed_deterministic() {
+        let a = random_qhorn1(12, &mut SmallRng::seed_from_u64(42));
+        let b = random_qhorn1(12, &mut SmallRng::seed_from_u64(42));
+        assert_eq!(a, b);
+        let params = RolePreservingParams::default();
+        let a = random_role_preserving(9, &params, &mut SmallRng::seed_from_u64(42));
+        let b = random_role_preserving(9, &params, &mut SmallRng::seed_from_u64(42));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn zero_heads_gives_pure_existential_queries() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let params = RolePreservingParams { heads: 0, ..Default::default() };
+        let q = random_role_preserving(6, &params, &mut rng);
+        assert!(q.universal_heads().is_empty());
+        assert!(q.is_complete());
+    }
+
+    #[test]
+    fn generated_targets_are_learnable() {
+        // Smoke: the generated queries round-trip through the learners.
+        use qhorn_core::learn::{learn_qhorn1, learn_role_preserving, LearnOptions};
+        use qhorn_core::oracle::QueryOracle;
+        use qhorn_core::query::equiv::equivalent;
+        let mut rng = SmallRng::seed_from_u64(99);
+        for _ in 0..10 {
+            let target = random_qhorn1(8, &mut rng);
+            let mut oracle = QueryOracle::new(target.clone());
+            let got = learn_qhorn1(8, &mut oracle, &LearnOptions::default()).unwrap();
+            assert!(equivalent(got.query(), &target), "{target}");
+        }
+        let params = RolePreservingParams::default();
+        for _ in 0..10 {
+            let target = random_role_preserving(7, &params, &mut rng);
+            let mut oracle = QueryOracle::new(target.clone());
+            let got = learn_role_preserving(7, &mut oracle, &LearnOptions::default()).unwrap();
+            assert!(equivalent(got.query(), &target), "{target}");
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! # qhorn-sim
+//!
+//! The evaluation substrate for the qhorn reproduction: everything the
+//! paper's analysis assumes but does not ship —
+//!
+//! * [`genquery`] / [`genobject`] — random target queries (qhorn-1 by the
+//!   partition construction of §2.1.3; role-preserving with configurable
+//!   size k and causal density θ) and random objects;
+//! * [`users`] — simulated users, including the noisy user of §5 with a
+//!   configurable mislabeling probability;
+//! * [`adversary`] — executable versions of the lower-bound adversaries
+//!   (Thm 2.1's Uni∧Alias class, Thm 3.6's overlapping-body family):
+//!   candidate-tracking oracles that always answer so as to keep as many
+//!   target queries alive as possible;
+//! * [`experiments`] — drivers that regenerate every figure/table of the
+//!   paper (see DESIGN.md §4 for the experiment index) as printable
+//!   tables and JSON rows;
+//! * [`report`] — plain-text table rendering.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod adversary;
+pub mod experiments;
+pub mod genobject;
+pub mod genquery;
+pub mod report;
+pub mod users;
+
+pub use report::Table;

@@ -1,0 +1,95 @@
+//! Simulated users.
+//!
+//! The paper's model user answers membership questions according to a
+//! hidden intended query ([`qhorn_core::oracle::QueryOracle`]). §5
+//! discusses *noisy users* who occasionally mislabel; [`NoisyUser`] models
+//! that with an i.i.d. flip probability, and the engine's session layer
+//! (`qhorn-engine::session`) implements the restart-from-correction
+//! workflow the paper proposes as the remedy.
+
+use qhorn_core::oracle::MembershipOracle;
+use qhorn_core::{Obj, Response};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A user who flips each label independently with probability `p`.
+pub struct NoisyUser<O> {
+    inner: O,
+    p: f64,
+    rng: SmallRng,
+    flips: Vec<usize>,
+    asked: usize,
+}
+
+impl<O: MembershipOracle> NoisyUser<O> {
+    /// Wraps `inner` with flip probability `p` and a seed.
+    #[must_use]
+    pub fn new(inner: O, p: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&p));
+        NoisyUser { inner, p, rng: SmallRng::seed_from_u64(seed), flips: Vec::new(), asked: 0 }
+    }
+
+    /// Indices (0-based question numbers) of the flipped responses.
+    #[must_use]
+    pub fn flipped(&self) -> &[usize] {
+        &self.flips
+    }
+
+    /// Questions answered so far.
+    #[must_use]
+    pub fn asked(&self) -> usize {
+        self.asked
+    }
+}
+
+impl<O: MembershipOracle> MembershipOracle for NoisyUser<O> {
+    fn ask(&mut self, question: &Obj) -> Response {
+        let honest = self.inner.ask(question);
+        let idx = self.asked;
+        self.asked += 1;
+        if self.rng.gen_bool(self.p) {
+            self.flips.push(idx);
+            honest.negate()
+        } else {
+            honest
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qhorn_core::oracle::QueryOracle;
+    use qhorn_core::{Expr, Query, VarSet};
+
+    fn target() -> Query {
+        Query::new(2, [Expr::conj(VarSet::from_indices([0, 1]))]).unwrap()
+    }
+
+    #[test]
+    fn zero_noise_is_honest() {
+        let mut u = NoisyUser::new(QueryOracle::new(target()), 0.0, 1);
+        for _ in 0..20 {
+            assert_eq!(u.ask(&Obj::from_bits("11")), Response::Answer);
+        }
+        assert!(u.flipped().is_empty());
+        assert_eq!(u.asked(), 20);
+    }
+
+    #[test]
+    fn full_noise_always_flips() {
+        let mut u = NoisyUser::new(QueryOracle::new(target()), 1.0, 1);
+        assert_eq!(u.ask(&Obj::from_bits("11")), Response::NonAnswer);
+        assert_eq!(u.flipped(), &[0]);
+    }
+
+    #[test]
+    fn partial_noise_flips_some() {
+        let mut u = NoisyUser::new(QueryOracle::new(target()), 0.3, 42);
+        for _ in 0..200 {
+            u.ask(&Obj::from_bits("11"));
+        }
+        let f = u.flipped().len();
+        assert!(f > 20 && f < 120, "flip count {f} should be ≈ 60");
+    }
+}

@@ -1,0 +1,109 @@
+//! The paper's running example, end to end in the *data domain*: the
+//! chocolate shop of §1 and Fig. 1.
+//!
+//! A customer wants "a box of dark chocolates with at least one filled
+//! Madagascar one" but only labels example boxes. The session layer turns
+//! every Boolean membership question into a concrete box — a real one from
+//! the inventory when possible, a synthesized one otherwise — the customer
+//! labels it, and the learner recovers the intended query, which we then
+//! execute against the store.
+//!
+//! ```sh
+//! cargo run --example chocolate_shop
+//! ```
+
+use qhorn::core::learn::LearnOptions;
+use qhorn::core::query::equiv::equivalent;
+use qhorn::engine::exec;
+use qhorn::engine::plan::CompiledQuery;
+use qhorn::engine::session::{RealizedQuestion, Session};
+use qhorn::engine::storage::DataStore;
+use qhorn::relation::datasets::chocolates;
+use qhorn::relation::value::Value;
+
+fn main() {
+    // --- The shop's inventory and the customer's propositions. ---------
+    let schema = chocolates::schema();
+    println!("schema        : {schema}");
+    let bridge = chocolates::booleanizer();
+    for (i, p) in bridge.props().iter().enumerate() {
+        println!("proposition x{} = {p}", i + 1);
+    }
+
+    // §2 assumption (ii): the propositions must not interfere.
+    let interferences = bridge.check_independence();
+    println!("interference  : {} conflicts", interferences.len());
+
+    // Fig. 1's two boxes plus a larger assorted inventory.
+    let mut relation = chocolates::fig1_boxes();
+    for obj in chocolates::assorted_boxes(60).objects {
+        relation.push(obj).unwrap();
+    }
+    let store = DataStore::from_relation(relation, bridge).unwrap();
+    println!("inventory     : {} boxes", store.relation().len());
+    println!();
+
+    // --- The customer's hidden intent (query (1) of §2). ---------------
+    let intent = chocolates::intro_query();
+    println!("hidden intent : {intent}");
+    println!(
+        "as SQL        :\n  {}",
+        qhorn::lang::printer::to_sql_like(
+            &intent,
+            "box",
+            "chocolates",
+            Some(&["is_dark", "has_filling", "from_madagascar"]),
+        )
+    );
+    println!();
+
+    // --- Interactive learning over realized examples. -------------------
+    let mut session = Session::new(&store, chocolates::hints());
+    let judge_bridge = chocolates::booleanizer();
+    let intent_for_user = intent.clone();
+    let mut shown = 0usize;
+    let outcome = session
+        .learn_qhorn1(&LearnOptions::default(), |example: &RealizedQuestion| {
+            // The customer looks at the actual box contents and decides.
+            let boolean = judge_bridge.booleanize_object(example.object()).unwrap();
+            let response = intent_for_user.eval(&boolean);
+            if shown < 3 {
+                let origin_of = |t: &qhorn::relation::DataTuple| match t.get(0) {
+                    Value::Str(s) => s.clone(),
+                    _ => unreachable!(),
+                };
+                println!(
+                    "example box #{shown} ({}): {:?} -> {response}",
+                    if example.is_stored() { "from inventory" } else { "synthesized" },
+                    example.object().tuples.iter().map(origin_of).collect::<Vec<_>>(),
+                );
+            }
+            shown += 1;
+            response
+        })
+        .unwrap();
+    println!("… {} examples labeled in total", session.transcript().len());
+    println!();
+    println!("learned query : {}", outcome.query());
+    assert!(equivalent(outcome.query(), &intent));
+    println!("matches intent: yes");
+    println!();
+
+    // --- Execute the learned query against the whole inventory. --------
+    let plan = CompiledQuery::compile(outcome.query());
+    let (hits, stats) = exec::execute_with_stats(&plan, store.boolean());
+    println!(
+        "execution     : {} answers / {} boxes ({} distinct signatures evaluated)",
+        stats.answers, stats.objects, stats.signatures_evaluated
+    );
+    for id in hits.iter().take(5) {
+        let name = match store.data_object(*id).attrs.get(0) {
+            Value::Str(s) => s.clone(),
+            _ => unreachable!(),
+        };
+        println!("  answer {id}: {name}");
+    }
+    if hits.is_empty() {
+        println!("  (no box in stock satisfies the intent — restock Madagascar!)");
+    }
+}

@@ -1,0 +1,104 @@
+//! Interactive query learning at the terminal: *you* are the user the
+//! learner questions.
+//!
+//! ```sh
+//! cargo run --example interactive            # answer y/n yourself
+//! cargo run --example interactive -- --simulate   # scripted demo user
+//! ```
+//!
+//! Each membership question is a box of chocolates; answer `y` if the box
+//! matches the query you have in mind, `n` otherwise. The propositions are
+//! fixed: x1 = isDark, x2 = hasFilling, x3 = origin=Madagascar. Keep your
+//! intent within qhorn-1 over those three propositions (e.g. "all
+//! chocolates dark, at least one filled Madagascar").
+
+use qhorn::core::learn::LearnOptions;
+use qhorn::core::Response;
+use qhorn::engine::session::{RealizedQuestion, Session};
+use qhorn::engine::storage::DataStore;
+use qhorn::relation::datasets::chocolates;
+use qhorn::relation::value::Value;
+use std::io::{BufRead, Write};
+
+fn describe(example: &RealizedQuestion) -> String {
+    let mut lines = Vec::new();
+    for t in &example.object().tuples {
+        let origin = match t.get(0) {
+            Value::Str(s) => s.clone(),
+            _ => unreachable!(),
+        };
+        let dark = matches!(t.get(2), Value::Bool(true));
+        let filled = matches!(t.get(3), Value::Bool(true));
+        lines.push(format!(
+            "    - {} chocolate from {origin}{}",
+            if dark { "dark" } else { "milk" },
+            if filled { ", filled" } else { "" },
+        ));
+    }
+    if lines.is_empty() {
+        lines.push("    (an empty box)".to_string());
+    }
+    lines.join("\n")
+}
+
+fn main() {
+    let simulate = std::env::args().any(|a| a == "--simulate") || !is_tty();
+    let store = DataStore::from_relation(
+        chocolates::assorted_boxes(40),
+        chocolates::booleanizer(),
+    )
+    .unwrap();
+    let mut session = Session::new(&store, chocolates::hints());
+
+    println!("Propositions: x1 = isDark, x2 = hasFilling, x3 = origin = Madagascar");
+    if simulate {
+        println!("(simulated user; intent: {})\n", chocolates::intro_query());
+    } else {
+        println!("Think of a qhorn-1 query over x1..x3, then answer y/n.\n");
+    }
+
+    let intent = chocolates::intro_query();
+    let bridge = chocolates::booleanizer();
+    let stdin = std::io::stdin();
+    let mut question_no = 0usize;
+    let outcome = session
+        .learn_qhorn1(&LearnOptions::default(), |example| {
+            question_no += 1;
+            println!("Question {question_no}: would this box match?");
+            println!("{}", describe(example));
+            if simulate {
+                let b = bridge.booleanize_object(example.object()).unwrap();
+                let r = intent.eval(&b);
+                println!("  [simulated user answers: {r}]\n");
+                return r;
+            }
+            print!("  (y/n) > ");
+            std::io::stdout().flush().unwrap();
+            let mut line = String::new();
+            let r = match stdin.lock().read_line(&mut line) {
+                Ok(0) => Response::NonAnswer, // EOF: fail closed
+                Ok(_) if line.trim().eq_ignore_ascii_case("y") => Response::Answer,
+                _ => Response::NonAnswer,
+            };
+            println!();
+            r
+        })
+        .unwrap();
+
+    println!("Learned query: {}", outcome.query());
+    println!(
+        "As SQL:\n  {}",
+        qhorn::lang::printer::to_sql_like(
+            outcome.query(),
+            "box",
+            "chocolates",
+            Some(&["is_dark", "has_filling", "from_madagascar"]),
+        )
+    );
+    println!("({} questions asked)", outcome.stats().questions);
+}
+
+fn is_tty() -> bool {
+    use std::io::IsTerminal;
+    std::io::stdin().is_terminal()
+}

@@ -1,0 +1,25 @@
+//! The paper's lower bounds, played out as games (Thm 2.1, Lemmas 3.3/3.4,
+//! Thm 3.6).
+//!
+//! ```sh
+//! cargo run --release --example lower_bounds
+//! ```
+
+use qhorn::sim::experiments::lower_bounds::{
+    alias_lower_bound, body_lower_bound, constant_width_lower_bound,
+};
+
+fn main() {
+    // Thm 2.1: general qhorn (variables repeating across head/body roles)
+    // needs Ω(2^n) questions — the Uni∧Alias adversary concedes exactly
+    // one candidate per question.
+    println!("{}", alias_lower_bound(&[2, 4, 6, 8, 10]));
+
+    // Lemmas 3.3 vs 3.4: restricting questions to c tuples forces ≈ n²/c²
+    // questions where unrestricted matrix questions need O(lg n).
+    println!("{}", constant_width_lower_bound(32, &[2, 4, 8]));
+
+    // Thm 3.6: overlapping bodies force Ω((n/θ)^(θ−1)) questions even for
+    // our optimal learner.
+    println!("{}", body_lower_bound(12, &[2, 3, 4]));
+}

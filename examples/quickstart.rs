@@ -1,0 +1,55 @@
+//! Quickstart: exact learning and verification of a qhorn query from
+//! membership questions.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use qhorn::core::learn::Phase;
+use qhorn::prelude::*;
+
+fn main() {
+    // The user's hidden intent, in the paper's shorthand notation
+    // (§2.1): "every tuple with x1 and x2 true must have x3 true, and
+    // some tuple has x4" — plus the implicit guarantee clauses.
+    let target = parse("all x1 x2 -> x3; some x4").unwrap();
+    println!("hidden intent : {target}");
+    println!("ascii form    : {}", qhorn::lang::printer::to_ascii(&target));
+    println!();
+
+    // A simulated user labels membership questions according to the
+    // intent. CountingOracle records the cost.
+    let mut user = CountingOracle::new(QueryOracle::new(target.clone()));
+
+    // Learn (Theorem 3.1: O(n lg n) membership questions).
+    let outcome = learn_qhorn1(4, &mut user, &LearnOptions::default()).unwrap();
+    println!("learned query : {}", outcome.query());
+    println!("equivalent    : {}", equivalent(outcome.query(), &target));
+    println!();
+
+    let stats = outcome.stats();
+    println!("questions asked: {}", stats.questions);
+    for phase in [
+        Phase::ClassifyHeads,
+        Phase::UniversalBodies,
+        Phase::ExistentialDependence,
+        Phase::MatrixQuestions,
+    ] {
+        println!("  {:<24} {}", phase.to_string(), stats.phase(phase));
+    }
+    println!();
+
+    // Verification (§4): O(k) questions decide whether a given query
+    // matches the intent.
+    let set = VerificationSet::build(outcome.query()).unwrap();
+    println!("verification set ({} questions):", set.len());
+    for item in set.questions() {
+        println!("  [{}] {:<28} expected: {}", item.kind, item.question.to_string(), item.expected);
+    }
+    let verdict = set.verify(&mut QueryOracle::new(target.clone()));
+    println!("user with the same intent  : verified = {}", verdict.is_verified());
+
+    let other = parse_with_arity("all x1 -> x3; some x4", 4).unwrap();
+    let verdict = set.verify(&mut QueryOracle::new(other));
+    println!("user with a different intent: verified = {}", verdict.is_verified());
+}

@@ -1,0 +1,73 @@
+//! Verification and revision (§4 and §6): decide whether a hand-written
+//! query matches the user's intent with O(k) questions; on disagreement,
+//! repair it.
+//!
+//! Uses the paper's §4.2 running example
+//! `∀x1x4→x5 ∀x3x4→x5 ∀x1x2→x6 ∃x1x2x3 ∃x2x3x4 ∃x1x2x5 ∃x2x3x5x6`.
+//!
+//! ```sh
+//! cargo run --example verify_and_revise
+//! ```
+
+use qhorn::core::learn::revision::{distance, revise};
+use qhorn::core::learn::LearnOptions;
+use qhorn::core::query::equiv::equivalent;
+use qhorn::core::verify::VerificationSet;
+use qhorn::prelude::*;
+
+fn main() {
+    let given =
+        parse("∀x1x4→x5 ∀x3x4→x5 ∀x1x2→x6 ∃x1x2x3 ∃x2x3x4 ∃x1x2x5 ∃x2x3x5x6").unwrap();
+    println!("given query: {given}");
+    let nf = given.normal_form();
+    println!("normalized : {nf}");
+    println!("size k = {}, causal density θ = {}", given.size(), nf.causal_density());
+    println!();
+
+    // --- The verification set (reproduces §4.2). -------------------------
+    let set = VerificationSet::build(&given).unwrap();
+    println!("verification set: {} membership questions", set.len());
+    for item in set.questions() {
+        println!("  [{}] expected {:<10} — {}", item.kind, item.expected.to_string(), item.about);
+        println!("       {}", item.question);
+    }
+    println!();
+
+    // --- Case 1: the user meant exactly this query. ----------------------
+    let outcome = set.verify(&mut QueryOracle::new(given.clone()));
+    println!(
+        "user intends the same query   → verified after {} questions",
+        outcome.questions()
+    );
+
+    // --- Case 2: the user's intent differs (one conjunction missing). ---
+    let intent = parse_with_arity("∀x1x4→x5 ∀x3x4→x5 ∀x1x2→x6 ∃x1x2x3 ∃x2x3x4 ∃x1x2x5", 6)
+        .unwrap();
+    println!(
+        "lattice distance(given, real) = {}",
+        distance(&given, &intent)
+    );
+    match set.verify(&mut QueryOracle::new(intent.clone())) {
+        qhorn::core::verify::VerificationOutcome::Refuted { questions, discrepancy } => {
+            println!(
+                "user intends something else   → refuted after {questions} questions by [{}]",
+                discrepancy.kind
+            );
+            println!("  question : {}", discrepancy.question);
+            println!("  expected {} but the user said {}", discrepancy.expected, discrepancy.got);
+        }
+        qhorn::core::verify::VerificationOutcome::Verified { .. } => unreachable!(),
+    }
+    println!();
+
+    // --- Revision (§6): verify-then-relearn with transcript replay. -----
+    let mut user = CountingOracle::new(QueryOracle::new(intent.clone()));
+    let revision = revise(&given, &mut user, &LearnOptions::default()).unwrap();
+    println!(
+        "revision: verified-as-is = {}, verification q = {}, fresh learning q = {}",
+        revision.verified_as_is, revision.verification_questions, revision.learning_questions
+    );
+    println!("revised query: {}", revision.query);
+    assert!(equivalent(&revision.query, &intent));
+    println!("revised ≡ intent: yes (total user questions: {})", user.stats().questions);
+}

@@ -1,0 +1,83 @@
+//! A second domain: wine cellars with integer-valued propositions
+//! (`vintage ≥ 2010`, `rating ≥ 90`, `region = Rhône`).
+//!
+//! Shows the ordering-comparison side of the proposition language: the
+//! synthesizer solves integer intervals to produce example bottles, and
+//! the engine explains why cellars match or miss.
+//!
+//! ```sh
+//! cargo run --example wine_cellar
+//! ```
+
+use qhorn::core::learn::LearnOptions;
+use qhorn::core::query::equiv::equivalent;
+use qhorn::engine::explain::{explain, Verdict};
+use qhorn::engine::plan::CompiledQuery;
+use qhorn::engine::session::Session;
+use qhorn::engine::storage::DataStore;
+use qhorn::engine::exec;
+use qhorn::relation::datasets::cellars;
+use qhorn::relation::value::Value;
+
+fn main() {
+    let bridge = cellars::booleanizer();
+    println!("schema: {}", cellars::schema());
+    for (i, p) in bridge.props().iter().enumerate() {
+        println!("  x{} = {p}", i + 1);
+    }
+    println!();
+
+    let store = DataStore::from_relation(cellars::inventory(50), cellars::booleanizer()).unwrap();
+    println!("inventory: {} cellars", store.relation().len());
+
+    // Intent: every bottle recent, and at least one excellent Rhône.
+    let intent = qhorn::lang::parse_with_arity("all x1; some x2 x3", 3).unwrap();
+    println!("hidden intent: {intent}\n");
+
+    // Learn through the session (examples are real cellars when the
+    // signature exists in stock, synthesized bottles otherwise — note the
+    // synthesized vintages/ratings respect the integer intervals).
+    let mut session = Session::new(&store, cellars::hints());
+    let judge = cellars::booleanizer();
+    let intent_for_user = intent.clone();
+    let mut shown = 0usize;
+    let outcome = session
+        .learn_qhorn1(&LearnOptions::default(), |example| {
+            let response = intent_for_user
+                .eval(&judge.booleanize_object(example.object()).unwrap());
+            if shown < 2 {
+                println!(
+                    "example ({}):",
+                    if example.is_stored() { "stored" } else { "synthesized" }
+                );
+                for t in &example.object().tuples {
+                    println!("    {t}");
+                }
+                println!("  user: {response}\n");
+            }
+            shown += 1;
+            response
+        })
+        .unwrap();
+    println!("learned: {}  ({} questions)", outcome.query(), outcome.stats().questions);
+    assert!(equivalent(outcome.query(), &intent));
+
+    // Execute + explain.
+    let plan = CompiledQuery::compile(outcome.query());
+    let (hits, stats) = exec::execute_with_stats(&plan, store.boolean());
+    println!(
+        "\n{} matching cellars of {} ({} signatures evaluated)",
+        stats.answers, stats.objects, stats.signatures_evaluated
+    );
+    for (id, _) in store.boolean().iter().take(4) {
+        let label = match store.data_object(id).attrs.get(0) {
+            Value::Str(s) => s.clone(),
+            _ => unreachable!(),
+        };
+        match explain(outcome.query(), store.boolean(), id) {
+            Verdict::Answer => println!("  {label}: ✔ answer"),
+            Verdict::NonAnswer(reason) => println!("  {label}: ✘ {reason}"),
+        }
+    }
+    let _ = hits;
+}

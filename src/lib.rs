@@ -1,0 +1,75 @@
+//! # qhorn
+//!
+//! A complete Rust implementation of *"Learning and Verifying Quantified
+//! Boolean Queries by Example"* (Abouzied, Angluin, Papadimitriou,
+//! Hellerstein, Silberschatz — PODS 2013).
+//!
+//! Quantified queries evaluate propositions over *sets* of tuples — "a box
+//! with dark chocolates, some sugar-free with nuts or filling" — and are
+//! notoriously hard for users to write directly. The paper shows that for
+//! **qhorn** (conjunctions of quantified Horn expressions with guarantee
+//! clauses) two subclasses can be *learned exactly* from a handful of
+//! labeled example objects, and *verified* with O(k) examples.
+//!
+//! This workspace facade re-exports the five crates:
+//!
+//! | module | crate | contents |
+//! |--------|-------|----------|
+//! | [`core`] | `qhorn-core` | queries, semantics, normalization, learners (Thms 3.1, 3.5, 3.8), verifier (Fig. 6), oracles |
+//! | [`relation`] | `qhorn-relation` | nested relations, propositions, interference, Boolean bridge + example synthesis |
+//! | [`lang`] | `qhorn-lang` | parser/printers for the `∀x1x2 → x3 ∃x5` shorthand |
+//! | [`engine`] | `qhorn-engine` | compiled plans, columnar evaluation, stores, interactive sessions |
+//! | [`sim`] | `qhorn-sim` | random targets, noisy users, lower-bound adversaries, experiment drivers |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use qhorn::prelude::*;
+//!
+//! // The user's hidden intent, written in the paper's shorthand.
+//! let target = qhorn::lang::parse("all x1 x2 -> x3; some x4").unwrap();
+//!
+//! // A simulated user labels membership questions; the learner recovers
+//! // the query exactly (Theorem 3.1: O(n lg n) questions).
+//! let mut user = QueryOracle::new(target.clone());
+//! let outcome = learn_qhorn1(4, &mut user, &LearnOptions::default()).unwrap();
+//! assert!(equivalent(outcome.query(), &target));
+//!
+//! // Verify it with O(k) questions (§4).
+//! let set = VerificationSet::build(outcome.query()).unwrap();
+//! assert!(set.verify(&mut QueryOracle::new(target)).is_verified());
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use qhorn_core as core;
+pub use qhorn_engine as engine;
+pub use qhorn_lang as lang;
+pub use qhorn_relation as relation;
+pub use qhorn_sim as sim;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use qhorn_core::learn::{
+        learn_qhorn1, learn_role_preserving, LearnOptions, LearnOutcome,
+    };
+    pub use qhorn_core::oracle::{CountingOracle, MembershipOracle, QueryOracle};
+    pub use qhorn_core::query::equiv::equivalent;
+    pub use qhorn_core::verify::VerificationSet;
+    pub use qhorn_core::{varset, BoolTuple, Expr, Obj, Query, Response, VarId, VarSet};
+    pub use qhorn_lang::{parse, parse_with_arity};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn facade_round_trip() {
+        let q = parse("∀x1 ∃x2").unwrap();
+        let mut user = QueryOracle::new(q.clone());
+        let got = learn_qhorn1(2, &mut user, &LearnOptions::default()).unwrap();
+        assert!(equivalent(got.query(), &q));
+    }
+}

@@ -1,0 +1,126 @@
+//! Cross-crate integration: shorthand parsing → learning → verification →
+//! compiled execution, plus the full data-domain loop.
+
+use qhorn::core::learn::{learn_qhorn1, learn_role_preserving, LearnOptions};
+use qhorn::core::oracle::{CountingOracle, QueryOracle};
+use qhorn::core::query::equiv::equivalent;
+use qhorn::core::verify::VerificationSet;
+use qhorn::engine::exec;
+use qhorn::engine::plan::CompiledQuery;
+use qhorn::engine::session::Session;
+use qhorn::engine::storage::{DataStore, Store};
+use qhorn::lang::{parse, parse_with_arity, printer};
+use qhorn::relation::datasets::chocolates;
+use qhorn::core::Obj;
+
+#[test]
+fn parse_learn_verify_execute() {
+    // 1. A query arrives as text.
+    let target = parse("all x1 x2 -> x3; some x4; some x5 x6").unwrap();
+    assert_eq!(target.arity(), 6);
+
+    // 2. Learn it from a simulated user.
+    let mut user = CountingOracle::new(QueryOracle::new(target.clone()));
+    let outcome = learn_qhorn1(6, &mut user, &LearnOptions::default()).unwrap();
+    assert!(equivalent(outcome.query(), &target));
+
+    // 3. Verify the learned query (same user must agree everywhere).
+    let set = VerificationSet::build(outcome.query()).unwrap();
+    assert!(set.verify(&mut QueryOracle::new(target.clone())).is_verified());
+
+    // 4. Execute it over a Boolean store; compiled and interpreted
+    //    evaluation agree object by object.
+    let mut store = Store::new(6);
+    for bits in [
+        "111111",
+        "111101 000010",
+        "110111 111011",
+        "001111",
+        "111111 110111 101011",
+    ] {
+        store.insert(Obj::from_bits(bits));
+    }
+    let plan = CompiledQuery::compile(outcome.query());
+    let hits = exec::execute(&plan, &store);
+    for (id, obj) in store.iter() {
+        assert_eq!(hits.contains(&id), target.accepts(obj), "object {obj}");
+    }
+
+    // 5. Pretty-printers round-trip.
+    assert_eq!(parse(&printer::to_ascii(&target)).unwrap(), target);
+    assert_eq!(parse(&printer::to_unicode(&target)).unwrap(), target);
+}
+
+#[test]
+fn data_domain_loop_learns_the_intro_query() {
+    // Boxes of chocolates all the way down: the learner never sees the
+    // data domain, the user never sees the Boolean domain.
+    let mut relation = chocolates::fig1_boxes();
+    for obj in chocolates::assorted_boxes(30).objects {
+        relation.push(obj).unwrap();
+    }
+    let store = DataStore::from_relation(relation, chocolates::booleanizer()).unwrap();
+    let intent = chocolates::intro_query();
+
+    let mut session = Session::new(&store, chocolates::hints());
+    let judge = chocolates::booleanizer();
+    let intent_clone = intent.clone();
+    let outcome = session
+        .learn_role_preserving(&LearnOptions::default(), |example| {
+            let boolean = judge.booleanize_object(example.object()).unwrap();
+            intent_clone.eval(&boolean)
+        })
+        .unwrap();
+    assert!(equivalent(outcome.query(), &intent));
+
+    // The learned query, executed over the inventory, returns exactly the
+    // boxes the user would have accepted.
+    let plan = CompiledQuery::compile(outcome.query());
+    let hits = exec::execute(&plan, store.boolean());
+    for (id, obj) in store.boolean().iter() {
+        assert_eq!(hits.contains(&id), intent.accepts(obj));
+    }
+}
+
+#[test]
+fn role_preserving_pipeline_on_the_paper_example() {
+    let target =
+        parse("∀x1x4→x5 ∀x3x4→x5 ∀x1x2→x6 ∃x1x2x3 ∃x2x3x4 ∃x1x2x5 ∃x2x3x5x6").unwrap();
+    let mut user = CountingOracle::new(QueryOracle::new(target.clone()));
+    let outcome = learn_role_preserving(6, &mut user, &LearnOptions::default()).unwrap();
+    assert!(equivalent(outcome.query(), &target));
+    // Verification of the learned query against the original intent.
+    let set = VerificationSet::build(outcome.query()).unwrap();
+    assert!(set.verify(&mut QueryOracle::new(target.clone())).is_verified());
+    // A user who intended something weaker is caught.
+    let weaker = parse_with_arity("∀x1x4→x5 ∃x1x2x3", 6).unwrap();
+    assert!(!set.verify(&mut QueryOracle::new(weaker)).is_verified());
+}
+
+#[test]
+fn learners_agree_with_each_other() {
+    // Any complete qhorn-1 target can be learned by both learners with
+    // equivalent results.
+    for src in [
+        "all x1; some x2 x3",
+        "all x1 x2 -> x3; some x4",
+        "some x1 x2 -> x3; some x4 x5 -> x6",
+    ] {
+        let target = parse(src).unwrap();
+        let n = target.arity();
+        let a = learn_qhorn1(
+            n,
+            &mut QueryOracle::new(target.clone()),
+            &LearnOptions::default(),
+        )
+        .unwrap();
+        let b = learn_role_preserving(
+            n,
+            &mut QueryOracle::new(target.clone()),
+            &LearnOptions::default(),
+        )
+        .unwrap();
+        assert!(equivalent(a.query(), b.query()), "{src}");
+        assert!(equivalent(a.query(), &target), "{src}");
+    }
+}

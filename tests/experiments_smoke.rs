@@ -1,0 +1,106 @@
+//! Smoke tests for every experiment driver at reduced scale — the
+//! full-size tables are produced by the `qhorn-bench` binaries and
+//! recorded in EXPERIMENTS.md.
+
+use qhorn::sim::experiments::*;
+
+#[test]
+fn e2_counting() {
+    let t = counting::counting_table(3);
+    assert_eq!(t.rows.len(), 3);
+    assert!(t.to_string().contains("Bell"));
+    assert!(!t.to_json_lines().is_empty());
+}
+
+#[test]
+fn e3_alias_lower_bound() {
+    let t = lower_bounds::alias_lower_bound(&[2, 4]);
+    assert_eq!(t.rows.len(), 2);
+}
+
+#[test]
+fn e4_qhorn1_scaling() {
+    let t = scaling::qhorn1_scaling(&[6, 12], 2, 1);
+    assert_eq!(t.rows.len(), 2);
+}
+
+#[test]
+fn e5_constant_width() {
+    let t = lower_bounds::constant_width_lower_bound(12, &[2, 4]);
+    assert_eq!(t.rows.len(), 3, "two widths + the unrestricted reference row");
+}
+
+#[test]
+fn e6_universal_scaling() {
+    let t = scaling::universal_scaling(&[6, 8], &[1, 2]);
+    assert!(t.rows.len() >= 3);
+}
+
+#[test]
+fn e7_body_lower_bound() {
+    let t = lower_bounds::body_lower_bound(6, &[3]);
+    assert_eq!(t.rows.len(), 1);
+    assert_eq!(t.rows[0][5], "true", "the learner stays exact against the adversary");
+}
+
+#[test]
+fn e8_existential_scaling() {
+    let t = scaling::existential_scaling(&[8], &[2], 2, 2);
+    assert_eq!(t.rows.len(), 1);
+}
+
+#[test]
+fn e12_verification_scaling() {
+    let t = verification::verification_scaling(&[6], 2, 2);
+    assert_eq!(t.rows.len(), 2);
+}
+
+#[test]
+fn e13_fig7() {
+    let t = verification::two_variable_sets();
+    assert!(t.rows.len() > 20, "every query contributes several questions");
+}
+
+#[test]
+fn e14_fig8() {
+    let t = verification::two_variable_detection_matrix();
+    assert!(!t.rows.is_empty());
+    // Every row names at least one detecting family.
+    for row in &t.rows {
+        assert!(!row[2].is_empty());
+    }
+}
+
+#[test]
+fn e16_soak() {
+    let t = soak::soak(&[5], 2, 3);
+    assert_eq!(t.rows.len(), 2);
+}
+
+#[test]
+fn e_pac_curve() {
+    let t = pac_curve::pac_curve(&[0.25], 3, 4);
+    assert_eq!(t.rows.len(), 1);
+}
+
+#[test]
+fn e_noise_hardening() {
+    let t = noise::noise_hardening(5, &[0.0], &[0], 2, 1);
+    assert_eq!(t.rows.len(), 1);
+    assert_eq!(t.rows[0][4], "2/2");
+}
+
+#[test]
+fn e_revision_curve() {
+    let t = revision_curve::revision_curve(6, &[0], 2, 9);
+    assert_eq!(t.rows[0][5], "2/2");
+}
+
+#[test]
+fn e_teaching() {
+    let t = teaching::teaching_vs_verification(2);
+    assert!(t.rows.len() >= 7);
+    for row in &t.rows {
+        assert_eq!(row[4], "true");
+    }
+}

@@ -1,0 +1,123 @@
+//! The paper's worked examples, verified end to end at integration level.
+
+use qhorn::core::learn::{learn_role_preserving, LearnOptions};
+use qhorn::core::oracle::QueryOracle;
+use qhorn::core::query::equiv::{equivalent, equivalent_brute_force};
+use qhorn::core::query::generate::enumerate_role_preserving;
+use qhorn::core::verify::{QuestionKind, VerificationSet};
+use qhorn::core::{BoolTuple, Obj};
+use qhorn::lang::parse;
+use std::collections::BTreeSet;
+
+/// §3.2.2's target query (2) in normalized form.
+fn running_example() -> qhorn::core::Query {
+    parse("∀x1x4→x5 ∀x3x4→x5 ∀x1x2→x6 ∃x1x2x3 ∃x2x3x4 ∃x1x2x5 ∃x2x3x5x6").unwrap()
+}
+
+#[test]
+fn section_3_2_2_distinguishing_tuples() {
+    // "The learning algorithm terminates with the following distinguishing
+    // tuples {110011, 100110, 111001, 011011, 011110}".
+    let nf = running_example().normal_form();
+    let tuples: BTreeSet<String> = nf
+        .existential_distinguishing_tuples()
+        .iter()
+        .map(BoolTuple::to_bits)
+        .collect();
+    let expected: BTreeSet<String> = ["110011", "100110", "111001", "011011", "011110"]
+        .into_iter()
+        .map(String::from)
+        .collect();
+    assert_eq!(tuples, expected);
+}
+
+#[test]
+fn section_3_2_2_learner_recovers_query_2() {
+    let target = running_example();
+    let mut user = QueryOracle::new(target.clone());
+    let outcome = learn_role_preserving(6, &mut user, &LearnOptions::default()).unwrap();
+    assert!(equivalent(outcome.query(), &target));
+    // The learned conjunctions are exactly the five of the walkthrough.
+    let nf = outcome.query().normal_form();
+    assert_eq!(nf.existentials().len(), 5);
+    assert_eq!(nf.universals().len(), 3);
+}
+
+#[test]
+fn section_4_2_verification_set_shapes() {
+    // Fig. 6 question families on the §4.2 example: 1×A1, 4×N1, 3×A2,
+    // 3×N2, A3 for every conjunction strictly dominating a guarantee
+    // (§4.2 lists the x5 instance), 1×A4.
+    let set = VerificationSet::build(&running_example()).unwrap();
+    let count = |kind| set.of_kind(kind).count();
+    assert_eq!(count(QuestionKind::A1), 1);
+    assert_eq!(count(QuestionKind::N1), 4);
+    assert_eq!(count(QuestionKind::A2), 3);
+    assert_eq!(count(QuestionKind::N2), 3);
+    assert_eq!(count(QuestionKind::A3), 3);
+    assert_eq!(count(QuestionKind::A4), 1);
+
+    // The A1 question is exactly the five dominant distinguishing tuples.
+    let a1 = set.of_kind(QuestionKind::A1).next().unwrap();
+    assert_eq!(
+        a1.question,
+        Obj::from_bits("111001 011110 110011 011011 100110")
+    );
+    // The A4 question: all-true plus one flip per non-head variable.
+    let a4 = set.of_kind(QuestionKind::A4).next().unwrap();
+    assert_eq!(
+        a4.question,
+        Obj::from_bits("111111 011111 101111 110111 111011")
+    );
+}
+
+#[test]
+fn figure_7_and_8_reproduce() {
+    // Fig. 7: every complete role-preserving query on two variables has a
+    // verification set its own user confirms; Fig. 8: every ordered pair
+    // of distinct queries is separated by at least one question.
+    let all = enumerate_role_preserving(2, true);
+    assert!(all.len() >= 7, "at least the seven qhorn-1 classes");
+    for given in &all {
+        let set = VerificationSet::build(given).unwrap();
+        assert!(set.verify(&mut QueryOracle::new(given.clone())).is_verified());
+        for intended in &all {
+            let should_verify = equivalent(given, intended);
+            // Cross-check the equivalence oracle itself by brute force.
+            assert_eq!(should_verify, equivalent_brute_force(given, intended));
+            let verified =
+                set.verify(&mut QueryOracle::new(intended.clone())).is_verified();
+            assert_eq!(
+                verified, should_verify,
+                "given {given}, intended {intended}"
+            );
+        }
+    }
+}
+
+#[test]
+fn theorem_2_1_worst_case_game() {
+    // The executable adversary concedes one candidate per question:
+    // learning the alias family takes ≥ 2^n − 1 questions.
+    for n in [3u16, 5, 7] {
+        let (questions, family) = qhorn::sim::adversary::play_alias_game(n);
+        assert_eq!(family, 1usize << n);
+        assert!(questions >= family - 1, "n={n}: {questions} < {}", family - 1);
+    }
+}
+
+#[test]
+fn figure_1_pipeline() {
+    use qhorn::relation::datasets::chocolates;
+    // The Fig. 1 transformation plus the intro's interaction: both shown
+    // boxes are non-answers for the intended query.
+    let bridge = chocolates::booleanizer();
+    let rel = chocolates::fig1_boxes();
+    let intent = chocolates::intro_query();
+    let s1 = bridge.booleanize_object(&rel.objects[0]).unwrap();
+    assert_eq!(s1, Obj::from_bits("111 000 110"));
+    assert!(!intent.accepts(&s1));
+    let s2 = bridge.booleanize_object(&rel.objects[1]).unwrap();
+    assert_eq!(s2, Obj::from_bits("100 110"));
+    assert!(!intent.accepts(&s2));
+}
