@@ -32,8 +32,7 @@ fn bench_learn_role_preserving(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
             b.iter(|| {
                 let mut oracle = QueryOracle::new(target.clone());
-                let out =
-                    learn_role_preserving(n, &mut oracle, &LearnOptions::default()).unwrap();
+                let out = learn_role_preserving(n, &mut oracle, &LearnOptions::default()).unwrap();
                 black_box(out.stats().questions)
             });
         });
@@ -50,12 +49,9 @@ fn bench_universal_theta(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(theta), &theta, |b, _| {
             b.iter(|| {
                 let mut oracle = QueryOracle::new(target.clone());
-                let out = learn_role_preserving(
-                    target.arity(),
-                    &mut oracle,
-                    &LearnOptions::default(),
-                )
-                .unwrap();
+                let out =
+                    learn_role_preserving(target.arity(), &mut oracle, &LearnOptions::default())
+                        .unwrap();
                 black_box(out.stats().questions)
             });
         });

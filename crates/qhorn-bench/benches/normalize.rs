@@ -40,8 +40,12 @@ fn bench_choice_product(c: &mut Criterion) {
 fn bench_varset_ops(c: &mut Criterion) {
     let a = VarSet::from_indices((0..96).step_by(2));
     let b2 = VarSet::from_indices((0..96).step_by(3));
-    c.bench_function("varset_union_96", |b| b.iter(|| black_box(a.union(&b2).len())));
-    c.bench_function("varset_subset_96", |b| b.iter(|| black_box(b2.is_subset(&a))));
+    c.bench_function("varset_union_96", |b| {
+        b.iter(|| black_box(a.union(&b2).len()))
+    });
+    c.bench_function("varset_subset_96", |b| {
+        b.iter(|| black_box(b2.is_subset(&a)))
+    });
 }
 
 criterion_group!(

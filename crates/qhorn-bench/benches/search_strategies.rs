@@ -39,19 +39,27 @@ fn bench_strategies(c: &mut Criterion) {
     let mut group = c.benchmark_group("body_discovery");
     for n in [32u16, 64, 128] {
         let t = target(n);
-        group.bench_with_input(BenchmarkId::new("binary_search_full_learner", n), &n, |b, &n| {
-            b.iter(|| {
-                let mut oracle = CountingOracle::new(QueryOracle::new(t.clone()));
-                let out = learn_qhorn1(n, &mut oracle, &LearnOptions::default()).unwrap();
-                black_box(out.stats().questions)
-            });
-        });
-        group.bench_with_input(BenchmarkId::new("linear_scan_bodies_only", n), &n, |b, &n| {
-            b.iter(|| {
-                let mut oracle = CountingOracle::new(QueryOracle::new(t.clone()));
-                black_box(linear_body_discovery(n, &mut oracle).len())
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::new("binary_search_full_learner", n),
+            &n,
+            |b, &n| {
+                b.iter(|| {
+                    let mut oracle = CountingOracle::new(QueryOracle::new(t.clone()));
+                    let out = learn_qhorn1(n, &mut oracle, &LearnOptions::default()).unwrap();
+                    black_box(out.stats().questions)
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("linear_scan_bodies_only", n),
+            &n,
+            |b, &n| {
+                b.iter(|| {
+                    let mut oracle = CountingOracle::new(QueryOracle::new(t.clone()));
+                    black_box(linear_body_discovery(n, &mut oracle).len())
+                });
+            },
+        );
     }
     group.finish();
 }

@@ -1,0 +1,106 @@
+//! Service-layer throughput: registry sessions per second (in-process, no
+//! TCP) and parallel `EvaluateBatch` scaling vs the single-threaded
+//! `exec::execute` baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use qhorn_core::Obj;
+use qhorn_engine::exec;
+use qhorn_engine::plan::CompiledQuery;
+use qhorn_engine::session::LearnerKind;
+use qhorn_engine::storage::Store;
+use qhorn_service::batch::execute_parallel;
+use qhorn_service::registry::{CreateSpec, Registry, RegistryConfig, StepOutcome};
+use qhorn_sim::genobject::random_dense_object;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+/// One full learning dialogue through the registry (create → answer* →
+/// learned), driven by an in-process model user.
+fn run_session(registry: &Registry, target: &qhorn_core::Query) -> usize {
+    let spec = CreateSpec {
+        dataset: "chocolates".into(),
+        size: 30,
+        learner: LearnerKind::Qhorn1,
+        max_questions: Some(10_000),
+    };
+    let (id, mut outcome) = registry.create_session(spec).expect("create");
+    let mut answers = 0usize;
+    loop {
+        match outcome {
+            StepOutcome::Question(q) => {
+                answers += 1;
+                outcome = registry
+                    .answer(id, target.eval(&q.question))
+                    .expect("answer");
+            }
+            StepOutcome::Learned { .. } => return answers,
+            other => panic!("unexpected outcome {other:?}"),
+        }
+    }
+}
+
+fn bench_registry_sessions(c: &mut Criterion) {
+    let target = qhorn_lang::parse_with_arity("all x1; some x2 x3", 3).unwrap();
+    let mut group = c.benchmark_group("registry_sessions");
+    group.sample_size(10);
+    // Sessions per second through the full registry + driver machinery.
+    group.throughput(Throughput::Elements(1));
+    for shards in [1usize, 16] {
+        group.bench_with_input(
+            BenchmarkId::new("full_dialogue", shards),
+            &shards,
+            |b, &shards| {
+                let registry = Registry::new(RegistryConfig {
+                    shards,
+                    ..RegistryConfig::default()
+                });
+                b.iter(|| black_box(run_session(&registry, &target)));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn make_store(n: u16, objects: usize, distinct: usize) -> Store {
+    let mut rng = SmallRng::seed_from_u64(11);
+    let signatures: Vec<Obj> = (0..distinct)
+        .map(|_| random_dense_object(n, 24, &mut rng))
+        .collect();
+    let mut store = Store::new(n);
+    for i in 0..objects {
+        store.insert(signatures[i % signatures.len()].clone());
+    }
+    store
+}
+
+fn bench_parallel_batch(c: &mut Criterion) {
+    // Worker scaling is bounded by the hardware: on a 1-core box the
+    // parallel path can only show (absence of) overhead; speedups appear
+    // from 2 cores up.
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    println!("(available parallelism: {cores} core(s))");
+    let n = 12u16;
+    let target = qhorn_bench::bench_role_preserving_target(n);
+    let plan = CompiledQuery::compile(&target);
+    // Many distinct signatures: the signature index cannot collapse the
+    // work, so the parallel split has real work to distribute.
+    let store = make_store(n, 40_000, 40_000);
+    let mut group = c.benchmark_group("evaluate_batch_40k_objects");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(40_000));
+    group.bench_function("sequential_execute", |b| {
+        b.iter(|| black_box(exec::execute(&plan, &store).len()))
+    });
+    for workers in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("parallel", workers),
+            &workers,
+            |b, &workers| b.iter(|| black_box(execute_parallel(&plan, &store, workers).len())),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_registry_sessions, bench_parallel_batch);
+criterion_main!(benches);

@@ -2,6 +2,11 @@
 fn main() {
     println!(
         "{}",
-        qhorn_sim::experiments::scaling::existential_scaling(&[8, 12, 16, 24], &[2, 4, 6], 10, 0xE8)
+        qhorn_sim::experiments::scaling::existential_scaling(
+            &[8, 12, 16, 24],
+            &[2, 4, 6],
+            10,
+            0xE8
+        )
     );
 }

@@ -2,6 +2,12 @@
 fn main() {
     println!(
         "{}",
-        qhorn_sim::experiments::noise::noise_hardening(8, &[0.0, 0.05, 0.1], &[0, 2, 5], 30, 0x105E)
+        qhorn_sim::experiments::noise::noise_hardening(
+            8,
+            &[0.0, 0.05, 0.1],
+            &[0, 2, 5],
+            30,
+            0x105E
+        )
     );
 }

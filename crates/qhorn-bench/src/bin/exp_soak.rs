@@ -1,4 +1,7 @@
 //! E16: end-to-end exact learning + verification across random targets.
 fn main() {
-    println!("{}", qhorn_sim::experiments::soak::soak(&[6, 9, 12], 25, 0x50AC));
+    println!(
+        "{}",
+        qhorn_sim::experiments::soak::soak(&[6, 9, 12], 25, 0x50AC)
+    );
 }

@@ -1,4 +1,7 @@
 //! E-TEACH: minimum teaching sets vs Fig. 6 verification sets (n = 2).
 fn main() {
-    println!("{}", qhorn_sim::experiments::teaching::teaching_vs_verification(2));
+    println!(
+        "{}",
+        qhorn_sim::experiments::teaching::teaching_vs_verification(2)
+    );
 }

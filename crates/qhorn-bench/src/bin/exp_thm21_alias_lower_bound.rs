@@ -1,4 +1,7 @@
 //! E3 / Theorem 2.1: the Uni∧Alias adversary forces Ω(2^n) questions.
 fn main() {
-    println!("{}", qhorn_sim::experiments::lower_bounds::alias_lower_bound(&[2, 4, 6, 8, 10, 12]));
+    println!(
+        "{}",
+        qhorn_sim::experiments::lower_bounds::alias_lower_bound(&[2, 4, 6, 8, 10, 12])
+    );
 }

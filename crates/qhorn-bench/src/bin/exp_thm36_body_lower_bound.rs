@@ -1,4 +1,7 @@
 //! E7 / Theorem 3.6: overlapping bodies force Ω((n/θ)^(θ−1)) questions.
 fn main() {
-    println!("{}", qhorn_sim::experiments::lower_bounds::body_lower_bound(12, &[2, 3, 4]));
+    println!(
+        "{}",
+        qhorn_sim::experiments::lower_bounds::body_lower_bound(12, &[2, 3, 4])
+    );
 }

@@ -33,7 +33,9 @@ fn main() {
     println!("## Inverse direction: synthesizing a chocolate for each Boolean class\n");
     let synth = Synthesizer::new(&bridge, chocolates::hints());
     for mask in 0u8..8 {
-        let bits: String = (0..3).map(|i| if mask & (1 << i) != 0 { '1' } else { '0' }).collect();
+        let bits: String = (0..3)
+            .map(|i| if mask & (1 << i) != 0 { '1' } else { '0' })
+            .collect();
         let bt = BoolTuple::from_bits(&bits);
         match synth.synthesize_tuple(&bt) {
             Ok(t) => println!("  {bits}  →  {t}"),

@@ -1,9 +1,9 @@
 //! E11 / Figs. 4–5: the Boolean lattice and the §3.2.1 body search for
 //! head x5 of the running example, traced question by question.
 
+use qhorn_core::lattice::tuples_at_level;
 use qhorn_core::learn::{learn_role_preserving, LearnOptions, Phase};
 use qhorn_core::oracle::{MembershipOracle, QueryOracle, TranscriptOracle};
-use qhorn_core::lattice::tuples_at_level;
 use qhorn_lang::parse;
 
 fn main() {
@@ -18,8 +18,7 @@ fn main() {
     println!();
 
     println!("## Fig. 5: learning the bodies of x5 in the running example\n");
-    let target =
-        parse("∀x1x4→x5 ∀x3x4→x5 ∀x1x2→x6 ∃x1x2x3 ∃x2x3x4 ∃x1x2x5 ∃x2x3x5x6").unwrap();
+    let target = parse("∀x1x4→x5 ∀x3x4→x5 ∀x1x2→x6 ∃x1x2x3 ∃x2x3x4 ∃x1x2x5 ∃x2x3x5x6").unwrap();
     println!("target: {target}\n");
     let mut oracle = TranscriptOracle::new(QueryOracle::new(target.clone()));
     let outcome = learn_role_preserving(6, &mut oracle, &LearnOptions::default()).unwrap();

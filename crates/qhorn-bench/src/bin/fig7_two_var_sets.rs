@@ -1,5 +1,8 @@
 //! E13 / Fig. 7: verification sets for every role-preserving query on two
 //! variables.
 fn main() {
-    println!("{}", qhorn_sim::experiments::verification::two_variable_sets());
+    println!(
+        "{}",
+        qhorn_sim::experiments::verification::two_variable_sets()
+    );
 }

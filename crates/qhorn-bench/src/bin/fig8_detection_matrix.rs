@@ -1,4 +1,7 @@
 //! E14 / Fig. 8: which question family detects each given/intended pair.
 fn main() {
-    println!("{}", qhorn_sim::experiments::verification::two_variable_detection_matrix());
+    println!(
+        "{}",
+        qhorn_sim::experiments::verification::two_variable_detection_matrix()
+    );
 }

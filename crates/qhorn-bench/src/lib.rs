@@ -40,6 +40,9 @@ mod tests {
     #[test]
     fn fixtures_are_deterministic() {
         assert_eq!(bench_qhorn1_target(12), bench_qhorn1_target(12));
-        assert_eq!(bench_role_preserving_target(9), bench_role_preserving_target(9));
+        assert_eq!(
+            bench_role_preserving_target(9),
+            bench_role_preserving_target(9)
+        );
     }
 }

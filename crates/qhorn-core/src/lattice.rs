@@ -53,10 +53,19 @@ pub fn tuples_at_level(n: u16, level: usize) -> Vec<BoolTuple> {
     out
 }
 
-fn choose_rec(n: u16, start: u16, remaining: usize, current: &mut VarSet, out: &mut Vec<BoolTuple>) {
+fn choose_rec(
+    n: u16,
+    start: u16,
+    remaining: usize,
+    current: &mut VarSet,
+    out: &mut Vec<BoolTuple>,
+) {
     if remaining == 0 {
         let falses = current.clone();
-        out.push(BoolTuple::from_true_set(n, VarSet::full(n).difference(&falses)));
+        out.push(BoolTuple::from_true_set(
+            n,
+            VarSet::full(n).difference(&falses),
+        ));
         return;
     }
     for i in start..n {
@@ -150,7 +159,11 @@ mod tests {
         let t = BoolTuple::from_bits("111110");
         assert!(violates(&t, &varset![1, 2], v(6)), "x1x2 true, x6 false");
         assert!(!violates(&t, &varset![1, 2], v(5)));
-        assert!(!violates(&BoolTuple::from_bits("101110"), &varset![1, 2], v(6)));
+        assert!(!violates(
+            &BoolTuple::from_bits("101110"),
+            &varset![1, 2],
+            v(6)
+        ));
         // Bodyless: ∀h violated iff h false.
         assert!(violates(&t, &VarSet::new(), v(6)));
     }
@@ -199,7 +212,10 @@ mod tests {
         assert!(choices.contains(&varset![1, 3]));
         assert!(choices.contains(&varset![1, 4]));
         assert!(choices.contains(&varset![3, 4]));
-        assert!(choices.contains(&varset![4]), "same variable chosen from both sets collapses");
+        assert!(
+            choices.contains(&varset![4]),
+            "same variable chosen from both sets collapses"
+        );
     }
 
     #[test]

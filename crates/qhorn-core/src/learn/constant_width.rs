@@ -32,7 +32,10 @@ use crate::var::{VarId, VarSet};
 /// Panics unless `i < j < n` and `n ≥ 3`.
 #[must_use]
 pub fn pair_head_query(n: u16, i: VarId, j: VarId) -> Query {
-    assert!(n >= 3 && i < j && (j.index() as u16) < n, "need i < j < n, n ≥ 3");
+    assert!(
+        n >= 3 && i < j && (j.index() as u16) < n,
+        "need i < j < n, n ≥ 3"
+    );
     let body: VarSet = (0..n).map(VarId).filter(|v| *v != i && *v != j).collect();
     Query::new(
         n,
@@ -71,7 +74,10 @@ pub fn learn_pair_heads<O: MembershipOracle + ?Sized>(
     oracle: &mut O,
     opts: &LearnOptions,
 ) -> Result<PairHeadOutcome, LearnError> {
-    assert!(c >= 2, "questions need at least two tuples to carry information");
+    assert!(
+        c >= 2,
+        "questions need at least two tuples to carry information"
+    );
     assert!(n >= 3);
     let mut asker = Asker::new(oracle, opts);
 
@@ -123,15 +129,26 @@ pub fn learn_pair_heads<O: MembershipOracle + ?Sized>(
     while rest.len() > 1 {
         let (a, b) = rest.split_at(rest.len() / 2);
         let probe: VarSet = a.iter().copied().chain(std::iter::once(first)).collect();
-        rest = if asker.is_answer(&matrix(n, &probe))? { a.to_vec() } else { b.to_vec() };
+        rest = if asker.is_answer(&matrix(n, &probe))? {
+            a.to_vec()
+        } else {
+            b.to_vec()
+        };
     }
     let Some(&second) = rest.first() else {
         return Err(LearnError::InconsistentOracle {
             detail: "a block answered but no pair within it does".to_string(),
         });
     };
-    let (x, y) = if first < second { (first, second) } else { (second, first) };
-    Ok(PairHeadOutcome { heads: (x, y), stats: asker.into_stats() })
+    let (x, y) = if first < second {
+        (first, second)
+    } else {
+        (second, first)
+    };
+    Ok(PairHeadOutcome {
+        heads: (x, y),
+        stats: asker.into_stats(),
+    })
 }
 
 /// Precondition: `h` contains both heads. Returns one of them with
@@ -162,7 +179,11 @@ fn isolate_one_head<O: MembershipOracle + ?Sized>(
         while slice.len() > 1 {
             let (lo, hi) = slice.split_at(slice.len() / 2);
             let probe: VarSet = lo.iter().copied().chain(b.iter().copied()).collect();
-            slice = if asker.is_answer(&matrix(n, &probe))? { lo.to_vec() } else { hi.to_vec() };
+            slice = if asker.is_answer(&matrix(n, &probe))? {
+                lo.to_vec()
+            } else {
+                hi.to_vec()
+            };
         }
         return Ok(slice[0]);
     }
@@ -192,8 +213,7 @@ mod tests {
             for j in (i + 1)..n {
                 let target = pair_head_query(n, VarId(i), VarId(j));
                 let mut oracle = QueryOracle::new(target);
-                let out =
-                    learn_pair_heads(n, 2, &mut oracle, &LearnOptions::default()).unwrap();
+                let out = learn_pair_heads(n, 2, &mut oracle, &LearnOptions::default()).unwrap();
                 assert_eq!(out.heads, (VarId(i), VarId(j)), "i={i} j={j}");
             }
         }

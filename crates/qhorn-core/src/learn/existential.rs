@@ -88,7 +88,10 @@ pub(crate) fn learn_existential_conjunctions<O: MembershipOracle + ?Sized>(
         frontier = next;
     }
 
-    Ok(discovered.into_iter().map(|t| t.true_set().clone()).collect())
+    Ok(discovered
+        .into_iter()
+        .map(|t| t.true_set().clone())
+        .collect())
 }
 
 fn close_under(vars: &VarSet, universals: &[(VarSet, VarId)]) -> VarSet {
@@ -123,12 +126,8 @@ mod tests {
         let mut oracle = QueryOracle::new(target.clone());
         let opts = LearnOptions::default();
         let mut asker = Asker::new(&mut oracle, &opts);
-        let universals: Vec<(VarSet, VarId)> = target
-            .normal_form()
-            .universals()
-            .iter()
-            .cloned()
-            .collect();
+        let universals: Vec<(VarSet, VarId)> =
+            target.normal_form().universals().iter().cloned().collect();
         learn_existential_conjunctions(target.arity(), &universals, &mut asker)
             .unwrap()
             .into_iter()
@@ -163,8 +162,15 @@ mod tests {
 
     #[test]
     fn singletons_reach_the_bottom_levels() {
-        let q = Query::new(3, [Expr::conj(varset![1]), Expr::conj(varset![2]), Expr::conj(varset![3])])
-            .unwrap();
+        let q = Query::new(
+            3,
+            [
+                Expr::conj(varset![1]),
+                Expr::conj(varset![2]),
+                Expr::conj(varset![3]),
+            ],
+        )
+        .unwrap();
         let expected: BTreeSet<VarSet> = [varset![1], varset![2], varset![3]].into_iter().collect();
         assert_eq!(run(&q), expected);
     }
@@ -188,7 +194,10 @@ mod tests {
         // non-answer; the top (= closure of both guarantees) is dominant.
         let q = Query::new(
             2,
-            [Expr::universal_bodyless(v(1)), Expr::universal_bodyless(v(2))],
+            [
+                Expr::universal_bodyless(v(1)),
+                Expr::universal_bodyless(v(2)),
+            ],
         )
         .unwrap();
         assert_eq!(run(&q), [varset![1, 2]].into_iter().collect());
@@ -217,8 +226,9 @@ mod tests {
             let per = n as usize / k;
             let exprs: Vec<Expr> = (0..k)
                 .map(|i| {
-                    let vars: VarSet =
-                        ((i * per) as u16..((i + 1) * per) as u16).map(VarId).collect();
+                    let vars: VarSet = ((i * per) as u16..((i + 1) * per) as u16)
+                        .map(VarId)
+                        .collect();
                     Expr::conj(vars)
                 })
                 .collect();

@@ -94,7 +94,11 @@ where
             .max_questions
             .map(|b| b.saturating_sub(scan_stats.questions)),
     };
-    let mut sub = SubspaceOracle { inner: oracle, map: map.clone(), n };
+    let mut sub = SubspaceOracle {
+        inner: oracle,
+        map: map.clone(),
+        n,
+    };
     let outcome = inner(m, &mut sub, &inner_opts)?;
     let (query, mut stats) = outcome.into_parts();
 
@@ -169,7 +173,10 @@ mod tests {
             [Expr::universal(varset![1], v(3)), Expr::conj(varset![4])],
         )
         .unwrap();
-        let opts = LearnOptions { detect_free_variables: true, ..Default::default() };
+        let opts = LearnOptions {
+            detect_free_variables: true,
+            ..Default::default()
+        };
         let mut oracle = QueryOracle::new(target.clone());
         let outcome = learn_qhorn1(5, &mut oracle, &opts).unwrap();
         assert!(
@@ -187,7 +194,10 @@ mod tests {
     #[test]
     fn all_variables_free_learns_empty_query() {
         let target = Query::empty(3);
-        let opts = LearnOptions { detect_free_variables: true, ..Default::default() };
+        let opts = LearnOptions {
+            detect_free_variables: true,
+            ..Default::default()
+        };
         let mut oracle = QueryOracle::new(target.clone());
         let outcome = learn_qhorn1(3, &mut oracle, &opts).unwrap();
         assert!(equivalent(outcome.query(), &target));
@@ -201,7 +211,10 @@ mod tests {
             [Expr::universal(varset![1], v(2)), Expr::conj(varset![3])],
         )
         .unwrap();
-        let opts = LearnOptions { detect_free_variables: true, ..Default::default() };
+        let opts = LearnOptions {
+            detect_free_variables: true,
+            ..Default::default()
+        };
         let mut oracle = QueryOracle::new(target.clone());
         let outcome = learn_qhorn1(3, &mut oracle, &opts).unwrap();
         assert!(equivalent(outcome.query(), &target));

@@ -148,7 +148,10 @@ mod tests {
         // returns an actual head.
         let n = 8u16;
         for mask in 0u32..(1 << 6) {
-            let heads_in_d: Vec<u16> = (0..6).filter(|i| mask & (1 << i) != 0).map(|i| i + 3).collect();
+            let heads_in_d: Vec<u16> = (0..6)
+                .filter(|i| mask & (1 << i) != 0)
+                .map(|i| i + 3)
+                .collect();
             if heads_in_d.len() < 2 {
                 continue;
             }

@@ -39,8 +39,7 @@ use std::collections::BTreeMap;
 use std::fmt;
 
 /// Tuning knobs for the learners.
-#[derive(Clone, Debug)]
-#[derive(Default)]
+#[derive(Clone, Debug, Default)]
 pub struct LearnOptions {
     /// Spend n extra single-tuple questions up front detecting variables
     /// the target query does not mention, then learn over the constrained
@@ -51,12 +50,10 @@ pub struct LearnOptions {
     pub max_questions: Option<usize>,
 }
 
-
 /// Which subtask of the learning algorithm asked a question — the paper
 /// analyzes each subtask's question count separately (Lemmas 3.2, 3.3,
 /// Thms 3.5, 3.8).
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Phase {
     /// Free-variable scan (extension).
     FreeVariableScan,
@@ -91,7 +88,6 @@ impl fmt::Display for Phase {
 
 /// Question accounting per learning phase.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct LearnStats {
     /// Total membership questions asked.
     pub questions: usize,
@@ -166,7 +162,10 @@ impl fmt::Display for LearnError {
                 write!(f, "question budget exhausted after {asked} questions")
             }
             LearnError::InconsistentOracle { detail } => {
-                write!(f, "oracle responses inconsistent with the promised query class: {detail}")
+                write!(
+                    f,
+                    "oracle responses inconsistent with the promised query class: {detail}"
+                )
             }
         }
     }
@@ -199,7 +198,9 @@ impl<'a, O: MembershipOracle + ?Sized> Asker<'a, O> {
     pub(crate) fn ask(&mut self, q: &Obj) -> Result<Response, LearnError> {
         if let Some(b) = self.budget {
             if self.stats.questions >= b {
-                return Err(LearnError::BudgetExceeded { asked: self.stats.questions });
+                return Err(LearnError::BudgetExceeded {
+                    asked: self.stats.questions,
+                });
             }
         }
         self.stats.questions += 1;
@@ -230,7 +231,10 @@ mod tests {
     fn asker_counts_by_phase_and_enforces_budget() {
         let target = Query::new(2, [Expr::conj(varset![1, 2])]).unwrap();
         let mut oracle = QueryOracle::new(target);
-        let opts = LearnOptions { max_questions: Some(2), ..Default::default() };
+        let opts = LearnOptions {
+            max_questions: Some(2),
+            ..Default::default()
+        };
         let mut asker = Asker::new(&mut oracle, &opts);
         asker.set_phase(Phase::ClassifyHeads);
         asker.ask(&Obj::from_bits("11")).unwrap();

@@ -31,7 +31,10 @@ pub struct PacParams {
 
 impl Default for PacParams {
     fn default() -> Self {
-        PacParams { epsilon: 0.1, delta: 0.05 }
+        PacParams {
+            epsilon: 0.1,
+            delta: 0.05,
+        }
     }
 }
 
@@ -87,13 +90,22 @@ pub fn pac_learn_role_preserving<O: MembershipOracle + ?Sized>(
         version_space.retain(|h| h.eval(&obj) == label);
         if version_space.is_empty() {
             return Err(LearnError::InconsistentOracle {
-                detail: format!("no complete role-preserving query over {n} variables matches the sample"),
+                detail: format!(
+                    "no complete role-preserving query over {n} variables matches the sample"
+                ),
             });
         }
     }
     let remaining = version_space.len();
-    let query = version_space.into_iter().next().expect("non-empty version space");
-    Ok(PacOutcome { query, samples_used: used, hypotheses_remaining: remaining })
+    let query = version_space
+        .into_iter()
+        .next()
+        .expect("non-empty version space");
+    Ok(PacOutcome {
+        query,
+        samples_used: used,
+        hypotheses_remaining: remaining,
+    })
 }
 
 #[cfg(test)]
@@ -119,9 +131,15 @@ mod tests {
 
     #[test]
     fn sample_bound_grows_with_class_and_confidence() {
-        let p = PacParams { epsilon: 0.1, delta: 0.05 };
+        let p = PacParams {
+            epsilon: 0.1,
+            delta: 0.05,
+        };
         assert!(sample_bound(1000, &p) > sample_bound(10, &p));
-        let tight = PacParams { epsilon: 0.01, delta: 0.05 };
+        let tight = PacParams {
+            epsilon: 0.01,
+            delta: 0.05,
+        };
         assert!(sample_bound(100, &tight) > sample_bound(100, &p));
     }
 
@@ -130,7 +148,10 @@ mod tests {
         let target = Query::new(2, [Expr::universal(varset![1], crate::VarId(1))]).unwrap();
         let mut oracle = QueryOracle::new(target.clone());
         let mut sampler = cycling_sampler(2);
-        let params = PacParams { epsilon: 0.01, delta: 0.01 };
+        let params = PacParams {
+            epsilon: 0.01,
+            delta: 0.01,
+        };
         let out = pac_learn_role_preserving(2, &mut sampler, &mut oracle, &params).unwrap();
         // The cycling sampler covers every object, so the version space
         // collapses to the exact semantic class.
@@ -155,7 +176,10 @@ mod tests {
         let target = Query::new(2, [Expr::conj(varset![1, 2])]).unwrap();
         let mut oracle = QueryOracle::new(target);
         let mut sampler = cycling_sampler(2);
-        let params = PacParams { epsilon: 0.001, delta: 0.001 };
+        let params = PacParams {
+            epsilon: 0.001,
+            delta: 0.001,
+        };
         let out = pac_learn_role_preserving(2, &mut sampler, &mut oracle, &params).unwrap();
         let bound = sample_bound(enumerate_role_preserving(2, true).len(), &params);
         assert!(out.samples_used <= bound);

@@ -73,16 +73,14 @@ fn needed<O: MembershipOracle + ?Sized>(
 mod tests {
     use super::*;
     use crate::learn::LearnOptions;
-    use crate::oracle::{CountingOracle, FnOracle, MembershipOracle, QueryOracle};
     use crate::object::Response;
+    use crate::oracle::{CountingOracle, FnOracle, MembershipOracle, QueryOracle};
     use crate::query::{Expr, Query};
     use crate::varset;
 
     /// Coverage oracle: answer iff every "needed" tuple is present.
     fn coverage_oracle(required: Vec<BoolTuple>) -> impl MembershipOracle {
-        FnOracle(move |q: &Obj| {
-            Response::from_bool(required.iter().all(|r| q.contains(r)))
-        })
+        FnOracle(move |q: &Obj| Response::from_bool(required.iter().all(|r| q.contains(r))))
     }
 
     #[test]
@@ -187,7 +185,11 @@ mod tests {
         let opts = LearnOptions::default();
         let mut asker = Asker::new(&mut oracle, &opts);
         let kept = prune(n, &kids, &BTreeSet::new(), &mut asker).unwrap();
-        assert_eq!(kept.len(), 3, "paper keeps three of the four level-1 tuples");
+        assert_eq!(
+            kept.len(),
+            3,
+            "paper keeps three of the four level-1 tuples"
+        );
     }
 
     #[test]

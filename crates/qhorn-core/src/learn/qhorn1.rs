@@ -93,9 +93,8 @@ pub fn learn_qhorn1_complete<O: MembershipOracle + ?Sized>(
     }
 
     // ---- Subtask 3 (§3.1.3, Algorithm 4): existential expressions. -----
-    let body_union = |bodies: &[VarSet]| -> VarSet {
-        bodies.iter().fold(VarSet::new(), |acc, b| acc.union(b))
-    };
+    let body_union =
+        |bodies: &[VarSet]| -> VarSet { bodies.iter().fold(VarSet::new(), |acc, b| acc.union(b)) };
     let mut remaining: BTreeSet<VarId> = existential
         .iter()
         .copied()
@@ -321,11 +320,7 @@ mod tests {
 
     #[test]
     fn learns_all_existential_singletons() {
-        let q = Query::new(
-            4,
-            (1..=4).map(|i| Expr::conj(VarSet::singleton(v(i)))),
-        )
-        .unwrap();
+        let q = Query::new(4, (1..=4).map(|i| Expr::conj(VarSet::singleton(v(i))))).unwrap();
         assert_learns(&q);
     }
 
@@ -414,7 +409,10 @@ mod tests {
     fn budget_is_enforced() {
         let q = Query::new(4, [Expr::conj(varset![1, 2, 3, 4])]).unwrap();
         let mut oracle = QueryOracle::new(q);
-        let opts = LearnOptions { max_questions: Some(2), ..Default::default() };
+        let opts = LearnOptions {
+            max_questions: Some(2),
+            ..Default::default()
+        };
         let err = learn_qhorn1(4, &mut oracle, &opts).unwrap_err();
         assert!(matches!(err, LearnError::BudgetExceeded { asked: 2 }));
     }

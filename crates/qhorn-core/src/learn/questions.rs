@@ -69,7 +69,10 @@ pub fn body_probe(n: u16, h: VarId, non_heads: &VarSet, true_non_heads: &VarSet)
 /// both probes).
 #[must_use]
 pub fn existential_independence(n: u16, xs: &VarSet, ys: &VarSet) -> Obj {
-    debug_assert!(xs.is_disjoint(ys), "independence question requires disjoint sets");
+    debug_assert!(
+        xs.is_disjoint(ys),
+        "independence question requires disjoint sets"
+    );
     let top = BoolTuple::all_true(n);
     Obj::new(n, [top.with_all(xs, false), top.with_all(ys, false)])
 }

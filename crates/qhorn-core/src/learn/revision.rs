@@ -103,8 +103,8 @@ pub fn revise<O: MembershipOracle + ?Sized>(
     }
     // Relearn, replaying what the verification already revealed.
     let mut replay = ReplayOracle::new(&mut *oracle, transcript);
-    let learned: LearnOutcome = learn_role_preserving(given.arity(), &mut replay, opts)
-        .map_err(RevisionError::Learn)?;
+    let learned: LearnOutcome =
+        learn_role_preserving(given.arity(), &mut replay, opts).map_err(RevisionError::Learn)?;
     let fresh = replay.fresh();
     let (query, _) = learned.into_parts();
     Ok(RevisionOutcome {
@@ -130,8 +130,11 @@ mod tests {
 
     #[test]
     fn distance_zero_iff_equivalent() {
-        let a = Query::new(3, [Expr::universal(varset![1], v(3)), Expr::conj(varset![1, 2])])
-            .unwrap();
+        let a = Query::new(
+            3,
+            [Expr::universal(varset![1], v(3)), Expr::conj(varset![1, 2])],
+        )
+        .unwrap();
         let b = Query::new(
             3,
             [
@@ -194,7 +197,10 @@ mod tests {
     fn out_of_class_given_query_rejected() {
         let alias = Query::new(
             2,
-            [Expr::universal(varset![1], v(2)), Expr::universal(varset![2], v(1))],
+            [
+                Expr::universal(varset![1], v(2)),
+                Expr::universal(varset![2], v(1)),
+            ],
         )
         .unwrap();
         let mut user = QueryOracle::new(Query::empty(2));

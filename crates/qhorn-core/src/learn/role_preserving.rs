@@ -167,7 +167,10 @@ mod tests {
     fn question_budget_respected() {
         let q = crate::query::tests::paper_example();
         let mut oracle = QueryOracle::new(q);
-        let opts = LearnOptions { max_questions: Some(5), ..Default::default() };
+        let opts = LearnOptions {
+            max_questions: Some(5),
+            ..Default::default()
+        };
         let err = learn_role_preserving(6, &mut oracle, &opts).unwrap_err();
         assert!(matches!(err, LearnError::BudgetExceeded { asked: 5 }));
     }
@@ -180,7 +183,10 @@ mod tests {
             [Expr::universal(varset![1], v(3)), Expr::conj(varset![4])],
         )
         .unwrap();
-        let opts = LearnOptions { detect_free_variables: true, ..Default::default() };
+        let opts = LearnOptions {
+            detect_free_variables: true,
+            ..Default::default()
+        };
         let mut oracle = QueryOracle::new(target.clone());
         let outcome = learn_role_preserving(4, &mut oracle, &opts).unwrap();
         assert!(equivalent(outcome.query(), &target));

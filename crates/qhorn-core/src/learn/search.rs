@@ -76,7 +76,11 @@ mod tests {
         let count = Cell::new(0);
         let found = find_one(&vars(16), &mut subset_test(&[11], &count)).unwrap();
         assert_eq!(found, Some(VarId(11)));
-        assert!(count.get() <= 1 + 4, "O(lg n) questions, got {}", count.get());
+        assert!(
+            count.get() <= 1 + 4,
+            "O(lg n) questions, got {}",
+            count.get()
+        );
     }
 
     #[test]
@@ -84,7 +88,11 @@ mod tests {
         let count = Cell::new(0);
         let found = find_one(&vars(16), &mut subset_test(&[], &count)).unwrap();
         assert_eq!(found, None);
-        assert_eq!(count.get(), 1, "one question suffices to rule everything out");
+        assert_eq!(
+            count.get(),
+            1,
+            "one question suffices to rule everything out"
+        );
     }
 
     #[test]
@@ -102,7 +110,11 @@ mod tests {
         let found = find_all(&vars(16), &mut subset_test(&hits, &count)).unwrap();
         assert_eq!(found, vec![VarId(2), VarId(7), VarId(8), VarId(15)]);
         // O(|hits| lg n): generous constant.
-        assert!(count.get() <= 4 * 2 * 5, "too many questions: {}", count.get());
+        assert!(
+            count.get() <= 4 * 2 * 5,
+            "too many questions: {}",
+            count.get()
+        );
     }
 
     #[test]
@@ -123,9 +135,8 @@ mod tests {
 
     #[test]
     fn errors_propagate() {
-        let mut failing = |_: &[VarId]| -> TestResult {
-            Err(LearnError::BudgetExceeded { asked: 0 })
-        };
+        let mut failing =
+            |_: &[VarId]| -> TestResult { Err(LearnError::BudgetExceeded { asked: 0 }) };
         assert!(find_one(&vars(4), &mut failing).is_err());
         assert!(find_all(&vars(4), &mut failing).is_err());
     }

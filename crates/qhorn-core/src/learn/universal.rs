@@ -197,8 +197,9 @@ mod tests {
         )
         .unwrap();
         let (_, horns) = run(&q);
-        let expected: BTreeSet<(VarSet, VarId)> =
-            [(varset![1], v(4)), (varset![2, 3], v(4))].into_iter().collect();
+        let expected: BTreeSet<(VarSet, VarId)> = [(varset![1], v(4)), (varset![2, 3], v(4))]
+            .into_iter()
+            .collect();
         assert_eq!(as_set(horns), expected);
     }
 

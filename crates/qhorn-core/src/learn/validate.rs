@@ -71,8 +71,8 @@ pub fn learn_and_validate<O: MembershipOracle + ?Sized>(
             }
         }
     };
-    let set = VerificationSet::build(outcome.query())
-        .expect("the learner emits role-preserving queries");
+    let set =
+        VerificationSet::build(outcome.query()).expect("the learner emits role-preserving queries");
     let mut discrepancies = set.verify_all(&mut *oracle);
     if discrepancies.is_empty() {
         Validated::InClass(outcome)
@@ -145,7 +145,12 @@ mod tests {
         let mut user = FnOracle(|q: &Obj| Response::from_bool(q.len() >= 2));
         let verdict = learn_and_validate(2, &mut user, &LearnOptions::default());
         assert!(!verdict.is_in_class(), "{verdict:?}");
-        if let Validated::OutOfClass { witness, learn_error, .. } = verdict {
+        if let Validated::OutOfClass {
+            witness,
+            learn_error,
+            ..
+        } = verdict
+        {
             assert!(witness.is_some() || learn_error.is_some());
         }
     }
@@ -153,9 +158,8 @@ mod tests {
     #[test]
     fn negation_intent_is_flagged() {
         // "No tuple has x1 ∧ x2" — anti-monotone, outside qhorn.
-        let mut user = FnOracle(|q: &Obj| {
-            Response::from_bool(!q.some_tuple_satisfies(&varset![1, 2]))
-        });
+        let mut user =
+            FnOracle(|q: &Obj| Response::from_bool(!q.some_tuple_satisfies(&varset![1, 2])));
         let verdict = learn_and_validate(2, &mut user, &LearnOptions::default());
         assert!(!verdict.is_in_class(), "{verdict:?}");
     }

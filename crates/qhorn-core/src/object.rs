@@ -18,10 +18,62 @@ use std::fmt;
 /// May be empty (the paper's footnote 1 permits empty-set questions when
 /// guarantee clauses are relaxed).
 #[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Obj {
     n: u16,
     tuples: Vec<BoolTuple>,
+}
+
+#[cfg(feature = "json")]
+mod json {
+    use super::{Obj, Response};
+    use crate::tuple::BoolTuple;
+    use qhorn_json::{FromJson, Json, JsonError, ToJson};
+
+    impl ToJson for Obj {
+        fn to_json(&self) -> Json {
+            Json::object([("n", self.n.to_json()), ("tuples", self.tuples.to_json())])
+        }
+    }
+
+    impl FromJson for Obj {
+        fn from_json(j: &Json) -> Result<Self, JsonError> {
+            let n = u16::from_json(j.field("n")?)?;
+            let tuples = Vec::<BoolTuple>::from_json(j.field("tuples")?)?;
+            for t in &tuples {
+                if t.arity() != n {
+                    return Err(JsonError::msg(format!(
+                        "tuple arity {} inside object of arity {n}",
+                        t.arity()
+                    )));
+                }
+            }
+            // `Obj::new` re-sorts and deduplicates, keeping equality
+            // structural after a round trip.
+            Ok(Obj::new(n, tuples))
+        }
+    }
+
+    impl ToJson for Response {
+        fn to_json(&self) -> Json {
+            Json::Str(
+                match self {
+                    Response::Answer => "Answer",
+                    Response::NonAnswer => "NonAnswer",
+                }
+                .to_string(),
+            )
+        }
+    }
+
+    impl FromJson for Response {
+        fn from_json(j: &Json) -> Result<Self, JsonError> {
+            match j.as_str() {
+                Some("Answer") => Ok(Response::Answer),
+                Some("NonAnswer") => Ok(Response::NonAnswer),
+                _ => Err(JsonError::msg("expected \"Answer\" or \"NonAnswer\"")),
+            }
+        }
+    }
 }
 
 impl Obj {
@@ -48,7 +100,10 @@ impl Obj {
     /// The empty object over `n` variables.
     #[must_use]
     pub fn empty(n: u16) -> Self {
-        Obj { n, tuples: Vec::new() }
+        Obj {
+            n,
+            tuples: Vec::new(),
+        }
     }
 
     /// Parses a whitespace/comma-separated list of bitstrings, e.g.
@@ -63,10 +118,9 @@ impl Obj {
             .filter(|p| !p.is_empty())
             .map(BoolTuple::from_bits)
             .collect();
-        let n = tuples
-            .first()
-            .map(BoolTuple::arity)
-            .expect("Obj::from_bits requires at least one tuple; use Obj::empty for the empty object");
+        let n = tuples.first().map(BoolTuple::arity).expect(
+            "Obj::from_bits requires at least one tuple; use Obj::empty for the empty object",
+        );
         Obj::new(n, tuples)
     }
 
@@ -128,7 +182,10 @@ impl Obj {
     #[must_use]
     pub fn union(&self, other: &Obj) -> Self {
         assert_eq!(self.n, other.n, "arity mismatch in Obj::union");
-        Obj::new(self.n, self.tuples.iter().chain(other.tuples.iter()).cloned())
+        Obj::new(
+            self.n,
+            self.tuples.iter().chain(other.tuples.iter()).cloned(),
+        )
     }
 
     /// `true` iff some tuple has all of `vs` true — evaluates `∃t ∈ S (∧vs)`.
@@ -159,7 +216,6 @@ impl fmt::Debug for Obj {
 
 /// The user's label for a membership question (§2.1.2): one bit.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Response {
     /// The object satisfies the user's intended query.
     Answer,
@@ -232,7 +288,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "arity")]
     fn mixed_arity_rejected() {
-        let _ = Obj::new(3, [BoolTuple::from_bits("110"), BoolTuple::from_bits("1100")]);
+        let _ = Obj::new(
+            3,
+            [BoolTuple::from_bits("110"), BoolTuple::from_bits("1100")],
+        );
     }
 
     #[test]
@@ -267,8 +326,14 @@ mod tests {
         let o = Obj::from_bits("110 011");
         assert!(o.some_tuple_satisfies(&varset![1, 2]));
         assert!(!o.some_tuple_satisfies(&varset![1, 3]));
-        assert!(o.some_tuple_satisfies(&crate::VarSet::new()), "empty conj trivially holds");
-        assert!(!Obj::empty(3).some_tuple_satisfies(&crate::VarSet::new()), "but not on empty objects");
+        assert!(
+            o.some_tuple_satisfies(&crate::VarSet::new()),
+            "empty conj trivially holds"
+        );
+        assert!(
+            !Obj::empty(3).some_tuple_satisfies(&crate::VarSet::new()),
+            "but not on empty objects"
+        );
     }
 
     #[test]

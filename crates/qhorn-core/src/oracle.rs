@@ -46,7 +46,10 @@ impl QueryOracle {
     /// (guarantee clauses enforced).
     #[must_use]
     pub fn new(target: Query) -> Self {
-        QueryOracle { target, relax_universal_guarantees: false }
+        QueryOracle {
+            target,
+            relax_universal_guarantees: false,
+        }
     }
 
     /// An oracle using the footnote-1 relaxation: universal expressions do
@@ -55,7 +58,10 @@ impl QueryOracle {
     /// questions.
     #[must_use]
     pub fn relaxed(target: Query) -> Self {
-        QueryOracle { target, relax_universal_guarantees: true }
+        QueryOracle {
+            target,
+            relax_universal_guarantees: true,
+        }
     }
 
     /// The hidden target (tests and experiment harnesses use this; a real
@@ -89,7 +95,6 @@ impl<F: FnMut(&Obj) -> Response> MembershipOracle for FnOracle<F> {
 /// Question/tuple accounting (the paper's cost measures: number of
 /// membership questions, tuples per question).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct OracleStats {
     /// Total membership questions asked.
     pub questions: usize,
@@ -110,7 +115,10 @@ impl<O: MembershipOracle> CountingOracle<O> {
     /// Wraps `inner` with counting.
     #[must_use]
     pub fn new(inner: O) -> Self {
-        CountingOracle { inner, stats: OracleStats::default() }
+        CountingOracle {
+            inner,
+            stats: OracleStats::default(),
+        }
     }
 
     /// The statistics so far.
@@ -149,7 +157,10 @@ impl<O: MembershipOracle> TranscriptOracle<O> {
     /// Wraps `inner` with transcript recording.
     #[must_use]
     pub fn new(inner: O) -> Self {
-        TranscriptOracle { inner, transcript: Vec::new() }
+        TranscriptOracle {
+            inner,
+            transcript: Vec::new(),
+        }
     }
 
     /// The recorded (question, response) pairs, in order.
@@ -241,7 +252,10 @@ impl<O: MembershipOracle> LimitOracle<O> {
     /// Wraps `inner` with a budget of `max_questions`.
     #[must_use]
     pub fn new(inner: O, max_questions: usize) -> Self {
-        LimitOracle { inner, remaining: max_questions }
+        LimitOracle {
+            inner,
+            remaining: max_questions,
+        }
     }
 
     /// Questions left in the budget.
@@ -312,8 +326,16 @@ mod tests {
         // Correction: pretend the user mislabeled 11 and fixed it.
         let corrected = vec![(Obj::from_bits("11"), Response::NonAnswer)];
         let mut o = ReplayOracle::new(QueryOracle::new(target()), corrected);
-        assert_eq!(o.ask(&Obj::from_bits("11")), Response::NonAnswer, "served from transcript");
-        assert_eq!(o.ask(&Obj::from_bits("01")), Response::NonAnswer, "fresh question");
+        assert_eq!(
+            o.ask(&Obj::from_bits("11")),
+            Response::NonAnswer,
+            "served from transcript"
+        );
+        assert_eq!(
+            o.ask(&Obj::from_bits("01")),
+            Response::NonAnswer,
+            "fresh question"
+        );
         assert_eq!(o.replayed(), 1);
         assert_eq!(o.fresh(), 1);
         // The fresh answer is now cached.

@@ -20,7 +20,6 @@ use std::fmt;
 
 /// The most specific class a query belongs to.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum QueryClass {
     /// Satisfies the qhorn-1 syntactic restrictions (§2.1.3).
     Qhorn1,
@@ -71,10 +70,16 @@ impl fmt::Display for ClassError {
                 write!(f, "bodies {a} and {b} overlap without being equal")
             }
             ClassError::RepeatedHead { head } => {
-                write!(f, "head variable {head} appears in more than one expression")
+                write!(
+                    f,
+                    "head variable {head} appears in more than one expression"
+                )
             }
             ClassError::HeadUsedAsBody { var } => {
-                write!(f, "variable {var} is used both as a head and as a body variable")
+                write!(
+                    f,
+                    "variable {var} is used both as a head and as a body variable"
+                )
             }
         }
     }
@@ -101,7 +106,10 @@ pub fn validate_qhorn1(q: &Query) -> Result<(), ClassError> {
     for (i, a) in bodies.iter().enumerate() {
         for b in bodies.iter().skip(i + 1) {
             if !a.is_disjoint(b) && a != b {
-                return Err(ClassError::OverlappingBodies { a: a.clone(), b: b.clone() });
+                return Err(ClassError::OverlappingBodies {
+                    a: a.clone(),
+                    b: b.clone(),
+                });
             }
         }
     }
@@ -260,7 +268,10 @@ mod tests {
             ],
         )
         .unwrap();
-        assert_eq!(validate_qhorn1(&q), Err(ClassError::RepeatedHead { head: v(3) }));
+        assert_eq!(
+            validate_qhorn1(&q),
+            Err(ClassError::RepeatedHead { head: v(3) })
+        );
         // But it is role-preserving (θ = 2 for x3).
         assert_eq!(classify(&q), QueryClass::RolePreserving);
     }
@@ -275,7 +286,10 @@ mod tests {
             ],
         )
         .unwrap();
-        assert!(matches!(validate_qhorn1(&q), Err(ClassError::OverlappingBodies { .. })));
+        assert!(matches!(
+            validate_qhorn1(&q),
+            Err(ClassError::OverlappingBodies { .. })
+        ));
     }
 
     #[test]
@@ -316,7 +330,10 @@ mod tests {
     #[test]
     fn class_display() {
         assert_eq!(QueryClass::Qhorn1.to_string(), "qhorn-1");
-        assert_eq!(QueryClass::RolePreserving.to_string(), "role-preserving qhorn");
+        assert_eq!(
+            QueryClass::RolePreserving.to_string(),
+            "role-preserving qhorn"
+        );
         assert_eq!(QueryClass::GeneralQhorn.to_string(), "qhorn");
     }
 }

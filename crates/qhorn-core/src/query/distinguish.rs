@@ -82,7 +82,10 @@ mod tests {
             .map(BoolTuple::to_bits)
             .collect();
         for expected in ["100101", "001101", "110010"] {
-            assert!(tuples.contains(&expected.to_string()), "missing {expected}: {tuples:?}");
+            assert!(
+                tuples.contains(&expected.to_string()),
+                "missing {expected}: {tuples:?}"
+            );
         }
         assert_eq!(tuples.len(), 3);
     }
@@ -119,8 +122,14 @@ mod tests {
         )
         .unwrap();
         let heads = q.normal_form().universal_heads();
-        assert_eq!(universal_tuple(6, &varset![1, 4], v(5), &heads).to_bits(), "100101");
-        assert_eq!(universal_tuple(6, &varset![3, 4], v(5), &heads).to_bits(), "001101");
+        assert_eq!(
+            universal_tuple(6, &varset![1, 4], v(5), &heads).to_bits(),
+            "100101"
+        );
+        assert_eq!(
+            universal_tuple(6, &varset![3, 4], v(5), &heads).to_bits(),
+            "001101"
+        );
     }
 
     #[test]
@@ -151,8 +160,14 @@ mod tests {
         )
         .unwrap();
         let (n1, n2) = (q1.normal_form(), q2.normal_form());
-        assert_eq!(n1.existential_distinguishing_tuples(), n2.existential_distinguishing_tuples());
-        assert_eq!(n1.universal_distinguishing_tuples(), n2.universal_distinguishing_tuples());
+        assert_eq!(
+            n1.existential_distinguishing_tuples(),
+            n2.existential_distinguishing_tuples()
+        );
+        assert_eq!(
+            n1.universal_distinguishing_tuples(),
+            n2.universal_distinguishing_tuples()
+        );
         assert_eq!(n1, n2);
     }
 }

@@ -28,8 +28,15 @@ pub fn equivalent(a: &Query, b: &Query) -> bool {
 /// 4 billion objects).
 #[must_use]
 pub fn equivalent_brute_force(a: &Query, b: &Query) -> bool {
-    assert_eq!(a.arity(), b.arity(), "cannot compare queries of different arity");
-    assert!(a.arity() <= 4, "brute-force equivalence is limited to n ≤ 4");
+    assert_eq!(
+        a.arity(),
+        b.arity(),
+        "cannot compare queries of different arity"
+    );
+    assert!(
+        a.arity() <= 4,
+        "brute-force equivalence is limited to n ≤ 4"
+    );
     all_objects(a.arity()).all(|obj| a.accepts(&obj) == b.accepts(&obj))
 }
 

@@ -71,11 +71,7 @@ fn universal_holds(body: &VarSet, head: VarId, obj: &Obj) -> bool {
 
 /// Finds a tuple violating `∀ body → head`, if any (used by the engine for
 /// explain-style output).
-fn find_universal_violation<'a>(
-    body: &VarSet,
-    head: VarId,
-    obj: &'a Obj,
-) -> Option<&'a BoolTuple> {
+fn find_universal_violation<'a>(body: &VarSet, head: VarId, obj: &'a Obj) -> Option<&'a BoolTuple> {
     obj.tuples()
         .iter()
         .find(|t| t.satisfies_all(body) && !t.get(head))
@@ -219,7 +215,10 @@ mod tests {
     #[test]
     fn empty_object_needs_empty_query() {
         let q = Query::new(2, [Expr::universal_bodyless(v(1)), Expr::conj(varset![2])]).unwrap();
-        assert!(!q.accepts(&Obj::empty(2)), "guarantee clauses reject empty boxes");
+        assert!(
+            !q.accepts(&Obj::empty(2)),
+            "guarantee clauses reject empty boxes"
+        );
         assert!(Query::empty(2).accepts(&Obj::empty(2)));
         // Relaxed semantics: universal part vacuous, but ∃x2 still fails.
         assert!(!q.accepts_without_universal_guarantees(&Obj::empty(2)));

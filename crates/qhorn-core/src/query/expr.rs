@@ -23,7 +23,6 @@ use std::fmt;
 
 /// One expression of a qhorn query.
 #[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Expr {
     /// `∀ body → head` (bodyless when `body` is empty).
     UniversalHorn {
@@ -56,7 +55,10 @@ impl Expr {
     /// Convenience constructor for the bodyless `∀ head`.
     #[must_use]
     pub fn universal_bodyless(head: VarId) -> Self {
-        Expr::UniversalHorn { body: VarSet::new(), head }
+        Expr::UniversalHorn {
+            body: VarSet::new(),
+            head,
+        }
     }
 
     /// Convenience constructor for `∃ body → head`.
@@ -176,7 +178,10 @@ impl fmt::Display for ExprError {
                 write!(f, "variable {var} out of range for query arity {arity}")
             }
             ExprError::HeadInBody { head } => {
-                write!(f, "head variable {head} appears in its own body (trivial expression)")
+                write!(
+                    f,
+                    "head variable {head} appears in its own body (trivial expression)"
+                )
             }
             ExprError::EmptyConjunction => f.write_str("existential conjunction over no variables"),
         }
@@ -231,7 +236,10 @@ mod tests {
     fn display_matches_paper_shorthand() {
         let e = Expr::universal(varset![1, 2], VarId::from_one_based(3));
         assert_eq!(e.to_string(), "∀x1x2 → x3");
-        assert_eq!(Expr::universal_bodyless(VarId::from_one_based(4)).to_string(), "∀x4");
+        assert_eq!(
+            Expr::universal_bodyless(VarId::from_one_based(4)).to_string(),
+            "∀x4"
+        );
         assert_eq!(Expr::conj(varset![5]).to_string(), "∃x5");
         assert_eq!(
             Expr::existential_horn(varset![1, 2], VarId::from_one_based(5)).to_string(),
@@ -251,12 +259,18 @@ mod tests {
     #[test]
     fn validate_catches_range_and_head_in_body() {
         let e = Expr::universal(varset![1, 2], VarId::from_one_based(9));
-        assert!(matches!(e.validate(4), Err(ExprError::VarOutOfRange { .. })));
+        assert!(matches!(
+            e.validate(4),
+            Err(ExprError::VarOutOfRange { .. })
+        ));
         assert!(e.validate(9).is_ok());
         let bad = Expr::universal(varset![1, 3], VarId::from_one_based(3));
         assert!(matches!(bad.validate(4), Err(ExprError::HeadInBody { .. })));
         let empty = Expr::conj(VarSet::new());
-        assert!(matches!(empty.validate(4), Err(ExprError::EmptyConjunction)));
+        assert!(matches!(
+            empty.validate(4),
+            Err(ExprError::EmptyConjunction)
+        ));
     }
 
     #[test]
@@ -275,7 +289,11 @@ mod tests {
     fn error_messages_are_informative() {
         let msg = ExprError::HeadInBody { head: VarId(0) }.to_string();
         assert!(msg.contains("x1"));
-        let msg = ExprError::VarOutOfRange { var: VarId(5), arity: 3 }.to_string();
+        let msg = ExprError::VarOutOfRange {
+            var: VarId(5),
+            arity: 3,
+        }
+        .to_string();
         assert!(msg.contains("x6") && msg.contains('3'));
     }
 }

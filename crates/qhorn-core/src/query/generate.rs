@@ -144,11 +144,13 @@ pub fn enumerate_syntactic_role_preserving(n: u16) -> Vec<Query> {
 /// Panics if `n > 6`.
 #[must_use]
 pub fn enumerate_qhorn1(n: u16) -> Vec<Query> {
-    assert!((1..=6).contains(&n), "qhorn-1 enumeration is limited to 1 ≤ n ≤ 6");
+    assert!(
+        (1..=6).contains(&n),
+        "qhorn-1 enumeration is limited to 1 ≤ n ≤ 6"
+    );
     let mut by_nf: BTreeMap<String, Query> = BTreeMap::new();
     for partition in set_partitions(n) {
-        let per_part_configs: Vec<Vec<Vec<Expr>>> =
-            partition.iter().map(part_configs).collect();
+        let per_part_configs: Vec<Vec<Vec<Expr>>> = partition.iter().map(part_configs).collect();
         // Cartesian product of per-part configurations.
         let mut stack: Vec<Vec<Expr>> = vec![Vec::new()];
         for configs in &per_part_configs {
@@ -164,7 +166,10 @@ pub fn enumerate_qhorn1(n: u16) -> Vec<Query> {
         }
         for exprs in stack {
             let q = Query::new(n, exprs).expect("generated expressions are valid");
-            debug_assert!(super::classes::is_qhorn1(&q), "generator must emit qhorn-1: {q}");
+            debug_assert!(
+                super::classes::is_qhorn1(&q),
+                "generator must emit qhorn-1: {q}"
+            );
             let key = format!("{:?}", q.normal_form());
             by_nf.entry(key).or_insert(q);
         }
@@ -295,7 +300,11 @@ mod tests {
         let bells = bell_numbers(6);
         assert_eq!(bells, vec![1, 1, 2, 5, 15, 52, 203]);
         for n in 1..=6u16 {
-            assert_eq!(set_partitions(n).len() as u128, bells[n as usize], "n = {n}");
+            assert_eq!(
+                set_partitions(n).len() as u128,
+                bells[n as usize],
+                "n = {n}"
+            );
         }
     }
 
@@ -331,7 +340,10 @@ mod tests {
         // non-equivalent.
         for q in &all {
             assert!(q.is_complete());
-            assert_ne!(super::super::classes::classify(q), super::super::classes::QueryClass::GeneralQhorn);
+            assert_ne!(
+                super::super::classes::classify(q),
+                super::super::classes::QueryClass::GeneralQhorn
+            );
         }
         for (i, a) in all.iter().enumerate() {
             for b in all.iter().skip(i + 1) {

@@ -10,8 +10,8 @@ pub mod generate;
 pub mod normalize;
 
 pub use classes::{ClassError, QueryClass};
-pub use expr::{Expr, ExprError};
 pub use eval::FailureReason;
+pub use expr::{Expr, ExprError};
 pub use normalize::NormalForm;
 
 use crate::var::{VarId, VarSet};
@@ -24,10 +24,76 @@ use std::fmt;
 /// semantic questions — evaluation, dominance, equivalence — are answered
 /// by [`Query::eval`] and [`NormalForm`].
 #[derive(Clone, PartialEq, Eq, Hash, Debug)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Query {
     n: u16,
     exprs: Vec<Expr>,
+}
+
+#[cfg(feature = "json")]
+mod json {
+    use super::{Expr, Query};
+    use crate::var::{VarId, VarSet};
+    use qhorn_json::{FromJson, Json, JsonError, ToJson};
+
+    impl ToJson for Expr {
+        fn to_json(&self) -> Json {
+            // Externally tagged, mirroring a derived enum representation.
+            match self {
+                Expr::UniversalHorn { body, head } => Json::object([(
+                    "UniversalHorn",
+                    Json::object([("body", body.to_json()), ("head", head.to_json())]),
+                )]),
+                Expr::ExistentialHorn { body, head } => Json::object([(
+                    "ExistentialHorn",
+                    Json::object([("body", body.to_json()), ("head", head.to_json())]),
+                )]),
+                Expr::ExistentialConj { vars } => {
+                    Json::object([("ExistentialConj", Json::object([("vars", vars.to_json())]))])
+                }
+            }
+        }
+    }
+
+    impl FromJson for Expr {
+        fn from_json(j: &Json) -> Result<Self, JsonError> {
+            let pairs = j
+                .as_obj()
+                .ok_or_else(|| JsonError::msg("expected expression object"))?;
+            let [(tag, inner)] = pairs else {
+                return Err(JsonError::msg("expected a single-variant expression tag"));
+            };
+            match tag.as_str() {
+                "UniversalHorn" => Ok(Expr::UniversalHorn {
+                    body: VarSet::from_json(inner.field("body")?)?,
+                    head: VarId::from_json(inner.field("head")?)?,
+                }),
+                "ExistentialHorn" => Ok(Expr::ExistentialHorn {
+                    body: VarSet::from_json(inner.field("body")?)?,
+                    head: VarId::from_json(inner.field("head")?)?,
+                }),
+                "ExistentialConj" => Ok(Expr::ExistentialConj {
+                    vars: VarSet::from_json(inner.field("vars")?)?,
+                }),
+                other => Err(JsonError::msg(format!(
+                    "unknown expression variant `{other}`"
+                ))),
+            }
+        }
+    }
+
+    impl ToJson for Query {
+        fn to_json(&self) -> Json {
+            Json::object([("n", self.n.to_json()), ("exprs", self.exprs.to_json())])
+        }
+    }
+
+    impl FromJson for Query {
+        fn from_json(j: &Json) -> Result<Self, JsonError> {
+            let n = u16::from_json(j.field("n")?)?;
+            let exprs = Vec::<Expr>::from_json(j.field("exprs")?)?;
+            Query::new(n, exprs).map_err(|e| JsonError::msg(e.to_string()))
+        }
+    }
 }
 
 impl Query {
@@ -44,7 +110,10 @@ impl Query {
     /// (including the empty one) is an answer.
     #[must_use]
     pub fn empty(n: u16) -> Self {
-        Query { n, exprs: Vec::new() }
+        Query {
+            n,
+            exprs: Vec::new(),
+        }
     }
 
     /// Number of Boolean variables (propositions).
@@ -107,9 +176,7 @@ impl Query {
     /// The set of variables appearing in some universal body.
     #[must_use]
     pub fn universal_body_vars(&self) -> VarSet {
-        self.universal_horns()
-            .flat_map(|(b, _)| b.iter())
-            .collect()
+        self.universal_horns().flat_map(|(b, _)| b.iter()).collect()
     }
 
     /// All variables mentioned by some expression.

@@ -31,7 +31,6 @@ use std::fmt;
 ///   conjunctions *and* every expression's guarantee clause — closed under
 ///   universal implication (R3) and maximal under inclusion (R1).
 #[derive(Clone, PartialEq, Eq, Hash, Debug)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct NormalForm {
     n: u16,
     universals: BTreeSet<(VarSet, VarId)>,
@@ -45,10 +44,8 @@ impl NormalForm {
         let n = q.arity();
 
         // All universal (body, head) pairs, deduplicated.
-        let all_universals: BTreeSet<(VarSet, VarId)> = q
-            .universal_horns()
-            .map(|(b, h)| (b.clone(), h))
-            .collect();
+        let all_universals: BTreeSet<(VarSet, VarId)> =
+            q.universal_horns().map(|(b, h)| (b.clone(), h)).collect();
 
         // R2: keep per-head minimal bodies.
         let universals: BTreeSet<(VarSet, VarId)> = all_universals
@@ -82,7 +79,11 @@ impl NormalForm {
             .cloned()
             .collect();
 
-        NormalForm { n, universals, existentials }
+        NormalForm {
+            n,
+            universals,
+            existentials,
+        }
     }
 
     /// Query arity.

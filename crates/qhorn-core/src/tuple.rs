@@ -14,10 +14,37 @@ use std::fmt;
 /// The arity `n` is part of the value: tuples of different arity are never
 /// equal and cannot be mixed inside one [`crate::Obj`].
 #[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct BoolTuple {
     n: u16,
     trues: VarSet,
+}
+
+#[cfg(feature = "json")]
+mod json {
+    use super::BoolTuple;
+    use crate::var::VarSet;
+    use qhorn_json::{FromJson, Json, JsonError, ToJson};
+
+    impl ToJson for BoolTuple {
+        fn to_json(&self) -> Json {
+            Json::object([("n", self.n.to_json()), ("trues", self.trues.to_json())])
+        }
+    }
+
+    impl FromJson for BoolTuple {
+        fn from_json(j: &Json) -> Result<Self, JsonError> {
+            let n = u16::from_json(j.field("n")?)?;
+            let trues = VarSet::from_json(j.field("trues")?)?;
+            if let Some(max) = trues.iter().last() {
+                if max.index() >= n as usize {
+                    return Err(JsonError::msg(format!(
+                        "variable {max} out of range for arity {n}"
+                    )));
+                }
+            }
+            Ok(BoolTuple { n, trues })
+        }
+    }
 }
 
 impl BoolTuple {
@@ -100,14 +127,22 @@ impl BoolTuple {
     /// Panics if `v` is out of range.
     #[must_use]
     pub fn get(&self, v: VarId) -> bool {
-        assert!(v.index() < self.n as usize, "{v} out of range for arity {}", self.n);
+        assert!(
+            v.index() < self.n as usize,
+            "{v} out of range for arity {}",
+            self.n
+        );
         self.trues.contains(v)
     }
 
     /// Functional update: a copy of the tuple with `v` set to `value`.
     #[must_use]
     pub fn with(&self, v: VarId, value: bool) -> Self {
-        assert!(v.index() < self.n as usize, "{v} out of range for arity {}", self.n);
+        assert!(
+            v.index() < self.n as usize,
+            "{v} out of range for arity {}",
+            self.n
+        );
         let trues = if value {
             self.trues.with(v)
         } else {
@@ -182,14 +217,23 @@ impl BoolTuple {
     /// exactly one currently-false variable to true (in-degree `level`).
     #[must_use]
     pub fn parents(&self) -> Vec<BoolTuple> {
-        self.false_set().iter().map(|v| self.with(v, true)).collect()
+        self.false_set()
+            .iter()
+            .map(|v| self.with(v, true))
+            .collect()
     }
 
     /// Renders the tuple as the paper's bitstring (x1 leftmost).
     #[must_use]
     pub fn to_bits(&self) -> String {
         (0..self.n)
-            .map(|i| if self.trues.contains(VarId(i)) { '1' } else { '0' })
+            .map(|i| {
+                if self.trues.contains(VarId(i)) {
+                    '1'
+                } else {
+                    '0'
+                }
+            })
             .collect()
     }
 }

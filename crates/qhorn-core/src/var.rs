@@ -17,7 +17,6 @@ use std::fmt;
 ///
 /// `VarId(0)` corresponds to the paper's `x1`.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct VarId(pub u16);
 
 impl VarId {
@@ -62,7 +61,6 @@ impl From<u16> for VarId {
 /// two `VarSet`s are `==` iff they contain the same variables, regardless of
 /// how they were built.
 #[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct VarSet {
     words: Vec<u64>,
 }
@@ -320,6 +318,39 @@ impl fmt::Display for VarSet {
 impl fmt::Debug for VarSet {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         fmt::Display::fmt(self, f)
+    }
+}
+
+#[cfg(feature = "json")]
+mod json {
+    use super::{VarId, VarSet};
+    use qhorn_json::{FromJson, Json, JsonError, ToJson};
+
+    impl ToJson for VarId {
+        fn to_json(&self) -> Json {
+            Json::U64(u64::from(self.0))
+        }
+    }
+
+    impl FromJson for VarId {
+        fn from_json(j: &Json) -> Result<Self, JsonError> {
+            u16::from_json(j).map(VarId)
+        }
+    }
+
+    impl ToJson for VarSet {
+        fn to_json(&self) -> Json {
+            Json::object([("words", self.words.to_json())])
+        }
+    }
+
+    impl FromJson for VarSet {
+        fn from_json(j: &Json) -> Result<Self, JsonError> {
+            let words = Vec::<u64>::from_json(j.field("words")?)?;
+            let mut s = VarSet { words };
+            s.trim(); // re-canonicalize: payloads may carry zero words
+            Ok(s)
+        }
     }
 }
 

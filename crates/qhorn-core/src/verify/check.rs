@@ -70,7 +70,9 @@ impl VerificationSet {
                 };
             }
         }
-        VerificationOutcome::Verified { questions: self.len() }
+        VerificationOutcome::Verified {
+            questions: self.len(),
+        }
     }
 
     /// Presents *all* questions regardless of disagreements, returning
@@ -168,7 +170,10 @@ mod tests {
         let given = Query::new(2, [Expr::conj(varset![1, 2])]).unwrap();
         let intended = Query::new(
             2,
-            [Expr::universal_bodyless(crate::VarId(0)), Expr::conj(varset![2])],
+            [
+                Expr::universal_bodyless(crate::VarId(0)),
+                Expr::conj(varset![2]),
+            ],
         )
         .unwrap();
         let set = VerificationSet::build(&given).unwrap();
@@ -211,8 +216,7 @@ mod tests {
     #[test]
     fn verify_stops_early_verify_all_does_not() {
         let given = Query::new(2, [Expr::conj(varset![1, 2])]).unwrap();
-        let intended =
-            Query::new(2, [Expr::conj(varset![1]), Expr::conj(varset![2])]).unwrap();
+        let intended = Query::new(2, [Expr::conj(varset![1]), Expr::conj(varset![2])]).unwrap();
         let set = VerificationSet::build(&given).unwrap();
         let outcome = set.verify(&mut QueryOracle::new(intended.clone()));
         assert!(!outcome.is_verified());

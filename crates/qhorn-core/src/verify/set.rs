@@ -24,7 +24,6 @@ use std::fmt;
 
 /// Which Fig. 6 family a verification question belongs to.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum QuestionKind {
     /// All dominant existential distinguishing tuples in one object.
     A1,
@@ -152,7 +151,10 @@ impl VerificationSet {
                     kind: QuestionKind::A2,
                     question: Obj::new(n, std::iter::once(top.clone()).chain(children)),
                     expected: Response::Answer,
-                    about: format!("children of the distinguishing tuple of ∀{} → {head}", fmt_vars(body)),
+                    about: format!(
+                        "children of the distinguishing tuple of ∀{} → {head}",
+                        fmt_vars(body)
+                    ),
                 });
             }
             items.push(VerificationQuestion {
@@ -176,9 +178,7 @@ impl VerificationSet {
                     .into_iter()
                     .filter(|b| b.is_subset(conj))
                     .collect();
-                let strictly_dominates = bodies_in
-                    .iter()
-                    .any(|b| &nf.close(&b.with(head)) != conj);
+                let strictly_dominates = bodies_in.iter().any(|b| &nf.close(&b.with(head)) != conj);
                 if bodies_in.is_empty()
                     || bodies_in.iter().any(VarSet::is_empty)
                     || !strictly_dominates
@@ -229,8 +229,15 @@ impl VerificationSet {
             about: "one almost-true tuple per non-head variable".to_string(),
         });
 
-        let set = VerificationSet { n, given: given.clone(), items };
-        debug_assert!(set.self_consistent(&nf), "expected labels must match the given query");
+        let set = VerificationSet {
+            n,
+            given: given.clone(),
+            items,
+        };
+        debug_assert!(
+            set.self_consistent(&nf),
+            "expected labels must match the given query"
+        );
         Ok(set)
     }
 
@@ -279,7 +286,10 @@ impl VerificationSet {
 }
 
 fn fmt_vars(vs: &VarSet) -> String {
-    vs.iter().map(|v| v.to_string()).collect::<Vec<_>>().join("")
+    vs.iter()
+        .map(|v| v.to_string())
+        .collect::<Vec<_>>()
+        .join("")
 }
 
 #[cfg(test)]
@@ -359,8 +369,10 @@ mod tests {
         // ∀x1x4→x5: {111111, 100001? — children of 100101 flipping x1/x4:
         // 000101 and 100001}.
         let q = a2.iter().find(|q| q.about.contains("x1x4")).unwrap();
-        let expected: BTreeSet<String> =
-            ["111111", "000101", "100001"].into_iter().map(String::from).collect();
+        let expected: BTreeSet<String> = ["111111", "000101", "100001"]
+            .into_iter()
+            .map(String::from)
+            .collect();
         assert_eq!(bits(&q.question), expected);
     }
 
@@ -370,7 +382,8 @@ mod tests {
         let n2: Vec<_> = set.of_kind(QuestionKind::N2).collect();
         assert_eq!(n2.len(), 3);
         let q = n2.iter().find(|q| q.about.contains("x1x2")).unwrap();
-        let expected: BTreeSet<String> = ["111111", "110010"].into_iter().map(String::from).collect();
+        let expected: BTreeSet<String> =
+            ["111111", "110010"].into_iter().map(String::from).collect();
         assert_eq!(bits(&q.question), expected);
     }
 
@@ -387,8 +400,10 @@ mod tests {
             .iter()
             .find(|q| q.about.contains("x5 within ∃x2x3x4x5"))
             .expect("the paper's A3 question");
-        let expected: BTreeSet<String> =
-            ["111111", "010101", "111001"].into_iter().map(String::from).collect();
+        let expected: BTreeSet<String> = ["111111", "010101", "111001"]
+            .into_iter()
+            .map(String::from)
+            .collect();
         assert_eq!(bits(&x5.question), expected);
         // The two x6 questions (∃x1x2x3x6 and ∃x1x2x5x6 strictly dominate
         // the guarantee ∃x1x2x6 of ∀x1x2→x6).
@@ -403,11 +418,10 @@ mod tests {
         let set = set_for_paper_example();
         let a4: Vec<_> = set.of_kind(QuestionKind::A4).collect();
         assert_eq!(a4.len(), 1);
-        let expected: BTreeSet<String> =
-            ["111111", "011111", "101111", "110111", "111011"]
-                .into_iter()
-                .map(String::from)
-                .collect();
+        let expected: BTreeSet<String> = ["111111", "011111", "101111", "110111", "111011"]
+            .into_iter()
+            .map(String::from)
+            .collect();
         assert_eq!(bits(&a4[0].question), expected);
     }
 
@@ -442,7 +456,10 @@ mod tests {
     fn non_role_preserving_rejected() {
         let alias = Query::new(
             2,
-            [Expr::universal(varset![1], v(2)), Expr::universal(varset![2], v(1))],
+            [
+                Expr::universal(varset![1], v(2)),
+                Expr::universal(varset![2], v(1)),
+            ],
         )
         .unwrap();
         assert!(VerificationSet::build(&alias).is_err());

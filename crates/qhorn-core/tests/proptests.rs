@@ -24,8 +24,8 @@ fn arb_object(n: u16) -> impl Strategy<Value = Obj> {
 fn arb_role_preserving(n: u16) -> impl Strategy<Value = Query> {
     let heads = n / 3 + 1;
     let non_heads = n - heads;
-    let universal = (non_heads..n, arb_varset(non_heads))
-        .prop_map(|(h, body)| Expr::universal(body, VarId(h)));
+    let universal =
+        (non_heads..n, arb_varset(non_heads)).prop_map(|(h, body)| Expr::universal(body, VarId(h)));
     let conj = arb_varset(n)
         .prop_filter("non-empty", |s| !s.is_empty())
         .prop_map(Expr::conj);
@@ -194,7 +194,10 @@ fn normalization_exhaustive_small() {
             for conj in universe.iter().filter(|c| !c.is_empty()) {
                 let q = Query::new(
                     3,
-                    [Expr::universal(body.clone(), head), Expr::conj(conj.clone())],
+                    [
+                        Expr::universal(body.clone(), head),
+                        Expr::conj(conj.clone()),
+                    ],
                 )
                 .unwrap();
                 let canon = q.normal_form().to_query();

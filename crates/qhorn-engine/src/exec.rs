@@ -83,7 +83,10 @@ mod tests {
         assert_eq!(hits, vec![ObjectId(0), ObjectId(4)]);
         assert_eq!(stats.objects, 5);
         assert_eq!(stats.answers, 2);
-        assert!(stats.signatures_evaluated < stats.objects, "dedup kicked in");
+        assert!(
+            stats.signatures_evaluated < stats.objects,
+            "dedup kicked in"
+        );
     }
 
     #[test]
@@ -95,7 +98,13 @@ mod tests {
     #[test]
     fn scan_and_indexed_agree() {
         let s = store();
-        for src in ["all x1", "some x1 x2", "all x1 -> x2", "some x2 x3", "all x3"] {
+        for src in [
+            "all x1",
+            "some x1 x2",
+            "all x1 -> x2",
+            "some x2 x3",
+            "all x3",
+        ] {
             let p = plan(src);
             let mut scan = execute_scan(&p, &s);
             scan.sort_unstable();

@@ -52,7 +52,10 @@ pub fn explain(query: &Query, store: &Store, id: ObjectId) -> Verdict {
 /// Explains every stored object, in id order.
 #[must_use]
 pub fn explain_all(query: &Query, store: &Store) -> Vec<(ObjectId, Verdict)> {
-    store.iter().map(|(id, _)| (id, explain(query, store, id))).collect()
+    store
+        .iter()
+        .map(|(id, _)| (id, explain(query, store, id)))
+        .collect()
 }
 
 #[cfg(test)]
@@ -86,7 +89,10 @@ mod tests {
     fn explains_missing_witness() {
         let q = parse_with_arity("some x1 x2", 3).unwrap();
         let v = explain(&q, &store(), ObjectId(2));
-        assert!(matches!(v, Verdict::NonAnswer(FailureReason::MissingWitness { .. })));
+        assert!(matches!(
+            v,
+            Verdict::NonAnswer(FailureReason::MissingWitness { .. })
+        ));
     }
 
     #[test]

@@ -41,5 +41,5 @@ pub mod signature;
 pub mod storage;
 
 pub use plan::CompiledQuery;
-pub use session::{RealizedQuestion, Session};
+pub use session::{LearnerKind, RealizedQuestion, Session};
 pub use storage::{DataStore, ObjectId, Store};

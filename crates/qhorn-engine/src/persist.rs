@@ -1,18 +1,24 @@
-//! JSON persistence for Boolean-domain stores and learned queries.
+//! JSON persistence for Boolean-domain stores, learned queries, and
+//! session snapshots.
 //!
 //! Learned queries and labeled example stores are the durable artifacts of
 //! a DataPlay-style session; this module serializes both so sessions can
-//! resume and learned queries can be shipped to other systems.
+//! resume and learned queries can be shipped to other systems. Session
+//! snapshots ([`SessionSnapshot`]) capture a session's transcript and
+//! learned query so an evicted session can later be restored and replayed
+//! (`qhorn-service` uses this for TTL eviction).
 
+use crate::session::Exchange;
 use crate::storage::Store;
-use qhorn_core::{Obj, Query};
+use qhorn_core::{Obj, Query, Response};
+use qhorn_json::{FromJson, Json, JsonError, ToJson};
 use std::fmt;
 
 /// Persistence failures.
 #[derive(Debug)]
 pub enum PersistError {
     /// JSON (de)serialization failed.
-    Json(serde_json::Error),
+    Json(JsonError),
     /// The payload is structurally inconsistent (e.g. mixed arities).
     Corrupt(String),
 }
@@ -28,31 +34,54 @@ impl fmt::Display for PersistError {
 
 impl std::error::Error for PersistError {}
 
-impl From<serde_json::Error> for PersistError {
-    fn from(e: serde_json::Error) -> Self {
+impl From<JsonError> for PersistError {
+    fn from(e: JsonError) -> Self {
         PersistError::Json(e)
     }
 }
 
-#[derive(serde::Serialize, serde::Deserialize)]
 struct StorePayload {
     arity: u16,
     objects: Vec<Obj>,
 }
 
+impl ToJson for StorePayload {
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("arity", self.arity.to_json()),
+            ("objects", self.objects.to_json()),
+        ])
+    }
+}
+
+impl FromJson for StorePayload {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        Ok(StorePayload {
+            arity: u16::from_json(j.field("arity")?)?,
+            objects: Vec::<Obj>::from_json(j.field("objects")?)?,
+        })
+    }
+}
+
 /// Serializes a store (arity + objects, ids preserved by position).
+///
+/// # Errors
+/// [`PersistError::Json`] if serialization fails (it cannot for stores).
 pub fn store_to_json(store: &Store) -> Result<String, PersistError> {
     let payload = StorePayload {
         arity: store.arity(),
         objects: store.iter().map(|(_, o)| o.clone()).collect(),
     };
-    Ok(serde_json::to_string_pretty(&payload)?)
+    Ok(qhorn_json::to_string_pretty(&payload))
 }
 
 /// Deserializes a store; object ids are assigned in payload order, so a
 /// round trip preserves ids.
+///
+/// # Errors
+/// [`PersistError`] on malformed JSON or arity inconsistencies.
 pub fn store_from_json(json: &str) -> Result<Store, PersistError> {
-    let payload: StorePayload = serde_json::from_str(json)?;
+    let payload: StorePayload = qhorn_json::from_str(json)?;
     let mut store = Store::new(payload.arity);
     for obj in payload.objects {
         if obj.arity() != payload.arity {
@@ -68,13 +97,113 @@ pub fn store_from_json(json: &str) -> Result<Store, PersistError> {
 }
 
 /// Serializes a query (expressions + arity).
+///
+/// # Errors
+/// [`PersistError::Json`] if serialization fails (it cannot for queries).
 pub fn query_to_json(query: &Query) -> Result<String, PersistError> {
-    Ok(serde_json::to_string_pretty(query)?)
+    Ok(qhorn_json::to_string_pretty(query))
 }
 
 /// Deserializes a query.
+///
+/// # Errors
+/// [`PersistError::Json`] on malformed JSON or invalid expressions.
 pub fn query_from_json(json: &str) -> Result<Query, PersistError> {
-    Ok(serde_json::from_str(json)?)
+    Ok(qhorn_json::from_str(json)?)
+}
+
+/// A durable image of an interactive session: the answered transcript plus
+/// the learned query, if any. Restoring a snapshot replays the transcript
+/// (via [`crate::session::Session::with_transcript`] and the replay
+/// oracle), so only genuinely new questions reach the user again.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SessionSnapshot {
+    /// The answered (question, from_store, response) exchanges, in order.
+    pub transcript: Vec<Exchange>,
+    /// The learned query, when the session had completed learning.
+    pub learned: Option<Query>,
+}
+
+impl SessionSnapshot {
+    /// A snapshot from transcript parts.
+    #[must_use]
+    pub fn new(transcript: Vec<Exchange>, learned: Option<Query>) -> Self {
+        SessionSnapshot {
+            transcript,
+            learned,
+        }
+    }
+}
+
+impl ToJson for Exchange {
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("question", self.question.to_json()),
+            ("from_store", self.from_store.to_json()),
+            ("response", self.response.to_json()),
+        ])
+    }
+}
+
+impl FromJson for Exchange {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        Ok(Exchange {
+            question: Obj::from_json(j.field("question")?)?,
+            from_store: bool::from_json(j.field("from_store")?)?,
+            response: Response::from_json(j.field("response")?)?,
+        })
+    }
+}
+
+impl ToJson for SessionSnapshot {
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("transcript", self.transcript.to_json()),
+            ("learned", self.learned.to_json()),
+        ])
+    }
+}
+
+impl FromJson for SessionSnapshot {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        Ok(SessionSnapshot {
+            transcript: Vec::<Exchange>::from_json(j.field("transcript")?)?,
+            learned: Option::<Query>::from_json(j.field("learned")?)?,
+        })
+    }
+}
+
+/// Serializes a session snapshot.
+///
+/// # Errors
+/// [`PersistError::Json`] if serialization fails (it cannot for snapshots).
+pub fn session_to_json(snapshot: &SessionSnapshot) -> Result<String, PersistError> {
+    Ok(qhorn_json::to_string_pretty(snapshot))
+}
+
+/// Deserializes a session snapshot; all questions must share one arity.
+///
+/// # Errors
+/// [`PersistError`] on malformed JSON or mixed question arities.
+pub fn session_from_json(json: &str) -> Result<SessionSnapshot, PersistError> {
+    let snap: SessionSnapshot = qhorn_json::from_str(json)?;
+    let mut arities = snap.transcript.iter().map(|e| e.question.arity());
+    if let Some(first) = arities.next() {
+        if arities.any(|a| a != first) {
+            return Err(PersistError::Corrupt(
+                "mixed question arities in transcript".into(),
+            ));
+        }
+        if let Some(q) = &snap.learned {
+            if q.arity() != first {
+                return Err(PersistError::Corrupt(format!(
+                    "learned query arity {} ≠ transcript arity {first}",
+                    q.arity()
+                )));
+            }
+        }
+    }
+    Ok(snap)
 }
 
 #[cfg(test)]
@@ -122,14 +251,55 @@ mod tests {
 
     #[test]
     fn corrupt_payloads_are_rejected() {
-        assert!(matches!(store_from_json("not json"), Err(PersistError::Json(_))));
+        assert!(matches!(
+            store_from_json("not json"),
+            Err(PersistError::Json(_))
+        ));
         // Arity mismatch inside the payload.
-        let bad = r#"{"arity": 2, "objects": [{"n": 3, "tuples": [{"n": 3, "trues": {"words": [7]}}]}]}"#;
+        let bad =
+            r#"{"arity": 2, "objects": [{"n": 3, "tuples": [{"n": 3, "trues": {"words": [7]}}]}]}"#;
         match store_from_json(bad) {
             Err(PersistError::Corrupt(msg)) => assert!(msg.contains("arity")),
             other => panic!("expected Corrupt, got {other:?}"),
         }
         let err = query_from_json("{}").unwrap_err();
         assert!(err.to_string().contains("json"));
+    }
+
+    #[test]
+    fn session_snapshot_round_trips() {
+        let snap = SessionSnapshot::new(
+            vec![
+                Exchange {
+                    question: Obj::from_bits("110 011"),
+                    from_store: true,
+                    response: qhorn_core::Response::Answer,
+                },
+                Exchange {
+                    question: Obj::from_bits("000"),
+                    from_store: false,
+                    response: qhorn_core::Response::NonAnswer,
+                },
+            ],
+            Some(parse_with_arity("all x1 -> x2", 3).unwrap()),
+        );
+        let json = session_to_json(&snap).unwrap();
+        let loaded = session_from_json(&json).unwrap();
+        assert_eq!(loaded, snap);
+    }
+
+    #[test]
+    fn session_snapshot_rejects_mixed_arities() {
+        let json = r#"{
+            "transcript": [
+                {"question": {"n": 2, "tuples": []}, "from_store": false, "response": "Answer"},
+                {"question": {"n": 3, "tuples": []}, "from_store": false, "response": "Answer"}
+            ],
+            "learned": null
+        }"#;
+        match session_from_json(json) {
+            Err(PersistError::Corrupt(msg)) => assert!(msg.contains("arit")),
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
     }
 }

@@ -38,7 +38,11 @@ impl TupleMatrix {
                 cols[v.index()][i / 64] |= 1 << (i % 64);
             }
         }
-        TupleMatrix { rows, words_per_col: words, cols }
+        TupleMatrix {
+            rows,
+            words_per_col: words,
+            cols,
+        }
     }
 
     /// Number of tuples.
@@ -117,7 +121,11 @@ impl CompiledQuery {
         let mut witnesses: Vec<VarSet> = nf.existentials().iter().cloned().collect();
         // Largest conjunctions are hardest to witness: check them first.
         witnesses.sort_by_key(|c| std::cmp::Reverse(c.len()));
-        CompiledQuery { n: q.arity(), violations, witnesses }
+        CompiledQuery {
+            n: q.arity(),
+            violations,
+            witnesses,
+        }
     }
 
     /// Query arity.
@@ -176,9 +184,15 @@ mod tests {
         assert_eq!(m.rows(), 3);
         assert!(m.any_with_all(&varset![1, 2]));
         assert!(!m.any_with_all(&varset![1, 2, 3]));
-        assert!(m.any_with_all(&VarSet::new()), "empty conjunction, non-empty object");
+        assert!(
+            m.any_with_all(&VarSet::new()),
+            "empty conjunction, non-empty object"
+        );
         assert!(m.any_violating(&varset![1], v(3)), "110 violates ∀x1→x3");
-        assert!(m.any_violating(&varset![2, 3], v(1)), "011 violates ∀x2x3→x1");
+        assert!(
+            m.any_violating(&varset![2, 3], v(1)),
+            "011 violates ∀x2x3→x1"
+        );
         assert!(
             !m.any_violating(&varset![1, 2, 3], v(1)),
             "no tuple satisfies the whole body"
@@ -208,7 +222,11 @@ mod tests {
         // CompiledQuery::matches must agree with Query::accepts on every
         // object for a spread of queries on 3 variables.
         let queries = [
-            Query::new(3, [Expr::universal(varset![1], v(3)), Expr::conj(varset![2])]).unwrap(),
+            Query::new(
+                3,
+                [Expr::universal(varset![1], v(3)), Expr::conj(varset![2])],
+            )
+            .unwrap(),
             Query::new(3, [Expr::universal_bodyless(v(1))]).unwrap(),
             Query::new(3, [Expr::conj(varset![1, 2, 3])]).unwrap(),
             Query::new(
@@ -238,7 +256,11 @@ mod tests {
         for q in qhorn_core::query::generate::enumerate_role_preserving(2, false) {
             let plan = CompiledQuery::compile(&q);
             for obj in all_objects(2) {
-                assert_eq!(plan.matches(&obj), q.accepts(&obj), "query {q} object {obj}");
+                assert_eq!(
+                    plan.matches(&obj),
+                    q.accepts(&obj),
+                    "query {q} object {obj}"
+                );
             }
         }
     }

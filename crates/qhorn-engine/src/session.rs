@@ -42,8 +42,9 @@ impl RealizedQuestion {
     #[must_use]
     pub fn object(&self) -> &NestedObject {
         match self {
-            RealizedQuestion::Stored { object, .. }
-            | RealizedQuestion::Synthesized { object } => object,
+            RealizedQuestion::Stored { object, .. } | RealizedQuestion::Synthesized { object } => {
+                object
+            }
         }
     }
 
@@ -54,8 +55,19 @@ impl RealizedQuestion {
     }
 }
 
+/// Which exact learner a session runs (the paper's two learnable
+/// subclasses: §3.1 qhorn-1, §3.2 role-preserving).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum LearnerKind {
+    /// Theorem 3.1: qhorn-1 queries, O(n lg n) questions.
+    Qhorn1,
+    /// Theorems 3.5/3.8: role-preserving queries.
+    #[default]
+    RolePreserving,
+}
+
 /// One transcript entry.
-#[derive(Clone, Debug)]
+#[derive(Clone, PartialEq, Debug)]
 pub struct Exchange {
     /// The Boolean-domain question.
     pub question: Obj,
@@ -76,7 +88,28 @@ impl<'a> Session<'a> {
     /// Starts a session over a store, with value hints for synthesis.
     #[must_use]
     pub fn new(store: &'a DataStore, hints: DomainHints) -> Self {
-        Session { store, hints, transcript: Vec::new() }
+        Session {
+            store,
+            hints,
+            transcript: Vec::new(),
+        }
+    }
+
+    /// Resumes a session from a previously recorded transcript (e.g. a
+    /// [`crate::persist::SessionSnapshot`]). Replayed learning
+    /// ([`Session::relearn_with_corrections_as`] with no corrections)
+    /// re-asks only questions the transcript does not answer.
+    #[must_use]
+    pub fn with_transcript(
+        store: &'a DataStore,
+        hints: DomainHints,
+        transcript: Vec<Exchange>,
+    ) -> Self {
+        Session {
+            store,
+            hints,
+            transcript,
+        }
     }
 
     /// Realizes a Boolean question as a data object.
@@ -92,10 +125,8 @@ impl<'a> Session<'a> {
             });
         }
         let synth = Synthesizer::new(self.store.bridge(), self.hints.clone());
-        let object = synth.synthesize_object(
-            question,
-            DataTuple::new([Value::str("example box")]),
-        )?;
+        let object =
+            synth.synthesize_object(question, DataTuple::new([Value::str("example box")]))?;
         Ok(RealizedQuestion::Synthesized { object })
     }
 
@@ -176,10 +207,30 @@ impl<'a> Session<'a> {
     /// current transcript (with `corrections` applied by index) are
     /// replayed; only genuinely new questions reach the user (§5).
     ///
+    /// Uses the role-preserving learner; see
+    /// [`Session::relearn_with_corrections_as`] to pick the learner.
+    ///
     /// # Errors
     /// [`LearnError`] from the underlying learner.
     pub fn relearn_with_corrections<F>(
         &mut self,
+        corrections: &[(usize, Response)],
+        opts: &LearnOptions,
+        respond: F,
+    ) -> Result<LearnOutcome, LearnError>
+    where
+        F: FnMut(&RealizedQuestion) -> Response,
+    {
+        self.relearn_with_corrections_as(LearnerKind::RolePreserving, corrections, opts, respond)
+    }
+
+    /// [`Session::relearn_with_corrections`] with an explicit learner.
+    ///
+    /// # Errors
+    /// [`LearnError`] from the underlying learner.
+    pub fn relearn_with_corrections_as<F>(
+        &mut self,
+        kind: LearnerKind,
         corrections: &[(usize, Response)],
         opts: &LearnOptions,
         mut respond: F,
@@ -187,16 +238,19 @@ impl<'a> Session<'a> {
     where
         F: FnMut(&RealizedQuestion) -> Response,
     {
-        let mut cache: Vec<(Obj, Response)> = self
+        // Corrections become part of the authoritative transcript, so a
+        // later replay (another correction round, a snapshot restore)
+        // starts from the corrected history rather than reverting it.
+        for &(idx, r) in corrections {
+            if let Some(entry) = self.transcript.get_mut(idx) {
+                entry.response = r;
+            }
+        }
+        let cache: Vec<(Obj, Response)> = self
             .transcript
             .iter()
             .map(|e| (e.question.clone(), e.response))
             .collect();
-        for &(idx, r) in corrections {
-            if let Some(entry) = cache.get_mut(idx) {
-                entry.1 = r;
-            }
-        }
         let n = self.store.bridge().n();
         let mut fresh_transcript = Vec::new();
         let outcome = {
@@ -207,7 +261,10 @@ impl<'a> Session<'a> {
                 respond: &mut respond,
             };
             let mut replay = ReplayOracle::new(&mut inner, cache);
-            learn_role_preserving(n, &mut replay, opts)
+            match kind {
+                LearnerKind::Qhorn1 => learn_qhorn1(n, &mut replay, opts),
+                LearnerKind::RolePreserving => learn_role_preserving(n, &mut replay, opts),
+            }
         };
         self.transcript.extend(fresh_transcript);
         outcome
@@ -264,8 +321,7 @@ mod tests {
     use qhorn_relation::datasets::chocolates;
 
     fn data_store() -> DataStore {
-        DataStore::from_relation(chocolates::assorted_boxes(40), chocolates::booleanizer())
-            .unwrap()
+        DataStore::from_relation(chocolates::assorted_boxes(40), chocolates::booleanizer()).unwrap()
     }
 
     /// A simulated user who evaluates realized examples *in the data
@@ -275,7 +331,9 @@ mod tests {
     fn data_domain_user(intent: Query) -> impl FnMut(&RealizedQuestion) -> Response {
         let bridge = chocolates::booleanizer();
         move |r: &RealizedQuestion| {
-            let boolean = bridge.booleanize_object(r.object()).expect("well-typed example");
+            let boolean = bridge
+                .booleanize_object(r.object())
+                .expect("well-typed example");
             intent.eval(&boolean)
         }
     }
@@ -320,7 +378,9 @@ mod tests {
         let mut session = Session::new(&ds, chocolates::hints());
         let intent = chocolates::intro_query();
         // Correct query verifies.
-        let outcome = session.verify(&intent, data_domain_user(intent.clone())).unwrap();
+        let outcome = session
+            .verify(&intent, data_domain_user(intent.clone()))
+            .unwrap();
         assert!(outcome.is_verified());
         // A wrong query is refuted.
         let wrong = qhorn_lang::parse_with_arity("some x1 x2 x3", 3).unwrap();
@@ -358,8 +418,18 @@ mod tests {
             )
             .unwrap();
         assert!(equivalent(outcome.query(), &intent));
+        // Corrections become part of the authoritative transcript, so a
+        // later replay starts from the corrected history.
+        assert_eq!(
+            session.transcript()[0].response,
+            corrected_first,
+            "correction must be recorded in the transcript itself"
+        );
         if let Some(m) = mislearned {
-            assert!(!equivalent(&m, &intent), "the flip mattered in this scenario");
+            assert!(
+                !equivalent(&m, &intent),
+                "the flip mattered in this scenario"
+            );
         }
     }
 
@@ -369,15 +439,11 @@ mod tests {
         // need origin=Madagascar ∧ origin=Belgium cannot be realized.
         let schema = chocolates::schema();
         let props = vec![
-            qhorn_relation::proposition::Proposition::eq(
-                "pm",
-                "origin",
-                Value::str("Madagascar"),
-            ),
+            qhorn_relation::proposition::Proposition::eq("pm", "origin", Value::str("Madagascar")),
             qhorn_relation::proposition::Proposition::eq("pb", "origin", Value::str("Belgium")),
         ];
-        let bridge = qhorn_relation::binding::Booleanizer::new(schema.embedded.clone(), props)
-            .unwrap();
+        let bridge =
+            qhorn_relation::binding::Booleanizer::new(schema.embedded.clone(), props).unwrap();
         let ds = DataStore::from_relation(chocolates::fig1_boxes(), bridge).unwrap();
         let session = Session::new(&ds, DomainHints::none());
         assert!(session.realize(&Obj::from_bits("11")).is_err());

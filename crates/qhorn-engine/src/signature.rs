@@ -59,7 +59,10 @@ mod tests {
         idx.add(&Obj::from_bits("01 11"), ObjectId(1)); // same set
         idx.add(&Obj::from_bits("11"), ObjectId(2));
         assert_eq!(idx.distinct(), 2);
-        assert_eq!(idx.find(&Obj::from_bits("11 01")), &[ObjectId(0), ObjectId(1)]);
+        assert_eq!(
+            idx.find(&Obj::from_bits("11 01")),
+            &[ObjectId(0), ObjectId(1)]
+        );
         assert_eq!(idx.find(&Obj::from_bits("11")), &[ObjectId(2)]);
         assert!(idx.find(&Obj::from_bits("00")).is_empty());
         assert_eq!(idx.groups().count(), 2);

@@ -31,7 +31,11 @@ impl Store {
     /// An empty store over `n` Boolean variables.
     #[must_use]
     pub fn new(n: u16) -> Self {
-        Store { n, objects: Vec::new(), index: SignatureIndex::new() }
+        Store {
+            n,
+            objects: Vec::new(),
+            index: SignatureIndex::new(),
+        }
     }
 
     /// Arity of stored objects.
@@ -72,7 +76,10 @@ impl Store {
 
     /// Iterates `(id, object)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (ObjectId, &Obj)> {
-        self.objects.iter().enumerate().map(|(i, o)| (ObjectId(i as u32), o))
+        self.objects
+            .iter()
+            .enumerate()
+            .map(|(i, o)| (ObjectId(i as u32), o))
     }
 
     /// The signature index (distinct tuple-set groups).
@@ -99,15 +106,16 @@ pub struct DataStore {
 impl DataStore {
     /// Booleanizes every object of `relation` under `bridge` and builds the
     /// aligned stores. Object `i` of the relation is [`ObjectId`] `i`.
-    pub fn from_relation(
-        relation: NestedRelation,
-        bridge: Booleanizer,
-    ) -> Result<Self, PropError> {
+    pub fn from_relation(relation: NestedRelation, bridge: Booleanizer) -> Result<Self, PropError> {
         let mut boolean = Store::new(bridge.n());
         for obj in &relation.objects {
             boolean.insert(bridge.booleanize_object(obj)?);
         }
-        Ok(DataStore { relation, bridge, boolean })
+        Ok(DataStore {
+            relation,
+            bridge,
+            boolean,
+        })
     }
 
     /// The Boolean-domain store.
@@ -136,7 +144,10 @@ impl DataStore {
 
     /// Inserts a new data object into both stores.
     pub fn insert(&mut self, obj: NestedObject) -> Result<ObjectId, StoreError> {
-        let boolean = self.bridge.booleanize_object(&obj).map_err(StoreError::Prop)?;
+        let boolean = self
+            .bridge
+            .booleanize_object(&obj)
+            .map_err(StoreError::Prop)?;
         self.relation.push(obj).map_err(StoreError::Schema)?;
         Ok(self.boolean.insert(boolean))
     }
@@ -196,25 +207,34 @@ mod tests {
 
     #[test]
     fn data_store_aligns_ids() {
-        let ds = DataStore::from_relation(chocolates::fig1_boxes(), chocolates::booleanizer())
-            .unwrap();
+        let ds =
+            DataStore::from_relation(chocolates::fig1_boxes(), chocolates::booleanizer()).unwrap();
         assert_eq!(ds.boolean().len(), 2);
         assert_eq!(
             ds.data_object(ObjectId(0)).attrs.get(0),
             &qhorn_relation::value::Value::str("Global Ground")
         );
-        assert_eq!(ds.boolean().get(ObjectId(0)), &Obj::from_bits("111 000 110"));
+        assert_eq!(
+            ds.boolean().get(ObjectId(0)),
+            &Obj::from_bits("111 000 110")
+        );
     }
 
     #[test]
     fn data_store_insert_keeps_alignment() {
-        let mut ds = DataStore::from_relation(chocolates::fig1_boxes(), chocolates::booleanizer())
-            .unwrap();
+        let mut ds =
+            DataStore::from_relation(chocolates::fig1_boxes(), chocolates::booleanizer()).unwrap();
         let obj = NestedObject::new(
             qhorn_relation::relation::DataTuple::new([qhorn_relation::value::Value::str(
                 "New Box",
             )]),
-            vec![chocolates::chocolate("Madagascar", false, true, true, false)],
+            vec![chocolates::chocolate(
+                "Madagascar",
+                false,
+                true,
+                true,
+                false,
+            )],
         );
         let id = ds.insert(obj).unwrap();
         assert_eq!(id, ObjectId(2));

@@ -23,9 +23,7 @@ fn inventory() -> DataStore {
 
 fn user_for(intent: qhorn_core::Query) -> impl FnMut(&RealizedQuestion) -> Response {
     let bridge = chocolates::booleanizer();
-    move |r: &RealizedQuestion| {
-        intent.eval(&bridge.booleanize_object(r.object()).unwrap())
-    }
+    move |r: &RealizedQuestion| intent.eval(&bridge.booleanize_object(r.object()).unwrap())
 }
 
 #[test]
@@ -54,7 +52,10 @@ fn learn_execute_explain_round_trip() {
             }
         }
     }
-    assert_eq!(explain_all(&intent, store.boolean()).len(), store.boolean().len());
+    assert_eq!(
+        explain_all(&intent, store.boolean()).len(),
+        store.boolean().len()
+    );
 }
 
 #[test]
@@ -107,12 +108,9 @@ fn simulated_oracle_and_session_user_agree() {
         .learn_role_preserving(&LearnOptions::default(), user_for(intent.clone()))
         .unwrap();
     let mut direct_oracle = QueryOracle::new(intent.clone());
-    let direct = qhorn_core::learn::learn_role_preserving(
-        3,
-        &mut direct_oracle,
-        &LearnOptions::default(),
-    )
-    .unwrap();
+    let direct =
+        qhorn_core::learn::learn_role_preserving(3, &mut direct_oracle, &LearnOptions::default())
+            .unwrap();
     assert!(equivalent(via_session.query(), direct.query()));
     assert_eq!(
         via_session.stats().questions,

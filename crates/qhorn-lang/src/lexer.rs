@@ -46,28 +46,46 @@ pub fn lex(src: &str) -> Result<Vec<Token>, ParseError> {
         match c {
             c if c.is_whitespace() => i += 1,
             ';' | ',' => {
-                out.push(Token { offset: off, kind: TokenKind::Separator });
+                out.push(Token {
+                    offset: off,
+                    kind: TokenKind::Separator,
+                });
                 i += 1;
             }
             '∀' => {
-                out.push(Token { offset: off, kind: TokenKind::Forall });
+                out.push(Token {
+                    offset: off,
+                    kind: TokenKind::Forall,
+                });
                 i += 1;
             }
             '⊤' => {
-                out.push(Token { offset: off, kind: TokenKind::Top });
+                out.push(Token {
+                    offset: off,
+                    kind: TokenKind::Top,
+                });
                 i += 1;
             }
             '∃' => {
-                out.push(Token { offset: off, kind: TokenKind::Exists });
+                out.push(Token {
+                    offset: off,
+                    kind: TokenKind::Exists,
+                });
                 i += 1;
             }
             '→' | '⇒' => {
-                out.push(Token { offset: off, kind: TokenKind::Arrow });
+                out.push(Token {
+                    offset: off,
+                    kind: TokenKind::Arrow,
+                });
                 i += 1;
             }
             '-' => {
                 if matches!(bytes.get(i + 1), Some((_, '>'))) {
-                    out.push(Token { offset: off, kind: TokenKind::Arrow });
+                    out.push(Token {
+                        offset: off,
+                        kind: TokenKind::Arrow,
+                    });
                     i += 2;
                 } else {
                     return Err(ParseError::new(off, ParseErrorKind::UnexpectedChar('-')));
@@ -93,7 +111,10 @@ pub fn lex(src: &str) -> Result<Vec<Token>, ParseError> {
                         ParseErrorKind::BadVariable(format!("x{digits}")),
                     ));
                 }
-                out.push(Token { offset: off, kind: TokenKind::Var(idx as u16) });
+                out.push(Token {
+                    offset: off,
+                    kind: TokenKind::Var(idx as u16),
+                });
                 i = j;
             }
             c if c.is_alphabetic() => {

@@ -45,10 +45,17 @@ pub fn parse(src: &str) -> Result<Query, ParseError> {
 pub fn parse_with_arity(src: &str, n: u16) -> Result<Query, ParseError> {
     let exprs = parse_exprs(src)?;
     for e in &exprs {
-        if let Some(v) = e.participating_vars().iter().find(|v| v.index() >= n as usize) {
+        if let Some(v) = e
+            .participating_vars()
+            .iter()
+            .find(|v| v.index() >= n as usize)
+        {
             return Err(ParseError::new(
                 0,
-                ParseErrorKind::VarBeyondArity { var: v.one_based(), arity: n },
+                ParseErrorKind::VarBeyondArity {
+                    var: v.one_based(),
+                    arity: n,
+                },
             ));
         }
     }
@@ -95,21 +102,39 @@ fn parse_expr(tokens: &[Token], start: usize) -> Result<(Expr, usize), ParseErro
     };
     let mut pos = start + 1;
     let mut vars: Vec<VarId> = Vec::new();
-    while let Some(Token { kind: TokenKind::Var(i), .. }) = tokens.get(pos) {
+    while let Some(Token {
+        kind: TokenKind::Var(i),
+        ..
+    }) = tokens.get(pos)
+    {
         vars.push(VarId::from_one_based(*i));
         pos += 1;
     }
     if vars.is_empty() {
-        return Err(ParseError::new(quant.offset, ParseErrorKind::EmptyExpression));
+        return Err(ParseError::new(
+            quant.offset,
+            ParseErrorKind::EmptyExpression,
+        ));
     }
-    let head = if let Some(Token { kind: TokenKind::Arrow, offset }) = tokens.get(pos) {
+    let head = if let Some(Token {
+        kind: TokenKind::Arrow,
+        offset,
+    }) = tokens.get(pos)
+    {
         pos += 1;
         match tokens.get(pos) {
-            Some(Token { kind: TokenKind::Var(i), .. }) => {
+            Some(Token {
+                kind: TokenKind::Var(i),
+                ..
+            }) => {
                 let h = VarId::from_one_based(*i);
                 pos += 1;
                 // Exactly one head: another variable right after is an error.
-                if let Some(Token { kind: TokenKind::Var(_), offset }) = tokens.get(pos) {
+                if let Some(Token {
+                    kind: TokenKind::Var(_),
+                    offset,
+                }) = tokens.get(pos)
+                {
                     return Err(ParseError::new(*offset, ParseErrorKind::BadHead));
                 }
                 Some(h)
@@ -126,7 +151,10 @@ fn parse_expr(tokens: &[Token], start: usize) -> Result<(Expr, usize), ParseErro
         (false, Some(h)) => Expr::existential_horn(body, h),
         (true, None) => {
             if vars.len() > 1 {
-                return Err(ParseError::new(quant.offset, ParseErrorKind::UniversalNeedsHead));
+                return Err(ParseError::new(
+                    quant.offset,
+                    ParseErrorKind::UniversalNeedsHead,
+                ));
             }
             Expr::universal_bodyless(vars[0])
         }
@@ -187,7 +215,10 @@ mod tests {
         // The empty query's Display form round-trips too.
         assert_eq!(parse("⊤").unwrap(), Query::empty(0));
         assert_eq!(parse("top").unwrap(), Query::empty(0));
-        assert_eq!(parse(&Query::empty(0).to_string()).unwrap(), Query::empty(0));
+        assert_eq!(
+            parse(&Query::empty(0).to_string()).unwrap(),
+            Query::empty(0)
+        );
     }
 
     #[test]
@@ -224,7 +255,10 @@ mod tests {
         let q = parse_with_arity("∃x3", 6).unwrap();
         assert_eq!(q.arity(), 6);
         let err = parse_with_arity("∃x7", 6).unwrap_err();
-        assert!(matches!(err.kind, ParseErrorKind::VarBeyondArity { var: 7, arity: 6 }));
+        assert!(matches!(
+            err.kind,
+            ParseErrorKind::VarBeyondArity { var: 7, arity: 6 }
+        ));
     }
 
     #[test]

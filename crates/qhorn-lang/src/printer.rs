@@ -46,7 +46,10 @@ pub fn to_ascii(q: &Query) -> String {
 }
 
 fn vars_spaced(vs: &VarSet) -> String {
-    vs.iter().map(|v| v.to_string()).collect::<Vec<_>>().join(" ")
+    vs.iter()
+        .map(|v| v.to_string())
+        .collect::<Vec<_>>()
+        .join(" ")
 }
 
 /// Renders an annotated SQL-style view over a nested relation, with one
@@ -65,7 +68,10 @@ pub fn to_sql_like(q: &Query, object: &str, collection: &str, props: Option<&[&s
         }
     };
     let conj = |vs: &VarSet, neg: Option<qhorn_core::VarId>| -> String {
-        let mut parts: Vec<String> = vs.iter().map(|v| format!("{}(t)", name(v.index()))).collect();
+        let mut parts: Vec<String> = vs
+            .iter()
+            .map(|v| format!("{}(t)", name(v.index())))
+            .collect();
         if let Some(h) = neg {
             parts.push(format!("NOT {}(t)", name(h.index())));
         }
@@ -103,7 +109,10 @@ pub fn to_sql_like(q: &Query, object: &str, collection: &str, props: Option<&[&s
     if clauses.is_empty() {
         return format!("SELECT * FROM {object}");
     }
-    format!("SELECT * FROM {object} WHERE\n      {}", clauses.join("\n  AND "))
+    format!(
+        "SELECT * FROM {object} WHERE\n      {}",
+        clauses.join("\n  AND ")
+    )
 }
 
 #[cfg(test)]
@@ -142,7 +151,10 @@ mod tests {
         );
         assert!(sql.contains("NOT EXISTS"), "{sql}");
         assert!(sql.contains("NOT is_dark(t)"), "{sql}");
-        assert!(sql.contains("has_filling(t) AND from_madagascar(t)"), "{sql}");
+        assert!(
+            sql.contains("has_filling(t) AND from_madagascar(t)"),
+            "{sql}"
+        );
         // Guarantee clause of the bodyless universal.
         assert!(sql.contains("WHERE is_dark(t)"), "{sql}");
     }
@@ -156,7 +168,10 @@ mod tests {
 
     #[test]
     fn sql_like_empty_query() {
-        assert_eq!(to_sql_like(&Query::empty(2), "obj", "items", None), "SELECT * FROM obj");
+        assert_eq!(
+            to_sql_like(&Query::empty(2), "obj", "items", None),
+            "SELECT * FROM obj"
+        );
     }
 
     #[test]

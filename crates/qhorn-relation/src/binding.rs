@@ -87,8 +87,11 @@ mod tests {
     use crate::value::Value;
 
     fn bridge() -> Booleanizer {
-        Booleanizer::new(chocolates::schema().embedded.clone(), chocolates::propositions())
-            .unwrap()
+        Booleanizer::new(
+            chocolates::schema().embedded.clone(),
+            chocolates::propositions(),
+        )
+        .unwrap()
     }
 
     #[test]

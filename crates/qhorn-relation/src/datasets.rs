@@ -5,8 +5,8 @@ use crate::binding::Booleanizer;
 use crate::proposition::Proposition;
 use crate::relation::{DataTuple, NestedObject, NestedRelation};
 use crate::schema::{Attr, FlatSchema, NestedSchema};
-use crate::value::AttrType;
 use crate::synthesize::DomainHints;
+use crate::value::AttrType;
 use crate::value::Value;
 
 /// The chocolate-shop example (Fig. 1).
@@ -131,7 +131,9 @@ pub mod chocolates {
         let origins = ["Madagascar", "Belgium", "Germany", "Sweden", "Ecuador"];
         let mut state = 0x9E37_79B9_7F4A_7C15u64;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 33) as usize
         };
         for b in 0..count {
@@ -211,7 +213,11 @@ pub mod cellars {
             .with("rating", vec![Value::Int(93), Value::Int(84)])
             .with(
                 "region",
-                vec![Value::str("Bordeaux"), Value::str("Rioja"), Value::str("Mosel")],
+                vec![
+                    Value::str("Bordeaux"),
+                    Value::str("Rioja"),
+                    Value::str("Mosel"),
+                ],
             )
     }
 
@@ -222,7 +228,9 @@ pub mod cellars {
         let mut rel = NestedRelation::new(schema());
         let mut state = 0xA5A5_A5A5_DEAD_BEEFu64;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 33) as usize
         };
         for c in 0..count {
@@ -256,10 +264,7 @@ mod tests {
         let rel = chocolates::fig1_boxes();
         assert_eq!(rel.len(), 2);
         assert_eq!(rel.objects[0].tuples.len(), 3);
-        assert_eq!(
-            rel.objects[0].attrs.get(0),
-            &Value::str("Global Ground")
-        );
+        assert_eq!(rel.objects[0].attrs.get(0), &Value::str("Global Ground"));
     }
 
     #[test]
@@ -290,7 +295,10 @@ mod tests {
     fn cellars_booleanize_with_ordering_propositions() {
         use super::cellars;
         let b = cellars::booleanizer();
-        assert!(b.check_independence().is_empty(), "the three propositions are independent");
+        assert!(
+            b.check_independence().is_empty(),
+            "the three propositions are independent"
+        );
         let t = cellars::bottle(2016, 95, "Rhône");
         assert_eq!(b.booleanize_tuple(&t).unwrap().to_bits(), "111");
         let t = cellars::bottle(2001, 95, "Rhône");
@@ -306,10 +314,13 @@ mod tests {
         let b = cellars::booleanizer();
         let synth = Synthesizer::new(&b, cellars::hints());
         for mask in 0u8..8 {
-            let bits: String =
-                (0..3).map(|i| if mask & (1 << i) != 0 { '1' } else { '0' }).collect();
+            let bits: String = (0..3)
+                .map(|i| if mask & (1 << i) != 0 { '1' } else { '0' })
+                .collect();
             let bt = qhorn_core::BoolTuple::from_bits(&bits);
-            let tuple = synth.synthesize_tuple(&bt).expect("independent propositions");
+            let tuple = synth
+                .synthesize_tuple(&bt)
+                .expect("independent propositions");
             assert_eq!(b.booleanize_tuple(&tuple).unwrap(), bt, "pattern {bits}");
         }
     }

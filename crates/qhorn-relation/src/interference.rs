@@ -118,7 +118,9 @@ impl AttrConstraints {
             }
         }
         // Synthesize by the type of whatever constraints we saw.
-        if self.lo != i64::MIN || self.hi != i64::MAX || matches!(self.excluded.iter().next(), Some(Value::Int(_)))
+        if self.lo != i64::MIN
+            || self.hi != i64::MAX
+            || matches!(self.excluded.iter().next(), Some(Value::Int(_)))
         {
             // Integer domain: sweep up from a clamped zero, then down —
             // |excluded|+1 probes per direction always suffice.
@@ -254,8 +256,7 @@ mod tests {
             Proposition::eq("q", "isDark", Value::Bool(false)),
         ];
         let found = check_pairwise_independence(&props);
-        let combos: BTreeSet<(bool, bool)> =
-            found.iter().map(|i| i.combination).collect();
+        let combos: BTreeSet<(bool, bool)> = found.iter().map(|i| i.combination).collect();
         assert!(combos.contains(&(true, true)));
         assert!(combos.contains(&(false, false)));
         assert_eq!(found.len(), 2);

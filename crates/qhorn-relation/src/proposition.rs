@@ -86,7 +86,12 @@ impl Proposition {
     /// `attr = constant`.
     #[must_use]
     pub fn eq(name: &str, attr: &str, rhs: Value) -> Self {
-        Proposition { name: name.to_string(), attr: attr.to_string(), cmp: Cmp::Eq, rhs }
+        Proposition {
+            name: name.to_string(),
+            attr: attr.to_string(),
+            cmp: Cmp::Eq,
+            rhs,
+        }
     }
 
     /// `attr` is a true Boolean (`p1: c.isDark`).
@@ -98,7 +103,12 @@ impl Proposition {
     /// General constructor.
     #[must_use]
     pub fn new(name: &str, attr: &str, cmp: Cmp, rhs: Value) -> Self {
-        Proposition { name: name.to_string(), attr: attr.to_string(), cmp, rhs }
+        Proposition {
+            name: name.to_string(),
+            attr: attr.to_string(),
+            cmp,
+            rhs,
+        }
     }
 
     /// Validates the proposition against a schema: the attribute exists,
@@ -115,7 +125,10 @@ impl Proposition {
             .into());
         }
         if matches!(self.cmp, Cmp::Lt | Cmp::Le | Cmp::Gt | Cmp::Ge) && ty != AttrType::Int {
-            return Err(PropError::OrderingOnNonInt { prop: self.name.clone(), ty });
+            return Err(PropError::OrderingOnNonInt {
+                prop: self.name.clone(),
+                ty,
+            });
         }
         Ok(())
     }
@@ -174,17 +187,27 @@ mod tests {
         let s = schema();
         let t = tuple();
         assert!(Proposition::is_true("p1", "isDark").eval(&t, &s).unwrap());
-        assert!(Proposition::eq("p3", "origin", Value::str("Madagascar")).eval(&t, &s).unwrap());
-        assert!(!Proposition::eq("pb", "origin", Value::str("Belgium")).eval(&t, &s).unwrap());
+        assert!(Proposition::eq("p3", "origin", Value::str("Madagascar"))
+            .eval(&t, &s)
+            .unwrap());
+        assert!(!Proposition::eq("pb", "origin", Value::str("Belgium"))
+            .eval(&t, &s)
+            .unwrap());
     }
 
     #[test]
     fn integer_orderings() {
         let s = schema();
         let t = tuple();
-        assert!(Proposition::new("hi", "cocoa", Cmp::Ge, Value::Int(70)).eval(&t, &s).unwrap());
-        assert!(!Proposition::new("lo", "cocoa", Cmp::Lt, Value::Int(50)).eval(&t, &s).unwrap());
-        assert!(Proposition::new("ne", "cocoa", Cmp::Ne, Value::Int(50)).eval(&t, &s).unwrap());
+        assert!(Proposition::new("hi", "cocoa", Cmp::Ge, Value::Int(70))
+            .eval(&t, &s)
+            .unwrap());
+        assert!(!Proposition::new("lo", "cocoa", Cmp::Lt, Value::Int(50))
+            .eval(&t, &s)
+            .unwrap());
+        assert!(Proposition::new("ne", "cocoa", Cmp::Ne, Value::Int(50))
+            .eval(&t, &s)
+            .unwrap());
     }
 
     #[test]
@@ -192,7 +215,9 @@ mod tests {
         let s = schema();
         assert!(Proposition::is_true("p", "isDark").validate(&s).is_ok());
         assert!(Proposition::is_true("p", "nope").validate(&s).is_err());
-        assert!(Proposition::eq("p", "isDark", Value::Int(1)).validate(&s).is_err());
+        assert!(Proposition::eq("p", "isDark", Value::Int(1))
+            .validate(&s)
+            .is_err());
         assert!(matches!(
             Proposition::new("p", "origin", Cmp::Lt, Value::str("A")).validate(&s),
             Err(PropError::OrderingOnNonInt { .. })
@@ -203,7 +228,9 @@ mod tests {
     fn eval_ordering_on_string_errors() {
         let s = schema();
         let t = tuple();
-        assert!(Proposition::new("p", "origin", Cmp::Lt, Value::str("Z")).eval(&t, &s).is_err());
+        assert!(Proposition::new("p", "origin", Cmp::Lt, Value::str("Z"))
+            .eval(&t, &s)
+            .is_err());
     }
 
     #[test]

@@ -16,7 +16,9 @@ impl DataTuple {
     /// Builds a tuple from values.
     #[must_use]
     pub fn new<I: IntoIterator<Item = Value>>(values: I) -> Self {
-        DataTuple { values: values.into_iter().collect() }
+        DataTuple {
+            values: values.into_iter().collect(),
+        }
     }
 
     /// The values, in schema order.
@@ -62,7 +64,10 @@ impl FlatRelation {
     /// An empty relation over `schema`.
     #[must_use]
     pub fn new(schema: FlatSchema) -> Self {
-        FlatRelation { schema, tuples: Vec::new() }
+        FlatRelation {
+            schema,
+            tuples: Vec::new(),
+        }
     }
 
     /// Inserts a tuple after validating it against the schema.
@@ -122,7 +127,10 @@ impl NestedRelation {
     /// An empty nested relation.
     #[must_use]
     pub fn new(schema: NestedSchema) -> Self {
-        NestedRelation { schema, objects: Vec::new() }
+        NestedRelation {
+            schema,
+            objects: Vec::new(),
+        }
     }
 
     /// Inserts an object after validating object attributes and every
@@ -167,7 +175,8 @@ mod tests {
     fn flat_relation_validates_on_push() {
         let mut r = FlatRelation::new(chocolate_schema());
         assert!(r.is_empty());
-        r.push(DataTuple::new([Value::Bool(true), Value::str("Belgium")])).unwrap();
+        r.push(DataTuple::new([Value::Bool(true), Value::str("Belgium")]))
+            .unwrap();
         assert_eq!(r.len(), 1);
         let err = r.push(DataTuple::new([Value::str("oops"), Value::str("Belgium")]));
         assert!(err.is_err());
@@ -200,7 +209,10 @@ mod tests {
         let mut rel = NestedRelation::new(schema);
         let ok = NestedObject::new(
             DataTuple::new([Value::str("Global Ground")]),
-            vec![DataTuple::new([Value::Bool(true), Value::str("Madagascar")])],
+            vec![DataTuple::new([
+                Value::Bool(true),
+                Value::str("Madagascar"),
+            ])],
         );
         rel.push(ok).unwrap();
         assert_eq!(rel.len(), 1);

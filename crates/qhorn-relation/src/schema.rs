@@ -21,7 +21,10 @@ impl Attr {
     /// Convenience constructor.
     #[must_use]
     pub fn new(name: &str, ty: AttrType) -> Self {
-        Attr { name: name.to_string(), ty }
+        Attr {
+            name: name.to_string(),
+            ty,
+        }
     }
 }
 
@@ -55,11 +58,18 @@ impl fmt::Display for SchemaError {
         match self {
             SchemaError::DuplicateAttr(a) => write!(f, "duplicate attribute {a:?}"),
             SchemaError::NoSuchAttr(a) => write!(f, "no attribute named {a:?}"),
-            SchemaError::TypeMismatch { attr, expected, got } => {
+            SchemaError::TypeMismatch {
+                attr,
+                expected,
+                got,
+            } => {
                 write!(f, "attribute {attr:?} expects {expected}, got {got}")
             }
             SchemaError::WrongArity { expected, got } => {
-                write!(f, "tuple has {got} values but the schema declares {expected} attributes")
+                write!(
+                    f,
+                    "tuple has {got} values but the schema declares {expected} attributes"
+                )
             }
         }
     }
@@ -114,7 +124,10 @@ impl FlatSchema {
     /// Validates one tuple's values against the schema.
     pub fn check_tuple(&self, values: &[Value]) -> Result<(), SchemaError> {
         if values.len() != self.attrs.len() {
-            return Err(SchemaError::WrongArity { expected: self.attrs.len(), got: values.len() });
+            return Err(SchemaError::WrongArity {
+                expected: self.attrs.len(),
+                got: values.len(),
+            });
         }
         for (a, v) in self.attrs.iter().zip(values) {
             if v.attr_type() != a.ty {
@@ -164,8 +177,18 @@ impl NestedSchema {
 
 impl fmt::Display for NestedSchema {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let obj: Vec<String> = self.object_attrs.attrs().iter().map(|a| a.name.clone()).collect();
-        let emb: Vec<String> = self.embedded.attrs().iter().map(|a| a.name.clone()).collect();
+        let obj: Vec<String> = self
+            .object_attrs
+            .attrs()
+            .iter()
+            .map(|a| a.name.clone())
+            .collect();
+        let emb: Vec<String> = self
+            .embedded
+            .attrs()
+            .iter()
+            .map(|a| a.name.clone())
+            .collect();
         write!(
             f,
             "{}({}, {}({}))",
@@ -205,7 +228,10 @@ mod tests {
         let s = chocolate();
         assert_eq!(s.index_of("origin").unwrap(), 2);
         assert_eq!(s.type_of("isDark").unwrap(), AttrType::Bool);
-        assert!(matches!(s.index_of("nope"), Err(SchemaError::NoSuchAttr(_))));
+        assert!(matches!(
+            s.index_of("nope"),
+            Err(SchemaError::NoSuchAttr(_))
+        ));
     }
 
     #[test]
@@ -216,7 +242,10 @@ mod tests {
             .is_ok());
         assert!(matches!(
             s.check_tuple(&[Value::Bool(true), Value::Bool(false)]),
-            Err(SchemaError::WrongArity { expected: 3, got: 2 })
+            Err(SchemaError::WrongArity {
+                expected: 3,
+                got: 2
+            })
         ));
         assert!(matches!(
             s.check_tuple(&[Value::Int(1), Value::Bool(false), Value::str("x")]),
@@ -232,6 +261,9 @@ mod tests {
             "Chocolate",
             chocolate(),
         );
-        assert_eq!(s.to_string(), "Box(name, Chocolate(isDark, hasFilling, origin))");
+        assert_eq!(
+            s.to_string(),
+            "Box(name, Chocolate(isDark, hasFilling, origin))"
+        );
     }
 }

@@ -110,10 +110,12 @@ impl<'a> Synthesizer<'a> {
             let value = if constraints.is_unconstrained() {
                 self.default_value(&attr.name, attr.ty)
             } else {
-                constraints.solve(self.hints.get(&attr.name)).ok_or(SynthesisError {
-                    attr: attr.name.clone(),
-                    constraints: involved,
-                })?
+                constraints
+                    .solve(self.hints.get(&attr.name))
+                    .ok_or(SynthesisError {
+                        attr: attr.name.clone(),
+                        constraints: involved,
+                    })?
             };
             values.push(value);
         }
@@ -134,8 +136,11 @@ impl<'a> Synthesizer<'a> {
         obj: &Obj,
         object_attrs: DataTuple,
     ) -> Result<NestedObject, SynthesisError> {
-        let tuples: Result<Vec<DataTuple>, SynthesisError> =
-            obj.tuples().iter().map(|t| self.synthesize_tuple(t)).collect();
+        let tuples: Result<Vec<DataTuple>, SynthesisError> = obj
+            .tuples()
+            .iter()
+            .map(|t| self.synthesize_tuple(t))
+            .collect();
         Ok(NestedObject::new(object_attrs, tuples?))
     }
 
@@ -159,8 +164,11 @@ mod tests {
     use crate::schema::{Attr, FlatSchema};
 
     fn bridge() -> Booleanizer {
-        Booleanizer::new(chocolates::schema().embedded.clone(), chocolates::propositions())
-            .unwrap()
+        Booleanizer::new(
+            chocolates::schema().embedded.clone(),
+            chocolates::propositions(),
+        )
+        .unwrap()
     }
 
     #[test]
@@ -197,13 +205,18 @@ mod tests {
         ];
         let b = Booleanizer::new(schema, props).unwrap();
         let synth = Synthesizer::new(&b, DomainHints::none());
-        let err = synth.synthesize_tuple(&BoolTuple::from_bits("11")).unwrap_err();
+        let err = synth
+            .synthesize_tuple(&BoolTuple::from_bits("11"))
+            .unwrap_err();
         assert_eq!(err.attr, "origin");
         assert_eq!(err.constraints.len(), 2);
         assert!(err.to_string().contains("pm"));
         // 10, 01, 00 are all realizable.
         for bits in ["10", "01", "00"] {
-            assert!(synth.synthesize_tuple(&BoolTuple::from_bits(bits)).is_ok(), "{bits}");
+            assert!(
+                synth.synthesize_tuple(&BoolTuple::from_bits(bits)).is_ok(),
+                "{bits}"
+            );
         }
     }
 
@@ -232,7 +245,12 @@ mod tests {
         let hints = DomainHints::none().with("origin", vec![Value::str("Belgium")]);
         let synth = Synthesizer::new(&b, hints);
         // Pattern with p3 (Madagascar) false: the hint should be used.
-        let t = synth.synthesize_tuple(&BoolTuple::from_bits("110")).unwrap();
-        assert_eq!(t.get_named(b.schema(), "origin").unwrap(), &Value::str("Belgium"));
+        let t = synth
+            .synthesize_tuple(&BoolTuple::from_bits("110"))
+            .unwrap();
+        assert_eq!(
+            t.get_named(b.schema(), "origin").unwrap(),
+            &Value::str("Belgium")
+        );
     }
 }

@@ -1,0 +1,22 @@
+//! Runs the learning server on a local port, for driving with any
+//! JSON-lines TCP client:
+//!
+//! ```sh
+//! cargo run -p qhorn-service --example serve -- 127.0.0.1:7878
+//! printf '{"type":"stats"}\n' | nc 127.0.0.1 7878
+//! ```
+
+use qhorn_service::{Registry, RegistryConfig, Server};
+use std::sync::Arc;
+
+fn main() {
+    let addr = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "127.0.0.1:0".into());
+    let registry = Arc::new(Registry::new(RegistryConfig::default()));
+    let server = Server::start(&addr, registry, 4).expect("bind");
+    println!("listening on {}", server.addr());
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}

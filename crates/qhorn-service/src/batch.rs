@@ -1,0 +1,141 @@
+//! Parallel batch evaluation — the service's bulk query path.
+//!
+//! [`qhorn_engine::exec::execute`] walks the store's signature groups
+//! sequentially. Here the groups are split into contiguous chunks and
+//! evaluated on scoped worker threads; results are merged and sorted, so
+//! the answer set is **identical** to the sequential path (asserted by
+//! tests and relied on by the `EvaluateBatch` protocol message).
+
+use qhorn_engine::exec::ExecStats;
+use qhorn_engine::plan::{CompiledQuery, TupleMatrix};
+use qhorn_engine::storage::{ObjectId, Store};
+
+/// [`execute_parallel`] plus statistics (same shape as the sequential
+/// path's [`ExecStats`]).
+///
+/// # Panics
+/// Panics on plan/store arity mismatch, like the sequential path.
+#[must_use]
+pub fn execute_parallel_with_stats(
+    plan: &CompiledQuery,
+    store: &Store,
+    workers: usize,
+) -> (Vec<ObjectId>, ExecStats) {
+    assert_eq!(plan.arity(), store.arity(), "plan/store arity mismatch");
+    let workers = workers.max(1);
+    let groups: Vec<(&qhorn_core::Obj, &[ObjectId])> = store.index().groups().collect();
+    let evaluated = groups.len();
+    let chunk_len = groups.len().div_ceil(workers).max(1);
+
+    let mut hits: Vec<ObjectId> = if groups.is_empty() {
+        Vec::new()
+    } else if workers == 1 || groups.len() <= 1 {
+        evaluate_chunk(plan, &groups)
+    } else {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = groups
+                .chunks(chunk_len)
+                .map(|chunk| scope.spawn(move || evaluate_chunk(plan, chunk)))
+                .collect();
+            let mut all = Vec::new();
+            for h in handles {
+                all.extend(h.join().expect("batch worker panicked"));
+            }
+            all
+        })
+    };
+    hits.sort_unstable();
+    let stats = ExecStats {
+        objects: store.len(),
+        signatures_evaluated: evaluated,
+        answers: hits.len(),
+    };
+    (hits, stats)
+}
+
+/// Evaluates the plan against every object using `workers` threads,
+/// returning answer ids in ascending order — bit-for-bit the result of
+/// [`qhorn_engine::exec::execute`].
+#[must_use]
+pub fn execute_parallel(plan: &CompiledQuery, store: &Store, workers: usize) -> Vec<ObjectId> {
+    execute_parallel_with_stats(plan, store, workers).0
+}
+
+fn evaluate_chunk(
+    plan: &CompiledQuery,
+    groups: &[(&qhorn_core::Obj, &[ObjectId])],
+) -> Vec<ObjectId> {
+    let mut hits = Vec::new();
+    for (signature, ids) in groups {
+        let matrix = TupleMatrix::build(signature);
+        if plan.matches_matrix(&matrix) {
+            hits.extend_from_slice(ids);
+        }
+    }
+    hits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qhorn_core::Obj;
+    use qhorn_engine::exec;
+    use qhorn_lang::parse_with_arity;
+
+    fn store(objects: usize) -> Store {
+        let mut s = Store::new(4);
+        let patterns = [
+            "1111",
+            "1000",
+            "1100 0011",
+            "0001 1110",
+            "1010",
+            "0101 1010",
+            "0000",
+            "1111 0000",
+        ];
+        for i in 0..objects {
+            s.insert(Obj::from_bits(patterns[i % patterns.len()]));
+        }
+        s
+    }
+
+    #[test]
+    fn parallel_matches_sequential_for_all_worker_counts() {
+        let s = store(257);
+        for src in [
+            "all x1",
+            "some x1 x2",
+            "all x1 -> x2; some x3",
+            "some x4",
+            "all x2 -> x1",
+        ] {
+            let plan = CompiledQuery::compile(&parse_with_arity(src, 4).unwrap());
+            let expected = exec::execute(&plan, &s);
+            for workers in [1, 2, 3, 4, 8, 64] {
+                let (got, stats) = execute_parallel_with_stats(&plan, &s, workers);
+                assert_eq!(got, expected, "query {src}, workers {workers}");
+                assert_eq!(stats.objects, 257);
+                assert_eq!(stats.answers, expected.len());
+            }
+        }
+    }
+
+    #[test]
+    fn empty_store_and_zero_workers() {
+        let s = Store::new(4);
+        let plan = CompiledQuery::compile(&parse_with_arity("some x1", 4).unwrap());
+        let (hits, stats) = execute_parallel_with_stats(&plan, &s, 0);
+        assert!(hits.is_empty());
+        assert_eq!(stats.signatures_evaluated, 0);
+    }
+
+    #[test]
+    fn more_workers_than_groups() {
+        let mut s = Store::new(2);
+        s.insert(Obj::from_bits("11"));
+        s.insert(Obj::from_bits("10"));
+        let plan = CompiledQuery::compile(&parse_with_arity("some x1", 2).unwrap());
+        assert_eq!(execute_parallel(&plan, &s, 16), exec::execute(&plan, &s));
+    }
+}

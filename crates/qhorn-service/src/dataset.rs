@@ -1,0 +1,89 @@
+//! The server-side dataset catalog.
+//!
+//! Clients name a dataset instead of shipping nested relations over the
+//! wire; the catalog builds the [`DataStore`] (and synthesis hints) behind
+//! a session. Names are stable protocol surface.
+
+use crate::error::ServiceError;
+use qhorn_engine::DataStore;
+use qhorn_relation::datasets::{cellars, chocolates};
+use qhorn_relation::synthesize::DomainHints;
+
+/// Default object count when a request omits `size`.
+pub const DEFAULT_SIZE: usize = 40;
+
+/// Largest accepted object count — `size` arrives from the wire, so it
+/// must not be allowed to allocate unbounded memory server-side.
+pub const MAX_SIZE: usize = 1_000_000;
+
+/// Catalog names, for error messages and documentation.
+pub const NAMES: &[&str] = &["chocolates", "fig1", "cellars"];
+
+/// Builds the named dataset at the requested size.
+///
+/// * `"chocolates"` — the deterministic assorted chocolate-box inventory;
+/// * `"fig1"` — exactly the paper's two Fig. 1 boxes (`size` ignored);
+/// * `"cellars"` — the wine-cellar inventory with ordering propositions.
+///
+/// # Errors
+/// [`ServiceError::UnknownDataset`] for names outside the catalog;
+/// [`ServiceError::Engine`] if booleanization fails (it cannot for
+/// catalog data).
+pub fn build(name: &str, size: usize) -> Result<(DataStore, DomainHints), ServiceError> {
+    let size = if size == 0 { DEFAULT_SIZE } else { size };
+    if size > MAX_SIZE {
+        return Err(ServiceError::Parse(format!(
+            "size {size} exceeds the maximum of {MAX_SIZE}"
+        )));
+    }
+    match name {
+        "chocolates" => {
+            let store = DataStore::from_relation(
+                chocolates::assorted_boxes(size),
+                chocolates::booleanizer(),
+            )
+            .map_err(|e| ServiceError::Engine(e.to_string()))?;
+            Ok((store, chocolates::hints()))
+        }
+        "fig1" => {
+            let store =
+                DataStore::from_relation(chocolates::fig1_boxes(), chocolates::booleanizer())
+                    .map_err(|e| ServiceError::Engine(e.to_string()))?;
+            Ok((store, chocolates::hints()))
+        }
+        "cellars" => {
+            let store = DataStore::from_relation(cellars::inventory(size), cellars::booleanizer())
+                .map_err(|e| ServiceError::Engine(e.to_string()))?;
+            Ok((store, cellars::hints()))
+        }
+        other => Err(ServiceError::UnknownDataset(other.to_string())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_builds_every_name() {
+        for name in NAMES {
+            let (store, _) = build(name, 10).unwrap();
+            assert!(!store.boolean().is_empty(), "{name}");
+            assert_eq!(store.bridge().n(), 3, "{name}");
+        }
+    }
+
+    #[test]
+    fn size_zero_uses_default() {
+        let (store, _) = build("chocolates", 0).unwrap();
+        assert_eq!(store.boolean().len(), DEFAULT_SIZE);
+    }
+
+    #[test]
+    fn unknown_name_is_an_error() {
+        match build("nope", 5) {
+            Err(ServiceError::UnknownDataset(name)) => assert_eq!(name, "nope"),
+            other => panic!("expected UnknownDataset, got {:?}", other.map(|_| ())),
+        }
+    }
+}

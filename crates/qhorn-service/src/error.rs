@@ -1,0 +1,46 @@
+//! Service-level errors.
+
+use std::fmt;
+
+/// Anything the service can refuse or fail to do.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ServiceError {
+    /// The session id is not (or no longer) registered and has no
+    /// snapshot to restore from.
+    UnknownSession(u64),
+    /// The request is not legal in the session's current state.
+    WrongState {
+        /// What the session was doing.
+        state: &'static str,
+        /// What the request needed.
+        needed: &'static str,
+    },
+    /// The dataset name is not in the catalog.
+    UnknownDataset(String),
+    /// A query or request failed to parse.
+    Parse(String),
+    /// The underlying engine/learner failed.
+    Engine(String),
+    /// The session's driver did not produce an event in time.
+    DriverTimeout,
+    /// Transport-level failure (client helper).
+    Transport(String),
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::UnknownSession(id) => write!(f, "unknown session {id}"),
+            ServiceError::WrongState { state, needed } => {
+                write!(f, "session is {state}, request needs {needed}")
+            }
+            ServiceError::UnknownDataset(name) => write!(f, "unknown dataset `{name}`"),
+            ServiceError::Parse(msg) => write!(f, "parse error: {msg}"),
+            ServiceError::Engine(msg) => write!(f, "engine error: {msg}"),
+            ServiceError::DriverTimeout => write!(f, "session driver timed out"),
+            ServiceError::Transport(msg) => write!(f, "transport error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}

@@ -1,0 +1,65 @@
+//! # qhorn-service
+//!
+//! A concurrent multi-session learning **service** over the qhorn engine —
+//! the serving layer the paper's DataPlay motivation assumes (§1, §5): a
+//! long-lived server mediating many interactive question/answer dialogues
+//! at once, each learning (and verifying) a user's intended query.
+//!
+//! * [`registry`] — a sharded, lock-striped in-memory session registry:
+//!   TTL eviction to snapshots, transparent restore with transcript
+//!   replay, and a per-session state machine
+//!   (`AwaitingAnswer → Learning → Verifying → Done/Failed`);
+//! * [`proto`] — the JSON-lines request/reply protocol (`CreateSession`,
+//!   `NextQuestion`, `Answer`, `Correct` + replay, `Verify`,
+//!   `EvaluateBatch`, `ExportQuery`, `Stats`);
+//! * [`server`] — the protocol over `std::net::TcpListener` with a fixed
+//!   worker pool, graceful shutdown, and a blocking [`Client`];
+//! * [`batch`] — parallel batch evaluation of compiled queries, identical
+//!   in output to the engine's sequential `exec::execute`;
+//! * [`dataset`] — the server-side dataset catalog sessions run over;
+//! * [`error`] — [`ServiceError`].
+//!
+//! The engine's learners are synchronous (ask → answer → return); the
+//! service inverts them into request/response shape by parking each
+//! session's learner on a dedicated driver thread whose oracle callback
+//! blocks on a channel (see the crate-private `driver` module).
+//!
+//! ```
+//! use qhorn_service::registry::{CreateSpec, Registry, RegistryConfig, StepOutcome};
+//! use qhorn_engine::session::LearnerKind;
+//!
+//! let registry = Registry::new(RegistryConfig::default());
+//! let target = qhorn_lang::parse_with_arity("all x1; some x2 x3", 3).unwrap();
+//! let spec = CreateSpec {
+//!     dataset: "chocolates".into(),
+//!     size: 30,
+//!     learner: LearnerKind::Qhorn1,
+//!     max_questions: None,
+//! };
+//! let (id, mut outcome) = registry.create_session(spec).unwrap();
+//! let learned = loop {
+//!     match outcome {
+//!         StepOutcome::Question(q) => {
+//!             outcome = registry.answer(id, target.eval(&q.question)).unwrap();
+//!         }
+//!         StepOutcome::Learned { query, .. } => break query,
+//!         other => panic!("{other:?}"),
+//!     }
+//! };
+//! assert!(qhorn_core::query::equiv::equivalent(&learned, &target));
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod batch;
+pub mod dataset;
+mod driver;
+pub mod error;
+pub mod proto;
+pub mod registry;
+pub mod server;
+
+pub use error::ServiceError;
+pub use registry::{Registry, RegistryConfig};
+pub use server::{Client, Server};

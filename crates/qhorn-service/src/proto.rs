@@ -1,0 +1,674 @@
+//! The JSON-lines wire protocol.
+//!
+//! One request per line, one reply per line, both as single JSON objects
+//! tagged by a `"type"` field. Queries travel in two forms: the
+//! `qhorn-lang` shorthand (human-readable, e.g. `all x1 -> x2  some x3`)
+//! and exact structural JSON (`query_json`), so clients can round-trip
+//! queries without reparsing ambiguity.
+//!
+//! ```text
+//! → {"type":"create_session","dataset":"chocolates","size":40,"learner":"qhorn1"}
+//! ← {"type":"created","session":1,"step":{"kind":"question","question":{...},"index":0,...}}
+//! → {"type":"answer","session":1,"response":"NonAnswer"}
+//! ← {"type":"step","session":1,"step":{"kind":"question",...}}
+//! ...
+//! ← {"type":"step","session":1,"step":{"kind":"learned","query":"∀x1 ∃x2x3",...}}
+//! ```
+
+use crate::error::ServiceError;
+use crate::registry::{QuestionInfo, RegistryStats, StepOutcome};
+use qhorn_core::{Obj, Query, Response};
+use qhorn_engine::session::LearnerKind;
+use qhorn_json::{FromJson, Json, JsonError, ToJson};
+
+/// A client → server message.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Open a session over a catalog dataset and start learning.
+    CreateSession {
+        /// Catalog dataset name (see [`crate::dataset::NAMES`]).
+        dataset: String,
+        /// Object count for generated datasets (0 = default).
+        size: usize,
+        /// `"qhorn1"` or `"role_preserving"`.
+        learner: LearnerKind,
+        /// Optional hard question budget.
+        max_questions: Option<usize>,
+    },
+    /// Re-fetch the pending question (idempotent).
+    NextQuestion {
+        /// Session id.
+        session: u64,
+    },
+    /// Label the pending question.
+    Answer {
+        /// Session id.
+        session: u64,
+        /// The user's label.
+        response: Response,
+    },
+    /// Correct earlier responses by transcript index and replay.
+    Correct {
+        /// Session id.
+        session: u64,
+        /// `(transcript index, corrected label)` pairs.
+        corrections: Vec<(usize, Response)>,
+    },
+    /// Verify the learned query (or an explicit one) against the user.
+    Verify {
+        /// Session id.
+        session: u64,
+        /// Optional shorthand query; defaults to the learned query.
+        query: Option<String>,
+    },
+    /// Evaluate a query over a dataset (or the session's store) with the
+    /// parallel batch path.
+    EvaluateBatch {
+        /// Evaluate over this session's store (and default to its
+        /// learned query). Mutually exclusive with `dataset`.
+        session: Option<u64>,
+        /// Evaluate over a freshly built catalog dataset.
+        dataset: Option<String>,
+        /// Object count for generated datasets (0 = default).
+        size: usize,
+        /// Shorthand query text; required unless `session` supplies one.
+        query: Option<String>,
+        /// Worker threads for the parallel evaluation.
+        workers: usize,
+    },
+    /// Export the learned query.
+    ExportQuery {
+        /// Session id.
+        session: u64,
+        /// `"ascii"`, `"unicode"`, or `"json"`.
+        format: String,
+    },
+    /// Aggregate service counters.
+    Stats,
+}
+
+/// One step of a session dialogue, as shipped to the client.
+#[derive(Clone, Debug, PartialEq)]
+pub enum StepReply {
+    /// A membership question needs a label.
+    Question {
+        /// The Boolean-domain question.
+        question: Obj,
+        /// Rendering of the realized data object.
+        rendered: String,
+        /// Whether the example came from the store.
+        from_store: bool,
+        /// Transcript index the answer will occupy.
+        index: usize,
+    },
+    /// Learning finished successfully.
+    Learned {
+        /// `qhorn-lang` shorthand of the learned query.
+        query: String,
+        /// Exact structural form.
+        query_json: Query,
+        /// Questions answered in the session so far.
+        questions: usize,
+    },
+    /// Learning failed.
+    Failed {
+        /// The learner's message.
+        message: String,
+    },
+    /// Verification finished.
+    Verified {
+        /// `true` iff the user agreed everywhere.
+        verified: bool,
+    },
+}
+
+impl From<StepOutcome> for StepReply {
+    fn from(o: StepOutcome) -> Self {
+        match o {
+            StepOutcome::Question(q) => StepReply::Question {
+                question: q.question,
+                rendered: q.rendered,
+                from_store: q.from_store,
+                index: q.index,
+            },
+            StepOutcome::Learned { query, questions } => StepReply::Learned {
+                query: qhorn_lang::printer::to_unicode(&query),
+                query_json: query,
+                questions,
+            },
+            StepOutcome::Failed { message } => StepReply::Failed { message },
+            StepOutcome::Verified { verified } => StepReply::Verified { verified },
+        }
+    }
+}
+
+impl StepReply {
+    /// The question info, if this step carries one.
+    #[must_use]
+    pub fn as_question(&self) -> Option<QuestionInfo> {
+        match self {
+            StepReply::Question {
+                question,
+                rendered,
+                from_store,
+                index,
+            } => Some(QuestionInfo {
+                question: question.clone(),
+                rendered: rendered.clone(),
+                from_store: *from_store,
+                index: *index,
+            }),
+            _ => None,
+        }
+    }
+}
+
+/// A server → client message.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Reply {
+    /// Session opened; first step attached.
+    Created {
+        /// The new session id.
+        session: u64,
+        /// The first dialogue step (normally a question).
+        step: StepReply,
+    },
+    /// A dialogue step for an existing session.
+    Step {
+        /// Session id.
+        session: u64,
+        /// The step.
+        step: StepReply,
+    },
+    /// Batch evaluation result.
+    Batch {
+        /// Ids of the answer objects, ascending.
+        answers: Vec<u32>,
+        /// Objects evaluated.
+        objects: usize,
+        /// Distinct signatures evaluated.
+        signatures: usize,
+        /// Worker threads used.
+        workers: usize,
+    },
+    /// Exported query text.
+    Exported {
+        /// The query in the requested format.
+        text: String,
+    },
+    /// Aggregate counters.
+    Stats(RegistryStats),
+    /// Request-level failure.
+    Error {
+        /// Human-readable message.
+        message: String,
+    },
+}
+
+impl From<ServiceError> for Reply {
+    fn from(e: ServiceError) -> Self {
+        Reply::Error {
+            message: e.to_string(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// JSON conversions
+// ---------------------------------------------------------------------------
+
+fn learner_name(k: LearnerKind) -> &'static str {
+    match k {
+        LearnerKind::Qhorn1 => "qhorn1",
+        LearnerKind::RolePreserving => "role_preserving",
+    }
+}
+
+fn learner_from(s: &str) -> Result<LearnerKind, JsonError> {
+    match s {
+        "qhorn1" => Ok(LearnerKind::Qhorn1),
+        "role_preserving" => Ok(LearnerKind::RolePreserving),
+        other => Err(JsonError::msg(format!("unknown learner `{other}`"))),
+    }
+}
+
+fn opt_field<T: FromJson>(j: &Json, key: &str) -> Result<Option<T>, JsonError> {
+    match j.get(key) {
+        None => Ok(None),
+        Some(v) => Option::<T>::from_json(v),
+    }
+}
+
+fn usize_or_default(j: &Json, key: &str) -> Result<usize, JsonError> {
+    Ok(opt_field::<usize>(j, key)?.unwrap_or(0))
+}
+
+impl ToJson for Request {
+    fn to_json(&self) -> Json {
+        match self {
+            Request::CreateSession {
+                dataset,
+                size,
+                learner,
+                max_questions,
+            } => Json::object([
+                ("type", Json::Str("create_session".into())),
+                ("dataset", dataset.to_json()),
+                ("size", size.to_json()),
+                ("learner", Json::Str(learner_name(*learner).into())),
+                ("max_questions", max_questions.to_json()),
+            ]),
+            Request::NextQuestion { session } => Json::object([
+                ("type", Json::Str("next_question".into())),
+                ("session", session.to_json()),
+            ]),
+            Request::Answer { session, response } => Json::object([
+                ("type", Json::Str("answer".into())),
+                ("session", session.to_json()),
+                ("response", response.to_json()),
+            ]),
+            Request::Correct {
+                session,
+                corrections,
+            } => Json::object([
+                ("type", Json::Str("correct".into())),
+                ("session", session.to_json()),
+                (
+                    "corrections",
+                    Json::array(
+                        corrections
+                            .iter()
+                            .map(|(i, r)| Json::array([i.to_json(), r.to_json()])),
+                    ),
+                ),
+            ]),
+            Request::Verify { session, query } => Json::object([
+                ("type", Json::Str("verify".into())),
+                ("session", session.to_json()),
+                ("query", query.to_json()),
+            ]),
+            Request::EvaluateBatch {
+                session,
+                dataset,
+                size,
+                query,
+                workers,
+            } => Json::object([
+                ("type", Json::Str("evaluate_batch".into())),
+                ("session", session.to_json()),
+                ("dataset", dataset.to_json()),
+                ("size", size.to_json()),
+                ("query", query.to_json()),
+                ("workers", workers.to_json()),
+            ]),
+            Request::ExportQuery { session, format } => Json::object([
+                ("type", Json::Str("export_query".into())),
+                ("session", session.to_json()),
+                ("format", format.to_json()),
+            ]),
+            Request::Stats => Json::object([("type", Json::Str("stats".into()))]),
+        }
+    }
+}
+
+impl FromJson for Request {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        let ty = String::from_json(j.field("type")?)?;
+        match ty.as_str() {
+            "create_session" => Ok(Request::CreateSession {
+                dataset: String::from_json(j.field("dataset")?)?,
+                size: usize_or_default(j, "size")?,
+                learner: learner_from(&String::from_json(j.field("learner")?)?)?,
+                max_questions: opt_field(j, "max_questions")?,
+            }),
+            "next_question" => Ok(Request::NextQuestion {
+                session: u64::from_json(j.field("session")?)?,
+            }),
+            "answer" => Ok(Request::Answer {
+                session: u64::from_json(j.field("session")?)?,
+                response: Response::from_json(j.field("response")?)?,
+            }),
+            "correct" => {
+                let pairs = j
+                    .field("corrections")?
+                    .as_arr()
+                    .ok_or_else(|| JsonError::msg("corrections must be an array"))?;
+                let mut corrections = Vec::with_capacity(pairs.len());
+                for p in pairs {
+                    let [i, r] = p
+                        .as_arr()
+                        .ok_or_else(|| JsonError::msg("correction must be [index, response]"))?
+                    else {
+                        return Err(JsonError::msg("correction must be [index, response]"));
+                    };
+                    corrections.push((usize::from_json(i)?, Response::from_json(r)?));
+                }
+                Ok(Request::Correct {
+                    session: u64::from_json(j.field("session")?)?,
+                    corrections,
+                })
+            }
+            "verify" => Ok(Request::Verify {
+                session: u64::from_json(j.field("session")?)?,
+                query: opt_field(j, "query")?,
+            }),
+            "evaluate_batch" => Ok(Request::EvaluateBatch {
+                session: opt_field(j, "session")?,
+                dataset: opt_field(j, "dataset")?,
+                size: usize_or_default(j, "size")?,
+                query: opt_field(j, "query")?,
+                workers: opt_field::<usize>(j, "workers")?.unwrap_or(1),
+            }),
+            "export_query" => Ok(Request::ExportQuery {
+                session: u64::from_json(j.field("session")?)?,
+                format: opt_field::<String>(j, "format")?.unwrap_or_else(|| "unicode".into()),
+            }),
+            "stats" => Ok(Request::Stats),
+            other => Err(JsonError::msg(format!("unknown request type `{other}`"))),
+        }
+    }
+}
+
+impl ToJson for StepReply {
+    fn to_json(&self) -> Json {
+        match self {
+            StepReply::Question {
+                question,
+                rendered,
+                from_store,
+                index,
+            } => Json::object([
+                ("kind", Json::Str("question".into())),
+                ("question", question.to_json()),
+                ("rendered", rendered.to_json()),
+                ("from_store", from_store.to_json()),
+                ("index", index.to_json()),
+            ]),
+            StepReply::Learned {
+                query,
+                query_json,
+                questions,
+            } => Json::object([
+                ("kind", Json::Str("learned".into())),
+                ("query", query.to_json()),
+                ("query_json", query_json.to_json()),
+                ("questions", questions.to_json()),
+            ]),
+            StepReply::Failed { message } => Json::object([
+                ("kind", Json::Str("failed".into())),
+                ("message", message.to_json()),
+            ]),
+            StepReply::Verified { verified } => Json::object([
+                ("kind", Json::Str("verified".into())),
+                ("verified", verified.to_json()),
+            ]),
+        }
+    }
+}
+
+impl FromJson for StepReply {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        let kind = String::from_json(j.field("kind")?)?;
+        match kind.as_str() {
+            "question" => Ok(StepReply::Question {
+                question: Obj::from_json(j.field("question")?)?,
+                rendered: String::from_json(j.field("rendered")?)?,
+                from_store: bool::from_json(j.field("from_store")?)?,
+                index: usize::from_json(j.field("index")?)?,
+            }),
+            "learned" => Ok(StepReply::Learned {
+                query: String::from_json(j.field("query")?)?,
+                query_json: Query::from_json(j.field("query_json")?)?,
+                questions: usize::from_json(j.field("questions")?)?,
+            }),
+            "failed" => Ok(StepReply::Failed {
+                message: String::from_json(j.field("message")?)?,
+            }),
+            "verified" => Ok(StepReply::Verified {
+                verified: bool::from_json(j.field("verified")?)?,
+            }),
+            other => Err(JsonError::msg(format!("unknown step kind `{other}`"))),
+        }
+    }
+}
+
+impl ToJson for RegistryStats {
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("created", self.created.to_json()),
+            ("live", self.live.to_json()),
+            ("evicted", self.evicted.to_json()),
+            ("restored", self.restored.to_json()),
+            ("completed", self.completed.to_json()),
+            ("failed", self.failed.to_json()),
+            ("answers", self.answers.to_json()),
+            ("batch_runs", self.batch_runs.to_json()),
+            ("snapshots", self.snapshots.to_json()),
+        ])
+    }
+}
+
+impl FromJson for RegistryStats {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        Ok(RegistryStats {
+            created: u64::from_json(j.field("created")?)?,
+            live: u64::from_json(j.field("live")?)?,
+            evicted: u64::from_json(j.field("evicted")?)?,
+            restored: u64::from_json(j.field("restored")?)?,
+            completed: u64::from_json(j.field("completed")?)?,
+            failed: u64::from_json(j.field("failed")?)?,
+            answers: u64::from_json(j.field("answers")?)?,
+            batch_runs: u64::from_json(j.field("batch_runs")?)?,
+            snapshots: u64::from_json(j.field("snapshots")?)?,
+        })
+    }
+}
+
+impl ToJson for Reply {
+    fn to_json(&self) -> Json {
+        match self {
+            Reply::Created { session, step } => Json::object([
+                ("type", Json::Str("created".into())),
+                ("session", session.to_json()),
+                ("step", step.to_json()),
+            ]),
+            Reply::Step { session, step } => Json::object([
+                ("type", Json::Str("step".into())),
+                ("session", session.to_json()),
+                ("step", step.to_json()),
+            ]),
+            Reply::Batch {
+                answers,
+                objects,
+                signatures,
+                workers,
+            } => Json::object([
+                ("type", Json::Str("batch".into())),
+                ("answers", answers.to_json()),
+                ("objects", objects.to_json()),
+                ("signatures", signatures.to_json()),
+                ("workers", workers.to_json()),
+            ]),
+            Reply::Exported { text } => Json::object([
+                ("type", Json::Str("exported".into())),
+                ("text", text.to_json()),
+            ]),
+            Reply::Stats(stats) => {
+                let mut pairs = vec![("type".to_string(), Json::Str("stats".into()))];
+                if let Json::Obj(fields) = stats.to_json() {
+                    pairs.extend(fields);
+                }
+                Json::Obj(pairs)
+            }
+            Reply::Error { message } => Json::object([
+                ("type", Json::Str("error".into())),
+                ("message", message.to_json()),
+            ]),
+        }
+    }
+}
+
+impl FromJson for Reply {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        let ty = String::from_json(j.field("type")?)?;
+        match ty.as_str() {
+            "created" => Ok(Reply::Created {
+                session: u64::from_json(j.field("session")?)?,
+                step: StepReply::from_json(j.field("step")?)?,
+            }),
+            "step" => Ok(Reply::Step {
+                session: u64::from_json(j.field("session")?)?,
+                step: StepReply::from_json(j.field("step")?)?,
+            }),
+            "batch" => Ok(Reply::Batch {
+                answers: Vec::<u32>::from_json(j.field("answers")?)?,
+                objects: usize::from_json(j.field("objects")?)?,
+                signatures: usize::from_json(j.field("signatures")?)?,
+                workers: usize::from_json(j.field("workers")?)?,
+            }),
+            "exported" => Ok(Reply::Exported {
+                text: String::from_json(j.field("text")?)?,
+            }),
+            "stats" => Ok(Reply::Stats(RegistryStats::from_json(j)?)),
+            "error" => Ok(Reply::Error {
+                message: String::from_json(j.field("message")?)?,
+            }),
+            other => Err(JsonError::msg(format!("unknown reply type `{other}`"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip_request(req: &Request) {
+        let line = qhorn_json::to_string(req);
+        assert!(!line.contains('\n'), "wire format is one line");
+        let back: Request = qhorn_json::from_str(&line).unwrap();
+        assert_eq!(&back, req);
+    }
+
+    fn round_trip_reply(rep: &Reply) {
+        let line = qhorn_json::to_string(rep);
+        assert!(!line.contains('\n'));
+        let back: Reply = qhorn_json::from_str(&line).unwrap();
+        assert_eq!(&back, rep);
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        round_trip_request(&Request::CreateSession {
+            dataset: "chocolates".into(),
+            size: 40,
+            learner: LearnerKind::Qhorn1,
+            max_questions: Some(500),
+        });
+        round_trip_request(&Request::NextQuestion { session: 7 });
+        round_trip_request(&Request::Answer {
+            session: 7,
+            response: Response::Answer,
+        });
+        round_trip_request(&Request::Correct {
+            session: 7,
+            corrections: vec![(0, Response::NonAnswer), (3, Response::Answer)],
+        });
+        round_trip_request(&Request::Verify {
+            session: 7,
+            query: Some("all x1".into()),
+        });
+        round_trip_request(&Request::Verify {
+            session: 7,
+            query: None,
+        });
+        round_trip_request(&Request::EvaluateBatch {
+            session: None,
+            dataset: Some("cellars".into()),
+            size: 1000,
+            query: Some("some x1 x2".into()),
+            workers: 8,
+        });
+        round_trip_request(&Request::ExportQuery {
+            session: 7,
+            format: "ascii".into(),
+        });
+        round_trip_request(&Request::Stats);
+    }
+
+    #[test]
+    fn replies_round_trip() {
+        let q = qhorn_lang::parse("all x1; some x2 x3").unwrap();
+        round_trip_reply(&Reply::Created {
+            session: 1,
+            step: StepReply::Question {
+                question: Obj::from_bits("110 011"),
+                rendered: "Box #3 ⟨(Belgium, true)⟩".into(),
+                from_store: true,
+                index: 0,
+            },
+        });
+        round_trip_reply(&Reply::Step {
+            session: 1,
+            step: StepReply::Learned {
+                query: qhorn_lang::printer::to_unicode(&q),
+                query_json: q,
+                questions: 17,
+            },
+        });
+        round_trip_reply(&Reply::Step {
+            session: 1,
+            step: StepReply::Failed {
+                message: "inconsistent".into(),
+            },
+        });
+        round_trip_reply(&Reply::Step {
+            session: 1,
+            step: StepReply::Verified { verified: true },
+        });
+        round_trip_reply(&Reply::Batch {
+            answers: vec![0, 4, 9],
+            objects: 1000,
+            signatures: 37,
+            workers: 4,
+        });
+        round_trip_reply(&Reply::Exported {
+            text: "∀x1 ∃x2x3".into(),
+        });
+        round_trip_reply(&Reply::Stats(RegistryStats {
+            created: 5,
+            live: 2,
+            ..Default::default()
+        }));
+        round_trip_reply(&Reply::Error {
+            message: "unknown session 9".into(),
+        });
+    }
+
+    #[test]
+    fn missing_fields_are_parse_errors() {
+        assert!(qhorn_json::from_str::<Request>(r#"{"type":"answer"}"#).is_err());
+        assert!(qhorn_json::from_str::<Request>(r#"{"type":"bogus"}"#).is_err());
+        assert!(qhorn_json::from_str::<Reply>(r#"{"type":"step","session":1}"#).is_err());
+        // Omitted optional fields default.
+        let req: Request = qhorn_json::from_str(
+            r#"{"type":"create_session","dataset":"fig1","learner":"qhorn1"}"#,
+        )
+        .unwrap();
+        assert_eq!(
+            req,
+            Request::CreateSession {
+                dataset: "fig1".into(),
+                size: 0,
+                learner: LearnerKind::Qhorn1,
+                max_questions: None,
+            }
+        );
+    }
+
+    #[test]
+    fn learner_names_are_stable() {
+        assert_eq!(learner_name(LearnerKind::Qhorn1), "qhorn1");
+        assert_eq!(learner_name(LearnerKind::RolePreserving), "role_preserving");
+        assert!(learner_from("sq").is_err());
+    }
+}

@@ -1,0 +1,1079 @@
+//! The sharded, lock-striped in-memory session registry.
+//!
+//! Sessions are striped over `shards` independently locked maps keyed by
+//! session id, so unrelated dialogues never contend on one lock. Each
+//! session owns a driver thread (see [`crate::driver`]) running the
+//! engine's synchronous learner; the registry feeds answers in and pulls
+//! questions/results out, advancing a per-session state machine:
+//!
+//! ```text
+//! AwaitingAnswer ──answer──▶ Learning ──question──▶ AwaitingAnswer
+//!       ▲                        │
+//!       │                        ├──learned──▶ Done ──verify──▶ Verifying
+//!       │                        └──inconsistent──▶ Failed        │
+//!       └──────────── verification question ◀────────────────────┘
+//! ```
+//!
+//! `Done`/`Failed` sessions accept `Correct` (replay with corrected
+//! responses, §5's noisy-user workflow). Idle sessions past the TTL are
+//! **evicted to a snapshot** ([`qhorn_engine::persist::SessionSnapshot`]):
+//! touching an evicted id restores it — completed sessions come back
+//! whole, mid-learning sessions replay their answered transcript so the
+//! user is only re-asked the question that was in flight.
+
+use crate::dataset;
+use crate::driver::{self, DriverCmd, DriverEvent, DriverHandle, QuestionOut};
+use crate::error::ServiceError;
+use qhorn_core::learn::LearnOptions;
+use qhorn_core::{Obj, Query, Response};
+use qhorn_engine::persist::{self, SessionSnapshot};
+use qhorn_engine::session::{Exchange, LearnerKind};
+use qhorn_engine::DataStore;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Registry construction parameters.
+#[derive(Clone, Debug)]
+pub struct RegistryConfig {
+    /// Number of lock stripes (maps) sessions are sharded over.
+    pub shards: usize,
+    /// Idle time after which a session is evicted to a snapshot.
+    pub ttl: Duration,
+    /// How long to wait for a driver to produce its next event.
+    pub driver_timeout: Duration,
+}
+
+impl Default for RegistryConfig {
+    fn default() -> Self {
+        RegistryConfig {
+            shards: 16,
+            ttl: Duration::from_secs(15 * 60),
+            driver_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// What a session is doing, as exposed on the wire.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SessionState {
+    /// A learning question is pending the user's answer.
+    AwaitingAnswer,
+    /// The learner is computing (transient between requests).
+    Learning,
+    /// A verification run is active (question pending or computing).
+    Verifying,
+    /// Learning (and possibly verification) completed.
+    Done,
+    /// The learner rejected the transcript (e.g. noisy answers).
+    Failed,
+}
+
+impl SessionState {
+    /// Stable wire name.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SessionState::AwaitingAnswer => "awaiting_answer",
+            SessionState::Learning => "learning",
+            SessionState::Verifying => "verifying",
+            SessionState::Done => "done",
+            SessionState::Failed => "failed",
+        }
+    }
+}
+
+/// Everything needed to open a session.
+#[derive(Clone, Debug)]
+pub struct CreateSpec {
+    /// Catalog dataset name.
+    pub dataset: String,
+    /// Object count for generated datasets (0 = default).
+    pub size: usize,
+    /// Which learner runs the session.
+    pub learner: LearnerKind,
+    /// Optional hard question budget.
+    pub max_questions: Option<usize>,
+}
+
+/// A pending membership question, as the protocol ships it.
+#[derive(Clone, Debug)]
+pub struct QuestionInfo {
+    /// The Boolean-domain question (the client labels this).
+    pub question: Obj,
+    /// Rendering of the realized data object (what a UI would show).
+    pub rendered: String,
+    /// Whether the example came from the store.
+    pub from_store: bool,
+    /// Transcript index the answer will occupy (for `Correct`).
+    pub index: usize,
+}
+
+impl QuestionInfo {
+    /// Builds the wire question; the registry owns index assignment (the
+    /// driver's transcript may contain entries the user never saw).
+    fn from_out(q: QuestionOut, index: usize) -> Self {
+        QuestionInfo {
+            question: q.question,
+            rendered: q.rendered,
+            from_store: q.from_store,
+            index,
+        }
+    }
+}
+
+/// The observable result of feeding a session one step forward.
+#[derive(Clone, Debug)]
+pub enum StepOutcome {
+    /// The session needs another label.
+    Question(QuestionInfo),
+    /// Learning finished; the query was learned.
+    Learned {
+        /// The learned query.
+        query: Query,
+        /// Total questions answered so far in this session.
+        questions: usize,
+    },
+    /// Learning failed (inconsistent transcript or budget exhausted).
+    Failed {
+        /// The learner's message.
+        message: String,
+    },
+    /// Verification finished.
+    Verified {
+        /// `true` iff the user agreed with every expected label.
+        verified: bool,
+    },
+}
+
+/// Aggregate counters, served by the `Stats` protocol message.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RegistryStats {
+    /// Sessions ever created.
+    pub created: u64,
+    /// Sessions currently live in the registry.
+    pub live: u64,
+    /// Sessions evicted to snapshots (cumulative).
+    pub evicted: u64,
+    /// Sessions restored from snapshots (cumulative).
+    pub restored: u64,
+    /// Sessions that reached `Done` (cumulative).
+    pub completed: u64,
+    /// Sessions that reached `Failed` (cumulative).
+    pub failed: u64,
+    /// Answers processed (cumulative).
+    pub answers: u64,
+    /// Parallel batch evaluations served (cumulative).
+    pub batch_runs: u64,
+    /// Snapshots currently held.
+    pub snapshots: u64,
+}
+
+struct Entry {
+    state: SessionState,
+    kind: LearnerKind,
+    spec: CreateSpec,
+    store: Arc<DataStore>,
+    driver: DriverHandle,
+    pending: Option<QuestionInfo>,
+    transcript: Vec<Exchange>,
+    /// Questions shown to the user, in order; `QuestionInfo::index` and
+    /// `Correct` indices refer to positions here (stable even when the
+    /// driver transcript gains auto-answered unrealizable questions).
+    asked: Vec<Obj>,
+    learned: Option<Query>,
+    verified: Option<bool>,
+    failure: Option<String>,
+    answered: usize,
+    last_touch: Instant,
+}
+
+struct SnapshotRecord {
+    json: String,
+    spec: CreateSpec,
+    kind: LearnerKind,
+    /// User-visible question order, preserved verbatim so `Correct`
+    /// indices stay valid across eviction/restore (the transcript alone
+    /// cannot reconstruct it: it may contain auto-answered entries).
+    asked: Vec<Obj>,
+    answered: usize,
+    verified: Option<bool>,
+}
+
+/// The sharded session registry. Cheap to share (`Arc`).
+pub struct Registry {
+    config: RegistryConfig,
+    shards: Vec<Mutex<HashMap<u64, Arc<Mutex<Entry>>>>>,
+    snapshots: Mutex<HashMap<u64, SnapshotRecord>>,
+    /// Serializes snapshot restores per stripe so concurrent touches of
+    /// one evicted id all land on the single restored entry, without
+    /// unrelated sessions' restores queueing behind each other.
+    restore_locks: Vec<Mutex<()>>,
+    last_sweep: Mutex<Instant>,
+    next_id: AtomicU64,
+    created: AtomicU64,
+    evicted: AtomicU64,
+    restored: AtomicU64,
+    completed: AtomicU64,
+    failed: AtomicU64,
+    answers: AtomicU64,
+    batch_runs: AtomicU64,
+}
+
+impl Registry {
+    /// Builds an empty registry.
+    #[must_use]
+    pub fn new(config: RegistryConfig) -> Self {
+        let shards = config.shards.max(1);
+        Registry {
+            config,
+            shards: (0..shards).map(|_| Mutex::new(HashMap::new())).collect(),
+            snapshots: Mutex::new(HashMap::new()),
+            restore_locks: (0..shards).map(|_| Mutex::new(())).collect(),
+            last_sweep: Mutex::new(Instant::now()),
+            next_id: AtomicU64::new(1),
+            created: AtomicU64::new(0),
+            evicted: AtomicU64::new(0),
+            restored: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            answers: AtomicU64::new(0),
+            batch_runs: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, id: u64) -> &Mutex<HashMap<u64, Arc<Mutex<Entry>>>> {
+        &self.shards[(id as usize) % self.shards.len()]
+    }
+
+    /// Opens a session: builds the dataset, spawns the driver, and runs
+    /// the learner up to its first question.
+    ///
+    /// # Errors
+    /// Dataset and driver failures.
+    pub fn create_session(&self, spec: CreateSpec) -> Result<(u64, StepOutcome), ServiceError> {
+        self.maybe_sweep();
+        let (store, hints) = dataset::build(&spec.dataset, spec.size)?;
+        let store = Arc::new(store);
+        let driver = driver::spawn(Arc::clone(&store), hints, spec.learner, Vec::new());
+        driver
+            .cmd_tx
+            .send(DriverCmd::Learn(learn_options(&spec)))
+            .map_err(|_| ServiceError::DriverTimeout)?;
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let mut entry = Entry {
+            state: SessionState::Learning,
+            kind: spec.learner,
+            spec,
+            store,
+            driver,
+            pending: None,
+            transcript: Vec::new(),
+            asked: Vec::new(),
+            learned: None,
+            verified: None,
+            failure: None,
+            answered: 0,
+            last_touch: Instant::now(),
+        };
+        let outcome = self.pump(&mut entry)?;
+        self.created.fetch_add(1, Ordering::Relaxed);
+        self.shard(id)
+            .lock()
+            .expect("shard poisoned")
+            .insert(id, Arc::new(Mutex::new(entry)));
+        Ok((id, outcome))
+    }
+
+    /// The pending question (idempotent), or the session's terminal
+    /// result.
+    ///
+    /// # Errors
+    /// [`ServiceError::UnknownSession`] for ids with neither a live entry
+    /// nor a snapshot.
+    pub fn next_question(&self, id: u64) -> Result<StepOutcome, ServiceError> {
+        self.with_entry(id, |entry| {
+            entry.last_touch = Instant::now();
+            if let Some(q) = &entry.pending {
+                return Ok(StepOutcome::Question(q.clone()));
+            }
+            // No pending question in a non-terminal state: a previous
+            // request timed out before the driver produced its event.
+            // Pump here so the session recovers instead of wedging.
+            if matches!(
+                entry.state,
+                SessionState::Learning | SessionState::AwaitingAnswer | SessionState::Verifying
+            ) {
+                return self.pump(entry);
+            }
+            match entry.state {
+                SessionState::Done => {
+                    if let Some(v) = entry.verified {
+                        Ok(StepOutcome::Verified { verified: v })
+                    } else {
+                        Ok(StepOutcome::Learned {
+                            query: entry.learned.clone().expect("done implies learned"),
+                            questions: entry.answered,
+                        })
+                    }
+                }
+                SessionState::Failed => Ok(StepOutcome::Failed {
+                    message: entry
+                        .failure
+                        .clone()
+                        .unwrap_or_else(|| "learning failed".into()),
+                }),
+                _ => Err(ServiceError::WrongState {
+                    state: entry.state.as_str(),
+                    needed: "a pending question or a terminal state",
+                }),
+            }
+        })
+    }
+
+    /// Feeds the user's label for the pending question and advances to
+    /// the next question or a terminal state.
+    ///
+    /// # Errors
+    /// Unknown session, wrong state, or driver timeout.
+    pub fn answer(&self, id: u64, response: Response) -> Result<StepOutcome, ServiceError> {
+        self.with_entry(id, |entry| {
+            let Some(pending) = entry.pending.take() else {
+                return Err(ServiceError::WrongState {
+                    state: entry.state.as_str(),
+                    needed: "a pending question",
+                });
+            };
+            entry.transcript.push(Exchange {
+                question: pending.question.clone(),
+                from_store: pending.from_store,
+                response,
+            });
+            entry.answered += 1;
+            entry.last_touch = Instant::now();
+            if entry.state == SessionState::AwaitingAnswer {
+                entry.state = SessionState::Learning;
+            }
+            entry
+                .driver
+                .ans_tx
+                .send(response)
+                .map_err(|_| ServiceError::DriverTimeout)?;
+            self.answers.fetch_add(1, Ordering::Relaxed);
+            self.pump(entry)
+        })
+    }
+
+    /// Applies transcript corrections and replays: cached answers are
+    /// served silently, so only invalidated questions come back to the
+    /// user. Legal once a session is `Done` or `Failed`.
+    ///
+    /// # Errors
+    /// Unknown session, wrong state, or driver timeout.
+    pub fn correct(
+        &self,
+        id: u64,
+        corrections: &[(usize, Response)],
+    ) -> Result<StepOutcome, ServiceError> {
+        self.with_entry(id, |entry| {
+            if !matches!(entry.state, SessionState::Done | SessionState::Failed) {
+                return Err(ServiceError::WrongState {
+                    state: entry.state.as_str(),
+                    needed: "a completed session (done or failed)",
+                });
+            }
+            // Indices refer to `asked` (user-visible question order);
+            // resolve them to questions so the driver applies each fix to
+            // the right exchange regardless of auto-answered entries.
+            let mut by_question: Vec<(Obj, Response)> = Vec::with_capacity(corrections.len());
+            for &(idx, r) in corrections {
+                let q = entry.asked.get(idx).ok_or(ServiceError::Parse(format!(
+                    "correction index {idx} out of range ({} questions asked)",
+                    entry.asked.len()
+                )))?;
+                by_question.push((q.clone(), r));
+            }
+            for e in &mut entry.transcript {
+                if let Some((_, r)) = by_question.iter().find(|(q, _)| *q == e.question) {
+                    e.response = *r;
+                }
+            }
+            entry.state = SessionState::Learning;
+            entry.learned = None;
+            entry.verified = None;
+            entry.failure = None;
+            entry.last_touch = Instant::now();
+            entry
+                .driver
+                .cmd_tx
+                .send(DriverCmd::Relearn(by_question, learn_options(&entry.spec)))
+                .map_err(|_| ServiceError::DriverTimeout)?;
+            self.pump(entry)
+        })
+    }
+
+    /// Starts verification (§4) of the learned query — or of an explicit
+    /// `query` — against the same user. Questions flow exactly like
+    /// learning questions.
+    ///
+    /// # Errors
+    /// Unknown session, wrong state, driver timeout, or a query outside
+    /// the verifiable class.
+    pub fn begin_verify(&self, id: u64, query: Option<Query>) -> Result<StepOutcome, ServiceError> {
+        self.with_entry(id, |entry| {
+            if entry.state != SessionState::Done {
+                return Err(ServiceError::WrongState {
+                    state: entry.state.as_str(),
+                    needed: "a session that finished learning",
+                });
+            }
+            let q = match query.or_else(|| entry.learned.clone()) {
+                Some(q) => q,
+                None => {
+                    return Err(ServiceError::WrongState {
+                        state: entry.state.as_str(),
+                        needed: "a learned or explicit query",
+                    })
+                }
+            };
+            // Reject bad verification queries here, as a ServiceError: an
+            // arity mismatch would panic the driver, and an unverifiable
+            // class would otherwise flip a Done session to Failed.
+            let n = entry.store.bridge().n();
+            if q.arity() != n {
+                return Err(ServiceError::Parse(format!(
+                    "query arity {} \u{2260} session arity {n}",
+                    q.arity()
+                )));
+            }
+            qhorn_core::verify::VerificationSet::build(&q)
+                .map_err(|e| ServiceError::Engine(e.to_string()))?;
+            entry.state = SessionState::Verifying;
+            entry.verified = None;
+            entry.last_touch = Instant::now();
+            entry
+                .driver
+                .cmd_tx
+                .send(DriverCmd::Verify(q))
+                .map_err(|_| ServiceError::DriverTimeout)?;
+            self.pump(entry)
+        })
+    }
+
+    /// The session's learned query.
+    ///
+    /// # Errors
+    /// Unknown session or not `Done`.
+    pub fn learned_query(&self, id: u64) -> Result<Query, ServiceError> {
+        self.with_entry(id, |entry| {
+            entry.last_touch = Instant::now();
+            entry.learned.clone().ok_or(ServiceError::WrongState {
+                state: entry.state.as_str(),
+                needed: "a session that finished learning",
+            })
+        })
+    }
+
+    /// The session's store and learned query, for batch evaluation.
+    ///
+    /// # Errors
+    /// Unknown session.
+    pub fn session_store(&self, id: u64) -> Result<(Arc<DataStore>, Option<Query>), ServiceError> {
+        self.with_entry(id, |entry| {
+            entry.last_touch = Instant::now();
+            Ok((Arc::clone(&entry.store), entry.learned.clone()))
+        })
+    }
+
+    /// Counts a served batch evaluation (the server calls this).
+    pub fn count_batch_run(&self) {
+        self.batch_runs.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Runs [`Registry::sweep`] if enough time has passed since the last
+    /// one (TTL/4, capped at 60s). Called from the hot request paths so
+    /// idle sessions get evicted even without new `CreateSession`s.
+    fn maybe_sweep(&self) {
+        // Clamp: at most once a second (keeps tiny-TTL configs, as tests
+        // use, from sweeping on every request), at least once a minute.
+        let interval = (self.config.ttl / 4).clamp(Duration::from_secs(1), Duration::from_secs(60));
+        {
+            let mut last = self.last_sweep.lock().expect("sweep clock poisoned");
+            if last.elapsed() < interval {
+                return;
+            }
+            *last = Instant::now();
+        }
+        self.sweep();
+    }
+
+    /// Evicts every session idle longer than the TTL, snapshotting each.
+    /// Returns how many sessions were evicted.
+    pub fn sweep(&self) -> usize {
+        let ttl = self.config.ttl;
+        let mut evicted = 0usize;
+        for shard in &self.shards {
+            let mut map = shard.lock().expect("shard poisoned");
+            let expired: Vec<u64> = map
+                .iter()
+                .filter(|(_, h)| {
+                    // Skip entries some request currently holds; both the
+                    // clone in `with_entry` and this check happen under
+                    // the shard lock, so the count is trustworthy.
+                    Arc::strong_count(h) == 1
+                        && h.lock().expect("entry poisoned").last_touch.elapsed() > ttl
+                })
+                .map(|(&id, _)| id)
+                .collect();
+            for id in expired {
+                if let Some(handle) = map.remove(&id) {
+                    match Arc::try_unwrap(handle) {
+                        Ok(mutex) => {
+                            self.snapshot_entry(id, mutex.into_inner().expect("entry poisoned"));
+                            evicted += 1;
+                        }
+                        Err(handle) => {
+                            map.insert(id, handle); // raced with a borrower
+                        }
+                    }
+                }
+            }
+        }
+        self.evicted.fetch_add(evicted as u64, Ordering::Relaxed);
+        evicted
+    }
+
+    /// Aggregate counters.
+    pub fn stats(&self) -> RegistryStats {
+        self.maybe_sweep();
+        let live = self
+            .shards
+            .iter()
+            .map(|s| s.lock().expect("shard poisoned").len() as u64)
+            .sum();
+        RegistryStats {
+            created: self.created.load(Ordering::Relaxed),
+            live,
+            evicted: self.evicted.load(Ordering::Relaxed),
+            restored: self.restored.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+            answers: self.answers.load(Ordering::Relaxed),
+            batch_runs: self.batch_runs.load(Ordering::Relaxed),
+            snapshots: self.snapshots.lock().expect("snapshots poisoned").len() as u64,
+        }
+    }
+
+    // -- internals ---------------------------------------------------------
+
+    /// Runs `f` on the live entry, restoring from a snapshot if needed.
+    ///
+    /// The shard lock is held only for the map lookup; `f` runs under the
+    /// entry's own mutex, so a slow driver in one session never blocks
+    /// unrelated sessions on the same stripe.
+    fn with_entry<T>(
+        &self,
+        id: u64,
+        f: impl FnOnce(&mut Entry) -> Result<T, ServiceError>,
+    ) -> Result<T, ServiceError> {
+        self.maybe_sweep();
+        let handle = {
+            let map = self.shard(id).lock().expect("shard poisoned");
+            map.get(&id).cloned()
+        };
+        let handle = match handle {
+            Some(h) => h,
+            None => {
+                // Serialize restores per stripe: the winner rebuilds the
+                // entry while losers wait here, then find it in the shard.
+                let stripe = (id as usize) % self.restore_locks.len();
+                let _restoring = self.restore_locks[stripe]
+                    .lock()
+                    .expect("restore lock poisoned");
+                let again = {
+                    let map = self.shard(id).lock().expect("shard poisoned");
+                    map.get(&id).cloned()
+                };
+                match again {
+                    Some(h) => h,
+                    None => {
+                        self.restore(id)?;
+                        let map = self.shard(id).lock().expect("shard poisoned");
+                        map.get(&id)
+                            .cloned()
+                            .ok_or(ServiceError::UnknownSession(id))?
+                    }
+                }
+            }
+        };
+        let mut entry = handle.lock().expect("entry poisoned");
+        f(&mut entry)
+    }
+
+    /// Serializes an entry into the snapshot store. The driver's channel
+    /// ends drop with the entry; a parked learner then self-terminates on
+    /// `NonAnswer` feeds (see `crate::driver`).
+    fn snapshot_entry(&self, id: u64, entry: Entry) {
+        let snap = SessionSnapshot::new(entry.transcript.clone(), entry.learned.clone());
+        let json = persist::session_to_json(&snap).expect("snapshots always serialize");
+        let record = SnapshotRecord {
+            json,
+            spec: entry.spec.clone(),
+            kind: entry.kind,
+            asked: entry.asked.clone(),
+            answered: entry.answered,
+            verified: entry.verified,
+        };
+        self.snapshots
+            .lock()
+            .expect("snapshots poisoned")
+            .insert(id, record);
+    }
+
+    /// Rebuilds a live entry from a snapshot. Completed sessions come
+    /// back `Done`; mid-learning sessions replay their transcript and
+    /// park on the first genuinely new question.
+    fn restore(&self, id: u64) -> Result<(), ServiceError> {
+        let record = self
+            .snapshots
+            .lock()
+            .expect("snapshots poisoned")
+            .remove(&id)
+            .ok_or(ServiceError::UnknownSession(id))?;
+        let snap = persist::session_from_json(&record.json)
+            .map_err(|e| ServiceError::Engine(e.to_string()))?;
+        let (store, hints) = dataset::build(&record.spec.dataset, record.spec.size)?;
+        let store = Arc::new(store);
+        let driver = driver::spawn(
+            Arc::clone(&store),
+            hints,
+            record.kind,
+            snap.transcript.clone(),
+        );
+        let mut entry = Entry {
+            state: SessionState::Learning,
+            kind: record.kind,
+            spec: record.spec,
+            store,
+            driver,
+            pending: None,
+            asked: record.asked,
+            transcript: snap.transcript,
+            learned: snap.learned,
+            verified: record.verified,
+            failure: None,
+            answered: record.answered,
+            last_touch: Instant::now(),
+        };
+        if entry.learned.is_some() {
+            entry.state = SessionState::Done;
+        } else {
+            // Replay the answered transcript; only new questions surface.
+            entry
+                .driver
+                .cmd_tx
+                .send(DriverCmd::Relearn(Vec::new(), learn_options(&entry.spec)))
+                .map_err(|_| ServiceError::DriverTimeout)?;
+            self.pump(&mut entry)?;
+        }
+        self.restored.fetch_add(1, Ordering::Relaxed);
+        self.shard(id)
+            .lock()
+            .expect("shard poisoned")
+            .insert(id, Arc::new(Mutex::new(entry)));
+        Ok(())
+    }
+
+    /// Waits for the driver's next event and applies it to the entry.
+    fn pump(&self, entry: &mut Entry) -> Result<StepOutcome, ServiceError> {
+        let event = entry
+            .driver
+            .evt_rx
+            .recv_timeout(self.config.driver_timeout)
+            .map_err(|_| ServiceError::DriverTimeout)?;
+        match event {
+            DriverEvent::Question(q) => {
+                // Index in user-visible question order.
+                let info = QuestionInfo::from_out(q, entry.asked.len());
+                entry.asked.push(info.question.clone());
+                entry.pending = Some(info.clone());
+                if entry.state != SessionState::Verifying {
+                    entry.state = SessionState::AwaitingAnswer;
+                }
+                Ok(StepOutcome::Question(info))
+            }
+            DriverEvent::LearnFinished { result, transcript } => {
+                entry.transcript = transcript;
+                entry.pending = None;
+                match result {
+                    Ok(query) => {
+                        entry.state = SessionState::Done;
+                        entry.learned = Some(query.clone());
+                        entry.failure = None;
+                        self.completed.fetch_add(1, Ordering::Relaxed);
+                        Ok(StepOutcome::Learned {
+                            query,
+                            questions: entry.answered,
+                        })
+                    }
+                    Err(message) => {
+                        entry.state = SessionState::Failed;
+                        entry.failure = Some(message.clone());
+                        self.failed.fetch_add(1, Ordering::Relaxed);
+                        Ok(StepOutcome::Failed { message })
+                    }
+                }
+            }
+            DriverEvent::VerifyFinished {
+                verified,
+                transcript,
+            } => {
+                entry.transcript = transcript;
+                entry.pending = None;
+                entry.state = SessionState::Done;
+                entry.verified = Some(verified);
+                Ok(StepOutcome::Verified { verified })
+            }
+        }
+    }
+}
+
+fn learn_options(spec: &CreateSpec) -> LearnOptions {
+    LearnOptions {
+        max_questions: spec.max_questions,
+        // Real users' intents need not mention every proposition; spend n
+        // extra questions up front so incomplete targets learn exactly.
+        detect_free_variables: true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qhorn_core::query::equiv::equivalent;
+    use qhorn_lang::parse_with_arity;
+
+    fn spec(learner: LearnerKind) -> CreateSpec {
+        CreateSpec {
+            dataset: "chocolates".into(),
+            size: 30,
+            learner,
+            max_questions: Some(10_000),
+        }
+    }
+
+    /// Drives one session to completion with a target-query user.
+    fn drive_to_done(reg: &Registry, id: u64, mut outcome: StepOutcome, target: &Query) -> Query {
+        loop {
+            match outcome {
+                StepOutcome::Question(q) => {
+                    let label = target.eval(&q.question);
+                    outcome = reg.answer(id, label).unwrap();
+                }
+                StepOutcome::Learned { query, .. } => return query,
+                other => panic!("unexpected outcome {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn end_to_end_learn_verify_in_registry() {
+        let reg = Registry::new(RegistryConfig::default());
+        let target = parse_with_arity("all x1; some x2 x3", 3).unwrap();
+        let (id, first) = reg.create_session(spec(LearnerKind::Qhorn1)).unwrap();
+        let learned = drive_to_done(&reg, id, first, &target);
+        assert!(equivalent(&learned, &target), "learned {learned}");
+        assert!(equivalent(&reg.learned_query(id).unwrap(), &target));
+
+        // Verification against the same user must pass.
+        let mut outcome = reg.begin_verify(id, None).unwrap();
+        loop {
+            match outcome {
+                StepOutcome::Question(q) => {
+                    outcome = reg.answer(id, target.eval(&q.question)).unwrap();
+                }
+                StepOutcome::Verified { verified } => {
+                    assert!(verified);
+                    break;
+                }
+                other => panic!("unexpected outcome {other:?}"),
+            }
+        }
+        let stats = reg.stats();
+        assert_eq!(stats.created, 1);
+        assert_eq!(stats.completed, 1);
+        assert!(stats.answers > 0);
+    }
+
+    #[test]
+    fn wrong_state_requests_are_rejected() {
+        let reg = Registry::new(RegistryConfig::default());
+        let (id, _) = reg.create_session(spec(LearnerKind::Qhorn1)).unwrap();
+        // Verify before learning finished.
+        assert!(matches!(
+            reg.begin_verify(id, None),
+            Err(ServiceError::WrongState { .. })
+        ));
+        // Correct before completion.
+        assert!(matches!(
+            reg.correct(id, &[]),
+            Err(ServiceError::WrongState { .. })
+        ));
+        // Unknown session.
+        assert!(matches!(
+            reg.answer(999, Response::Answer),
+            Err(ServiceError::UnknownSession(999))
+        ));
+    }
+
+    #[test]
+    fn eviction_snapshots_and_restores_completed_sessions() {
+        let config = RegistryConfig {
+            ttl: Duration::from_millis(0),
+            ..Default::default()
+        };
+        let reg = Registry::new(config);
+        let target = parse_with_arity("some x1 x2", 3).unwrap();
+        let (id, first) = reg.create_session(spec(LearnerKind::Qhorn1)).unwrap();
+        let learned = drive_to_done(&reg, id, first, &target);
+        assert!(equivalent(&learned, &target));
+        // TTL zero: the sweep evicts it.
+        std::thread::sleep(Duration::from_millis(5));
+        assert_eq!(reg.sweep(), 1);
+        assert_eq!(reg.stats().live, 0);
+        assert_eq!(reg.stats().snapshots, 1);
+        // Touching the id restores it, learned query intact.
+        let restored = reg.learned_query(id).unwrap();
+        assert!(equivalent(&restored, &target));
+        assert_eq!(reg.stats().restored, 1);
+    }
+
+    #[test]
+    fn eviction_mid_learning_replays_on_restore() {
+        let config = RegistryConfig {
+            ttl: Duration::from_millis(0),
+            ..Default::default()
+        };
+        let reg = Registry::new(config);
+        let target = parse_with_arity("all x1; some x2 x3", 3).unwrap();
+        let (id, mut outcome) = reg
+            .create_session(spec(LearnerKind::RolePreserving))
+            .unwrap();
+        // Answer a handful of questions, then evict mid-flight.
+        for _ in 0..4 {
+            match outcome {
+                StepOutcome::Question(q) => {
+                    outcome = reg.answer(id, target.eval(&q.question)).unwrap();
+                }
+                other => panic!("finished too early: {other:?}"),
+            }
+        }
+        std::thread::sleep(Duration::from_millis(5));
+        assert_eq!(reg.sweep(), 1);
+        // Restore: the next_question call replays silently and resumes.
+        let outcome = reg.next_question(id).unwrap();
+        let learned = drive_to_done(&reg, id, outcome, &target);
+        assert!(equivalent(&learned, &target), "learned {learned}");
+        assert_eq!(reg.stats().restored, 1);
+        // The user-visible question order survives eviction/restore: a
+        // correction by pre-eviction index still lands on that question.
+        let fix = honest_label_for_index_zero(&reg, id, &target);
+        let mut outcome = reg.correct(id, &[(0, fix)]).unwrap();
+        loop {
+            match outcome {
+                StepOutcome::Question(q) => {
+                    outcome = reg.answer(id, target.eval(&q.question)).unwrap();
+                }
+                StepOutcome::Learned { query, .. } => {
+                    assert!(equivalent(&query, &target));
+                    break;
+                }
+                other => panic!("unexpected outcome {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn correction_replay_recovers_from_a_flip() {
+        let reg = Registry::new(RegistryConfig::default());
+        let target = parse_with_arity("all x1; some x2 x3", 3).unwrap();
+        let (id, mut outcome) = reg
+            .create_session(spec(LearnerKind::RolePreserving))
+            .unwrap();
+        // Flip the very first answer; play honestly afterwards.
+        let mut first = true;
+        loop {
+            match outcome {
+                StepOutcome::Question(q) => {
+                    let honest = target.eval(&q.question);
+                    let label = if first { honest.negate() } else { honest };
+                    first = false;
+                    outcome = reg.answer(id, label).unwrap();
+                }
+                StepOutcome::Learned { .. } | StepOutcome::Failed { .. } => break,
+                other => panic!("unexpected outcome {other:?}"),
+            }
+        }
+        // Whether the flip mislearned or failed the session, the corrected
+        // replay must land on the target.
+        let fix = honest_label_for_index_zero(&reg, id, &target);
+        let mut outcome = reg.correct(id, &[(0, fix)]).unwrap();
+        let learned = loop {
+            match outcome {
+                StepOutcome::Question(q) => {
+                    outcome = reg.answer(id, target.eval(&q.question)).unwrap();
+                }
+                StepOutcome::Learned { query, .. } => break query,
+                other => panic!("correction did not recover: {other:?}"),
+            }
+        };
+        assert!(equivalent(&learned, &target), "learned {learned}");
+    }
+
+    /// The honest label for the first recorded question of a session.
+    fn honest_label_for_index_zero(reg: &Registry, id: u64, target: &Query) -> Response {
+        reg.with_entry(id, |entry| Ok(target.eval(&entry.transcript[0].question)))
+            .unwrap()
+    }
+
+    #[test]
+    fn bad_verification_queries_do_not_corrupt_done_sessions() {
+        let reg = Registry::new(RegistryConfig::default());
+        let target = parse_with_arity("all x1; some x2 x3", 3).unwrap();
+        let (id, first) = reg.create_session(spec(LearnerKind::Qhorn1)).unwrap();
+        drive_to_done(&reg, id, first, &target);
+
+        // Arity mismatch: rejected as an error, not sent to the driver.
+        let wrong_arity = parse_with_arity("all x1", 1).unwrap();
+        assert!(matches!(
+            reg.begin_verify(id, Some(wrong_arity)),
+            Err(ServiceError::Parse(_))
+        ));
+        // Outside the verifiable class (qhorn-1-only expression).
+        let unverifiable = Query::new(
+            3,
+            [qhorn_core::Expr::existential_horn(
+                qhorn_core::VarSet::from_indices([0]),
+                qhorn_core::VarId(1),
+            )],
+        )
+        .unwrap();
+        if qhorn_core::verify::VerificationSet::build(&unverifiable).is_err() {
+            assert!(matches!(
+                reg.begin_verify(id, Some(unverifiable)),
+                Err(ServiceError::Engine(_))
+            ));
+        }
+        // The session is still Done and still verifies its learned query.
+        let mut outcome = reg.begin_verify(id, None).unwrap();
+        loop {
+            match outcome {
+                StepOutcome::Question(q) => {
+                    outcome = reg.answer(id, target.eval(&q.question)).unwrap();
+                }
+                StepOutcome::Verified { verified } => {
+                    assert!(verified);
+                    break;
+                }
+                other => panic!("unexpected outcome {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn failure_message_is_preserved_across_requests() {
+        let reg = Registry::new(RegistryConfig::default());
+        let target = parse_with_arity("all x1; some x2 x3", 3).unwrap();
+        let tiny_budget = CreateSpec {
+            max_questions: Some(2),
+            ..spec(LearnerKind::Qhorn1)
+        };
+        let (id, mut outcome) = reg.create_session(tiny_budget).unwrap();
+        let first_message = loop {
+            match outcome {
+                StepOutcome::Question(q) => {
+                    outcome = reg.answer(id, target.eval(&q.question)).unwrap();
+                }
+                StepOutcome::Failed { message } => break message,
+                other => panic!("expected budget failure, got {other:?}"),
+            }
+        };
+        assert!(first_message.contains("budget"), "{first_message}");
+        // Re-fetching reports the same reason, not a generic one.
+        match reg.next_question(id).unwrap() {
+            StepOutcome::Failed { message } => assert_eq!(message, first_message),
+            other => panic!("unexpected outcome {other:?}"),
+        }
+    }
+
+    #[test]
+    fn second_correction_keeps_the_first() {
+        let reg = Registry::new(RegistryConfig::default());
+        let target = parse_with_arity("all x1; some x2 x3", 3).unwrap();
+        let (id, mut outcome) = reg
+            .create_session(spec(LearnerKind::RolePreserving))
+            .unwrap();
+        // Flip the first two answers.
+        let mut flips = 2;
+        loop {
+            match outcome {
+                StepOutcome::Question(q) => {
+                    let honest = target.eval(&q.question);
+                    let label = if flips > 0 {
+                        flips -= 1;
+                        honest.negate()
+                    } else {
+                        honest
+                    };
+                    outcome = reg.answer(id, label).unwrap();
+                }
+                StepOutcome::Learned { .. } | StepOutcome::Failed { .. } => break,
+                other => panic!("unexpected outcome {other:?}"),
+            }
+        }
+        // Correct index 0 first, then index 1 in a separate round; the
+        // second round must not revert the first correction.
+        for idx in [0usize, 1] {
+            let fix = reg
+                .with_entry(id, |entry| Ok(target.eval(&entry.transcript[idx].question)))
+                .unwrap();
+            let mut outcome = reg.correct(id, &[(idx, fix)]).unwrap();
+            loop {
+                match outcome {
+                    StepOutcome::Question(q) => {
+                        outcome = reg.answer(id, target.eval(&q.question)).unwrap();
+                    }
+                    StepOutcome::Learned { .. } | StepOutcome::Failed { .. } => break,
+                    other => panic!("unexpected outcome {other:?}"),
+                }
+            }
+        }
+        let learned = reg.learned_query(id).unwrap();
+        assert!(equivalent(&learned, &target), "learned {learned}");
+    }
+
+    #[test]
+    fn sessions_shard_across_stripes() {
+        let reg = Registry::new(RegistryConfig {
+            shards: 4,
+            ..Default::default()
+        });
+        let target = parse_with_arity("some x1", 3).unwrap();
+        let mut ids = Vec::new();
+        for _ in 0..8 {
+            let (id, first) = reg.create_session(spec(LearnerKind::Qhorn1)).unwrap();
+            drive_to_done(&reg, id, first, &target);
+            ids.push(id);
+        }
+        assert_eq!(reg.stats().live, 8);
+        assert_eq!(reg.stats().completed, 8);
+        // All ids distinct and all addressable.
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 8);
+        for id in ids {
+            assert!(reg.learned_query(id).is_ok());
+        }
+    }
+}

@@ -1,0 +1,421 @@
+//! The TCP front end: a JSON-lines server over [`std::net::TcpListener`]
+//! with a fixed worker thread pool, graceful shutdown, and a blocking
+//! [`Client`] helper.
+//!
+//! An acceptor thread feeds connections into a channel drained by
+//! `workers` handler threads, so at most `workers` connections are served
+//! concurrently (excess connections queue). Handlers poll a shutdown flag
+//! between requests via a read timeout, so [`Server::shutdown`] drains
+//! promptly even with idle keep-alive connections.
+
+use crate::batch;
+use crate::dataset;
+use crate::error::ServiceError;
+use crate::proto::{Reply, Request, StepReply};
+use crate::registry::Registry;
+use qhorn_engine::plan::CompiledQuery;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// A running server; dropping it without [`Server::shutdown`] detaches
+/// the threads (they exit with the process).
+pub struct Server {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    registry: Arc<Registry>,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"`) and starts the accept loop and
+    /// `workers` handler threads over `registry`.
+    ///
+    /// # Errors
+    /// I/O errors from binding.
+    pub fn start(addr: &str, registry: Arc<Registry>, workers: usize) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let (conn_tx, conn_rx) = mpsc::channel::<TcpStream>();
+        let conn_rx = Arc::new(Mutex::new(conn_rx));
+
+        let mut handles = Vec::with_capacity(workers.max(1));
+        for i in 0..workers.max(1) {
+            let rx = Arc::clone(&conn_rx);
+            let reg = Arc::clone(&registry);
+            let stop = Arc::clone(&shutdown);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("qhorn-worker-{i}"))
+                    .spawn(move || loop {
+                        let stream = { rx.lock().expect("conn channel poisoned").recv() };
+                        match stream {
+                            Ok(s) => handle_connection(s, &reg, &stop),
+                            Err(_) => break, // acceptor gone and queue drained
+                        }
+                    })
+                    .expect("spawn worker"),
+            );
+        }
+
+        let stop = Arc::clone(&shutdown);
+        let acceptor = std::thread::Builder::new()
+            .name("qhorn-acceptor".into())
+            .spawn(move || {
+                // conn_tx lives here: when the acceptor exits, the channel
+                // closes and idle workers drain out.
+                for stream in listener.incoming() {
+                    if stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    match stream {
+                        Ok(s) => {
+                            if conn_tx.send(s).is_err() {
+                                break;
+                            }
+                        }
+                        Err(_) => {
+                            if stop.load(Ordering::SeqCst) {
+                                break;
+                            }
+                        }
+                    }
+                }
+            })
+            .expect("spawn acceptor");
+
+        Ok(Server {
+            addr: local,
+            shutdown,
+            acceptor: Some(acceptor),
+            workers: handles,
+            registry,
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared registry.
+    #[must_use]
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// Stops accepting, drains the workers, and joins every thread.
+    pub fn shutdown(mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Unblock the acceptor's blocking accept.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+/// Serves one connection: read a line, dispatch, write a line.
+fn handle_connection(stream: TcpStream, registry: &Arc<Registry>, stop: &AtomicBool) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+    let _ = stream.set_nodelay(true);
+    let mut reader = LineReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    });
+    let mut writer = stream;
+    loop {
+        match reader.next_line(stop) {
+            LineEvent::Line(line) => {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                let reply = match qhorn_json::from_str::<Request>(&line) {
+                    Ok(req) => dispatch(registry, req),
+                    Err(e) => Reply::Error {
+                        message: format!("bad request: {e}"),
+                    },
+                };
+                let mut out = qhorn_json::to_string(&reply);
+                out.push('\n');
+                if writer.write_all(out.as_bytes()).is_err() || writer.flush().is_err() {
+                    return;
+                }
+            }
+            LineEvent::Closed => return,
+            LineEvent::Stopped => return,
+        }
+    }
+}
+
+enum LineEvent {
+    Line(String),
+    Closed,
+    Stopped,
+}
+
+/// Largest accepted request/reply line; a peer exceeding it is cut off
+/// rather than allowed to grow the buffer without bound.
+const MAX_LINE_BYTES: usize = 1 << 20;
+
+/// A `\n`-framed reader that survives read timeouts without losing
+/// partial lines (a plain `BufReader::read_line` would).
+struct LineReader {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+impl LineReader {
+    fn new(stream: TcpStream) -> Self {
+        LineReader {
+            stream,
+            buf: Vec::new(),
+        }
+    }
+
+    fn next_line(&mut self, stop: &AtomicBool) -> LineEvent {
+        loop {
+            if let Some(pos) = self.buf.iter().position(|&b| b == b'\n') {
+                let rest = self.buf.split_off(pos + 1);
+                let mut line = std::mem::replace(&mut self.buf, rest);
+                line.pop(); // the newline
+                return match String::from_utf8(line) {
+                    Ok(s) => LineEvent::Line(s),
+                    Err(_) => LineEvent::Closed, // non-UTF-8 peer: drop it
+                };
+            }
+            if stop.load(Ordering::SeqCst) {
+                return LineEvent::Stopped;
+            }
+            if self.buf.len() > MAX_LINE_BYTES {
+                return LineEvent::Closed; // newline-free flood: drop the peer
+            }
+            let mut chunk = [0u8; 4096];
+            match self.stream.read(&mut chunk) {
+                Ok(0) => return LineEvent::Closed,
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    // Timeout tick: loop to re-check the stop flag.
+                }
+                Err(_) => return LineEvent::Closed,
+            }
+        }
+    }
+}
+
+/// Applies one request to the registry.
+pub fn dispatch(registry: &Arc<Registry>, req: Request) -> Reply {
+    match try_dispatch(registry, req) {
+        Ok(reply) => reply,
+        Err(e) => e.into(),
+    }
+}
+
+fn try_dispatch(registry: &Arc<Registry>, req: Request) -> Result<Reply, ServiceError> {
+    match req {
+        Request::CreateSession {
+            dataset,
+            size,
+            learner,
+            max_questions,
+        } => {
+            let spec = crate::registry::CreateSpec {
+                dataset,
+                size,
+                learner,
+                max_questions,
+            };
+            let (session, outcome) = registry.create_session(spec)?;
+            Ok(Reply::Created {
+                session,
+                step: outcome.into(),
+            })
+        }
+        Request::NextQuestion { session } => {
+            let outcome = registry.next_question(session)?;
+            Ok(Reply::Step {
+                session,
+                step: outcome.into(),
+            })
+        }
+        Request::Answer { session, response } => {
+            let outcome = registry.answer(session, response)?;
+            Ok(Reply::Step {
+                session,
+                step: outcome.into(),
+            })
+        }
+        Request::Correct {
+            session,
+            corrections,
+        } => {
+            let outcome = registry.correct(session, &corrections)?;
+            Ok(Reply::Step {
+                session,
+                step: outcome.into(),
+            })
+        }
+        Request::Verify { session, query } => {
+            let parsed = match query {
+                Some(text) => {
+                    // Parse at the session's arity so `all x1` over a
+                    // 3-proposition store means what the user means.
+                    let (store, _) = registry.session_store(session)?;
+                    Some(parse_query_with_arity(&text, store.bridge().n())?)
+                }
+                None => None,
+            };
+            let outcome = registry.begin_verify(session, parsed)?;
+            Ok(Reply::Step {
+                session,
+                step: outcome.into(),
+            })
+        }
+        Request::EvaluateBatch {
+            session,
+            dataset: ds,
+            size,
+            query,
+            workers,
+        } => {
+            let (store, default_query) = match (session, ds) {
+                (Some(id), None) => {
+                    let (store, learned) = registry.session_store(id)?;
+                    (store, learned)
+                }
+                (None, Some(name)) => {
+                    let (store, _) = dataset::build(&name, size)?;
+                    (Arc::new(store), None)
+                }
+                _ => {
+                    return Err(ServiceError::Parse(
+                        "evaluate_batch needs exactly one of `session` or `dataset`".into(),
+                    ))
+                }
+            };
+            let q = match query {
+                Some(text) => parse_query_with_arity(&text, store.bridge().n())?,
+                None => default_query.ok_or_else(|| {
+                    ServiceError::Parse("no query given and the session has not learned one".into())
+                })?,
+            };
+            if q.arity() != store.boolean().arity() {
+                return Err(ServiceError::Parse(format!(
+                    "query arity {} ≠ store arity {}",
+                    q.arity(),
+                    store.boolean().arity()
+                )));
+            }
+            let plan = CompiledQuery::compile(&q);
+            let (hits, stats) =
+                batch::execute_parallel_with_stats(&plan, store.boolean(), workers.max(1));
+            registry.count_batch_run();
+            Ok(Reply::Batch {
+                answers: hits.into_iter().map(|id| id.0).collect(),
+                objects: stats.objects,
+                signatures: stats.signatures_evaluated,
+                workers: workers.max(1),
+            })
+        }
+        Request::ExportQuery { session, format } => {
+            let q = registry.learned_query(session)?;
+            let text = match format.as_str() {
+                "ascii" => qhorn_lang::printer::to_ascii(&q),
+                "unicode" => qhorn_lang::printer::to_unicode(&q),
+                "json" => qhorn_json::to_string(&q),
+                other => return Err(ServiceError::Parse(format!("unknown format `{other}`"))),
+            };
+            Ok(Reply::Exported { text })
+        }
+        Request::Stats => Ok(Reply::Stats(registry.stats())),
+    }
+}
+
+fn parse_query_with_arity(text: &str, n: u16) -> Result<qhorn_core::Query, ServiceError> {
+    qhorn_lang::parse_with_arity(text, n).map_err(|e| ServiceError::Parse(e.to_string()))
+}
+
+/// A blocking JSON-lines client, used by tests and tools.
+pub struct Client {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+impl Client {
+    /// Connects to a server.
+    ///
+    /// # Errors
+    /// Connection failures as [`ServiceError::Transport`].
+    pub fn connect(addr: SocketAddr) -> Result<Client, ServiceError> {
+        let stream =
+            TcpStream::connect(addr).map_err(|e| ServiceError::Transport(e.to_string()))?;
+        let _ = stream.set_nodelay(true);
+        Ok(Client {
+            stream,
+            buf: Vec::new(),
+        })
+    }
+
+    /// Sends one request and reads one reply.
+    ///
+    /// # Errors
+    /// Transport failures and malformed replies.
+    pub fn request(&mut self, req: &Request) -> Result<Reply, ServiceError> {
+        let mut line = qhorn_json::to_string(req);
+        line.push('\n');
+        self.stream
+            .write_all(line.as_bytes())
+            .map_err(|e| ServiceError::Transport(e.to_string()))?;
+        let line = self.read_line()?;
+        qhorn_json::from_str(&line).map_err(|e| ServiceError::Transport(e.to_string()))
+    }
+
+    /// Like [`Client::request`], but unwraps a step reply.
+    ///
+    /// # Errors
+    /// Transport failures and protocol-level `error` replies.
+    pub fn step(&mut self, req: &Request) -> Result<(u64, StepReply), ServiceError> {
+        match self.request(req)? {
+            Reply::Created { session, step } | Reply::Step { session, step } => Ok((session, step)),
+            Reply::Error { message } => Err(ServiceError::Transport(message)),
+            other => Err(ServiceError::Transport(format!(
+                "unexpected reply {other:?}"
+            ))),
+        }
+    }
+
+    fn read_line(&mut self) -> Result<String, ServiceError> {
+        loop {
+            if let Some(pos) = self.buf.iter().position(|&b| b == b'\n') {
+                let rest = self.buf.split_off(pos + 1);
+                let mut line = std::mem::replace(&mut self.buf, rest);
+                line.pop();
+                return String::from_utf8(line).map_err(|e| ServiceError::Transport(e.to_string()));
+            }
+            if self.buf.len() > MAX_LINE_BYTES {
+                return Err(ServiceError::Transport("reply line too long".into()));
+            }
+            let mut chunk = [0u8; 4096];
+            match self.stream.read(&mut chunk) {
+                Ok(0) => return Err(ServiceError::Transport("server closed connection".into())),
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e) => return Err(ServiceError::Transport(e.to_string())),
+            }
+        }
+    }
+}

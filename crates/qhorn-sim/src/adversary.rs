@@ -26,7 +26,10 @@ impl CandidateAdversary {
     #[must_use]
     pub fn new(candidates: Vec<Query>) -> Self {
         assert!(!candidates.is_empty());
-        CandidateAdversary { candidates, questions: 0 }
+        CandidateAdversary {
+            candidates,
+            questions: 0,
+        }
     }
 
     /// Surviving candidates.
@@ -52,10 +55,18 @@ impl CandidateAdversary {
 impl MembershipOracle for CandidateAdversary {
     fn ask(&mut self, question: &Obj) -> Response {
         self.questions += 1;
-        let accepting = self.candidates.iter().filter(|c| c.accepts(question)).count();
+        let accepting = self
+            .candidates
+            .iter()
+            .filter(|c| c.accepts(question))
+            .count();
         let rejecting = self.candidates.len() - accepting;
         // Majority label; ties break to NonAnswer (the proofs' choice).
-        let label = if accepting > rejecting { Response::Answer } else { Response::NonAnswer };
+        let label = if accepting > rejecting {
+            Response::Answer
+        } else {
+            Response::NonAnswer
+        };
         self.candidates.retain(|c| c.eval(question) == label);
         label
     }
@@ -134,7 +145,11 @@ pub fn overlapping_body_candidates(n: u16, theta: usize) -> Vec<Query> {
     let per = n as usize / groups;
     let h = VarId(n); // the head is an extra variable
     let fixed: Vec<VarSet> = (0..groups)
-        .map(|g| ((g * per) as u16..((g + 1) * per) as u16).map(VarId).collect())
+        .map(|g| {
+            ((g * per) as u16..((g + 1) * per) as u16)
+                .map(VarId)
+                .collect()
+        })
         .collect();
     // Enumerate omission choices via mixed-radix counting.
     let mut out = Vec::new();
@@ -146,7 +161,10 @@ pub fn overlapping_body_candidates(n: u16, theta: usize) -> Vec<Query> {
             .map(|(g, &i)| VarId((g * per + i) as u16))
             .collect();
         let b_theta = VarSet::full(n).difference(&omitted);
-        let mut exprs: Vec<Expr> = fixed.iter().map(|b| Expr::universal(b.clone(), h)).collect();
+        let mut exprs: Vec<Expr> = fixed
+            .iter()
+            .map(|b| Expr::universal(b.clone(), h))
+            .collect();
         exprs.push(Expr::universal(b_theta, h));
         out.push(Query::new(n + 1, exprs).expect("valid"));
         // Advance.

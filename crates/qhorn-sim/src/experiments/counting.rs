@@ -13,7 +13,14 @@ use qhorn_core::query::generate::{
 pub fn counting_table(max_n: u16) -> Table {
     let mut table = Table::new(
         "E2 (§2, §2.1.3): tuples 2^n, objects 2^(2^n), |qhorn-1/≡| ≥ Bell(n)",
-        &["n", "tuples 2^n", "objects 2^(2^n)", "Bell(n)", "|qhorn-1/≡|", "|role-preserving/≡|"],
+        &[
+            "n",
+            "tuples 2^n",
+            "objects 2^(2^n)",
+            "Bell(n)",
+            "|qhorn-1/≡|",
+            "|role-preserving/≡|",
+        ],
     );
     let bells = bell_numbers(max_n as usize);
     for n in 1..=max_n {
@@ -23,7 +30,11 @@ pub fn counting_table(max_n: u16) -> Table {
         } else {
             format!("2^{}", 1u64 << n)
         };
-        let qhorn1 = if n <= 5 { enumerate_qhorn1(n).len().to_string() } else { "—".into() };
+        let qhorn1 = if n <= 5 {
+            enumerate_qhorn1(n).len().to_string()
+        } else {
+            "—".into()
+        };
         let rp = if n <= 3 {
             enumerate_role_preserving(n, true).len().to_string()
         } else {

@@ -16,7 +16,12 @@ use qhorn_core::VarId;
 pub fn alias_lower_bound(ns: &[u16]) -> Table {
     let mut table = Table::new(
         "E3 (Thm 2.1): the Uni∧Alias adversary forces Ω(2^n) questions",
-        &["n", "family size 2^n", "questions to identify", "questions/2^n"],
+        &[
+            "n",
+            "family size 2^n",
+            "questions to identify",
+            "questions/2^n",
+        ],
     );
     for &n in ns {
         let (questions, family) = play_alias_game(n);
@@ -65,7 +70,11 @@ pub fn constant_width_lower_bound(n: u16, cs: &[usize]) -> Table {
     table.push([
         n.to_string(),
         "unrestricted".to_string(),
-        format!("{} (matrix: {})", outcome.stats().questions, outcome.stats().phase(Phase::MatrixQuestions)),
+        format!(
+            "{} (matrix: {})",
+            outcome.stats().questions,
+            outcome.stats().phase(Phase::MatrixQuestions)
+        ),
         "—".to_string(),
         "—".to_string(),
     ]);
@@ -79,7 +88,14 @@ pub fn constant_width_lower_bound(n: u16, cs: &[usize]) -> Table {
 pub fn body_lower_bound(n: u16, thetas: &[usize]) -> Table {
     let mut table = Table::new(
         "E7 (Thm 3.6): overlapping bodies force Ω((n/θ)^(θ−1)) questions",
-        &["n (body vars)", "θ", "family size", "(n/θ)^(θ−1)", "learner questions", "exact?"],
+        &[
+            "n (body vars)",
+            "θ",
+            "family size",
+            "(n/θ)^(θ−1)",
+            "learner questions",
+            "exact?",
+        ],
     );
     for &theta in thetas {
         if !(n as usize).is_multiple_of(theta - 1) {
@@ -88,13 +104,12 @@ pub fn body_lower_bound(n: u16, thetas: &[usize]) -> Table {
         let family = overlapping_body_candidates(n, theta);
         let family_size = family.len();
         let mut adversary = CandidateAdversary::new(family);
-        let outcome =
-            learn_role_preserving(n + 1, &mut adversary, &LearnOptions::default())
-                .expect("adversary is always consistent with a survivor");
+        let outcome = learn_role_preserving(n + 1, &mut adversary, &LearnOptions::default())
+            .expect("adversary is always consistent with a survivor");
         // The learner must have cornered the adversary into one candidate
         // and identified it.
-        let exact = adversary.remaining() >= 1
-            && equivalent(outcome.query(), adversary.any_survivor());
+        let exact =
+            adversary.remaining() >= 1 && equivalent(outcome.query(), adversary.any_survivor());
         let paper_bound = (f64::from(n) / theta as f64).powi(theta as i32 - 1);
         table.push([
             n.to_string(),
@@ -117,7 +132,10 @@ mod tests {
         let t = alias_lower_bound(&[2, 3, 4, 5]);
         let q: Vec<usize> = t.rows.iter().map(|r| r[2].parse().unwrap()).collect();
         for w in q.windows(2) {
-            assert!(w[1] >= 2 * w[0] - 2, "question counts must roughly double: {q:?}");
+            assert!(
+                w[1] >= 2 * w[0] - 2,
+                "question counts must roughly double: {q:?}"
+            );
         }
     }
 
@@ -126,7 +144,10 @@ mod tests {
         let t = constant_width_lower_bound(16, &[2, 4]);
         let q2: usize = t.rows[0][2].parse().unwrap();
         let q4: usize = t.rows[1][2].parse().unwrap();
-        assert!(q2 > 2 * q4, "width 2 ({q2}) should far exceed width 4 ({q4})");
+        assert!(
+            q2 > 2 * q4,
+            "width 2 ({q2}) should far exceed width 4 ({q4})"
+        );
         assert!(t.rows[2][1] == "unrestricted");
     }
 

@@ -22,7 +22,14 @@ use rand::{Rng, SeedableRng};
 pub fn noise_hardening(n: u16, flip_ps: &[f64], rs: &[usize], trials: usize, seed: u64) -> Table {
     let mut table = Table::new(
         "E-NOISE (§5): exact learning under mislabeling, with 2r+1 majority amplification",
-        &["n", "flip p", "r", "per-question fail", "exact rate", "mean presentations"],
+        &[
+            "n",
+            "flip p",
+            "r",
+            "per-question fail",
+            "exact rate",
+            "mean presentations",
+        ],
     );
     let mut rng = SmallRng::seed_from_u64(seed);
     for &p in flip_ps {
@@ -31,8 +38,7 @@ pub fn noise_hardening(n: u16, flip_ps: &[f64], rs: &[usize], trials: usize, see
             let mut presentations = 0usize;
             for _ in 0..trials {
                 let target = random_qhorn1(n, &mut rng);
-                let noisy =
-                    NoisyUser::new(QueryOracle::new(target.clone()), p, rng.gen());
+                let noisy = NoisyUser::new(QueryOracle::new(target.clone()), p, rng.gen());
                 let mut hardened = MajorityOracle::new(noisy, r);
                 // A flipped answer can violate the learner's class
                 // invariants; any completed run is checked for exactness.
@@ -74,8 +80,14 @@ mod tests {
         };
         let raw = parse_rate(&t.rows[0][4]);
         let hardened = parse_rate(&t.rows[1][4]);
-        assert!(hardened >= raw, "amplification must not hurt: {raw} vs {hardened}");
-        assert!(hardened >= 0.9, "r=4 at p=0.08 should almost always succeed: {hardened}");
+        assert!(
+            hardened >= raw,
+            "amplification must not hurt: {raw} vs {hardened}"
+        );
+        assert!(
+            hardened >= 0.9,
+            "r=4 at p=0.08 should almost always succeed: {hardened}"
+        );
     }
 
     #[test]

@@ -29,13 +29,24 @@ fn uniform_error(h: &qhorn_core::Query, target: &qhorn_core::Query) -> f64 {
 pub fn pac_curve(epsilons: &[f64], trials: usize, seed: u64) -> Table {
     let mut table = Table::new(
         "E-PAC (§6): version-space PAC learner — measured error ≤ requested ε",
-        &["n", "ε", "δ", "sample bound", "mean samples", "mean error", "max error"],
+        &[
+            "n",
+            "ε",
+            "δ",
+            "sample bound",
+            "mean samples",
+            "mean error",
+            "max error",
+        ],
     );
     let n = 2u16;
     let class = enumerate_role_preserving(n, true);
     let mut rng = SmallRng::seed_from_u64(seed);
     for &epsilon in epsilons {
-        let params = PacParams { epsilon, delta: 0.1 };
+        let params = PacParams {
+            epsilon,
+            delta: 0.1,
+        };
         let bound = sample_bound(class.len(), &params);
         let mut used = 0usize;
         let mut err_sum = 0.0f64;
@@ -79,6 +90,9 @@ mod tests {
         let tight_bound: usize = t.rows[1][3].parse().unwrap();
         assert!(tight_bound > loose_bound);
         let tight_err: f64 = t.rows[1][5].parse().unwrap();
-        assert!(tight_err <= 0.2, "tight ε should give low measured error: {tight_err}");
+        assert!(
+            tight_err <= 0.2,
+            "tight ε should give low measured error: {tight_err}"
+        );
     }
 }

@@ -33,7 +33,14 @@ fn perturb<R: Rng>(q: &Query, drops: usize, rng: &mut R) -> Query {
 pub fn revision_curve(n: u16, drops: &[usize], trials: usize, seed: u64) -> Table {
     let mut table = Table::new(
         "E-REV (§6): revision cost vs lattice distance (verify-then-relearn baseline)",
-        &["n", "drops", "mean distance", "mean verify q", "mean relearn q", "exact"],
+        &[
+            "n",
+            "drops",
+            "mean distance",
+            "mean verify q",
+            "mean relearn q",
+            "exact",
+        ],
     );
     let mut rng = SmallRng::seed_from_u64(seed);
     let params = RolePreservingParams::default();
@@ -47,8 +54,8 @@ pub fn revision_curve(n: u16, drops: &[usize], trials: usize, seed: u64) -> Tabl
             let given = perturb(&intent, drops, &mut rng);
             dist += distance(&given, &intent);
             let mut user = CountingOracle::new(QueryOracle::new(intent.clone()));
-            let out = revise(&given, &mut user, &LearnOptions::default())
-                .expect("role-preserving given");
+            let out =
+                revise(&given, &mut user, &LearnOptions::default()).expect("role-preserving given");
             verify_q += out.verification_questions;
             relearn_q += out.learning_questions;
             if equivalent(&out.query, &intent) {

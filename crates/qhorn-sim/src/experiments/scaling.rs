@@ -23,7 +23,16 @@ use rand::SeedableRng;
 pub fn qhorn1_scaling(ns: &[u16], trials: usize, seed: u64) -> Table {
     let mut table = Table::new(
         "E4 (Thm 3.1): qhorn-1 learning uses O(n lg n) membership questions",
-        &["n", "trials", "mean q", "max q", "q/(n lg n)", "classify", "bodies", "existential"],
+        &[
+            "n",
+            "trials",
+            "mean q",
+            "max q",
+            "q/(n lg n)",
+            "classify",
+            "bodies",
+            "existential",
+        ],
     );
     let mut rng = SmallRng::seed_from_u64(seed);
     for &n in ns {
@@ -46,8 +55,7 @@ pub fn qhorn1_scaling(ns: &[u16], trials: usize, seed: u64) -> Table {
             max = max.max(s.questions);
             classify += s.phase(Phase::ClassifyHeads);
             bodies += s.phase(Phase::UniversalBodies);
-            existential +=
-                s.phase(Phase::ExistentialDependence) + s.phase(Phase::MatrixQuestions);
+            existential += s.phase(Phase::ExistentialDependence) + s.phase(Phase::MatrixQuestions);
         }
         let mean = total as f64 / trials as f64;
         let nlgn = f64::from(n) * f64::from(n).log2().max(1.0);
@@ -121,7 +129,14 @@ pub fn universal_scaling(ns: &[u16], thetas: &[usize]) -> Table {
 pub fn existential_scaling(ns: &[u16], ks: &[usize], trials: usize, seed: u64) -> Table {
     let mut table = Table::new(
         "E8/E9 (Thms 3.8, 3.9): k conjunctions cost O(k·n lg n) questions (floor nk/2 − k lg k)",
-        &["n", "k", "mean lattice q", "q/(k n lg n)", "info floor", "floor/measured"],
+        &[
+            "n",
+            "k",
+            "mean lattice q",
+            "q/(k n lg n)",
+            "info floor",
+            "floor/measured",
+        ],
     );
     let mut rng = SmallRng::seed_from_u64(seed);
     for &n in ns {
@@ -141,9 +156,8 @@ pub fn existential_scaling(ns: &[u16], ks: &[usize], trials: usize, seed: u64) -
             for _ in 0..trials {
                 let target = random_role_preserving(n, &params, &mut rng);
                 let mut oracle = QueryOracle::new(target.clone());
-                let outcome =
-                    learn_role_preserving(n, &mut oracle, &LearnOptions::default())
-                        .expect("consistent oracle");
+                let outcome = learn_role_preserving(n, &mut oracle, &LearnOptions::default())
+                    .expect("consistent oracle");
                 assert!(equivalent(outcome.query(), &target));
                 total += outcome.stats().phase(Phase::ExistentialLattice);
                 realized_k += target.normal_form().existentials().len();
@@ -175,7 +189,11 @@ mod tests {
         assert_eq!(t.rows.len(), 3);
         for row in &t.rows {
             let ratio: f64 = row[4].parse().unwrap();
-            assert!(ratio < 8.0, "n={} ratio {ratio} too large for O(n lg n)", row[0]);
+            assert!(
+                ratio < 8.0,
+                "n={} ratio {ratio} too large for O(n lg n)",
+                row[0]
+            );
         }
         // The ratio must not grow with n (within slack ×2).
         let first: f64 = t.rows[0][4].parse().unwrap();
@@ -199,7 +217,10 @@ mod tests {
             let norm: f64 = row[3].parse().unwrap();
             assert!(norm < 8.0, "above the O(k n lg n) envelope: {row:?}");
             let floor_ratio: f64 = row[5].parse().unwrap();
-            assert!(floor_ratio < 8.0, "measured below the information floor: {row:?}");
+            assert!(
+                floor_ratio < 8.0,
+                "measured below the information floor: {row:?}"
+            );
         }
     }
 }

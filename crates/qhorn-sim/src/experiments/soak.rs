@@ -17,7 +17,15 @@ use rand::SeedableRng;
 pub fn soak(ns: &[u16], trials: usize, seed: u64) -> Table {
     let mut table = Table::new(
         "E16: end-to-end exact learning + verification across random targets",
-        &["class", "n", "trials", "exact", "mean learn q", "verified", "perturbed refuted"],
+        &[
+            "class",
+            "n",
+            "trials",
+            "exact",
+            "mean learn q",
+            "verified",
+            "perturbed refuted",
+        ],
     );
     let mut rng = SmallRng::seed_from_u64(seed);
     for &n in ns {
@@ -29,14 +37,17 @@ pub fn soak(ns: &[u16], trials: usize, seed: u64) -> Table {
         for _ in 0..trials {
             let target = random_qhorn1(n, &mut rng);
             let mut oracle = CountingOracle::new(QueryOracle::new(target.clone()));
-            let outcome = learn_qhorn1(n, &mut oracle, &LearnOptions::default())
-                .expect("consistent oracle");
+            let outcome =
+                learn_qhorn1(n, &mut oracle, &LearnOptions::default()).expect("consistent oracle");
             assert!(equivalent(outcome.query(), &target), "mislearned {target}");
             exact += 1;
             questions += oracle.stats().questions;
             // Verify the learned query against the same user…
             let set = VerificationSet::build(outcome.query()).expect("learned is in class");
-            if set.verify(&mut QueryOracle::new(target.clone())).is_verified() {
+            if set
+                .verify(&mut QueryOracle::new(target.clone()))
+                .is_verified()
+            {
                 verified += 1;
             }
             // …and check a perturbed target is refuted.
@@ -79,7 +90,10 @@ pub fn soak(ns: &[u16], trials: usize, seed: u64) -> Table {
             exact += 1;
             questions += oracle.stats().questions;
             let set = VerificationSet::build(outcome.query()).expect("in class");
-            if set.verify(&mut QueryOracle::new(target.clone())).is_verified() {
+            if set
+                .verify(&mut QueryOracle::new(target.clone()))
+                .is_verified()
+            {
                 verified += 1;
             }
         }

@@ -28,10 +28,7 @@ use qhorn_core::{Obj, Query};
 /// intended for n ≤ 2 exact, greedy upper bound otherwise.
 #[must_use]
 pub fn minimum_teaching_set(q: &Query, class: &[Query]) -> Vec<Obj> {
-    let others: Vec<&Query> = class
-        .iter()
-        .filter(|other| !equivalent(other, q))
-        .collect();
+    let others: Vec<&Query> = class.iter().filter(|other| !equivalent(other, q)).collect();
     if others.is_empty() {
         return Vec::new();
     }
@@ -43,7 +40,10 @@ pub fn minimum_teaching_set(q: &Query, class: &[Query]) -> Vec<Obj> {
         .map(|(i, obj)| {
             (
                 i,
-                others.iter().map(|o| o.accepts(obj) != q.accepts(obj)).collect::<Vec<bool>>(),
+                others
+                    .iter()
+                    .map(|o| o.accepts(obj) != q.accepts(obj))
+                    .collect::<Vec<bool>>(),
             )
         })
         .filter(|(_, elim)| elim.iter().any(|&b| b))
@@ -51,8 +51,7 @@ pub fn minimum_teaching_set(q: &Query, class: &[Query]) -> Vec<Obj> {
     // Exact minimum hitting set by breadth-first subset size (the number
     // of "others" is tiny for n ≤ 2; greedy fallback bounds larger cases).
     for size in 1..=others.len().min(6) {
-        if let Some(sol) = search_hitting_set(&eliminates, others.len(), size, 0, &mut Vec::new())
-        {
+        if let Some(sol) = search_hitting_set(&eliminates, others.len(), size, 0, &mut Vec::new()) {
             return sol.into_iter().map(|i| universe[i].clone()).collect();
         }
     }
@@ -63,7 +62,10 @@ pub fn minimum_teaching_set(q: &Query, class: &[Query]) -> Vec<Obj> {
         let best = eliminates
             .iter()
             .max_by_key(|(_, elim)| {
-                elim.iter().zip(&covered).filter(|(e, c)| **e && !**c).count()
+                elim.iter()
+                    .zip(&covered)
+                    .filter(|(e, c)| **e && !**c)
+                    .count()
             })
             .expect("every other is eliminated by some object");
         for (e, c) in best.1.iter().zip(covered.iter_mut()) {
@@ -88,9 +90,10 @@ fn search_hitting_set(
                 covered[t] |= hit;
             }
         }
-        return covered.iter().all(|&c| c).then(|| {
-            chosen.iter().map(|&c| eliminates[c].0).collect()
-        });
+        return covered
+            .iter()
+            .all(|&c| c)
+            .then(|| chosen.iter().map(|&c| eliminates[c].0).collect());
     }
     for i in from..eliminates.len() {
         chosen.push(i);
@@ -110,7 +113,13 @@ pub fn teaching_vs_verification(n: u16) -> Table {
     let class = enumerate_role_preserving(n, true);
     let mut table = Table::new(
         "E-TEACH (§5 related work): minimum teaching sets vs Fig. 6 verification sets",
-        &["query", "min teaching set", "|teach|", "|verify|", "verification teaches?"],
+        &[
+            "query",
+            "min teaching set",
+            "|teach|",
+            "|verify|",
+            "verification teaches?",
+        ],
     );
     for q in &class {
         let teach = minimum_teaching_set(q, &class);
@@ -166,8 +175,14 @@ mod tests {
             assert_eq!(row[4], "true", "verification must teach: {row:?}");
             let teach: usize = row[2].parse().unwrap();
             let verify: usize = row[3].parse().unwrap();
-            assert!(verify >= teach, "verification can't beat the optimum: {row:?}");
-            assert!(verify <= teach + 4, "Fig. 6 stays near the optimum: {row:?}");
+            assert!(
+                verify >= teach,
+                "verification can't beat the optimum: {row:?}"
+            );
+            assert!(
+                verify <= teach + 4,
+                "Fig. 6 stays near the optimum: {row:?}"
+            );
         }
     }
 }

@@ -23,7 +23,20 @@ use rand::SeedableRng;
 pub fn verification_scaling(ns: &[u16], trials: usize, seed: u64) -> Table {
     let mut table = Table::new(
         "E12/E15 (Fig. 6, §4): verification uses O(k) questions vs O(n^θ+1 + kn lg n) to learn",
-        &["n", "k (dominant)", "θ", "A1", "N1", "A2", "N2", "A3", "A4", "verify q", "q/k", "learn q"],
+        &[
+            "n",
+            "k (dominant)",
+            "θ",
+            "A1",
+            "N1",
+            "A2",
+            "N2",
+            "A3",
+            "A4",
+            "verify q",
+            "q/k",
+            "learn q",
+        ],
     );
     let mut rng = SmallRng::seed_from_u64(seed);
     for &n in ns {
@@ -112,8 +125,7 @@ pub fn two_variable_detection_matrix() -> Table {
                 !discrepancies.is_empty(),
                 "Thm 4.2 violated: {given} vs {intended}"
             );
-            let mut kinds: Vec<String> =
-                discrepancies.iter().map(|d| d.kind.to_string()).collect();
+            let mut kinds: Vec<String> = discrepancies.iter().map(|d| d.kind.to_string()).collect();
             kinds.dedup();
             table.push([
                 given.to_string(),
@@ -145,9 +157,11 @@ mod tests {
     #[test]
     fn fig7_table_covers_every_query_and_kind_a1() {
         let t = two_variable_sets();
-        let queries: std::collections::BTreeSet<&String> =
-            t.rows.iter().map(|r| &r[0]).collect();
-        assert!(queries.len() >= 7, "Fig. 7 has at least the 7 qhorn-1 classes");
+        let queries: std::collections::BTreeSet<&String> = t.rows.iter().map(|r| &r[0]).collect();
+        assert!(
+            queries.len() >= 7,
+            "Fig. 7 has at least the 7 qhorn-1 classes"
+        );
         // Every query has an A4 question.
         for q in queries {
             assert!(

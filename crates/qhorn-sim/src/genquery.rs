@@ -22,7 +22,7 @@ pub fn random_qhorn1<R: Rng>(n: u16, rng: &mut R) -> Query {
     while i < vars.len() {
         let remaining = vars.len() - i;
         // Geometric-ish part sizes, capped by what's left.
-        let size = (1 + rng.gen_range(0..=2) + rng.gen_range(0..=2)).min(remaining);
+        let size = (1 + rng.gen_range(0..=2usize) + rng.gen_range(0..=2usize)).min(remaining);
         let part: Vec<VarId> = vars[i..i + size].to_vec();
         i += size;
         if size == 1 {
@@ -89,13 +89,12 @@ impl Default for RolePreservingParams {
 /// # Panics
 /// Panics if `params.heads >= n` (some non-head variables are required
 /// when any head has a body).
-pub fn random_role_preserving<R: Rng>(
-    n: u16,
-    params: &RolePreservingParams,
-    rng: &mut R,
-) -> Query {
+pub fn random_role_preserving<R: Rng>(n: u16, params: &RolePreservingParams, rng: &mut R) -> Query {
     assert!(n >= 1);
-    assert!(params.heads < n as usize || params.heads == 0, "need non-head variables");
+    assert!(
+        params.heads < n as usize || params.heads == 0,
+        "need non-head variables"
+    );
     let mut vars: Vec<VarId> = (0..n).map(VarId).collect();
     vars.shuffle(rng);
     let (head_slice, non_head_slice) = vars.split_at(params.heads.min(vars.len()));
@@ -124,13 +123,19 @@ pub fn random_role_preserving<R: Rng>(
         exprs.push(Expr::conj(random_subset(&all, params.conj_size, rng)));
     }
     // Completeness: sweep unmentioned variables into one extra conjunction.
-    let mentioned: VarSet = exprs.iter().flat_map(|e| e.participating_vars().to_vec()).collect();
+    let mentioned: VarSet = exprs
+        .iter()
+        .flat_map(|e| e.participating_vars().to_vec())
+        .collect();
     let missing = VarSet::full(n).difference(&mentioned);
     if !missing.is_empty() {
         exprs.push(Expr::conj(missing));
     }
     let q = Query::new(n, exprs).expect("generated expressions are valid");
-    debug_assert!(classes::is_role_preserving(&q), "generator must be role-preserving: {q}");
+    debug_assert!(
+        classes::is_role_preserving(&q),
+        "generator must be role-preserving: {q}"
+    );
     debug_assert!(q.is_complete());
     q
 }
@@ -168,7 +173,11 @@ mod tests {
     #[test]
     fn role_preserving_generator_respects_theta() {
         let mut rng = SmallRng::seed_from_u64(13);
-        let params = RolePreservingParams { heads: 2, theta: 3, ..Default::default() };
+        let params = RolePreservingParams {
+            heads: 2,
+            theta: 3,
+            ..Default::default()
+        };
         for _ in 0..50 {
             let q = random_role_preserving(10, &params, &mut rng);
             assert!(classes::is_role_preserving(&q), "{q}");
@@ -191,7 +200,10 @@ mod tests {
     #[test]
     fn zero_heads_gives_pure_existential_queries() {
         let mut rng = SmallRng::seed_from_u64(3);
-        let params = RolePreservingParams { heads: 0, ..Default::default() };
+        let params = RolePreservingParams {
+            heads: 0,
+            ..Default::default()
+        };
         let q = random_role_preserving(6, &params, &mut rng);
         assert!(q.universal_heads().is_empty());
         assert!(q.is_complete());

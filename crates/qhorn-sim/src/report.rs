@@ -4,7 +4,7 @@ use std::fmt;
 
 /// A titled table of string cells, renderable as aligned plain text and as
 /// JSON lines (one object per row).
-#[derive(Clone, Debug, serde::Serialize)]
+#[derive(Clone, Debug)]
 pub struct Table {
     /// Table title (experiment id + claim).
     pub title: String,
@@ -41,13 +41,13 @@ impl Table {
         self.rows
             .iter()
             .map(|row| {
-                let map: serde_json::Map<String, serde_json::Value> = self
-                    .headers
-                    .iter()
-                    .zip(row)
-                    .map(|(h, c)| (h.clone(), serde_json::Value::String(c.clone())))
-                    .collect();
-                serde_json::Value::Object(map).to_string()
+                qhorn_json::Json::object(
+                    self.headers
+                        .iter()
+                        .zip(row)
+                        .map(|(h, c)| (h.clone(), qhorn_json::Json::Str(c.clone()))),
+                )
+                .to_string()
             })
             .collect::<Vec<_>>()
             .join("\n")

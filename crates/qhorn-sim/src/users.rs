@@ -26,7 +26,13 @@ impl<O: MembershipOracle> NoisyUser<O> {
     #[must_use]
     pub fn new(inner: O, p: f64, seed: u64) -> Self {
         assert!((0.0..=1.0).contains(&p));
-        NoisyUser { inner, p, rng: SmallRng::seed_from_u64(seed), flips: Vec::new(), asked: 0 }
+        NoisyUser {
+            inner,
+            p,
+            rng: SmallRng::seed_from_u64(seed),
+            flips: Vec::new(),
+            asked: 0,
+        }
     }
 
     /// Indices (0-based question numbers) of the flipped responses.

@@ -74,8 +74,17 @@ fn main() {
                 };
                 println!(
                     "example box #{shown} ({}): {:?} -> {response}",
-                    if example.is_stored() { "from inventory" } else { "synthesized" },
-                    example.object().tuples.iter().map(origin_of).collect::<Vec<_>>(),
+                    if example.is_stored() {
+                        "from inventory"
+                    } else {
+                        "synthesized"
+                    },
+                    example
+                        .object()
+                        .tuples
+                        .iter()
+                        .map(origin_of)
+                        .collect::<Vec<_>>(),
                 );
             }
             shown += 1;

@@ -43,11 +43,8 @@ fn describe(example: &RealizedQuestion) -> String {
 
 fn main() {
     let simulate = std::env::args().any(|a| a == "--simulate") || !is_tty();
-    let store = DataStore::from_relation(
-        chocolates::assorted_boxes(40),
-        chocolates::booleanizer(),
-    )
-    .unwrap();
+    let store = DataStore::from_relation(chocolates::assorted_boxes(40), chocolates::booleanizer())
+        .unwrap();
     let mut session = Session::new(&store, chocolates::hints());
 
     println!("Propositions: x1 = isDark, x2 = hasFilling, x3 = origin = Madagascar");

@@ -14,7 +14,10 @@ fn main() {
     // some tuple has x4" — plus the implicit guarantee clauses.
     let target = parse("all x1 x2 -> x3; some x4").unwrap();
     println!("hidden intent : {target}");
-    println!("ascii form    : {}", qhorn::lang::printer::to_ascii(&target));
+    println!(
+        "ascii form    : {}",
+        qhorn::lang::printer::to_ascii(&target)
+    );
     println!();
 
     // A simulated user labels membership questions according to the
@@ -44,12 +47,23 @@ fn main() {
     let set = VerificationSet::build(outcome.query()).unwrap();
     println!("verification set ({} questions):", set.len());
     for item in set.questions() {
-        println!("  [{}] {:<28} expected: {}", item.kind, item.question.to_string(), item.expected);
+        println!(
+            "  [{}] {:<28} expected: {}",
+            item.kind,
+            item.question.to_string(),
+            item.expected
+        );
     }
     let verdict = set.verify(&mut QueryOracle::new(target.clone()));
-    println!("user with the same intent  : verified = {}", verdict.is_verified());
+    println!(
+        "user with the same intent  : verified = {}",
+        verdict.is_verified()
+    );
 
     let other = parse_with_arity("all x1 -> x3; some x4", 4).unwrap();
     let verdict = set.verify(&mut QueryOracle::new(other));
-    println!("user with a different intent: verified = {}", verdict.is_verified());
+    println!(
+        "user with a different intent: verified = {}",
+        verdict.is_verified()
+    );
 }

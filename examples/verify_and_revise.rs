@@ -16,19 +16,27 @@ use qhorn::core::verify::VerificationSet;
 use qhorn::prelude::*;
 
 fn main() {
-    let given =
-        parse("∀x1x4→x5 ∀x3x4→x5 ∀x1x2→x6 ∃x1x2x3 ∃x2x3x4 ∃x1x2x5 ∃x2x3x5x6").unwrap();
+    let given = parse("∀x1x4→x5 ∀x3x4→x5 ∀x1x2→x6 ∃x1x2x3 ∃x2x3x4 ∃x1x2x5 ∃x2x3x5x6").unwrap();
     println!("given query: {given}");
     let nf = given.normal_form();
     println!("normalized : {nf}");
-    println!("size k = {}, causal density θ = {}", given.size(), nf.causal_density());
+    println!(
+        "size k = {}, causal density θ = {}",
+        given.size(),
+        nf.causal_density()
+    );
     println!();
 
     // --- The verification set (reproduces §4.2). -------------------------
     let set = VerificationSet::build(&given).unwrap();
     println!("verification set: {} membership questions", set.len());
     for item in set.questions() {
-        println!("  [{}] expected {:<10} — {}", item.kind, item.expected.to_string(), item.about);
+        println!(
+            "  [{}] expected {:<10} — {}",
+            item.kind,
+            item.expected.to_string(),
+            item.about
+        );
         println!("       {}", item.question);
     }
     println!();
@@ -41,20 +49,25 @@ fn main() {
     );
 
     // --- Case 2: the user's intent differs (one conjunction missing). ---
-    let intent = parse_with_arity("∀x1x4→x5 ∀x3x4→x5 ∀x1x2→x6 ∃x1x2x3 ∃x2x3x4 ∃x1x2x5", 6)
-        .unwrap();
+    let intent = parse_with_arity("∀x1x4→x5 ∀x3x4→x5 ∀x1x2→x6 ∃x1x2x3 ∃x2x3x4 ∃x1x2x5", 6).unwrap();
     println!(
         "lattice distance(given, real) = {}",
         distance(&given, &intent)
     );
     match set.verify(&mut QueryOracle::new(intent.clone())) {
-        qhorn::core::verify::VerificationOutcome::Refuted { questions, discrepancy } => {
+        qhorn::core::verify::VerificationOutcome::Refuted {
+            questions,
+            discrepancy,
+        } => {
             println!(
                 "user intends something else   → refuted after {questions} questions by [{}]",
                 discrepancy.kind
             );
             println!("  question : {}", discrepancy.question);
-            println!("  expected {} but the user said {}", discrepancy.expected, discrepancy.got);
+            println!(
+                "  expected {} but the user said {}",
+                discrepancy.expected, discrepancy.got
+            );
         }
         qhorn::core::verify::VerificationOutcome::Verified { .. } => unreachable!(),
     }
@@ -69,5 +82,8 @@ fn main() {
     );
     println!("revised query: {}", revision.query);
     assert!(equivalent(&revision.query, &intent));
-    println!("revised ≡ intent: yes (total user questions: {})", user.stats().questions);
+    println!(
+        "revised ≡ intent: yes (total user questions: {})",
+        user.stats().questions
+    );
 }

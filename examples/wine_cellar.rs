@@ -11,11 +11,11 @@
 
 use qhorn::core::learn::LearnOptions;
 use qhorn::core::query::equiv::equivalent;
+use qhorn::engine::exec;
 use qhorn::engine::explain::{explain, Verdict};
 use qhorn::engine::plan::CompiledQuery;
 use qhorn::engine::session::Session;
 use qhorn::engine::storage::DataStore;
-use qhorn::engine::exec;
 use qhorn::relation::datasets::cellars;
 use qhorn::relation::value::Value;
 
@@ -43,12 +43,16 @@ fn main() {
     let mut shown = 0usize;
     let outcome = session
         .learn_qhorn1(&LearnOptions::default(), |example| {
-            let response = intent_for_user
-                .eval(&judge.booleanize_object(example.object()).unwrap());
+            let response =
+                intent_for_user.eval(&judge.booleanize_object(example.object()).unwrap());
             if shown < 2 {
                 println!(
                     "example ({}):",
-                    if example.is_stored() { "stored" } else { "synthesized" }
+                    if example.is_stored() {
+                        "stored"
+                    } else {
+                        "synthesized"
+                    }
                 );
                 for t in &example.object().tuples {
                     println!("    {t}");
@@ -59,7 +63,11 @@ fn main() {
             response
         })
         .unwrap();
-    println!("learned: {}  ({} questions)", outcome.query(), outcome.stats().questions);
+    println!(
+        "learned: {}  ({} questions)",
+        outcome.query(),
+        outcome.stats().questions
+    );
     assert!(equivalent(outcome.query(), &intent));
 
     // Execute + explain.

@@ -11,15 +11,17 @@
 //! clauses) two subclasses can be *learned exactly* from a handful of
 //! labeled example objects, and *verified* with O(k) examples.
 //!
-//! This workspace facade re-exports the five crates:
+//! This workspace facade re-exports the workspace crates:
 //!
 //! | module | crate | contents |
 //! |--------|-------|----------|
 //! | [`core`] | `qhorn-core` | queries, semantics, normalization, learners (Thms 3.1, 3.5, 3.8), verifier (Fig. 6), oracles |
 //! | [`relation`] | `qhorn-relation` | nested relations, propositions, interference, Boolean bridge + example synthesis |
 //! | [`lang`] | `qhorn-lang` | parser/printers for the `∀x1x2 → x3 ∃x5` shorthand |
-//! | [`engine`] | `qhorn-engine` | compiled plans, columnar evaluation, stores, interactive sessions |
+//! | [`engine`] | `qhorn-engine` | compiled plans, columnar evaluation, stores, interactive sessions, persistence |
 //! | [`sim`] | `qhorn-sim` | random targets, noisy users, lower-bound adversaries, experiment drivers |
+//! | [`service`] | `qhorn-service` | concurrent multi-session learning server: registry, JSON-lines protocol, TCP front end, parallel batch |
+//! | [`json`] | `qhorn-json` | dependency-free JSON model + conversion traits (the wire format) |
 //!
 //! ## Quickstart
 //!
@@ -45,15 +47,15 @@
 
 pub use qhorn_core as core;
 pub use qhorn_engine as engine;
+pub use qhorn_json as json;
 pub use qhorn_lang as lang;
 pub use qhorn_relation as relation;
+pub use qhorn_service as service;
 pub use qhorn_sim as sim;
 
 /// The most common imports in one place.
 pub mod prelude {
-    pub use qhorn_core::learn::{
-        learn_qhorn1, learn_role_preserving, LearnOptions, LearnOutcome,
-    };
+    pub use qhorn_core::learn::{learn_qhorn1, learn_role_preserving, LearnOptions, LearnOutcome};
     pub use qhorn_core::oracle::{CountingOracle, MembershipOracle, QueryOracle};
     pub use qhorn_core::query::equiv::equivalent;
     pub use qhorn_core::verify::VerificationSet;

@@ -5,13 +5,13 @@ use qhorn::core::learn::{learn_qhorn1, learn_role_preserving, LearnOptions};
 use qhorn::core::oracle::{CountingOracle, QueryOracle};
 use qhorn::core::query::equiv::equivalent;
 use qhorn::core::verify::VerificationSet;
+use qhorn::core::Obj;
 use qhorn::engine::exec;
 use qhorn::engine::plan::CompiledQuery;
 use qhorn::engine::session::Session;
 use qhorn::engine::storage::{DataStore, Store};
 use qhorn::lang::{parse, parse_with_arity, printer};
 use qhorn::relation::datasets::chocolates;
-use qhorn::core::Obj;
 
 #[test]
 fn parse_learn_verify_execute() {
@@ -26,7 +26,9 @@ fn parse_learn_verify_execute() {
 
     // 3. Verify the learned query (same user must agree everywhere).
     let set = VerificationSet::build(outcome.query()).unwrap();
-    assert!(set.verify(&mut QueryOracle::new(target.clone())).is_verified());
+    assert!(set
+        .verify(&mut QueryOracle::new(target.clone()))
+        .is_verified());
 
     // 4. Execute it over a Boolean store; compiled and interpreted
     //    evaluation agree object by object.
@@ -84,14 +86,15 @@ fn data_domain_loop_learns_the_intro_query() {
 
 #[test]
 fn role_preserving_pipeline_on_the_paper_example() {
-    let target =
-        parse("∀x1x4→x5 ∀x3x4→x5 ∀x1x2→x6 ∃x1x2x3 ∃x2x3x4 ∃x1x2x5 ∃x2x3x5x6").unwrap();
+    let target = parse("∀x1x4→x5 ∀x3x4→x5 ∀x1x2→x6 ∃x1x2x3 ∃x2x3x4 ∃x1x2x5 ∃x2x3x5x6").unwrap();
     let mut user = CountingOracle::new(QueryOracle::new(target.clone()));
     let outcome = learn_role_preserving(6, &mut user, &LearnOptions::default()).unwrap();
     assert!(equivalent(outcome.query(), &target));
     // Verification of the learned query against the original intent.
     let set = VerificationSet::build(outcome.query()).unwrap();
-    assert!(set.verify(&mut QueryOracle::new(target.clone())).is_verified());
+    assert!(set
+        .verify(&mut QueryOracle::new(target.clone()))
+        .is_verified());
     // A user who intended something weaker is caught.
     let weaker = parse_with_arity("∀x1x4→x5 ∃x1x2x3", 6).unwrap();
     assert!(!set.verify(&mut QueryOracle::new(weaker)).is_verified());

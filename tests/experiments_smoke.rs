@@ -27,7 +27,11 @@ fn e4_qhorn1_scaling() {
 #[test]
 fn e5_constant_width() {
     let t = lower_bounds::constant_width_lower_bound(12, &[2, 4]);
-    assert_eq!(t.rows.len(), 3, "two widths + the unrestricted reference row");
+    assert_eq!(
+        t.rows.len(),
+        3,
+        "two widths + the unrestricted reference row"
+    );
 }
 
 #[test]
@@ -40,7 +44,10 @@ fn e6_universal_scaling() {
 fn e7_body_lower_bound() {
     let t = lower_bounds::body_lower_bound(6, &[3]);
     assert_eq!(t.rows.len(), 1);
-    assert_eq!(t.rows[0][5], "true", "the learner stays exact against the adversary");
+    assert_eq!(
+        t.rows[0][5], "true",
+        "the learner stays exact against the adversary"
+    );
 }
 
 #[test]
@@ -58,7 +65,10 @@ fn e12_verification_scaling() {
 #[test]
 fn e13_fig7() {
     let t = verification::two_variable_sets();
-    assert!(t.rows.len() > 20, "every query contributes several questions");
+    assert!(
+        t.rows.len() > 20,
+        "every query contributes several questions"
+    );
 }
 
 #[test]

@@ -80,13 +80,16 @@ fn figure_7_and_8_reproduce() {
     assert!(all.len() >= 7, "at least the seven qhorn-1 classes");
     for given in &all {
         let set = VerificationSet::build(given).unwrap();
-        assert!(set.verify(&mut QueryOracle::new(given.clone())).is_verified());
+        assert!(set
+            .verify(&mut QueryOracle::new(given.clone()))
+            .is_verified());
         for intended in &all {
             let should_verify = equivalent(given, intended);
             // Cross-check the equivalence oracle itself by brute force.
             assert_eq!(should_verify, equivalent_brute_force(given, intended));
-            let verified =
-                set.verify(&mut QueryOracle::new(intended.clone())).is_verified();
+            let verified = set
+                .verify(&mut QueryOracle::new(intended.clone()))
+                .is_verified();
             assert_eq!(
                 verified, should_verify,
                 "given {given}, intended {intended}"
@@ -102,7 +105,11 @@ fn theorem_2_1_worst_case_game() {
     for n in [3u16, 5, 7] {
         let (questions, family) = qhorn::sim::adversary::play_alias_game(n);
         assert_eq!(family, 1usize << n);
-        assert!(questions >= family - 1, "n={n}: {questions} < {}", family - 1);
+        assert!(
+            questions >= family - 1,
+            "n={n}: {questions} < {}",
+            family - 1
+        );
     }
 }
 

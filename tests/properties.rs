@@ -25,8 +25,7 @@ fn arb_object(n: u16) -> impl Strategy<Value = Obj> {
         Obj::new(
             n,
             masks.into_iter().map(|m| {
-                let trues: VarSet =
-                    (0..n).filter(|i| m & (1 << i) != 0).map(VarId).collect();
+                let trues: VarSet = (0..n).filter(|i| m & (1 << i) != 0).map(VarId).collect();
                 BoolTuple::from_true_set(n, trues)
             }),
         )

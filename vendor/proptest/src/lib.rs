@@ -1,0 +1,620 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access to a crate registry, so this
+//! vendored crate implements the API subset the qhorn workspace's property
+//! tests use: the [`proptest!`] macro, [`Strategy`] with `prop_map` /
+//! `prop_filter`, range and tuple strategies, `prop::collection::{vec,
+//! btree_set}`, `prop::option::of`, [`any`], [`Just`], [`prop_oneof!`], a
+//! tiny regex-pattern string strategy (`"\\PC{0,60}"` style), and the
+//! `prop_assert*` macros.
+//!
+//! There is **no shrinking**: a failing case reports its inputs via the
+//! panic message only. Case generation is deterministic per test name, so
+//! failures reproduce.
+
+#![forbid(unsafe_code)]
+
+/// Run-configuration for a `proptest!` block.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A failed property (returned early out of the test body by the
+/// `prop_assert*` macros).
+#[derive(Clone, Debug)]
+pub struct TestCaseError(pub String);
+
+impl TestCaseError {
+    /// Builds a failure with a message.
+    #[must_use]
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError(msg.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Deterministic per-test generator (xoshiro256++ seeded from the test
+/// name).
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    /// Seeds from an arbitrary label (the test name).
+    #[must_use]
+    pub fn deterministic(label: &str) -> Self {
+        let mut seed = 0xcbf2_9ce4_8422_2325u64; // FNV-1a
+        for b in label.bytes() {
+            seed ^= u64::from(b);
+            seed = seed.wrapping_mul(0x1000_0000_01b3);
+        }
+        let mut x = seed;
+        let mut next = move || {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        TestRng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform in `0..bound` (`bound > 0`).
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "empty range");
+        self.next_u64() % bound
+    }
+}
+
+/// A value generator. Unlike upstream proptest there is no shrink tree;
+/// `sample` draws one value.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Rejects values failing `pred` (resampling, up to a retry cap).
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(self, why: &'static str, pred: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter {
+            inner: self,
+            why,
+            pred,
+        }
+    }
+}
+
+/// Object-safe strategy view, used by [`Union`] (`prop_oneof!`).
+pub trait DynStrategy<V> {
+    /// Draws one value.
+    fn sample_dyn(&self, rng: &mut TestRng) -> V;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn sample_dyn(&self, rng: &mut TestRng) -> S::Value {
+        self.sample(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn sample(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    why: &'static str,
+    pred: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1000 {
+            let v = self.inner.sample(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!(
+            "prop_filter `{}` rejected 1000 consecutive samples",
+            self.why
+        );
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice between boxed alternatives (`prop_oneof!`).
+pub struct Union<V> {
+    /// The alternatives.
+    pub arms: Vec<Box<dyn DynStrategy<V>>>,
+}
+
+/// Boxes one `prop_oneof!` arm (a function call guides inference better
+/// than an `as` cast would).
+pub fn union_arm<V, S: Strategy<Value = V> + 'static>(s: S) -> Box<dyn DynStrategy<V>> {
+    Box::new(s)
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+    fn sample(&self, rng: &mut TestRng) -> V {
+        assert!(!self.arms.is_empty(), "prop_oneof! needs at least one arm");
+        let i = rng.below(self.arms.len() as u64) as usize;
+        self.arms[i].sample_dyn(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as u128) - (self.start as u128);
+                let v = (rng.next_u64() as u128) % span;
+                (self.start as i128 + v as i128) as $t
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128 + 1) as u128;
+                let v = (rng.next_u64() as u128) % span;
+                (lo as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// String strategies from a pattern. Supports the subset the workspace
+/// uses: `\PC{lo,hi}` (printable non-control chars, length in `lo..=hi`);
+/// any other pattern is treated as a literal string.
+impl Strategy for &str {
+    type Value = String;
+    fn sample(&self, rng: &mut TestRng) -> String {
+        if let Some(rest) = self.strip_prefix("\\PC") {
+            let (lo, hi) = parse_repeat(rest).unwrap_or((0, 16));
+            let len = lo + rng.below((hi - lo + 1) as u64) as usize;
+            return (0..len).map(|_| random_printable(rng)).collect();
+        }
+        (*self).to_string()
+    }
+}
+
+fn parse_repeat(s: &str) -> Option<(usize, usize)> {
+    let body = s.strip_prefix('{')?.strip_suffix('}')?;
+    let (lo, hi) = body.split_once(',')?;
+    Some((lo.trim().parse().ok()?, hi.trim().parse().ok()?))
+}
+
+fn random_printable(rng: &mut TestRng) -> char {
+    // Mostly ASCII printable, occasionally non-ASCII (including the
+    // language's own ∀/∃/→ glyphs to stress parsers).
+    match rng.below(10) {
+        0 => *['∀', '∃', '→', 'é', 'ß', '漢', '😀', '«', '»', '\u{a0}']
+            .get(rng.below(10) as usize)
+            .unwrap_or(&'∀'),
+        _ => char::from_u32(0x20 + rng.below(0x5f) as u32).unwrap_or(' '),
+    }
+}
+
+/// Marker for types `any::<T>()` can generate.
+pub trait ArbitraryValue: Sized {
+    /// Draws one value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl ArbitraryValue for u64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl ArbitraryValue for u32 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl ArbitraryValue for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// See [`any`].
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: ArbitraryValue> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The whole-domain strategy for `T`.
+#[must_use]
+pub fn any<T: ArbitraryValue>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident $idx:tt),+);)*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A 0, B 1);
+    (A 0, B 1, C 2);
+    (A 0, B 1, C 2, D 3);
+}
+
+/// The `prop::` namespace mirrored from upstream.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::{SizeBounds, Strategy, TestRng};
+        use std::collections::BTreeSet;
+
+        /// `Vec` of `len ∈ size` elements.
+        pub fn vec<S: Strategy>(element: S, size: impl SizeBounds) -> VecStrategy<S> {
+            let (lo, hi) = size.bounds();
+            VecStrategy { element, lo, hi }
+        }
+
+        /// See [`vec`].
+        pub struct VecStrategy<S> {
+            element: S,
+            lo: usize,
+            hi: usize,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let len = self.lo + rng.below((self.hi - self.lo + 1) as u64) as usize;
+                (0..len).map(|_| self.element.sample(rng)).collect()
+            }
+        }
+
+        /// `BTreeSet` built from up to `size` draws (duplicates collapse,
+        /// so the set may be smaller, as with upstream's strategy).
+        pub fn btree_set<S: Strategy>(element: S, size: impl SizeBounds) -> BTreeSetStrategy<S>
+        where
+            S::Value: Ord,
+        {
+            let (lo, hi) = size.bounds();
+            BTreeSetStrategy { element, lo, hi }
+        }
+
+        /// See [`btree_set`].
+        pub struct BTreeSetStrategy<S> {
+            element: S,
+            lo: usize,
+            hi: usize,
+        }
+
+        impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+        where
+            S::Value: Ord,
+        {
+            type Value = BTreeSet<S::Value>;
+            fn sample(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+                let len = self.lo + rng.below((self.hi - self.lo + 1) as u64) as usize;
+                (0..len).map(|_| self.element.sample(rng)).collect()
+            }
+        }
+    }
+
+    /// `Option` strategies.
+    pub mod option {
+        use super::super::{Strategy, TestRng};
+
+        /// `None` one time in four, `Some(inner)` otherwise.
+        pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+            OptionStrategy { inner }
+        }
+
+        /// See [`of`].
+        pub struct OptionStrategy<S> {
+            inner: S,
+        }
+
+        impl<S: Strategy> Strategy for OptionStrategy<S> {
+            type Value = Option<S::Value>;
+            fn sample(&self, rng: &mut TestRng) -> Option<S::Value> {
+                if rng.below(4) == 0 {
+                    None
+                } else {
+                    Some(self.inner.sample(rng))
+                }
+            }
+        }
+    }
+}
+
+/// Sizes for collection strategies (`0..6`, `1..=4`, or a fixed count).
+pub trait SizeBounds {
+    /// Inclusive `(lo, hi)` length bounds.
+    fn bounds(&self) -> (usize, usize);
+}
+
+impl SizeBounds for core::ops::Range<usize> {
+    fn bounds(&self) -> (usize, usize) {
+        assert!(self.start < self.end, "empty size range");
+        (self.start, self.end - 1)
+    }
+}
+
+impl SizeBounds for core::ops::RangeInclusive<usize> {
+    fn bounds(&self) -> (usize, usize) {
+        (*self.start(), *self.end())
+    }
+}
+
+impl SizeBounds for usize {
+    fn bounds(&self) -> (usize, usize) {
+        (*self, *self)
+    }
+}
+
+/// Everything a test file needs (`use proptest::prelude::*`).
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Just,
+        ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+/// Declares property tests; see the crate docs for the supported subset.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        #[allow(unreachable_code)]
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut rng = $crate::TestRng::deterministic(concat!(module_path!(), "::", stringify!($name)));
+            for case in 0..config.cases {
+                $(let $arg = $crate::Strategy::sample(&($strat), &mut rng);)+
+                let result: ::std::result::Result<(), $crate::TestCaseError> = (|| {
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                if let Err(e) = result {
+                    panic!(
+                        "proptest {} failed at case {}/{}: {}",
+                        stringify!($name),
+                        case + 1,
+                        config.cases,
+                        e
+                    );
+                }
+            }
+        }
+    )*};
+}
+
+/// Uniform choice among strategies yielding the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::Union {
+            arms: vec![$( $crate::union_arm($arm) ),+],
+        }
+    };
+}
+
+/// Fails the current case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Fails the current case unless the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (lhs, rhs) = (&$a, &$b);
+        $crate::prop_assert!(
+            lhs == rhs,
+            "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+            stringify!($a), stringify!($b), lhs, rhs
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (lhs, rhs) = (&$a, &$b);
+        if !(lhs == rhs) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "{}\n  left: {:?}\n right: {:?}",
+                format!($($fmt)+), lhs, rhs
+            )));
+        }
+    }};
+}
+
+/// Fails the current case if the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (lhs, rhs) = (&$a, &$b);
+        $crate::prop_assert!(
+            lhs != rhs,
+            "assertion failed: {} != {}\n  both: {:?}",
+            stringify!($a),
+            stringify!($b),
+            lhs
+        );
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::{Strategy, TestRng};
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_in_bounds(x in 3u16..10, y in 0usize..=4) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!(y <= 4);
+        }
+
+        /// Doc comments on cases are accepted.
+        #[test]
+        fn map_filter_compose(v in prop::collection::vec((0u32..100).prop_map(|x| x * 2), 1..6)) {
+            prop_assert!(!v.is_empty() && v.len() < 6);
+            prop_assert!(v.iter().all(|x| x % 2 == 0));
+        }
+
+        #[test]
+        fn oneof_and_just(s in prop_oneof![Just("a".to_string()), (1u16..4).prop_map(|i| format!("x{i}"))]) {
+            prop_assert!(s == "a" || s.starts_with('x'), "{}", s);
+        }
+
+        #[test]
+        fn sets_and_options(set in prop::collection::btree_set(0u16..8, 0..=8usize), o in prop::option::of(1u32..3)) {
+            prop_assert!(set.len() <= 8);
+            if let Some(v) = o {
+                prop_assert!(v == 1 || v == 2);
+            }
+        }
+
+        #[test]
+        fn pattern_strings(s in "\\PC{0,20}") {
+            prop_assert!(s.chars().count() <= 20);
+            prop_assert!(s.chars().all(|c| c as u32 >= 0x20));
+        }
+
+        #[test]
+        fn early_ok_return(x in 0u32..10) {
+            if x > 100 {
+                return Ok(());
+            }
+            prop_assert!(x < 10);
+        }
+    }
+
+    #[test]
+    fn filter_retries() {
+        let strat = (0u32..100).prop_filter("even", |x| x % 2 == 0);
+        let mut rng = TestRng::deterministic("filter_retries");
+        for _ in 0..100 {
+            assert_eq!(Strategy::sample(&strat, &mut rng) % 2, 0);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_name() {
+        let mut a = TestRng::deterministic("same");
+        let mut b = TestRng::deterministic("same");
+        let mut c = TestRng::deterministic("other");
+        assert_eq!(a.next_u64(), b.next_u64());
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+}
