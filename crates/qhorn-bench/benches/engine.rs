@@ -1,6 +1,8 @@
-//! Engine throughput: compiled columnar evaluation vs interpreted
-//! evaluation, and signature-deduplicated execution vs a full scan (the
-//! DESIGN.md §5 index ablation).
+//! Engine throughput: the kernel's compile-once path vs its one-shot
+//! path, and signature-deduplicated execution vs a full scan (the
+//! DESIGN.md §5 index ablation). Both single-object paths run through
+//! `qhorn_core::kernel`; the compiled variant amortizes normalization
+//! across evaluations.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use qhorn_bench::bench_role_preserving_target;
@@ -54,10 +56,10 @@ fn bench_matches(c: &mut Criterion) {
     let mut rng = SmallRng::seed_from_u64(9);
     let obj = random_dense_object(n, 64, &mut rng);
     let mut group = c.benchmark_group("single_object_eval");
-    group.bench_function("compiled_columnar", |b| {
+    group.bench_function("kernel_compiled", |b| {
         b.iter(|| black_box(plan.matches(&obj)))
     });
-    group.bench_function("interpreted", |b| {
+    group.bench_function("kernel_one_shot", |b| {
         b.iter(|| black_box(target.accepts(&obj)))
     });
     group.finish();

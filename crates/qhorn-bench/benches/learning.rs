@@ -1,9 +1,15 @@
 //! Wall-clock cost of the learners (complementing the question-count
 //! experiments E4/E6/E8): `learn_qhorn1` across n, `learn_role_preserving`
 //! across n and θ.
+//!
+//! `QueryOracle` compiles its target once through `qhorn_core::kernel`,
+//! so every learner bench here runs on the kernel; the
+//! `oracle_kernel_vs_naive` group pits it against [`NaiveOracle`] (the
+//! pre-kernel AST walk) on identical learning sessions to report the
+//! per-question speedup.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use qhorn_bench::{bench_qhorn1_target, bench_role_preserving_target};
+use qhorn_bench::{bench_qhorn1_target, bench_role_preserving_target, NaiveOracle};
 use qhorn_core::learn::{learn_qhorn1, learn_role_preserving, LearnOptions};
 use qhorn_core::oracle::QueryOracle;
 use qhorn_sim::experiments::scaling::disjoint_bodies_target;
@@ -59,10 +65,53 @@ fn bench_universal_theta(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_oracle_kernel_vs_naive(c: &mut Criterion) {
+    // Same learner, same target, same question sequence — only the
+    // oracle's evaluation route differs.
+    let mut group = c.benchmark_group("learn_oracle_kernel_vs_naive");
+    group.sample_size(15);
+    for n in [32u16, 64, 128] {
+        let target = bench_qhorn1_target(n);
+        group.bench_with_input(BenchmarkId::new("kernel", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut oracle = QueryOracle::new(target.clone());
+                let out = learn_qhorn1(n, &mut oracle, &LearnOptions::default()).unwrap();
+                black_box(out.stats().questions)
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("naive", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut oracle = NaiveOracle::new(target.clone());
+                let out = learn_qhorn1(n, &mut oracle, &LearnOptions::default()).unwrap();
+                black_box(out.stats().questions)
+            });
+        });
+    }
+    for n in [12u16, 16] {
+        let target = bench_role_preserving_target(n);
+        group.bench_with_input(BenchmarkId::new("kernel_rp", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut oracle = QueryOracle::new(target.clone());
+                let out = learn_role_preserving(n, &mut oracle, &LearnOptions::default()).unwrap();
+                black_box(out.stats().questions)
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("naive_rp", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut oracle = NaiveOracle::new(target.clone());
+                let out = learn_role_preserving(n, &mut oracle, &LearnOptions::default()).unwrap();
+                black_box(out.stats().questions)
+            });
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_learn_qhorn1,
     bench_learn_role_preserving,
-    bench_universal_theta
+    bench_universal_theta,
+    bench_oracle_kernel_vs_naive
 );
 criterion_main!(benches);

@@ -1,8 +1,12 @@
 //! Wall-clock cost of verification (E12/E15): building Fig. 6 sets and
 //! running them, vs learning the same target.
+//!
+//! `QueryOracle` answers through the compiled kernel; the
+//! `verification_run_kernel_vs_naive` group contrasts it with the
+//! pre-kernel AST-walking [`NaiveOracle`] on identical verification runs.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use qhorn_bench::bench_role_preserving_target;
+use qhorn_bench::{bench_role_preserving_target, NaiveOracle};
 use qhorn_core::oracle::QueryOracle;
 use qhorn_core::verify::VerificationSet;
 use std::hint::black_box;
@@ -33,5 +37,31 @@ fn bench_run_set(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_build_set, bench_run_set);
+fn bench_run_set_kernel_vs_naive(c: &mut Criterion) {
+    let mut group = c.benchmark_group("verification_run_kernel_vs_naive");
+    for n in [16u16, 24, 32] {
+        let target = bench_role_preserving_target(n);
+        let set = VerificationSet::build(&target).unwrap();
+        group.bench_with_input(BenchmarkId::new("kernel", n), &n, |b, _| {
+            b.iter(|| {
+                let mut user = QueryOracle::new(target.clone());
+                black_box(set.verify(&mut user).is_verified())
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("naive", n), &n, |b, _| {
+            b.iter(|| {
+                let mut user = NaiveOracle::new(target.clone());
+                black_box(set.verify(&mut user).is_verified())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_build_set,
+    bench_run_set,
+    bench_run_set_kernel_vs_naive
+);
 criterion_main!(benches);

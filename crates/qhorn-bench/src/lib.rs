@@ -9,10 +9,48 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
-use qhorn_core::Query;
+use qhorn_core::oracle::MembershipOracle;
+use qhorn_core::{Expr, Obj, Query, Response};
 use qhorn_sim::genquery::{random_qhorn1, random_role_preserving, RolePreservingParams};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
+
+/// The pre-kernel baseline oracle: answers every membership question by
+/// walking the target's expression list tuple-at-a-time, re-deriving each
+/// guarantee clause per question — exactly what `QueryOracle` did before
+/// evaluation moved into `qhorn_core::kernel`. Kept here so the
+/// `learning`/`verification` benches can report the kernel's speedup
+/// against an honest naive path.
+pub struct NaiveOracle {
+    target: Query,
+}
+
+impl NaiveOracle {
+    /// Wraps a target query without compiling it.
+    #[must_use]
+    pub fn new(target: Query) -> Self {
+        NaiveOracle { target }
+    }
+}
+
+impl MembershipOracle for NaiveOracle {
+    fn ask(&mut self, question: &Obj) -> Response {
+        let ok = self.target.exprs().iter().all(|e| match e {
+            Expr::UniversalHorn { body, head } => {
+                question
+                    .tuples()
+                    .iter()
+                    .all(|t| !t.satisfies_all(body) || t.get(*head))
+                    && question.some_tuple_satisfies(&body.with(*head))
+            }
+            Expr::ExistentialHorn { body, head } => {
+                question.some_tuple_satisfies(&body.with(*head))
+            }
+            Expr::ExistentialConj { vars } => question.some_tuple_satisfies(vars),
+        });
+        Response::from_bool(ok)
+    }
+}
 
 /// Deterministic qhorn-1 benchmark target of arity `n`.
 #[must_use]
@@ -44,5 +82,23 @@ mod tests {
             bench_role_preserving_target(9),
             bench_role_preserving_target(9)
         );
+    }
+
+    #[test]
+    fn naive_oracle_agrees_with_compiled_query_oracle() {
+        use qhorn_core::oracle::QueryOracle;
+        let target = bench_role_preserving_target(6);
+        let mut naive = NaiveOracle::new(target.clone());
+        let mut compiled = QueryOracle::new(target);
+        for obj in qhorn_core::query::generate::all_objects(3).take(64) {
+            // Widen the 3-var objects to arity 6 via bit strings.
+            let widened = Obj::new(
+                6,
+                obj.tuples()
+                    .iter()
+                    .map(|t| qhorn_core::BoolTuple::from_bits(&format!("{}111", t.to_bits()))),
+            );
+            assert_eq!(naive.ask(&widened), compiled.ask(&widened));
+        }
     }
 }

@@ -1,0 +1,1018 @@
+//! The evaluation kernel: every layer's "does object `S` satisfy query
+//! `Q`?" (Def. 2.4) funnels through this module.
+//!
+//! # Check layout
+//!
+//! A query compiles into two flat lists of word-level checks:
+//!
+//! * **violation checks** — one per dominant universal Horn expression
+//!   `∀ B → h`, stored as the pair of bitmasks `(body, head)`: a tuple
+//!   whose true-set word `t` has `t & body == body` and `t & head == 0`
+//!   refutes the query;
+//! * **witness checks** — one per dominant closed existential conjunction
+//!   (guarantee clauses included), stored as the bitmask `need`: some
+//!   tuple must have `t & need == need`. Witness checks run
+//!   largest-conjunction-first (most selective).
+//!
+//! `S` is an answer iff **no** violation check fires and **every** witness
+//! check is met. For arities ≤ 64 (every workload this system runs) both
+//! checks are single-`u64` AND/compare operations against each tuple's
+//! inline true-set word ([`crate::VarSet::as_word`]) — no allocation, no
+//! AST walk. Wider arities fall back to generic [`crate::VarSet`]
+//! operations, and bulk execution over large objects can instead sweep a
+//! columnar [`TupleMatrix`] (one bitmap per variable over the object's
+//! tuples) with word-parallel AND/AND-NOT passes.
+//!
+//! Three entry points cover the system's evaluation patterns:
+//!
+//! * [`CompiledQuery`] — compile once (normalization + static check
+//!   ordering), evaluate many objects: oracles, execution engines, PAC
+//!   version spaces, adversaries.
+//! * [`accepts`] / [`accepts_without_universal_guarantees`] / [`explain`]
+//!   — one-shot evaluation of a raw query on one object, skipping
+//!   normalization (cheaper than compiling when the query is seen once).
+//! * [`SubsetEvaluator`] — brute-force enumeration support: each check
+//!   becomes a bitmask over the **tuple universe** (all `2^n` tuples), so
+//!   evaluating one of the `2^(2^n)` candidate objects is a handful of
+//!   word operations on its subset mask, with no object materialized.
+
+use crate::object::Obj;
+use crate::query::{Expr, NormalForm, Query};
+use crate::tuple::BoolTuple;
+use crate::var::{VarId, VarSet};
+
+/// The inline true-set word of a tuple over ≤ 64 variables.
+#[inline]
+fn tuple_word(t: &BoolTuple) -> u64 {
+    t.true_set()
+        .as_word()
+        .expect("tuples of arity ≤ 64 have inline true-sets")
+}
+
+// ---------------------------------------------------------------------------
+// Columnar matrices
+// ---------------------------------------------------------------------------
+
+/// Column bitmaps over one object's tuples: `column(v)` has bit `i` set
+/// iff tuple `i` has variable `v` true.
+#[derive(Clone, Debug)]
+pub struct TupleMatrix {
+    rows: usize,
+    words_per_col: usize,
+    /// Column-major bitmap data: `cols[v][w]`.
+    cols: Vec<Vec<u64>>,
+}
+
+impl TupleMatrix {
+    /// Builds the matrix for an object.
+    #[must_use]
+    pub fn build(obj: &Obj) -> Self {
+        let rows = obj.len();
+        let n = obj.arity() as usize;
+        let words = rows.div_ceil(64);
+        let mut cols = vec![vec![0u64; words]; n];
+        for (i, t) in obj.tuples().iter().enumerate() {
+            for v in t.true_set().iter() {
+                cols[v.index()][i / 64] |= 1 << (i % 64);
+            }
+        }
+        TupleMatrix {
+            rows,
+            words_per_col: words,
+            cols,
+        }
+    }
+
+    /// Number of tuples.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// `true` iff some tuple has all of `vars` true.
+    #[must_use]
+    pub fn any_with_all(&self, vars: &VarSet) -> bool {
+        if self.rows == 0 {
+            return false;
+        }
+        if vars.is_empty() {
+            return true;
+        }
+        'words: for w in 0..self.words_per_col {
+            let mut acc = self.word_mask(w);
+            for v in vars.iter() {
+                acc &= self.cols[v.index()][w];
+                if acc == 0 {
+                    continue 'words;
+                }
+            }
+            return true;
+        }
+        false
+    }
+
+    /// `true` iff some tuple has all of `body` true and `head` false — a
+    /// violation of `∀ body → head`.
+    #[must_use]
+    pub fn any_violating(&self, body: &VarSet, head: VarId) -> bool {
+        'words: for w in 0..self.words_per_col {
+            let mut acc = self.word_mask(w) & !self.cols[head.index()][w];
+            if acc == 0 {
+                continue;
+            }
+            for v in body.iter() {
+                acc &= self.cols[v.index()][w];
+                if acc == 0 {
+                    continue 'words;
+                }
+            }
+            return true;
+        }
+        false
+    }
+
+    /// Valid-row mask for word `w` (handles the ragged last word).
+    fn word_mask(&self, w: usize) -> u64 {
+        let remaining = self.rows - w * 64;
+        if remaining >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << remaining) - 1
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Compiled queries
+// ---------------------------------------------------------------------------
+
+/// The word-level check lists for arities ≤ 64: violations as
+/// `(body_mask, head_bit)`, witnesses as `need` masks.
+#[derive(Clone, Debug)]
+struct WordChecks {
+    violations: Vec<(u64, u64)>,
+    witnesses: Vec<u64>,
+}
+
+/// A compiled, normalized qhorn query: the check lists described in the
+/// module docs, plus their single-word form when the arity permits.
+#[derive(Clone, Debug)]
+pub struct CompiledQuery {
+    n: u16,
+    violations: Vec<(VarSet, VarId)>,
+    witnesses: Vec<VarSet>,
+    words: Option<WordChecks>,
+}
+
+impl CompiledQuery {
+    /// Compiles a query: normalization (rules R1/R2/R3 prune redundant
+    /// checks) plus static check ordering. Matches [`Query::accepts`] —
+    /// full qhorn semantics with guarantee clauses enforced.
+    #[must_use]
+    pub fn compile(q: &Query) -> Self {
+        Self::from_normal_form(&q.normal_form())
+    }
+
+    /// Compiles from an already-computed normal form (call sites that
+    /// hold one avoid recomputing it).
+    #[must_use]
+    pub fn from_normal_form(nf: &NormalForm) -> Self {
+        let violations: Vec<(VarSet, VarId)> = nf.universals().iter().cloned().collect();
+        let mut witnesses: Vec<VarSet> = nf.existentials().iter().cloned().collect();
+        // Largest conjunctions are hardest to witness: check them first.
+        witnesses.sort_by_key(|c| std::cmp::Reverse(c.len()));
+        Self::assemble(nf.arity(), violations, witnesses)
+    }
+
+    /// Compiles a query under the footnote-1 relaxation: universal
+    /// expressions do not require guarantee witnesses. Matches
+    /// [`Query::accepts_without_universal_guarantees`].
+    ///
+    /// This intentionally skips normalization: rule R2 preserves *strict*
+    /// semantics by demoting a dominated universal to its guarantee
+    /// conjunction, which the relaxed semantics does not require.
+    #[must_use]
+    pub fn compile_relaxed(q: &Query) -> Self {
+        let mut violations: Vec<(VarSet, VarId)> = Vec::new();
+        for (b, h) in q.universal_horns() {
+            let pair = (b.clone(), h);
+            if !violations.contains(&pair) {
+                violations.push(pair);
+            }
+        }
+        let mut witnesses: Vec<VarSet> = Vec::new();
+        for c in q.existential_conjunctions() {
+            if !witnesses.contains(&c) {
+                witnesses.push(c);
+            }
+        }
+        witnesses.sort_by_key(|c| std::cmp::Reverse(c.len()));
+        Self::assemble(q.arity(), violations, witnesses)
+    }
+
+    fn assemble(n: u16, violations: Vec<(VarSet, VarId)>, witnesses: Vec<VarSet>) -> Self {
+        let words = (n <= 64).then(|| WordChecks {
+            violations: violations
+                .iter()
+                .map(|(b, h)| {
+                    let body = b.as_word().expect("arity ≤ 64 bodies are inline");
+                    (body, 1u64 << h.index())
+                })
+                .collect(),
+            witnesses: witnesses
+                .iter()
+                .map(|w| w.as_word().expect("arity ≤ 64 conjunctions are inline"))
+                .collect(),
+        });
+        CompiledQuery {
+            n,
+            violations,
+            witnesses,
+            words,
+        }
+    }
+
+    /// Query arity.
+    #[must_use]
+    pub fn arity(&self) -> u16 {
+        self.n
+    }
+
+    /// Number of compiled checks (violations + witnesses).
+    #[must_use]
+    pub fn check_count(&self) -> usize {
+        self.violations.len() + self.witnesses.len()
+    }
+
+    /// The violation checks, as `(body, head)` pairs.
+    #[must_use]
+    pub fn violations(&self) -> &[(VarSet, VarId)] {
+        &self.violations
+    }
+
+    /// The witness checks, largest first.
+    #[must_use]
+    pub fn witnesses(&self) -> &[VarSet] {
+        &self.witnesses
+    }
+
+    /// Objects at least this many tuples wide amortize building a
+    /// columnar matrix on the > 64-variable path; smaller objects run
+    /// the direct per-tuple checks (membership questions are typically a
+    /// handful of tuples — building a matrix per question would dominate).
+    const MATRIX_ROWS_THRESHOLD: usize = 256;
+
+    /// Evaluates the compiled query on an object. Arity ≤ 64 runs the
+    /// allocation-free single-word path; wider arities check tuples
+    /// directly, switching to a columnar matrix sweep for large objects.
+    ///
+    /// # Panics
+    /// Panics on arity mismatch.
+    #[must_use]
+    pub fn matches(&self, obj: &Obj) -> bool {
+        assert_eq!(obj.arity(), self.n, "arity mismatch");
+        match &self.words {
+            Some(w) => self.matches_words(w, obj),
+            None if obj.len() >= Self::MATRIX_ROWS_THRESHOLD => {
+                self.matches_matrix(&TupleMatrix::build(obj))
+            }
+            None => self.matches_direct(obj),
+        }
+    }
+
+    /// Generic per-tuple checks for arities > 64 (multi-word `VarSet`
+    /// operations, no matrix build).
+    fn matches_direct(&self, obj: &Obj) -> bool {
+        for t in obj.tuples() {
+            let trues = t.true_set();
+            for (body, head) in &self.violations {
+                if body.is_subset(trues) && !trues.contains(*head) {
+                    return false;
+                }
+            }
+        }
+        self.witnesses.iter().all(|w| obj.some_tuple_satisfies(w))
+    }
+
+    fn matches_words(&self, w: &WordChecks, obj: &Obj) -> bool {
+        for t in obj.tuples() {
+            let tw = tuple_word(t);
+            for &(body, head) in &w.violations {
+                if tw & body == body && tw & head == 0 {
+                    return false;
+                }
+            }
+        }
+        'witness: for &need in &w.witnesses {
+            for t in obj.tuples() {
+                if tuple_word(t) & need == need {
+                    continue 'witness;
+                }
+            }
+            return false;
+        }
+        true
+    }
+
+    /// Evaluates the compiled query on a prebuilt matrix (bulk execution
+    /// paths that sweep many checks over wide objects).
+    #[must_use]
+    pub fn matches_matrix(&self, m: &TupleMatrix) -> bool {
+        for (b, h) in &self.violations {
+            if m.any_violating(b, *h) {
+                return false;
+            }
+        }
+        for w in &self.witnesses {
+            if !m.any_with_all(w) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+// ---------------------------------------------------------------------------
+// One-shot evaluation
+// ---------------------------------------------------------------------------
+
+/// One-shot evaluation of `q` on `obj` under full qhorn semantics
+/// (guarantee clauses enforced) — Def. 2.4. No normalization pass; each
+/// expression is checked directly with word operations.
+///
+/// # Panics
+/// Panics on arity mismatch.
+#[must_use]
+pub fn accepts(q: &Query, obj: &Obj) -> bool {
+    assert_eq!(
+        obj.arity(),
+        q.arity(),
+        "object arity {} does not match query arity {}",
+        obj.arity(),
+        q.arity()
+    );
+    q.exprs().iter().all(|e| expr_holds(e, obj, true))
+}
+
+/// One-shot evaluation under the footnote-1 relaxation (§3.2.2):
+/// universal expressions do not require guarantee witnesses; existential
+/// expressions still do (they *are* their guarantee clauses).
+///
+/// # Panics
+/// Panics on arity mismatch.
+#[must_use]
+pub fn accepts_without_universal_guarantees(q: &Query, obj: &Obj) -> bool {
+    assert_eq!(obj.arity(), q.arity());
+    q.exprs().iter().all(|e| expr_holds(e, obj, false))
+}
+
+/// One expression under the kernel: universal expressions need no
+/// violating tuple (plus, when `guarantees`, a witness of `body ∪ {head}`);
+/// existential expressions need a witness of their participating set.
+fn expr_holds(e: &Expr, obj: &Obj, guarantees: bool) -> bool {
+    if obj.arity() <= 64 {
+        return expr_holds_words(e, obj, guarantees);
+    }
+    match e {
+        Expr::UniversalHorn { body, head } => {
+            let no_violation = obj
+                .tuples()
+                .iter()
+                .all(|t| !t.satisfies_all(body) || t.get(*head));
+            no_violation && (!guarantees || obj.some_tuple_satisfies(&body.with(*head)))
+        }
+        Expr::ExistentialHorn { body, head } => obj.some_tuple_satisfies(&body.with(*head)),
+        Expr::ExistentialConj { vars } => obj.some_tuple_satisfies(vars),
+    }
+}
+
+/// Single-word fast path: one pass over the tuples per expression.
+fn expr_holds_words(e: &Expr, obj: &Obj, guarantees: bool) -> bool {
+    match e {
+        Expr::UniversalHorn { body, head } => {
+            let b = body.as_word().expect("inline body");
+            let h = 1u64 << head.index();
+            let need = b | h;
+            let mut witnessed = !guarantees;
+            for t in obj.tuples() {
+                let w = tuple_word(t);
+                if w & b == b && w & h == 0 {
+                    return false;
+                }
+                witnessed |= w & need == need;
+            }
+            witnessed
+        }
+        Expr::ExistentialHorn { body, head } => {
+            let need = body.as_word().expect("inline body") | (1u64 << head.index());
+            obj.tuples().iter().any(|t| tuple_word(t) & need == need)
+        }
+        Expr::ExistentialConj { vars } => {
+            let need = vars.as_word().expect("inline conjunction");
+            obj.tuples().iter().any(|t| tuple_word(t) & need == need)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Failure explanation (borrowed)
+// ---------------------------------------------------------------------------
+
+/// Why an object fails a query — the first failing expression, with the
+/// evidence **borrowed** from the query and object rather than cloned
+/// (explain-style output stays cheap; convert with
+/// [`Failure::to_reason`] when ownership is needed).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Failure<'q, 'o> {
+    /// A universal Horn expression is violated by a specific tuple.
+    UniversalViolated {
+        /// Index of the failing expression in [`Query::exprs`].
+        expr: usize,
+        /// The expression's body, borrowed from the query.
+        body: &'q VarSet,
+        /// The expression's head.
+        head: VarId,
+        /// The violating tuple (body true, head false), borrowed from the
+        /// object.
+        tuple: &'o BoolTuple,
+    },
+    /// An existential conjunction (or guarantee clause) has no witness.
+    MissingWitness {
+        /// Index of the failing expression in [`Query::exprs`].
+        expr: usize,
+        /// The conjunction with no witness tuple (inline, so owning it
+        /// here allocates nothing for arities ≤ 64).
+        vars: VarSet,
+    },
+}
+
+impl Failure<'_, '_> {
+    /// Converts into the owned [`crate::query::FailureReason`].
+    #[must_use]
+    pub fn to_reason(&self) -> crate::query::FailureReason {
+        match self {
+            Failure::UniversalViolated {
+                body, head, tuple, ..
+            } => crate::query::FailureReason::UniversalViolated {
+                body: (*body).clone(),
+                head: *head,
+                tuple: (*tuple).clone(),
+            },
+            Failure::MissingWitness { vars, .. } => {
+                crate::query::FailureReason::MissingWitness { vars: vars.clone() }
+            }
+        }
+    }
+
+    /// Index of the failing expression in [`Query::exprs`].
+    #[must_use]
+    pub fn expr_index(&self) -> usize {
+        match self {
+            Failure::UniversalViolated { expr, .. } | Failure::MissingWitness { expr, .. } => *expr,
+        }
+    }
+}
+
+impl std::fmt::Display for Failure<'_, '_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        std::fmt::Display::fmt(&self.to_reason(), f)
+    }
+}
+
+/// Explains why `obj` is a non-answer, or `None` if it is an answer.
+/// Reports the first failing expression in query order (universal
+/// violations before missing guarantees within one expression).
+///
+/// # Panics
+/// Panics on arity mismatch.
+#[must_use]
+pub fn explain<'q, 'o>(q: &'q Query, obj: &'o Obj) -> Option<Failure<'q, 'o>> {
+    assert_eq!(obj.arity(), q.arity());
+    let small = obj.arity() <= 64;
+    for (i, e) in q.exprs().iter().enumerate() {
+        match e {
+            Expr::UniversalHorn { body, head } => {
+                let violating = if small {
+                    let b = body.as_word().expect("inline body");
+                    let h = 1u64 << head.index();
+                    obj.tuples()
+                        .iter()
+                        .find(|t| tuple_word(t) & b == b && tuple_word(t) & h == 0)
+                } else {
+                    obj.tuples()
+                        .iter()
+                        .find(|t| t.satisfies_all(body) && !t.get(*head))
+                };
+                if let Some(t) = violating {
+                    return Some(Failure::UniversalViolated {
+                        expr: i,
+                        body,
+                        head: *head,
+                        tuple: t,
+                    });
+                }
+                let g = body.with(*head);
+                if !obj.some_tuple_satisfies(&g) {
+                    return Some(Failure::MissingWitness { expr: i, vars: g });
+                }
+            }
+            Expr::ExistentialHorn { body, head } => {
+                let g = body.with(*head);
+                if !obj.some_tuple_satisfies(&g) {
+                    return Some(Failure::MissingWitness { expr: i, vars: g });
+                }
+            }
+            Expr::ExistentialConj { vars } => {
+                if !obj.some_tuple_satisfies(vars) {
+                    return Some(Failure::MissingWitness {
+                        expr: i,
+                        vars: vars.clone(),
+                    });
+                }
+            }
+        }
+    }
+    None
+}
+
+// ---------------------------------------------------------------------------
+// Subset-space evaluation (brute-force enumeration)
+// ---------------------------------------------------------------------------
+
+/// Evaluates a query against **subset masks** of the full tuple universe
+/// (`2^n` tuples, `n ≤ 6` so the universe fits one `u64`). Each compiled
+/// check is lifted to a bitmask over tuple codes — bit `w` of a mask
+/// refers to the tuple whose true-set word is `w` — so deciding one of
+/// the `2^(2^n)` candidate objects is O(checks) word operations and no
+/// object is ever materialized. This is what makes brute-force
+/// equivalence ([`crate::query::equiv::equivalent_brute_force`])
+/// affordable at `n = 5`.
+#[derive(Clone, Debug)]
+pub struct SubsetEvaluator {
+    n: u16,
+    /// Per violation check: the set of tuple codes that refute the query.
+    violations: Vec<u64>,
+    /// Per witness check: the set of tuple codes that witness it.
+    witnesses: Vec<u64>,
+}
+
+impl SubsetEvaluator {
+    /// Lifts a query's compiled checks to tuple-universe masks.
+    ///
+    /// # Panics
+    /// Panics if `n > 6` (the tuple universe would exceed one word).
+    #[must_use]
+    pub fn new(q: &Query) -> Self {
+        let n = q.arity();
+        assert!(n <= 6, "subset evaluation needs a ≤ 64-tuple universe");
+        let plan = CompiledQuery::compile(q);
+        let words = plan.words.as_ref().expect("n ≤ 6 compiles to words");
+        let codes = 1u64 << n; // number of tuples in the universe, ≤ 64
+        let mut violations = vec![0u64; words.violations.len()];
+        let mut witnesses = vec![0u64; words.witnesses.len()];
+        for code in 0..codes {
+            for (i, &(body, head)) in words.violations.iter().enumerate() {
+                if code & body == body && code & head == 0 {
+                    violations[i] |= 1u64 << code;
+                }
+            }
+            for (i, &need) in words.witnesses.iter().enumerate() {
+                if code & need == need {
+                    witnesses[i] |= 1u64 << code;
+                }
+            }
+        }
+        SubsetEvaluator {
+            n,
+            violations,
+            witnesses,
+        }
+    }
+
+    /// Query arity.
+    #[must_use]
+    pub fn arity(&self) -> u16 {
+        self.n
+    }
+
+    /// Total number of candidate objects, i.e. `2^(2^n)` — `None` when it
+    /// overflows `u64` (n = 6).
+    #[must_use]
+    pub fn subset_count(&self) -> Option<u64> {
+        1u64.checked_shl(1u32 << self.n)
+    }
+
+    /// Evaluates the query on the object whose tuple set is `mask` (bit
+    /// `w` ⇔ the tuple with true-set word `w` is present).
+    #[must_use]
+    pub fn accepts_subset(&self, mask: u64) -> bool {
+        self.violations.iter().all(|v| v & mask == 0)
+            && self.witnesses.iter().all(|w| w & mask != 0)
+    }
+
+    /// Materializes the object a subset mask denotes.
+    #[must_use]
+    pub fn object_of(&self, mask: u64) -> Obj {
+        let n = self.n;
+        Obj::new(
+            n,
+            (0..(1u64 << n))
+                .filter(|code| mask & (1u64 << code) != 0)
+                .map(|code| BoolTuple::from_true_set(n, VarSet::from_word(code))),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::eval::reference;
+    use crate::query::generate::{all_objects, all_tuples, enumerate_role_preserving};
+    use crate::varset;
+    use proptest::prelude::*;
+
+    fn v(i: u16) -> VarId {
+        VarId::from_one_based(i)
+    }
+
+    // -- TupleMatrix (moved from qhorn-engine's plan.rs) -------------------
+
+    #[test]
+    fn matrix_bitmap_checks() {
+        let obj = Obj::from_bits("110 011 101");
+        let m = TupleMatrix::build(&obj);
+        assert_eq!(m.rows(), 3);
+        assert!(m.any_with_all(&varset![1, 2]));
+        assert!(!m.any_with_all(&varset![1, 2, 3]));
+        assert!(
+            m.any_with_all(&VarSet::new()),
+            "empty conjunction, non-empty object"
+        );
+        assert!(m.any_violating(&varset![1], v(3)), "110 violates ∀x1→x3");
+        assert!(
+            m.any_violating(&varset![2, 3], v(1)),
+            "011 violates ∀x2x3→x1"
+        );
+        assert!(
+            !m.any_violating(&varset![1, 2, 3], v(1)),
+            "no tuple satisfies the whole body"
+        );
+    }
+
+    #[test]
+    fn matrix_violation_details() {
+        let obj = Obj::from_bits("011");
+        let m = TupleMatrix::build(&obj);
+        assert!(m.any_violating(&varset![2, 3], v(1)));
+        assert!(!m.any_violating(&varset![1, 2], v(3)));
+        // Bodyless: any tuple with head false violates.
+        assert!(m.any_violating(&VarSet::new(), v(1)));
+        assert!(!m.any_violating(&VarSet::new(), v(2)));
+    }
+
+    #[test]
+    fn empty_object_matrix() {
+        let m = TupleMatrix::build(&Obj::empty(3));
+        assert!(!m.any_with_all(&VarSet::new()));
+        assert!(!m.any_violating(&VarSet::new(), v(1)));
+    }
+
+    #[test]
+    fn wide_objects_cross_word_boundaries() {
+        // > 64 tuples exercises multi-word bitmaps.
+        let n = 7u16;
+        let obj = Obj::new(n, all_tuples(n));
+        assert!(obj.len() > 64);
+        let m = TupleMatrix::build(&obj);
+        assert!(m.any_with_all(&VarSet::full(n)));
+        assert!(m.any_violating(&varset![1, 2, 3], v(7)));
+        let q = Query::new(n, [Expr::conj(VarSet::full(n))]).unwrap();
+        assert!(CompiledQuery::compile(&q).matches(&obj));
+    }
+
+    // -- CompiledQuery -----------------------------------------------------
+
+    #[test]
+    fn compiled_matches_naive_eval_exhaustively() {
+        // CompiledQuery::matches must agree with the naive reference on
+        // every object for a spread of queries on 3 variables — on both
+        // the word path and the matrix path.
+        let queries = [
+            Query::new(
+                3,
+                [Expr::universal(varset![1], v(3)), Expr::conj(varset![2])],
+            )
+            .unwrap(),
+            Query::new(3, [Expr::universal_bodyless(v(1))]).unwrap(),
+            Query::new(3, [Expr::conj(varset![1, 2, 3])]).unwrap(),
+            Query::new(
+                3,
+                [
+                    Expr::universal(varset![1, 2], v(3)),
+                    Expr::existential_horn(varset![1], v(2)),
+                ],
+            )
+            .unwrap(),
+            Query::empty(3),
+        ];
+        for q in &queries {
+            let plan = CompiledQuery::compile(q);
+            for obj in all_objects(3) {
+                let expected = reference::accepts(q, &obj);
+                assert_eq!(plan.matches(&obj), expected, "query {q} object {obj}");
+                assert_eq!(
+                    plan.matches_matrix(&TupleMatrix::build(&obj)),
+                    expected,
+                    "matrix path, query {q} object {obj}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn compiled_agrees_on_enumerated_two_variable_queries() {
+        for q in enumerate_role_preserving(2, false) {
+            let plan = CompiledQuery::compile(&q);
+            for obj in all_objects(2) {
+                assert_eq!(
+                    plan.matches(&obj),
+                    reference::accepts(&q, &obj),
+                    "query {q} object {obj}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn normalization_shrinks_checks() {
+        // Redundant expressions disappear at compile time.
+        let q = Query::new(
+            3,
+            [
+                Expr::conj(varset![1, 2, 3]),
+                Expr::conj(varset![1, 2]),
+                Expr::conj(varset![1]),
+                Expr::universal(varset![1], v(3)),
+                Expr::universal(varset![1, 2], v(3)),
+            ],
+        )
+        .unwrap();
+        let plan = CompiledQuery::compile(&q);
+        assert_eq!(plan.check_count(), 2, "one violation + one witness remain");
+        assert_eq!(plan.violations().len(), 1);
+        assert_eq!(plan.witnesses().len(), 1);
+    }
+
+    #[test]
+    fn wide_arity_falls_back_to_matrix() {
+        // Arity 70 > 64: no word plan, matrix path still correct.
+        let n = 70u16;
+        let q = Query::new(
+            n,
+            [
+                Expr::universal(VarSet::from_indices([0, 65]), VarId(69)),
+                Expr::conj(VarSet::from_indices([1, 68])),
+            ],
+        )
+        .unwrap();
+        let plan = CompiledQuery::compile(&q);
+        assert!(plan.words.is_none());
+        let yes = Obj::new(
+            n,
+            [
+                BoolTuple::from_true_set(n, VarSet::from_indices([0, 65, 69])),
+                BoolTuple::from_true_set(n, VarSet::from_indices([1, 68])),
+            ],
+        );
+        let no = yes.with_tuple(BoolTuple::from_true_set(
+            n,
+            VarSet::from_indices([0, 65, 68]),
+        ));
+        assert!(plan.matches(&yes));
+        assert!(!plan.matches(&no), "violating tuple added");
+        assert_eq!(plan.matches(&yes), reference::accepts(&q, &yes));
+        assert_eq!(plan.matches(&no), reference::accepts(&q, &no));
+    }
+
+    #[test]
+    fn relaxed_compilation_matches_relaxed_semantics() {
+        // R2 normalization would be wrong here: the dominated ∀x1x2→x3
+        // must NOT leave a guarantee conjunction behind under relaxed
+        // semantics.
+        let q = Query::new(
+            3,
+            [
+                Expr::universal(varset![1], v(3)),
+                Expr::universal(varset![1, 2], v(3)),
+            ],
+        )
+        .unwrap();
+        let relaxed = CompiledQuery::compile_relaxed(&q);
+        for obj in all_objects(3) {
+            assert_eq!(
+                relaxed.matches(&obj),
+                reference::accepts_without_universal_guarantees(&q, &obj),
+                "object {obj}"
+            );
+        }
+    }
+
+    // -- one-shot kernel evaluation vs the naive reference ----------------
+
+    /// Random query over `n` variables (any expression shape).
+    fn arb_query(n: u16) -> impl Strategy<Value = Query> {
+        let vars = move || {
+            prop::collection::btree_set(0..n, 0..=n as usize)
+                .prop_map(|ids| ids.into_iter().map(VarId).collect::<VarSet>())
+        };
+        let universal = (0..n, vars()).prop_map(|(h, mut body)| {
+            body.remove(VarId(h));
+            Expr::universal(body, VarId(h))
+        });
+        let ehorn = (0..n, vars()).prop_map(|(h, mut body)| {
+            body.remove(VarId(h));
+            Expr::existential_horn(body, VarId(h))
+        });
+        let conj = vars()
+            .prop_filter("non-empty", |s| !s.is_empty())
+            .prop_map(Expr::conj);
+        prop::collection::vec(prop_oneof![universal, ehorn, conj], 0..5)
+            .prop_map(move |exprs| Query::new(n, exprs).expect("valid by construction"))
+    }
+
+    fn arb_object(n: u16) -> impl Strategy<Value = Obj> {
+        prop::collection::vec(
+            prop::collection::btree_set(0..n, 0..=n as usize).prop_map(move |ids| {
+                BoolTuple::from_true_set(n, ids.into_iter().map(VarId).collect())
+            }),
+            0..6,
+        )
+        .prop_map(move |ts| Obj::new(n, ts))
+    }
+
+    /// Differential property: kernel ≡ naive reference across arities
+    /// 1–8, for one-shot, compiled-strict, and compiled-relaxed paths.
+    macro_rules! kernel_differential {
+        ($($name:ident: $n:expr;)*) => {
+            proptest! {
+                #![proptest_config(ProptestConfig::with_cases(48))]
+                $(
+                    #[test]
+                    fn $name(q in arb_query($n), obj in arb_object($n)) {
+                        let naive = reference::accepts(&q, &obj);
+                        prop_assert_eq!(accepts(&q, &obj), naive, "one-shot vs naive: {} on {}", q, obj);
+                        prop_assert_eq!(
+                            CompiledQuery::compile(&q).matches(&obj),
+                            naive,
+                            "compiled vs naive: {} on {}", q, obj
+                        );
+                        prop_assert_eq!(
+                            accepts_without_universal_guarantees(&q, &obj),
+                            reference::accepts_without_universal_guarantees(&q, &obj),
+                            "one-shot relaxed vs naive: {} on {}", q, obj
+                        );
+                        prop_assert_eq!(
+                            CompiledQuery::compile_relaxed(&q).matches(&obj),
+                            reference::accepts_without_universal_guarantees(&q, &obj),
+                            "compiled relaxed vs naive: {} on {}", q, obj
+                        );
+                    }
+                )*
+            }
+        };
+    }
+
+    kernel_differential! {
+        differential_arity_1: 1;
+        differential_arity_2: 2;
+        differential_arity_3: 3;
+        differential_arity_4: 4;
+        differential_arity_5: 5;
+        differential_arity_6: 6;
+        differential_arity_7: 7;
+        differential_arity_8: 8;
+    }
+
+    // -- explain -----------------------------------------------------------
+
+    #[test]
+    fn explain_borrows_and_converts() {
+        let q = Query::new(3, [Expr::universal(varset![1, 2], v(3))]).unwrap();
+        let obj = Obj::from_bits("111 110");
+        let why = explain(&q, &obj).unwrap();
+        match why {
+            Failure::UniversalViolated {
+                expr, body, tuple, ..
+            } => {
+                assert_eq!(expr, 0);
+                assert!(std::ptr::eq(
+                    body,
+                    match &q.exprs()[0] {
+                        Expr::UniversalHorn { body, .. } => body,
+                        _ => unreachable!(),
+                    }
+                ));
+                assert_eq!(tuple.to_bits(), "110");
+            }
+            other => panic!("expected a violation, got {other:?}"),
+        }
+        assert!(why.to_string().contains("violates"));
+        assert_eq!(why.expr_index(), 0);
+        let owned = why.to_reason();
+        assert!(matches!(
+            owned,
+            crate::query::FailureReason::UniversalViolated { .. }
+        ));
+        assert!(explain(&q, &Obj::from_bits("111")).is_none());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// `explain` returns `Some` exactly on non-answers, and the
+        /// reported expression really fails.
+        #[test]
+        fn explain_agrees_with_accepts(q in arb_query(5), obj in arb_object(5)) {
+            match explain(&q, &obj) {
+                None => prop_assert!(reference::accepts(&q, &obj)),
+                Some(f) => {
+                    prop_assert!(!reference::accepts(&q, &obj));
+                    let failing = Query::new(q.arity(), [q.exprs()[f.expr_index()].clone()]).unwrap();
+                    prop_assert!(!reference::accepts(&failing, &obj));
+                }
+            }
+        }
+    }
+
+    // -- SubsetEvaluator ---------------------------------------------------
+
+    #[test]
+    fn subset_evaluator_agrees_with_object_evaluation() {
+        // Every enumerated arity-2 query × all 16 subsets of its 4-tuple
+        // universe: mask evaluation ≡ object evaluation.
+        for q in enumerate_role_preserving(2, true) {
+            let ev = SubsetEvaluator::new(&q);
+            for mask in 0..ev.subset_count().unwrap() {
+                let obj = ev.object_of(mask);
+                assert_eq!(
+                    ev.accepts_subset(mask),
+                    reference::accepts(&q, &obj),
+                    "query {q} mask {mask:#b} object {obj}"
+                );
+            }
+        }
+        // Arity 3: a structured query sample × all 256 subsets of the
+        // 8-tuple universe (exercises multi-bit tuple codes).
+        let queries = [
+            Query::new(
+                3,
+                [Expr::universal(varset![1], v(3)), Expr::conj(varset![2])],
+            )
+            .unwrap(),
+            Query::new(3, [Expr::universal(varset![1, 2], v(3))]).unwrap(),
+            Query::new(3, [Expr::conj(varset![1, 2, 3])]).unwrap(),
+            Query::empty(3),
+        ];
+        for q in &queries {
+            let ev = SubsetEvaluator::new(q);
+            for mask in 0..ev.subset_count().unwrap() {
+                let obj = ev.object_of(mask);
+                assert_eq!(
+                    ev.accepts_subset(mask),
+                    reference::accepts(q, &obj),
+                    "query {q} mask {mask:#b} object {obj}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn subset_evaluator_object_round_trip() {
+        let q = Query::new(3, [Expr::conj(varset![1, 2])]).unwrap();
+        let ev = SubsetEvaluator::new(&q);
+        assert_eq!(ev.arity(), 3);
+        assert_eq!(ev.subset_count(), Some(256));
+        // Mask with tuples 110 (code 0b011) and 000 (code 0).
+        let mask = (1u64 << 0b011) | 1;
+        let obj = ev.object_of(mask);
+        assert_eq!(obj.len(), 2);
+        assert!(obj.contains(&BoolTuple::from_bits("110")));
+        assert!(obj.contains(&BoolTuple::from_bits("000")));
+        assert!(ev.accepts_subset(mask));
+        assert!(!ev.accepts_subset(0), "empty object misses the witness");
+    }
+
+    #[test]
+    fn subset_count_overflows_at_n6() {
+        let q = Query::empty(6);
+        let ev = SubsetEvaluator::new(&q);
+        assert_eq!(ev.subset_count(), None, "2^64 subsets");
+        assert!(ev.accepts_subset(u64::MAX));
+    }
+
+    #[test]
+    #[should_panic(expected = "≤ 64-tuple universe")]
+    fn subset_evaluator_rejects_wide_arities() {
+        let _ = SubsetEvaluator::new(&Query::empty(7));
+    }
+}

@@ -248,6 +248,30 @@ mod tests {
     }
 
     #[test]
+    fn kernel_oracle_learns_identically_to_naive_evaluation() {
+        // Same learner trajectory whether questions are answered by the
+        // compiled kernel oracle or the naive reference evaluator.
+        use crate::query::eval::reference;
+        let n = 8u16;
+        let target = pair_head_query(n, VarId(1), VarId(6));
+        let mut kernel_oracle = CountingOracle::new(QueryOracle::new(target.clone()));
+        let kernel_out =
+            learn_pair_heads(n, 4, &mut kernel_oracle, &LearnOptions::default()).unwrap();
+        let naive_target = target.clone();
+        let mut naive_oracle =
+            CountingOracle::new(crate::oracle::FnOracle(move |obj: &crate::Obj| {
+                crate::Response::from_bool(reference::accepts(&naive_target, obj))
+            }));
+        let naive_out =
+            learn_pair_heads(n, 4, &mut naive_oracle, &LearnOptions::default()).unwrap();
+        assert_eq!(kernel_out.heads, naive_out.heads);
+        assert_eq!(
+            kernel_oracle.stats().questions,
+            naive_oracle.stats().questions
+        );
+    }
+
+    #[test]
     fn inconsistent_oracle_detected() {
         // An oracle that always says non-answer fits no pair.
         let mut oracle = crate::oracle::FnOracle(|_: &crate::Obj| crate::Response::NonAnswer);

@@ -15,6 +15,7 @@
 //! measures the empirical error as a function of sample size.
 
 use super::LearnError;
+use crate::kernel::CompiledQuery;
 use crate::object::Obj;
 use crate::oracle::MembershipOracle;
 use crate::query::generate::enumerate_role_preserving;
@@ -80,14 +81,22 @@ pub fn pac_learn_role_preserving<O: MembershipOracle + ?Sized>(
     oracle: &mut O,
     params: &PacParams,
 ) -> Result<PacOutcome, LearnError> {
-    let mut version_space: Vec<Query> = enumerate_role_preserving(n, true);
+    // Compile every hypothesis once up front: each sample then shrinks
+    // the version space with kernel word checks instead of AST walks.
+    let mut version_space: Vec<(Query, CompiledQuery)> = enumerate_role_preserving(n, true)
+        .into_iter()
+        .map(|q| {
+            let plan = CompiledQuery::compile(&q);
+            (q, plan)
+        })
+        .collect();
     let budget = sample_bound(version_space.len().max(2), params);
     let mut used = 0;
     while used < budget && version_space.len() > 1 {
         let obj = sample();
         let label = oracle.ask(&obj);
         used += 1;
-        version_space.retain(|h| h.eval(&obj) == label);
+        version_space.retain(|(_, plan)| plan.matches(&obj) == label.is_answer());
         if version_space.is_empty() {
             return Err(LearnError::InconsistentOracle {
                 detail: format!(
@@ -97,7 +106,7 @@ pub fn pac_learn_role_preserving<O: MembershipOracle + ?Sized>(
         }
     }
     let remaining = version_space.len();
-    let query = version_space
+    let (query, _) = version_space
         .into_iter()
         .next()
         .expect("non-empty version space");

@@ -193,6 +193,41 @@ mod tests {
     }
 
     #[test]
+    fn kernel_oracle_prunes_identically_to_naive_evaluation() {
+        // The learner loop must be oblivious to the oracle's evaluation
+        // route: pruning against the compiled kernel oracle keeps exactly
+        // the tuples that pruning against the naive tuple-at-a-time
+        // reference keeps, with the same number of questions.
+        use crate::query::eval::reference;
+        let q = crate::query::tests::paper_example();
+        let n = q.arity();
+        let all = crate::query::generate::all_tuples(n);
+        let candidates: Vec<BoolTuple> = all
+            .iter()
+            .filter(|t| t.count_true() >= (n as usize - 1))
+            .cloned()
+            .collect();
+
+        let opts = LearnOptions::default();
+        let mut kernel_oracle = CountingOracle::new(QueryOracle::new(q.clone()));
+        let mut asker = Asker::new(&mut kernel_oracle, &opts);
+        let kept_kernel = prune(n, &candidates, &BTreeSet::new(), &mut asker).unwrap();
+
+        let naive_q = q.clone();
+        let mut naive_oracle = CountingOracle::new(FnOracle(move |obj: &Obj| {
+            Response::from_bool(reference::accepts(&naive_q, obj))
+        }));
+        let mut asker = Asker::new(&mut naive_oracle, &opts);
+        let kept_naive = prune(n, &candidates, &BTreeSet::new(), &mut asker).unwrap();
+
+        assert_eq!(kept_kernel, kept_naive);
+        assert_eq!(
+            kernel_oracle.stats().questions,
+            naive_oracle.stats().questions
+        );
+    }
+
+    #[test]
     fn empty_input_asks_nothing() {
         let q = Query::new(3, [Expr::universal(varset![1], crate::VarId(2))]).unwrap();
         let mut oracle = CountingOracle::new(QueryOracle::new(q));

@@ -127,8 +127,9 @@ mod tests {
         let verdict = learn_and_validate(2, &mut user, &LearnOptions::default());
         match verdict {
             Validated::InClass(outcome) => {
-                let witness = crate::query::generate::all_objects(2)
-                    .find(|o| outcome.query().accepts(o) != alias.accepts(o));
+                // Kernel-backed brute force: the accepted query provably
+                // differs from the intent somewhere.
+                let witness = crate::query::equiv::find_counterexample(outcome.query(), &alias);
                 assert!(
                     witness.is_some(),
                     "if the verdict is InClass the intent must genuinely differ \

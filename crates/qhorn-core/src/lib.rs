@@ -16,6 +16,10 @@
 //!
 //! * the Boolean substrate: [`VarId`], [`VarSet`], [`BoolTuple`], [`Obj`],
 //!   and Boolean-lattice utilities ([`lattice`]);
+//! * the evaluation [`kernel`]: one compiled word-parallel evaluator
+//!   (violation/witness check masks, columnar matrices, subset-space
+//!   enumeration) that every layer — oracles, learners, verifier,
+//!   execution engine — routes "does `S` satisfy `Q`?" through;
 //! * the query model: [`Query`], [`Expr`], evaluation, class membership
 //!   ([`query::classes`]), normalization ([`NormalForm`]) and semantic
 //!   equivalence ([`query::equiv`]);
@@ -47,6 +51,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod kernel;
 pub mod lattice;
 pub mod learn;
 pub mod object;

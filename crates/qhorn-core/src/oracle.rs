@@ -12,9 +12,62 @@
 //! * [`LimitOracle`] — enforces a question budget (tests of the complexity
 //!   bounds use it to fail fast on runaway learners);
 //! * [`FnOracle`] — wraps a closure (adversaries, brute-force cross-checks).
+//!
+//! [`QueryOracle`] compiles its hidden target **once** through the
+//! evaluation kernel ([`CompiledOracle`]) instead of re-walking the query
+//! AST on every membership question, so a learning session's thousands of
+//! questions are answered with allocation-free word checks.
 
+use crate::kernel;
 use crate::object::{Obj, Response};
 use crate::query::Query;
+
+/// A membership oracle that compiles its target query once per session
+/// and answers every question with the kernel's word-level checks.
+///
+/// This is what [`QueryOracle`] uses internally; it is public for call
+/// sites that want the compiled plan without the strict/relaxed switch.
+#[derive(Clone, Debug)]
+pub struct CompiledOracle {
+    target: Query,
+    plan: kernel::CompiledQuery,
+}
+
+impl CompiledOracle {
+    /// Compiles `target` under full qhorn semantics (guarantee clauses
+    /// enforced), matching [`Query::accepts`].
+    #[must_use]
+    pub fn new(target: Query) -> Self {
+        let plan = kernel::CompiledQuery::compile(&target);
+        CompiledOracle { target, plan }
+    }
+
+    /// Compiles `target` under the footnote-1 relaxation, matching
+    /// [`Query::accepts_without_universal_guarantees`].
+    #[must_use]
+    pub fn relaxed(target: Query) -> Self {
+        let plan = kernel::CompiledQuery::compile_relaxed(&target);
+        CompiledOracle { target, plan }
+    }
+
+    /// The hidden target query.
+    #[must_use]
+    pub fn target(&self) -> &Query {
+        &self.target
+    }
+
+    /// The compiled plan answering the questions.
+    #[must_use]
+    pub fn plan(&self) -> &kernel::CompiledQuery {
+        &self.plan
+    }
+}
+
+impl MembershipOracle for CompiledOracle {
+    fn ask(&mut self, question: &Obj) -> Response {
+        Response::from_bool(self.plan.matches(question))
+    }
+}
 
 /// Anything that can label membership questions.
 pub trait MembershipOracle {
@@ -34,11 +87,11 @@ impl MembershipOracle for Box<dyn MembershipOracle + '_> {
     }
 }
 
-/// The ideal user: labels questions according to a hidden target query.
+/// The ideal user: labels questions according to a hidden target query,
+/// compiled once through the kernel.
 #[derive(Clone, Debug)]
 pub struct QueryOracle {
-    target: Query,
-    relax_universal_guarantees: bool,
+    inner: CompiledOracle,
 }
 
 impl QueryOracle {
@@ -47,8 +100,7 @@ impl QueryOracle {
     #[must_use]
     pub fn new(target: Query) -> Self {
         QueryOracle {
-            target,
-            relax_universal_guarantees: false,
+            inner: CompiledOracle::new(target),
         }
     }
 
@@ -59,8 +111,7 @@ impl QueryOracle {
     #[must_use]
     pub fn relaxed(target: Query) -> Self {
         QueryOracle {
-            target,
-            relax_universal_guarantees: true,
+            inner: CompiledOracle::relaxed(target),
         }
     }
 
@@ -68,18 +119,13 @@ impl QueryOracle {
     /// user interface would not expose it).
     #[must_use]
     pub fn target(&self) -> &Query {
-        &self.target
+        self.inner.target()
     }
 }
 
 impl MembershipOracle for QueryOracle {
     fn ask(&mut self, question: &Obj) -> Response {
-        let ok = if self.relax_universal_guarantees {
-            self.target.accepts_without_universal_guarantees(question)
-        } else {
-            self.target.accepts(question)
-        };
-        Response::from_bool(ok)
+        self.inner.ask(question)
     }
 }
 
@@ -349,6 +395,35 @@ mod tests {
         let mut o = LimitOracle::new(QueryOracle::new(target()), 1);
         o.ask(&Obj::from_bits("11"));
         o.ask(&Obj::from_bits("11"));
+    }
+
+    #[test]
+    fn oracle_answers_identical_pre_and_post_compilation() {
+        // Regression: compiling the target (CompiledOracle / QueryOracle)
+        // must not change a single answer relative to the naive
+        // tuple-at-a-time reference — strict and relaxed, every
+        // enumerated 2-variable query, every object.
+        use crate::query::eval::reference;
+        for q in crate::query::generate::enumerate_role_preserving(2, true) {
+            let mut strict = CompiledOracle::new(q.clone());
+            let mut relaxed = CompiledOracle::relaxed(q.clone());
+            let mut via_query_oracle = QueryOracle::new(q.clone());
+            for obj in crate::query::generate::all_objects(2) {
+                let want = Response::from_bool(reference::accepts(&q, &obj));
+                assert_eq!(strict.ask(&obj), want, "strict {q} on {obj}");
+                assert_eq!(via_query_oracle.ask(&obj), want, "wrapper {q} on {obj}");
+                let want_relaxed =
+                    Response::from_bool(reference::accepts_without_universal_guarantees(&q, &obj));
+                assert_eq!(relaxed.ask(&obj), want_relaxed, "relaxed {q} on {obj}");
+            }
+        }
+    }
+
+    #[test]
+    fn compiled_oracle_exposes_target_and_plan() {
+        let o = CompiledOracle::new(target());
+        assert_eq!(o.target(), &target());
+        assert!(o.plan().check_count() >= 1);
     }
 
     #[test]

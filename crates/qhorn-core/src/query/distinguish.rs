@@ -143,6 +143,27 @@ mod tests {
     }
 
     #[test]
+    fn distinguishing_tuples_align_with_kernel_checks() {
+        // The kernel's compiled checks and the distinguishing tuples are
+        // two views of the same normal form: the object containing every
+        // existential distinguishing tuple passes all witness checks, and
+        // each universal distinguishing tuple (plus the all-true tuple,
+        // which neutralizes guarantee clauses) fires exactly its own
+        // violation check.
+        let q = crate::query::tests::paper_example();
+        let nf = q.normal_form();
+        let plan = crate::kernel::CompiledQuery::from_normal_form(&nf);
+        let n = q.arity();
+        let a1 = crate::Obj::new(n, nf.existential_distinguishing_tuples());
+        assert!(plan.matches(&a1), "A1 object is an answer");
+        let top = BoolTuple::all_true(n);
+        for dt in nf.universal_distinguishing_tuples() {
+            let obj = crate::Obj::new(n, [top.clone(), dt.clone()]);
+            assert!(!plan.matches(&obj), "tuple {dt} must violate its ∀");
+        }
+    }
+
+    #[test]
     fn proposition_4_1_equal_tuples_iff_equal_normal_forms() {
         // Two syntactically different but equivalent queries share tuples.
         let q1 = Query::new(

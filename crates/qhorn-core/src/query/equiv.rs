@@ -5,9 +5,13 @@
 //! of normal forms ([`crate::NormalForm`]); [`equivalent`] uses that. For
 //! small arities [`equivalent_brute_force`] decides equivalence by
 //! enumerating all `2^(2^n)` objects, and is used in tests to validate the
-//! normal-form route.
+//! normal-form route. The enumeration runs on the kernel's
+//! [`SubsetEvaluator`]: each candidate object is a subset *mask* of the
+//! tuple universe and never materialized, which is what makes `n = 5`
+//! (2³² candidates) feasible at all.
 
-use super::generate::all_objects;
+use crate::kernel::SubsetEvaluator;
+
 use super::Query;
 
 /// Semantic equivalence via normal forms (Prop. 4.1).
@@ -21,32 +25,44 @@ pub fn equivalent(a: &Query, b: &Query) -> bool {
 }
 
 /// Decides equivalence by evaluating both queries on **every** object over
-/// `n` variables (`2^(2^n)` objects — exponential; intended for `n ≤ 4`).
+/// `n` variables (`2^(2^n)` objects — exponential; intended for `n ≤ 5`).
 ///
 /// # Panics
-/// Panics if the arities differ or `n > 4` (the enumeration would exceed
-/// 4 billion objects).
+/// Panics if the arities differ or `n > 5` (the enumeration would exceed
+/// 2^64 objects).
 #[must_use]
 pub fn equivalent_brute_force(a: &Query, b: &Query) -> bool {
+    let (ea, eb, total) = subset_evaluators(a, b);
+    (0..total).all(|mask| ea.accepts_subset(mask) == eb.accepts_subset(mask))
+}
+
+/// Finds an object on which the two queries disagree, if any (brute force,
+/// `n ≤ 5`). Useful in tests for diagnosing learner bugs.
+///
+/// # Panics
+/// Panics if the arities differ or `n > 5`.
+#[must_use]
+pub fn find_counterexample(a: &Query, b: &Query) -> Option<crate::Obj> {
+    let (ea, eb, total) = subset_evaluators(a, b);
+    (0..total)
+        .find(|&mask| ea.accepts_subset(mask) != eb.accepts_subset(mask))
+        .map(|mask| ea.object_of(mask))
+}
+
+fn subset_evaluators(a: &Query, b: &Query) -> (SubsetEvaluator, SubsetEvaluator, u64) {
     assert_eq!(
         a.arity(),
         b.arity(),
         "cannot compare queries of different arity"
     );
     assert!(
-        a.arity() <= 4,
-        "brute-force equivalence is limited to n ≤ 4"
+        a.arity() <= 5,
+        "brute-force equivalence is limited to n ≤ 5"
     );
-    all_objects(a.arity()).all(|obj| a.accepts(&obj) == b.accepts(&obj))
-}
-
-/// Finds an object on which the two queries disagree, if any (brute force,
-/// `n ≤ 4`). Useful in tests for diagnosing learner bugs.
-#[must_use]
-pub fn find_counterexample(a: &Query, b: &Query) -> Option<crate::Obj> {
-    assert_eq!(a.arity(), b.arity());
-    assert!(a.arity() <= 4);
-    all_objects(a.arity()).find(|obj| a.accepts(obj) != b.accepts(obj))
+    let ea = SubsetEvaluator::new(a);
+    let eb = SubsetEvaluator::new(b);
+    let total = ea.subset_count().expect("2^(2^5) fits in u64");
+    (ea, eb, total)
 }
 
 #[cfg(test)]
@@ -107,5 +123,47 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn brute_force_agrees_with_object_enumeration_n3() {
+        // The subset-mask route must decide exactly what materialized
+        // object enumeration decides.
+        let qs = [
+            Query::new(3, [Expr::universal(varset![1], v(3))]).unwrap(),
+            Query::new(3, [Expr::conj(varset![1, 3])]).unwrap(),
+            Query::new(
+                3,
+                [Expr::universal(varset![1], v(3)), Expr::conj(varset![1])],
+            )
+            .unwrap(),
+            Query::empty(3),
+        ];
+        for a in &qs {
+            for b in &qs {
+                let by_objects = crate::query::generate::all_objects(3)
+                    .all(|obj| a.accepts(&obj) == b.accepts(&obj));
+                assert_eq!(equivalent_brute_force(a, b), by_objects, "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn n5_counterexample_search_is_supported() {
+        // n = 5 was out of reach for the materializing implementation;
+        // the kernel's subset masks handle it. Differing queries surface
+        // a counterexample quickly (the scan short-circuits).
+        let a = Query::new(5, [Expr::universal_bodyless(v(5))]).unwrap();
+        let b = Query::new(5, [Expr::conj(varset![5])]).unwrap();
+        let cex = find_counterexample(&a, &b).expect("∀x5 ≠ ∃x5");
+        assert_ne!(a.accepts(&cex), b.accepts(&cex));
+        assert!(!equivalent_brute_force(&a, &b));
+    }
+
+    #[test]
+    #[should_panic(expected = "n ≤ 5")]
+    fn n6_is_rejected() {
+        let a = Query::empty(6);
+        let _ = equivalent_brute_force(&a, &a);
     }
 }

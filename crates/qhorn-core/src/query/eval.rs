@@ -13,8 +13,14 @@
 //! Consequently the empty object is an answer only for the empty query:
 //! guarantee clauses demand at least one positive instance per expression
 //! (the "no empty chocolate boxes" rule, §2.1 item 2).
+//!
+//! All evaluation is delegated to [`crate::kernel`], the single
+//! word-parallel evaluator shared by every layer of the system. The
+//! tuple-at-a-time naive implementation survives only as a
+//! `#[cfg(test)]` differential reference ([`reference`]).
 
-use super::{Expr, Query};
+use super::Query;
+use crate::kernel;
 use crate::object::{Obj, Response};
 use crate::tuple::BoolTuple;
 use crate::var::{VarId, VarSet};
@@ -35,14 +41,7 @@ impl Query {
     /// Panics if the object's arity differs from the query's.
     #[must_use]
     pub fn accepts(&self, obj: &Obj) -> bool {
-        assert_eq!(
-            obj.arity(),
-            self.arity(),
-            "object arity {} does not match query arity {}",
-            obj.arity(),
-            self.arity()
-        );
-        self.exprs().iter().all(|e| expr_holds(e, obj))
+        kernel::accepts(self, obj)
     }
 
     /// Evaluates the query *without* guarantee clauses on universal
@@ -52,34 +51,20 @@ impl Query {
     ///
     /// Existential expressions still require witnesses (they *are* their
     /// guarantee clauses).
+    ///
+    /// # Panics
+    /// Panics if the object's arity differs from the query's.
     #[must_use]
     pub fn accepts_without_universal_guarantees(&self, obj: &Obj) -> bool {
-        assert_eq!(obj.arity(), self.arity());
-        self.exprs().iter().all(|e| match e {
-            Expr::UniversalHorn { body, head } => universal_holds(body, *head, obj),
-            _ => expr_holds(e, obj),
-        })
+        kernel::accepts_without_universal_guarantees(self, obj)
     }
-}
-
-/// `∀ t ∈ S: (∧body) → head` — vacuously true on the empty object.
-fn universal_holds(body: &VarSet, head: VarId, obj: &Obj) -> bool {
-    obj.tuples()
-        .iter()
-        .all(|t| !t.satisfies_all(body) || t.get(head))
-}
-
-/// Finds a tuple violating `∀ body → head`, if any (used by the engine for
-/// explain-style output).
-fn find_universal_violation<'a>(body: &VarSet, head: VarId, obj: &'a Obj) -> Option<&'a BoolTuple> {
-    obj.tuples()
-        .iter()
-        .find(|t| t.satisfies_all(body) && !t.get(head))
 }
 
 /// Why an object fails a query — the first failing expression, for
 /// explain-style output (DataPlay-like interfaces show users *why* an
-/// example is a non-answer).
+/// example is a non-answer). This is the owning form; the kernel reports
+/// failures as borrowed [`kernel::Failure`] values and call sites that
+/// only display the reason should prefer [`Query::explain_failure_ref`].
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub enum FailureReason {
     /// A universal Horn expression is violated by a specific tuple.
@@ -119,54 +104,71 @@ impl Query {
     /// Explains why `obj` is a non-answer, or `None` if it is an answer.
     /// Reports the first failing expression in query order (universal
     /// violations before missing guarantees within one expression).
+    ///
+    /// # Panics
+    /// Panics on arity mismatch.
     #[must_use]
     pub fn explain_failure(&self, obj: &Obj) -> Option<FailureReason> {
-        assert_eq!(obj.arity(), self.arity());
-        for e in self.exprs() {
-            match e {
-                Expr::UniversalHorn { body, head } => {
-                    if let Some(t) = find_universal_violation(body, *head, obj) {
-                        return Some(FailureReason::UniversalViolated {
-                            body: body.clone(),
-                            head: *head,
-                            tuple: t.clone(),
-                        });
-                    }
-                    let g = body.with(*head);
-                    if !obj.some_tuple_satisfies(&g) {
-                        return Some(FailureReason::MissingWitness { vars: g });
-                    }
-                }
-                Expr::ExistentialHorn { body, head } => {
-                    let g = body.with(*head);
-                    if !obj.some_tuple_satisfies(&g) {
-                        return Some(FailureReason::MissingWitness { vars: g });
-                    }
-                }
-                Expr::ExistentialConj { vars } => {
-                    if !obj.some_tuple_satisfies(vars) {
-                        return Some(FailureReason::MissingWitness { vars: vars.clone() });
-                    }
-                }
-            }
-        }
-        None
+        kernel::explain(self, obj).map(|f| f.to_reason())
+    }
+
+    /// Borrowing variant of [`Query::explain_failure`]: the failing body
+    /// and tuple are referenced, not cloned, so explain stays cheap on
+    /// hot paths.
+    ///
+    /// # Panics
+    /// Panics on arity mismatch.
+    #[must_use]
+    pub fn explain_failure_ref<'q, 'o>(&'q self, obj: &'o Obj) -> Option<kernel::Failure<'q, 'o>> {
+        kernel::explain(self, obj)
     }
 }
 
-fn expr_holds(e: &Expr, obj: &Obj) -> bool {
-    match e {
-        Expr::UniversalHorn { body, head } => {
-            universal_holds(body, *head, obj) && obj.some_tuple_satisfies(&body.with(*head))
+/// The original tuple-at-a-time evaluator, kept **only** as a
+/// differential reference for the kernel's tests. Never used on a
+/// production path.
+#[cfg(test)]
+pub(crate) mod reference {
+    use super::*;
+    use crate::query::Expr;
+
+    /// Naive Def. 2.4 evaluation (guarantee clauses enforced).
+    pub(crate) fn accepts(q: &Query, obj: &Obj) -> bool {
+        assert_eq!(obj.arity(), q.arity());
+        q.exprs().iter().all(|e| expr_holds(e, obj))
+    }
+
+    /// Naive footnote-1 relaxed evaluation.
+    pub(crate) fn accepts_without_universal_guarantees(q: &Query, obj: &Obj) -> bool {
+        assert_eq!(obj.arity(), q.arity());
+        q.exprs().iter().all(|e| match e {
+            Expr::UniversalHorn { body, head } => universal_holds(body, *head, obj),
+            _ => expr_holds(e, obj),
+        })
+    }
+
+    /// `∀ t ∈ S: (∧body) → head` — vacuously true on the empty object.
+    fn universal_holds(body: &VarSet, head: VarId, obj: &Obj) -> bool {
+        obj.tuples()
+            .iter()
+            .all(|t| !t.satisfies_all(body) || t.get(head))
+    }
+
+    fn expr_holds(e: &Expr, obj: &Obj) -> bool {
+        match e {
+            Expr::UniversalHorn { body, head } => {
+                universal_holds(body, *head, obj) && obj.some_tuple_satisfies(&body.with(*head))
+            }
+            Expr::ExistentialHorn { body, head } => obj.some_tuple_satisfies(&body.with(*head)),
+            Expr::ExistentialConj { vars } => obj.some_tuple_satisfies(vars),
         }
-        Expr::ExistentialHorn { body, head } => obj.some_tuple_satisfies(&body.with(*head)),
-        Expr::ExistentialConj { vars } => obj.some_tuple_satisfies(vars),
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::query::Expr;
     use crate::varset;
 
     fn v(i: u16) -> VarId {
@@ -248,23 +250,30 @@ mod tests {
     }
 
     #[test]
-    fn violation_finder() {
-        let obj = Obj::from_bits("111 110");
-        let t = find_universal_violation(&varset![1, 2], v(3), &obj);
-        assert_eq!(t.unwrap().to_bits(), "110");
-        assert!(find_universal_violation(&varset![1, 2], v(3), &Obj::from_bits("111")).is_none());
-    }
-
-    #[test]
     fn explain_failure_reports_cause() {
         let q = Query::new(3, [Expr::universal(varset![1, 2], v(3))]).unwrap();
         let why = q.explain_failure(&Obj::from_bits("111 110")).unwrap();
-        assert!(matches!(why, FailureReason::UniversalViolated { .. }));
+        match &why {
+            FailureReason::UniversalViolated { tuple, .. } => assert_eq!(tuple.to_bits(), "110"),
+            other => panic!("expected a universal violation, got {other}"),
+        }
         assert!(why.to_string().contains("violates"));
         let why = q.explain_failure(&Obj::from_bits("100")).unwrap();
         assert!(matches!(why, FailureReason::MissingWitness { .. }));
         assert!(why.to_string().contains("∃"));
         assert!(q.explain_failure(&Obj::from_bits("111")).is_none());
+    }
+
+    #[test]
+    fn explain_failure_ref_borrows_without_cloning() {
+        let q = Query::new(3, [Expr::universal(varset![1, 2], v(3))]).unwrap();
+        let obj = Obj::from_bits("111 110");
+        let why = q.explain_failure_ref(&obj).unwrap();
+        assert_eq!(why.to_reason(), q.explain_failure(&obj).unwrap());
+        assert_eq!(
+            why.to_string(),
+            q.explain_failure(&obj).unwrap().to_string()
+        );
     }
 
     #[test]

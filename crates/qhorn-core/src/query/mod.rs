@@ -4,7 +4,7 @@
 pub mod classes;
 pub mod distinguish;
 pub mod equiv;
-mod eval;
+pub(crate) mod eval;
 pub mod expr;
 pub mod generate;
 pub mod normalize;

@@ -6,10 +6,16 @@
 //! [`VarId::from_one_based`]/[`VarId::one_based`] helpers use the paper's
 //! 1-based `x1..xn` convention.
 //!
-//! [`VarSet`] is a growable bitset used pervasively: Horn-expression bodies,
+//! [`VarSet`] is a bitset used pervasively: Horn-expression bodies,
 //! conjunction variable sets, true-sets of Boolean tuples, lattice
-//! bookkeeping. It is kept in a canonical form (no trailing zero words) so
-//! that `Eq`/`Ord`/`Hash` are structural.
+//! bookkeeping. Sets whose members all fit in one machine word (every
+//! variable index < 64 — which covers every workload this system runs)
+//! are stored **inline** as a single `u64`; only wider universes spill to
+//! a heap vector. Inline sets make the evaluation kernel's hot loops
+//! allocation-free: `clone`, `with`, `union`, `is_subset`, … are plain
+//! word operations. The representation is canonical either way (no
+//! trailing zero words, inline whenever possible) so that `Eq`/`Ord`/
+//! `Hash` are structural.
 
 use std::fmt;
 
@@ -55,21 +61,70 @@ impl From<u16> for VarId {
     }
 }
 
+/// Storage for a [`VarSet`]: one inline word for universes of up to 64
+/// variables, a heap vector beyond.
+///
+/// Canonical invariant: `Inline` whenever every member index is < 64
+/// (including the empty set, `Inline(0)`); `Spilled` vectors have at
+/// least two words and a non-zero last word.
+#[derive(Clone)]
+enum Words {
+    Inline(u64),
+    Spilled(Vec<u64>),
+}
+
 /// A set of Boolean variables, stored as a bitset.
 ///
-/// The representation is canonical: trailing all-zero words are trimmed, so
-/// two `VarSet`s are `==` iff they contain the same variables, regardless of
-/// how they were built.
-#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+/// The representation is canonical: two `VarSet`s are `==` iff they
+/// contain the same variables, regardless of how they were built. Sets
+/// over ≤ 64 variables are a single inline `u64` (no heap allocation);
+/// see [`VarSet::as_word`].
+#[derive(Clone)]
 pub struct VarSet {
-    words: Vec<u64>,
+    words: Words,
+}
+
+impl Default for VarSet {
+    fn default() -> Self {
+        VarSet::new()
+    }
+}
+
+impl PartialEq for VarSet {
+    fn eq(&self, other: &Self) -> bool {
+        self.word_slice() == other.word_slice()
+    }
+}
+
+impl Eq for VarSet {}
+
+impl PartialOrd for VarSet {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for VarSet {
+    /// Lexicographic on the canonical word sequence — the same total
+    /// order the previous `Vec<u64>`-backed representation derived.
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.word_slice().cmp(other.word_slice())
+    }
+}
+
+impl std::hash::Hash for VarSet {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.word_slice().hash(state);
+    }
 }
 
 impl VarSet {
     /// The empty set.
     #[must_use]
     pub fn new() -> Self {
-        VarSet { words: Vec::new() }
+        VarSet {
+            words: Words::Inline(0),
+        }
     }
 
     /// A singleton set.
@@ -83,6 +138,9 @@ impl VarSet {
     /// The full set `{x1, ..., xn}` over a universe of `n` variables.
     #[must_use]
     pub fn full(n: u16) -> Self {
+        if n <= 64 {
+            return VarSet::from_word(if n == 64 { u64::MAX } else { (1u64 << n) - 1 });
+        }
         let mut s = VarSet::new();
         for i in 0..n {
             s.insert(VarId(i));
@@ -102,32 +160,108 @@ impl VarSet {
         ids.into_iter().map(VarId::from_one_based).collect()
     }
 
-    fn trim(&mut self) {
-        while self.words.last() == Some(&0) {
-            self.words.pop();
+    /// Builds a set from its first-word bitmask: bit `i` ↔ variable index
+    /// `i`. The inline fast path the evaluation kernel works in.
+    #[must_use]
+    pub fn from_word(bits: u64) -> Self {
+        VarSet {
+            words: Words::Inline(bits),
+        }
+    }
+
+    /// The set's bitmask when every member index is < 64 (always the case
+    /// for workloads of arity ≤ 64), `None` for spilled sets.
+    #[must_use]
+    pub fn as_word(&self) -> Option<u64> {
+        match &self.words {
+            Words::Inline(w) => Some(*w),
+            Words::Spilled(_) => None,
+        }
+    }
+
+    /// Builds a set from raw 64-bit words (`words[i]` covers variable
+    /// indices `64 i .. 64 i + 64`), re-canonicalizing.
+    #[must_use]
+    pub fn from_words(words: Vec<u64>) -> Self {
+        let mut s = VarSet {
+            words: Words::Spilled(words),
+        };
+        s.canonicalize();
+        s
+    }
+
+    /// The canonical word sequence (no trailing zero words; empty for the
+    /// empty set).
+    fn word_slice(&self) -> &[u64] {
+        match &self.words {
+            Words::Inline(0) => &[],
+            Words::Inline(w) => std::slice::from_ref(w),
+            Words::Spilled(v) => v,
+        }
+    }
+
+    /// Restores the canonical invariant after a mutation that may have
+    /// cleared high words.
+    fn canonicalize(&mut self) {
+        if let Words::Spilled(v) = &mut self.words {
+            while v.last() == Some(&0) {
+                v.pop();
+            }
+            if v.len() <= 1 {
+                self.words = Words::Inline(v.first().copied().unwrap_or(0));
+            }
         }
     }
 
     /// Inserts a variable; returns `true` if it was newly added.
     pub fn insert(&mut self, v: VarId) -> bool {
         let (w, b) = (v.index() / 64, v.index() % 64);
-        if w >= self.words.len() {
-            self.words.resize(w + 1, 0);
+        match &mut self.words {
+            Words::Inline(word) if w == 0 => {
+                let had = *word & (1 << b) != 0;
+                *word |= 1 << b;
+                !had
+            }
+            Words::Inline(word) => {
+                let mut words = vec![*word];
+                words.resize(w + 1, 0);
+                words[w] |= 1 << b;
+                self.words = Words::Spilled(words);
+                true
+            }
+            Words::Spilled(words) => {
+                if w >= words.len() {
+                    words.resize(w + 1, 0);
+                }
+                let had = words[w] & (1 << b) != 0;
+                words[w] |= 1 << b;
+                !had
+            }
         }
-        let had = self.words[w] & (1 << b) != 0;
-        self.words[w] |= 1 << b;
-        !had
     }
 
     /// Removes a variable; returns `true` if it was present.
     pub fn remove(&mut self, v: VarId) -> bool {
         let (w, b) = (v.index() / 64, v.index() % 64);
-        if w >= self.words.len() {
-            return false;
-        }
-        let had = self.words[w] & (1 << b) != 0;
-        self.words[w] &= !(1 << b);
-        self.trim();
+        let had = match &mut self.words {
+            Words::Inline(word) => {
+                if w != 0 {
+                    return false;
+                }
+                let had = *word & (1 << b) != 0;
+                *word &= !(1 << b);
+                had
+            }
+            Words::Spilled(words) => {
+                if w >= words.len() {
+                    return false;
+                }
+                let had = words[w] & (1 << b) != 0;
+                words[w] &= !(1 << b);
+                had
+            }
+        };
+        self.canonicalize();
         had
     }
 
@@ -135,75 +269,87 @@ impl VarSet {
     #[must_use]
     pub fn contains(&self, v: VarId) -> bool {
         let (w, b) = (v.index() / 64, v.index() % 64);
-        w < self.words.len() && self.words[w] & (1 << b) != 0
+        let slice = self.word_slice();
+        w < slice.len() && slice[w] & (1 << b) != 0
     }
 
     /// Number of variables in the set.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.words.iter().map(|w| w.count_ones() as usize).sum()
+        self.word_slice()
+            .iter()
+            .map(|w| w.count_ones() as usize)
+            .sum()
     }
 
     /// `true` iff the set is empty.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.words.is_empty()
+        self.word_slice().is_empty()
     }
 
     /// Set union.
     #[must_use]
     pub fn union(&self, other: &VarSet) -> VarSet {
-        let mut words = vec![0u64; self.words.len().max(other.words.len())];
-        for (i, w) in words.iter_mut().enumerate() {
-            *w = self.words.get(i).copied().unwrap_or(0) | other.words.get(i).copied().unwrap_or(0);
+        if let (Words::Inline(a), Words::Inline(b)) = (&self.words, &other.words) {
+            return VarSet::from_word(a | b);
         }
-        let mut s = VarSet { words };
-        s.trim();
-        s
+        let (x, y) = (self.word_slice(), other.word_slice());
+        let words = (0..x.len().max(y.len()))
+            .map(|i| x.get(i).copied().unwrap_or(0) | y.get(i).copied().unwrap_or(0))
+            .collect();
+        VarSet::from_words(words)
     }
 
     /// Set intersection.
     #[must_use]
     pub fn intersection(&self, other: &VarSet) -> VarSet {
-        let mut words = vec![0u64; self.words.len().min(other.words.len())];
-        for (i, w) in words.iter_mut().enumerate() {
-            *w = self.words[i] & other.words[i];
+        if let (Words::Inline(a), Words::Inline(b)) = (&self.words, &other.words) {
+            return VarSet::from_word(a & b);
         }
-        let mut s = VarSet { words };
-        s.trim();
-        s
+        let (x, y) = (self.word_slice(), other.word_slice());
+        let words = x.iter().zip(y.iter()).map(|(a, b)| a & b).collect();
+        VarSet::from_words(words)
     }
 
     /// Set difference `self − other`.
     #[must_use]
     pub fn difference(&self, other: &VarSet) -> VarSet {
-        let mut words = self.words.clone();
-        for (i, w) in words.iter_mut().enumerate() {
-            *w &= !other.words.get(i).copied().unwrap_or(0);
+        if let (Words::Inline(a), Words::Inline(b)) = (&self.words, &other.words) {
+            return VarSet::from_word(a & !b);
         }
-        let mut s = VarSet { words };
-        s.trim();
-        s
+        let (x, y) = (self.word_slice(), other.word_slice());
+        let words = x
+            .iter()
+            .enumerate()
+            .map(|(i, a)| a & !y.get(i).copied().unwrap_or(0))
+            .collect();
+        VarSet::from_words(words)
     }
 
     /// Symmetric difference.
     #[must_use]
     pub fn symmetric_difference(&self, other: &VarSet) -> VarSet {
-        let mut words = vec![0u64; self.words.len().max(other.words.len())];
-        for (i, w) in words.iter_mut().enumerate() {
-            *w = self.words.get(i).copied().unwrap_or(0) ^ other.words.get(i).copied().unwrap_or(0);
+        if let (Words::Inline(a), Words::Inline(b)) = (&self.words, &other.words) {
+            return VarSet::from_word(a ^ b);
         }
-        let mut s = VarSet { words };
-        s.trim();
-        s
+        let (x, y) = (self.word_slice(), other.word_slice());
+        let words = (0..x.len().max(y.len()))
+            .map(|i| x.get(i).copied().unwrap_or(0) ^ y.get(i).copied().unwrap_or(0))
+            .collect();
+        VarSet::from_words(words)
     }
 
     /// `true` iff `self ⊆ other`.
     #[must_use]
     pub fn is_subset(&self, other: &VarSet) -> bool {
-        self.words.iter().enumerate().all(|(i, w)| {
-            let o = other.words.get(i).copied().unwrap_or(0);
-            w & !o == 0
+        if let (Words::Inline(a), Words::Inline(b)) = (&self.words, &other.words) {
+            return a & !b == 0;
+        }
+        let o = other.word_slice();
+        self.word_slice().iter().enumerate().all(|(i, w)| {
+            let b = o.get(i).copied().unwrap_or(0);
+            w & !b == 0
         })
     }
 
@@ -216,9 +362,12 @@ impl VarSet {
     /// `true` iff the sets share no variable.
     #[must_use]
     pub fn is_disjoint(&self, other: &VarSet) -> bool {
-        self.words
+        if let (Words::Inline(a), Words::Inline(b)) = (&self.words, &other.words) {
+            return a & b == 0;
+        }
+        self.word_slice()
             .iter()
-            .zip(other.words.iter())
+            .zip(other.word_slice().iter())
             .all(|(a, b)| a & b == 0)
     }
 
@@ -230,7 +379,7 @@ impl VarSet {
 
     /// Iterates the variables in increasing index order.
     pub fn iter(&self) -> impl Iterator<Item = VarId> + '_ {
-        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+        self.word_slice().iter().enumerate().flat_map(|(wi, &w)| {
             let base = (wi * 64) as u32;
             BitIter { word: w, base }
         })
@@ -340,16 +489,15 @@ mod json {
 
     impl ToJson for VarSet {
         fn to_json(&self) -> Json {
-            Json::object([("words", self.words.to_json())])
+            Json::object([("words", self.word_slice().to_vec().to_json())])
         }
     }
 
     impl FromJson for VarSet {
         fn from_json(j: &Json) -> Result<Self, JsonError> {
             let words = Vec::<u64>::from_json(j.field("words")?)?;
-            let mut s = VarSet { words };
-            s.trim(); // re-canonicalize: payloads may carry zero words
-            Ok(s)
+            // Re-canonicalize: payloads may carry zero words.
+            Ok(VarSet::from_words(words))
         }
     }
 }
@@ -456,6 +604,9 @@ mod tests {
         assert_eq!(s.len(), 130);
         assert!(s.contains(VarId(129)));
         assert!(!s.contains(VarId(130)));
+        assert_eq!(VarSet::full(64).len(), 64);
+        assert_eq!(VarSet::full(64).as_word(), Some(u64::MAX));
+        assert_eq!(VarSet::full(0), VarSet::new());
     }
 
     #[test]
@@ -470,5 +621,61 @@ mod tests {
         assert_eq!(s.with(VarId::from_one_based(3)), varset![1, 2, 3]);
         assert_eq!(s.without(VarId::from_one_based(2)), varset![1]);
         assert_eq!(s, varset![1, 2], "original untouched");
+    }
+
+    #[test]
+    fn inline_word_round_trip() {
+        // Sets over ≤ 64 variables stay inline through every operation.
+        let a = VarSet::from_indices([0, 5, 63]);
+        assert_eq!(a.as_word(), Some(1 | (1 << 5) | (1 << 63)));
+        assert_eq!(VarSet::from_word(a.as_word().unwrap()), a);
+        assert!(a.union(&varset![2]).as_word().is_some());
+        assert!(a.difference(&varset![1]).as_word().is_some());
+        assert_eq!(VarSet::new().as_word(), Some(0));
+    }
+
+    #[test]
+    fn spill_and_return_inline() {
+        // Growing past index 63 spills; removing the high bit re-inlines.
+        let mut s = VarSet::from_indices([3, 10]);
+        assert!(s.as_word().is_some());
+        s.insert(VarId(90));
+        assert_eq!(s.as_word(), None);
+        assert_eq!(s.len(), 3);
+        assert!(s.contains(VarId(90)));
+        s.remove(VarId(90));
+        assert_eq!(s.as_word(), Some((1 << 3) | (1 << 10)));
+        assert_eq!(s, VarSet::from_indices([3, 10]));
+    }
+
+    #[test]
+    fn ordering_matches_word_lexicographic() {
+        // The order must be stable across the inline/spilled boundary:
+        // lexicographic on canonical word sequences, exactly as the old
+        // Vec<u64> representation derived.
+        let mut sets = [
+            VarSet::new(),
+            VarSet::from_indices([0]),
+            VarSet::from_indices([63]),
+            VarSet::from_indices([0, 64]),
+            VarSet::from_indices([64]),
+            VarSet::from_indices([1, 200]),
+        ];
+        sets.sort();
+        for pair in sets.windows(2) {
+            assert!(pair[0] <= pair[1]);
+        }
+        // Mixed-representation comparisons agree with set semantics.
+        assert_ne!(VarSet::from_indices([0]), VarSet::from_indices([0, 64]));
+        assert_eq!(VarSet::from_words(vec![5, 0, 0]), VarSet::from_word(5));
+    }
+
+    #[test]
+    fn from_words_canonicalizes() {
+        assert_eq!(VarSet::from_words(vec![]), VarSet::new());
+        assert_eq!(VarSet::from_words(vec![0, 0]), VarSet::new());
+        let spilled = VarSet::from_words(vec![1, 2]);
+        assert_eq!(spilled.as_word(), None);
+        assert_eq!(spilled, VarSet::from_indices([0, 65]));
     }
 }

@@ -3,7 +3,8 @@
 
 use super::set::{QuestionKind, VerificationQuestion, VerificationSet};
 use crate::object::{Obj, Response};
-use crate::oracle::MembershipOracle;
+use crate::oracle::{CompiledOracle, MembershipOracle};
+use crate::query::Query;
 
 /// A disagreement between the given query and the user's intent.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -87,6 +88,18 @@ impl VerificationSet {
             })
             .collect()
     }
+
+    /// Runs the set against a **known** intent query (tests, simulations,
+    /// what-if analyses), compiled once through the kernel so every
+    /// question is a batch of word checks.
+    pub fn verify_query(&self, intent: &Query) -> VerificationOutcome {
+        self.verify(&mut CompiledOracle::new(intent.clone()))
+    }
+
+    /// [`VerificationSet::verify_all`] against a known intent query.
+    pub fn verify_all_query(&self, intent: &Query) -> Vec<Discrepancy> {
+        self.verify_all(&mut CompiledOracle::new(intent.clone()))
+    }
 }
 
 fn discrepancy_of(index: usize, item: &VerificationQuestion, got: Response) -> Discrepancy {
@@ -133,8 +146,7 @@ mod tests {
                 if equivalent(given, intended) {
                     continue;
                 }
-                let mut user = QueryOracle::new(intended.clone());
-                let outcome = set.verify(&mut user);
+                let outcome = set.verify_query(intended);
                 assert!(
                     !outcome.is_verified(),
                     "verification failed to distinguish given {given} from intended {intended}"
@@ -151,7 +163,7 @@ mod tests {
         let given = Query::new(3, [Expr::universal(varset![1, 2], crate::VarId(2))]).unwrap();
         let intended = Query::new(3, [Expr::universal(varset![1], crate::VarId(2))]).unwrap();
         let set = VerificationSet::build(&given).unwrap();
-        let discrepancies = set.verify_all(&mut QueryOracle::new(intended));
+        let discrepancies = set.verify_all_query(&intended);
         assert!(discrepancies.iter().any(|d| d.kind == QuestionKind::A2));
     }
 
@@ -160,7 +172,7 @@ mod tests {
         let given = Query::new(3, [Expr::universal(varset![1], crate::VarId(2))]).unwrap();
         let intended = Query::new(3, [Expr::universal(varset![1, 2], crate::VarId(2))]).unwrap();
         let set = VerificationSet::build(&given).unwrap();
-        let discrepancies = set.verify_all(&mut QueryOracle::new(intended));
+        let discrepancies = set.verify_all_query(&intended);
         assert!(discrepancies.iter().any(|d| d.kind == QuestionKind::N2));
     }
 
@@ -177,7 +189,7 @@ mod tests {
         )
         .unwrap();
         let set = VerificationSet::build(&given).unwrap();
-        let discrepancies = set.verify_all(&mut QueryOracle::new(intended));
+        let discrepancies = set.verify_all_query(&intended);
         assert!(discrepancies.iter().any(|d| d.kind == QuestionKind::A4));
     }
 
@@ -206,7 +218,7 @@ mod tests {
         )
         .unwrap();
         let set = VerificationSet::build(&given).unwrap();
-        let discrepancies = set.verify_all(&mut QueryOracle::new(intended));
+        let discrepancies = set.verify_all_query(&intended);
         assert!(
             discrepancies.iter().any(|d| d.kind == QuestionKind::A3),
             "discrepancies: {discrepancies:?}"

@@ -13,6 +13,7 @@
 //! | A3   | answer      | intent with an extra incomparable body (Lem 4.6)      |
 //! | A4   | answer      | intent where a non-head is actually a head (Lem 4.7)  |
 
+use crate::kernel::CompiledQuery;
 use crate::lattice::{choice_product, violates_any};
 use crate::object::{Obj, Response};
 use crate::query::classes::{validate_role_preserving, ClassError};
@@ -278,10 +279,13 @@ impl VerificationSet {
 
     /// Internal invariant: the given query itself labels every question as
     /// expected (a correct user whose intent equals `given` verifies).
-    fn self_consistent(&self, _nf: &NormalForm) -> bool {
+    /// Evaluated through the kernel, compiled once from the normal form
+    /// the builder already computed.
+    fn self_consistent(&self, nf: &NormalForm) -> bool {
+        let plan = CompiledQuery::from_normal_form(nf);
         self.items
             .iter()
-            .all(|i| self.given.eval(&i.question) == i.expected)
+            .all(|i| Response::from_bool(plan.matches(&i.question)) == i.expected)
     }
 }
 

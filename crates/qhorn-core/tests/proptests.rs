@@ -142,6 +142,28 @@ proptest! {
         let nf = q.normal_form();
         prop_assert!(nf.causal_density() <= nf.universals().len());
     }
+
+    // ---------------- Evaluation kernel ----------------
+
+    #[test]
+    fn compiled_kernel_agrees_with_one_shot_eval(q in arb_role_preserving(8), obj in arb_object(8)) {
+        // The compile-once path (normalized checks) and the one-shot path
+        // (raw expressions) are different pipelines through the kernel;
+        // they must agree everywhere.
+        let plan = qhorn_core::kernel::CompiledQuery::compile(&q);
+        prop_assert_eq!(plan.matches(&obj), q.accepts(&obj), "{} on {}", q, obj);
+        let matrix = qhorn_core::kernel::TupleMatrix::build(&obj);
+        prop_assert_eq!(plan.matches_matrix(&matrix), q.accepts(&obj));
+    }
+
+    #[test]
+    fn compiled_oracle_matches_query_oracle(q in arb_role_preserving(5), obj in arb_object(5)) {
+        use qhorn_core::oracle::{CompiledOracle, MembershipOracle, QueryOracle};
+        let mut compiled = CompiledOracle::new(q.clone());
+        let mut wrapped = QueryOracle::new(q.clone());
+        prop_assert_eq!(compiled.ask(&obj), wrapped.ask(&obj));
+        prop_assert_eq!(compiled.ask(&obj), q.eval(&obj));
+    }
 }
 
 proptest! {

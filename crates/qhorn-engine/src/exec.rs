@@ -1,6 +1,10 @@
 //! Query execution over a store, with signature-level deduplication.
+//!
+//! Per-signature evaluation delegates to the kernel-backed
+//! [`CompiledQuery::matches`], which runs the allocation-free single-word
+//! path for arities ≤ 64 and a columnar matrix sweep beyond.
 
-use crate::plan::{CompiledQuery, TupleMatrix};
+use crate::plan::CompiledQuery;
 use crate::storage::{ObjectId, Store};
 
 /// Execution statistics.
@@ -12,6 +16,31 @@ pub struct ExecStats {
     pub signatures_evaluated: usize,
     /// Objects returned as answers.
     pub answers: usize,
+}
+
+mod json {
+    use super::ExecStats;
+    use qhorn_json::{FromJson, Json, JsonError, ToJson};
+
+    impl ToJson for ExecStats {
+        fn to_json(&self) -> Json {
+            Json::object([
+                ("objects", self.objects.to_json()),
+                ("signatures_evaluated", self.signatures_evaluated.to_json()),
+                ("answers", self.answers.to_json()),
+            ])
+        }
+    }
+
+    impl FromJson for ExecStats {
+        fn from_json(j: &Json) -> Result<Self, JsonError> {
+            Ok(ExecStats {
+                objects: usize::from_json(j.field("objects")?)?,
+                signatures_evaluated: usize::from_json(j.field("signatures_evaluated")?)?,
+                answers: usize::from_json(j.field("answers")?)?,
+            })
+        }
+    }
 }
 
 /// Evaluates the plan against every object, returning the ids of the
@@ -30,8 +59,7 @@ pub fn execute_with_stats(plan: &CompiledQuery, store: &Store) -> (Vec<ObjectId>
     let mut evaluated = 0usize;
     for (signature, ids) in store.index().groups() {
         evaluated += 1;
-        let matrix = TupleMatrix::build(signature);
-        if plan.matches_matrix(&matrix) {
+        if plan.matches(signature) {
             hits.extend_from_slice(ids);
         }
     }
@@ -125,5 +153,17 @@ mod tests {
         let s = store();
         let p = CompiledQuery::compile(&Query::empty(3));
         assert_eq!(execute(&p, &s).len(), 5);
+    }
+
+    #[test]
+    fn exec_stats_round_trip_json() {
+        let stats = ExecStats {
+            objects: 1000,
+            signatures_evaluated: 37,
+            answers: 12,
+        };
+        let json = qhorn_json::to_string(&stats);
+        let back: ExecStats = qhorn_json::from_str(&json).unwrap();
+        assert_eq!(back, stats);
     }
 }

@@ -5,7 +5,8 @@
 //! introduction motivates (§1, §5):
 //!
 //! * [`storage`] — object stores in the Boolean and data domains;
-//! * [`plan`] — compiled queries with columnar (bitmap) evaluation;
+//! * [`plan`] — compiled queries, re-exported from the core evaluation
+//!   kernel ([`qhorn_core::kernel`]) that every layer shares;
 //! * [`exec`] — execution over a store with signature-level deduplication;
 //! * [`explain`] — EXPLAIN-style verdicts with failure reasons;
 //! * [`persist`] — JSON persistence for stores and learned queries;

@@ -1,299 +1,32 @@
-//! Compiled query plans with columnar (bitmap) evaluation.
+//! Compiled query plans — a thin adapter over the core evaluation kernel.
 //!
-//! Compilation normalizes the query (dominant expressions only — rules
-//! R1/R2 prune redundant checks) and splits it into:
-//!
-//! * **violation checks**: for each dominant `∀ B → h`, no tuple may have
-//!   `B` true and `h` false;
-//! * **witness checks**: each dominant closed conjunction (guarantee
-//!   clauses included) needs a witness tuple.
-//!
-//! Evaluation builds a per-object [`TupleMatrix`] — one bitmap per
-//! variable over the object's tuples — and answers each check with word-
-//! parallel AND/AND-NOT sweeps, short-circuiting on the first failure.
-//! Witness checks run largest-conjunction-first (most selective).
+//! The columnar matrix and compiled-check evaluation that used to live
+//! here moved down into [`qhorn_core::kernel`], where every layer of the
+//! system (oracles, learners, verifier, this engine, the service's batch
+//! path) shares one word-parallel evaluator. The engine re-exports the
+//! kernel types under their historical names; `CompiledQuery::compile`
+//! normalizes once (rules R1/R2 prune redundant checks) and `matches`
+//! picks the single-word fast path for arities ≤ 64 or a [`TupleMatrix`]
+//! sweep beyond.
 
-use qhorn_core::{Obj, Query, VarId, VarSet};
-
-/// Column bitmaps over one object's tuples: `column(v)` has bit `i` set
-/// iff tuple `i` has variable `v` true.
-#[derive(Clone, Debug)]
-pub struct TupleMatrix {
-    rows: usize,
-    words_per_col: usize,
-    /// Column-major bitmap data: `cols[v][w]`.
-    cols: Vec<Vec<u64>>,
-}
-
-impl TupleMatrix {
-    /// Builds the matrix for an object.
-    #[must_use]
-    pub fn build(obj: &Obj) -> Self {
-        let rows = obj.len();
-        let n = obj.arity() as usize;
-        let words = rows.div_ceil(64);
-        let mut cols = vec![vec![0u64; words]; n];
-        for (i, t) in obj.tuples().iter().enumerate() {
-            for v in t.true_set().iter() {
-                cols[v.index()][i / 64] |= 1 << (i % 64);
-            }
-        }
-        TupleMatrix {
-            rows,
-            words_per_col: words,
-            cols,
-        }
-    }
-
-    /// Number of tuples.
-    #[must_use]
-    pub fn rows(&self) -> usize {
-        self.rows
-    }
-
-    /// `true` iff some tuple has all of `vars` true.
-    #[must_use]
-    pub fn any_with_all(&self, vars: &VarSet) -> bool {
-        if self.rows == 0 {
-            return false;
-        }
-        if vars.is_empty() {
-            return true;
-        }
-        'words: for w in 0..self.words_per_col {
-            let mut acc = self.word_mask(w);
-            for v in vars.iter() {
-                acc &= self.cols[v.index()][w];
-                if acc == 0 {
-                    continue 'words;
-                }
-            }
-            return true;
-        }
-        false
-    }
-
-    /// `true` iff some tuple has all of `body` true and `head` false — a
-    /// violation of `∀ body → head`.
-    #[must_use]
-    pub fn any_violating(&self, body: &VarSet, head: VarId) -> bool {
-        'words: for w in 0..self.words_per_col {
-            let mut acc = self.word_mask(w) & !self.cols[head.index()][w];
-            if acc == 0 {
-                continue;
-            }
-            for v in body.iter() {
-                acc &= self.cols[v.index()][w];
-                if acc == 0 {
-                    continue 'words;
-                }
-            }
-            return true;
-        }
-        false
-    }
-
-    /// Valid-row mask for word `w` (handles the ragged last word).
-    fn word_mask(&self, w: usize) -> u64 {
-        let remaining = self.rows - w * 64;
-        if remaining >= 64 {
-            u64::MAX
-        } else {
-            (1u64 << remaining) - 1
-        }
-    }
-}
-
-/// A compiled, normalized qhorn query.
-#[derive(Clone, Debug)]
-pub struct CompiledQuery {
-    n: u16,
-    violations: Vec<(VarSet, VarId)>,
-    witnesses: Vec<VarSet>,
-}
-
-impl CompiledQuery {
-    /// Compiles a query: normalization plus static check ordering.
-    #[must_use]
-    pub fn compile(q: &Query) -> Self {
-        let nf = q.normal_form();
-        let violations: Vec<(VarSet, VarId)> = nf.universals().iter().cloned().collect();
-        let mut witnesses: Vec<VarSet> = nf.existentials().iter().cloned().collect();
-        // Largest conjunctions are hardest to witness: check them first.
-        witnesses.sort_by_key(|c| std::cmp::Reverse(c.len()));
-        CompiledQuery {
-            n: q.arity(),
-            violations,
-            witnesses,
-        }
-    }
-
-    /// Query arity.
-    #[must_use]
-    pub fn arity(&self) -> u16 {
-        self.n
-    }
-
-    /// Number of compiled checks (violations + witnesses).
-    #[must_use]
-    pub fn check_count(&self) -> usize {
-        self.violations.len() + self.witnesses.len()
-    }
-
-    /// Evaluates the compiled query on a prebuilt matrix.
-    #[must_use]
-    pub fn matches_matrix(&self, m: &TupleMatrix) -> bool {
-        for (b, h) in &self.violations {
-            if m.any_violating(b, *h) {
-                return false;
-            }
-        }
-        for w in &self.witnesses {
-            if !m.any_with_all(w) {
-                return false;
-            }
-        }
-        true
-    }
-
-    /// Evaluates the compiled query on an object (builds the matrix).
-    ///
-    /// # Panics
-    /// Panics on arity mismatch.
-    #[must_use]
-    pub fn matches(&self, obj: &Obj) -> bool {
-        assert_eq!(obj.arity(), self.n, "arity mismatch");
-        self.matches_matrix(&TupleMatrix::build(obj))
-    }
-}
+pub use qhorn_core::kernel::{CompiledQuery, TupleMatrix};
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use qhorn_core::query::generate::all_objects;
-    use qhorn_core::{varset, Expr};
-
-    fn v(i: u16) -> VarId {
-        VarId::from_one_based(i)
-    }
+    use qhorn_core::{Obj, Query};
+    use qhorn_lang::parse_with_arity;
 
     #[test]
-    fn matrix_bitmap_checks() {
-        let obj = Obj::from_bits("110 011 101");
-        let m = TupleMatrix::build(&obj);
-        assert_eq!(m.rows(), 3);
-        assert!(m.any_with_all(&varset![1, 2]));
-        assert!(!m.any_with_all(&varset![1, 2, 3]));
-        assert!(
-            m.any_with_all(&VarSet::new()),
-            "empty conjunction, non-empty object"
-        );
-        assert!(m.any_violating(&varset![1], v(3)), "110 violates ∀x1→x3");
-        assert!(
-            m.any_violating(&varset![2, 3], v(1)),
-            "011 violates ∀x2x3→x1"
-        );
-        assert!(
-            !m.any_violating(&varset![1, 2, 3], v(1)),
-            "no tuple satisfies the whole body"
-        );
-    }
-
-    #[test]
-    fn matrix_violation_details() {
-        let obj = Obj::from_bits("011");
-        let m = TupleMatrix::build(&obj);
-        assert!(m.any_violating(&varset![2, 3], v(1)));
-        assert!(!m.any_violating(&varset![1, 2], v(3)));
-        // Bodyless: any tuple with head false violates.
-        assert!(m.any_violating(&VarSet::new(), v(1)));
-        assert!(!m.any_violating(&VarSet::new(), v(2)));
-    }
-
-    #[test]
-    fn empty_object_matrix() {
-        let m = TupleMatrix::build(&Obj::empty(3));
-        assert!(!m.any_with_all(&VarSet::new()));
-        assert!(!m.any_violating(&VarSet::new(), v(1)));
-    }
-
-    #[test]
-    fn compiled_matches_interpreted_eval_exhaustively() {
-        // CompiledQuery::matches must agree with Query::accepts on every
-        // object for a spread of queries on 3 variables.
-        let queries = [
-            Query::new(
-                3,
-                [Expr::universal(varset![1], v(3)), Expr::conj(varset![2])],
-            )
-            .unwrap(),
-            Query::new(3, [Expr::universal_bodyless(v(1))]).unwrap(),
-            Query::new(3, [Expr::conj(varset![1, 2, 3])]).unwrap(),
-            Query::new(
-                3,
-                [
-                    Expr::universal(varset![1, 2], v(3)),
-                    Expr::existential_horn(varset![1], v(2)),
-                ],
-            )
-            .unwrap(),
-            Query::empty(3),
-        ];
-        for q in &queries {
-            let plan = CompiledQuery::compile(q);
-            for obj in all_objects(3) {
-                assert_eq!(
-                    plan.matches(&obj),
-                    q.accepts(&obj),
-                    "query {q} object {obj}"
-                );
-            }
-        }
-    }
-
-    #[test]
-    fn compiled_agrees_on_enumerated_two_variable_queries() {
-        for q in qhorn_core::query::generate::enumerate_role_preserving(2, false) {
-            let plan = CompiledQuery::compile(&q);
-            for obj in all_objects(2) {
-                assert_eq!(
-                    plan.matches(&obj),
-                    q.accepts(&obj),
-                    "query {q} object {obj}"
-                );
-            }
-        }
-    }
-
-    #[test]
-    fn normalization_shrinks_checks() {
-        // Redundant expressions disappear at compile time.
-        let q = Query::new(
-            3,
-            [
-                Expr::conj(varset![1, 2, 3]),
-                Expr::conj(varset![1, 2]),
-                Expr::conj(varset![1]),
-                Expr::universal(varset![1], v(3)),
-                Expr::universal(varset![1, 2], v(3)),
-            ],
-        )
-        .unwrap();
+    fn adapter_exposes_the_kernel_types() {
+        // The engine-level API is the kernel's: compile + matches.
+        let q: Query = parse_with_arity("all x1 -> x3; some x2", 3).unwrap();
         let plan = CompiledQuery::compile(&q);
-        assert_eq!(plan.check_count(), 2, "one violation + one witness remain");
-    }
-
-    #[test]
-    fn wide_objects_cross_word_boundaries() {
-        // > 64 tuples exercises multi-word bitmaps.
-        let n = 7u16;
-        let tuples: Vec<qhorn_core::BoolTuple> = qhorn_core::query::generate::all_tuples(n);
-        let obj = Obj::new(n, tuples);
-        assert!(obj.len() > 64);
+        assert_eq!(plan.arity(), 3);
+        let obj = Obj::from_bits("111 010");
+        assert_eq!(plan.matches(&obj), q.accepts(&obj));
         let m = TupleMatrix::build(&obj);
-        assert!(m.any_with_all(&VarSet::full(n)));
-        assert!(m.any_violating(&varset![1, 2, 3], v(7)));
-        let q = Query::new(n, [Expr::conj(VarSet::full(n))]).unwrap();
-        assert!(CompiledQuery::compile(&q).matches(&obj));
+        assert_eq!(m.rows(), 2);
+        assert_eq!(plan.matches_matrix(&m), q.accepts(&obj));
     }
 }

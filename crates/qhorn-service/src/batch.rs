@@ -7,7 +7,7 @@
 //! tests and relied on by the `EvaluateBatch` protocol message).
 
 use qhorn_engine::exec::ExecStats;
-use qhorn_engine::plan::{CompiledQuery, TupleMatrix};
+use qhorn_engine::plan::CompiledQuery;
 use qhorn_engine::storage::{ObjectId, Store};
 
 /// [`execute_parallel`] plus statistics (same shape as the sequential
@@ -67,8 +67,7 @@ fn evaluate_chunk(
 ) -> Vec<ObjectId> {
     let mut hits = Vec::new();
     for (signature, ids) in groups {
-        let matrix = TupleMatrix::build(signature);
-        if plan.matches_matrix(&matrix) {
+        if plan.matches(signature) {
             hits.extend_from_slice(ids);
         }
     }

@@ -18,6 +18,7 @@
 use crate::error::ServiceError;
 use crate::registry::{QuestionInfo, RegistryStats, StepOutcome};
 use qhorn_core::{Obj, Query, Response};
+use qhorn_engine::exec::ExecStats;
 use qhorn_engine::session::LearnerKind;
 use qhorn_json::{FromJson, Json, JsonError, ToJson};
 
@@ -184,10 +185,9 @@ pub enum Reply {
     Batch {
         /// Ids of the answer objects, ascending.
         answers: Vec<u32>,
-        /// Objects evaluated.
-        objects: usize,
-        /// Distinct signatures evaluated.
-        signatures: usize,
+        /// Execution statistics (objects vs signatures evaluated shows
+        /// the dedup effectiveness of the signature index).
+        stats: ExecStats,
         /// Worker threads used.
         workers: usize,
     },
@@ -443,6 +443,9 @@ impl ToJson for RegistryStats {
             ("failed", self.failed.to_json()),
             ("answers", self.answers.to_json()),
             ("batch_runs", self.batch_runs.to_json()),
+            ("batch_objects", self.batch_objects.to_json()),
+            ("batch_signatures", self.batch_signatures.to_json()),
+            ("batch_answers", self.batch_answers.to_json()),
             ("snapshots", self.snapshots.to_json()),
         ])
     }
@@ -459,6 +462,9 @@ impl FromJson for RegistryStats {
             failed: u64::from_json(j.field("failed")?)?,
             answers: u64::from_json(j.field("answers")?)?,
             batch_runs: u64::from_json(j.field("batch_runs")?)?,
+            batch_objects: u64::from_json(j.field("batch_objects")?)?,
+            batch_signatures: u64::from_json(j.field("batch_signatures")?)?,
+            batch_answers: u64::from_json(j.field("batch_answers")?)?,
             snapshots: u64::from_json(j.field("snapshots")?)?,
         })
     }
@@ -479,14 +485,12 @@ impl ToJson for Reply {
             ]),
             Reply::Batch {
                 answers,
-                objects,
-                signatures,
+                stats,
                 workers,
             } => Json::object([
                 ("type", Json::Str("batch".into())),
                 ("answers", answers.to_json()),
-                ("objects", objects.to_json()),
-                ("signatures", signatures.to_json()),
+                ("stats", stats.to_json()),
                 ("workers", workers.to_json()),
             ]),
             Reply::Exported { text } => Json::object([
@@ -522,8 +526,7 @@ impl FromJson for Reply {
             }),
             "batch" => Ok(Reply::Batch {
                 answers: Vec::<u32>::from_json(j.field("answers")?)?,
-                objects: usize::from_json(j.field("objects")?)?,
-                signatures: usize::from_json(j.field("signatures")?)?,
+                stats: ExecStats::from_json(j.field("stats")?)?,
                 workers: usize::from_json(j.field("workers")?)?,
             }),
             "exported" => Ok(Reply::Exported {
@@ -627,8 +630,11 @@ mod tests {
         });
         round_trip_reply(&Reply::Batch {
             answers: vec![0, 4, 9],
-            objects: 1000,
-            signatures: 37,
+            stats: ExecStats {
+                objects: 1000,
+                signatures_evaluated: 37,
+                answers: 3,
+            },
             workers: 4,
         });
         round_trip_reply(&Reply::Exported {

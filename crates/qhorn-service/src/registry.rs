@@ -166,6 +166,13 @@ pub struct RegistryStats {
     pub answers: u64,
     /// Parallel batch evaluations served (cumulative).
     pub batch_runs: u64,
+    /// Objects covered by batch evaluations (cumulative).
+    pub batch_objects: u64,
+    /// Distinct signatures actually evaluated by batch runs (cumulative)
+    /// — compare against `batch_objects` to observe dedup effectiveness.
+    pub batch_signatures: u64,
+    /// Answers returned by batch evaluations (cumulative).
+    pub batch_answers: u64,
     /// Snapshots currently held.
     pub snapshots: u64,
 }
@@ -219,6 +226,9 @@ pub struct Registry {
     failed: AtomicU64,
     answers: AtomicU64,
     batch_runs: AtomicU64,
+    batch_objects: AtomicU64,
+    batch_signatures: AtomicU64,
+    batch_answers: AtomicU64,
 }
 
 impl Registry {
@@ -240,6 +250,9 @@ impl Registry {
             failed: AtomicU64::new(0),
             answers: AtomicU64::new(0),
             batch_runs: AtomicU64::new(0),
+            batch_objects: AtomicU64::new(0),
+            batch_signatures: AtomicU64::new(0),
+            batch_answers: AtomicU64::new(0),
         }
     }
 
@@ -486,9 +499,16 @@ impl Registry {
         })
     }
 
-    /// Counts a served batch evaluation (the server calls this).
-    pub fn count_batch_run(&self) {
+    /// Counts a served batch evaluation and folds its execution
+    /// statistics into the cumulative counters (the server calls this).
+    pub fn count_batch_run(&self, stats: &qhorn_engine::exec::ExecStats) {
         self.batch_runs.fetch_add(1, Ordering::Relaxed);
+        self.batch_objects
+            .fetch_add(stats.objects as u64, Ordering::Relaxed);
+        self.batch_signatures
+            .fetch_add(stats.signatures_evaluated as u64, Ordering::Relaxed);
+        self.batch_answers
+            .fetch_add(stats.answers as u64, Ordering::Relaxed);
     }
 
     /// Runs [`Registry::sweep`] if enough time has passed since the last
@@ -561,6 +581,9 @@ impl Registry {
             failed: self.failed.load(Ordering::Relaxed),
             answers: self.answers.load(Ordering::Relaxed),
             batch_runs: self.batch_runs.load(Ordering::Relaxed),
+            batch_objects: self.batch_objects.load(Ordering::Relaxed),
+            batch_signatures: self.batch_signatures.load(Ordering::Relaxed),
+            batch_answers: self.batch_answers.load(Ordering::Relaxed),
             snapshots: self.snapshots.lock().expect("snapshots poisoned").len() as u64,
         }
     }

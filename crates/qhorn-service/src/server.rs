@@ -324,11 +324,10 @@ fn try_dispatch(registry: &Arc<Registry>, req: Request) -> Result<Reply, Service
             let plan = CompiledQuery::compile(&q);
             let (hits, stats) =
                 batch::execute_parallel_with_stats(&plan, store.boolean(), workers.max(1));
-            registry.count_batch_run();
+            registry.count_batch_run(&stats);
             Ok(Reply::Batch {
                 answers: hits.into_iter().map(|id| id.0).collect(),
-                objects: stats.objects,
-                signatures: stats.signatures_evaluated,
+                stats,
                 workers: workers.max(1),
             })
         }

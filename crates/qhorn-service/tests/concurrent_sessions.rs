@@ -281,14 +281,30 @@ fn batch_over_the_wire_matches_sequential_execution() {
             })
             .unwrap()
         {
-            Reply::Batch {
-                answers, objects, ..
-            } => {
-                assert_eq!(objects, 500);
+            Reply::Batch { answers, stats, .. } => {
+                assert_eq!(stats.objects, 500);
+                assert_eq!(stats.answers, expected.len());
+                assert!(
+                    stats.signatures_evaluated <= stats.objects,
+                    "dedup never evaluates more signatures than objects"
+                );
                 assert_eq!(answers, expected, "workers={workers}");
             }
             other => panic!("unexpected batch reply: {other:?}"),
         }
+    }
+
+    // The Stats message accumulates batch execution statistics, so
+    // clients can observe dedup effectiveness fleet-wide.
+    match client.request(&Request::Stats).unwrap() {
+        Reply::Stats(stats) => {
+            assert_eq!(stats.batch_runs, 3);
+            assert_eq!(stats.batch_objects, 1500);
+            assert_eq!(stats.batch_answers, 3 * expected.len() as u64);
+            assert!(stats.batch_signatures <= stats.batch_objects);
+            assert!(stats.batch_signatures > 0);
+        }
+        other => panic!("unexpected stats reply: {other:?}"),
     }
     server.shutdown();
 }

@@ -9,23 +9,36 @@
 //! whatever the learner concludes, some surviving candidate justifies
 //! every answer given).
 
+use qhorn_core::kernel::CompiledQuery;
 use qhorn_core::oracle::MembershipOracle;
 use qhorn_core::{BoolTuple, Expr, Obj, Query, Response, VarId, VarSet};
 
 /// A worst-case oracle over a finite candidate family.
+///
+/// Every candidate is compiled once through the evaluation kernel at
+/// construction; each membership question then sweeps the family with
+/// word-level checks (exponential families are exactly where per-question
+/// AST walks used to hurt).
 pub struct CandidateAdversary {
-    candidates: Vec<Query>,
+    candidates: Vec<(Query, CompiledQuery)>,
     questions: usize,
 }
 
 impl CandidateAdversary {
-    /// Builds an adversary over the family.
+    /// Builds an adversary over the family, compiling each candidate.
     ///
     /// # Panics
     /// Panics on an empty family.
     #[must_use]
     pub fn new(candidates: Vec<Query>) -> Self {
         assert!(!candidates.is_empty());
+        let candidates = candidates
+            .into_iter()
+            .map(|q| {
+                let plan = CompiledQuery::compile(&q);
+                (q, plan)
+            })
+            .collect();
         CandidateAdversary {
             candidates,
             questions: 0,
@@ -48,7 +61,7 @@ impl CandidateAdversary {
     /// the learner commits).
     #[must_use]
     pub fn any_survivor(&self) -> &Query {
-        &self.candidates[0]
+        &self.candidates[0].0
     }
 }
 
@@ -58,7 +71,7 @@ impl MembershipOracle for CandidateAdversary {
         let accepting = self
             .candidates
             .iter()
-            .filter(|c| c.accepts(question))
+            .filter(|(_, plan)| plan.matches(question))
             .count();
         let rejecting = self.candidates.len() - accepting;
         // Majority label; ties break to NonAnswer (the proofs' choice).
@@ -67,7 +80,8 @@ impl MembershipOracle for CandidateAdversary {
         } else {
             Response::NonAnswer
         };
-        self.candidates.retain(|c| c.eval(question) == label);
+        self.candidates
+            .retain(|(_, plan)| plan.matches(question) == label.is_answer());
         label
     }
 }
