@@ -1,0 +1,116 @@
+//! Durable-store throughput: append rates under different fsync batch
+//! sizes, and recovery (open + full replay) time as the log grows.
+//!
+//! Append batching is the store's main durability/throughput dial:
+//! `FsyncPolicy::EveryN(n)` amortizes one `fsync` over `n` records, so
+//! the 1/8/64 series shows what each acknowledged-durability level costs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use qhorn_core::{Obj, Response};
+use qhorn_engine::session::{Exchange, LearnerKind};
+use qhorn_store::{FsyncPolicy, LogRecord, SessionMeta, SessionStore, StoreConfig};
+use std::hint::black_box;
+use std::path::PathBuf;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR"))
+        .join(format!("bench-store-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn exchange_record(id: u64) -> LogRecord {
+    LogRecord::ExchangeAppended {
+        id,
+        exchange: Exchange {
+            question: Obj::from_bits("110 011"),
+            from_store: false,
+            response: Response::Answer,
+        },
+    }
+}
+
+fn created_record(id: u64) -> LogRecord {
+    LogRecord::SessionCreated {
+        id,
+        meta: SessionMeta {
+            dataset: "chocolates".into(),
+            size: 30,
+            learner: LearnerKind::Qhorn1,
+            max_questions: None,
+        },
+    }
+}
+
+/// Records appended per second, with one fsync per `batch` records.
+fn bench_append_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("store_append");
+    group.sample_size(10);
+    for batch in [1u32, 8, 64] {
+        group.throughput(Throughput::Elements(u64::from(batch)));
+        group.bench_with_input(
+            BenchmarkId::new("fsync_every", batch),
+            &batch,
+            |b, &batch| {
+                let dir = temp_dir(&format!("append-{batch}"));
+                let config = StoreConfig {
+                    fsync: FsyncPolicy::EveryN(batch),
+                    ..StoreConfig::new(dir.clone())
+                };
+                let (mut store, _) = SessionStore::open(&config).expect("open store");
+                store.append(&created_record(1)).expect("seed session");
+                let record = exchange_record(1);
+                b.iter(|| {
+                    for _ in 0..batch {
+                        black_box(store.append(&record).expect("append"));
+                    }
+                });
+                drop(store);
+                let _ = std::fs::remove_dir_all(&dir);
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Open-time recovery (scan + checksum + replay) vs log size.
+fn bench_recovery(c: &mut Criterion) {
+    let mut group = c.benchmark_group("store_recovery");
+    group.sample_size(10);
+    for records in [100u64, 1_000, 10_000] {
+        group.throughput(Throughput::Elements(records));
+        group.bench_with_input(
+            BenchmarkId::new("replay_records", records),
+            &records,
+            |b, &records| {
+                let dir = temp_dir(&format!("recover-{records}"));
+                let config = StoreConfig {
+                    fsync: FsyncPolicy::Never,
+                    ..StoreConfig::new(dir.clone())
+                };
+                {
+                    let (mut store, _) = SessionStore::open(&config).expect("open store");
+                    let sessions = 8;
+                    for id in 1..=sessions {
+                        store.append(&created_record(id)).expect("create");
+                    }
+                    for i in 0..records.saturating_sub(sessions) {
+                        store
+                            .append(&exchange_record(1 + i % sessions))
+                            .expect("append");
+                    }
+                    store.sync().expect("sync");
+                }
+                b.iter(|| {
+                    let (store, recovered) = SessionStore::open(&config).expect("recover");
+                    black_box((store.last_seq(), recovered.sessions.len()))
+                });
+                let _ = std::fs::remove_dir_all(&dir);
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_append_throughput, bench_recovery);
+criterion_main!(benches);

@@ -8,7 +8,7 @@
 //! learned query so an evicted session can later be restored and replayed
 //! (`qhorn-service` uses this for TTL eviction).
 
-use crate::session::Exchange;
+use crate::session::{Exchange, LearnerKind};
 use crate::storage::Store;
 use qhorn_core::{Obj, Query, Response};
 use qhorn_json::{FromJson, Json, JsonError, ToJson};
@@ -152,6 +152,20 @@ impl FromJson for Exchange {
             from_store: bool::from_json(j.field("from_store")?)?,
             response: Response::from_json(j.field("response")?)?,
         })
+    }
+}
+
+impl ToJson for LearnerKind {
+    fn to_json(&self) -> Json {
+        Json::Str(self.wire_name().into())
+    }
+}
+
+impl FromJson for LearnerKind {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        let name = String::from_json(j)?;
+        LearnerKind::from_wire(&name)
+            .ok_or_else(|| JsonError::msg(format!("unknown learner `{name}`")))
     }
 }
 

@@ -66,6 +66,28 @@ pub enum LearnerKind {
     RolePreserving,
 }
 
+impl LearnerKind {
+    /// Stable wire/persistence name (`"qhorn1"` / `"role_preserving"`),
+    /// shared by the service protocol and the durable session log.
+    #[must_use]
+    pub fn wire_name(self) -> &'static str {
+        match self {
+            LearnerKind::Qhorn1 => "qhorn1",
+            LearnerKind::RolePreserving => "role_preserving",
+        }
+    }
+
+    /// Parses a [`LearnerKind::wire_name`].
+    #[must_use]
+    pub fn from_wire(name: &str) -> Option<LearnerKind> {
+        match name {
+            "qhorn1" => Some(LearnerKind::Qhorn1),
+            "role_preserving" => Some(LearnerKind::RolePreserving),
+            _ => None,
+        }
+    }
+}
+
 /// One transcript entry.
 #[derive(Clone, PartialEq, Debug)]
 pub struct Exchange {

@@ -5,7 +5,15 @@
 //! cargo run -p qhorn-service --example serve -- 127.0.0.1:7878
 //! printf '{"type":"stats"}\n' | nc 127.0.0.1 7878
 //! ```
+//!
+//! An optional second argument enables durability: sessions are logged
+//! to that directory and recovered on the next start.
+//!
+//! ```sh
+//! cargo run -p qhorn-service --example serve -- 127.0.0.1:7878 ./sessions
+//! ```
 
+use qhorn_service::store::StoreConfig;
 use qhorn_service::{Registry, RegistryConfig, Server};
 use std::sync::Arc;
 
@@ -13,9 +21,18 @@ fn main() {
     let addr = std::env::args()
         .nth(1)
         .unwrap_or_else(|| "127.0.0.1:0".into());
-    let registry = Arc::new(Registry::new(RegistryConfig::default()));
+    let store = std::env::args().nth(2).map(StoreConfig::new);
+    let config = RegistryConfig {
+        store,
+        ..RegistryConfig::default()
+    };
+    let registry = Arc::new(Registry::open(config).expect("open registry"));
+    let recovered = registry.stats().snapshots;
     let server = Server::start(&addr, registry, 4).expect("bind");
-    println!("listening on {}", server.addr());
+    println!(
+        "listening on {} ({recovered} sessions recovered)",
+        server.addr()
+    );
     loop {
         std::thread::sleep(std::time::Duration::from_secs(3600));
     }

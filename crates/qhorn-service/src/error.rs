@@ -23,6 +23,8 @@ pub enum ServiceError {
     Engine(String),
     /// The session's driver did not produce an event in time.
     DriverTimeout,
+    /// The durable session store failed.
+    Store(String),
     /// Transport-level failure (client helper).
     Transport(String),
 }
@@ -38,6 +40,7 @@ impl fmt::Display for ServiceError {
             ServiceError::Parse(msg) => write!(f, "parse error: {msg}"),
             ServiceError::Engine(msg) => write!(f, "engine error: {msg}"),
             ServiceError::DriverTimeout => write!(f, "session driver timed out"),
+            ServiceError::Store(msg) => write!(f, "store error: {msg}"),
             ServiceError::Transport(msg) => write!(f, "transport error: {msg}"),
         }
     }

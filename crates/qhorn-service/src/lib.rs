@@ -5,13 +5,16 @@
 //! long-lived server mediating many interactive question/answer dialogues
 //! at once, each learning (and verifying) a user's intended query.
 //!
-//! * [`registry`] — a sharded, lock-striped in-memory session registry:
-//!   TTL eviction to snapshots, transparent restore with transcript
-//!   replay, and a per-session state machine
-//!   (`AwaitingAnswer → Learning → Verifying → Done/Failed`);
+//! * [`registry`] — a sharded, lock-striped session registry: TTL
+//!   eviction to snapshots (LRU-capped via `max_snapshots`), transparent
+//!   restore with transcript replay, a per-session state machine
+//!   (`AwaitingAnswer → Learning → Verifying → Done/Failed`), and
+//!   optional **durability** through `qhorn-store` — every exchange is
+//!   appended to a checksummed log before the request returns, and
+//!   [`Registry::open`] recovers all sessions after a crash;
 //! * [`proto`] — the JSON-lines request/reply protocol (`CreateSession`,
 //!   `NextQuestion`, `Answer`, `Correct` + replay, `Verify`,
-//!   `EvaluateBatch`, `ExportQuery`, `Stats`);
+//!   `EvaluateBatch`, `ExportQuery`, `CloseSession`, `Stats`);
 //! * [`server`] — the protocol over `std::net::TcpListener` with a fixed
 //!   worker pool, graceful shutdown, and a blocking [`Client`];
 //! * [`batch`] — parallel batch evaluation of compiled queries, identical
@@ -61,5 +64,8 @@ pub mod registry;
 pub mod server;
 
 pub use error::ServiceError;
-pub use registry::{Registry, RegistryConfig};
+pub use registry::{Registry, RegistryConfig, SweepReport};
 pub use server::{Client, Server};
+
+// Re-exported so clients configuring durability need only this crate.
+pub use qhorn_store as store;

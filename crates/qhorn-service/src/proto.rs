@@ -84,6 +84,12 @@ pub enum Request {
         /// `"ascii"`, `"unicode"`, or `"json"`.
         format: String,
     },
+    /// Close a session for good: drops the live entry and snapshot, and
+    /// (with a durable store) logs the removal so recovery skips it.
+    CloseSession {
+        /// Session id.
+        session: u64,
+    },
     /// Aggregate service counters.
     Stats,
 }
@@ -196,6 +202,11 @@ pub enum Reply {
         /// The query in the requested format.
         text: String,
     },
+    /// Session closed.
+    Closed {
+        /// The closed session's id.
+        session: u64,
+    },
     /// Aggregate counters.
     Stats(RegistryStats),
     /// Request-level failure.
@@ -306,6 +317,10 @@ impl ToJson for Request {
                 ("session", session.to_json()),
                 ("format", format.to_json()),
             ]),
+            Request::CloseSession { session } => Json::object([
+                ("type", Json::Str("close_session".into())),
+                ("session", session.to_json()),
+            ]),
             Request::Stats => Json::object([("type", Json::Str("stats".into()))]),
         }
     }
@@ -362,6 +377,9 @@ impl FromJson for Request {
             "export_query" => Ok(Request::ExportQuery {
                 session: u64::from_json(j.field("session")?)?,
                 format: opt_field::<String>(j, "format")?.unwrap_or_else(|| "unicode".into()),
+            }),
+            "close_session" => Ok(Request::CloseSession {
+                session: u64::from_json(j.field("session")?)?,
             }),
             "stats" => Ok(Request::Stats),
             other => Err(JsonError::msg(format!("unknown request type `{other}`"))),
@@ -434,20 +452,28 @@ impl FromJson for StepReply {
 
 impl ToJson for RegistryStats {
     fn to_json(&self) -> Json {
-        Json::object([
-            ("created", self.created.to_json()),
-            ("live", self.live.to_json()),
-            ("evicted", self.evicted.to_json()),
-            ("restored", self.restored.to_json()),
-            ("completed", self.completed.to_json()),
-            ("failed", self.failed.to_json()),
-            ("answers", self.answers.to_json()),
-            ("batch_runs", self.batch_runs.to_json()),
-            ("batch_objects", self.batch_objects.to_json()),
-            ("batch_signatures", self.batch_signatures.to_json()),
-            ("batch_answers", self.batch_answers.to_json()),
-            ("snapshots", self.snapshots.to_json()),
-        ])
+        let mut pairs = vec![
+            ("created".to_string(), self.created.to_json()),
+            ("live".to_string(), self.live.to_json()),
+            ("evicted".to_string(), self.evicted.to_json()),
+            ("restored".to_string(), self.restored.to_json()),
+            ("completed".to_string(), self.completed.to_json()),
+            ("failed".to_string(), self.failed.to_json()),
+            ("answers".to_string(), self.answers.to_json()),
+            ("batch_runs".to_string(), self.batch_runs.to_json()),
+            ("batch_objects".to_string(), self.batch_objects.to_json()),
+            (
+                "batch_signatures".to_string(),
+                self.batch_signatures.to_json(),
+            ),
+            ("batch_answers".to_string(), self.batch_answers.to_json()),
+            ("snapshots".to_string(), self.snapshots.to_json()),
+        ];
+        // Omitted entirely when no durable store is configured.
+        if let Some(store) = &self.store {
+            pairs.push(("store".to_string(), store.to_json()));
+        }
+        Json::Obj(pairs)
     }
 }
 
@@ -466,6 +492,7 @@ impl FromJson for RegistryStats {
             batch_signatures: u64::from_json(j.field("batch_signatures")?)?,
             batch_answers: u64::from_json(j.field("batch_answers")?)?,
             snapshots: u64::from_json(j.field("snapshots")?)?,
+            store: opt_field(j, "store")?,
         })
     }
 }
@@ -496,6 +523,10 @@ impl ToJson for Reply {
             Reply::Exported { text } => Json::object([
                 ("type", Json::Str("exported".into())),
                 ("text", text.to_json()),
+            ]),
+            Reply::Closed { session } => Json::object([
+                ("type", Json::Str("closed".into())),
+                ("session", session.to_json()),
             ]),
             Reply::Stats(stats) => {
                 let mut pairs = vec![("type".to_string(), Json::Str("stats".into()))];
@@ -531,6 +562,9 @@ impl FromJson for Reply {
             }),
             "exported" => Ok(Reply::Exported {
                 text: String::from_json(j.field("text")?)?,
+            }),
+            "closed" => Ok(Reply::Closed {
+                session: u64::from_json(j.field("session")?)?,
             }),
             "stats" => Ok(Reply::Stats(RegistryStats::from_json(j)?)),
             "error" => Ok(Reply::Error {
@@ -595,6 +629,7 @@ mod tests {
             session: 7,
             format: "ascii".into(),
         });
+        round_trip_request(&Request::CloseSession { session: 7 });
         round_trip_request(&Request::Stats);
     }
 
@@ -640,6 +675,7 @@ mod tests {
         round_trip_reply(&Reply::Exported {
             text: "∀x1 ∃x2x3".into(),
         });
+        round_trip_reply(&Reply::Closed { session: 3 });
         round_trip_reply(&Reply::Stats(RegistryStats {
             created: 5,
             live: 2,
@@ -648,6 +684,35 @@ mod tests {
         round_trip_reply(&Reply::Error {
             message: "unknown session 9".into(),
         });
+    }
+
+    #[test]
+    fn stats_store_object_round_trips_and_is_omitted_without_a_store() {
+        // No store configured: the `store` key must not appear.
+        let bare = Reply::Stats(RegistryStats::default());
+        let line = qhorn_json::to_string(&bare);
+        assert!(!line.contains("\"store\""), "{line}");
+        round_trip_reply(&bare);
+
+        // With a store: the nested object round-trips field by field.
+        let with_store = Reply::Stats(RegistryStats {
+            created: 2,
+            store: Some(qhorn_store::StoreStats {
+                records_appended: 17,
+                bytes_appended: 4096,
+                segments: 2,
+                live_log_bytes: 2048,
+                compactions: 1,
+                last_compaction_seq: 11,
+                recovered_sessions: 3,
+                torn_truncations: 0,
+            }),
+            ..Default::default()
+        });
+        let line = qhorn_json::to_string(&with_store);
+        assert!(line.contains("\"store\""), "{line}");
+        assert!(line.contains("\"records_appended\":17"), "{line}");
+        round_trip_reply(&with_store);
     }
 
     #[test]

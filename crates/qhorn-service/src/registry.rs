@@ -20,6 +20,15 @@
 //! touching an evicted id restores it — completed sessions come back
 //! whole, mid-learning sessions replay their answered transcript so the
 //! user is only re-asked the question that was in flight.
+//!
+//! With a [`StoreConfig`], the registry is **durable** (`qhorn-store`):
+//! every created session, answered exchange, correction, and learned
+//! query is appended to the log before the request returns, and
+//! [`Registry::open`] recovers all of it after a crash — recovered
+//! sessions start as evicted-with-snapshot and lazily replay on first
+//! touch, exactly like TTL-evicted ones. In-memory snapshots are bounded
+//! by `max_snapshots` (LRU); drops past the cap fall through to the
+//! durable store when configured.
 
 use crate::dataset;
 use crate::driver::{self, DriverCmd, DriverEvent, DriverHandle, QuestionOut};
@@ -29,6 +38,9 @@ use qhorn_core::{Obj, Query, Response};
 use qhorn_engine::persist::{self, SessionSnapshot};
 use qhorn_engine::session::{Exchange, LearnerKind};
 use qhorn_engine::DataStore;
+use qhorn_store::{
+    LogRecord, PersistedSession, SessionMeta, SessionStore, SnapshotEntry, StoreConfig, StoreStats,
+};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -43,6 +55,13 @@ pub struct RegistryConfig {
     pub ttl: Duration,
     /// How long to wait for a driver to produce its next event.
     pub driver_timeout: Duration,
+    /// LRU cap on in-memory snapshots. Past it the least-recently-touched
+    /// snapshot is dropped — recoverable from the durable store when one
+    /// is configured, gone otherwise. `None` = unbounded.
+    pub max_snapshots: Option<usize>,
+    /// Durable session store. `None` keeps the registry memory-only (a
+    /// restart loses every session).
+    pub store: Option<StoreConfig>,
 }
 
 impl Default for RegistryConfig {
@@ -51,8 +70,24 @@ impl Default for RegistryConfig {
             shards: 16,
             ttl: Duration::from_secs(15 * 60),
             driver_timeout: Duration::from_secs(10),
+            max_snapshots: None,
+            store: None,
         }
     }
+}
+
+/// What one [`Registry::sweep`] pass did.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SweepReport {
+    /// Idle sessions evicted to snapshots.
+    pub evicted: usize,
+    /// Whether the pass compacted the durable log (live log over
+    /// `compact_threshold_bytes`).
+    pub compacted: bool,
+    /// Why a due compaction did not run (I/O failure); `None` when the
+    /// compaction succeeded or was not due. The log keeps growing until
+    /// a later sweep succeeds, so callers should surface this.
+    pub compact_error: Option<String>,
 }
 
 /// What a session is doing, as exposed on the wire.
@@ -175,6 +210,8 @@ pub struct RegistryStats {
     pub batch_answers: u64,
     /// Snapshots currently held.
     pub snapshots: u64,
+    /// Durable store counters (`None` when no store is configured).
+    pub store: Option<StoreStats>,
 }
 
 struct Entry {
@@ -206,6 +243,8 @@ struct SnapshotRecord {
     asked: Vec<Obj>,
     answered: usize,
     verified: Option<bool>,
+    /// LRU stamp (monotonic insertion clock) for the `max_snapshots` cap.
+    touched: u64,
 }
 
 /// The sharded session registry. Cheap to share (`Arc`).
@@ -217,6 +256,11 @@ pub struct Registry {
     /// one evicted id all land on the single restored entry, without
     /// unrelated sessions' restores queueing behind each other.
     restore_locks: Vec<Mutex<()>>,
+    /// The durable log (`qhorn-store`); appends happen under the entry
+    /// lock, so per-session record order matches per-session state order.
+    store: Option<Mutex<SessionStore>>,
+    /// Monotonic clock stamping snapshot touches for the LRU cap.
+    snap_clock: AtomicU64,
     last_sweep: Mutex<Instant>,
     next_id: AtomicU64,
     created: AtomicU64,
@@ -232,17 +276,49 @@ pub struct Registry {
 }
 
 impl Registry {
-    /// Builds an empty registry.
+    /// Builds a registry, running durable-store recovery when one is
+    /// configured.
+    ///
+    /// # Panics
+    /// If the durable store fails to open; use [`Registry::open`] to
+    /// handle that as an error.
     #[must_use]
     pub fn new(config: RegistryConfig) -> Self {
+        Self::open(config).expect("durable store failed to open")
+    }
+
+    /// Builds a registry. With `config.store` set, opens the durable log,
+    /// recovers every live session, and parks each as an
+    /// evicted-with-snapshot entry — the first touch restores it (replaying
+    /// the transcript for mid-learning sessions), the same mechanism TTL
+    /// eviction uses. Session id assignment resumes above every id the
+    /// log has ever seen.
+    ///
+    /// # Errors
+    /// [`ServiceError::Store`] if the durable store cannot be opened.
+    pub fn open(config: RegistryConfig) -> Result<Self, ServiceError> {
         let shards = config.shards.max(1);
-        Registry {
+        let mut next_id = 1u64;
+        let mut recovered = Vec::new();
+        let store = match &config.store {
+            Some(cfg) => {
+                let (store, state) =
+                    SessionStore::open(cfg).map_err(|e| ServiceError::Store(e.to_string()))?;
+                next_id = state.max_session_id + 1;
+                recovered = state.sessions;
+                Some(Mutex::new(store))
+            }
+            None => None,
+        };
+        let registry = Registry {
             config,
             shards: (0..shards).map(|_| Mutex::new(HashMap::new())).collect(),
             snapshots: Mutex::new(HashMap::new()),
             restore_locks: (0..shards).map(|_| Mutex::new(())).collect(),
+            store,
+            snap_clock: AtomicU64::new(0),
             last_sweep: Mutex::new(Instant::now()),
-            next_id: AtomicU64::new(1),
+            next_id: AtomicU64::new(next_id),
             created: AtomicU64::new(0),
             evicted: AtomicU64::new(0),
             restored: AtomicU64::new(0),
@@ -253,7 +329,12 @@ impl Registry {
             batch_objects: AtomicU64::new(0),
             batch_signatures: AtomicU64::new(0),
             batch_answers: AtomicU64::new(0),
+        };
+        for session in recovered {
+            let id = session.id;
+            registry.insert_snapshot(id, snapshot_record_from_persisted(session));
         }
+        Ok(registry)
     }
 
     fn shard(&self, id: u64) -> &Mutex<HashMap<u64, Arc<Mutex<Entry>>>> {
@@ -275,6 +356,10 @@ impl Registry {
             .send(DriverCmd::Learn(learn_options(&spec)))
             .map_err(|_| ServiceError::DriverTimeout)?;
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        self.log_append(&LogRecord::SessionCreated {
+            id,
+            meta: session_meta(&spec, spec.learner),
+        })?;
         let mut entry = Entry {
             state: SessionState::Learning,
             kind: spec.learner,
@@ -290,7 +375,15 @@ impl Registry {
             answered: 0,
             last_touch: Instant::now(),
         };
-        let outcome = self.pump(&mut entry)?;
+        let outcome = match self.pump(id, &mut entry) {
+            Ok(outcome) => outcome,
+            Err(e) => {
+                // The client never learns this id; compensate so recovery
+                // does not resurrect an ownerless phantom session.
+                let _ = self.log_append(&LogRecord::SessionClosed { id });
+                return Err(e);
+            }
+        };
         self.created.fetch_add(1, Ordering::Relaxed);
         self.shard(id)
             .lock()
@@ -318,7 +411,7 @@ impl Registry {
                 entry.state,
                 SessionState::Learning | SessionState::AwaitingAnswer | SessionState::Verifying
             ) {
-                return self.pump(entry);
+                return self.pump(id, entry);
             }
             match entry.state {
                 SessionState::Done => {
@@ -358,11 +451,21 @@ impl Registry {
                     needed: "a pending question",
                 });
             };
-            entry.transcript.push(Exchange {
+            let exchange = Exchange {
                 question: pending.question.clone(),
                 from_store: pending.from_store,
                 response,
-            });
+            };
+            // Durable before acknowledged: once the answer is applied, the
+            // log has it (under `FsyncPolicy::Always`, on disk).
+            if let Err(e) = self.log_append(&LogRecord::ExchangeAppended {
+                id,
+                exchange: exchange.clone(),
+            }) {
+                entry.pending = Some(pending);
+                return Err(e);
+            }
+            entry.transcript.push(exchange);
             entry.answered += 1;
             entry.last_touch = Instant::now();
             if entry.state == SessionState::AwaitingAnswer {
@@ -374,7 +477,7 @@ impl Registry {
                 .send(response)
                 .map_err(|_| ServiceError::DriverTimeout)?;
             self.answers.fetch_add(1, Ordering::Relaxed);
-            self.pump(entry)
+            self.pump(id, entry)
         })
     }
 
@@ -407,6 +510,10 @@ impl Registry {
                 )))?;
                 by_question.push((q.clone(), r));
             }
+            self.log_append(&LogRecord::Corrected {
+                id,
+                corrections: corrections.to_vec(),
+            })?;
             for e in &mut entry.transcript {
                 if let Some((_, r)) = by_question.iter().find(|(q, _)| *q == e.question) {
                     e.response = *r;
@@ -422,7 +529,7 @@ impl Registry {
                 .cmd_tx
                 .send(DriverCmd::Relearn(by_question, learn_options(&entry.spec)))
                 .map_err(|_| ServiceError::DriverTimeout)?;
-            self.pump(entry)
+            self.pump(id, entry)
         })
     }
 
@@ -470,7 +577,7 @@ impl Registry {
                 .cmd_tx
                 .send(DriverCmd::Verify(q))
                 .map_err(|_| ServiceError::DriverTimeout)?;
-            self.pump(entry)
+            self.pump(id, entry)
         })
     }
 
@@ -528,9 +635,9 @@ impl Registry {
         self.sweep();
     }
 
-    /// Evicts every session idle longer than the TTL, snapshotting each.
-    /// Returns how many sessions were evicted.
-    pub fn sweep(&self) -> usize {
+    /// Evicts every session idle longer than the TTL, snapshotting each,
+    /// then compacts the durable log if it has outgrown its threshold.
+    pub fn sweep(&self) -> SweepReport {
         let ttl = self.config.ttl;
         let mut evicted = 0usize;
         for shard in &self.shards {
@@ -561,7 +668,126 @@ impl Registry {
             }
         }
         self.evicted.fetch_add(evicted as u64, Ordering::Relaxed);
-        evicted
+        let (compacted, compact_error) = self.maybe_compact();
+        SweepReport {
+            evicted,
+            compacted,
+            compact_error,
+        }
+    }
+
+    /// Compacts the durable log when its live size exceeds the configured
+    /// `compact_threshold_bytes`. Returns whether a compaction ran, and
+    /// the error when one was due but failed.
+    fn maybe_compact(&self) -> (bool, Option<String>) {
+        let (Some(store), Some(cfg)) = (&self.store, &self.config.store) else {
+            return (false, None);
+        };
+        let over = {
+            let s = store.lock().expect("store poisoned");
+            s.live_log_bytes() > cfg.compact_threshold_bytes
+        };
+        if !over {
+            return (false, None);
+        }
+        match self.compact_store() {
+            Ok(()) => (true, None),
+            Err(e) => (false, Some(e.to_string())),
+        }
+    }
+
+    /// Snapshots every session to the store's snapshot file and truncates
+    /// wholly-covered log segments.
+    ///
+    /// Rotation happens first, so each captured state (taken under its
+    /// entry lock, with the store's sequence cursor read inside that
+    /// critical section) provably covers every record in the sealed
+    /// segments the snapshot replaces; records racing in behind a capture
+    /// land in the surviving active segment and replay on top at
+    /// recovery.
+    fn compact_store(&self) -> Result<(), ServiceError> {
+        let store = self.store.as_ref().expect("caller checked store");
+        let store_err = |e: qhorn_store::StoreError| ServiceError::Store(e.to_string());
+        let boundary = store
+            .lock()
+            .expect("store poisoned")
+            .rotate()
+            .map_err(store_err)?;
+        let mut captured = Vec::new();
+        for shard in &self.shards {
+            let handles: Vec<(u64, Arc<Mutex<Entry>>)> = {
+                let map = shard.lock().expect("shard poisoned");
+                map.iter().map(|(&id, h)| (id, Arc::clone(h))).collect()
+            };
+            for (id, handle) in handles {
+                let entry = handle.lock().expect("entry poisoned");
+                let through_seq = store.lock().expect("store poisoned").last_seq();
+                captured.push(SnapshotEntry {
+                    through_seq,
+                    session: persisted_from_entry(id, &entry),
+                });
+            }
+        }
+        {
+            let snaps = self.snapshots.lock().expect("snapshots poisoned");
+            for (&id, record) in snaps.iter() {
+                let through_seq = store.lock().expect("store poisoned").last_seq();
+                captured.push(SnapshotEntry {
+                    through_seq,
+                    session: persisted_from_record(id, record)?,
+                });
+            }
+        }
+        store
+            .lock()
+            .expect("store poisoned")
+            .write_snapshot(&captured, boundary)
+            .map_err(store_err)
+    }
+
+    /// Closes a session for good: the live entry and snapshot are
+    /// dropped, and (with a store) a `SessionClosed` record makes the
+    /// removal durable — recovery will not resurrect it.
+    ///
+    /// # Errors
+    /// [`ServiceError::UnknownSession`] if the id is nowhere (live,
+    /// snapshot, or durable store); store append failures.
+    pub fn close_session(&self, id: u64) -> Result<(), ServiceError> {
+        // Serialize against restores on this stripe: without it, a
+        // concurrent `with_entry` could be mid-restore (snapshot already
+        // taken, entry not yet inserted), and the close would durably log
+        // `SessionClosed` while the restore resurrects the session live.
+        let stripe = (id as usize) % self.restore_locks.len();
+        let _closing = self.restore_locks[stripe]
+            .lock()
+            .expect("restore lock poisoned");
+        let live = self
+            .shard(id)
+            .lock()
+            .expect("shard poisoned")
+            .remove(&id)
+            .is_some();
+        let snapshotted = self
+            .snapshots
+            .lock()
+            .expect("snapshots poisoned")
+            .remove(&id)
+            .is_some();
+        if !live && !snapshotted {
+            let in_store = match &self.store {
+                Some(store) => store
+                    .lock()
+                    .expect("store poisoned")
+                    .load_session(id)
+                    .map_err(|e| ServiceError::Store(e.to_string()))?
+                    .is_some(),
+                None => false,
+            };
+            if !in_store {
+                return Err(ServiceError::UnknownSession(id));
+            }
+        }
+        self.log_append(&LogRecord::SessionClosed { id })
     }
 
     /// Aggregate counters.
@@ -585,6 +811,10 @@ impl Registry {
             batch_signatures: self.batch_signatures.load(Ordering::Relaxed),
             batch_answers: self.batch_answers.load(Ordering::Relaxed),
             snapshots: self.snapshots.lock().expect("snapshots poisoned").len() as u64,
+            store: self
+                .store
+                .as_ref()
+                .map(|s| s.lock().expect("store poisoned").stats()),
         }
     }
 
@@ -647,23 +877,57 @@ impl Registry {
             asked: entry.asked.clone(),
             answered: entry.answered,
             verified: entry.verified,
+            touched: 0,
         };
-        self.snapshots
-            .lock()
-            .expect("snapshots poisoned")
-            .insert(id, record);
+        self.insert_snapshot(id, record);
+    }
+
+    /// Inserts a snapshot record, enforcing the `max_snapshots` LRU cap:
+    /// past it the least-recently-touched record is dropped — it remains
+    /// recoverable from the durable store when one is configured, and is
+    /// gone otherwise.
+    fn insert_snapshot(&self, id: u64, mut record: SnapshotRecord) {
+        record.touched = self.snap_clock.fetch_add(1, Ordering::Relaxed);
+        let mut map = self.snapshots.lock().expect("snapshots poisoned");
+        map.insert(id, record);
+        if let Some(cap) = self.config.max_snapshots {
+            while map.len() > cap {
+                let Some(oldest) = map
+                    .iter()
+                    .min_by_key(|(_, r)| r.touched)
+                    .map(|(&oldest, _)| oldest)
+                else {
+                    break;
+                };
+                map.remove(&oldest);
+            }
+        }
     }
 
     /// Rebuilds a live entry from a snapshot. Completed sessions come
     /// back `Done`; mid-learning sessions replay their transcript and
     /// park on the first genuinely new question.
     fn restore(&self, id: u64) -> Result<(), ServiceError> {
-        let record = self
+        let cached = self
             .snapshots
             .lock()
             .expect("snapshots poisoned")
-            .remove(&id)
-            .ok_or(ServiceError::UnknownSession(id))?;
+            .remove(&id);
+        let record = match cached {
+            Some(record) => record,
+            // Dropped past the LRU cap (or never cached): fall through to
+            // the durable store and replay the session from the log.
+            None => match &self.store {
+                Some(store) => store
+                    .lock()
+                    .expect("store poisoned")
+                    .load_session(id)
+                    .map_err(|e| ServiceError::Store(e.to_string()))?
+                    .map(snapshot_record_from_persisted)
+                    .ok_or(ServiceError::UnknownSession(id))?,
+                None => return Err(ServiceError::UnknownSession(id)),
+            },
+        };
         let snap = persist::session_from_json(&record.json)
             .map_err(|e| ServiceError::Engine(e.to_string()))?;
         let (store, hints) = dataset::build(&record.spec.dataset, record.spec.size)?;
@@ -698,7 +962,7 @@ impl Registry {
                 .cmd_tx
                 .send(DriverCmd::Relearn(Vec::new(), learn_options(&entry.spec)))
                 .map_err(|_| ServiceError::DriverTimeout)?;
-            self.pump(&mut entry)?;
+            self.pump(id, &mut entry)?;
         }
         self.restored.fetch_add(1, Ordering::Relaxed);
         self.shard(id)
@@ -708,8 +972,20 @@ impl Registry {
         Ok(())
     }
 
+    /// Appends one record to the durable log, when one is configured.
+    fn log_append(&self, record: &LogRecord) -> Result<(), ServiceError> {
+        if let Some(store) = &self.store {
+            store
+                .lock()
+                .expect("store poisoned")
+                .append(record)
+                .map_err(|e| ServiceError::Store(e.to_string()))?;
+        }
+        Ok(())
+    }
+
     /// Waits for the driver's next event and applies it to the entry.
-    fn pump(&self, entry: &mut Entry) -> Result<StepOutcome, ServiceError> {
+    fn pump(&self, id: u64, entry: &mut Entry) -> Result<StepOutcome, ServiceError> {
         let event = entry
             .driver
             .evt_rx
@@ -735,6 +1011,10 @@ impl Registry {
                         entry.learned = Some(query.clone());
                         entry.failure = None;
                         self.completed.fetch_add(1, Ordering::Relaxed);
+                        self.log_append(&LogRecord::QueryLearned {
+                            id,
+                            query: query.clone(),
+                        })?;
                         Ok(StepOutcome::Learned {
                             query,
                             questions: entry.answered,
@@ -769,6 +1049,69 @@ fn learn_options(spec: &CreateSpec) -> LearnOptions {
         // extra questions up front so incomplete targets learn exactly.
         detect_free_variables: true,
     }
+}
+
+/// Converts a store-recovered session into the evicted-with-snapshot form
+/// the restore path consumes (`touched` is stamped at insert).
+fn snapshot_record_from_persisted(session: PersistedSession) -> SnapshotRecord {
+    let snap = SessionSnapshot::new(session.transcript, session.learned);
+    let json = persist::session_to_json(&snap).expect("snapshots always serialize");
+    SnapshotRecord {
+        json,
+        spec: CreateSpec {
+            dataset: session.meta.dataset,
+            size: session.meta.size,
+            learner: session.meta.learner,
+            max_questions: session.meta.max_questions,
+        },
+        kind: session.meta.learner,
+        asked: session.asked,
+        answered: session.answered,
+        verified: session.verified,
+        touched: 0,
+    }
+}
+
+/// The durable form of a session's construction parameters.
+fn session_meta(spec: &CreateSpec, kind: LearnerKind) -> SessionMeta {
+    SessionMeta {
+        dataset: spec.dataset.clone(),
+        size: spec.size,
+        learner: kind,
+        max_questions: spec.max_questions,
+    }
+}
+
+/// Captures a live entry's full state for a compaction snapshot.
+fn persisted_from_entry(id: u64, entry: &Entry) -> PersistedSession {
+    PersistedSession {
+        id,
+        meta: session_meta(&entry.spec, entry.kind),
+        asked: entry.asked.clone(),
+        answered: entry.answered,
+        verified: entry.verified,
+        transcript: entry.transcript.clone(),
+        learned: entry.learned.clone(),
+    }
+}
+
+/// Captures an in-memory snapshot record's state for a compaction
+/// snapshot.
+fn persisted_from_record(
+    id: u64,
+    record: &SnapshotRecord,
+) -> Result<PersistedSession, ServiceError> {
+    let snap = persist::session_from_json(&record.json)
+        .map_err(|e| ServiceError::Engine(e.to_string()))?;
+    Ok(PersistedSession {
+        id,
+        meta: session_meta(&record.spec, record.kind),
+        asked: record.asked.clone(),
+        answered: record.answered,
+        verified: record.verified,
+        transcript: snap.transcript,
+        learned: snap.learned,
+    })
 }
 
 #[cfg(test)]
@@ -863,7 +1206,7 @@ mod tests {
         assert!(equivalent(&learned, &target));
         // TTL zero: the sweep evicts it.
         std::thread::sleep(Duration::from_millis(5));
-        assert_eq!(reg.sweep(), 1);
+        assert_eq!(reg.sweep().evicted, 1);
         assert_eq!(reg.stats().live, 0);
         assert_eq!(reg.stats().snapshots, 1);
         // Touching the id restores it, learned query intact.
@@ -893,7 +1236,7 @@ mod tests {
             }
         }
         std::thread::sleep(Duration::from_millis(5));
-        assert_eq!(reg.sweep(), 1);
+        assert_eq!(reg.sweep().evicted, 1);
         // Restore: the next_question call replays silently and resumes.
         let outcome = reg.next_question(id).unwrap();
         let learned = drive_to_done(&reg, id, outcome, &target);
@@ -1074,6 +1417,32 @@ mod tests {
         }
         let learned = reg.learned_query(id).unwrap();
         assert!(equivalent(&learned, &target), "learned {learned}");
+    }
+
+    #[test]
+    fn snapshot_lru_cap_drops_the_oldest_without_a_store() {
+        let config = RegistryConfig {
+            ttl: Duration::from_millis(0),
+            max_snapshots: Some(1),
+            ..Default::default()
+        };
+        let reg = Registry::new(config);
+        let target = parse_with_arity("some x1 x2", 3).unwrap();
+        let (first, step) = reg.create_session(spec(LearnerKind::Qhorn1)).unwrap();
+        drive_to_done(&reg, first, step, &target);
+        let (second, step) = reg.create_session(spec(LearnerKind::Qhorn1)).unwrap();
+        drive_to_done(&reg, second, step, &target);
+        std::thread::sleep(Duration::from_millis(5));
+        assert_eq!(reg.sweep().evicted, 2);
+        // Cap 1: only the most recently snapshotted survives in memory.
+        assert_eq!(reg.stats().snapshots, 1);
+        // No durable store to fall through to: the dropped session is gone.
+        assert!(matches!(
+            reg.learned_query(first),
+            Err(ServiceError::UnknownSession(_))
+        ));
+        // The survivor restores normally.
+        assert!(equivalent(&reg.learned_query(second).unwrap(), &target));
     }
 
     #[test]

@@ -341,6 +341,10 @@ fn try_dispatch(registry: &Arc<Registry>, req: Request) -> Result<Reply, Service
             };
             Ok(Reply::Exported { text })
         }
+        Request::CloseSession { session } => {
+            registry.close_session(session)?;
+            Ok(Reply::Closed { session })
+        }
         Request::Stats => Ok(Reply::Stats(registry.stats())),
     }
 }

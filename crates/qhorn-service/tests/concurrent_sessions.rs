@@ -21,6 +21,7 @@ fn start_server(workers: usize) -> Server {
         shards: 8,
         ttl: Duration::from_secs(300),
         driver_timeout: Duration::from_secs(20),
+        ..RegistryConfig::default()
     }));
     Server::start("127.0.0.1:0", registry, workers).expect("bind server")
 }

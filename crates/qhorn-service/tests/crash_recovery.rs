@@ -1,0 +1,371 @@
+//! Crash recovery end-to-end: drive sessions over the wire, drop the
+//! server **without** shutdown (the kill-9 equivalent at the process
+//! level — nothing is flushed or snapshotted on the way out), restart a
+//! fresh registry/server on the same store directory, and assert every
+//! session resumes with identical learned queries and answers.
+
+use qhorn_core::query::equiv::equivalent;
+use qhorn_core::{Obj, Query};
+use qhorn_engine::session::LearnerKind;
+use qhorn_service::proto::{Reply, Request, StepReply};
+use qhorn_service::registry::{Registry, RegistryConfig};
+use qhorn_service::store::{FsyncPolicy, StoreConfig};
+use qhorn_service::{Client, Server};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR"))
+        .join(format!("recovery-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn durable_config(dir: &std::path::Path) -> RegistryConfig {
+    RegistryConfig {
+        ttl: Duration::from_secs(300),
+        store: Some(StoreConfig {
+            fsync: FsyncPolicy::Always,
+            ..StoreConfig::new(dir.to_path_buf())
+        }),
+        ..Default::default()
+    }
+}
+
+fn start_server(dir: &std::path::Path) -> Server {
+    let registry = Arc::new(Registry::open(durable_config(dir)).expect("open registry"));
+    Server::start("127.0.0.1:0", registry, 2).expect("bind server")
+}
+
+fn create(client: &mut Client, learner: LearnerKind) -> (u64, StepReply) {
+    client
+        .step(&Request::CreateSession {
+            dataset: "chocolates".into(),
+            size: 30,
+            learner,
+            max_questions: Some(10_000),
+        })
+        .expect("create session")
+}
+
+/// Answers honestly until learning finishes.
+fn drive_to_learned(
+    client: &mut Client,
+    session: u64,
+    mut step: StepReply,
+    target: &Query,
+) -> (Query, usize) {
+    loop {
+        match step {
+            StepReply::Question { question, .. } => {
+                step = client
+                    .step(&Request::Answer {
+                        session,
+                        response: target.eval(&question),
+                    })
+                    .expect("answer")
+                    .1;
+            }
+            StepReply::Learned {
+                query_json,
+                questions,
+                ..
+            } => return (query_json, questions),
+            other => panic!("unexpected step {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn dropped_server_recovers_every_session_from_the_log() {
+    let dir = temp_dir("three-sessions");
+    let target = qhorn_lang::parse_with_arity("all x1; some x2 x3", 3).unwrap();
+
+    // --- First life: three sessions in three states. -------------------
+    let server = start_server(&dir);
+    let addr = server.addr();
+    let mut client = Client::connect(addr).unwrap();
+
+    // A: learned to completion.
+    let (a, step) = create(&mut client, LearnerKind::Qhorn1);
+    let (a_query, a_questions) = drive_to_learned(&mut client, a, step, &target);
+    assert!(equivalent(&a_query, &target));
+
+    // B: mid-learning — four answers in, a question still pending.
+    let (b, mut b_step) = create(&mut client, LearnerKind::RolePreserving);
+    let mut b_answered = 0usize;
+    for _ in 0..4 {
+        match b_step {
+            StepReply::Question { question, .. } => {
+                b_answered += 1;
+                b_step = client
+                    .step(&Request::Answer {
+                        session: b,
+                        response: target.eval(&question),
+                    })
+                    .unwrap()
+                    .1;
+            }
+            other => panic!("B finished too early: {other:?}"),
+        }
+    }
+
+    // C: corrected — the first answer is flipped, then fixed via Correct.
+    let (c, mut c_step) = create(&mut client, LearnerKind::RolePreserving);
+    let mut first_question: Option<Obj> = None;
+    loop {
+        match c_step {
+            StepReply::Question { question, .. } => {
+                let honest = target.eval(&question);
+                let response = if first_question.is_none() {
+                    first_question = Some(question.clone());
+                    honest.negate()
+                } else {
+                    honest
+                };
+                c_step = client
+                    .step(&Request::Answer {
+                        session: c,
+                        response,
+                    })
+                    .unwrap()
+                    .1;
+            }
+            StepReply::Learned { .. } | StepReply::Failed { .. } => break,
+            other => panic!("unexpected step {other:?}"),
+        }
+    }
+    let fix = target.eval(first_question.as_ref().unwrap());
+    let (_, step) = client
+        .step(&Request::Correct {
+            session: c,
+            corrections: vec![(0, fix)],
+        })
+        .unwrap();
+    let (c_query, _) = drive_to_learned(&mut client, c, step, &target);
+    assert!(equivalent(&c_query, &target));
+
+    // --- The crash: drop everything without shutdown. -------------------
+    drop(client);
+    drop(server);
+
+    // --- Second life: a fresh registry on the same directory. -----------
+    let registry = Arc::new(Registry::open(durable_config(&dir)).expect("recovery"));
+    let stats = registry.stats();
+    assert_eq!(stats.snapshots, 3, "all three sessions recovered");
+    let store_stats = stats.store.expect("store configured");
+    assert_eq!(store_stats.recovered_sessions, 3);
+    let server = Server::start("127.0.0.1:0", Arc::clone(&registry), 2).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    // A resumes Done with the identical query and answer count.
+    match client.step(&Request::NextQuestion { session: a }).unwrap() {
+        (
+            _,
+            StepReply::Learned {
+                query_json,
+                questions,
+                ..
+            },
+        ) => {
+            assert_eq!(query_json, a_query);
+            assert_eq!(questions, a_questions);
+        }
+        (_, other) => panic!("A did not resume Done: {other:?}"),
+    }
+    // …and is fully functional: verification still passes.
+    let (_, mut step) = client
+        .step(&Request::Verify {
+            session: a,
+            query: None,
+        })
+        .unwrap();
+    loop {
+        match step {
+            StepReply::Question { question, .. } => {
+                step = client
+                    .step(&Request::Answer {
+                        session: a,
+                        response: target.eval(&question),
+                    })
+                    .unwrap()
+                    .1;
+            }
+            StepReply::Verified { verified } => {
+                assert!(verified);
+                break;
+            }
+            other => panic!("unexpected step {other:?}"),
+        }
+    }
+
+    // C resumes Done with the corrected query.
+    match client.step(&Request::NextQuestion { session: c }).unwrap() {
+        (_, StepReply::Learned { query_json, .. }) => assert_eq!(query_json, c_query),
+        (_, other) => panic!("C did not resume Done: {other:?}"),
+    }
+
+    // B resumes mid-learning: the replay re-serves its four answers
+    // silently and the dialogue completes to the target.
+    let (_, step) = client.step(&Request::NextQuestion { session: b }).unwrap();
+    assert!(
+        matches!(step, StepReply::Question { .. }),
+        "B should resume with a question, got {step:?}"
+    );
+    let (b_query, b_questions) = drive_to_learned(&mut client, b, step, &target);
+    assert!(equivalent(&b_query, &target), "B learned {b_query}");
+    assert!(b_questions >= b_answered);
+
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn close_session_is_durable_across_restarts() {
+    let dir = temp_dir("close");
+    let target = qhorn_lang::parse_with_arity("some x1 x2", 3).unwrap();
+    {
+        let server = start_server(&dir);
+        let mut client = Client::connect(server.addr()).unwrap();
+        let (id, step) = create(&mut client, LearnerKind::Qhorn1);
+        drive_to_learned(&mut client, id, step, &target);
+        match client
+            .request(&Request::CloseSession { session: id })
+            .unwrap()
+        {
+            Reply::Closed { session } => assert_eq!(session, id),
+            other => panic!("unexpected reply {other:?}"),
+        }
+        // Closing again is an error: the id is gone everywhere.
+        match client
+            .request(&Request::CloseSession { session: id })
+            .unwrap()
+        {
+            Reply::Error { message } => assert!(message.contains("unknown session")),
+            other => panic!("unexpected reply {other:?}"),
+        }
+        drop(client);
+        drop(server);
+    }
+    let registry = Registry::open(durable_config(&dir)).unwrap();
+    assert_eq!(
+        registry.stats().snapshots,
+        0,
+        "closed session not recovered"
+    );
+    // The id stays reserved: new sessions do not collide with old records.
+    let (next, _) = registry
+        .create_session(qhorn_service::registry::CreateSpec {
+            dataset: "chocolates".into(),
+            size: 30,
+            learner: LearnerKind::Qhorn1,
+            max_questions: Some(10_000),
+        })
+        .unwrap();
+    assert_eq!(next, 2);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn sweep_compacts_an_oversized_log_and_recovery_survives_it() {
+    let dir = temp_dir("compact");
+    let target = qhorn_lang::parse_with_arity("all x1; some x2 x3", 3).unwrap();
+    let config = RegistryConfig {
+        ttl: Duration::from_secs(300),
+        store: Some(StoreConfig {
+            fsync: FsyncPolicy::EveryN(4),
+            segment_max_bytes: 2048,
+            compact_threshold_bytes: 1024, // a couple of sessions overflow it
+            ..StoreConfig::new(dir.to_path_buf())
+        }),
+        ..Default::default()
+    };
+    let learned = {
+        let registry = Registry::open(config.clone()).unwrap();
+        let mut learned = Vec::new();
+        for _ in 0..2 {
+            let (id, mut step) = registry
+                .create_session(qhorn_service::registry::CreateSpec {
+                    dataset: "chocolates".into(),
+                    size: 30,
+                    learner: LearnerKind::Qhorn1,
+                    max_questions: Some(10_000),
+                })
+                .unwrap();
+            let query = loop {
+                match step {
+                    qhorn_service::registry::StepOutcome::Question(q) => {
+                        step = registry.answer(id, target.eval(&q.question)).unwrap();
+                    }
+                    qhorn_service::registry::StepOutcome::Learned { query, .. } => break query,
+                    other => panic!("unexpected outcome {other:?}"),
+                }
+            };
+            learned.push((id, query));
+        }
+        let report = registry.sweep();
+        assert!(report.compacted, "live log should exceed the threshold");
+        let stats = registry.stats().store.unwrap();
+        assert_eq!(stats.compactions, 1);
+        assert!(stats.last_compaction_seq > 0);
+        assert!(
+            stats.live_log_bytes <= 1024,
+            "compaction should shrink the log: {stats:?}"
+        );
+        learned
+    };
+    // Crash + recover: state now comes from the snapshot file (plus the
+    // post-compaction log tail).
+    let registry = Registry::open(config).unwrap();
+    for (id, query) in learned {
+        assert_eq!(registry.learned_query(id).unwrap(), query);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn lru_snapshot_cap_falls_through_to_the_durable_store() {
+    let dir = temp_dir("lru");
+    let target = qhorn_lang::parse_with_arity("some x1 x2", 3).unwrap();
+    let config = RegistryConfig {
+        ttl: Duration::from_millis(0),
+        max_snapshots: Some(1),
+        store: Some(StoreConfig {
+            fsync: FsyncPolicy::Always,
+            ..StoreConfig::new(dir.to_path_buf())
+        }),
+        ..Default::default()
+    };
+    let registry = Registry::open(config).unwrap();
+    let mut ids = Vec::new();
+    for _ in 0..2 {
+        let (id, mut step) = registry
+            .create_session(qhorn_service::registry::CreateSpec {
+                dataset: "chocolates".into(),
+                size: 30,
+                learner: LearnerKind::Qhorn1,
+                max_questions: Some(10_000),
+            })
+            .unwrap();
+        loop {
+            match step {
+                qhorn_service::registry::StepOutcome::Question(q) => {
+                    step = registry.answer(id, target.eval(&q.question)).unwrap();
+                }
+                qhorn_service::registry::StepOutcome::Learned { .. } => break,
+                other => panic!("unexpected outcome {other:?}"),
+            }
+        }
+        ids.push(id);
+    }
+    std::thread::sleep(Duration::from_millis(5));
+    assert_eq!(registry.sweep().evicted, 2);
+    // Cap 1: one snapshot was dropped from memory…
+    assert_eq!(registry.stats().snapshots, 1);
+    // …but both sessions restore, the dropped one straight from the log.
+    for id in ids {
+        assert!(equivalent(&registry.learned_query(id).unwrap(), &target));
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

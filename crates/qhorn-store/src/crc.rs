@@ -1,0 +1,63 @@
+//! Hand-rolled CRC-32 (IEEE 802.3: reflected, polynomial `0xEDB88320`,
+//! initial value and final XOR `0xFFFFFFFF`) — the checksum guarding every
+//! log and snapshot frame. The build environment vendors no third-party
+//! crates, so the 256-entry table is built at compile time.
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0usize;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+const TABLE: [u32; 256] = build_table();
+
+/// CRC-32 of `bytes`.
+#[must_use]
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = TABLE[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // The standard CRC-32 check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"qhorn"), crc32(b"qhorn"));
+        assert_ne!(crc32(b"qhorn"), crc32(b"qhorm"));
+    }
+
+    #[test]
+    fn single_bit_flips_change_the_checksum() {
+        let base = b"the quick brown fox jumps over the lazy dog".to_vec();
+        let c0 = crc32(&base);
+        for byte in 0..base.len() {
+            for bit in 0..8 {
+                let mut flipped = base.clone();
+                flipped[byte] ^= 1 << bit;
+                assert_ne!(crc32(&flipped), c0, "flip at byte {byte} bit {bit}");
+            }
+        }
+    }
+}

@@ -1,0 +1,591 @@
+//! The record model: what the log appends and what recovery rebuilds.
+//!
+//! A session's durable history is a sequence of [`LogRecord`]s; replaying
+//! them (in global `seq` order, on top of an optional snapshot) rebuilds a
+//! [`PersistedSession`] — the log *is* the membership-query transcript, so
+//! recovery is replay.
+
+use qhorn_core::{Obj, Query, Response};
+use qhorn_engine::session::{Exchange, LearnerKind};
+use qhorn_json::{FromJson, Json, JsonError, ToJson};
+use std::collections::BTreeMap;
+
+/// How a session was opened — enough for the service to rebuild the
+/// dataset and relaunch the right learner on recovery.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SessionMeta {
+    /// Catalog dataset name.
+    pub dataset: String,
+    /// Object count for generated datasets (0 = default).
+    pub size: usize,
+    /// Which learner runs the session.
+    pub learner: LearnerKind,
+    /// Optional hard question budget.
+    pub max_questions: Option<usize>,
+}
+
+impl ToJson for SessionMeta {
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("dataset", self.dataset.to_json()),
+            ("size", self.size.to_json()),
+            ("learner", self.learner.to_json()),
+            ("max_questions", self.max_questions.to_json()),
+        ])
+    }
+}
+
+impl FromJson for SessionMeta {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        Ok(SessionMeta {
+            dataset: String::from_json(j.field("dataset")?)?,
+            size: usize::from_json(j.field("size")?)?,
+            learner: LearnerKind::from_json(j.field("learner")?)?,
+            max_questions: Option::<usize>::from_json(j.field("max_questions")?)?,
+        })
+    }
+}
+
+/// One durable event in a session's life. Records carry the session id;
+/// the store stamps each with a global monotonic sequence number when it
+/// frames the record onto disk.
+#[derive(Clone, Debug, PartialEq)]
+pub enum LogRecord {
+    /// A session was opened.
+    SessionCreated {
+        /// The session id.
+        id: u64,
+        /// How to rebuild it.
+        meta: SessionMeta,
+    },
+    /// The user answered a membership question.
+    ExchangeAppended {
+        /// The session id.
+        id: u64,
+        /// The answered exchange.
+        exchange: Exchange,
+    },
+    /// The user corrected earlier answers (indices into the user-visible
+    /// question order, as the protocol ships them).
+    Corrected {
+        /// The session id.
+        id: u64,
+        /// `(question index, corrected label)` pairs.
+        corrections: Vec<(usize, Response)>,
+    },
+    /// Learning completed with this query.
+    QueryLearned {
+        /// The session id.
+        id: u64,
+        /// The learned query.
+        query: Query,
+    },
+    /// The session was explicitly closed; recovery drops it.
+    SessionClosed {
+        /// The session id.
+        id: u64,
+    },
+    /// A snapshot file was written covering everything up to
+    /// `through_seq` (informational marker; recovery ignores it).
+    SnapshotWritten {
+        /// Last record sequence number the snapshot covers.
+        through_seq: u64,
+        /// Sessions the snapshot holds.
+        sessions: u64,
+    },
+}
+
+impl LogRecord {
+    /// The record kind's stable on-disk name.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            LogRecord::SessionCreated { .. } => "session_created",
+            LogRecord::ExchangeAppended { .. } => "exchange",
+            LogRecord::Corrected { .. } => "corrected",
+            LogRecord::QueryLearned { .. } => "query_learned",
+            LogRecord::SessionClosed { .. } => "session_closed",
+            LogRecord::SnapshotWritten { .. } => "snapshot_written",
+        }
+    }
+
+    /// The session this record belongs to (`None` for store-level
+    /// markers).
+    #[must_use]
+    pub fn session_id(&self) -> Option<u64> {
+        match self {
+            LogRecord::SessionCreated { id, .. }
+            | LogRecord::ExchangeAppended { id, .. }
+            | LogRecord::Corrected { id, .. }
+            | LogRecord::QueryLearned { id, .. }
+            | LogRecord::SessionClosed { id } => Some(*id),
+            LogRecord::SnapshotWritten { .. } => None,
+        }
+    }
+
+    /// Serializes as the framed payload, with the store-assigned `seq`
+    /// first so a human scanning the log sees ordering at a glance.
+    #[must_use]
+    pub(crate) fn to_payload(&self, seq: u64) -> Vec<u8> {
+        let mut pairs = vec![
+            ("seq".to_string(), seq.to_json()),
+            ("kind".to_string(), Json::Str(self.kind().into())),
+        ];
+        match self {
+            LogRecord::SessionCreated { id, meta } => {
+                pairs.push(("id".into(), id.to_json()));
+                pairs.push(("meta".into(), meta.to_json()));
+            }
+            LogRecord::ExchangeAppended { id, exchange } => {
+                pairs.push(("id".into(), id.to_json()));
+                pairs.push(("exchange".into(), exchange.to_json()));
+            }
+            LogRecord::Corrected { id, corrections } => {
+                pairs.push(("id".into(), id.to_json()));
+                pairs.push((
+                    "corrections".into(),
+                    Json::array(
+                        corrections
+                            .iter()
+                            .map(|(i, r)| Json::array([i.to_json(), r.to_json()])),
+                    ),
+                ));
+            }
+            LogRecord::QueryLearned { id, query } => {
+                pairs.push(("id".into(), id.to_json()));
+                pairs.push(("query".into(), query.to_json()));
+            }
+            LogRecord::SessionClosed { id } => {
+                pairs.push(("id".into(), id.to_json()));
+            }
+            LogRecord::SnapshotWritten {
+                through_seq,
+                sessions,
+            } => {
+                pairs.push(("through_seq".into(), through_seq.to_json()));
+                pairs.push(("sessions".into(), sessions.to_json()));
+            }
+        }
+        Json::Obj(pairs).to_string().into_bytes()
+    }
+
+    /// Parses a framed payload back into `(seq, record)`.
+    pub(crate) fn from_payload(bytes: &[u8]) -> Result<(u64, LogRecord), JsonError> {
+        let text = std::str::from_utf8(bytes)
+            .map_err(|_| JsonError::msg("record payload is not UTF-8"))?;
+        let j = Json::parse(text)?;
+        let seq = u64::from_json(j.field("seq")?)?;
+        let kind = String::from_json(j.field("kind")?)?;
+        let rec = match kind.as_str() {
+            "session_created" => LogRecord::SessionCreated {
+                id: u64::from_json(j.field("id")?)?,
+                meta: SessionMeta::from_json(j.field("meta")?)?,
+            },
+            "exchange" => LogRecord::ExchangeAppended {
+                id: u64::from_json(j.field("id")?)?,
+                exchange: Exchange::from_json(j.field("exchange")?)?,
+            },
+            "corrected" => {
+                let pairs = j
+                    .field("corrections")?
+                    .as_arr()
+                    .ok_or_else(|| JsonError::msg("corrections must be an array"))?;
+                let mut corrections = Vec::with_capacity(pairs.len());
+                for p in pairs {
+                    let [i, r] = p
+                        .as_arr()
+                        .ok_or_else(|| JsonError::msg("correction must be [index, response]"))?
+                    else {
+                        return Err(JsonError::msg("correction must be [index, response]"));
+                    };
+                    corrections.push((usize::from_json(i)?, Response::from_json(r)?));
+                }
+                LogRecord::Corrected {
+                    id: u64::from_json(j.field("id")?)?,
+                    corrections,
+                }
+            }
+            "query_learned" => LogRecord::QueryLearned {
+                id: u64::from_json(j.field("id")?)?,
+                query: Query::from_json(j.field("query")?)?,
+            },
+            "session_closed" => LogRecord::SessionClosed {
+                id: u64::from_json(j.field("id")?)?,
+            },
+            "snapshot_written" => LogRecord::SnapshotWritten {
+                through_seq: u64::from_json(j.field("through_seq")?)?,
+                sessions: u64::from_json(j.field("sessions")?)?,
+            },
+            other => return Err(JsonError::msg(format!("unknown record kind `{other}`"))),
+        };
+        Ok((seq, rec))
+    }
+}
+
+/// A session's full durable state, as recovery rebuilds it (and as
+/// snapshot files store it).
+#[derive(Clone, Debug, PartialEq)]
+pub struct PersistedSession {
+    /// The session id.
+    pub id: u64,
+    /// How to rebuild the dataset/learner.
+    pub meta: SessionMeta,
+    /// Questions shown to the user, in order (the index space the
+    /// protocol's `Correct` uses).
+    pub asked: Vec<Obj>,
+    /// Questions answered.
+    pub answered: usize,
+    /// Verification result, when one ran (only snapshots preserve this —
+    /// the log does not record verification outcomes).
+    pub verified: Option<bool>,
+    /// The answered transcript, corrections applied.
+    pub transcript: Vec<Exchange>,
+    /// The learned query, when learning completed.
+    pub learned: Option<Query>,
+}
+
+impl PersistedSession {
+    /// An empty session fresh from a [`LogRecord::SessionCreated`].
+    #[must_use]
+    pub fn new(id: u64, meta: SessionMeta) -> Self {
+        PersistedSession {
+            id,
+            meta,
+            asked: Vec::new(),
+            answered: 0,
+            verified: None,
+            transcript: Vec::new(),
+            learned: None,
+        }
+    }
+}
+
+impl ToJson for PersistedSession {
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("id", self.id.to_json()),
+            ("meta", self.meta.to_json()),
+            ("asked", self.asked.to_json()),
+            ("answered", self.answered.to_json()),
+            ("verified", self.verified.to_json()),
+            ("transcript", self.transcript.to_json()),
+            ("learned", self.learned.to_json()),
+        ])
+    }
+}
+
+impl FromJson for PersistedSession {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        Ok(PersistedSession {
+            id: u64::from_json(j.field("id")?)?,
+            meta: SessionMeta::from_json(j.field("meta")?)?,
+            asked: Vec::<Obj>::from_json(j.field("asked")?)?,
+            answered: usize::from_json(j.field("answered")?)?,
+            verified: Option::<bool>::from_json(j.field("verified")?)?,
+            transcript: Vec::<Exchange>::from_json(j.field("transcript")?)?,
+            learned: Option::<Query>::from_json(j.field("learned")?)?,
+        })
+    }
+}
+
+/// One snapshot-file entry: a session's state plus the last log sequence
+/// number that state reflects. Recovery applies a log record to a session
+/// iff `record.seq > through_seq`, which makes snapshot + replay exact
+/// even when records land concurrently with snapshot capture.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SnapshotEntry {
+    /// Last record sequence number reflected in `session`.
+    pub through_seq: u64,
+    /// The captured state.
+    pub session: PersistedSession,
+}
+
+impl ToJson for SnapshotEntry {
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("through_seq", self.through_seq.to_json()),
+            ("session", self.session.to_json()),
+        ])
+    }
+}
+
+impl FromJson for SnapshotEntry {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        Ok(SnapshotEntry {
+            through_seq: u64::from_json(j.field("through_seq")?)?,
+            session: PersistedSession::from_json(j.field("session")?)?,
+        })
+    }
+}
+
+/// Replay state: sessions being rebuilt, keyed by id.
+pub(crate) struct Replayer {
+    sessions: BTreeMap<u64, SnapshotEntry>,
+    /// Highest session id ever seen, including closed sessions — the
+    /// registry resumes id assignment above this so a closed id is never
+    /// reused (reuse would make old log records apply to the new session).
+    max_id: u64,
+}
+
+impl Replayer {
+    pub(crate) fn new() -> Self {
+        Replayer {
+            sessions: BTreeMap::new(),
+            max_id: 0,
+        }
+    }
+
+    /// Seeds the replayer from snapshot-file entries.
+    pub(crate) fn seed(&mut self, entries: Vec<SnapshotEntry>) {
+        for e in entries {
+            self.max_id = self.max_id.max(e.session.id);
+            self.sessions.insert(e.session.id, e);
+        }
+    }
+
+    /// Applies one log record; records at or below a session's
+    /// `through_seq` are already reflected in its snapshot and skipped.
+    pub(crate) fn apply(&mut self, seq: u64, rec: LogRecord) {
+        if let Some(id) = rec.session_id() {
+            self.max_id = self.max_id.max(id);
+        }
+        match rec {
+            LogRecord::SessionCreated { id, meta } => {
+                let entry = self.sessions.entry(id).or_insert_with(|| SnapshotEntry {
+                    through_seq: 0,
+                    session: PersistedSession::new(id, meta.clone()),
+                });
+                if seq <= entry.through_seq {
+                    return;
+                }
+                entry.session.meta = meta;
+            }
+            LogRecord::ExchangeAppended { id, exchange } => {
+                if let Some(entry) = self.fresh(id, seq) {
+                    entry.session.asked.push(exchange.question.clone());
+                    entry.session.transcript.push(exchange);
+                    entry.session.answered += 1;
+                }
+            }
+            LogRecord::Corrected { id, corrections } => {
+                if let Some(entry) = self.fresh(id, seq) {
+                    let s = &mut entry.session;
+                    for &(idx, r) in &corrections {
+                        let Some(q) = s.asked.get(idx) else { continue };
+                        let q = q.clone();
+                        for e in &mut s.transcript {
+                            if e.question == q {
+                                e.response = r;
+                            }
+                        }
+                    }
+                    // A correction restarts learning; the replayed learner
+                    // writes a fresh `QueryLearned` when it completes.
+                    s.learned = None;
+                    s.verified = None;
+                }
+            }
+            LogRecord::QueryLearned { id, query } => {
+                if let Some(entry) = self.fresh(id, seq) {
+                    entry.session.learned = Some(query);
+                }
+            }
+            LogRecord::SessionClosed { id } => {
+                // Removal at apply time: a later `SessionCreated` for the
+                // same id (only possible for genuinely new sessions, since
+                // id assignment resumes above `max_id`) starts fresh.
+                self.sessions.remove(&id);
+            }
+            LogRecord::SnapshotWritten { .. } => {}
+        }
+    }
+
+    /// The session entry, if it exists and `seq` is newer than its
+    /// snapshot coverage.
+    fn fresh(&mut self, id: u64, seq: u64) -> Option<&mut SnapshotEntry> {
+        self.sessions.get_mut(&id).filter(|e| seq > e.through_seq)
+    }
+
+    /// Highest session id ever seen (live or closed).
+    pub(crate) fn max_id(&self) -> u64 {
+        self.max_id
+    }
+
+    /// Finishes replay: live sessions in id order.
+    pub(crate) fn finish(self) -> Vec<PersistedSession> {
+        self.sessions.into_values().map(|e| e.session).collect()
+    }
+
+    /// Finishes replay keeping per-session coverage (compaction carries
+    /// forward sessions the caller did not re-capture).
+    pub(crate) fn finish_entries(self) -> Vec<SnapshotEntry> {
+        self.sessions.into_values().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qhorn_lang::parse_with_arity;
+
+    fn meta() -> SessionMeta {
+        SessionMeta {
+            dataset: "chocolates".into(),
+            size: 30,
+            learner: LearnerKind::Qhorn1,
+            max_questions: Some(100),
+        }
+    }
+
+    fn exchange(bits: &str, response: Response) -> Exchange {
+        Exchange {
+            question: Obj::from_bits(bits),
+            from_store: false,
+            response,
+        }
+    }
+
+    #[test]
+    fn records_round_trip_through_payloads() {
+        let records = [
+            LogRecord::SessionCreated {
+                id: 3,
+                meta: meta(),
+            },
+            LogRecord::ExchangeAppended {
+                id: 3,
+                exchange: exchange("110 011", Response::Answer),
+            },
+            LogRecord::Corrected {
+                id: 3,
+                corrections: vec![(0, Response::NonAnswer), (2, Response::Answer)],
+            },
+            LogRecord::QueryLearned {
+                id: 3,
+                query: parse_with_arity("all x1; some x2 x3", 3).unwrap(),
+            },
+            LogRecord::SessionClosed { id: 3 },
+            LogRecord::SnapshotWritten {
+                through_seq: 41,
+                sessions: 2,
+            },
+        ];
+        for (i, rec) in records.iter().enumerate() {
+            let payload = rec.to_payload(i as u64 + 1);
+            let (seq, back) = LogRecord::from_payload(&payload).unwrap();
+            assert_eq!(seq, i as u64 + 1);
+            assert_eq!(&back, rec);
+        }
+    }
+
+    #[test]
+    fn replay_builds_corrected_state() {
+        let mut r = Replayer::new();
+        r.apply(
+            1,
+            LogRecord::SessionCreated {
+                id: 1,
+                meta: meta(),
+            },
+        );
+        r.apply(
+            2,
+            LogRecord::ExchangeAppended {
+                id: 1,
+                exchange: exchange("111", Response::Answer),
+            },
+        );
+        r.apply(
+            3,
+            LogRecord::ExchangeAppended {
+                id: 1,
+                exchange: exchange("001", Response::NonAnswer),
+            },
+        );
+        let q = parse_with_arity("all x1", 3).unwrap();
+        r.apply(
+            4,
+            LogRecord::QueryLearned {
+                id: 1,
+                query: q.clone(),
+            },
+        );
+        r.apply(
+            5,
+            LogRecord::Corrected {
+                id: 1,
+                corrections: vec![(0, Response::NonAnswer)],
+            },
+        );
+        r.apply(
+            6,
+            LogRecord::QueryLearned {
+                id: 1,
+                query: q.clone(),
+            },
+        );
+        let sessions = r.finish();
+        assert_eq!(sessions.len(), 1);
+        let s = &sessions[0];
+        assert_eq!(s.answered, 2);
+        assert_eq!(s.transcript[0].response, Response::NonAnswer);
+        assert_eq!(s.transcript[1].response, Response::NonAnswer);
+        assert_eq!(s.learned.as_ref(), Some(&q));
+    }
+
+    #[test]
+    fn replay_skips_records_covered_by_the_snapshot() {
+        let mut r = Replayer::new();
+        let mut snap = PersistedSession::new(7, meta());
+        snap.asked.push(Obj::from_bits("111"));
+        snap.transcript.push(exchange("111", Response::Answer));
+        snap.answered = 1;
+        r.seed(vec![SnapshotEntry {
+            through_seq: 10,
+            session: snap,
+        }]);
+        // Seq 9 is already in the snapshot; applying it again must not
+        // duplicate the exchange.
+        r.apply(
+            9,
+            LogRecord::ExchangeAppended {
+                id: 7,
+                exchange: exchange("111", Response::Answer),
+            },
+        );
+        r.apply(
+            11,
+            LogRecord::ExchangeAppended {
+                id: 7,
+                exchange: exchange("000", Response::NonAnswer),
+            },
+        );
+        let sessions = r.finish();
+        assert_eq!(sessions[0].answered, 2);
+        assert_eq!(sessions[0].transcript.len(), 2);
+    }
+
+    #[test]
+    fn closed_sessions_stay_closed_even_with_a_stale_snapshot() {
+        let mut r = Replayer::new();
+        r.seed(vec![SnapshotEntry {
+            through_seq: 5,
+            session: PersistedSession::new(2, meta()),
+        }]);
+        r.apply(6, LogRecord::SessionClosed { id: 2 });
+        assert!(r.finish().is_empty());
+    }
+
+    #[test]
+    fn unknown_session_records_are_ignored() {
+        let mut r = Replayer::new();
+        r.apply(
+            1,
+            LogRecord::ExchangeAppended {
+                id: 99,
+                exchange: exchange("1", Response::Answer),
+            },
+        );
+        assert!(r.finish().is_empty());
+    }
+}

@@ -21,6 +21,7 @@
 //! | [`engine`] | `qhorn-engine` | compiled plans, columnar evaluation, stores, interactive sessions, persistence |
 //! | [`sim`] | `qhorn-sim` | random targets, noisy users, lower-bound adversaries, experiment drivers |
 //! | [`service`] | `qhorn-service` | concurrent multi-session learning server: registry, JSON-lines protocol, TCP front end, parallel batch |
+//! | [`store`] | `qhorn-store` | embedded durable session store: segmented checksummed append-only log, snapshots + compaction, crash recovery |
 //! | [`json`] | `qhorn-json` | dependency-free JSON model + conversion traits (the wire format) |
 //!
 //! ## Quickstart
@@ -52,6 +53,7 @@ pub use qhorn_lang as lang;
 pub use qhorn_relation as relation;
 pub use qhorn_service as service;
 pub use qhorn_sim as sim;
+pub use qhorn_store as store;
 
 /// The most common imports in one place.
 pub mod prelude {
