@@ -1,0 +1,73 @@
+//! HTTP gateway overhead: request/response round trips through the
+//! HTTP/1.1 frontend vs the JSON-lines TCP frontend over the same
+//! registry, plus the Prometheus scrape path.
+//!
+//! Both transports carry the identical protocol (the conformance suite
+//! proves it), so the per-request delta here *is* the HTTP parsing +
+//! framing cost.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use qhorn_service::http::HttpClient;
+use qhorn_service::proto::{Reply, Request};
+use qhorn_service::registry::{Registry, RegistryConfig};
+use qhorn_service::{Client, HttpServer, Server};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn bench_transport_round_trips(c: &mut Criterion) {
+    let registry = Arc::new(Registry::new(RegistryConfig::default()));
+    let tcp = Server::start("127.0.0.1:0", Arc::clone(&registry), 2).expect("tcp server");
+    let http = HttpServer::start("127.0.0.1:0", Arc::clone(&registry), 2).expect("http server");
+
+    let mut group = c.benchmark_group("transport_round_trips");
+    group.throughput(Throughput::Elements(1));
+
+    // One keep-alive connection per transport; each iteration is a full
+    // stats request/reply round trip.
+    let mut tcp_client = Client::connect(tcp.addr()).expect("tcp client");
+    group.bench_function("tcp_stats", |b| {
+        b.iter(|| {
+            let reply = tcp_client.request(&Request::Stats).expect("stats");
+            assert!(matches!(reply, Reply::Stats(_)));
+            black_box(reply)
+        });
+    });
+
+    let mut http_client = Client::connect_http(http.addr()).expect("http client");
+    group.bench_function("http_stats", |b| {
+        b.iter(|| {
+            let reply = http_client.request(&Request::Stats).expect("stats");
+            assert!(matches!(reply, Reply::Stats(_)));
+            black_box(reply)
+        });
+    });
+
+    // The metrics snapshot message (JSON) and the Prometheus scrape
+    // (text rendering of the same data).
+    group.bench_function("http_metrics_json", |b| {
+        b.iter(|| {
+            let reply = http_client.request(&Request::Metrics).expect("metrics");
+            assert!(matches!(reply, Reply::Metrics(_)));
+            black_box(reply)
+        });
+    });
+
+    let mut scraper = HttpClient::connect(http.addr()).expect("scrape client");
+    group.bench_function("prometheus_scrape", |b| {
+        b.iter(|| {
+            let text = scraper.scrape_metrics().expect("scrape");
+            assert!(text.contains("qhorn_request_duration_seconds_bucket"));
+            black_box(text.len())
+        });
+    });
+
+    group.finish();
+    drop(tcp_client);
+    drop(http_client);
+    drop(scraper);
+    tcp.shutdown();
+    http.shutdown();
+}
+
+criterion_group!(benches, bench_transport_round_trips);
+criterion_main!(benches);

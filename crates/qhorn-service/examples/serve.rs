@@ -1,20 +1,23 @@
-//! Runs the learning server on a local port, for driving with any
-//! JSON-lines TCP client:
+//! Runs the learning server on local ports — the JSON-lines TCP frontend
+//! and the HTTP/1.1 gateway — for driving with `nc` or `curl`:
 //!
 //! ```sh
 //! cargo run -p qhorn-service --example serve -- 127.0.0.1:7878
 //! printf '{"type":"stats"}\n' | nc 127.0.0.1 7878
+//! curl -s localhost:7879/v1/stats
+//! curl -s localhost:7879/metrics
 //! ```
 //!
 //! An optional second argument enables durability: sessions are logged
-//! to that directory and recovered on the next start.
+//! to that directory and recovered on the next start. An optional third
+//! argument picks the HTTP bind address (default `127.0.0.1:0`).
 //!
 //! ```sh
-//! cargo run -p qhorn-service --example serve -- 127.0.0.1:7878 ./sessions
+//! cargo run -p qhorn-service --example serve -- 127.0.0.1:7878 ./sessions 127.0.0.1:7879
 //! ```
 
 use qhorn_service::store::StoreConfig;
-use qhorn_service::{Registry, RegistryConfig, Server};
+use qhorn_service::{HttpServer, Registry, RegistryConfig, Server};
 use std::sync::Arc;
 
 fn main() {
@@ -22,16 +25,21 @@ fn main() {
         .nth(1)
         .unwrap_or_else(|| "127.0.0.1:0".into());
     let store = std::env::args().nth(2).map(StoreConfig::new);
+    let http_addr = std::env::args()
+        .nth(3)
+        .unwrap_or_else(|| "127.0.0.1:0".into());
     let config = RegistryConfig {
         store,
         ..RegistryConfig::default()
     };
     let registry = Arc::new(Registry::open(config).expect("open registry"));
     let recovered = registry.stats().snapshots;
-    let server = Server::start(&addr, registry, 4).expect("bind");
+    let server = Server::start(&addr, Arc::clone(&registry), 4).expect("bind");
+    let http = HttpServer::start(&http_addr, registry, 4).expect("bind http");
     println!(
-        "listening on {} ({recovered} sessions recovered)",
-        server.addr()
+        "listening on {} (tcp json-lines) and {} (http; metrics at /metrics) — {recovered} sessions recovered",
+        server.addr(),
+        http.addr()
     );
     loop {
         std::thread::sleep(std::time::Duration::from_secs(3600));

@@ -1,0 +1,171 @@
+//! The shared request dispatcher both frontends sit on.
+//!
+//! The JSON-lines TCP server and the HTTP/1.1 gateway are transports
+//! only: every [`Request`] funnels through [`try_dispatch`] here, so the
+//! two frontends cannot drift semantically (the conformance suite pins
+//! this). Dispatch also owns the per-message latency timing hook — each
+//! request's wall clock is recorded into the registry's
+//! [`Metrics`](crate::metrics::Metrics) under the message kind,
+//! regardless of which transport carried it.
+
+use crate::batch;
+use crate::dataset;
+use crate::error::ServiceError;
+use crate::proto::{Reply, Request};
+use crate::registry::Registry;
+use qhorn_engine::plan::CompiledQuery;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Applies one request to the registry, converting failures into
+/// [`Reply::Error`] (the JSON-lines frontend's shape, where every reply
+/// is a 200-equivalent).
+pub fn dispatch(registry: &Arc<Registry>, req: Request) -> Reply {
+    match try_dispatch(registry, req) {
+        Ok(reply) => reply,
+        Err(e) => e.into(),
+    }
+}
+
+/// Applies one request to the registry, timing it into the registry's
+/// metrics under the message kind.
+///
+/// # Errors
+/// Every [`ServiceError`] the registry or dataset catalog can produce;
+/// the HTTP frontend maps these onto status codes.
+pub fn try_dispatch(registry: &Arc<Registry>, req: Request) -> Result<Reply, ServiceError> {
+    let kind = req.kind_index();
+    let start = Instant::now();
+    let result = apply(registry, req);
+    registry.metrics().record_latency(kind, start.elapsed());
+    result
+}
+
+/// The untimed request → reply mapping.
+fn apply(registry: &Arc<Registry>, req: Request) -> Result<Reply, ServiceError> {
+    match req {
+        Request::CreateSession {
+            dataset,
+            size,
+            learner,
+            max_questions,
+        } => {
+            let spec = crate::registry::CreateSpec {
+                dataset,
+                size,
+                learner,
+                max_questions,
+            };
+            let (session, outcome) = registry.create_session(spec)?;
+            Ok(Reply::Created {
+                session,
+                step: outcome.into(),
+            })
+        }
+        Request::NextQuestion { session } => {
+            let outcome = registry.next_question(session)?;
+            Ok(Reply::Step {
+                session,
+                step: outcome.into(),
+            })
+        }
+        Request::Answer { session, response } => {
+            let outcome = registry.answer(session, response)?;
+            Ok(Reply::Step {
+                session,
+                step: outcome.into(),
+            })
+        }
+        Request::Correct {
+            session,
+            corrections,
+        } => {
+            let outcome = registry.correct(session, &corrections)?;
+            Ok(Reply::Step {
+                session,
+                step: outcome.into(),
+            })
+        }
+        Request::Verify { session, query } => {
+            let parsed = match query {
+                Some(text) => {
+                    // Parse at the session's arity so `all x1` over a
+                    // 3-proposition store means what the user means.
+                    let (store, _) = registry.session_store(session)?;
+                    Some(parse_query_with_arity(&text, store.bridge().n())?)
+                }
+                None => None,
+            };
+            let outcome = registry.begin_verify(session, parsed)?;
+            Ok(Reply::Step {
+                session,
+                step: outcome.into(),
+            })
+        }
+        Request::EvaluateBatch {
+            session,
+            dataset: ds,
+            size,
+            query,
+            workers,
+        } => {
+            let (store, default_query) = match (session, ds) {
+                (Some(id), None) => {
+                    let (store, learned) = registry.session_store(id)?;
+                    (store, learned)
+                }
+                (None, Some(name)) => {
+                    let (store, _) = dataset::build(&name, size)?;
+                    (Arc::new(store), None)
+                }
+                _ => {
+                    return Err(ServiceError::Parse(
+                        "evaluate_batch needs exactly one of `session` or `dataset`".into(),
+                    ))
+                }
+            };
+            let q = match query {
+                Some(text) => parse_query_with_arity(&text, store.bridge().n())?,
+                None => default_query.ok_or_else(|| {
+                    ServiceError::Parse("no query given and the session has not learned one".into())
+                })?,
+            };
+            if q.arity() != store.boolean().arity() {
+                return Err(ServiceError::Parse(format!(
+                    "query arity {} ≠ store arity {}",
+                    q.arity(),
+                    store.boolean().arity()
+                )));
+            }
+            let plan = CompiledQuery::compile(&q);
+            let (hits, stats) =
+                batch::execute_parallel_with_stats(&plan, store.boolean(), workers.max(1));
+            registry.count_batch_run(&stats);
+            Ok(Reply::Batch {
+                answers: hits.into_iter().map(|id| id.0).collect(),
+                stats,
+                workers: workers.max(1),
+            })
+        }
+        Request::ExportQuery { session, format } => {
+            let q = registry.learned_query(session)?;
+            let text = match format.as_str() {
+                "ascii" => qhorn_lang::printer::to_ascii(&q),
+                "unicode" => qhorn_lang::printer::to_unicode(&q),
+                "json" => qhorn_json::to_string(&q),
+                other => return Err(ServiceError::Parse(format!("unknown format `{other}`"))),
+            };
+            Ok(Reply::Exported { text })
+        }
+        Request::CloseSession { session } => {
+            registry.close_session(session)?;
+            Ok(Reply::Closed { session })
+        }
+        Request::Stats => Ok(Reply::Stats(registry.stats())),
+        Request::Metrics => Ok(Reply::Metrics(registry.metrics().snapshot())),
+    }
+}
+
+fn parse_query_with_arity(text: &str, n: u16) -> Result<qhorn_core::Query, ServiceError> {
+    qhorn_lang::parse_with_arity(text, n).map_err(|e| ServiceError::Parse(e.to_string()))
+}

@@ -13,7 +13,7 @@
 //! terminates (every learner asks a bounded number of questions), then
 //! the thread exits — no panics, no detached spin.
 
-use qhorn_core::learn::LearnOptions;
+use qhorn_core::learn::{LearnOptions, LearnOutcome, LearnStats};
 use qhorn_core::{Obj, Query, Response};
 use qhorn_engine::session::{Exchange, LearnerKind, RealizedQuestion, Session};
 use qhorn_engine::DataStore;
@@ -41,8 +41,10 @@ pub(crate) enum DriverEvent {
     Question(QuestionOut),
     /// Learning (or relearning) finished.
     LearnFinished {
-        /// The learned query, or the learner's failure message.
-        result: Result<Query, String>,
+        /// The learned query plus the run's per-phase question accounting
+        /// (folded into the service metrics), or the learner's failure
+        /// message.
+        result: Result<(Query, LearnStats), String>,
         /// The session's authoritative transcript after the run.
         transcript: Vec<Exchange>,
     },
@@ -132,7 +134,7 @@ fn run(
                 };
                 let finished = DriverEvent::LearnFinished {
                     result: outcome
-                        .map(|o| o.query().clone())
+                        .map(LearnOutcome::into_parts)
                         .map_err(|e| e.to_string()),
                     transcript: session.transcript().to_vec(),
                 };
@@ -160,7 +162,7 @@ fn run(
                 };
                 let finished = DriverEvent::LearnFinished {
                     result: outcome
-                        .map(|o| o.query().clone())
+                        .map(LearnOutcome::into_parts)
                         .map_err(|e| e.to_string()),
                     transcript: session.transcript().to_vec(),
                 };

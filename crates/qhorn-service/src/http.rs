@@ -1,0 +1,892 @@
+//! The HTTP/1.1 gateway: the same protocol the JSON-lines TCP server
+//! speaks, reachable from ordinary web clients (`curl`, browsers, load
+//! balancers), plus the Prometheus scrape endpoint.
+//!
+//! Implemented on `std` only: an acceptor thread feeds connections into a
+//! worker pool (exactly like [`crate::server::Server`]), each worker
+//! parses HTTP/1.1 requests with keep-alive, `Content-Length` **and**
+//! `Transfer-Encoding: chunked` bodies, and bounded head/body sizes.
+//! Every API route funnels through [`crate::dispatch::try_dispatch`] —
+//! the same function the TCP frontend calls — so the two frontends cannot
+//! drift (the conformance suite asserts it).
+//!
+//! ## Routes
+//!
+//! | Route                       | Protocol message |
+//! |-----------------------------|------------------|
+//! | `POST /v1/session/create`   | `create_session` |
+//! | `POST /v1/session/next`     | `next_question`  |
+//! | `POST /v1/session/answer`   | `answer`         |
+//! | `POST /v1/session/correct`  | `correct`        |
+//! | `POST /v1/session/verify`   | `verify`         |
+//! | `POST /v1/session/export`   | `export_query`   |
+//! | `POST /v1/session/close`    | `close_session`  |
+//! | `POST /v1/evaluate`         | `evaluate_batch` |
+//! | `GET`/`POST /v1/stats`      | `stats`          |
+//! | `GET`/`POST /v1/metrics`    | `metrics` (JSON) |
+//! | `GET /metrics`              | Prometheus text  |
+//!
+//! The request body is the message's JSON object **without** the `"type"`
+//! field (the route implies it); a body that does carry `"type"` must
+//! agree with the route. Replies are the same JSON objects the TCP
+//! frontend writes, one per response, `Content-Length`-framed. Errors map
+//! onto status codes ([`status_for`]) with a `Reply::Error` JSON body.
+
+use crate::dispatch::try_dispatch;
+use crate::error::ServiceError;
+use crate::metrics::render_prometheus;
+use crate::proto::{Reply, Request};
+use crate::registry::Registry;
+use qhorn_json::{FromJson, Json};
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Largest accepted request head (request line + headers).
+const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// Largest accepted request body (either framing).
+const MAX_BODY_BYTES: usize = 1 << 20;
+
+/// Route table: request path → protocol message type.
+const ROUTES: &[(&str, &str)] = &[
+    ("/v1/session/create", "create_session"),
+    ("/v1/session/next", "next_question"),
+    ("/v1/session/answer", "answer"),
+    ("/v1/session/correct", "correct"),
+    ("/v1/session/verify", "verify"),
+    ("/v1/session/export", "export_query"),
+    ("/v1/session/close", "close_session"),
+    ("/v1/evaluate", "evaluate_batch"),
+    ("/v1/stats", "stats"),
+    ("/v1/metrics", "metrics"),
+];
+
+/// The request path carrying a protocol message kind (client side).
+#[must_use]
+pub fn route_for_kind(kind: &str) -> &'static str {
+    ROUTES
+        .iter()
+        .find(|(_, k)| *k == kind)
+        .map(|(path, _)| *path)
+        .expect("every request kind has a route")
+}
+
+/// The HTTP status an error maps onto.
+#[must_use]
+pub fn status_for(e: &ServiceError) -> u16 {
+    match e {
+        ServiceError::UnknownSession(_) | ServiceError::UnknownDataset(_) => 404,
+        ServiceError::WrongState { .. } => 409,
+        ServiceError::Parse(_) => 400,
+        ServiceError::Engine(_) => 422,
+        ServiceError::DriverTimeout => 504,
+        ServiceError::Store(_) => 500,
+        ServiceError::Transport(_) => 502,
+    }
+}
+
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        501 => "Not Implemented",
+        502 => "Bad Gateway",
+        504 => "Gateway Timeout",
+        505 => "HTTP Version Not Supported",
+        _ => "Unknown",
+    }
+}
+
+/// A running HTTP gateway; same lifecycle as [`crate::server::Server`].
+pub struct HttpServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    registry: Arc<Registry>,
+}
+
+impl HttpServer {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"`) and starts the accept loop and
+    /// `workers` handler threads over `registry`.
+    ///
+    /// # Errors
+    /// I/O errors from binding.
+    pub fn start(addr: &str, registry: Arc<Registry>, workers: usize) -> io::Result<HttpServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let (conn_tx, conn_rx) = mpsc::channel::<TcpStream>();
+        let conn_rx = Arc::new(Mutex::new(conn_rx));
+
+        let mut handles = Vec::with_capacity(workers.max(1));
+        for i in 0..workers.max(1) {
+            let rx = Arc::clone(&conn_rx);
+            let reg = Arc::clone(&registry);
+            let stop = Arc::clone(&shutdown);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("qhorn-http-worker-{i}"))
+                    .spawn(move || loop {
+                        let stream = { rx.lock().expect("conn channel poisoned").recv() };
+                        match stream {
+                            Ok(s) => handle_connection(s, &reg, &stop),
+                            Err(_) => break, // acceptor gone and queue drained
+                        }
+                    })
+                    .expect("spawn http worker"),
+            );
+        }
+
+        let stop = Arc::clone(&shutdown);
+        let acceptor = std::thread::Builder::new()
+            .name("qhorn-http-acceptor".into())
+            .spawn(move || {
+                for stream in listener.incoming() {
+                    if stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    match stream {
+                        Ok(s) => {
+                            if conn_tx.send(s).is_err() {
+                                break;
+                            }
+                        }
+                        Err(_) => {
+                            if stop.load(Ordering::SeqCst) {
+                                break;
+                            }
+                        }
+                    }
+                }
+            })
+            .expect("spawn http acceptor");
+
+        Ok(HttpServer {
+            addr: local,
+            shutdown,
+            acceptor: Some(acceptor),
+            workers: handles,
+            registry,
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared registry.
+    #[must_use]
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// Stops accepting, drains the workers, and joins every thread.
+    pub fn shutdown(mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(self.addr);
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+/// One parsed request.
+struct HttpRequest {
+    method: String,
+    /// Path with any query string stripped.
+    path: String,
+    /// `true` for HTTP/1.1, `false` for HTTP/1.0.
+    http11: bool,
+    /// Lowercased header names.
+    headers: Vec<(String, String)>,
+    body: Vec<u8>,
+}
+
+impl HttpRequest {
+    fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn header_count(&self, name: &str) -> usize {
+        self.headers.iter().filter(|(k, _)| k == name).count()
+    }
+
+    /// Keep-alive per HTTP/1.x defaults and the `Connection` header.
+    fn keep_alive(&self) -> bool {
+        let conn = self.header("connection").unwrap_or("").to_ascii_lowercase();
+        if self.http11 {
+            !conn.split(',').any(|t| t.trim() == "close")
+        } else {
+            conn.split(',').any(|t| t.trim() == "keep-alive")
+        }
+    }
+}
+
+/// Why a request could not be parsed (always answered with a 4xx/5xx and
+/// a closed connection — framing cannot be trusted afterwards).
+struct ParseFailure {
+    status: u16,
+    message: String,
+}
+
+impl ParseFailure {
+    fn new(status: u16, message: impl Into<String>) -> Self {
+        ParseFailure {
+            status,
+            message: message.into(),
+        }
+    }
+}
+
+enum ReadOutcome {
+    Request(HttpRequest),
+    Bad(ParseFailure),
+    /// Peer closed (or flooded past a limit mid-frame, or sent bytes we
+    /// cannot answer inside broken framing).
+    Closed,
+    Stopped,
+}
+
+/// Serves one connection: parse a request, dispatch, write a response,
+/// repeat while keep-alive holds.
+fn handle_connection(stream: TcpStream, registry: &Arc<Registry>, stop: &AtomicBool) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+    let _ = stream.set_nodelay(true);
+    let mut conn = Conn::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    });
+    let mut writer = stream;
+    loop {
+        match read_request(&mut conn, stop) {
+            ReadOutcome::Request(req) => {
+                let keep_alive = req.keep_alive();
+                let response = respond(registry, &req);
+                if write_response(&mut writer, &response, keep_alive).is_err() || !keep_alive {
+                    return;
+                }
+            }
+            ReadOutcome::Bad(failure) => {
+                // Framing is unreliable after a parse failure: answer (so
+                // the peer learns why) and close.
+                let response = HttpResponse {
+                    status: failure.status,
+                    content_type: "application/json",
+                    body: qhorn_json::to_string(&Reply::Error {
+                        message: failure.message,
+                    }),
+                    allow: None,
+                };
+                let _ = write_response(&mut writer, &response, false);
+                return;
+            }
+            ReadOutcome::Closed | ReadOutcome::Stopped => return,
+        }
+    }
+}
+
+/// One response, ready to frame onto the wire.
+struct HttpResponse {
+    status: u16,
+    content_type: &'static str,
+    body: String,
+    /// `Allow` header value, required on every 405 (RFC 9110 §15.5.6).
+    allow: Option<&'static str>,
+}
+
+/// Maps one request onto a response.
+fn respond(registry: &Arc<Registry>, req: &HttpRequest) -> HttpResponse {
+    // The Prometheus scrape endpoint is plain text, not a protocol route.
+    if req.path == "/metrics" {
+        if req.method != "GET" {
+            return error_response(405, format!("method {} not allowed", req.method))
+                .with_allow("GET");
+        }
+        let text = render_prometheus(&registry.metrics().snapshot(), &registry.stats());
+        return HttpResponse {
+            status: 200,
+            content_type: "text/plain; version=0.0.4",
+            body: text,
+            allow: None,
+        };
+    }
+    let Some((_, kind)) = ROUTES.iter().find(|(path, _)| *path == req.path) else {
+        return error_response(404, format!("no route for `{}`", req.path));
+    };
+    // GET works for the read-only routes; everything else is POST.
+    let read_only = matches!(*kind, "stats" | "metrics");
+    if !(req.method == "POST" || (req.method == "GET" && read_only)) {
+        return error_response(405, format!("method {} not allowed", req.method))
+            .with_allow(if read_only { "GET, POST" } else { "POST" });
+    }
+    let request = match decode_body(kind, &req.body) {
+        Ok(request) => request,
+        Err(message) => return error_response(400, message),
+    };
+    match try_dispatch(registry, request) {
+        Ok(reply) => HttpResponse {
+            status: 200,
+            content_type: "application/json",
+            body: qhorn_json::to_string(&reply),
+            allow: None,
+        },
+        Err(e) => HttpResponse {
+            status: status_for(&e),
+            content_type: "application/json",
+            body: qhorn_json::to_string(&Reply::from(e)),
+            allow: None,
+        },
+    }
+}
+
+impl HttpResponse {
+    fn with_allow(mut self, allow: &'static str) -> Self {
+        self.allow = Some(allow);
+        self
+    }
+}
+
+fn error_response(status: u16, message: String) -> HttpResponse {
+    HttpResponse {
+        status,
+        content_type: "application/json",
+        body: qhorn_json::to_string(&Reply::Error { message }),
+        allow: None,
+    }
+}
+
+/// Decodes a request body into the route's protocol message: the body is
+/// the message object without `"type"` (the route implies it); an
+/// explicit `"type"` must agree.
+fn decode_body(kind: &str, body: &[u8]) -> Result<Request, String> {
+    let text = std::str::from_utf8(body).map_err(|_| "body is not UTF-8".to_string())?;
+    let parsed = if text.trim().is_empty() {
+        Json::Obj(Vec::new())
+    } else {
+        Json::parse(text).map_err(|e| format!("bad JSON body: {e}"))?
+    };
+    let Json::Obj(mut pairs) = parsed else {
+        return Err("body must be a JSON object".into());
+    };
+    let explicit = parsed_type(&pairs).map(str::to_string);
+    match explicit.as_deref() {
+        Some(t) if t != kind => {
+            return Err(format!(
+                "body type `{t}` does not match the route (`{kind}`)"
+            ));
+        }
+        Some(_) => {}
+        None => pairs.insert(0, ("type".to_string(), Json::Str(kind.to_string()))),
+    }
+    Request::from_json(&Json::Obj(pairs)).map_err(|e| format!("bad request: {e}"))
+}
+
+fn parsed_type(pairs: &[(String, Json)]) -> Option<&str> {
+    pairs
+        .iter()
+        .find(|(k, _)| k == "type")
+        .and_then(|(_, v)| v.as_str())
+}
+
+fn write_response(w: &mut TcpStream, response: &HttpResponse, keep_alive: bool) -> io::Result<()> {
+    let connection = if keep_alive { "keep-alive" } else { "close" };
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {connection}\r\n",
+        response.status,
+        reason(response.status),
+        response.content_type,
+        response.body.len(),
+    );
+    if let Some(allow) = response.allow {
+        head.push_str(&format!("Allow: {allow}\r\n"));
+    }
+    head.push_str("\r\n");
+    w.write_all(head.as_bytes())?;
+    w.write_all(response.body.as_bytes())?;
+    w.flush()
+}
+
+/// Reads and parses one request off the connection.
+fn read_request(conn: &mut Conn, stop: &AtomicBool) -> ReadOutcome {
+    let head = match conn.read_head(stop) {
+        ReadBytes::Bytes(head) => head,
+        ReadBytes::TooLong => {
+            return ReadOutcome::Bad(ParseFailure::new(431, "request head too large"))
+        }
+        ReadBytes::Closed => return ReadOutcome::Closed,
+        ReadBytes::Stopped => return ReadOutcome::Stopped,
+    };
+    let head = match String::from_utf8(head) {
+        Ok(head) => head,
+        Err(_) => return ReadOutcome::Bad(ParseFailure::new(400, "request head is not UTF-8")),
+    };
+    let mut lines = head.split('\n').map(|l| l.strip_suffix('\r').unwrap_or(l));
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split(' ').filter(|p| !p.is_empty());
+    let (Some(method), Some(target), Some(version), None) =
+        (parts.next(), parts.next(), parts.next(), parts.next())
+    else {
+        return ReadOutcome::Bad(ParseFailure::new(
+            400,
+            format!("malformed request line `{request_line}`"),
+        ));
+    };
+    let http11 = match version {
+        "HTTP/1.1" => true,
+        "HTTP/1.0" => false,
+        _ => {
+            return ReadOutcome::Bad(ParseFailure::new(
+                505,
+                format!("unsupported version `{version}`"),
+            ))
+        }
+    };
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue; // the blank terminator line
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return ReadOutcome::Bad(ParseFailure::new(400, format!("malformed header `{line}`")));
+        };
+        if name.is_empty() || name.contains(' ') {
+            return ReadOutcome::Bad(ParseFailure::new(400, format!("malformed header `{line}`")));
+        }
+        headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
+    }
+    let mut request = HttpRequest {
+        method: method.to_string(),
+        path: target.split('?').next().unwrap_or(target).to_string(),
+        http11,
+        headers,
+        body: Vec::new(),
+    };
+    match read_body(conn, &request, stop) {
+        Ok(body) => request.body = body,
+        Err(outcome) => return outcome,
+    }
+    ReadOutcome::Request(request)
+}
+
+/// Reads the request body per its framing headers.
+fn read_body(
+    conn: &mut Conn,
+    req: &HttpRequest,
+    stop: &AtomicBool,
+) -> Result<Vec<u8>, ReadOutcome> {
+    // Duplicate framing headers are a request-smuggling vector (RFC 9112
+    // §6.3): two Content-Lengths desync this server from any intermediary
+    // that honors the other one. Unrecoverable — reject, close.
+    if req.header_count("content-length") > 1 || req.header_count("transfer-encoding") > 1 {
+        return Err(ReadOutcome::Bad(ParseFailure::new(
+            400,
+            "duplicate body-framing headers",
+        )));
+    }
+    let transfer_encoding = req.header("transfer-encoding").map(str::to_ascii_lowercase);
+    let content_length = req.header("content-length");
+    match (transfer_encoding.as_deref(), content_length) {
+        (Some(_), Some(_)) => Err(ReadOutcome::Bad(ParseFailure::new(
+            400,
+            "both Transfer-Encoding and Content-Length",
+        ))),
+        (Some("chunked"), None) => read_chunked(conn, stop),
+        (Some(other), None) => Err(ReadOutcome::Bad(ParseFailure::new(
+            501,
+            format!("unsupported transfer encoding `{other}`"),
+        ))),
+        (None, Some(len)) => {
+            let Ok(len) = len.parse::<usize>() else {
+                return Err(ReadOutcome::Bad(ParseFailure::new(
+                    400,
+                    format!("bad Content-Length `{len}`"),
+                )));
+            };
+            if len > MAX_BODY_BYTES {
+                return Err(ReadOutcome::Bad(ParseFailure::new(413, "body too large")));
+            }
+            match conn.read_exact_bytes(len, stop) {
+                ReadBytes::Bytes(body) => Ok(body),
+                ReadBytes::TooLong => {
+                    Err(ReadOutcome::Bad(ParseFailure::new(413, "body too large")))
+                }
+                ReadBytes::Closed => Err(ReadOutcome::Closed),
+                ReadBytes::Stopped => Err(ReadOutcome::Stopped),
+            }
+        }
+        (None, None) => Ok(Vec::new()),
+    }
+}
+
+/// Reads a `Transfer-Encoding: chunked` body (sizes in hex, optional
+/// chunk extensions, trailer section discarded).
+fn read_chunked(conn: &mut Conn, stop: &AtomicBool) -> Result<Vec<u8>, ReadOutcome> {
+    let mut body = Vec::new();
+    loop {
+        let line = match conn.read_line(stop) {
+            ReadBytes::Bytes(line) => line,
+            ReadBytes::TooLong => {
+                return Err(ReadOutcome::Bad(ParseFailure::new(
+                    400,
+                    "chunk size line too long",
+                )))
+            }
+            ReadBytes::Closed => return Err(ReadOutcome::Closed),
+            ReadBytes::Stopped => return Err(ReadOutcome::Stopped),
+        };
+        let line = String::from_utf8_lossy(&line);
+        let size_text = line.trim().split(';').next().unwrap_or("").trim();
+        let Ok(size) = usize::from_str_radix(size_text, 16) else {
+            return Err(ReadOutcome::Bad(ParseFailure::new(
+                400,
+                format!("bad chunk size `{size_text}`"),
+            )));
+        };
+        if size == 0 {
+            // Trailer section: lines until the blank terminator.
+            loop {
+                match conn.read_line(stop) {
+                    ReadBytes::Bytes(line) if line.is_empty() => return Ok(body),
+                    ReadBytes::Bytes(_) => {}
+                    ReadBytes::TooLong => {
+                        return Err(ReadOutcome::Bad(ParseFailure::new(400, "trailer too long")))
+                    }
+                    ReadBytes::Closed => return Err(ReadOutcome::Closed),
+                    ReadBytes::Stopped => return Err(ReadOutcome::Stopped),
+                }
+            }
+        }
+        if body.len().saturating_add(size) > MAX_BODY_BYTES {
+            return Err(ReadOutcome::Bad(ParseFailure::new(413, "body too large")));
+        }
+        match conn.read_exact_bytes(size, stop) {
+            ReadBytes::Bytes(chunk) => body.extend_from_slice(&chunk),
+            ReadBytes::TooLong => {
+                return Err(ReadOutcome::Bad(ParseFailure::new(413, "body too large")))
+            }
+            ReadBytes::Closed => return Err(ReadOutcome::Closed),
+            ReadBytes::Stopped => return Err(ReadOutcome::Stopped),
+        }
+        // The CRLF closing the chunk.
+        match conn.read_line(stop) {
+            ReadBytes::Bytes(rest) if rest.is_empty() => {}
+            ReadBytes::Bytes(_) | ReadBytes::TooLong => {
+                return Err(ReadOutcome::Bad(ParseFailure::new(
+                    400,
+                    "chunk not CRLF-terminated",
+                )))
+            }
+            ReadBytes::Closed => return Err(ReadOutcome::Closed),
+            ReadBytes::Stopped => return Err(ReadOutcome::Stopped),
+        }
+    }
+}
+
+enum ReadBytes {
+    Bytes(Vec<u8>),
+    TooLong,
+    Closed,
+    Stopped,
+}
+
+/// A buffered reader that survives read timeouts (used to poll the stop
+/// flag) without losing partial frames.
+struct Conn {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> Self {
+        Conn {
+            stream,
+            buf: Vec::new(),
+        }
+    }
+
+    /// One read into the buffer; distinguishes data, EOF, stop, timeout.
+    fn fill(&mut self, stop: &AtomicBool) -> Option<ReadBytes> {
+        if stop.load(Ordering::SeqCst) {
+            return Some(ReadBytes::Stopped);
+        }
+        let mut chunk = [0u8; 4096];
+        match self.stream.read(&mut chunk) {
+            Ok(0) => Some(ReadBytes::Closed),
+            Ok(n) => {
+                self.buf.extend_from_slice(&chunk[..n]);
+                None
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                None // timeout tick: loop to re-check the stop flag
+            }
+            Err(_) => Some(ReadBytes::Closed),
+        }
+    }
+
+    /// Reads up to and including the head terminator (`\r\n\r\n`, or the
+    /// lenient `\n\n`); returns the head without the terminator.
+    fn read_head(&mut self, stop: &AtomicBool) -> ReadBytes {
+        loop {
+            let crlf = find(&self.buf, b"\r\n\r\n");
+            let lf = find(&self.buf, b"\n\n");
+            let hit = match (crlf, lf) {
+                (Some(c), Some(l)) if c <= l => Some((c, 4)),
+                (_, Some(l)) => Some((l, 2)),
+                (Some(c), None) => Some((c, 4)),
+                (None, None) => None,
+            };
+            if let Some((pos, skip)) = hit {
+                let rest = self.buf.split_off(pos + skip);
+                let mut head = std::mem::replace(&mut self.buf, rest);
+                head.truncate(pos);
+                return ReadBytes::Bytes(head);
+            }
+            if self.buf.len() > MAX_HEAD_BYTES {
+                return ReadBytes::TooLong;
+            }
+            if let Some(ev) = self.fill(stop) {
+                return ev;
+            }
+        }
+    }
+
+    /// Reads exactly `n` bytes.
+    fn read_exact_bytes(&mut self, n: usize, stop: &AtomicBool) -> ReadBytes {
+        loop {
+            if self.buf.len() >= n {
+                let rest = self.buf.split_off(n);
+                return ReadBytes::Bytes(std::mem::replace(&mut self.buf, rest));
+            }
+            if let Some(ev) = self.fill(stop) {
+                return ev;
+            }
+        }
+    }
+
+    /// Reads one `\n`-terminated line (chunk framing), stripping the
+    /// terminator and any trailing `\r`.
+    fn read_line(&mut self, stop: &AtomicBool) -> ReadBytes {
+        loop {
+            if let Some(pos) = self.buf.iter().position(|&b| b == b'\n') {
+                let rest = self.buf.split_off(pos + 1);
+                let mut line = std::mem::replace(&mut self.buf, rest);
+                line.pop();
+                if line.last() == Some(&b'\r') {
+                    line.pop();
+                }
+                return ReadBytes::Bytes(line);
+            }
+            if self.buf.len() > 1024 {
+                return ReadBytes::TooLong;
+            }
+            if let Some(ev) = self.fill(stop) {
+                return ev;
+            }
+        }
+    }
+}
+
+fn find(haystack: &[u8], needle: &[u8]) -> Option<usize> {
+    haystack
+        .windows(needle.len())
+        .position(|window| window == needle)
+}
+
+// ---------------------------------------------------------------------------
+// Client transport
+// ---------------------------------------------------------------------------
+
+/// A blocking HTTP/1.1 keep-alive transport speaking the protocol enums;
+/// used through [`crate::server::Client::connect_http`].
+pub struct HttpClient {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+impl HttpClient {
+    /// Connects to an [`HttpServer`].
+    ///
+    /// # Errors
+    /// Connection failures as [`ServiceError::Transport`].
+    pub fn connect(addr: SocketAddr) -> Result<HttpClient, ServiceError> {
+        let stream =
+            TcpStream::connect(addr).map_err(|e| ServiceError::Transport(e.to_string()))?;
+        let _ = stream.set_nodelay(true);
+        Ok(HttpClient {
+            stream,
+            buf: Vec::new(),
+        })
+    }
+
+    /// Sends one protocol request as `POST <route>` and decodes the JSON
+    /// reply (both success and error bodies decode as [`Reply`]).
+    ///
+    /// # Errors
+    /// Transport failures and malformed replies.
+    pub fn request(&mut self, req: &Request) -> Result<Reply, ServiceError> {
+        let path = route_for_kind(req.kind());
+        let body = qhorn_json::to_string(req);
+        let head = format!(
+            "POST {path} HTTP/1.1\r\nHost: qhorn\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n",
+            body.len()
+        );
+        self.stream
+            .write_all(head.as_bytes())
+            .and_then(|()| self.stream.write_all(body.as_bytes()))
+            .and_then(|()| self.stream.flush())
+            .map_err(|e| ServiceError::Transport(e.to_string()))?;
+        let (_, body) = self.read_response()?;
+        qhorn_json::from_str(&body).map_err(|e| ServiceError::Transport(e.to_string()))
+    }
+
+    /// Scrapes `GET /metrics` as Prometheus text.
+    ///
+    /// # Errors
+    /// Transport failures.
+    pub fn scrape_metrics(&mut self) -> Result<String, ServiceError> {
+        self.stream
+            .write_all(b"GET /metrics HTTP/1.1\r\nHost: qhorn\r\n\r\n")
+            .and_then(|()| self.stream.flush())
+            .map_err(|e| ServiceError::Transport(e.to_string()))?;
+        let (status, body) = self.read_response()?;
+        if status != 200 {
+            return Err(ServiceError::Transport(format!("scrape failed: {status}")));
+        }
+        Ok(body)
+    }
+
+    /// Reads one `Content-Length`-framed response.
+    fn read_response(&mut self) -> Result<(u16, String), ServiceError> {
+        let transport = |m: String| ServiceError::Transport(m);
+        let head = loop {
+            if let Some(pos) = find(&self.buf, b"\r\n\r\n") {
+                let rest = self.buf.split_off(pos + 4);
+                let mut head = std::mem::replace(&mut self.buf, rest);
+                head.truncate(pos);
+                break String::from_utf8(head).map_err(|e| transport(e.to_string()))?;
+            }
+            if self.buf.len() > MAX_HEAD_BYTES {
+                return Err(transport("response head too large".into()));
+            }
+            let mut chunk = [0u8; 4096];
+            match self.stream.read(&mut chunk) {
+                Ok(0) => return Err(transport("server closed connection".into())),
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e) => return Err(transport(e.to_string())),
+            }
+        };
+        let mut lines = head.lines();
+        let status_line = lines.next().unwrap_or("");
+        let status = status_line
+            .split(' ')
+            .nth(1)
+            .and_then(|s| s.parse::<u16>().ok())
+            .ok_or_else(|| transport(format!("bad status line `{status_line}`")))?;
+        let content_length = lines
+            .filter_map(|l| l.split_once(':'))
+            .find(|(k, _)| k.eq_ignore_ascii_case("content-length"))
+            .and_then(|(_, v)| v.trim().parse::<usize>().ok())
+            .ok_or_else(|| transport("response without Content-Length".into()))?;
+        while self.buf.len() < content_length {
+            let mut chunk = [0u8; 4096];
+            match self.stream.read(&mut chunk) {
+                Ok(0) => return Err(transport("server closed mid-body".into())),
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e) => return Err(transport(e.to_string())),
+            }
+        }
+        let rest = self.buf.split_off(content_length);
+        let body = std::mem::replace(&mut self.buf, rest);
+        let body = String::from_utf8(body).map_err(|e| transport(e.to_string()))?;
+        Ok((status, body))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qhorn_engine::session::LearnerKind;
+
+    #[test]
+    fn every_request_kind_has_a_route_and_back() {
+        for (path, kind) in ROUTES {
+            assert_eq!(route_for_kind(kind), *path);
+        }
+        assert_eq!(route_for_kind("answer"), "/v1/session/answer");
+    }
+
+    #[test]
+    fn decode_body_injects_and_checks_the_route_type() {
+        // Route implies the type.
+        let req = decode_body("next_question", br#"{"session":3}"#).unwrap();
+        assert_eq!(req, Request::NextQuestion { session: 3 });
+        // Explicit matching type is fine.
+        let req = decode_body("stats", br#"{"type":"stats"}"#).unwrap();
+        assert_eq!(req, Request::Stats);
+        // Mismatch is rejected.
+        assert!(decode_body("stats", br#"{"type":"answer","session":1}"#).is_err());
+        // Garbage is rejected.
+        assert!(decode_body("stats", b"\xff\xfe").is_err());
+        assert!(decode_body("stats", b"[1,2]").is_err());
+        // Empty body works for field-free messages…
+        assert_eq!(decode_body("stats", b"").unwrap(), Request::Stats);
+        // …and fails with a missing-field error for ones with fields.
+        let err = decode_body("answer", b"").unwrap_err();
+        assert!(err.contains("session"), "{err}");
+        // Full create body round-trips through the decode path.
+        let req = decode_body(
+            "create_session",
+            br#"{"dataset":"chocolates","size":30,"learner":"qhorn1"}"#,
+        )
+        .unwrap();
+        assert_eq!(
+            req,
+            Request::CreateSession {
+                dataset: "chocolates".into(),
+                size: 30,
+                learner: LearnerKind::Qhorn1,
+                max_questions: None,
+            }
+        );
+    }
+
+    #[test]
+    fn status_mapping_is_total_and_sane() {
+        assert_eq!(status_for(&ServiceError::UnknownSession(1)), 404);
+        assert_eq!(status_for(&ServiceError::Parse("x".into())), 400);
+        assert_eq!(
+            status_for(&ServiceError::WrongState {
+                state: "done",
+                needed: "x"
+            }),
+            409
+        );
+        assert_eq!(status_for(&ServiceError::DriverTimeout), 504);
+        assert_eq!(status_for(&ServiceError::Store("x".into())), 500);
+    }
+}

@@ -12,11 +12,20 @@
 //!   optional **durability** through `qhorn-store` — every exchange is
 //!   appended to a checksummed log before the request returns, and
 //!   [`Registry::open`] recovers all sessions after a crash;
-//! * [`proto`] — the JSON-lines request/reply protocol (`CreateSession`,
+//! * [`proto`] — the request/reply protocol (`CreateSession`,
 //!   `NextQuestion`, `Answer`, `Correct` + replay, `Verify`,
-//!   `EvaluateBatch`, `ExportQuery`, `CloseSession`, `Stats`);
-//! * [`server`] — the protocol over `std::net::TcpListener` with a fixed
-//!   worker pool, graceful shutdown, and a blocking [`Client`];
+//!   `EvaluateBatch`, `ExportQuery`, `CloseSession`, `Stats`, `Metrics`);
+//! * [`dispatch`] — the shared request dispatcher both frontends funnel
+//!   through (with the per-message latency timing hook);
+//! * [`server`] — the protocol as JSON-lines over `std::net::TcpListener`
+//!   with a fixed worker pool, graceful shutdown, and a blocking
+//!   [`Client`] speaking either transport;
+//! * [`http`] — the same protocol as an HTTP/1.1 gateway
+//!   ([`HttpServer`]): keep-alive, `Content-Length`/chunked bodies,
+//!   status codes from [`ServiceError`], and `GET /metrics` Prometheus
+//!   text exposition;
+//! * [`metrics`] — lock-striped per-message latency histograms
+//!   (fixed log-scale buckets) and learner question counts per phase;
 //! * [`batch`] — parallel batch evaluation of compiled queries, identical
 //!   in output to the engine's sequential `exec::execute`;
 //! * [`dataset`] — the server-side dataset catalog sessions run over;
@@ -57,13 +66,17 @@
 
 pub mod batch;
 pub mod dataset;
+pub mod dispatch;
 mod driver;
 pub mod error;
+pub mod http;
+pub mod metrics;
 pub mod proto;
 pub mod registry;
 pub mod server;
 
 pub use error::ServiceError;
+pub use http::HttpServer;
 pub use registry::{Registry, RegistryConfig, SweepReport};
 pub use server::{Client, Server};
 

@@ -1,0 +1,647 @@
+//! The service's observability subsystem: per-message latency histograms
+//! and learner question counts per phase, exported as a [`MetricsSnapshot`]
+//! (the `Metrics` protocol message) and as Prometheus text exposition
+//! (`GET /metrics` on the HTTP frontend).
+//!
+//! Latencies land in **lock-striped** histograms: each stripe is an
+//! independently locked array of per-message histograms and every thread
+//! sticks to one stripe (assigned round-robin on first use), so concurrent
+//! request handlers never contend on one mutex. Buckets are **fixed
+//! log-scale** — powers of two from 1µs to ~67s — so one layout serves
+//! both a sub-millisecond `stats` call and a multi-second learning step,
+//! and snapshots from different servers are always mergeable.
+//!
+//! Phase counts fold in each completed learner run's
+//! [`LearnStats::by_phase`] accounting — the paper analyzes each subtask's
+//! question cost separately (Lemmas 3.2/3.3, Thms 3.5/3.8), and the same
+//! split is what an operator watches to see *where* dialogues spend the
+//! user's patience.
+
+use qhorn_core::learn::{LearnStats, Phase};
+use qhorn_json::{FromJson, Json, JsonError, ToJson};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Histogram bucket count: 27 finite log-scale bounds plus `+Inf`.
+pub const BUCKETS: usize = 28;
+
+/// Number of independently locked stripes latencies are spread over.
+const STRIPES: usize = 8;
+
+/// Finite bucket upper bound `i`, in nanoseconds: `1µs · 2^i`.
+///
+/// Index `BUCKETS - 1` is the `+Inf` bucket and has no finite bound.
+#[must_use]
+pub fn bucket_bound_nanos(i: usize) -> u64 {
+    debug_assert!(i < BUCKETS - 1);
+    1_000u64 << i
+}
+
+/// The protocol message names latencies are recorded under, in stable
+/// order; [`MetricsSnapshot`] rows use these labels.
+pub const MESSAGE_KINDS: &[&str] = &[
+    "create_session",
+    "next_question",
+    "answer",
+    "correct",
+    "verify",
+    "evaluate_batch",
+    "export_query",
+    "close_session",
+    "stats",
+    "metrics",
+];
+
+/// The learner phases exported as question counters, with their stable
+/// Prometheus label values.
+pub const PHASE_NAMES: &[(Phase, &str)] = &[
+    (Phase::FreeVariableScan, "free_variable_scan"),
+    (Phase::ClassifyHeads, "classify_heads"),
+    (Phase::BodylessCheck, "bodyless_check"),
+    (Phase::UniversalBodies, "universal_bodies"),
+    (Phase::ExistentialDependence, "existential_dependence"),
+    (Phase::MatrixQuestions, "matrix_questions"),
+    (Phase::ExistentialLattice, "existential_lattice"),
+];
+
+/// One message kind's latency accounting inside a stripe.
+#[derive(Clone, Debug)]
+struct Histogram {
+    counts: [u64; BUCKETS],
+    sum_nanos: u64,
+    count: u64,
+}
+
+impl Histogram {
+    const fn new() -> Self {
+        Histogram {
+            counts: [0; BUCKETS],
+            sum_nanos: 0,
+            count: 0,
+        }
+    }
+
+    fn record(&mut self, nanos: u64) {
+        let mut idx = BUCKETS - 1;
+        for i in 0..BUCKETS - 1 {
+            if nanos <= bucket_bound_nanos(i) {
+                idx = i;
+                break;
+            }
+        }
+        self.counts[idx] += 1;
+        self.sum_nanos = self.sum_nanos.saturating_add(nanos);
+        self.count += 1;
+    }
+}
+
+/// The live metrics registry: lock-striped latency histograms plus
+/// per-phase question counters. Cheap to share behind an `Arc`.
+pub struct Metrics {
+    stripes: Vec<Mutex<Vec<Histogram>>>,
+    /// Round-robin assignment cursor for new threads.
+    next_stripe: AtomicUsize,
+    /// Questions per learner phase (indexed like [`PHASE_NAMES`]).
+    phase_questions: Vec<AtomicU64>,
+    /// Learner runs whose stats were folded in (completed learns).
+    learn_runs: AtomicU64,
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Metrics {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Metrics {
+            stripes: (0..STRIPES)
+                .map(|_| Mutex::new(vec![Histogram::new(); MESSAGE_KINDS.len()]))
+                .collect(),
+            next_stripe: AtomicUsize::new(0),
+            phase_questions: (0..PHASE_NAMES.len()).map(|_| AtomicU64::new(0)).collect(),
+            learn_runs: AtomicU64::new(0),
+        }
+    }
+
+    /// The stripe this thread records into (assigned once, round-robin).
+    fn stripe(&self) -> &Mutex<Vec<Histogram>> {
+        thread_local! {
+            static STRIPE: std::cell::Cell<usize> = const { std::cell::Cell::new(usize::MAX) };
+        }
+        let idx = STRIPE.with(|s| {
+            if s.get() == usize::MAX {
+                s.set(self.next_stripe.fetch_add(1, Ordering::Relaxed));
+            }
+            s.get()
+        });
+        &self.stripes[idx % STRIPES]
+    }
+
+    /// Records one served request's wall-clock latency under the message
+    /// kind at `kind_index` (see [`MESSAGE_KINDS`]; out-of-range indices
+    /// are ignored).
+    pub fn record_latency(&self, kind_index: usize, elapsed: Duration) {
+        if kind_index >= MESSAGE_KINDS.len() {
+            return;
+        }
+        let nanos = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
+        let mut stripe = self.stripe().lock().expect("metrics stripe poisoned");
+        stripe[kind_index].record(nanos);
+    }
+
+    /// Folds one completed learner run's per-phase question counts in.
+    pub fn record_learn(&self, stats: &LearnStats) {
+        self.learn_runs.fetch_add(1, Ordering::Relaxed);
+        for (i, (phase, _)) in PHASE_NAMES.iter().enumerate() {
+            let n = stats.phase(*phase) as u64;
+            if n > 0 {
+                self.phase_questions[i].fetch_add(n, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// A consistent-enough copy of every counter (stripes are summed one
+    /// at a time; recording continues concurrently).
+    #[must_use]
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut totals = vec![Histogram::new(); MESSAGE_KINDS.len()];
+        for stripe in &self.stripes {
+            let stripe = stripe.lock().expect("metrics stripe poisoned");
+            for (total, h) in totals.iter_mut().zip(stripe.iter()) {
+                for (t, c) in total.counts.iter_mut().zip(h.counts.iter()) {
+                    *t += c;
+                }
+                total.sum_nanos = total.sum_nanos.saturating_add(h.sum_nanos);
+                total.count += h.count;
+            }
+        }
+        MetricsSnapshot {
+            histograms: totals
+                .into_iter()
+                .zip(MESSAGE_KINDS.iter())
+                .map(|(h, &kind)| HistogramSnapshot {
+                    message: kind.to_string(),
+                    count: h.count,
+                    sum_nanos: h.sum_nanos,
+                    buckets: h.counts.to_vec(),
+                })
+                .collect(),
+            phases: PHASE_NAMES
+                .iter()
+                .zip(self.phase_questions.iter())
+                .map(|((_, name), n)| ((*name).to_string(), n.load(Ordering::Relaxed)))
+                .collect(),
+            learn_runs: self.learn_runs.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// One message kind's aggregated latency histogram, as shipped by the
+/// `Metrics` protocol message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// The protocol message kind (see [`MESSAGE_KINDS`]).
+    pub message: String,
+    /// Requests recorded.
+    pub count: u64,
+    /// Total latency, nanoseconds.
+    pub sum_nanos: u64,
+    /// Per-bucket (non-cumulative) counts, [`BUCKETS`] long; the last
+    /// entry is the `+Inf` bucket.
+    pub buckets: Vec<u64>,
+}
+
+/// Everything the `Metrics` protocol message carries.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Per-message latency histograms, in [`MESSAGE_KINDS`] order.
+    pub histograms: Vec<HistogramSnapshot>,
+    /// `(phase label, questions asked)` per learner phase, in
+    /// [`PHASE_NAMES`] order.
+    pub phases: Vec<(String, u64)>,
+    /// Completed learner runs folded into `phases`.
+    pub learn_runs: u64,
+}
+
+impl ToJson for HistogramSnapshot {
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("message", self.message.to_json()),
+            ("count", self.count.to_json()),
+            ("sum_nanos", self.sum_nanos.to_json()),
+            ("buckets", self.buckets.to_json()),
+        ])
+    }
+}
+
+impl FromJson for HistogramSnapshot {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        Ok(HistogramSnapshot {
+            message: String::from_json(j.field("message")?)?,
+            count: u64::from_json(j.field("count")?)?,
+            sum_nanos: u64::from_json(j.field("sum_nanos")?)?,
+            buckets: Vec::<u64>::from_json(j.field("buckets")?)?,
+        })
+    }
+}
+
+impl ToJson for MetricsSnapshot {
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("histograms", self.histograms.to_json()),
+            (
+                "phases",
+                Json::Obj(
+                    self.phases
+                        .iter()
+                        .map(|(name, n)| (name.clone(), n.to_json()))
+                        .collect(),
+                ),
+            ),
+            ("learn_runs", self.learn_runs.to_json()),
+        ])
+    }
+}
+
+impl FromJson for MetricsSnapshot {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        let phases = j
+            .field("phases")?
+            .as_obj()
+            .ok_or_else(|| JsonError::msg("phases must be an object"))?
+            .iter()
+            .map(|(name, v)| Ok((name.clone(), u64::from_json(v)?)))
+            .collect::<Result<Vec<_>, JsonError>>()?;
+        Ok(MetricsSnapshot {
+            histograms: Vec::<HistogramSnapshot>::from_json(j.field("histograms")?)?,
+            phases,
+            learn_runs: u64::from_json(j.field("learn_runs")?)?,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Prometheus text exposition
+// ---------------------------------------------------------------------------
+
+/// Formats a finite bucket bound as a Prometheus `le` value, in seconds.
+fn le_label(i: usize) -> String {
+    // Exact decimal (bounds are 1µs · 2^i): print with enough precision
+    // and trim trailing zeros so 0.001024 stays 0.001024, not 1.024e-3.
+    let secs = bucket_bound_nanos(i) as f64 / 1e9;
+    let mut s = format!("{secs:.9}");
+    while s.ends_with('0') {
+        s.pop();
+    }
+    if s.ends_with('.') {
+        s.push('0');
+    }
+    s
+}
+
+/// Renders the snapshot plus the registry's cumulative counters as
+/// Prometheus text exposition (format version 0.0.4).
+#[must_use]
+pub fn render_prometheus(
+    snapshot: &MetricsSnapshot,
+    stats: &crate::registry::RegistryStats,
+) -> String {
+    let mut out = String::with_capacity(16 * 1024);
+    out.push_str(
+        "# HELP qhorn_request_duration_seconds Wall-clock latency of served protocol messages.\n\
+         # TYPE qhorn_request_duration_seconds histogram\n",
+    );
+    for h in &snapshot.histograms {
+        let mut cumulative = 0u64;
+        for (i, n) in h.buckets.iter().enumerate() {
+            cumulative += n;
+            let le = if i == BUCKETS - 1 {
+                "+Inf".to_string()
+            } else {
+                le_label(i)
+            };
+            out.push_str(&format!(
+                "qhorn_request_duration_seconds_bucket{{message=\"{}\",le=\"{le}\"}} {cumulative}\n",
+                h.message
+            ));
+        }
+        out.push_str(&format!(
+            "qhorn_request_duration_seconds_sum{{message=\"{}\"}} {}\n",
+            h.message,
+            h.sum_nanos as f64 / 1e9
+        ));
+        out.push_str(&format!(
+            "qhorn_request_duration_seconds_count{{message=\"{}\"}} {}\n",
+            h.message, h.count
+        ));
+    }
+    out.push_str(
+        "# HELP qhorn_learner_questions_total Membership questions asked, by learning phase.\n\
+         # TYPE qhorn_learner_questions_total counter\n",
+    );
+    for (name, n) in &snapshot.phases {
+        out.push_str(&format!(
+            "qhorn_learner_questions_total{{phase=\"{name}\"}} {n}\n"
+        ));
+    }
+    out.push_str(
+        "# HELP qhorn_learn_runs_total Completed learner runs folded into the phase counters.\n\
+         # TYPE qhorn_learn_runs_total counter\n",
+    );
+    out.push_str(&format!("qhorn_learn_runs_total {}\n", snapshot.learn_runs));
+
+    let counters: &[(&str, &str, u64)] = &[
+        ("qhorn_sessions_created_total", "counter", stats.created),
+        ("qhorn_sessions_live", "gauge", stats.live),
+        ("qhorn_sessions_evicted_total", "counter", stats.evicted),
+        ("qhorn_sessions_restored_total", "counter", stats.restored),
+        ("qhorn_sessions_completed_total", "counter", stats.completed),
+        ("qhorn_sessions_failed_total", "counter", stats.failed),
+        ("qhorn_answers_total", "counter", stats.answers),
+        ("qhorn_batch_runs_total", "counter", stats.batch_runs),
+        ("qhorn_batch_objects_total", "counter", stats.batch_objects),
+        (
+            "qhorn_batch_signatures_total",
+            "counter",
+            stats.batch_signatures,
+        ),
+        ("qhorn_batch_answers_total", "counter", stats.batch_answers),
+        ("qhorn_snapshots_held", "gauge", stats.snapshots),
+    ];
+    for (name, kind, value) in counters {
+        out.push_str(&format!("# TYPE {name} {kind}\n{name} {value}\n"));
+    }
+    if let Some(store) = &stats.store {
+        let store_counters: &[(&str, &str, u64)] = &[
+            (
+                "qhorn_store_records_appended_total",
+                "counter",
+                store.records_appended,
+            ),
+            (
+                "qhorn_store_bytes_appended_total",
+                "counter",
+                store.bytes_appended,
+            ),
+            ("qhorn_store_segments", "gauge", store.segments),
+            ("qhorn_store_live_log_bytes", "gauge", store.live_log_bytes),
+            (
+                "qhorn_store_compactions_total",
+                "counter",
+                store.compactions,
+            ),
+            (
+                "qhorn_store_recovered_sessions",
+                "gauge",
+                store.recovered_sessions,
+            ),
+            (
+                "qhorn_store_torn_truncations_total",
+                "counter",
+                store.torn_truncations,
+            ),
+        ];
+        for (name, kind, value) in store_counters {
+            out.push_str(&format!("# TYPE {name} {kind}\n{name} {value}\n"));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::RegistryStats;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn bounds_are_log_scale_micro_to_minute() {
+        assert_eq!(bucket_bound_nanos(0), 1_000); // 1µs
+        assert_eq!(bucket_bound_nanos(10), 1_024_000); // ~1ms
+        assert_eq!(bucket_bound_nanos(20), 1_048_576_000); // ~1s
+        let top = bucket_bound_nanos(BUCKETS - 2);
+        assert!(top > 60_000_000_000 && top < 120_000_000_000); // ~67s
+    }
+
+    #[test]
+    fn recording_lands_in_the_right_bucket() {
+        let m = Metrics::new();
+        let answer = MESSAGE_KINDS.iter().position(|&k| k == "answer").unwrap();
+        m.record_latency(answer, Duration::from_micros(3)); // bucket 2 (≤4µs)
+        m.record_latency(answer, Duration::from_secs(200)); // +Inf
+        m.record_latency(usize::MAX, Duration::from_secs(1)); // ignored
+        let snap = m.snapshot();
+        let h = &snap.histograms[answer];
+        assert_eq!(h.count, 2);
+        assert_eq!(h.buckets[2], 1);
+        assert_eq!(h.buckets[BUCKETS - 1], 1);
+        assert_eq!(h.buckets.iter().sum::<u64>(), 2);
+        assert!(h.sum_nanos >= 200_000_000_000);
+        // Other kinds untouched.
+        assert_eq!(snap.histograms[0].count, 0);
+    }
+
+    #[test]
+    fn phase_counts_accumulate_across_learn_runs() {
+        let m = Metrics::new();
+        let mut by_phase = BTreeMap::new();
+        by_phase.insert(Phase::ClassifyHeads, 5usize);
+        by_phase.insert(Phase::ExistentialLattice, 2usize);
+        let stats = LearnStats {
+            questions: 7,
+            tuples: 20,
+            max_tuples_per_question: 4,
+            by_phase,
+        };
+        m.record_learn(&stats);
+        m.record_learn(&stats);
+        let snap = m.snapshot();
+        assert_eq!(snap.learn_runs, 2);
+        let phase = |name: &str| {
+            snap.phases
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, v)| *v)
+                .unwrap()
+        };
+        assert_eq!(phase("classify_heads"), 10);
+        assert_eq!(phase("existential_lattice"), 4);
+        assert_eq!(phase("universal_bodies"), 0);
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let m = std::sync::Arc::new(Metrics::new());
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let m = std::sync::Arc::clone(&m);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        m.record_latency(0, Duration::from_micros(10));
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(m.snapshot().histograms[0].count, 4000);
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_json() {
+        let m = Metrics::new();
+        m.record_latency(0, Duration::from_micros(17));
+        m.record_latency(8, Duration::from_millis(3));
+        let snap = m.snapshot();
+        let line = qhorn_json::to_string(&snap);
+        let back: MetricsSnapshot = qhorn_json::from_str(&line).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    /// One parsed exposition line: metric name, label pairs, value.
+    type Row = (String, Vec<(String, String)>, f64);
+
+    /// A minimal Prometheus text-format parser: every non-comment line
+    /// must be `name[{label="value",…}] number`, histograms must be
+    /// cumulative, and each histogram needs `_sum` and `_count`.
+    fn parse_exposition(text: &str) -> Vec<Row> {
+        let mut rows = Vec::new();
+        for line in text.lines() {
+            if line.starts_with('#') {
+                assert!(
+                    line.starts_with("# HELP ") || line.starts_with("# TYPE "),
+                    "bad comment: {line}"
+                );
+                continue;
+            }
+            assert!(!line.trim().is_empty(), "blank line in exposition");
+            let (series, value) = line.rsplit_once(' ').unwrap_or_else(|| {
+                panic!("no value separator in {line}");
+            });
+            let value: f64 = value.parse().unwrap_or_else(|_| {
+                panic!("unparseable value in {line}");
+            });
+            let (name, labels) = match series.split_once('{') {
+                None => (series.to_string(), Vec::new()),
+                Some((name, rest)) => {
+                    let body = rest.strip_suffix('}').expect("unterminated label set");
+                    let labels = body
+                        .split(',')
+                        .map(|pair| {
+                            let (k, v) = pair.split_once('=').expect("label without =");
+                            let v = v
+                                .strip_prefix('"')
+                                .and_then(|v| v.strip_suffix('"'))
+                                .expect("unquoted label value");
+                            (k.to_string(), v.to_string())
+                        })
+                        .collect();
+                    (name.to_string(), labels)
+                }
+            };
+            assert!(
+                name.chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+                "bad metric name {name}"
+            );
+            rows.push((name, labels, value));
+        }
+        rows
+    }
+
+    #[test]
+    fn prometheus_exposition_parses_and_is_cumulative() {
+        let m = Metrics::new();
+        for micros in [1u64, 5, 900, 40_000, 2_000_000] {
+            m.record_latency(2, Duration::from_micros(micros)); // "answer"
+        }
+        let mut by_phase = BTreeMap::new();
+        by_phase.insert(Phase::UniversalBodies, 3usize);
+        m.record_learn(&LearnStats {
+            questions: 3,
+            tuples: 6,
+            max_tuples_per_question: 2,
+            by_phase,
+        });
+        let stats = RegistryStats {
+            created: 4,
+            live: 2,
+            store: Some(qhorn_store::StoreStats {
+                records_appended: 9,
+                ..Default::default()
+            }),
+            ..Default::default()
+        };
+        let text = render_prometheus(&m.snapshot(), &stats);
+        let rows = parse_exposition(&text);
+
+        // Histogram: one bucket series per bound per message kind, with
+        // cumulative counts ending at +Inf == _count.
+        for kind in MESSAGE_KINDS {
+            let buckets: Vec<f64> = rows
+                .iter()
+                .filter(|(name, labels, _)| {
+                    name == "qhorn_request_duration_seconds_bucket"
+                        && labels.iter().any(|(k, v)| k == "message" && v == kind)
+                })
+                .map(|(_, _, v)| *v)
+                .collect();
+            assert_eq!(buckets.len(), BUCKETS, "{kind}");
+            assert!(
+                buckets.windows(2).all(|w| w[0] <= w[1]),
+                "{kind} buckets not cumulative"
+            );
+            let count = rows
+                .iter()
+                .find(|(name, labels, _)| {
+                    name == "qhorn_request_duration_seconds_count"
+                        && labels.iter().any(|(k, v)| k == "message" && v == kind)
+                })
+                .map(|(_, _, v)| *v)
+                .expect("missing _count");
+            assert_eq!(*buckets.last().unwrap(), count, "{kind}");
+            assert!(
+                rows.iter().any(|(name, labels, _)| {
+                    name == "qhorn_request_duration_seconds_sum"
+                        && labels.iter().any(|(k, v)| k == "message" && v == kind)
+                }),
+                "missing _sum for {kind}"
+            );
+        }
+        // The recorded kind has the right total.
+        let answer_count = rows
+            .iter()
+            .find(|(name, labels, _)| {
+                name == "qhorn_request_duration_seconds_count"
+                    && labels.iter().any(|(k, v)| k == "message" && v == "answer")
+            })
+            .map(|(_, _, v)| *v)
+            .unwrap();
+        assert_eq!(answer_count, 5.0);
+
+        // Phase counters: one series per phase, with the recorded value.
+        let phases: Vec<&Row> = rows
+            .iter()
+            .filter(|(name, _, _)| name == "qhorn_learner_questions_total")
+            .collect();
+        assert_eq!(phases.len(), PHASE_NAMES.len());
+        assert!(phases.iter().any(|(_, labels, v)| labels
+            .iter()
+            .any(|(k, val)| k == "phase" && val == "universal_bodies")
+            && *v == 3.0));
+
+        // Registry + store counters surface.
+        assert!(rows
+            .iter()
+            .any(|(name, _, v)| name == "qhorn_sessions_created_total" && *v == 4.0));
+        assert!(rows
+            .iter()
+            .any(|(name, _, v)| name == "qhorn_store_records_appended_total" && *v == 9.0));
+    }
+}

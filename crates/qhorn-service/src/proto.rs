@@ -16,6 +16,7 @@
 //! ```
 
 use crate::error::ServiceError;
+use crate::metrics::MetricsSnapshot;
 use crate::registry::{QuestionInfo, RegistryStats, StepOutcome};
 use qhorn_core::{Obj, Query, Response};
 use qhorn_engine::exec::ExecStats;
@@ -92,6 +93,39 @@ pub enum Request {
     },
     /// Aggregate service counters.
     Stats,
+    /// Latency histograms and per-phase question counts (the same data
+    /// `GET /metrics` renders as Prometheus text).
+    Metrics,
+}
+
+impl Request {
+    /// The message kind's stable wire name (also the latency-histogram
+    /// label; see [`crate::metrics::MESSAGE_KINDS`]).
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Request::CreateSession { .. } => "create_session",
+            Request::NextQuestion { .. } => "next_question",
+            Request::Answer { .. } => "answer",
+            Request::Correct { .. } => "correct",
+            Request::Verify { .. } => "verify",
+            Request::EvaluateBatch { .. } => "evaluate_batch",
+            Request::ExportQuery { .. } => "export_query",
+            Request::CloseSession { .. } => "close_session",
+            Request::Stats => "stats",
+            Request::Metrics => "metrics",
+        }
+    }
+
+    /// This kind's index into [`crate::metrics::MESSAGE_KINDS`].
+    #[must_use]
+    pub fn kind_index(&self) -> usize {
+        let kind = self.kind();
+        crate::metrics::MESSAGE_KINDS
+            .iter()
+            .position(|&k| k == kind)
+            .expect("every request kind is in MESSAGE_KINDS")
+    }
 }
 
 /// One step of a session dialogue, as shipped to the client.
@@ -209,6 +243,8 @@ pub enum Reply {
     },
     /// Aggregate counters.
     Stats(RegistryStats),
+    /// Latency histograms and per-phase question counts.
+    Metrics(MetricsSnapshot),
     /// Request-level failure.
     Error {
         /// Human-readable message.
@@ -322,6 +358,7 @@ impl ToJson for Request {
                 ("session", session.to_json()),
             ]),
             Request::Stats => Json::object([("type", Json::Str("stats".into()))]),
+            Request::Metrics => Json::object([("type", Json::Str("metrics".into()))]),
         }
     }
 }
@@ -382,6 +419,7 @@ impl FromJson for Request {
                 session: u64::from_json(j.field("session")?)?,
             }),
             "stats" => Ok(Request::Stats),
+            "metrics" => Ok(Request::Metrics),
             other => Err(JsonError::msg(format!("unknown request type `{other}`"))),
         }
     }
@@ -535,6 +573,13 @@ impl ToJson for Reply {
                 }
                 Json::Obj(pairs)
             }
+            Reply::Metrics(snapshot) => {
+                let mut pairs = vec![("type".to_string(), Json::Str("metrics".into()))];
+                if let Json::Obj(fields) = snapshot.to_json() {
+                    pairs.extend(fields);
+                }
+                Json::Obj(pairs)
+            }
             Reply::Error { message } => Json::object([
                 ("type", Json::Str("error".into())),
                 ("message", message.to_json()),
@@ -567,6 +612,7 @@ impl FromJson for Reply {
                 session: u64::from_json(j.field("session")?)?,
             }),
             "stats" => Ok(Reply::Stats(RegistryStats::from_json(j)?)),
+            "metrics" => Ok(Reply::Metrics(MetricsSnapshot::from_json(j)?)),
             "error" => Ok(Reply::Error {
                 message: String::from_json(j.field("message")?)?,
             }),
@@ -631,6 +677,57 @@ mod tests {
         });
         round_trip_request(&Request::CloseSession { session: 7 });
         round_trip_request(&Request::Stats);
+        round_trip_request(&Request::Metrics);
+    }
+
+    #[test]
+    fn request_kinds_match_the_metrics_label_table() {
+        let reqs = [
+            Request::CreateSession {
+                dataset: "fig1".into(),
+                size: 0,
+                learner: LearnerKind::Qhorn1,
+                max_questions: None,
+            },
+            Request::NextQuestion { session: 1 },
+            Request::Answer {
+                session: 1,
+                response: Response::Answer,
+            },
+            Request::Correct {
+                session: 1,
+                corrections: vec![],
+            },
+            Request::Verify {
+                session: 1,
+                query: None,
+            },
+            Request::EvaluateBatch {
+                session: Some(1),
+                dataset: None,
+                size: 0,
+                query: None,
+                workers: 1,
+            },
+            Request::ExportQuery {
+                session: 1,
+                format: "ascii".into(),
+            },
+            Request::CloseSession { session: 1 },
+            Request::Stats,
+            Request::Metrics,
+        ];
+        for req in &reqs {
+            // kind_index panics if the kind is missing from the table;
+            // the round trip checks the wire tag equals the kind.
+            assert_eq!(crate::metrics::MESSAGE_KINDS[req.kind_index()], req.kind());
+            let line = qhorn_json::to_string(req);
+            assert!(
+                line.contains(&format!("\"type\":\"{}\"", req.kind())),
+                "{line}"
+            );
+        }
+        assert_eq!(reqs.len(), crate::metrics::MESSAGE_KINDS.len());
     }
 
     #[test]
@@ -684,6 +781,10 @@ mod tests {
         round_trip_reply(&Reply::Error {
             message: "unknown session 9".into(),
         });
+        let m = crate::metrics::Metrics::new();
+        m.record_latency(0, std::time::Duration::from_micros(250));
+        round_trip_reply(&Reply::Metrics(m.snapshot()));
+        round_trip_reply(&Reply::Metrics(MetricsSnapshot::default()));
     }
 
     #[test]
@@ -741,5 +842,73 @@ mod tests {
         assert_eq!(learner_name(LearnerKind::Qhorn1), "qhorn1");
         assert_eq!(learner_name(LearnerKind::RolePreserving), "role_preserving");
         assert!(learner_from("sq").is_err());
+    }
+
+    mod prop_round_trips {
+        use super::*;
+        use crate::metrics::{
+            HistogramSnapshot, MetricsSnapshot, BUCKETS, MESSAGE_KINDS, PHASE_NAMES,
+        };
+        use proptest::prelude::*;
+
+        fn arb_histogram() -> impl Strategy<Value = HistogramSnapshot> {
+            (
+                0usize..MESSAGE_KINDS.len(),
+                prop::collection::vec(0u64..1_000_000, BUCKETS),
+                0u64..u64::MAX / 2,
+            )
+                .prop_map(|(kind, buckets, sum_nanos)| HistogramSnapshot {
+                    message: MESSAGE_KINDS[kind].to_string(),
+                    count: buckets.iter().sum(),
+                    sum_nanos,
+                    buckets,
+                })
+        }
+
+        fn arb_snapshot() -> impl Strategy<Value = MetricsSnapshot> {
+            (
+                prop::collection::vec(arb_histogram(), 0..4),
+                prop::collection::vec(0u64..1_000_000, PHASE_NAMES.len()),
+                0u64..10_000,
+            )
+                .prop_map(|(histograms, phase_counts, learn_runs)| MetricsSnapshot {
+                    histograms,
+                    phases: PHASE_NAMES
+                        .iter()
+                        .zip(phase_counts)
+                        .map(|((_, name), n)| ((*name).to_string(), n))
+                        .collect(),
+                    learn_runs,
+                })
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            #[test]
+            fn histogram_snapshots_round_trip(h in arb_histogram()) {
+                let line = qhorn_json::to_string(&h);
+                let back: HistogramSnapshot = qhorn_json::from_str(&line).unwrap();
+                prop_assert_eq!(back, h);
+            }
+
+            #[test]
+            fn metrics_replies_round_trip(snap in arb_snapshot()) {
+                let rep = Reply::Metrics(snap);
+                let line = qhorn_json::to_string(&rep);
+                prop_assert!(!line.contains('\n'));
+                let back: Reply = qhorn_json::from_str(&line).unwrap();
+                prop_assert_eq!(back, rep);
+            }
+
+            #[test]
+            fn error_bodies_round_trip(message in "\\PC{0,60}") {
+                // The HTTP frontend's error body is exactly this reply.
+                let rep = Reply::Error { message };
+                let line = qhorn_json::to_string(&rep);
+                let back: Reply = qhorn_json::from_str(&line).unwrap();
+                prop_assert_eq!(back, rep);
+            }
+        }
     }
 }

@@ -33,6 +33,7 @@
 use crate::dataset;
 use crate::driver::{self, DriverCmd, DriverEvent, DriverHandle, QuestionOut};
 use crate::error::ServiceError;
+use crate::metrics::Metrics;
 use qhorn_core::learn::LearnOptions;
 use qhorn_core::{Obj, Query, Response};
 use qhorn_engine::persist::{self, SessionSnapshot};
@@ -261,6 +262,9 @@ pub struct Registry {
     store: Option<Mutex<SessionStore>>,
     /// Monotonic clock stamping snapshot touches for the LRU cap.
     snap_clock: AtomicU64,
+    /// Latency histograms + per-phase question counters; the dispatch
+    /// layer times every request into it, both frontends share it.
+    metrics: Arc<Metrics>,
     last_sweep: Mutex<Instant>,
     next_id: AtomicU64,
     created: AtomicU64,
@@ -317,6 +321,7 @@ impl Registry {
             restore_locks: (0..shards).map(|_| Mutex::new(())).collect(),
             store,
             snap_clock: AtomicU64::new(0),
+            metrics: Arc::new(Metrics::new()),
             last_sweep: Mutex::new(Instant::now()),
             next_id: AtomicU64::new(next_id),
             created: AtomicU64::new(0),
@@ -604,6 +609,12 @@ impl Registry {
             entry.last_touch = Instant::now();
             Ok((Arc::clone(&entry.store), entry.learned.clone()))
         })
+    }
+
+    /// The shared metrics registry (latency histograms, phase counters).
+    #[must_use]
+    pub fn metrics(&self) -> &Arc<Metrics> {
+        &self.metrics
     }
 
     /// Counts a served batch evaluation and folds its execution
@@ -1006,11 +1017,12 @@ impl Registry {
                 entry.transcript = transcript;
                 entry.pending = None;
                 match result {
-                    Ok(query) => {
+                    Ok((query, stats)) => {
                         entry.state = SessionState::Done;
                         entry.learned = Some(query.clone());
                         entry.failure = None;
                         self.completed.fetch_add(1, Ordering::Relaxed);
+                        self.metrics.record_learn(&stats);
                         self.log_append(&LogRecord::QueryLearned {
                             id,
                             query: query.clone(),
@@ -1036,6 +1048,9 @@ impl Registry {
                 entry.pending = None;
                 entry.state = SessionState::Done;
                 entry.verified = Some(verified);
+                // Durable: recovery restores the session as verified
+                // without waiting for a compaction snapshot.
+                self.log_append(&LogRecord::Verified { id, verified })?;
                 Ok(StepOutcome::Verified { verified })
             }
         }

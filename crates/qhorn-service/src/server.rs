@@ -1,6 +1,8 @@
 //! The TCP front end: a JSON-lines server over [`std::net::TcpListener`]
 //! with a fixed worker thread pool, graceful shutdown, and a blocking
-//! [`Client`] helper.
+//! [`Client`] helper (which also speaks the HTTP transport; see
+//! [`Client::connect_http`]). Request semantics live in
+//! [`crate::dispatch`], shared with the HTTP frontend.
 //!
 //! An acceptor thread feeds connections into a channel drained by
 //! `workers` handler threads, so at most `workers` connections are served
@@ -8,12 +10,11 @@
 //! between requests via a read timeout, so [`Server::shutdown`] drains
 //! promptly even with idle keep-alive connections.
 
-use crate::batch;
-use crate::dataset;
+use crate::dispatch::dispatch;
 use crate::error::ServiceError;
+use crate::http::HttpClient;
 use crate::proto::{Reply, Request, StepReply};
 use crate::registry::Registry;
-use qhorn_engine::plan::CompiledQuery;
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -218,149 +219,21 @@ impl LineReader {
     }
 }
 
-/// Applies one request to the registry.
-pub fn dispatch(registry: &Arc<Registry>, req: Request) -> Reply {
-    match try_dispatch(registry, req) {
-        Ok(reply) => reply,
-        Err(e) => e.into(),
-    }
-}
-
-fn try_dispatch(registry: &Arc<Registry>, req: Request) -> Result<Reply, ServiceError> {
-    match req {
-        Request::CreateSession {
-            dataset,
-            size,
-            learner,
-            max_questions,
-        } => {
-            let spec = crate::registry::CreateSpec {
-                dataset,
-                size,
-                learner,
-                max_questions,
-            };
-            let (session, outcome) = registry.create_session(spec)?;
-            Ok(Reply::Created {
-                session,
-                step: outcome.into(),
-            })
-        }
-        Request::NextQuestion { session } => {
-            let outcome = registry.next_question(session)?;
-            Ok(Reply::Step {
-                session,
-                step: outcome.into(),
-            })
-        }
-        Request::Answer { session, response } => {
-            let outcome = registry.answer(session, response)?;
-            Ok(Reply::Step {
-                session,
-                step: outcome.into(),
-            })
-        }
-        Request::Correct {
-            session,
-            corrections,
-        } => {
-            let outcome = registry.correct(session, &corrections)?;
-            Ok(Reply::Step {
-                session,
-                step: outcome.into(),
-            })
-        }
-        Request::Verify { session, query } => {
-            let parsed = match query {
-                Some(text) => {
-                    // Parse at the session's arity so `all x1` over a
-                    // 3-proposition store means what the user means.
-                    let (store, _) = registry.session_store(session)?;
-                    Some(parse_query_with_arity(&text, store.bridge().n())?)
-                }
-                None => None,
-            };
-            let outcome = registry.begin_verify(session, parsed)?;
-            Ok(Reply::Step {
-                session,
-                step: outcome.into(),
-            })
-        }
-        Request::EvaluateBatch {
-            session,
-            dataset: ds,
-            size,
-            query,
-            workers,
-        } => {
-            let (store, default_query) = match (session, ds) {
-                (Some(id), None) => {
-                    let (store, learned) = registry.session_store(id)?;
-                    (store, learned)
-                }
-                (None, Some(name)) => {
-                    let (store, _) = dataset::build(&name, size)?;
-                    (Arc::new(store), None)
-                }
-                _ => {
-                    return Err(ServiceError::Parse(
-                        "evaluate_batch needs exactly one of `session` or `dataset`".into(),
-                    ))
-                }
-            };
-            let q = match query {
-                Some(text) => parse_query_with_arity(&text, store.bridge().n())?,
-                None => default_query.ok_or_else(|| {
-                    ServiceError::Parse("no query given and the session has not learned one".into())
-                })?,
-            };
-            if q.arity() != store.boolean().arity() {
-                return Err(ServiceError::Parse(format!(
-                    "query arity {} ≠ store arity {}",
-                    q.arity(),
-                    store.boolean().arity()
-                )));
-            }
-            let plan = CompiledQuery::compile(&q);
-            let (hits, stats) =
-                batch::execute_parallel_with_stats(&plan, store.boolean(), workers.max(1));
-            registry.count_batch_run(&stats);
-            Ok(Reply::Batch {
-                answers: hits.into_iter().map(|id| id.0).collect(),
-                stats,
-                workers: workers.max(1),
-            })
-        }
-        Request::ExportQuery { session, format } => {
-            let q = registry.learned_query(session)?;
-            let text = match format.as_str() {
-                "ascii" => qhorn_lang::printer::to_ascii(&q),
-                "unicode" => qhorn_lang::printer::to_unicode(&q),
-                "json" => qhorn_json::to_string(&q),
-                other => return Err(ServiceError::Parse(format!("unknown format `{other}`"))),
-            };
-            Ok(Reply::Exported { text })
-        }
-        Request::CloseSession { session } => {
-            registry.close_session(session)?;
-            Ok(Reply::Closed { session })
-        }
-        Request::Stats => Ok(Reply::Stats(registry.stats())),
-    }
-}
-
-fn parse_query_with_arity(text: &str, n: u16) -> Result<qhorn_core::Query, ServiceError> {
-    qhorn_lang::parse_with_arity(text, n).map_err(|e| ServiceError::Parse(e.to_string()))
-}
-
-/// A blocking JSON-lines client, used by tests and tools.
+/// A blocking protocol client over either transport: JSON-lines TCP
+/// ([`Client::connect`]) or HTTP/1.1 keep-alive ([`Client::connect_http`]).
+/// Both speak the same [`Request`]/[`Reply`] enums — the conformance
+/// suite asserts the servers behind them are indistinguishable.
 pub struct Client {
-    stream: TcpStream,
-    buf: Vec<u8>,
+    transport: Transport,
+}
+
+enum Transport {
+    Lines { stream: TcpStream, buf: Vec<u8> },
+    Http(HttpClient),
 }
 
 impl Client {
-    /// Connects to a server.
+    /// Connects to a JSON-lines TCP server.
     ///
     /// # Errors
     /// Connection failures as [`ServiceError::Transport`].
@@ -369,8 +242,21 @@ impl Client {
             TcpStream::connect(addr).map_err(|e| ServiceError::Transport(e.to_string()))?;
         let _ = stream.set_nodelay(true);
         Ok(Client {
-            stream,
-            buf: Vec::new(),
+            transport: Transport::Lines {
+                stream,
+                buf: Vec::new(),
+            },
+        })
+    }
+
+    /// Connects to an HTTP/1.1 gateway ([`crate::http::HttpServer`]);
+    /// requests go out as `POST /v1/...` with a persistent connection.
+    ///
+    /// # Errors
+    /// Connection failures as [`ServiceError::Transport`].
+    pub fn connect_http(addr: SocketAddr) -> Result<Client, ServiceError> {
+        Ok(Client {
+            transport: Transport::Http(HttpClient::connect(addr)?),
         })
     }
 
@@ -379,13 +265,18 @@ impl Client {
     /// # Errors
     /// Transport failures and malformed replies.
     pub fn request(&mut self, req: &Request) -> Result<Reply, ServiceError> {
-        let mut line = qhorn_json::to_string(req);
-        line.push('\n');
-        self.stream
-            .write_all(line.as_bytes())
-            .map_err(|e| ServiceError::Transport(e.to_string()))?;
-        let line = self.read_line()?;
-        qhorn_json::from_str(&line).map_err(|e| ServiceError::Transport(e.to_string()))
+        match &mut self.transport {
+            Transport::Lines { stream, .. } => {
+                let mut line = qhorn_json::to_string(req);
+                line.push('\n');
+                stream
+                    .write_all(line.as_bytes())
+                    .map_err(|e| ServiceError::Transport(e.to_string()))?;
+                let line = self.read_line()?;
+                qhorn_json::from_str(&line).map_err(|e| ServiceError::Transport(e.to_string()))
+            }
+            Transport::Http(http) => http.request(req),
+        }
     }
 
     /// Like [`Client::request`], but unwraps a step reply.
@@ -403,20 +294,23 @@ impl Client {
     }
 
     fn read_line(&mut self) -> Result<String, ServiceError> {
+        let Transport::Lines { stream, buf } = &mut self.transport else {
+            unreachable!("read_line is only called on the lines transport");
+        };
         loop {
-            if let Some(pos) = self.buf.iter().position(|&b| b == b'\n') {
-                let rest = self.buf.split_off(pos + 1);
-                let mut line = std::mem::replace(&mut self.buf, rest);
+            if let Some(pos) = buf.iter().position(|&b| b == b'\n') {
+                let rest = buf.split_off(pos + 1);
+                let mut line = std::mem::replace(buf, rest);
                 line.pop();
                 return String::from_utf8(line).map_err(|e| ServiceError::Transport(e.to_string()));
             }
-            if self.buf.len() > MAX_LINE_BYTES {
+            if buf.len() > MAX_LINE_BYTES {
                 return Err(ServiceError::Transport("reply line too long".into()));
             }
             let mut chunk = [0u8; 4096];
-            match self.stream.read(&mut chunk) {
+            match stream.read(&mut chunk) {
                 Ok(0) => return Err(ServiceError::Transport("server closed connection".into())),
-                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Ok(n) => buf.extend_from_slice(&chunk[..n]),
                 Err(e) => return Err(ServiceError::Transport(e.to_string())),
             }
         }

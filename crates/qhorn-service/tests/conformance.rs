@@ -1,0 +1,251 @@
+//! Protocol conformance: the JSON-lines TCP frontend and the HTTP/1.1
+//! gateway must be semantically indistinguishable.
+//!
+//! The same scripted multi-session dialogue — create two sessions,
+//! interleave their answers (one with a deliberate wrong answer),
+//! correct, verify, export, evaluate, close, and poke every error path —
+//! runs once against each frontend (each over its own fresh registry, so
+//! session ids line up), and every decoded reply must serialize to the
+//! **identical byte string**. Everything the script does is a pure
+//! function of the replies seen so far, so any divergence between the
+//! frontends shows up as a diff at the exact step that drifted.
+
+use qhorn_core::{Obj, Query, Response};
+use qhorn_engine::session::LearnerKind;
+use qhorn_service::proto::{Reply, Request, StepReply};
+use qhorn_service::registry::{Registry, RegistryConfig};
+use qhorn_service::{Client, HttpServer, Server};
+use std::sync::Arc;
+
+fn fresh_registry() -> Arc<Registry> {
+    Arc::new(Registry::new(RegistryConfig::default()))
+}
+
+/// One scripted step's observable outcome.
+struct Script<'a> {
+    client: &'a mut Client,
+    /// Serialized replies, in script order.
+    log: Vec<String>,
+}
+
+impl<'a> Script<'a> {
+    fn new(client: &'a mut Client) -> Self {
+        Script {
+            client,
+            log: Vec::new(),
+        }
+    }
+
+    /// Sends a request, records the serialized reply, and returns it
+    /// decoded for the script's control flow.
+    fn send(&mut self, req: &Request) -> Reply {
+        let reply = self.client.request(req).expect("transport");
+        self.log.push(qhorn_json::to_string(&reply));
+        reply
+    }
+
+    fn step(&mut self, req: &Request) -> StepReply {
+        match self.send(req) {
+            Reply::Created { step, .. } | Reply::Step { step, .. } => step,
+            other => panic!("expected a step reply, got {other:?}"),
+        }
+    }
+
+    /// Answers session `id` honestly (per `target`) until it reaches a
+    /// terminal step; `flip_first` labels the first question wrongly.
+    /// Returns the first question asked.
+    fn drive(&mut self, id: u64, mut step: StepReply, target: &Query, flip_first: bool) -> Obj {
+        let mut first_question: Option<Obj> = None;
+        loop {
+            match step {
+                StepReply::Question { question, .. } => {
+                    let honest = target.eval(&question);
+                    let response = if first_question.is_none() && flip_first {
+                        honest.negate()
+                    } else {
+                        honest
+                    };
+                    first_question.get_or_insert(question);
+                    step = self.step(&Request::Answer {
+                        session: id,
+                        response,
+                    });
+                }
+                StepReply::Learned { .. } | StepReply::Failed { .. } => {
+                    return first_question.expect("at least one question")
+                }
+                StepReply::Verified { .. } => panic!("unexpected verification step"),
+            }
+        }
+    }
+}
+
+/// The scripted dialogue; returns (serialized replies, decoded metrics
+/// reply). Metrics are compared structurally on the timing-free fields
+/// only — latency histograms legitimately differ between runs.
+fn run_script(client: &mut Client) -> (Vec<String>, Reply) {
+    let target_a = qhorn_lang::parse_with_arity("all x1; some x2 x3", 3).unwrap();
+    let target_b = qhorn_lang::parse_with_arity("some x1 x2", 3).unwrap();
+    let mut s = Script::new(client);
+
+    // Two sessions, different learners; ids are 1 and 2 on a fresh
+    // registry.
+    let first_a = s.step(&Request::CreateSession {
+        dataset: "chocolates".into(),
+        size: 30,
+        learner: LearnerKind::Qhorn1,
+        max_questions: Some(10_000),
+    });
+    let first_b = s.step(&Request::CreateSession {
+        dataset: "cellars".into(),
+        size: 25,
+        learner: LearnerKind::RolePreserving,
+        max_questions: Some(10_000),
+    });
+
+    // A answers with one deliberate flip (the noisy-user workflow), B
+    // honestly; interleaved per-session driving keeps the transcript a
+    // pure function of the replies.
+    let a_first_question = s.drive(1, first_a, &target_a, true);
+    s.drive(2, first_b, &target_b, false);
+
+    // Correct A's flipped answer and relearn to completion.
+    let fix = target_a.eval(&a_first_question);
+    let step = s.step(&Request::Correct {
+        session: 1,
+        corrections: vec![(0, fix)],
+    });
+    s.drive(1, step, &target_a, false);
+
+    // Verify A (honestly: must verify), including an explicit query form.
+    let mut step = s.step(&Request::Verify {
+        session: 1,
+        query: None,
+    });
+    loop {
+        match step {
+            StepReply::Question { question, .. } => {
+                step = s.step(&Request::Answer {
+                    session: 1,
+                    response: target_a.eval(&question),
+                });
+            }
+            StepReply::Verified { verified } => {
+                assert!(verified);
+                break;
+            }
+            other => panic!("unexpected step {other:?}"),
+        }
+    }
+
+    // Exports in every format.
+    for format in ["ascii", "unicode", "json"] {
+        s.send(&Request::ExportQuery {
+            session: 1,
+            format: format.into(),
+        });
+    }
+
+    // Batch evaluation over a catalog dataset and over session A's
+    // learned query.
+    s.send(&Request::EvaluateBatch {
+        session: None,
+        dataset: Some("cellars".into()),
+        size: 100,
+        query: Some("some x1 x2".into()),
+        workers: 2,
+    });
+    s.send(&Request::EvaluateBatch {
+        session: Some(1),
+        dataset: None,
+        size: 0,
+        query: None,
+        workers: 1,
+    });
+
+    // Terminal-state idempotent reads.
+    s.send(&Request::NextQuestion { session: 1 });
+    s.send(&Request::NextQuestion { session: 2 });
+
+    // Error paths must match too: wrong state, unknown dataset, closed
+    // and unknown sessions, bad verify query.
+    s.send(&Request::Answer {
+        session: 1,
+        response: Response::Answer,
+    });
+    s.send(&Request::CreateSession {
+        dataset: "nope".into(),
+        size: 5,
+        learner: LearnerKind::Qhorn1,
+        max_questions: None,
+    });
+    s.send(&Request::Verify {
+        session: 1,
+        query: Some("all x9".into()),
+    });
+    s.send(&Request::CloseSession { session: 2 });
+    s.send(&Request::NextQuestion { session: 2 });
+    s.send(&Request::NextQuestion { session: 99 });
+
+    // Aggregate counters: both frontends served the identical script
+    // against identical registries, so even Stats must agree.
+    s.send(&Request::Stats);
+
+    let metrics = s.client.request(&Request::Metrics).expect("metrics");
+    (s.log, metrics)
+}
+
+#[test]
+fn tcp_and_http_frontends_are_byte_identical() {
+    // Each frontend gets its own fresh registry so session ids line up.
+    let tcp_server = Server::start("127.0.0.1:0", fresh_registry(), 2).expect("tcp server");
+    let http_server = HttpServer::start("127.0.0.1:0", fresh_registry(), 2).expect("http server");
+
+    let mut tcp_client = Client::connect(tcp_server.addr()).expect("tcp client");
+    let mut http_client = Client::connect_http(http_server.addr()).expect("http client");
+
+    let (tcp_log, tcp_metrics) = run_script(&mut tcp_client);
+    let (http_log, http_metrics) = run_script(&mut http_client);
+
+    assert_eq!(tcp_log.len(), http_log.len());
+    for (i, (tcp, http)) in tcp_log.iter().zip(http_log.iter()).enumerate() {
+        assert_eq!(tcp, http, "reply {i} diverged");
+    }
+
+    // Metrics: latency histograms are timing-dependent, but the phase
+    // question counters and per-message request *counts* must agree.
+    let (Reply::Metrics(tcp), Reply::Metrics(http)) = (tcp_metrics, http_metrics) else {
+        panic!("metrics request did not return a metrics reply");
+    };
+    assert_eq!(tcp.phases, http.phases);
+    assert_eq!(tcp.learn_runs, http.learn_runs);
+    assert!(tcp.learn_runs >= 3, "A learned twice and B once");
+    let counts = |snap: &qhorn_service::metrics::MetricsSnapshot| {
+        snap.histograms
+            .iter()
+            .map(|h| (h.message.clone(), h.count))
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(counts(&tcp), counts(&http));
+    // Phase counters actually recorded something.
+    assert!(tcp.phases.iter().any(|(_, n)| *n > 0));
+
+    tcp_server.shutdown();
+    http_server.shutdown();
+}
+
+/// The scripted dialogue is deterministic at the byte level: two runs
+/// over the same frontend agree with themselves. This pins the property
+/// the differential test above relies on — if it ever breaks, the
+/// TCP-vs-HTTP diff would be noise, not signal.
+#[test]
+fn the_script_itself_is_deterministic() {
+    let run = || {
+        let server = Server::start("127.0.0.1:0", fresh_registry(), 2).expect("server");
+        let mut client = Client::connect(server.addr()).expect("client");
+        let (log, _) = run_script(&mut client);
+        server.shutdown();
+        log
+    };
+    assert_eq!(run(), run());
+}

@@ -268,6 +268,75 @@ fn close_session_is_durable_across_restarts() {
 }
 
 #[test]
+fn verified_sessions_restore_as_verified() {
+    let dir = temp_dir("verified");
+    let target = qhorn_lang::parse_with_arity("all x1; some x2 x3", 3).unwrap();
+
+    // First life: learn to completion, then verify (honestly: passes).
+    // The `Verified` log record — not a compaction snapshot — must carry
+    // the outcome across the crash.
+    let server = start_server(&dir);
+    let mut client = Client::connect(server.addr()).unwrap();
+    let (id, step) = create(&mut client, LearnerKind::Qhorn1);
+    let (query, _) = drive_to_learned(&mut client, id, step, &target);
+    let (_, mut step) = client
+        .step(&Request::Verify {
+            session: id,
+            query: None,
+        })
+        .unwrap();
+    loop {
+        match step {
+            StepReply::Question { question, .. } => {
+                step = client
+                    .step(&Request::Answer {
+                        session: id,
+                        response: target.eval(&question),
+                    })
+                    .unwrap()
+                    .1;
+            }
+            StepReply::Verified { verified } => {
+                assert!(verified);
+                break;
+            }
+            other => panic!("unexpected step {other:?}"),
+        }
+    }
+
+    // The crash: nothing flushed or snapshotted on the way out.
+    drop(client);
+    drop(server);
+
+    // Second life: the session must come back *verified*, not merely
+    // learned — NextQuestion on a verified Done session reports the
+    // verification outcome.
+    let registry = Arc::new(Registry::open(durable_config(&dir)).expect("recovery"));
+    let server = Server::start("127.0.0.1:0", Arc::clone(&registry), 2).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+    match client.step(&Request::NextQuestion { session: id }).unwrap() {
+        (_, StepReply::Verified { verified }) => assert!(verified),
+        (_, other) => panic!("did not restore as verified: {other:?}"),
+    }
+    // The learned query survived alongside the verification outcome.
+    match client
+        .request(&Request::ExportQuery {
+            session: id,
+            format: "json".into(),
+        })
+        .unwrap()
+    {
+        Reply::Exported { text } => {
+            let restored: Query = qhorn_json::from_str(&text).unwrap();
+            assert_eq!(restored, query);
+        }
+        other => panic!("unexpected reply {other:?}"),
+    }
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn sweep_compacts_an_oversized_log_and_recovery_survives_it() {
     let dir = temp_dir("compact");
     let target = qhorn_lang::parse_with_arity("all x1; some x2 x3", 3).unwrap();

@@ -1,0 +1,368 @@
+//! Malformed-input robustness: truncated, oversized, and garbage inputs —
+//! hand-written corpus plus proptest-generated — against both frontends.
+//! The servers must answer with an error (4xx / `Reply::Error`) or drop
+//! the connection, never panic, and keep serving well-formed requests
+//! afterwards.
+//!
+//! Both servers run with **one worker**, so a handler thread that dies
+//! (a panic kills the thread, not the process) leaves nobody to serve the
+//! follow-up probe: the probe's read timeout turns any panic into a test
+//! failure, not a silent pass.
+
+use proptest::prelude::*;
+use qhorn_service::registry::{Registry, RegistryConfig};
+use qhorn_service::{HttpServer, Server};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+const PROBE_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Sends raw bytes on a fresh connection, optionally reads whatever
+/// comes back, and drops the connection. Write errors are fine — the
+/// server may legitimately cut us off mid-flood.
+fn send_raw(addr: SocketAddr, bytes: &[u8], read_back: bool) -> Vec<u8> {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+    let _ = stream.write_all(bytes);
+    let _ = stream.flush();
+    let mut reply = Vec::new();
+    if read_back {
+        let mut chunk = [0u8; 4096];
+        loop {
+            match stream.read(&mut chunk) {
+                Ok(0) | Err(_) => break,
+                Ok(n) => {
+                    reply.extend_from_slice(&chunk[..n]);
+                    if reply.len() > 64 * 1024 {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+    reply
+}
+
+/// The server still answers a well-formed request. With one worker this
+/// fails (by timeout) if any earlier input panicked the handler thread.
+fn assert_tcp_serviceable(addr: SocketAddr) {
+    let mut stream = TcpStream::connect(addr).expect("probe connect");
+    stream
+        .set_read_timeout(Some(PROBE_TIMEOUT))
+        .expect("set timeout");
+    stream
+        .write_all(b"{\"type\":\"stats\"}\n")
+        .expect("probe write");
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 4096];
+    while !buf.contains(&b'\n') {
+        match stream.read(&mut chunk) {
+            Ok(0) => panic!("server closed the probe connection"),
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e) => panic!("probe timed out — handler thread dead? {e}"),
+        }
+    }
+    let line = String::from_utf8(buf).expect("probe reply utf-8");
+    assert!(line.contains("\"type\":\"stats\""), "{line}");
+}
+
+fn assert_http_serviceable(addr: SocketAddr) {
+    let mut stream = TcpStream::connect(addr).expect("probe connect");
+    stream
+        .set_read_timeout(Some(PROBE_TIMEOUT))
+        .expect("set timeout");
+    stream
+        .write_all(b"GET /v1/stats HTTP/1.1\r\nHost: qhorn\r\nConnection: close\r\n\r\n")
+        .expect("probe write");
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 4096];
+    loop {
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e) => panic!("probe timed out — handler thread dead? {e}"),
+        }
+    }
+    let text = String::from_utf8_lossy(&buf);
+    assert!(text.starts_with("HTTP/1.1 200"), "{text}");
+    assert!(text.contains("\"type\":\"stats\""), "{text}");
+}
+
+/// Any response the HTTP server does send to garbage must be 4xx/5xx —
+/// never 200 — and parse as an HTTP status line.
+fn assert_http_rejection(reply: &[u8]) {
+    if reply.is_empty() {
+        return; // dropped connection: acceptable
+    }
+    let text = String::from_utf8_lossy(reply);
+    let status: u16 = text
+        .strip_prefix("HTTP/1.1 ")
+        .and_then(|rest| rest.split(' ').next())
+        .and_then(|code| code.parse().ok())
+        .unwrap_or_else(|| panic!("malformed response to garbage: {text}"));
+    assert!((400..600).contains(&status), "garbage got {status}: {text}");
+}
+
+// ---------------------------------------------------------------------------
+// Hand-written corpus
+// ---------------------------------------------------------------------------
+
+/// Malformed HTTP requests: framing violations, limit violations, bad
+/// routes/methods/versions, body garbage of every flavor.
+fn http_corpus() -> Vec<Vec<u8>> {
+    let mut corpus: Vec<Vec<u8>> = vec![
+        // Pure garbage.
+        b"\x00\x01\x02\x03\x04garbage\xff\xfe".to_vec(),
+        b"not http at all\r\n\r\n".to_vec(),
+        b"\r\n\r\n".to_vec(),
+        // Broken request lines.
+        b"GET\r\n\r\n".to_vec(),
+        b"GET /v1/stats\r\n\r\n".to_vec(),
+        b"GET /v1/stats HTTP/1.1 extra\r\n\r\n".to_vec(),
+        b"GET /v1/stats SPDY/3\r\n\r\n".to_vec(),
+        b"GET /v1/stats HTTP/2.0\r\n\r\n".to_vec(),
+        // Unsupported / wrong methods.
+        b"DELETE /v1/stats HTTP/1.1\r\n\r\n".to_vec(),
+        b"PUT /v1/session/answer HTTP/1.1\r\nContent-Length: 2\r\n\r\n{}".to_vec(),
+        b"GET /v1/session/answer HTTP/1.1\r\n\r\n".to_vec(),
+        // Unknown routes.
+        b"GET /nope HTTP/1.1\r\n\r\n".to_vec(),
+        b"POST /v1/session/nope HTTP/1.1\r\nContent-Length: 2\r\n\r\n{}".to_vec(),
+        // Broken headers.
+        b"GET /v1/stats HTTP/1.1\r\nno colon here\r\n\r\n".to_vec(),
+        b"GET /v1/stats HTTP/1.1\r\nbad header: value\r\n\r\n".to_vec(),
+        b"GET /v1/stats HTTP/1.1\r\n: empty name\r\n\r\n".to_vec(),
+        // Broken body framing.
+        b"POST /v1/stats HTTP/1.1\r\nContent-Length: nope\r\n\r\n".to_vec(),
+        b"POST /v1/stats HTTP/1.1\r\nContent-Length: -5\r\n\r\n".to_vec(),
+        b"POST /v1/stats HTTP/1.1\r\nContent-Length: 99999999999999999999\r\n\r\n".to_vec(),
+        b"POST /v1/stats HTTP/1.1\r\nContent-Length: 10\r\nTransfer-Encoding: chunked\r\n\r\n".to_vec(),
+        // Duplicate framing headers (request-smuggling vector).
+        b"POST /v1/stats HTTP/1.1\r\nContent-Length: 0\r\nContent-Length: 10\r\n\r\n".to_vec(),
+        b"POST /v1/stats HTTP/1.1\r\nTransfer-Encoding: chunked\r\nTransfer-Encoding: chunked\r\n\r\n0\r\n\r\n".to_vec(),
+        b"POST /v1/stats HTTP/1.1\r\nTransfer-Encoding: gzip\r\n\r\n".to_vec(),
+        b"POST /v1/stats HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\nzz\r\n".to_vec(),
+        b"POST /v1/stats HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n5\r\nhelloXX".to_vec(),
+        // Truncated: header promises more body than arrives (connection
+        // drops mid-body).
+        b"POST /v1/session/answer HTTP/1.1\r\nContent-Length: 500\r\n\r\n{\"session\":".to_vec(),
+        // Oversized declared body.
+        format!("POST /v1/stats HTTP/1.1\r\nContent-Length: {}\r\n\r\n", 100 << 20).into_bytes(),
+        // Garbage JSON bodies on a real route.
+        b"POST /v1/session/answer HTTP/1.1\r\nContent-Length: 9\r\n\r\nnot json!".to_vec(),
+        b"POST /v1/session/answer HTTP/1.1\r\nContent-Length: 2\r\n\r\n[]".to_vec(),
+        b"POST /v1/session/answer HTTP/1.1\r\nContent-Length: 2\r\n\r\n{}".to_vec(),
+        b"POST /v1/session/answer HTTP/1.1\r\nContent-Length: 4\r\n\r\n\xff\xfe\x00\x01".to_vec(),
+        // Body type contradicting the route.
+        b"POST /v1/session/answer HTTP/1.1\r\nContent-Length: 16\r\n\r\n{\"type\":\"stats\"}".to_vec(),
+        // Wrong-typed fields inside valid JSON.
+        b"POST /v1/session/answer HTTP/1.1\r\nContent-Length: 34\r\n\r\n{\"session\":\"one\",\"response\":true}".to_vec(),
+        br#"POST /v1/session/create HTTP/1.1
+Content-Length: 47
+
+{"dataset":"chocolates","learner":"no_such_one"}"#
+            .to_vec(),
+    ];
+    // Oversized head: a single enormous header.
+    let mut big = b"GET /v1/stats HTTP/1.1\r\nX-Pad: ".to_vec();
+    big.extend(std::iter::repeat_n(b'a', 64 * 1024));
+    big.extend_from_slice(b"\r\n\r\n");
+    corpus.push(big);
+    // Head never terminated (flood without the blank line).
+    let mut flood = b"GET /v1/stats HTTP/1.1\r\n".to_vec();
+    for i in 0..2000 {
+        flood.extend_from_slice(format!("X-{i}: y\r\n").as_bytes());
+    }
+    corpus.push(flood);
+    corpus
+}
+
+/// Malformed JSON-lines frames.
+fn lines_corpus() -> Vec<Vec<u8>> {
+    let mut corpus: Vec<Vec<u8>> = vec![
+        b"garbage\n".to_vec(),
+        b"{\n".to_vec(),
+        b"{}\n".to_vec(),
+        b"[]\n".to_vec(),
+        b"null\n".to_vec(),
+        b"42\n".to_vec(),
+        b"{\"type\":\"bogus\"}\n".to_vec(),
+        b"{\"type\":\"answer\"}\n".to_vec(),
+        b"{\"type\":\"answer\",\"session\":\"one\",\"response\":1}\n".to_vec(),
+        b"{\"type\":\"create_session\",\"dataset\":17,\"learner\":\"qhorn1\"}\n".to_vec(),
+        b"{\"type\":\"create_session\",\"dataset\":\"chocolates\",\"size\":99999999,\"learner\":\"qhorn1\"}\n".to_vec(),
+        b"{\"type\":\"evaluate_batch\"}\n".to_vec(),
+        b"{\"type\":\"stats\"".to_vec(), // truncated, never newline-terminated
+        b"\xff\xfe\x00\n".to_vec(),     // not UTF-8
+        b"\n\n\n\n".to_vec(),           // blank lines only
+    ];
+    // A newline-free flood past the 1 MiB line cap.
+    corpus.push(vec![b'x'; (1 << 20) + 4096]);
+    corpus
+}
+
+// ---------------------------------------------------------------------------
+// The sweeps
+// ---------------------------------------------------------------------------
+
+#[test]
+fn http_corpus_never_kills_the_server() {
+    let registry = Arc::new(Registry::new(RegistryConfig::default()));
+    let server = HttpServer::start("127.0.0.1:0", registry, 1).expect("http server");
+    let addr = server.addr();
+    for (i, bytes) in http_corpus().iter().enumerate() {
+        let reply = send_raw(addr, bytes, true);
+        assert_http_rejection(&reply);
+        assert_http_serviceable(addr);
+        // A couple of spot checks on specific statuses.
+        let text = String::from_utf8_lossy(&reply);
+        match i {
+            11 => assert!(text.starts_with("HTTP/1.1 404"), "unknown route: {text}"),
+            8 => {
+                // A 405 must name the permitted methods (RFC 9110 §15.5.6).
+                assert!(text.starts_with("HTTP/1.1 405"), "bad method: {text}");
+                assert!(
+                    text.contains("Allow: GET, POST"),
+                    "405 without Allow: {text}"
+                );
+            }
+            7 => assert!(text.starts_with("HTTP/1.1 505"), "bad version: {text}"),
+            _ => {}
+        }
+        if bytes
+            .windows(14)
+            .filter(|w| w.eq_ignore_ascii_case(b"Content-Length"))
+            .count()
+            > 1
+        {
+            assert!(
+                text.starts_with("HTTP/1.1 400"),
+                "duplicate Content-Length not rejected: {text}"
+            );
+        }
+    }
+    server.shutdown();
+}
+
+#[test]
+fn lines_corpus_never_kills_the_server() {
+    let registry = Arc::new(Registry::new(RegistryConfig::default()));
+    let server = Server::start("127.0.0.1:0", registry, 1).expect("tcp server");
+    let addr = server.addr();
+    for bytes in &lines_corpus() {
+        let reply = send_raw(addr, bytes, bytes.ends_with(b"\n"));
+        // Whatever came back line-wise must be error replies, not panics.
+        for line in String::from_utf8_lossy(&reply).lines() {
+            if !line.trim().is_empty() {
+                assert!(line.contains("\"type\":\"error\""), "{line}");
+            }
+        }
+        assert_tcp_serviceable(addr);
+    }
+    server.shutdown();
+}
+
+/// Mixed well-formed/hostile traffic on one keep-alive HTTP connection:
+/// a valid request, then garbage, must end with the connection closed
+/// (framing is untrusted) but the *server* still alive.
+#[test]
+fn keep_alive_connection_survives_until_the_garbage() {
+    let registry = Arc::new(Registry::new(RegistryConfig::default()));
+    let server = HttpServer::start("127.0.0.1:0", registry, 1).expect("http server");
+    let addr = server.addr();
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_read_timeout(Some(PROBE_TIMEOUT)).unwrap();
+    // Two valid keep-alive requests back to back.
+    for _ in 0..2 {
+        stream
+            .write_all(b"GET /v1/stats HTTP/1.1\r\nHost: q\r\n\r\n")
+            .unwrap();
+        let mut seen = Vec::new();
+        let mut chunk = [0u8; 4096];
+        while !seen.windows(4).any(|w| w == b"\r\n\r\n") || !seen.ends_with(b"}") {
+            let n = stream.read(&mut chunk).expect("keep-alive read");
+            assert!(n > 0, "server closed a healthy keep-alive connection");
+            seen.extend_from_slice(&chunk[..n]);
+        }
+        assert!(String::from_utf8_lossy(&seen).starts_with("HTTP/1.1 200"));
+    }
+    // Now garbage on the same connection: 4xx-or-close, then the server
+    // still answers fresh connections.
+    let _ = stream.write_all(b"complete nonsense\r\n\r\n");
+    let mut rest = Vec::new();
+    let _ = stream.read_to_end(&mut rest); // server closes after the 400
+    assert_http_rejection(&rest);
+    drop(stream);
+    assert_http_serviceable(addr);
+    server.shutdown();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random garbage (with occasional HTTP-ish shards spliced in) never
+    /// panics the HTTP worker.
+    #[test]
+    fn random_bytes_dont_kill_http(
+        prefix in prop_oneof![
+            Just(String::new()),
+            Just("POST /v1/session/answer HTTP/1.1\r\n".to_string()),
+            Just("GET /metrics HTTP/1.1\r\n".to_string()),
+            "\\PC{0,30}",
+        ],
+        garbage in prop::collection::vec(0u8..=255, 0..600),
+        terminate in any::<bool>(),
+    ) {
+        static SERVER: std::sync::OnceLock<(SocketAddr, HttpServer)> = std::sync::OnceLock::new();
+        let (addr, _) = SERVER.get_or_init(|| {
+            let registry = Arc::new(Registry::new(RegistryConfig::default()));
+            let server = HttpServer::start("127.0.0.1:0", registry, 1).expect("http server");
+            (server.addr(), server)
+        });
+        let mut bytes = prefix.into_bytes();
+        bytes.extend_from_slice(&garbage);
+        if terminate {
+            bytes.extend_from_slice(b"\r\n\r\n");
+        }
+        let reply = send_raw(*addr, &bytes, terminate);
+        if bytes.starts_with(b"GET /metrics HTTP/1.1\r\n\r\n") {
+            // Accidentally well-formed: fine, but then it must be a 200.
+            prop_assert!(reply.is_empty() || reply.starts_with(b"HTTP/1.1 200"));
+        } else if !reply.is_empty() && !reply.starts_with(b"HTTP/1.1 200") {
+            assert_http_rejection(&reply);
+        }
+        assert_http_serviceable(*addr);
+    }
+
+    /// Random lines (including long, non-UTF-8, and JSON-shaped ones)
+    /// never panic the JSON-lines worker.
+    #[test]
+    fn random_lines_dont_kill_tcp(
+        line in prop::collection::vec(0u8..=255, 0..600),
+        json_shaped in any::<bool>(),
+    ) {
+        let mut line = line;
+        static SERVER: std::sync::OnceLock<(SocketAddr, Server)> = std::sync::OnceLock::new();
+        let (addr, _) = SERVER.get_or_init(|| {
+            let registry = Arc::new(Registry::new(RegistryConfig::default()));
+            let server = Server::start("127.0.0.1:0", registry, 1).expect("tcp server");
+            (server.addr(), server)
+        });
+        if json_shaped {
+            let mut framed = b"{\"type\":".to_vec();
+            framed.extend_from_slice(&line);
+            line = framed;
+        }
+        line.retain(|&b| b != b'\n');
+        line.push(b'\n');
+        let reply = send_raw(*addr, &line, true);
+        for out in String::from_utf8_lossy(&reply).lines() {
+            if !out.trim().is_empty() {
+                prop_assert!(out.contains("\"type\":\"error\""), "{}", out);
+            }
+        }
+        assert_tcp_serviceable(*addr);
+    }
+}

@@ -80,6 +80,15 @@ pub enum LogRecord {
         /// The learned query.
         query: Query,
     },
+    /// A verification run finished with this outcome (§4's learn-then-
+    /// verify dialogue); recovery restores the session as verified
+    /// without needing a compaction snapshot.
+    Verified {
+        /// The session id.
+        id: u64,
+        /// `true` iff the user agreed with every expected label.
+        verified: bool,
+    },
     /// The session was explicitly closed; recovery drops it.
     SessionClosed {
         /// The session id.
@@ -104,6 +113,7 @@ impl LogRecord {
             LogRecord::ExchangeAppended { .. } => "exchange",
             LogRecord::Corrected { .. } => "corrected",
             LogRecord::QueryLearned { .. } => "query_learned",
+            LogRecord::Verified { .. } => "verified",
             LogRecord::SessionClosed { .. } => "session_closed",
             LogRecord::SnapshotWritten { .. } => "snapshot_written",
         }
@@ -118,6 +128,7 @@ impl LogRecord {
             | LogRecord::ExchangeAppended { id, .. }
             | LogRecord::Corrected { id, .. }
             | LogRecord::QueryLearned { id, .. }
+            | LogRecord::Verified { id, .. }
             | LogRecord::SessionClosed { id } => Some(*id),
             LogRecord::SnapshotWritten { .. } => None,
         }
@@ -154,6 +165,10 @@ impl LogRecord {
             LogRecord::QueryLearned { id, query } => {
                 pairs.push(("id".into(), id.to_json()));
                 pairs.push(("query".into(), query.to_json()));
+            }
+            LogRecord::Verified { id, verified } => {
+                pairs.push(("id".into(), id.to_json()));
+                pairs.push(("verified".into(), verified.to_json()));
             }
             LogRecord::SessionClosed { id } => {
                 pairs.push(("id".into(), id.to_json()));
@@ -209,6 +224,10 @@ impl LogRecord {
                 id: u64::from_json(j.field("id")?)?,
                 query: Query::from_json(j.field("query")?)?,
             },
+            "verified" => LogRecord::Verified {
+                id: u64::from_json(j.field("id")?)?,
+                verified: bool::from_json(j.field("verified")?)?,
+            },
             "session_closed" => LogRecord::SessionClosed {
                 id: u64::from_json(j.field("id")?)?,
             },
@@ -235,8 +254,8 @@ pub struct PersistedSession {
     pub asked: Vec<Obj>,
     /// Questions answered.
     pub answered: usize,
-    /// Verification result, when one ran (only snapshots preserve this —
-    /// the log does not record verification outcomes).
+    /// Verification result, when one ran (replayed from
+    /// [`LogRecord::Verified`] and preserved by snapshots).
     pub verified: Option<bool>,
     /// The answered transcript, corrections applied.
     pub transcript: Vec<Exchange>,
@@ -390,6 +409,11 @@ impl Replayer {
                     entry.session.learned = Some(query);
                 }
             }
+            LogRecord::Verified { id, verified } => {
+                if let Some(entry) = self.fresh(id, seq) {
+                    entry.session.verified = Some(verified);
+                }
+            }
             LogRecord::SessionClosed { id } => {
                 // Removal at apply time: a later `SessionCreated` for the
                 // same id (only possible for genuinely new sessions, since
@@ -463,6 +487,10 @@ mod tests {
             LogRecord::QueryLearned {
                 id: 3,
                 query: parse_with_arity("all x1; some x2 x3", 3).unwrap(),
+            },
+            LogRecord::Verified {
+                id: 3,
+                verified: true,
             },
             LogRecord::SessionClosed { id: 3 },
             LogRecord::SnapshotWritten {
@@ -574,6 +602,66 @@ mod tests {
         }]);
         r.apply(6, LogRecord::SessionClosed { id: 2 });
         assert!(r.finish().is_empty());
+    }
+
+    #[test]
+    fn verification_outcomes_replay_and_corrections_reset_them() {
+        let mut r = Replayer::new();
+        r.apply(
+            1,
+            LogRecord::SessionCreated {
+                id: 1,
+                meta: meta(),
+            },
+        );
+        let q = parse_with_arity("all x1", 3).unwrap();
+        r.apply(2, LogRecord::QueryLearned { id: 1, query: q });
+        r.apply(
+            3,
+            LogRecord::Verified {
+                id: 1,
+                verified: true,
+            },
+        );
+        // A later correction invalidates the verification outcome…
+        r.apply(
+            4,
+            LogRecord::Corrected {
+                id: 1,
+                corrections: vec![],
+            },
+        );
+        // …and a fresh run can record a new one.
+        r.apply(
+            5,
+            LogRecord::Verified {
+                id: 1,
+                verified: false,
+            },
+        );
+        let sessions = r.finish();
+        assert_eq!(sessions[0].verified, Some(false));
+        assert_eq!(sessions[0].learned, None, "correction reset the query");
+    }
+
+    #[test]
+    fn verified_records_below_snapshot_coverage_are_skipped() {
+        let mut r = Replayer::new();
+        let mut snap = PersistedSession::new(4, meta());
+        snap.verified = Some(true);
+        r.seed(vec![SnapshotEntry {
+            through_seq: 10,
+            session: snap,
+        }]);
+        // Stale record (already reflected in the snapshot): ignored.
+        r.apply(
+            9,
+            LogRecord::Verified {
+                id: 4,
+                verified: false,
+            },
+        );
+        assert_eq!(r.finish()[0].verified, Some(true));
     }
 
     #[test]

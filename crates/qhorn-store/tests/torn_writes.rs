@@ -51,6 +51,7 @@ struct Expected {
     answered: usize,
     responses: Vec<Response>,
     learned: Option<Query>,
+    verified: Option<bool>,
 }
 
 fn replay_expected(records: &[LogRecord]) -> BTreeMap<u64, Expected> {
@@ -74,11 +75,17 @@ fn replay_expected(records: &[LogRecord]) -> BTreeMap<u64, Expected> {
                         }
                     }
                     s.learned = None;
+                    s.verified = None;
                 }
             }
             LogRecord::QueryLearned { id, query } => {
                 if let Some(s) = sessions.get_mut(id) {
                     s.learned = Some(query.clone());
+                }
+            }
+            LogRecord::Verified { id, verified } => {
+                if let Some(s) = sessions.get_mut(id) {
+                    s.verified = Some(*verified);
                 }
             }
             LogRecord::SessionClosed { id } => {
@@ -120,10 +127,16 @@ fn build_records(n_sessions: u64, style: u64) -> Vec<LogRecord> {
             });
         }
         match (id + style) % 4 {
-            0 => records.push(LogRecord::QueryLearned {
-                id,
-                query: q3.clone(),
-            }),
+            0 => {
+                records.push(LogRecord::QueryLearned {
+                    id,
+                    query: q3.clone(),
+                });
+                records.push(LogRecord::Verified {
+                    id,
+                    verified: style.is_multiple_of(2),
+                });
+            }
             1 => {
                 records.push(LogRecord::QueryLearned {
                     id,
@@ -182,6 +195,7 @@ fn check_every_truncation(records: &[LogRecord], tag: &str) {
                         answered: s.answered,
                         responses: s.transcript.iter().map(|e| e.response).collect(),
                         learned: s.learned.clone(),
+                        verified: s.verified,
                     },
                 )
             })
@@ -203,7 +217,7 @@ fn check_every_truncation(records: &[LogRecord], tag: &str) {
 }
 
 /// Exhaustive every-byte-offset sweep over a fixed, representative log
-/// (all six record kinds present).
+/// (all seven record kinds present).
 #[test]
 fn recovery_survives_truncation_at_every_byte_offset() {
     let mut records = build_records(4, 1);
