@@ -15,7 +15,7 @@ use std::hint::black_box;
 use std::sync::Arc;
 
 fn bench_transport_round_trips(c: &mut Criterion) {
-    let registry = Arc::new(Registry::new(RegistryConfig::default()));
+    let registry = Arc::new(Registry::open(RegistryConfig::default()).unwrap());
     let tcp = Server::start("127.0.0.1:0", Arc::clone(&registry), 2).expect("tcp server");
     let http = HttpServer::start("127.0.0.1:0", Arc::clone(&registry), 2).expect("http server");
 

@@ -51,13 +51,59 @@ fn bench_registry_sessions(c: &mut Criterion) {
             BenchmarkId::new("full_dialogue", shards),
             &shards,
             |b, &shards| {
-                let registry = Registry::new(RegistryConfig {
+                let registry = Registry::open(RegistryConfig {
                     shards,
                     ..RegistryConfig::default()
-                });
+                })
+                .expect("open registry");
                 b.iter(|| black_box(run_session(&registry, &target)));
             },
         );
+    }
+    group.finish();
+}
+
+/// Restore-from-snapshot cost: a completed session over a large catalog
+/// dataset is evicted (TTL 0 sweep) and touched back to life on every
+/// iteration. The dominant term is how the registry obtains the dataset's
+/// built store — rebuilding it from scratch per restore vs sharing one
+/// catalog-cached `Arc<DataStore>`.
+fn bench_restore_from_snapshot(c: &mut Criterion) {
+    let target = qhorn_lang::parse_with_arity("all x1; some x2 x3", 3).unwrap();
+    let mut group = c.benchmark_group("restore_from_snapshot");
+    group.sample_size(10);
+    for size in [1_000usize, 20_000] {
+        group.bench_with_input(BenchmarkId::new("chocolates", size), &size, |b, &size| {
+            let registry = Registry::open(RegistryConfig {
+                ttl: std::time::Duration::from_millis(0),
+                ..RegistryConfig::default()
+            })
+            .expect("open registry");
+            let spec = CreateSpec {
+                dataset: "chocolates".into(),
+                size,
+                learner: LearnerKind::Qhorn1,
+                max_questions: Some(10_000),
+            };
+            let (id, mut outcome) = registry.create_session(spec).expect("create");
+            loop {
+                match outcome {
+                    StepOutcome::Question(q) => {
+                        outcome = registry
+                            .answer(id, target.eval(&q.question))
+                            .expect("answer");
+                    }
+                    StepOutcome::Learned { .. } => break,
+                    other => panic!("unexpected outcome {other:?}"),
+                }
+            }
+            b.iter(|| {
+                // TTL 0: the sweep evicts the (idle) session to a
+                // snapshot; the learned_query touch restores it.
+                registry.sweep();
+                black_box(registry.learned_query(id).expect("restore"))
+            });
+        });
     }
     group.finish();
 }
@@ -102,5 +148,10 @@ fn bench_parallel_batch(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_registry_sessions, bench_parallel_batch);
+criterion_group!(
+    benches,
+    bench_registry_sessions,
+    bench_restore_from_snapshot,
+    bench_parallel_batch
+);
 criterion_main!(benches);

@@ -107,6 +107,18 @@ pub mod chocolates {
         )
     }
 
+    /// A ready-made uploadable [`crate::upload::DatasetDef`] of the
+    /// Fig. 1 boxes under the given catalog name (demos and tests).
+    #[must_use]
+    pub fn dataset_def(name: &str) -> crate::upload::DatasetDef {
+        crate::upload::DatasetDef {
+            name: name.to_string(),
+            relation: fig1_boxes(),
+            propositions: propositions(),
+            hints: hints(),
+        }
+    }
+
     /// The intro's intended query (1): `∀c (isDark) ∧ ∃c (hasFilling ∧
     /// origin = Madagascar)`, i.e. `∀x1 ∃x2x3`.
     #[must_use]

@@ -36,10 +36,12 @@
 pub mod binding;
 pub mod datasets;
 pub mod interference;
+mod json;
 pub mod proposition;
 pub mod relation;
 pub mod schema;
 pub mod synthesize;
+pub mod upload;
 pub mod value;
 
 pub use binding::Booleanizer;
@@ -47,4 +49,5 @@ pub use proposition::{Cmp, PropError, Proposition};
 pub use relation::{DataTuple, FlatRelation, NestedObject, NestedRelation};
 pub use schema::{Attr, FlatSchema, NestedSchema, SchemaError};
 pub use synthesize::{DomainHints, SynthesisError, Synthesizer};
+pub use upload::DatasetDef;
 pub use value::{AttrType, Value};

@@ -18,7 +18,7 @@ use std::fmt;
 
 /// Preferred values per attribute, tried before synthetic ones — e.g. real
 /// origins from the store's inventory, so examples look natural to users.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct DomainHints {
     per_attr: BTreeMap<String, Vec<Value>>,
 }
@@ -39,6 +39,14 @@ impl DomainHints {
 
     fn get(&self, attr: &str) -> &[Value] {
         self.per_attr.get(attr).map_or(&[], Vec::as_slice)
+    }
+
+    /// Iterates `(attribute, candidate values)` pairs in attribute order
+    /// (the wire format serializes these).
+    pub fn entries(&self) -> impl Iterator<Item = (&str, &[Value])> {
+        self.per_attr
+            .iter()
+            .map(|(k, v)| (k.as_str(), v.as_slice()))
     }
 }
 

@@ -9,7 +9,6 @@
 //! regardless of which transport carried it.
 
 use crate::batch;
-use crate::dataset;
 use crate::error::ServiceError;
 use crate::proto::{Reply, Request};
 use crate::registry::Registry;
@@ -61,6 +60,17 @@ fn apply(registry: &Arc<Registry>, req: Request) -> Result<Reply, ServiceError> 
                 session,
                 step: outcome.into(),
             })
+        }
+        Request::UploadDataset { def } => {
+            let info = registry.upload_dataset(def)?;
+            Ok(Reply::DatasetUploaded { info })
+        }
+        Request::ListDatasets => Ok(Reply::Datasets {
+            datasets: registry.list_datasets(),
+        }),
+        Request::DropDataset { name } => {
+            registry.drop_dataset(&name)?;
+            Ok(Reply::DatasetDropped { name })
         }
         Request::NextQuestion { session } => {
             let outcome = registry.next_question(session)?;
@@ -115,8 +125,10 @@ fn apply(registry: &Arc<Registry>, req: Request) -> Result<Reply, ServiceError> 
                     (store, learned)
                 }
                 (None, Some(name)) => {
-                    let (store, _) = dataset::build(&name, size)?;
-                    (Arc::new(store), None)
+                    // Through the catalog: uploaded datasets evaluate
+                    // too, and built-ins share their cached stores.
+                    let (store, _) = registry.dataset(&name, size)?;
+                    (store, None)
                 }
                 _ => {
                     return Err(ServiceError::Parse(

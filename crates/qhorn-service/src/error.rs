@@ -17,6 +17,16 @@ pub enum ServiceError {
     },
     /// The dataset name is not in the catalog.
     UnknownDataset(String),
+    /// The dataset name is already taken (uploading over a built-in or an
+    /// existing upload) or names a built-in that cannot be dropped.
+    DatasetConflict(String),
+    /// An uploaded dataset definition failed semantic validation
+    /// (propositions vs schema, name rules, proposition count).
+    InvalidDataset(String),
+    /// A requested dataset size is outside `1..=MAX_SIZE`. The wire
+    /// layer defaults an *absent* size; an explicit `0` is rejected here
+    /// rather than silently coerced.
+    InvalidSize(String),
     /// A query or request failed to parse.
     Parse(String),
     /// The underlying engine/learner failed.
@@ -37,6 +47,9 @@ impl fmt::Display for ServiceError {
                 write!(f, "session is {state}, request needs {needed}")
             }
             ServiceError::UnknownDataset(name) => write!(f, "unknown dataset `{name}`"),
+            ServiceError::DatasetConflict(msg) => write!(f, "dataset conflict: {msg}"),
+            ServiceError::InvalidDataset(msg) => write!(f, "invalid dataset: {msg}"),
+            ServiceError::InvalidSize(msg) => write!(f, "invalid size: {msg}"),
             ServiceError::Parse(msg) => write!(f, "parse error: {msg}"),
             ServiceError::Engine(msg) => write!(f, "engine error: {msg}"),
             ServiceError::DriverTimeout => write!(f, "session driver timed out"),

@@ -12,19 +12,26 @@
 //!
 //! ## Routes
 //!
-//! | Route                       | Protocol message |
-//! |-----------------------------|------------------|
-//! | `POST /v1/session/create`   | `create_session` |
-//! | `POST /v1/session/next`     | `next_question`  |
-//! | `POST /v1/session/answer`   | `answer`         |
-//! | `POST /v1/session/correct`  | `correct`        |
-//! | `POST /v1/session/verify`   | `verify`         |
-//! | `POST /v1/session/export`   | `export_query`   |
-//! | `POST /v1/session/close`    | `close_session`  |
-//! | `POST /v1/evaluate`         | `evaluate_batch` |
-//! | `GET`/`POST /v1/stats`      | `stats`          |
-//! | `GET`/`POST /v1/metrics`    | `metrics` (JSON) |
-//! | `GET /metrics`              | Prometheus text  |
+//! | Route                       | Protocol message  |
+//! |-----------------------------|-------------------|
+//! | `POST /v1/session/create`   | `create_session`  |
+//! | `POST /v1/session/next`     | `next_question`   |
+//! | `POST /v1/session/answer`   | `answer`          |
+//! | `POST /v1/session/correct`  | `correct`         |
+//! | `POST /v1/session/verify`   | `verify`          |
+//! | `POST /v1/session/export`   | `export_query`    |
+//! | `POST /v1/session/close`    | `close_session`   |
+//! | `POST /v1/dataset/upload`   | `upload_dataset`  |
+//! | `POST /v1/dataset/drop`     | `drop_dataset`    |
+//! | `GET`/`POST /v1/datasets`   | `list_datasets`   |
+//! | `POST /v1/evaluate`         | `evaluate_batch`  |
+//! | `GET`/`POST /v1/stats`      | `stats`           |
+//! | `GET`/`POST /v1/metrics`    | `metrics` (JSON)  |
+//! | `GET /metrics`              | Prometheus text   |
+//!
+//! Dataset uploads ride the same body framing as every other route, so
+//! the existing 1 MiB body cap bounds them on both framings
+//! (`Content-Length` and chunked).
 //!
 //! The request body is the message's JSON object **without** the `"type"`
 //! field (the route implies it); a body that does carry `"type"` must
@@ -60,6 +67,9 @@ const ROUTES: &[(&str, &str)] = &[
     ("/v1/session/verify", "verify"),
     ("/v1/session/export", "export_query"),
     ("/v1/session/close", "close_session"),
+    ("/v1/dataset/upload", "upload_dataset"),
+    ("/v1/dataset/drop", "drop_dataset"),
+    ("/v1/datasets", "list_datasets"),
     ("/v1/evaluate", "evaluate_batch"),
     ("/v1/stats", "stats"),
     ("/v1/metrics", "metrics"),
@@ -80,9 +90,13 @@ pub fn route_for_kind(kind: &str) -> &'static str {
 pub fn status_for(e: &ServiceError) -> u16 {
     match e {
         ServiceError::UnknownSession(_) | ServiceError::UnknownDataset(_) => 404,
-        ServiceError::WrongState { .. } => 409,
+        ServiceError::WrongState { .. } | ServiceError::DatasetConflict(_) => 409,
         ServiceError::Parse(_) => 400,
-        ServiceError::Engine(_) => 422,
+        // Semantic (not syntactic) rejections: the request parsed fine
+        // but names an impossible computation.
+        ServiceError::Engine(_)
+        | ServiceError::InvalidDataset(_)
+        | ServiceError::InvalidSize(_) => 422,
         ServiceError::DriverTimeout => 504,
         ServiceError::Store(_) => 500,
         ServiceError::Transport(_) => 502,
@@ -334,7 +348,7 @@ fn respond(registry: &Arc<Registry>, req: &HttpRequest) -> HttpResponse {
         return error_response(404, format!("no route for `{}`", req.path));
     };
     // GET works for the read-only routes; everything else is POST.
-    let read_only = matches!(*kind, "stats" | "metrics");
+    let read_only = matches!(*kind, "stats" | "metrics" | "list_datasets");
     if !(req.method == "POST" || (req.method == "GET" && read_only)) {
         return error_response(405, format!("method {} not allowed", req.method))
             .with_allow(if read_only { "GET, POST" } else { "POST" });
@@ -888,5 +902,19 @@ mod tests {
         );
         assert_eq!(status_for(&ServiceError::DriverTimeout), 504);
         assert_eq!(status_for(&ServiceError::Store("x".into())), 500);
+        assert_eq!(status_for(&ServiceError::DatasetConflict("x".into())), 409);
+        assert_eq!(status_for(&ServiceError::InvalidDataset("x".into())), 422);
+        assert_eq!(status_for(&ServiceError::InvalidSize("x".into())), 422);
+    }
+
+    #[test]
+    fn dataset_routes_resolve_and_list_is_read_only() {
+        assert_eq!(route_for_kind("upload_dataset"), "/v1/dataset/upload");
+        assert_eq!(route_for_kind("drop_dataset"), "/v1/dataset/drop");
+        assert_eq!(route_for_kind("list_datasets"), "/v1/datasets");
+        assert_eq!(
+            decode_body("list_datasets", b"").unwrap(),
+            Request::ListDatasets
+        );
     }
 }

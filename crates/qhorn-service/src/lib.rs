@@ -14,7 +14,8 @@
 //!   [`Registry::open`] recovers all sessions after a crash;
 //! * [`proto`] — the request/reply protocol (`CreateSession`,
 //!   `NextQuestion`, `Answer`, `Correct` + replay, `Verify`,
-//!   `EvaluateBatch`, `ExportQuery`, `CloseSession`, `Stats`, `Metrics`);
+//!   `EvaluateBatch`, `ExportQuery`, `CloseSession`, `UploadDataset` /
+//!   `ListDatasets` / `DropDataset`, `Stats`, `Metrics`);
 //! * [`dispatch`] — the shared request dispatcher both frontends funnel
 //!   through (with the per-message latency timing hook);
 //! * [`server`] — the protocol as JSON-lines over `std::net::TcpListener`
@@ -28,7 +29,10 @@
 //!   (fixed log-scale buckets) and learner question counts per phase;
 //! * [`batch`] — parallel batch evaluation of compiled queries, identical
 //!   in output to the engine's sequential `exec::execute`;
-//! * [`dataset`] — the server-side dataset catalog sessions run over;
+//! * [`dataset`] — the server-side dataset catalog sessions run over:
+//!   built-ins and user uploads behind shared `Arc<DataStore>`s, so
+//!   concurrent sessions and snapshot restores reuse one built store
+//!   (uploads are durably logged and recovered);
 //! * [`error`] — [`ServiceError`].
 //!
 //! The engine's learners are synchronous (ask → answer → return); the
@@ -40,7 +44,7 @@
 //! use qhorn_service::registry::{CreateSpec, Registry, RegistryConfig, StepOutcome};
 //! use qhorn_engine::session::LearnerKind;
 //!
-//! let registry = Registry::new(RegistryConfig::default());
+//! let registry = Registry::open(RegistryConfig::default()).unwrap();
 //! let target = qhorn_lang::parse_with_arity("all x1; some x2 x3", 3).unwrap();
 //! let spec = CreateSpec {
 //!     dataset: "chocolates".into(),

@@ -42,6 +42,9 @@ pub fn bucket_bound_nanos(i: usize) -> u64 {
 /// order; [`MetricsSnapshot`] rows use these labels.
 pub const MESSAGE_KINDS: &[&str] = &[
     "create_session",
+    "upload_dataset",
+    "list_datasets",
+    "drop_dataset",
     "next_question",
     "answer",
     "correct",
@@ -558,8 +561,9 @@ mod tests {
     #[test]
     fn prometheus_exposition_parses_and_is_cumulative() {
         let m = Metrics::new();
+        let answer = MESSAGE_KINDS.iter().position(|&k| k == "answer").unwrap();
         for micros in [1u64, 5, 900, 40_000, 2_000_000] {
-            m.record_latency(2, Duration::from_micros(micros)); // "answer"
+            m.record_latency(answer, Duration::from_micros(micros));
         }
         let mut by_phase = BTreeMap::new();
         by_phase.insert(Phase::UniversalBodies, 3usize);

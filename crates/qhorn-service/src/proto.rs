@@ -15,6 +15,7 @@
 //! ← {"type":"step","session":1,"step":{"kind":"learned","query":"∀x1 ∃x2x3",...}}
 //! ```
 
+use crate::dataset::{DatasetInfo, DEFAULT_SIZE};
 use crate::error::ServiceError;
 use crate::metrics::MetricsSnapshot;
 use crate::registry::{QuestionInfo, RegistryStats, StepOutcome};
@@ -22,20 +23,38 @@ use qhorn_core::{Obj, Query, Response};
 use qhorn_engine::exec::ExecStats;
 use qhorn_engine::session::LearnerKind;
 use qhorn_json::{FromJson, Json, JsonError, ToJson};
+use qhorn_relation::DatasetDef;
 
 /// A client → server message.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Request {
     /// Open a session over a catalog dataset and start learning.
     CreateSession {
-        /// Catalog dataset name (see [`crate::dataset::NAMES`]).
+        /// Catalog dataset name (built-in, see [`crate::dataset::NAMES`],
+        /// or uploaded).
         dataset: String,
-        /// Object count for generated datasets (0 = default).
+        /// Object count for generated datasets (an absent wire field
+        /// defaults to [`DEFAULT_SIZE`]; an explicit `0` is rejected).
         size: usize,
         /// `"qhorn1"` or `"role_preserving"`.
         learner: LearnerKind,
         /// Optional hard question budget.
         max_questions: Option<usize>,
+    },
+    /// Register a user-defined dataset with the catalog (durably, when a
+    /// store is configured): sessions can then be created over its name.
+    UploadDataset {
+        /// The complete definition (name, schema, objects, propositions,
+        /// hints) — the wire body flattens its fields.
+        def: DatasetDef,
+    },
+    /// Enumerate the catalog: built-ins plus uploads.
+    ListDatasets,
+    /// Remove an uploaded dataset from the catalog (durably). Built-ins
+    /// cannot be dropped.
+    DropDataset {
+        /// The uploaded dataset's name.
+        name: String,
     },
     /// Re-fetch the pending question (idempotent).
     NextQuestion {
@@ -69,9 +88,10 @@ pub enum Request {
         /// Evaluate over this session's store (and default to its
         /// learned query). Mutually exclusive with `dataset`.
         session: Option<u64>,
-        /// Evaluate over a freshly built catalog dataset.
+        /// Evaluate over a catalog dataset (built-in or uploaded).
         dataset: Option<String>,
-        /// Object count for generated datasets (0 = default).
+        /// Object count for generated datasets (an absent wire field
+        /// defaults to [`DEFAULT_SIZE`]; ignored with `session`).
         size: usize,
         /// Shorthand query text; required unless `session` supplies one.
         query: Option<String>,
@@ -105,6 +125,9 @@ impl Request {
     pub fn kind(&self) -> &'static str {
         match self {
             Request::CreateSession { .. } => "create_session",
+            Request::UploadDataset { .. } => "upload_dataset",
+            Request::ListDatasets => "list_datasets",
+            Request::DropDataset { .. } => "drop_dataset",
             Request::NextQuestion { .. } => "next_question",
             Request::Answer { .. } => "answer",
             Request::Correct { .. } => "correct",
@@ -241,6 +264,21 @@ pub enum Reply {
         /// The closed session's id.
         session: u64,
     },
+    /// Dataset registered with the catalog.
+    DatasetUploaded {
+        /// The new entry, as `ListDatasets` would report it.
+        info: DatasetInfo,
+    },
+    /// The catalog listing.
+    Datasets {
+        /// Built-ins first, then uploads in name order.
+        datasets: Vec<DatasetInfo>,
+    },
+    /// Uploaded dataset removed from the catalog.
+    DatasetDropped {
+        /// The removed dataset's name.
+        name: String,
+    },
     /// Aggregate counters.
     Stats(RegistryStats),
     /// Latency histograms and per-phase question counts.
@@ -286,8 +324,11 @@ fn opt_field<T: FromJson>(j: &Json, key: &str) -> Result<Option<T>, JsonError> {
     }
 }
 
-fn usize_or_default(j: &Json, key: &str) -> Result<usize, JsonError> {
-    Ok(opt_field::<usize>(j, key)?.unwrap_or(0))
+/// The wire-layer size default: an absent `size` field means
+/// [`DEFAULT_SIZE`]; an explicit value (including `0`, which the catalog
+/// rejects) passes through untouched.
+fn size_or_default(j: &Json) -> Result<usize, JsonError> {
+    Ok(opt_field::<usize>(j, "size")?.unwrap_or(DEFAULT_SIZE))
 }
 
 impl ToJson for Request {
@@ -304,6 +345,18 @@ impl ToJson for Request {
                 ("size", size.to_json()),
                 ("learner", Json::Str(learner_name(*learner).into())),
                 ("max_questions", max_questions.to_json()),
+            ]),
+            Request::UploadDataset { def } => {
+                let mut pairs = vec![("type".to_string(), Json::Str("upload_dataset".into()))];
+                if let Json::Obj(fields) = def.to_json() {
+                    pairs.extend(fields);
+                }
+                Json::Obj(pairs)
+            }
+            Request::ListDatasets => Json::object([("type", Json::Str("list_datasets".into()))]),
+            Request::DropDataset { name } => Json::object([
+                ("type", Json::Str("drop_dataset".into())),
+                ("name", name.to_json()),
             ]),
             Request::NextQuestion { session } => Json::object([
                 ("type", Json::Str("next_question".into())),
@@ -369,9 +422,16 @@ impl FromJson for Request {
         match ty.as_str() {
             "create_session" => Ok(Request::CreateSession {
                 dataset: String::from_json(j.field("dataset")?)?,
-                size: usize_or_default(j, "size")?,
+                size: size_or_default(j)?,
                 learner: learner_from(&String::from_json(j.field("learner")?)?)?,
                 max_questions: opt_field(j, "max_questions")?,
+            }),
+            "upload_dataset" => Ok(Request::UploadDataset {
+                def: DatasetDef::from_json(j)?,
+            }),
+            "list_datasets" => Ok(Request::ListDatasets),
+            "drop_dataset" => Ok(Request::DropDataset {
+                name: String::from_json(j.field("name")?)?,
             }),
             "next_question" => Ok(Request::NextQuestion {
                 session: u64::from_json(j.field("session")?)?,
@@ -407,7 +467,7 @@ impl FromJson for Request {
             "evaluate_batch" => Ok(Request::EvaluateBatch {
                 session: opt_field(j, "session")?,
                 dataset: opt_field(j, "dataset")?,
-                size: usize_or_default(j, "size")?,
+                size: size_or_default(j)?,
                 query: opt_field(j, "query")?,
                 workers: opt_field::<usize>(j, "workers")?.unwrap_or(1),
             }),
@@ -566,6 +626,21 @@ impl ToJson for Reply {
                 ("type", Json::Str("closed".into())),
                 ("session", session.to_json()),
             ]),
+            Reply::DatasetUploaded { info } => {
+                let mut pairs = vec![("type".to_string(), Json::Str("dataset_uploaded".into()))];
+                if let Json::Obj(fields) = info.to_json() {
+                    pairs.extend(fields);
+                }
+                Json::Obj(pairs)
+            }
+            Reply::Datasets { datasets } => Json::object([
+                ("type", Json::Str("datasets".into())),
+                ("datasets", datasets.to_json()),
+            ]),
+            Reply::DatasetDropped { name } => Json::object([
+                ("type", Json::Str("dataset_dropped".into())),
+                ("name", name.to_json()),
+            ]),
             Reply::Stats(stats) => {
                 let mut pairs = vec![("type".to_string(), Json::Str("stats".into()))];
                 if let Json::Obj(fields) = stats.to_json() {
@@ -611,6 +686,15 @@ impl FromJson for Reply {
             "closed" => Ok(Reply::Closed {
                 session: u64::from_json(j.field("session")?)?,
             }),
+            "dataset_uploaded" => Ok(Reply::DatasetUploaded {
+                info: DatasetInfo::from_json(j)?,
+            }),
+            "datasets" => Ok(Reply::Datasets {
+                datasets: Vec::<DatasetInfo>::from_json(j.field("datasets")?)?,
+            }),
+            "dataset_dropped" => Ok(Reply::DatasetDropped {
+                name: String::from_json(j.field("name")?)?,
+            }),
             "stats" => Ok(Reply::Stats(RegistryStats::from_json(j)?)),
             "metrics" => Ok(Reply::Metrics(MetricsSnapshot::from_json(j)?)),
             "error" => Ok(Reply::Error {
@@ -639,6 +723,10 @@ mod tests {
         assert_eq!(&back, rep);
     }
 
+    fn upload_def() -> DatasetDef {
+        qhorn_relation::datasets::chocolates::dataset_def("my-shop")
+    }
+
     #[test]
     fn requests_round_trip() {
         round_trip_request(&Request::CreateSession {
@@ -646,6 +734,11 @@ mod tests {
             size: 40,
             learner: LearnerKind::Qhorn1,
             max_questions: Some(500),
+        });
+        round_trip_request(&Request::UploadDataset { def: upload_def() });
+        round_trip_request(&Request::ListDatasets);
+        round_trip_request(&Request::DropDataset {
+            name: "my-shop".into(),
         });
         round_trip_request(&Request::NextQuestion { session: 7 });
         round_trip_request(&Request::Answer {
@@ -685,9 +778,14 @@ mod tests {
         let reqs = [
             Request::CreateSession {
                 dataset: "fig1".into(),
-                size: 0,
+                size: 2,
                 learner: LearnerKind::Qhorn1,
                 max_questions: None,
+            },
+            Request::UploadDataset { def: upload_def() },
+            Request::ListDatasets,
+            Request::DropDataset {
+                name: "my-shop".into(),
             },
             Request::NextQuestion { session: 1 },
             Request::Answer {
@@ -773,6 +871,34 @@ mod tests {
             text: "∀x1 ∃x2x3".into(),
         });
         round_trip_reply(&Reply::Closed { session: 3 });
+        round_trip_reply(&Reply::DatasetUploaded {
+            info: crate::dataset::DatasetInfo {
+                name: "my-shop".into(),
+                builtin: false,
+                arity: 3,
+                objects: Some(2),
+            },
+        });
+        round_trip_reply(&Reply::Datasets {
+            datasets: vec![
+                crate::dataset::DatasetInfo {
+                    name: "chocolates".into(),
+                    builtin: true,
+                    arity: 3,
+                    objects: None,
+                },
+                crate::dataset::DatasetInfo {
+                    name: "my-shop".into(),
+                    builtin: false,
+                    arity: 3,
+                    objects: Some(2),
+                },
+            ],
+        });
+        round_trip_reply(&Reply::Datasets { datasets: vec![] });
+        round_trip_reply(&Reply::DatasetDropped {
+            name: "my-shop".into(),
+        });
         round_trip_reply(&Reply::Stats(RegistryStats {
             created: 5,
             live: 2,
@@ -821,7 +947,8 @@ mod tests {
         assert!(qhorn_json::from_str::<Request>(r#"{"type":"answer"}"#).is_err());
         assert!(qhorn_json::from_str::<Request>(r#"{"type":"bogus"}"#).is_err());
         assert!(qhorn_json::from_str::<Reply>(r#"{"type":"step","session":1}"#).is_err());
-        // Omitted optional fields default.
+        // Omitted optional fields default — the size default lives here
+        // at the wire layer, so the catalog can reject explicit zeros.
         let req: Request = qhorn_json::from_str(
             r#"{"type":"create_session","dataset":"fig1","learner":"qhorn1"}"#,
         )
@@ -830,11 +957,17 @@ mod tests {
             req,
             Request::CreateSession {
                 dataset: "fig1".into(),
-                size: 0,
+                size: DEFAULT_SIZE,
                 learner: LearnerKind::Qhorn1,
                 max_questions: None,
             }
         );
+        // An explicit zero is preserved (and rejected later, with a 422).
+        let req: Request = qhorn_json::from_str(
+            r#"{"type":"create_session","dataset":"fig1","size":0,"learner":"qhorn1"}"#,
+        )
+        .unwrap();
+        assert!(matches!(req, Request::CreateSession { size: 0, .. }));
     }
 
     #[test]

@@ -30,7 +30,7 @@
 //! by `max_snapshots` (LRU); drops past the cap fall through to the
 //! durable store when configured.
 
-use crate::dataset;
+use crate::dataset::{DatasetCatalog, DatasetInfo};
 use crate::driver::{self, DriverCmd, DriverEvent, DriverHandle, QuestionOut};
 use crate::error::ServiceError;
 use crate::metrics::Metrics;
@@ -39,6 +39,8 @@ use qhorn_core::{Obj, Query, Response};
 use qhorn_engine::persist::{self, SessionSnapshot};
 use qhorn_engine::session::{Exchange, LearnerKind};
 use qhorn_engine::DataStore;
+use qhorn_relation::synthesize::DomainHints;
+use qhorn_relation::DatasetDef;
 use qhorn_store::{
     LogRecord, PersistedSession, SessionMeta, SessionStore, SnapshotEntry, StoreConfig, StoreStats,
 };
@@ -123,9 +125,10 @@ impl SessionState {
 /// Everything needed to open a session.
 #[derive(Clone, Debug)]
 pub struct CreateSpec {
-    /// Catalog dataset name.
+    /// Catalog dataset name (built-in or uploaded).
     pub dataset: String,
-    /// Object count for generated datasets (0 = default).
+    /// Object count for generated datasets (`1..=MAX_SIZE`; the wire
+    /// layer substitutes the default for absent fields).
     pub size: usize,
     /// Which learner runs the session.
     pub learner: LearnerKind,
@@ -253,6 +256,13 @@ pub struct Registry {
     config: RegistryConfig,
     shards: Vec<Mutex<HashMap<u64, Arc<Mutex<Entry>>>>>,
     snapshots: Mutex<HashMap<u64, SnapshotRecord>>,
+    /// Built-in and uploaded datasets behind shared `Arc<DataStore>`s —
+    /// sessions and snapshot restores resolve names here instead of
+    /// rebuilding stores per restore.
+    catalog: DatasetCatalog,
+    /// Serializes dataset uploads/drops with their durable log appends,
+    /// so catalog state and log order cannot disagree.
+    catalog_lock: Mutex<()>,
     /// Serializes snapshot restores per stripe so concurrent touches of
     /// one evicted id all land on the single restored entry, without
     /// unrelated sessions' restores queueing behind each other.
@@ -280,44 +290,51 @@ pub struct Registry {
 }
 
 impl Registry {
-    /// Builds a registry, running durable-store recovery when one is
-    /// configured.
-    ///
-    /// # Panics
-    /// If the durable store fails to open; use [`Registry::open`] to
-    /// handle that as an error.
-    #[must_use]
-    pub fn new(config: RegistryConfig) -> Self {
-        Self::open(config).expect("durable store failed to open")
-    }
-
     /// Builds a registry. With `config.store` set, opens the durable log,
     /// recovers every live session, and parks each as an
     /// evicted-with-snapshot entry — the first touch restores it (replaying
     /// the transcript for mid-learning sessions), the same mechanism TTL
-    /// eviction uses. Session id assignment resumes above every id the
-    /// log has ever seen.
+    /// eviction uses. Uploaded datasets re-register with the catalog, so
+    /// sessions created over them restore too. Session id assignment
+    /// resumes above every id the log has ever seen.
+    ///
+    /// (There is deliberately no panicking constructor: with durability
+    /// configured, construction does I/O and recovery, and every caller
+    /// must decide what an unopenable store means for it.)
     ///
     /// # Errors
-    /// [`ServiceError::Store`] if the durable store cannot be opened.
+    /// [`ServiceError::Store`] if the durable store cannot be opened;
+    /// [`ServiceError::InvalidDataset`] if a logged dataset definition no
+    /// longer validates (it was validated when uploaded, so this means
+    /// the log and the code disagree — refuse loudly rather than strand
+    /// the sessions created over it).
     pub fn open(config: RegistryConfig) -> Result<Self, ServiceError> {
         let shards = config.shards.max(1);
         let mut next_id = 1u64;
         let mut recovered = Vec::new();
+        let mut recovered_datasets = Vec::new();
         let store = match &config.store {
             Some(cfg) => {
                 let (store, state) =
                     SessionStore::open(cfg).map_err(|e| ServiceError::Store(e.to_string()))?;
                 next_id = state.max_session_id + 1;
                 recovered = state.sessions;
+                recovered_datasets = state.datasets;
                 Some(Mutex::new(store))
             }
             None => None,
         };
+        let catalog = DatasetCatalog::new();
+        for def in recovered_datasets {
+            let built = catalog.prepare(&def)?;
+            catalog.install(&def.name, built);
+        }
         let registry = Registry {
             config,
             shards: (0..shards).map(|_| Mutex::new(HashMap::new())).collect(),
             snapshots: Mutex::new(HashMap::new()),
+            catalog,
+            catalog_lock: Mutex::new(()),
             restore_locks: (0..shards).map(|_| Mutex::new(())).collect(),
             store,
             snap_clock: AtomicU64::new(0),
@@ -353,8 +370,7 @@ impl Registry {
     /// Dataset and driver failures.
     pub fn create_session(&self, spec: CreateSpec) -> Result<(u64, StepOutcome), ServiceError> {
         self.maybe_sweep();
-        let (store, hints) = dataset::build(&spec.dataset, spec.size)?;
-        let store = Arc::new(store);
+        let (store, hints) = self.catalog.get(&spec.dataset, spec.size)?;
         let driver = driver::spawn(Arc::clone(&store), hints, spec.learner, Vec::new());
         driver
             .cmd_tx
@@ -609,6 +625,68 @@ impl Registry {
             entry.last_touch = Instant::now();
             Ok((Arc::clone(&entry.store), entry.learned.clone()))
         })
+    }
+
+    /// Resolves a catalog dataset (built-in or uploaded) to its shared
+    /// built store and hints.
+    ///
+    /// # Errors
+    /// [`ServiceError::InvalidSize`], [`ServiceError::UnknownDataset`].
+    pub fn dataset(
+        &self,
+        name: &str,
+        size: usize,
+    ) -> Result<(Arc<DataStore>, DomainHints), ServiceError> {
+        self.catalog.get(name, size)
+    }
+
+    /// Registers a user-uploaded dataset: validated and built first,
+    /// logged durably (when a store is configured), then made visible in
+    /// the catalog — a crash at any point either has the registration in
+    /// the log or nowhere.
+    ///
+    /// # Errors
+    /// [`ServiceError::DatasetConflict`] on name collisions (built-ins
+    /// and existing uploads), [`ServiceError::InvalidDataset`] on
+    /// validation failures, [`ServiceError::Store`] on log failures.
+    pub fn upload_dataset(&self, def: DatasetDef) -> Result<DatasetInfo, ServiceError> {
+        let _guard = self.catalog_lock.lock().expect("catalog lock poisoned");
+        let built = self.catalog.prepare(&def)?;
+        let info = DatasetInfo {
+            name: def.name.clone(),
+            builtin: false,
+            arity: built.store.bridge().n(),
+            objects: Some(built.store.boolean().len() as u64),
+        };
+        self.log_append(&LogRecord::DatasetRegistered { def })?;
+        self.catalog.install(&info.name, built);
+        Ok(info)
+    }
+
+    /// Drops an uploaded dataset from the catalog, durably. Sessions
+    /// already running over it keep their shared store; evicted sessions
+    /// referencing it will fail to restore with `UnknownDataset`.
+    ///
+    /// # Errors
+    /// [`ServiceError::DatasetConflict`] for built-in names,
+    /// [`ServiceError::UnknownDataset`] for unregistered ones,
+    /// [`ServiceError::Store`] on log failures.
+    pub fn drop_dataset(&self, name: &str) -> Result<(), ServiceError> {
+        let _guard = self.catalog_lock.lock().expect("catalog lock poisoned");
+        let built = self.catalog.remove(name)?;
+        if let Err(e) = self.log_append(&LogRecord::DatasetDropped { name: name.into() }) {
+            // Compensate: the drop never became durable, so it must not
+            // be visible either.
+            self.catalog.install(name, built);
+            return Err(e);
+        }
+        Ok(())
+    }
+
+    /// The catalog listing: built-ins first, then uploads in name order.
+    #[must_use]
+    pub fn list_datasets(&self) -> Vec<DatasetInfo> {
+        self.catalog.list()
     }
 
     /// The shared metrics registry (latency histograms, phase counters).
@@ -941,8 +1019,10 @@ impl Registry {
         };
         let snap = persist::session_from_json(&record.json)
             .map_err(|e| ServiceError::Engine(e.to_string()))?;
-        let (store, hints) = dataset::build(&record.spec.dataset, record.spec.size)?;
-        let store = Arc::new(store);
+        // The catalog shares one built store per dataset: a restore no
+        // longer pays a full `dataset::build` (measured in
+        // `benches/service.rs`, `restore_from_snapshot`).
+        let (store, hints) = self.catalog.get(&record.spec.dataset, record.spec.size)?;
         let driver = driver::spawn(
             Arc::clone(&store),
             hints,
@@ -1075,7 +1155,14 @@ fn snapshot_record_from_persisted(session: PersistedSession) -> SnapshotRecord {
         json,
         spec: CreateSpec {
             dataset: session.meta.dataset,
-            size: session.meta.size,
+            // Logs written before explicit-zero validation encoded
+            // "default" as 0; normalize here so those sessions stay
+            // restorable (the catalog rejects 0 for new requests).
+            size: if session.meta.size == 0 {
+                crate::dataset::DEFAULT_SIZE
+            } else {
+                session.meta.size
+            },
             learner: session.meta.learner,
             max_questions: session.meta.max_questions,
         },
@@ -1160,7 +1247,7 @@ mod tests {
 
     #[test]
     fn end_to_end_learn_verify_in_registry() {
-        let reg = Registry::new(RegistryConfig::default());
+        let reg = Registry::open(RegistryConfig::default()).unwrap();
         let target = parse_with_arity("all x1; some x2 x3", 3).unwrap();
         let (id, first) = reg.create_session(spec(LearnerKind::Qhorn1)).unwrap();
         let learned = drive_to_done(&reg, id, first, &target);
@@ -1189,7 +1276,7 @@ mod tests {
 
     #[test]
     fn wrong_state_requests_are_rejected() {
-        let reg = Registry::new(RegistryConfig::default());
+        let reg = Registry::open(RegistryConfig::default()).unwrap();
         let (id, _) = reg.create_session(spec(LearnerKind::Qhorn1)).unwrap();
         // Verify before learning finished.
         assert!(matches!(
@@ -1214,7 +1301,7 @@ mod tests {
             ttl: Duration::from_millis(0),
             ..Default::default()
         };
-        let reg = Registry::new(config);
+        let reg = Registry::open(config).unwrap();
         let target = parse_with_arity("some x1 x2", 3).unwrap();
         let (id, first) = reg.create_session(spec(LearnerKind::Qhorn1)).unwrap();
         let learned = drive_to_done(&reg, id, first, &target);
@@ -1236,7 +1323,7 @@ mod tests {
             ttl: Duration::from_millis(0),
             ..Default::default()
         };
-        let reg = Registry::new(config);
+        let reg = Registry::open(config).unwrap();
         let target = parse_with_arity("all x1; some x2 x3", 3).unwrap();
         let (id, mut outcome) = reg
             .create_session(spec(LearnerKind::RolePreserving))
@@ -1277,7 +1364,7 @@ mod tests {
 
     #[test]
     fn correction_replay_recovers_from_a_flip() {
-        let reg = Registry::new(RegistryConfig::default());
+        let reg = Registry::open(RegistryConfig::default()).unwrap();
         let target = parse_with_arity("all x1; some x2 x3", 3).unwrap();
         let (id, mut outcome) = reg
             .create_session(spec(LearnerKind::RolePreserving))
@@ -1320,7 +1407,7 @@ mod tests {
 
     #[test]
     fn bad_verification_queries_do_not_corrupt_done_sessions() {
-        let reg = Registry::new(RegistryConfig::default());
+        let reg = Registry::open(RegistryConfig::default()).unwrap();
         let target = parse_with_arity("all x1; some x2 x3", 3).unwrap();
         let (id, first) = reg.create_session(spec(LearnerKind::Qhorn1)).unwrap();
         drive_to_done(&reg, id, first, &target);
@@ -1364,7 +1451,7 @@ mod tests {
 
     #[test]
     fn failure_message_is_preserved_across_requests() {
-        let reg = Registry::new(RegistryConfig::default());
+        let reg = Registry::open(RegistryConfig::default()).unwrap();
         let target = parse_with_arity("all x1; some x2 x3", 3).unwrap();
         let tiny_budget = CreateSpec {
             max_questions: Some(2),
@@ -1390,7 +1477,7 @@ mod tests {
 
     #[test]
     fn second_correction_keeps_the_first() {
-        let reg = Registry::new(RegistryConfig::default());
+        let reg = Registry::open(RegistryConfig::default()).unwrap();
         let target = parse_with_arity("all x1; some x2 x3", 3).unwrap();
         let (id, mut outcome) = reg
             .create_session(spec(LearnerKind::RolePreserving))
@@ -1441,7 +1528,7 @@ mod tests {
             max_snapshots: Some(1),
             ..Default::default()
         };
-        let reg = Registry::new(config);
+        let reg = Registry::open(config).unwrap();
         let target = parse_with_arity("some x1 x2", 3).unwrap();
         let (first, step) = reg.create_session(spec(LearnerKind::Qhorn1)).unwrap();
         drive_to_done(&reg, first, step, &target);
@@ -1462,10 +1549,11 @@ mod tests {
 
     #[test]
     fn sessions_shard_across_stripes() {
-        let reg = Registry::new(RegistryConfig {
+        let reg = Registry::open(RegistryConfig {
             shards: 4,
             ..Default::default()
-        });
+        })
+        .unwrap();
         let target = parse_with_arity("some x1", 3).unwrap();
         let mut ids = Vec::new();
         for _ in 0..8 {

@@ -17,12 +17,15 @@ use std::sync::Arc;
 use std::time::Duration;
 
 fn start_server(workers: usize) -> Server {
-    let registry = Arc::new(Registry::new(RegistryConfig {
-        shards: 8,
-        ttl: Duration::from_secs(300),
-        driver_timeout: Duration::from_secs(20),
-        ..RegistryConfig::default()
-    }));
+    let registry = Arc::new(
+        Registry::open(RegistryConfig {
+            shards: 8,
+            ttl: Duration::from_secs(300),
+            driver_timeout: Duration::from_secs(20),
+            ..RegistryConfig::default()
+        })
+        .expect("open registry"),
+    );
     Server::start("127.0.0.1:0", registry, workers).expect("bind server")
 }
 

@@ -12,13 +12,66 @@
 
 use qhorn_core::{Obj, Query, Response};
 use qhorn_engine::session::LearnerKind;
+use qhorn_relation::{
+    Attr, AttrType, DataTuple, DatasetDef, DomainHints, FlatSchema, NestedObject, NestedRelation,
+    NestedSchema, Proposition, Value,
+};
 use qhorn_service::proto::{Reply, Request, StepReply};
 use qhorn_service::registry::{Registry, RegistryConfig};
 use qhorn_service::{Client, HttpServer, Server};
 use std::sync::Arc;
 
 fn fresh_registry() -> Arc<Registry> {
-    Arc::new(Registry::new(RegistryConfig::default()))
+    Arc::new(Registry::open(RegistryConfig::default()).unwrap())
+}
+
+/// A small user dataset: `Shelf(label, Item(isFresh, isLocal, isOrganic))`
+/// with three Boolean propositions — arity 3, like the built-ins, so the
+/// same target queries drive it.
+fn pantry_def() -> DatasetDef {
+    let schema = NestedSchema::new(
+        "Shelf",
+        FlatSchema::new([Attr::new("label", AttrType::Str)]).unwrap(),
+        "Item",
+        FlatSchema::new([
+            Attr::new("isFresh", AttrType::Bool),
+            Attr::new("isLocal", AttrType::Bool),
+            Attr::new("isOrganic", AttrType::Bool),
+        ])
+        .unwrap(),
+    );
+    let item = |fresh: bool, local: bool, organic: bool| {
+        DataTuple::new([Value::Bool(fresh), Value::Bool(local), Value::Bool(organic)])
+    };
+    let mut relation = NestedRelation::new(schema);
+    for (label, items) in [
+        (
+            "Top",
+            vec![item(true, true, true), item(true, false, false)],
+        ),
+        ("Middle", vec![item(false, true, false)]),
+        (
+            "Bottom",
+            vec![item(true, true, false), item(false, false, true)],
+        ),
+    ] {
+        relation
+            .push(NestedObject::new(
+                DataTuple::new([Value::str(label)]),
+                items,
+            ))
+            .unwrap();
+    }
+    DatasetDef {
+        name: "pantry".into(),
+        relation,
+        propositions: vec![
+            Proposition::is_true("fresh", "isFresh"),
+            Proposition::is_true("local", "isLocal"),
+            Proposition::is_true("organic", "isOrganic"),
+        ],
+        hints: DomainHints::none(),
+    }
 }
 
 /// One scripted step's observable outcome.
@@ -163,6 +216,77 @@ fn run_script(client: &mut Client) -> (Vec<String>, Reply) {
         workers: 1,
     });
 
+    // -- Dataset catalog: upload, list, learn over the upload, evaluate,
+    // and every new error path — identical over both transports. --------
+    let def = pantry_def();
+    s.send(&Request::UploadDataset { def: def.clone() });
+    s.send(&Request::ListDatasets);
+    // Session 3 learns over the uploaded dataset.
+    let first_c = s.step(&Request::CreateSession {
+        dataset: "pantry".into(),
+        size: 10,
+        learner: LearnerKind::Qhorn1,
+        max_questions: Some(10_000),
+    });
+    s.drive(3, first_c, &target_b, false);
+    s.send(&Request::ExportQuery {
+        session: 3,
+        format: "unicode".into(),
+    });
+    s.send(&Request::EvaluateBatch {
+        session: None,
+        dataset: Some("pantry".into()),
+        size: 10,
+        query: Some("all x1".into()),
+        workers: 1,
+    });
+    // Error paths: explicit size 0 (422-mapped validation, not a silent
+    // default), collision with a built-in, collision with the upload, a
+    // malformed schema (proposition over a missing attribute), dropping
+    // an unknown upload name, and dropping a built-in.
+    s.send(&Request::CreateSession {
+        dataset: "pantry".into(),
+        size: 0,
+        learner: LearnerKind::Qhorn1,
+        max_questions: None,
+    });
+    s.send(&Request::EvaluateBatch {
+        session: None,
+        dataset: Some("cellars".into()),
+        size: 0,
+        query: Some("all x1".into()),
+        workers: 1,
+    });
+    let mut builtin_collision = def.clone();
+    builtin_collision.name = "chocolates".into();
+    s.send(&Request::UploadDataset {
+        def: builtin_collision,
+    });
+    s.send(&Request::UploadDataset { def: def.clone() });
+    let mut malformed = def.clone();
+    malformed
+        .propositions
+        .push(Proposition::is_true("ghost", "noSuchAttr"));
+    malformed.name = "broken".into();
+    s.send(&Request::UploadDataset { def: malformed });
+    s.send(&Request::DropDataset {
+        name: "ghost".into(),
+    });
+    s.send(&Request::DropDataset {
+        name: "cellars".into(),
+    });
+    // Drop the upload; creating over it afterwards is unknown-dataset.
+    s.send(&Request::DropDataset {
+        name: "pantry".into(),
+    });
+    s.send(&Request::ListDatasets);
+    s.send(&Request::CreateSession {
+        dataset: "pantry".into(),
+        size: 10,
+        learner: LearnerKind::Qhorn1,
+        max_questions: None,
+    });
+
     // Terminal-state idempotent reads.
     s.send(&Request::NextQuestion { session: 1 });
     s.send(&Request::NextQuestion { session: 2 });
@@ -219,7 +343,10 @@ fn tcp_and_http_frontends_are_byte_identical() {
     };
     assert_eq!(tcp.phases, http.phases);
     assert_eq!(tcp.learn_runs, http.learn_runs);
-    assert!(tcp.learn_runs >= 3, "A learned twice and B once");
+    assert!(
+        tcp.learn_runs >= 4,
+        "A learned twice, B once, C (pantry) once"
+    );
     let counts = |snap: &qhorn_service::metrics::MetricsSnapshot| {
         snap.histograms
             .iter()

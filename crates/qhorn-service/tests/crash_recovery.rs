@@ -7,6 +7,10 @@
 use qhorn_core::query::equiv::equivalent;
 use qhorn_core::{Obj, Query};
 use qhorn_engine::session::LearnerKind;
+use qhorn_relation::{
+    Attr, AttrType, DataTuple, DatasetDef, DomainHints, FlatSchema, NestedObject, NestedRelation,
+    NestedSchema, Proposition, Value,
+};
 use qhorn_service::proto::{Reply, Request, StepReply};
 use qhorn_service::registry::{Registry, RegistryConfig};
 use qhorn_service::store::{FsyncPolicy, StoreConfig};
@@ -218,6 +222,203 @@ fn dropped_server_recovers_every_session_from_the_log() {
     assert!(b_questions >= b_answered);
 
     server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// `Garden(bed, Plant(isEdible, isPerennial, isNative))` — an uploaded
+/// dataset with the same arity as the built-ins.
+fn garden_def() -> DatasetDef {
+    let schema = NestedSchema::new(
+        "Garden",
+        FlatSchema::new([Attr::new("bed", AttrType::Str)]).unwrap(),
+        "Plant",
+        FlatSchema::new([
+            Attr::new("isEdible", AttrType::Bool),
+            Attr::new("isPerennial", AttrType::Bool),
+            Attr::new("isNative", AttrType::Bool),
+        ])
+        .unwrap(),
+    );
+    let plant = |e: bool, p: bool, n: bool| {
+        DataTuple::new([Value::Bool(e), Value::Bool(p), Value::Bool(n)])
+    };
+    let mut relation = NestedRelation::new(schema);
+    for (bed, plants) in [
+        (
+            "North",
+            vec![plant(true, true, true), plant(false, true, false)],
+        ),
+        ("South", vec![plant(true, false, false)]),
+    ] {
+        relation
+            .push(NestedObject::new(DataTuple::new([Value::str(bed)]), plants))
+            .unwrap();
+    }
+    DatasetDef {
+        name: "garden".into(),
+        relation,
+        propositions: vec![
+            Proposition::is_true("edible", "isEdible"),
+            Proposition::is_true("perennial", "isPerennial"),
+            Proposition::is_true("native", "isNative"),
+        ],
+        hints: DomainHints::none(),
+    }
+}
+
+#[test]
+fn sessions_over_uploaded_datasets_survive_a_hard_crash() {
+    let dir = temp_dir("uploaded");
+    let target = qhorn_lang::parse_with_arity("all x1; some x2 x3", 3).unwrap();
+
+    // --- First life: upload, learn over the upload, leave one session
+    // mid-learning over it, and drop nothing. ---------------------------
+    let server = start_server(&dir);
+    let mut client = Client::connect(server.addr()).unwrap();
+    match client
+        .request(&Request::UploadDataset { def: garden_def() })
+        .unwrap()
+    {
+        Reply::DatasetUploaded { info } => {
+            assert_eq!(info.name, "garden");
+            assert_eq!(info.objects, Some(2));
+        }
+        other => panic!("unexpected reply {other:?}"),
+    }
+    // A: to completion over the upload.
+    let (a, step) = client
+        .step(&Request::CreateSession {
+            dataset: "garden".into(),
+            size: 10,
+            learner: LearnerKind::Qhorn1,
+            max_questions: Some(10_000),
+        })
+        .unwrap();
+    let (a_query, a_questions) = drive_to_learned(&mut client, a, step, &target);
+    assert!(equivalent(&a_query, &target));
+    // B: mid-learning over the upload, two answers in.
+    let (b, mut b_step) = client
+        .step(&Request::CreateSession {
+            dataset: "garden".into(),
+            size: 10,
+            learner: LearnerKind::RolePreserving,
+            max_questions: Some(10_000),
+        })
+        .unwrap();
+    for _ in 0..2 {
+        match b_step {
+            StepReply::Question { question, .. } => {
+                b_step = client
+                    .step(&Request::Answer {
+                        session: b,
+                        response: target.eval(&question),
+                    })
+                    .unwrap()
+                    .1;
+            }
+            other => panic!("B finished too early: {other:?}"),
+        }
+    }
+
+    // --- The crash: nothing flushed or snapshotted on the way out. ------
+    drop(client);
+    drop(server);
+
+    // --- Second life: the dataset re-registers from its log record and
+    // both sessions resume over it. -------------------------------------
+    let registry = Arc::new(Registry::open(durable_config(&dir)).expect("recovery"));
+    let listed = registry.list_datasets();
+    let garden = listed
+        .iter()
+        .find(|d| d.name == "garden")
+        .expect("uploaded dataset recovered");
+    assert!(!garden.builtin);
+    assert_eq!(garden.objects, Some(2));
+    let server = Server::start("127.0.0.1:0", Arc::clone(&registry), 2).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+    // A resumes Done with the identical learned query.
+    match client.step(&Request::NextQuestion { session: a }).unwrap() {
+        (
+            _,
+            StepReply::Learned {
+                query_json,
+                questions,
+                ..
+            },
+        ) => {
+            assert_eq!(query_json, a_query);
+            assert_eq!(questions, a_questions);
+        }
+        (_, other) => panic!("A did not resume Done: {other:?}"),
+    }
+    // B resumes mid-learning and completes to the target.
+    let (_, step) = client.step(&Request::NextQuestion { session: b }).unwrap();
+    let (b_query, _) = drive_to_learned(&mut client, b, step, &target);
+    assert!(equivalent(&b_query, &target), "B learned {b_query}");
+    // New sessions over the recovered dataset work too.
+    let (c, step) = client
+        .step(&Request::CreateSession {
+            dataset: "garden".into(),
+            size: 10,
+            learner: LearnerKind::Qhorn1,
+            max_questions: Some(10_000),
+        })
+        .unwrap();
+    let (c_query, _) = drive_to_learned(&mut client, c, step, &target);
+    assert!(equivalent(&c_query, &target));
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn legacy_size_zero_sessions_still_restore() {
+    // Logs written before explicit-size validation encoded "default" as
+    // size 0. Recovery must normalize that, not reject every touch of
+    // the session with an InvalidSize error forever.
+    use qhorn_service::store::{LogRecord, SessionMeta, SessionStore};
+    let dir = temp_dir("legacy-size");
+    {
+        let cfg = StoreConfig {
+            fsync: FsyncPolicy::Always,
+            ..StoreConfig::new(dir.to_path_buf())
+        };
+        let (mut store, _) = SessionStore::open(&cfg).unwrap();
+        store
+            .append(&LogRecord::SessionCreated {
+                id: 1,
+                meta: SessionMeta {
+                    dataset: "chocolates".into(),
+                    size: 0,
+                    learner: LearnerKind::Qhorn1,
+                    max_questions: Some(10_000),
+                },
+            })
+            .unwrap();
+    }
+    let registry = Registry::open(durable_config(&dir)).unwrap();
+    match registry.next_question(1) {
+        Ok(qhorn_service::registry::StepOutcome::Question(_)) => {}
+        other => panic!("legacy session did not restore with a question: {other:?}"),
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn dropped_datasets_stay_dropped_after_a_crash() {
+    let dir = temp_dir("dropped-dataset");
+    {
+        let registry = Registry::open(durable_config(&dir)).unwrap();
+        registry.upload_dataset(garden_def()).unwrap();
+        registry.drop_dataset("garden").unwrap();
+        // Crash without shutdown.
+    }
+    let registry = Registry::open(durable_config(&dir)).unwrap();
+    assert!(
+        registry.list_datasets().iter().all(|d| d.name != "garden"),
+        "dropped dataset must not resurrect"
+    );
+    // And re-uploading under the freed name works.
+    registry.upload_dataset(garden_def()).unwrap();
     let _ = std::fs::remove_dir_all(&dir);
 }
 

@@ -165,6 +165,27 @@ Content-Length: 47
 {"dataset":"chocolates","learner":"no_such_one"}"#
             .to_vec(),
     ];
+    // Malformed dataset uploads: empty, wrong-typed schema, unvalidated
+    // propositions, and a drop without a name.
+    let post = |route: &str, body: &str| {
+        format!(
+            "POST {route} HTTP/1.1\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        )
+        .into_bytes()
+    };
+    corpus.push(post("/v1/dataset/upload", "{}"));
+    corpus.push(post("/v1/dataset/upload", "not json"));
+    corpus.push(post(
+        "/v1/dataset/upload",
+        r#"{"name":"x","schema":42,"objects":[],"propositions":[]}"#,
+    ));
+    corpus.push(post(
+        "/v1/dataset/upload",
+        r#"{"name":"x","schema":{"name":"R","attrs":[],"embedded_name":"E","embedded":[{"name":"a","type":"bool"}]},"objects":[{"attrs":[],"tuples":[[1,2,3]]}],"propositions":[]}"#,
+    ));
+    corpus.push(post("/v1/dataset/drop", "{}"));
+    corpus.push(post("/v1/dataset/drop", r#"{"name":17}"#));
     // Oversized head: a single enormous header.
     let mut big = b"GET /v1/stats HTTP/1.1\r\nX-Pad: ".to_vec();
     big.extend(std::iter::repeat_n(b'a', 64 * 1024));
@@ -194,6 +215,12 @@ fn lines_corpus() -> Vec<Vec<u8>> {
         b"{\"type\":\"create_session\",\"dataset\":17,\"learner\":\"qhorn1\"}\n".to_vec(),
         b"{\"type\":\"create_session\",\"dataset\":\"chocolates\",\"size\":99999999,\"learner\":\"qhorn1\"}\n".to_vec(),
         b"{\"type\":\"evaluate_batch\"}\n".to_vec(),
+        b"{\"type\":\"upload_dataset\"}\n".to_vec(),
+        b"{\"type\":\"upload_dataset\",\"name\":\"x\",\"schema\":{},\"objects\":[],\"propositions\":[]}\n"
+            .to_vec(),
+        b"{\"type\":\"drop_dataset\"}\n".to_vec(),
+        b"{\"type\":\"create_session\",\"dataset\":\"chocolates\",\"size\":0,\"learner\":\"qhorn1\"}\n"
+            .to_vec(),
         b"{\"type\":\"stats\"".to_vec(), // truncated, never newline-terminated
         b"\xff\xfe\x00\n".to_vec(),     // not UTF-8
         b"\n\n\n\n".to_vec(),           // blank lines only
@@ -209,7 +236,7 @@ fn lines_corpus() -> Vec<Vec<u8>> {
 
 #[test]
 fn http_corpus_never_kills_the_server() {
-    let registry = Arc::new(Registry::new(RegistryConfig::default()));
+    let registry = Arc::new(Registry::open(RegistryConfig::default()).unwrap());
     let server = HttpServer::start("127.0.0.1:0", registry, 1).expect("http server");
     let addr = server.addr();
     for (i, bytes) in http_corpus().iter().enumerate() {
@@ -248,7 +275,7 @@ fn http_corpus_never_kills_the_server() {
 
 #[test]
 fn lines_corpus_never_kills_the_server() {
-    let registry = Arc::new(Registry::new(RegistryConfig::default()));
+    let registry = Arc::new(Registry::open(RegistryConfig::default()).unwrap());
     let server = Server::start("127.0.0.1:0", registry, 1).expect("tcp server");
     let addr = server.addr();
     for bytes in &lines_corpus() {
@@ -269,7 +296,7 @@ fn lines_corpus_never_kills_the_server() {
 /// (framing is untrusted) but the *server* still alive.
 #[test]
 fn keep_alive_connection_survives_until_the_garbage() {
-    let registry = Arc::new(Registry::new(RegistryConfig::default()));
+    let registry = Arc::new(Registry::open(RegistryConfig::default()).unwrap());
     let server = HttpServer::start("127.0.0.1:0", registry, 1).expect("http server");
     let addr = server.addr();
     let mut stream = TcpStream::connect(addr).expect("connect");
@@ -317,7 +344,7 @@ proptest! {
     ) {
         static SERVER: std::sync::OnceLock<(SocketAddr, HttpServer)> = std::sync::OnceLock::new();
         let (addr, _) = SERVER.get_or_init(|| {
-            let registry = Arc::new(Registry::new(RegistryConfig::default()));
+            let registry = Arc::new(Registry::open(RegistryConfig::default()).unwrap());
             let server = HttpServer::start("127.0.0.1:0", registry, 1).expect("http server");
             (server.addr(), server)
         });
@@ -346,7 +373,7 @@ proptest! {
         let mut line = line;
         static SERVER: std::sync::OnceLock<(SocketAddr, Server)> = std::sync::OnceLock::new();
         let (addr, _) = SERVER.get_or_init(|| {
-            let registry = Arc::new(Registry::new(RegistryConfig::default()));
+            let registry = Arc::new(Registry::open(RegistryConfig::default()).unwrap());
             let server = Server::start("127.0.0.1:0", registry, 1).expect("tcp server");
             (server.addr(), server)
         });

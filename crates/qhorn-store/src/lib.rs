@@ -12,7 +12,8 @@
 //! * **Append-only log** ([`SessionStore::append`]) — segmented files of
 //!   length-prefixed, CRC-32-checksummed JSON records ([`LogRecord`]:
 //!   `SessionCreated`, `ExchangeAppended`, `Corrected`, `QueryLearned`,
-//!   `SessionClosed`, `SnapshotWritten`), with a configurable
+//!   `SessionClosed`, `DatasetRegistered`/`DatasetDropped` for uploaded
+//!   dataset definitions, `SnapshotWritten`), with a configurable
 //!   [`FsyncPolicy`] (`Always` / `EveryN` / `Never`). One shared log for
 //!   all sessions (not file-per-session): a single fsync stream batches
 //!   durability across concurrent dialogues, and compaction/recovery scan

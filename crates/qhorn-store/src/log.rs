@@ -46,6 +46,10 @@ const SNAPSHOT_TMP: &str = "snapshot.qsnap.tmp";
 pub struct RecoveredState {
     /// Live (non-closed) sessions, in id order.
     pub sessions: Vec<PersistedSession>,
+    /// Registered (and not since dropped) uploaded datasets, in name
+    /// order — the service re-registers these with its catalog so
+    /// recovered sessions over uploaded data can rebuild their stores.
+    pub datasets: Vec<qhorn_relation::DatasetDef>,
     /// Highest session id ever logged (live or closed); resume id
     /// assignment above this.
     pub max_session_id: u64,
@@ -155,6 +159,7 @@ impl SessionStore {
             .open(segment_path(&config.dir, active_index))?;
 
         let max_session_id = replayer.max_id();
+        let datasets = replayer.take_datasets();
         let sessions = replayer.finish();
         let store = SessionStore {
             dir: config.dir.clone(),
@@ -177,6 +182,7 @@ impl SessionStore {
             store,
             RecoveredState {
                 sessions,
+                datasets,
                 max_session_id,
             },
         ))
@@ -298,7 +304,8 @@ impl SessionStore {
         boundary: u64,
     ) -> Result<(), StoreError> {
         // Everything currently on disk reflects records up to last_seq.
-        let disk = self.replay_disk()?;
+        let mut disk = self.replay_disk()?;
+        let datasets = disk.take_datasets();
         let through = self.last_seq();
         let mut merged: BTreeMap<u64, SnapshotEntry> = disk
             .finish_entries()
@@ -335,6 +342,23 @@ impl SessionStore {
             let _ = d.sync_all();
         }
 
+        // Dataset registrations live only in the log (session snapshots do
+        // not carry them), so re-append the current registrations into the
+        // post-boundary log *before* deleting the segments that held the
+        // originals — a crash between the two steps must not lose any.
+        // Replay is last-wins, so the duplicates a crash can leave behind
+        // are harmless.
+        for def in &datasets {
+            self.append(&LogRecord::DatasetRegistered { def: def.clone() })?;
+        }
+        if !datasets.is_empty() {
+            // The originals may have been durable for days; the
+            // re-appends must hit disk before the files holding the
+            // originals are unlinked, regardless of fsync policy —
+            // otherwise power loss in the window loses both copies.
+            self.sync()?;
+        }
+
         for &(index, _) in self.sealed.iter().filter(|&&(index, _)| index < boundary) {
             let _ = fs::remove_file(segment_path(&self.dir, index));
         }
@@ -360,8 +384,17 @@ impl SessionStore {
         Ok(replayer.finish().into_iter().find(|s| s.id == id))
     }
 
-    /// Replays the full current disk state (snapshot + every segment,
-    /// torn tails skipped) into a fresh [`Replayer`].
+    /// Replays the full current disk state (snapshot + every segment)
+    /// into a fresh [`Replayer`].
+    ///
+    /// An incomplete or checksum-failing **physical tail** is skipped, as
+    /// at recovery — a crash can legitimately leave one. A CRC-valid
+    /// frame whose payload does not decode is a different animal: appends
+    /// only ever frame decodable payloads, so one of these means the file
+    /// was corrupted in place, and silently dropping every record behind
+    /// it (as this method once did) would serve readers a truncated
+    /// history as if it were complete. Surfaced as
+    /// [`StoreError::Corrupt`] instead.
     fn replay_disk(&self) -> Result<Replayer, StoreError> {
         let (entries, _) = read_snapshot(&self.dir.join(SNAPSHOT_FILE))?;
         let mut replayer = Replayer::new();
@@ -375,10 +408,13 @@ impl SessionStore {
                 Err(_) => continue,
             };
             let (frames, _) = scan_frames(&bytes);
-            for (_, payload) in frames {
-                let Ok((seq, rec)) = LogRecord::from_payload(&payload) else {
-                    break;
-                };
+            for (end, payload) in frames {
+                let (seq, rec) = LogRecord::from_payload(&payload).map_err(|e| {
+                    StoreError::Corrupt(format!(
+                        "undecodable record ending at byte {end} of {}: {e}",
+                        path.display()
+                    ))
+                })?;
                 replayer.apply(seq, rec);
             }
         }

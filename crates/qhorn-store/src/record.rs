@@ -8,6 +8,7 @@
 use qhorn_core::{Obj, Query, Response};
 use qhorn_engine::session::{Exchange, LearnerKind};
 use qhorn_json::{FromJson, Json, JsonError, ToJson};
+use qhorn_relation::DatasetDef;
 use std::collections::BTreeMap;
 
 /// How a session was opened — enough for the service to rebuild the
@@ -16,7 +17,9 @@ use std::collections::BTreeMap;
 pub struct SessionMeta {
     /// Catalog dataset name.
     pub dataset: String,
-    /// Object count for generated datasets (0 = default).
+    /// Object count for generated datasets. Logs written before explicit
+    /// size validation may carry `0` (the old "default" encoding); the
+    /// service normalizes that to its default on recovery.
     pub size: usize,
     /// Which learner runs the session.
     pub learner: LearnerKind,
@@ -94,6 +97,19 @@ pub enum LogRecord {
         /// The session id.
         id: u64,
     },
+    /// A user-uploaded dataset was registered with the catalog; recovery
+    /// re-registers it so sessions created over it can rebuild their
+    /// stores. Compaction re-appends the current registrations into the
+    /// fresh log (datasets are not part of session snapshots).
+    DatasetRegistered {
+        /// The complete definition (name, relation, propositions, hints).
+        def: DatasetDef,
+    },
+    /// A user-uploaded dataset was dropped; recovery forgets it.
+    DatasetDropped {
+        /// The dropped dataset's catalog name.
+        name: String,
+    },
     /// A snapshot file was written covering everything up to
     /// `through_seq` (informational marker; recovery ignores it).
     SnapshotWritten {
@@ -115,6 +131,8 @@ impl LogRecord {
             LogRecord::QueryLearned { .. } => "query_learned",
             LogRecord::Verified { .. } => "verified",
             LogRecord::SessionClosed { .. } => "session_closed",
+            LogRecord::DatasetRegistered { .. } => "dataset_registered",
+            LogRecord::DatasetDropped { .. } => "dataset_dropped",
             LogRecord::SnapshotWritten { .. } => "snapshot_written",
         }
     }
@@ -130,7 +148,9 @@ impl LogRecord {
             | LogRecord::QueryLearned { id, .. }
             | LogRecord::Verified { id, .. }
             | LogRecord::SessionClosed { id } => Some(*id),
-            LogRecord::SnapshotWritten { .. } => None,
+            LogRecord::DatasetRegistered { .. }
+            | LogRecord::DatasetDropped { .. }
+            | LogRecord::SnapshotWritten { .. } => None,
         }
     }
 
@@ -172,6 +192,12 @@ impl LogRecord {
             }
             LogRecord::SessionClosed { id } => {
                 pairs.push(("id".into(), id.to_json()));
+            }
+            LogRecord::DatasetRegistered { def } => {
+                pairs.push(("def".into(), def.to_json()));
+            }
+            LogRecord::DatasetDropped { name } => {
+                pairs.push(("name".into(), name.to_json()));
             }
             LogRecord::SnapshotWritten {
                 through_seq,
@@ -230,6 +256,12 @@ impl LogRecord {
             },
             "session_closed" => LogRecord::SessionClosed {
                 id: u64::from_json(j.field("id")?)?,
+            },
+            "dataset_registered" => LogRecord::DatasetRegistered {
+                def: DatasetDef::from_json(j.field("def")?)?,
+            },
+            "dataset_dropped" => LogRecord::DatasetDropped {
+                name: String::from_json(j.field("name")?)?,
             },
             "snapshot_written" => LogRecord::SnapshotWritten {
                 through_seq: u64::from_json(j.field("through_seq")?)?,
@@ -337,9 +369,11 @@ impl FromJson for SnapshotEntry {
     }
 }
 
-/// Replay state: sessions being rebuilt, keyed by id.
+/// Replay state: sessions being rebuilt, keyed by id, plus the registered
+/// dataset definitions (keyed by name, last registration wins).
 pub(crate) struct Replayer {
     sessions: BTreeMap<u64, SnapshotEntry>,
+    datasets: BTreeMap<String, DatasetDef>,
     /// Highest session id ever seen, including closed sessions — the
     /// registry resumes id assignment above this so a closed id is never
     /// reused (reuse would make old log records apply to the new session).
@@ -350,6 +384,7 @@ impl Replayer {
     pub(crate) fn new() -> Self {
         Replayer {
             sessions: BTreeMap::new(),
+            datasets: BTreeMap::new(),
             max_id: 0,
         }
     }
@@ -420,6 +455,14 @@ impl Replayer {
                 // id assignment resumes above `max_id`) starts fresh.
                 self.sessions.remove(&id);
             }
+            // Datasets are not snapshot-covered, so no `through_seq`
+            // gating: records apply in seq order, last one wins.
+            LogRecord::DatasetRegistered { def } => {
+                self.datasets.insert(def.name.clone(), def);
+            }
+            LogRecord::DatasetDropped { name } => {
+                self.datasets.remove(&name);
+            }
             LogRecord::SnapshotWritten { .. } => {}
         }
     }
@@ -433,6 +476,12 @@ impl Replayer {
     /// Highest session id ever seen (live or closed).
     pub(crate) fn max_id(&self) -> u64 {
         self.max_id
+    }
+
+    /// Drains the registered (and not since dropped) dataset definitions,
+    /// in name order.
+    pub(crate) fn take_datasets(&mut self) -> Vec<DatasetDef> {
+        std::mem::take(&mut self.datasets).into_values().collect()
     }
 
     /// Finishes replay: live sessions in id order.
@@ -469,6 +518,10 @@ mod tests {
         }
     }
 
+    fn dataset_def() -> DatasetDef {
+        qhorn_relation::datasets::chocolates::dataset_def("my-shop")
+    }
+
     #[test]
     fn records_round_trip_through_payloads() {
         let records = [
@@ -493,6 +546,10 @@ mod tests {
                 verified: true,
             },
             LogRecord::SessionClosed { id: 3 },
+            LogRecord::DatasetRegistered { def: dataset_def() },
+            LogRecord::DatasetDropped {
+                name: "my-shop".into(),
+            },
             LogRecord::SnapshotWritten {
                 through_seq: 41,
                 sessions: 2,
@@ -662,6 +719,39 @@ mod tests {
             },
         );
         assert_eq!(r.finish()[0].verified, Some(true));
+    }
+
+    #[test]
+    fn dataset_records_replay_with_last_registration_winning() {
+        let mut r = Replayer::new();
+        r.apply(1, LogRecord::DatasetRegistered { def: dataset_def() });
+        let mut renamed = dataset_def();
+        renamed.name = "other".into();
+        r.apply(2, LogRecord::DatasetRegistered { def: renamed });
+        // Re-registration under the same name overwrites.
+        let mut bigger = dataset_def();
+        bigger
+            .relation
+            .push(qhorn_relation::NestedObject::new(
+                qhorn_relation::DataTuple::new([qhorn_relation::Value::str("Extra")]),
+                vec![],
+            ))
+            .unwrap();
+        r.apply(3, LogRecord::DatasetRegistered { def: bigger });
+        r.apply(
+            4,
+            LogRecord::DatasetDropped {
+                name: "other".into(),
+            },
+        );
+        let datasets = r.take_datasets();
+        assert_eq!(datasets.len(), 1);
+        assert_eq!(datasets[0].name, "my-shop");
+        assert_eq!(datasets[0].relation.len(), 3, "last registration won");
+        // Dropping an unknown name is a no-op.
+        let mut r = Replayer::new();
+        r.apply(1, LogRecord::DatasetDropped { name: "x".into() });
+        assert!(r.take_datasets().is_empty());
     }
 
     #[test]

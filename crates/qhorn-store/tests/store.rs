@@ -250,6 +250,50 @@ fn records_racing_past_the_compaction_boundary_survive() {
 }
 
 #[test]
+fn dataset_registrations_survive_restart_and_compaction() {
+    let def = qhorn_relation::datasets::chocolates::dataset_def;
+    let dir = temp_dir("datasets");
+    let cfg = StoreConfig {
+        segment_max_bytes: 256,
+        ..config(&dir)
+    };
+    {
+        let (mut store, _) = SessionStore::open(&cfg).unwrap();
+        store
+            .append(&LogRecord::DatasetRegistered { def: def("shop-a") })
+            .unwrap();
+        store
+            .append(&LogRecord::DatasetRegistered { def: def("shop-b") })
+            .unwrap();
+        drive_session(&mut store, 1);
+        store
+            .append(&LogRecord::DatasetDropped {
+                name: "shop-b".into(),
+            })
+            .unwrap();
+    }
+    // Restart: registrations replay (minus the drop).
+    {
+        let (mut store, recovered) = SessionStore::open(&cfg).unwrap();
+        let names: Vec<&str> = recovered.datasets.iter().map(|d| d.name.as_str()).collect();
+        assert_eq!(names, ["shop-a"]);
+        assert_eq!(recovered.datasets[0].relation.len(), 2);
+        // Compaction deletes the segments holding the original
+        // registration records; the definitions must be re-appended into
+        // the fresh log, not lost with them.
+        let boundary = store.rotate().unwrap();
+        store.write_snapshot(&[], boundary).unwrap();
+        assert_eq!(store.stats().compactions, 1);
+    }
+    let (_, recovered) = SessionStore::open(&cfg).unwrap();
+    let names: Vec<&str> = recovered.datasets.iter().map(|d| d.name.as_str()).collect();
+    assert_eq!(names, ["shop-a"], "registration survived compaction");
+    recovered.datasets[0].validate().unwrap();
+    assert_eq!(recovered.sessions.len(), 1);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn load_session_replays_one_id_on_demand() {
     let dir = temp_dir("load");
     let cfg = config(&dir);

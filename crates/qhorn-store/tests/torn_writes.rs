@@ -7,8 +7,10 @@ use proptest::prelude::*;
 use qhorn_core::{Obj, Query, Response};
 use qhorn_engine::session::{Exchange, LearnerKind};
 use qhorn_lang::parse_with_arity;
+use qhorn_relation::datasets::chocolates;
+use qhorn_relation::DatasetDef;
 use qhorn_store::{FsyncPolicy, LogRecord, SessionMeta, SessionStore, StoreConfig};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::path::PathBuf;
 
 fn temp_dir(tag: &str) -> PathBuf {
@@ -44,6 +46,10 @@ fn exchange(bits: &str, response: Response) -> Exchange {
     }
 }
 
+fn dataset(name: &str) -> DatasetDef {
+    chocolates::dataset_def(name)
+}
+
 /// What the test expects recovery to rebuild — an independent, minimal
 /// re-implementation of replay, used as the oracle.
 #[derive(Default, Clone, PartialEq, Debug)]
@@ -54,8 +60,10 @@ struct Expected {
     verified: Option<bool>,
 }
 
-fn replay_expected(records: &[LogRecord]) -> BTreeMap<u64, Expected> {
+/// `(sessions, registered dataset names)` the durable prefix implies.
+fn replay_expected(records: &[LogRecord]) -> (BTreeMap<u64, Expected>, BTreeSet<String>) {
     let mut sessions: BTreeMap<u64, Expected> = BTreeMap::new();
+    let mut datasets: BTreeSet<String> = BTreeSet::new();
     for rec in records {
         match rec {
             LogRecord::SessionCreated { id, .. } => {
@@ -91,10 +99,16 @@ fn replay_expected(records: &[LogRecord]) -> BTreeMap<u64, Expected> {
             LogRecord::SessionClosed { id } => {
                 sessions.remove(id);
             }
+            LogRecord::DatasetRegistered { def } => {
+                datasets.insert(def.name.clone());
+            }
+            LogRecord::DatasetDropped { name } => {
+                datasets.remove(name);
+            }
             LogRecord::SnapshotWritten { .. } => {}
         }
     }
-    sessions
+    (sessions, datasets)
 }
 
 /// Builds a record history for `n_sessions` sessions; shapes vary with
@@ -103,6 +117,11 @@ fn build_records(n_sessions: u64, style: u64) -> Vec<LogRecord> {
     let q3 = parse_with_arity("all x1; some x2 x3", 3).unwrap();
     let q1 = parse_with_arity("some x1", 3).unwrap();
     let mut records = Vec::new();
+    // Dataset registrations interleave with session records; one of the
+    // two is dropped again so both directions cross truncation points.
+    records.push(LogRecord::DatasetRegistered {
+        def: dataset("alpha"),
+    });
     for id in 1..=n_sessions {
         let learner = if (id + style).is_multiple_of(2) {
             LearnerKind::Qhorn1
@@ -155,6 +174,12 @@ fn build_records(n_sessions: u64, style: u64) -> Vec<LogRecord> {
             _ => {} // left mid-learning
         }
     }
+    records.push(LogRecord::DatasetRegistered {
+        def: dataset("beta"),
+    });
+    records.push(LogRecord::DatasetDropped {
+        name: "alpha".into(),
+    });
     records
 }
 
@@ -182,9 +207,17 @@ fn check_every_truncation(records: &[LogRecord], tag: &str) {
         std::fs::write(cut_dir.join("seg-000001.qlog"), &bytes[..cut]).unwrap();
 
         let durable = ends.iter().filter(|&&end| end <= cut as u64).count();
-        let expected = replay_expected(&records[..durable]);
+        let (expected, expected_datasets) = replay_expected(&records[..durable]);
 
         let (mut store, recovered) = SessionStore::open(&config(&cut_dir)).unwrap();
+        let got_datasets: BTreeSet<String> =
+            recovered.datasets.iter().map(|d| d.name.clone()).collect();
+        assert_eq!(
+            got_datasets,
+            expected_datasets,
+            "datasets at cut {cut}/{}",
+            bytes.len()
+        );
         let got: BTreeMap<u64, Expected> = recovered
             .sessions
             .iter()
