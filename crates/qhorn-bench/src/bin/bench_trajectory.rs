@@ -1,0 +1,264 @@
+//! Perf-trajectory runner: executes the registry/store/http benchmark
+//! kernels with plain `std::time::Instant` timing and emits a
+//! machine-readable `BENCH_6.json` (name → ns/iter + throughput) so CI
+//! and future PRs have a recorded baseline to diff against.
+//!
+//! The criterion benches under `benches/` remain the statistically
+//! careful tool for local investigation; this binary trades their
+//! sampling rigor for a dependency-free artifact that can run in a
+//! smoke step (`--quick`) and be committed at the repo root.
+//!
+//! Usage:
+//!
+//! ```text
+//! bench_trajectory [--quick] [--out PATH]
+//! ```
+//!
+//! `--quick` cuts iteration counts ~10× for CI smoke runs; `--out`
+//! overrides the output path (default `BENCH_6.json` in the current
+//! directory, i.e. the repo root when run via `cargo run`).
+
+use qhorn_core::{Obj, Query, Response};
+use qhorn_engine::session::{Exchange, LearnerKind};
+use qhorn_json::Json;
+use qhorn_service::http::HttpClient;
+use qhorn_service::proto::{Reply, Request};
+use qhorn_service::registry::{CreateSpec, Registry, RegistryConfig, StepOutcome};
+use qhorn_service::{Client, HttpServer, Server};
+use qhorn_store::{FsyncPolicy, LogRecord, SessionMeta, SessionStore, StoreConfig};
+use std::hint::black_box;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One measured benchmark: mean wall-clock per iteration and the derived
+/// element throughput.
+struct BenchResult {
+    name: &'static str,
+    iters: u64,
+    elements_per_iter: u64,
+    ns_per_iter: f64,
+    ops_per_sec: f64,
+}
+
+/// Times `iters` calls of `f` after a short warmup (one tenth of the
+/// measured count, at least one call).
+fn bench<F: FnMut()>(
+    name: &'static str,
+    iters: u64,
+    elements_per_iter: u64,
+    mut f: F,
+) -> BenchResult {
+    for _ in 0..(iters / 10).max(1) {
+        f();
+    }
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let total = start.elapsed().as_nanos() as f64;
+    let ns_per_iter = total / iters as f64;
+    let ops_per_sec = elements_per_iter as f64 * 1e9 / ns_per_iter;
+    eprintln!("{name}: {ns_per_iter:.0} ns/iter, {ops_per_sec:.0} ops/s ({iters} iters)");
+    BenchResult {
+        name,
+        iters,
+        elements_per_iter,
+        ns_per_iter,
+        ops_per_sec,
+    }
+}
+
+/// One full learning dialogue through the registry (create → answer* →
+/// learned), driven by an in-process model user. Mirrors the criterion
+/// `registry_sessions/full_dialogue` bench.
+fn run_session(registry: &Registry, target: &Query) -> usize {
+    let spec = CreateSpec {
+        dataset: "chocolates".into(),
+        size: 30,
+        learner: LearnerKind::Qhorn1,
+        max_questions: Some(10_000),
+    };
+    let (id, mut outcome) = registry.create_session(spec).expect("create");
+    let mut answers = 0usize;
+    loop {
+        match outcome {
+            StepOutcome::Question(q) => {
+                answers += 1;
+                outcome = registry
+                    .answer(id, target.eval(&q.question))
+                    .expect("answer");
+            }
+            StepOutcome::Learned { .. } => return answers,
+            other => panic!("unexpected outcome {other:?}"),
+        }
+    }
+}
+
+fn exchange_record(id: u64) -> LogRecord {
+    LogRecord::ExchangeAppended {
+        id,
+        exchange: Exchange {
+            question: Obj::from_bits("110 011"),
+            from_store: false,
+            response: Response::Answer,
+        },
+    }
+}
+
+fn created_record(id: u64) -> LogRecord {
+    LogRecord::SessionCreated {
+        id,
+        meta: SessionMeta {
+            dataset: "chocolates".into(),
+            size: 30,
+            learner: LearnerKind::Qhorn1,
+            max_questions: None,
+        },
+    }
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("bench-trajectory-{tag}-{}", std::process::id()))
+}
+
+/// Store append throughput under one fsync policy: each iteration
+/// appends `batch` records.
+fn bench_store_append(
+    name: &'static str,
+    fsync: FsyncPolicy,
+    iters: u64,
+    batch: u64,
+) -> BenchResult {
+    let dir = temp_dir(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    let config = StoreConfig {
+        fsync,
+        ..StoreConfig::new(dir.clone())
+    };
+    let (mut store, _) = SessionStore::open(&config).expect("open store");
+    store.append(&created_record(1)).expect("seed session");
+    let record = exchange_record(1);
+    let result = bench(name, iters, batch, || {
+        for _ in 0..batch {
+            black_box(store.append(&record).expect("append"));
+        }
+    });
+    drop(store);
+    let _ = std::fs::remove_dir_all(&dir);
+    result
+}
+
+fn main() {
+    let mut quick = false;
+    let mut out = PathBuf::from("BENCH_6.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--out" => out = PathBuf::from(args.next().expect("--out needs a path")),
+            other => {
+                eprintln!("unknown flag {other}; usage: bench_trajectory [--quick] [--out PATH]");
+                std::process::exit(2);
+            }
+        }
+    }
+    // Iteration counts per tier: (full, quick).
+    let n = |full: u64, q: u64| if quick { q } else { full };
+
+    let mut results = Vec::new();
+
+    // Registry: sessions per second through the full registry + driver
+    // machinery (every iteration is a complete learning dialogue).
+    let target: Query = qhorn_lang::parse_with_arity("all x1; some x2 x3", 3).unwrap();
+    let registry = Registry::open(RegistryConfig::default()).expect("open registry");
+    results.push(bench("registry_full_dialogue", n(30, 3), 1, || {
+        black_box(run_session(&registry, &target));
+    }));
+    drop(registry);
+
+    // Store: append throughput with no fsync and with one fsync per 8
+    // records (the acknowledged-durability dial).
+    results.push(bench_store_append(
+        "store_append_fsync_never",
+        FsyncPolicy::Never,
+        n(2_000, 200),
+        64,
+    ));
+    results.push(bench_store_append(
+        "store_append_fsync_every_8",
+        FsyncPolicy::EveryN(8),
+        n(200, 20),
+        64,
+    ));
+
+    // Transports: stats round trips over keep-alive connections through
+    // the JSON-lines TCP frontend and the HTTP/1.1 gateway (default
+    // registry config, so tracing head-sampling is on — this is the
+    // series the tracing-overhead acceptance bound is measured against),
+    // plus the Prometheus scrape path.
+    let registry = Arc::new(Registry::open(RegistryConfig::default()).expect("open registry"));
+    let tcp = Server::start("127.0.0.1:0", Arc::clone(&registry), 2).expect("tcp server");
+    let http = HttpServer::start("127.0.0.1:0", Arc::clone(&registry), 2).expect("http server");
+
+    let mut tcp_client = Client::connect(tcp.addr()).expect("tcp client");
+    results.push(bench("tcp_stats_round_trip", n(2_000, 200), 1, || {
+        let reply = tcp_client.request(&Request::Stats).expect("stats");
+        assert!(matches!(reply, Reply::Stats(_)));
+        black_box(reply);
+    }));
+
+    let mut http_client = Client::connect_http(http.addr()).expect("http client");
+    results.push(bench("http_stats_round_trip", n(2_000, 200), 1, || {
+        let reply = http_client.request(&Request::Stats).expect("stats");
+        assert!(matches!(reply, Reply::Stats(_)));
+        black_box(reply);
+    }));
+
+    let mut scraper = HttpClient::connect(http.addr()).expect("scrape client");
+    results.push(bench("prometheus_scrape", n(1_000, 100), 1, || {
+        let text = scraper.scrape_metrics().expect("scrape");
+        assert!(text.contains("qhorn_request_duration_seconds_bucket"));
+        black_box(text.len());
+    }));
+
+    drop(tcp_client);
+    drop(http_client);
+    drop(scraper);
+    tcp.shutdown();
+    http.shutdown();
+
+    let json = Json::Obj(vec![
+        (
+            "schema".to_string(),
+            Json::Str("qhorn-bench-trajectory/1".to_string()),
+        ),
+        (
+            "version".to_string(),
+            Json::Str(env!("CARGO_PKG_VERSION").to_string()),
+        ),
+        ("quick".to_string(), Json::Bool(quick)),
+        (
+            "results".to_string(),
+            Json::Arr(
+                results
+                    .iter()
+                    .map(|r| {
+                        Json::Obj(vec![
+                            ("name".to_string(), Json::Str(r.name.to_string())),
+                            ("iters".to_string(), Json::U64(r.iters)),
+                            (
+                                "elements_per_iter".to_string(),
+                                Json::U64(r.elements_per_iter),
+                            ),
+                            ("ns_per_iter".to_string(), Json::F64(r.ns_per_iter)),
+                            ("ops_per_sec".to_string(), Json::F64(r.ops_per_sec)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+    std::fs::write(&out, qhorn_json::to_string(&json) + "\n").expect("write bench output");
+    eprintln!("wrote {}", out.display());
+}

@@ -126,6 +126,10 @@ where
     for (p, c) in scan_stats.by_phase {
         *stats.by_phase.entry(p).or_insert(0) += c;
     }
+    for (p, nanos) in scan_stats.nanos_by_phase {
+        let slot = stats.nanos_by_phase.entry(p).or_insert(0);
+        *slot = slot.saturating_add(nanos);
+    }
     Ok(LearnOutcome::new(full, stats))
 }
 

@@ -97,6 +97,11 @@ pub struct LearnStats {
     pub max_tuples_per_question: usize,
     /// Questions per phase.
     pub by_phase: BTreeMap<Phase, usize>,
+    /// Dialogue-clock nanoseconds spent in each phase. Measured on the
+    /// learner's own thread, so for interactive sessions this includes
+    /// the time spent waiting for the oracle (the user's think time) —
+    /// which is exactly what a per-session timeline wants to show.
+    pub nanos_by_phase: BTreeMap<Phase, u64>,
 }
 
 impl LearnStats {
@@ -104,6 +109,12 @@ impl LearnStats {
     #[must_use]
     pub fn phase(&self, p: Phase) -> usize {
         self.by_phase.get(&p).copied().unwrap_or(0)
+    }
+
+    /// Dialogue-clock nanoseconds spent in one phase.
+    #[must_use]
+    pub fn phase_nanos(&self, p: Phase) -> u64 {
+        self.nanos_by_phase.get(&p).copied().unwrap_or(0)
     }
 }
 
@@ -178,6 +189,7 @@ pub(crate) struct Asker<'a, O: MembershipOracle + ?Sized> {
     oracle: &'a mut O,
     stats: LearnStats,
     phase: Phase,
+    phase_entered: std::time::Instant,
     budget: Option<usize>,
 }
 
@@ -187,12 +199,28 @@ impl<'a, O: MembershipOracle + ?Sized> Asker<'a, O> {
             oracle,
             stats: LearnStats::default(),
             phase: Phase::ClassifyHeads,
+            phase_entered: std::time::Instant::now(),
             budget: opts.max_questions,
         }
     }
 
+    /// Credits the dialogue clock since the last roll to the current phase.
+    fn roll_phase_clock(&mut self) {
+        let now = std::time::Instant::now();
+        let elapsed = now.duration_since(self.phase_entered);
+        self.phase_entered = now;
+        let nanos = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
+        if nanos > 0 {
+            let slot = self.stats.nanos_by_phase.entry(self.phase).or_insert(0);
+            *slot = slot.saturating_add(nanos);
+        }
+    }
+
     pub(crate) fn set_phase(&mut self, phase: Phase) {
-        self.phase = phase;
+        if phase != self.phase {
+            self.roll_phase_clock();
+            self.phase = phase;
+        }
     }
 
     pub(crate) fn ask(&mut self, q: &Obj) -> Result<Response, LearnError> {
@@ -215,7 +243,8 @@ impl<'a, O: MembershipOracle + ?Sized> Asker<'a, O> {
         Ok(self.ask(q)?.is_answer())
     }
 
-    pub(crate) fn into_stats(self) -> LearnStats {
+    pub(crate) fn into_stats(mut self) -> LearnStats {
+        self.roll_phase_clock();
         self.stats
     }
 }
@@ -248,6 +277,11 @@ mod tests {
         assert_eq!(stats.phase(Phase::ClassifyHeads), 1);
         assert_eq!(stats.phase(Phase::UniversalBodies), 1);
         assert_eq!(stats.phase(Phase::MatrixQuestions), 0);
+        // The dialogue clock charged time to the phases that ran; the
+        // final phase is rolled up by `into_stats`.
+        let total: u64 = stats.nanos_by_phase.values().sum();
+        assert!(total > 0, "phase clock accrued nothing");
+        assert_eq!(stats.phase_nanos(Phase::MatrixQuestions), 0);
     }
 
     #[test]

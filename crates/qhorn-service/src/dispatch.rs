@@ -1,17 +1,22 @@
 //! The shared request dispatcher both frontends sit on.
 //!
 //! The JSON-lines TCP server and the HTTP/1.1 gateway are transports
-//! only: every [`Request`] funnels through [`try_dispatch`] here, so the
-//! two frontends cannot drift semantically (the conformance suite pins
-//! this). Dispatch also owns the per-message latency timing hook — each
-//! request's wall clock is recorded into the registry's
-//! [`Metrics`](crate::metrics::Metrics) under the message kind,
-//! regardless of which transport carried it.
+//! only: every [`Request`] funnels through [`try_dispatch_traced`] here,
+//! so the two frontends cannot drift semantically (the conformance suite
+//! pins this). Dispatch also owns two per-request observability hooks —
+//! each request's wall clock is recorded into the registry's
+//! [`Metrics`](crate::metrics::Metrics) under the message kind, and each
+//! request **mints (or adopts) a trace id** and roots a `dispatch` span
+//! on the registry's [`Tracer`](crate::trace::Tracer), which the layers
+//! below extend with child spans. Tracing never changes reply bytes:
+//! trace ids ride in transport envelopes (an HTTP header, an optional
+//! JSON-lines envelope field), not in the [`Reply`] itself.
 
 use crate::batch;
 use crate::error::ServiceError;
 use crate::proto::{Reply, Request};
 use crate::registry::Registry;
+use crate::trace::{self, TraceFilter};
 use qhorn_engine::plan::CompiledQuery;
 use std::sync::Arc;
 use std::time::Instant;
@@ -20,10 +25,25 @@ use std::time::Instant;
 /// [`Reply::Error`] (the JSON-lines frontend's shape, where every reply
 /// is a 200-equivalent).
 pub fn dispatch(registry: &Arc<Registry>, req: Request) -> Reply {
-    match try_dispatch(registry, req) {
-        Ok(reply) => reply,
-        Err(e) => e.into(),
-    }
+    dispatch_traced(registry, req, None).0
+}
+
+/// Like [`dispatch`], but adopts a client-supplied trace id and returns
+/// the trace id (minted or adopted) alongside the reply, for transports
+/// that echo it.
+pub fn dispatch_traced(
+    registry: &Arc<Registry>,
+    req: Request,
+    incoming_trace: Option<u64>,
+) -> (Reply, u64) {
+    let (result, id) = try_dispatch_traced(registry, req, incoming_trace);
+    (
+        match result {
+            Ok(reply) => reply,
+            Err(e) => e.into(),
+        },
+        id,
+    )
 }
 
 /// Applies one request to the registry, timing it into the registry's
@@ -33,11 +53,41 @@ pub fn dispatch(registry: &Arc<Registry>, req: Request) -> Reply {
 /// Every [`ServiceError`] the registry or dataset catalog can produce;
 /// the HTTP frontend maps these onto status codes.
 pub fn try_dispatch(registry: &Arc<Registry>, req: Request) -> Result<Reply, ServiceError> {
+    try_dispatch_traced(registry, req, None).0
+}
+
+/// The full dispatcher: roots a trace (adopting `incoming_trace` when
+/// the client supplied one — such traces are always journaled), applies
+/// the request, stamps the root span with the outcome, and times the
+/// request into metrics. Returns the reply and the trace id.
+pub fn try_dispatch_traced(
+    registry: &Arc<Registry>,
+    req: Request,
+    incoming_trace: Option<u64>,
+) -> (Result<Reply, ServiceError>, u64) {
     let kind = req.kind_index();
+    let root = registry.tracer().begin("dispatch", incoming_trace);
+    let trace_id = root.id();
+    root.attr_str("kind", req.kind());
+    if let Some(session) = req.session_id() {
+        root.set_session(session);
+    }
     let start = Instant::now();
     let result = apply(registry, req);
     registry.metrics().record_latency(kind, start.elapsed());
-    result
+    match &result {
+        Ok(reply) => {
+            if let Some(session) = reply.session_id() {
+                root.set_session(session);
+            }
+            root.attr_str("outcome", reply.outcome_label());
+        }
+        Err(e) => {
+            root.attr_str("outcome", "error");
+            root.attr_str("error", e.to_string());
+        }
+    }
+    (result, trace_id)
 }
 
 /// The untimed request → reply mapping.
@@ -150,8 +200,14 @@ fn apply(registry: &Arc<Registry>, req: Request) -> Result<Reply, ServiceError> 
                 )));
             }
             let plan = CompiledQuery::compile(&q);
+            let span = trace::span("kernel.batch_eval");
             let (hits, stats) =
                 batch::execute_parallel_with_stats(&plan, store.boolean(), workers.max(1));
+            span.attr_u64("objects", stats.objects as u64);
+            span.attr_u64("signatures", stats.signatures_evaluated as u64);
+            span.attr_u64("answers", stats.answers as u64);
+            span.attr_u64("workers", workers.max(1) as u64);
+            drop(span);
             registry.count_batch_run(&stats);
             Ok(Reply::Batch {
                 answers: hits.into_iter().map(|id| id.0).collect(),
@@ -175,6 +231,37 @@ fn apply(registry: &Arc<Registry>, req: Request) -> Result<Reply, ServiceError> 
         }
         Request::Stats => Ok(Reply::Stats(registry.stats())),
         Request::Metrics => Ok(Reply::Metrics(registry.metrics().snapshot())),
+        Request::GetTrace { id } => {
+            let parsed = trace::parse_id(&id)
+                .ok_or_else(|| ServiceError::Parse(format!("bad trace id `{id}`")))?;
+            let tree = registry
+                .tracer()
+                .trace_tree(parsed)
+                .ok_or(ServiceError::UnknownTrace(id))?;
+            Ok(Reply::Trace(tree))
+        }
+        Request::ListTraces {
+            min_duration_nanos,
+            kind,
+            session,
+            slow_only,
+            limit,
+        } => {
+            let filter = TraceFilter {
+                min_duration_nanos,
+                kind,
+                session,
+                slow_only,
+                limit,
+            };
+            Ok(Reply::Traces {
+                traces: registry.tracer().list(&filter),
+            })
+        }
+        Request::SessionTimeline { session } => Ok(Reply::Timeline {
+            session,
+            events: registry.tracer().timeline(session),
+        }),
     }
 }
 

@@ -33,6 +33,8 @@ pub enum ServiceError {
     Engine(String),
     /// The session's driver did not produce an event in time.
     DriverTimeout,
+    /// The trace id is not (or no longer) in the span journal.
+    UnknownTrace(String),
     /// The durable session store failed.
     Store(String),
     /// Transport-level failure (client helper).
@@ -53,6 +55,7 @@ impl fmt::Display for ServiceError {
             ServiceError::Parse(msg) => write!(f, "parse error: {msg}"),
             ServiceError::Engine(msg) => write!(f, "engine error: {msg}"),
             ServiceError::DriverTimeout => write!(f, "session driver timed out"),
+            ServiceError::UnknownTrace(id) => write!(f, "unknown trace `{id}`"),
             ServiceError::Store(msg) => write!(f, "store error: {msg}"),
             ServiceError::Transport(msg) => write!(f, "transport error: {msg}"),
         }

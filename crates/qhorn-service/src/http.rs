@@ -27,6 +27,11 @@
 //! | `POST /v1/evaluate`         | `evaluate_batch`  |
 //! | `GET`/`POST /v1/stats`      | `stats`           |
 //! | `GET`/`POST /v1/metrics`    | `metrics` (JSON)  |
+//! | `GET /v1/trace/{id}`        | `get_trace`       |
+//! | `POST /v1/trace`            | `get_trace`       |
+//! | `GET`/`POST /v1/traces`     | `list_traces`     |
+//! | `GET /v1/session/{id}/timeline` | `session_timeline` |
+//! | `POST /v1/session/timeline` | `session_timeline`|
 //! | `GET /metrics`              | Prometheus text   |
 //!
 //! Dataset uploads ride the same body framing as every other route, so
@@ -38,12 +43,24 @@
 //! agree with the route. Replies are the same JSON objects the TCP
 //! frontend writes, one per response, `Content-Length`-framed. Errors map
 //! onto status codes ([`status_for`]) with a `Reply::Error` JSON body.
+//!
+//! ## Tracing
+//!
+//! Every API response carries an `X-Qhorn-Trace-Id` header with the
+//! request's trace id. A client may supply its own id in the same
+//! request header — such traces are always journaled (they bypass the
+//! head sampler); a malformed id is ignored and a fresh one minted.
+//! `GET /v1/traces` accepts query-string filters: `min_nanos`/`min_ms`,
+//! `kind`, `session`, `slow`, `limit`. Trace ids never appear in reply
+//! bodies, so tracing cannot change reply bytes (the conformance suite
+//! pins this).
 
-use crate::dispatch::try_dispatch;
+use crate::dispatch::try_dispatch_traced;
 use crate::error::ServiceError;
 use crate::metrics::render_prometheus;
-use crate::proto::{Reply, Request};
+use crate::proto::{Reply, Request, DEFAULT_TRACE_LIMIT};
 use crate::registry::Registry;
+use crate::trace;
 use qhorn_json::{FromJson, Json};
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -73,6 +90,9 @@ const ROUTES: &[(&str, &str)] = &[
     ("/v1/evaluate", "evaluate_batch"),
     ("/v1/stats", "stats"),
     ("/v1/metrics", "metrics"),
+    ("/v1/trace", "get_trace"),
+    ("/v1/traces", "list_traces"),
+    ("/v1/session/timeline", "session_timeline"),
 ];
 
 /// The request path carrying a protocol message kind (client side).
@@ -89,7 +109,9 @@ pub fn route_for_kind(kind: &str) -> &'static str {
 #[must_use]
 pub fn status_for(e: &ServiceError) -> u16 {
     match e {
-        ServiceError::UnknownSession(_) | ServiceError::UnknownDataset(_) => 404,
+        ServiceError::UnknownSession(_)
+        | ServiceError::UnknownDataset(_)
+        | ServiceError::UnknownTrace(_) => 404,
         ServiceError::WrongState { .. } | ServiceError::DatasetConflict(_) => 409,
         ServiceError::Parse(_) => 400,
         // Semantic (not syntactic) rejections: the request parsed fine
@@ -226,6 +248,8 @@ struct HttpRequest {
     method: String,
     /// Path with any query string stripped.
     path: String,
+    /// The query string (without the `?`), empty when absent.
+    query: String,
     /// `true` for HTTP/1.1, `false` for HTTP/1.0.
     http11: bool,
     /// Lowercased header names.
@@ -273,7 +297,7 @@ impl ParseFailure {
 }
 
 enum ReadOutcome {
-    Request(HttpRequest),
+    Request(Box<HttpRequest>),
     Bad(ParseFailure),
     /// Peer closed (or flooded past a limit mid-frame, or sent bytes we
     /// cannot answer inside broken framing).
@@ -310,6 +334,7 @@ fn handle_connection(stream: TcpStream, registry: &Arc<Registry>, stop: &AtomicB
                         message: failure.message,
                     }),
                     allow: None,
+                    trace_id: None,
                 };
                 let _ = write_response(&mut writer, &response, false);
                 return;
@@ -326,6 +351,8 @@ struct HttpResponse {
     body: String,
     /// `Allow` header value, required on every 405 (RFC 9110 §15.5.6).
     allow: Option<&'static str>,
+    /// `X-Qhorn-Trace-Id` header value, set on every dispatched request.
+    trace_id: Option<String>,
 }
 
 /// Maps one request onto a response.
@@ -336,41 +363,123 @@ fn respond(registry: &Arc<Registry>, req: &HttpRequest) -> HttpResponse {
             return error_response(405, format!("method {} not allowed", req.method))
                 .with_allow("GET");
         }
-        let text = render_prometheus(&registry.metrics().snapshot(), &registry.stats());
+        let text = render_prometheus(
+            &registry.metrics().snapshot(),
+            &registry.stats(),
+            &registry.tracer().stats(),
+        );
         return HttpResponse {
             status: 200,
             content_type: "text/plain; version=0.0.4",
             body: text,
             allow: None,
+            trace_id: None,
         };
+    }
+    // Path-parameter routes, ahead of the exact-route table.
+    // `GET /v1/trace/{id}`: the span tree for one trace.
+    if let Some(id) = req.path.strip_prefix("/v1/trace/") {
+        if req.method != "GET" {
+            return error_response(405, format!("method {} not allowed", req.method))
+                .with_allow("GET");
+        }
+        return dispatch_api(registry, req, Request::GetTrace { id: id.to_string() });
+    }
+    // `GET /v1/session/{id}/timeline`: one session's dialogue timeline.
+    if let Some(id_text) = req
+        .path
+        .strip_prefix("/v1/session/")
+        .and_then(|rest| rest.strip_suffix("/timeline"))
+    {
+        if req.method != "GET" {
+            return error_response(405, format!("method {} not allowed", req.method))
+                .with_allow("GET");
+        }
+        let Ok(session) = id_text.parse::<u64>() else {
+            return error_response(400, format!("bad session id `{id_text}`"));
+        };
+        return dispatch_api(registry, req, Request::SessionTimeline { session });
     }
     let Some((_, kind)) = ROUTES.iter().find(|(path, _)| *path == req.path) else {
         return error_response(404, format!("no route for `{}`", req.path));
     };
     // GET works for the read-only routes; everything else is POST.
-    let read_only = matches!(*kind, "stats" | "metrics" | "list_datasets");
+    let read_only = matches!(*kind, "stats" | "metrics" | "list_datasets" | "list_traces");
     if !(req.method == "POST" || (req.method == "GET" && read_only)) {
         return error_response(405, format!("method {} not allowed", req.method))
             .with_allow(if read_only { "GET, POST" } else { "POST" });
     }
-    let request = match decode_body(kind, &req.body) {
-        Ok(request) => request,
-        Err(message) => return error_response(400, message),
+    // `GET /v1/traces` filters arrive as query parameters; every other
+    // route reads its message from the body.
+    let request = if *kind == "list_traces" && req.method == "GET" {
+        match list_traces_from_query(&req.query) {
+            Ok(request) => request,
+            Err(message) => return error_response(400, message),
+        }
+    } else {
+        match decode_body(kind, &req.body) {
+            Ok(request) => request,
+            Err(message) => return error_response(400, message),
+        }
     };
-    match try_dispatch(registry, request) {
+    dispatch_api(registry, req, request)
+}
+
+/// Dispatches one decoded protocol message, adopting the client's
+/// `X-Qhorn-Trace-Id` when it parses (a malformed id is ignored and a
+/// fresh one minted), and stamps the response with the trace id.
+fn dispatch_api(registry: &Arc<Registry>, req: &HttpRequest, request: Request) -> HttpResponse {
+    let incoming = req.header("x-qhorn-trace-id").and_then(trace::parse_id);
+    let (result, trace_id) = try_dispatch_traced(registry, request, incoming);
+    let hex = trace::format_id(trace_id);
+    match result {
         Ok(reply) => HttpResponse {
             status: 200,
             content_type: "application/json",
             body: qhorn_json::to_string(&reply),
             allow: None,
+            trace_id: Some(hex),
         },
         Err(e) => HttpResponse {
             status: status_for(&e),
             content_type: "application/json",
             body: qhorn_json::to_string(&Reply::from(e)),
             allow: None,
+            trace_id: Some(hex),
         },
     }
+}
+
+/// Builds a `list_traces` message from `GET /v1/traces` query parameters.
+fn list_traces_from_query(query: &str) -> Result<Request, String> {
+    let mut min_duration_nanos = None;
+    let mut kind = None;
+    let mut session = None;
+    let mut slow_only = false;
+    let mut limit = DEFAULT_TRACE_LIMIT;
+    for pair in query.split('&').filter(|p| !p.is_empty()) {
+        let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+        let number = |v: &str| {
+            v.parse::<u64>()
+                .map_err(|_| format!("bad query value `{k}={v}`"))
+        };
+        match k {
+            "min_nanos" => min_duration_nanos = Some(number(v)?),
+            "min_ms" => min_duration_nanos = Some(number(v)?.saturating_mul(1_000_000)),
+            "kind" => kind = Some(v.to_string()),
+            "session" => session = Some(number(v)?),
+            "slow" => slow_only = matches!(v, "" | "1" | "true"),
+            "limit" => limit = number(v)?,
+            other => return Err(format!("unknown query parameter `{other}`")),
+        }
+    }
+    Ok(Request::ListTraces {
+        min_duration_nanos,
+        kind,
+        session,
+        slow_only,
+        limit,
+    })
 }
 
 impl HttpResponse {
@@ -386,6 +495,7 @@ fn error_response(status: u16, message: String) -> HttpResponse {
         content_type: "application/json",
         body: qhorn_json::to_string(&Reply::Error { message }),
         allow: None,
+        trace_id: None,
     }
 }
 
@@ -433,6 +543,9 @@ fn write_response(w: &mut TcpStream, response: &HttpResponse, keep_alive: bool) 
     );
     if let Some(allow) = response.allow {
         head.push_str(&format!("Allow: {allow}\r\n"));
+    }
+    if let Some(id) = &response.trace_id {
+        head.push_str(&format!("X-Qhorn-Trace-Id: {id}\r\n"));
     }
     head.push_str("\r\n");
     w.write_all(head.as_bytes())?;
@@ -488,9 +601,14 @@ fn read_request(conn: &mut Conn, stop: &AtomicBool) -> ReadOutcome {
         }
         headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
     }
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
     let mut request = HttpRequest {
         method: method.to_string(),
-        path: target.split('?').next().unwrap_or(target).to_string(),
+        path: path.to_string(),
+        query: query.to_string(),
         http11,
         headers,
         body: Vec::new(),
@@ -499,7 +617,7 @@ fn read_request(conn: &mut Conn, stop: &AtomicBool) -> ReadOutcome {
         Ok(body) => request.body = body,
         Err(outcome) => return outcome,
     }
-    ReadOutcome::Request(request)
+    ReadOutcome::Request(Box::new(request))
 }
 
 /// Reads the request body per its framing headers.
@@ -763,19 +881,44 @@ impl HttpClient {
     /// # Errors
     /// Transport failures and malformed replies.
     pub fn request(&mut self, req: &Request) -> Result<Reply, ServiceError> {
+        self.request_traced(req, None).map(|(reply, _)| reply)
+    }
+
+    /// Like [`HttpClient::request`], but sends `trace_id` in the
+    /// `X-Qhorn-Trace-Id` request header (such traces are always
+    /// journaled) and returns the server's echoed trace id alongside the
+    /// reply.
+    ///
+    /// # Errors
+    /// Transport failures and malformed replies.
+    pub fn request_traced(
+        &mut self,
+        req: &Request,
+        trace_id: Option<&str>,
+    ) -> Result<(Reply, Option<String>), ServiceError> {
         let path = route_for_kind(req.kind());
         let body = qhorn_json::to_string(req);
-        let head = format!(
-            "POST {path} HTTP/1.1\r\nHost: qhorn\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n",
+        let mut head = format!(
+            "POST {path} HTTP/1.1\r\nHost: qhorn\r\nContent-Type: application/json\r\nContent-Length: {}\r\n",
             body.len()
         );
+        if let Some(id) = trace_id {
+            head.push_str(&format!("X-Qhorn-Trace-Id: {id}\r\n"));
+        }
+        head.push_str("\r\n");
         self.stream
             .write_all(head.as_bytes())
             .and_then(|()| self.stream.write_all(body.as_bytes()))
             .and_then(|()| self.stream.flush())
             .map_err(|e| ServiceError::Transport(e.to_string()))?;
-        let (_, body) = self.read_response()?;
-        qhorn_json::from_str(&body).map_err(|e| ServiceError::Transport(e.to_string()))
+        let (_, headers, body) = self.read_response()?;
+        let echoed = headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case("x-qhorn-trace-id"))
+            .map(|(_, v)| v.clone());
+        let reply =
+            qhorn_json::from_str(&body).map_err(|e| ServiceError::Transport(e.to_string()))?;
+        Ok((reply, echoed))
     }
 
     /// Scrapes `GET /metrics` as Prometheus text.
@@ -787,15 +930,16 @@ impl HttpClient {
             .write_all(b"GET /metrics HTTP/1.1\r\nHost: qhorn\r\n\r\n")
             .and_then(|()| self.stream.flush())
             .map_err(|e| ServiceError::Transport(e.to_string()))?;
-        let (status, body) = self.read_response()?;
+        let (status, _, body) = self.read_response()?;
         if status != 200 {
             return Err(ServiceError::Transport(format!("scrape failed: {status}")));
         }
         Ok(body)
     }
 
-    /// Reads one `Content-Length`-framed response.
-    fn read_response(&mut self) -> Result<(u16, String), ServiceError> {
+    /// Reads one `Content-Length`-framed response: status, headers, body.
+    #[allow(clippy::type_complexity)]
+    fn read_response(&mut self) -> Result<(u16, Vec<(String, String)>, String), ServiceError> {
         let transport = |m: String| ServiceError::Transport(m);
         let head = loop {
             if let Some(pos) = find(&self.buf, b"\r\n\r\n") {
@@ -821,10 +965,14 @@ impl HttpClient {
             .nth(1)
             .and_then(|s| s.parse::<u16>().ok())
             .ok_or_else(|| transport(format!("bad status line `{status_line}`")))?;
-        let content_length = lines
+        let headers: Vec<(String, String)> = lines
             .filter_map(|l| l.split_once(':'))
+            .map(|(k, v)| (k.to_string(), v.trim().to_string()))
+            .collect();
+        let content_length = headers
+            .iter()
             .find(|(k, _)| k.eq_ignore_ascii_case("content-length"))
-            .and_then(|(_, v)| v.trim().parse::<usize>().ok())
+            .and_then(|(_, v)| v.parse::<usize>().ok())
             .ok_or_else(|| transport("response without Content-Length".into()))?;
         while self.buf.len() < content_length {
             let mut chunk = [0u8; 4096];
@@ -837,7 +985,7 @@ impl HttpClient {
         let rest = self.buf.split_off(content_length);
         let body = std::mem::replace(&mut self.buf, rest);
         let body = String::from_utf8(body).map_err(|e| transport(e.to_string()))?;
-        Ok((status, body))
+        Ok((status, headers, body))
     }
 }
 
@@ -905,6 +1053,44 @@ mod tests {
         assert_eq!(status_for(&ServiceError::DatasetConflict("x".into())), 409);
         assert_eq!(status_for(&ServiceError::InvalidDataset("x".into())), 422);
         assert_eq!(status_for(&ServiceError::InvalidSize("x".into())), 422);
+    }
+
+    #[test]
+    fn trace_routes_resolve_and_queries_parse() {
+        assert_eq!(route_for_kind("get_trace"), "/v1/trace");
+        assert_eq!(route_for_kind("list_traces"), "/v1/traces");
+        assert_eq!(route_for_kind("session_timeline"), "/v1/session/timeline");
+        // A bare query defaults every filter.
+        assert_eq!(
+            list_traces_from_query("").unwrap(),
+            Request::ListTraces {
+                min_duration_nanos: None,
+                kind: None,
+                session: None,
+                slow_only: false,
+                limit: DEFAULT_TRACE_LIMIT,
+            }
+        );
+        assert_eq!(
+            list_traces_from_query("min_ms=5&kind=answer&session=3&slow=1&limit=7").unwrap(),
+            Request::ListTraces {
+                min_duration_nanos: Some(5_000_000),
+                kind: Some("answer".into()),
+                session: Some(3),
+                slow_only: true,
+                limit: 7,
+            }
+        );
+        assert!(matches!(
+            list_traces_from_query("min_nanos=250&slow").unwrap(),
+            Request::ListTraces {
+                min_duration_nanos: Some(250),
+                slow_only: true,
+                ..
+            }
+        ));
+        assert!(list_traces_from_query("limit=x").is_err());
+        assert!(list_traces_from_query("bogus=1").is_err());
     }
 
     #[test]

@@ -27,6 +27,11 @@
 //!   text exposition;
 //! * [`metrics`] — lock-striped per-message latency histograms
 //!   (fixed log-scale buckets) and learner question counts per phase;
+//! * [`trace`] — end-to-end request tracing: a bounded lock-striped span
+//!   journal fed by every layer (dispatch → registry → driver → learner
+//!   phases → store), wire-exposed span trees (`GET /v1/trace/{id}`),
+//!   trace listings with filters, per-session dialogue timelines, and an
+//!   always-on slow-request log;
 //! * [`batch`] — parallel batch evaluation of compiled queries, identical
 //!   in output to the engine's sequential `exec::execute`;
 //! * [`dataset`] — the server-side dataset catalog sessions run over:
@@ -78,6 +83,7 @@ pub mod metrics;
 pub mod proto;
 pub mod registry;
 pub mod server;
+pub mod trace;
 
 pub use error::ServiceError;
 pub use http::HttpServer;

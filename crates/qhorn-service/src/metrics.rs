@@ -54,6 +54,9 @@ pub const MESSAGE_KINDS: &[&str] = &[
     "close_session",
     "stats",
     "metrics",
+    "get_trace",
+    "list_traces",
+    "session_timeline",
 ];
 
 /// The learner phases exported as question counters, with their stable
@@ -307,14 +310,22 @@ fn le_label(i: usize) -> String {
     s
 }
 
-/// Renders the snapshot plus the registry's cumulative counters as
-/// Prometheus text exposition (format version 0.0.4).
+/// Renders the snapshot plus the registry's cumulative counters and the
+/// tracer's health gauges as Prometheus text exposition (format version
+/// 0.0.4).
 #[must_use]
 pub fn render_prometheus(
     snapshot: &MetricsSnapshot,
     stats: &crate::registry::RegistryStats,
+    trace: &crate::trace::TraceStats,
 ) -> String {
     let mut out = String::with_capacity(16 * 1024);
+    out.push_str(&format!(
+        "# HELP qhorn_build_info Build metadata; the value is always 1.\n\
+         # TYPE qhorn_build_info gauge\n\
+         qhorn_build_info{{version=\"{}\"}} 1\n",
+        env!("CARGO_PKG_VERSION")
+    ));
     out.push_str(
         "# HELP qhorn_request_duration_seconds Wall-clock latency of served protocol messages.\n\
          # TYPE qhorn_request_duration_seconds histogram\n",
@@ -375,6 +386,42 @@ pub fn render_prometheus(
         ),
         ("qhorn_batch_answers_total", "counter", stats.batch_answers),
         ("qhorn_snapshots_held", "gauge", stats.snapshots),
+        (
+            "qhorn_compaction_errors_total",
+            "counter",
+            stats.compaction_errors,
+        ),
+        ("qhorn_trace_journal_spans", "gauge", trace.journal_spans),
+        (
+            "qhorn_trace_journal_capacity",
+            "gauge",
+            trace.journal_capacity,
+        ),
+        (
+            "qhorn_trace_spans_recorded_total",
+            "counter",
+            trace.spans_recorded,
+        ),
+        (
+            "qhorn_trace_traces_committed_total",
+            "counter",
+            trace.traces_committed,
+        ),
+        (
+            "qhorn_trace_traces_sampled_out_total",
+            "counter",
+            trace.traces_sampled_out,
+        ),
+        (
+            "qhorn_trace_slow_traces_total",
+            "counter",
+            trace.slow_traces,
+        ),
+        (
+            "qhorn_trace_overhead_nanos_total",
+            "counter",
+            trace.overhead_nanos,
+        ),
     ];
     for (name, kind, value) in counters {
         out.push_str(&format!("# TYPE {name} {kind}\n{name} {value}\n"));
@@ -407,6 +454,16 @@ pub fn render_prometheus(
                 "qhorn_store_torn_truncations_total",
                 "counter",
                 store.torn_truncations,
+            ),
+            (
+                "qhorn_store_last_compaction_seq",
+                "gauge",
+                store.last_compaction_seq,
+            ),
+            (
+                "qhorn_store_snapshot_sessions",
+                "gauge",
+                store.snapshot_sessions,
             ),
         ];
         for (name, kind, value) in store_counters {
@@ -460,6 +517,7 @@ mod tests {
             tuples: 20,
             max_tuples_per_question: 4,
             by_phase,
+            ..Default::default()
         };
         m.record_learn(&stats);
         m.record_learn(&stats);
@@ -572,18 +630,39 @@ mod tests {
             tuples: 6,
             max_tuples_per_question: 2,
             by_phase,
+            ..Default::default()
         });
         let stats = RegistryStats {
             created: 4,
             live: 2,
+            compaction_errors: 1,
             store: Some(qhorn_store::StoreStats {
                 records_appended: 9,
+                snapshot_sessions: 3,
                 ..Default::default()
             }),
             ..Default::default()
         };
-        let text = render_prometheus(&m.snapshot(), &stats);
+        let trace = crate::trace::TraceStats {
+            journal_spans: 12,
+            journal_capacity: 8192,
+            spans_recorded: 40,
+            traces_committed: 5,
+            traces_sampled_out: 11,
+            slow_traces: 1,
+            overhead_nanos: 9_000,
+        };
+        let text = render_prometheus(&m.snapshot(), &stats, &trace);
         let rows = parse_exposition(&text);
+
+        // Build info carries the crate version as a label, value 1.
+        assert!(rows.iter().any(|(name, labels, v)| {
+            name == "qhorn_build_info"
+                && labels
+                    .iter()
+                    .any(|(k, val)| k == "version" && val == env!("CARGO_PKG_VERSION"))
+                && *v == 1.0
+        }));
 
         // Histogram: one bucket series per bound per message kind, with
         // cumulative counts ending at +Inf == _count.
@@ -647,5 +726,28 @@ mod tests {
         assert!(rows
             .iter()
             .any(|(name, _, v)| name == "qhorn_store_records_appended_total" && *v == 9.0));
+        assert!(rows
+            .iter()
+            .any(|(name, _, v)| name == "qhorn_store_snapshot_sessions" && *v == 3.0));
+        assert!(rows
+            .iter()
+            .any(|(name, _, v)| name == "qhorn_store_last_compaction_seq" && *v == 0.0));
+        assert!(rows
+            .iter()
+            .any(|(name, _, v)| name == "qhorn_compaction_errors_total" && *v == 1.0));
+
+        // Tracer health gauges surface.
+        assert!(rows
+            .iter()
+            .any(|(name, _, v)| name == "qhorn_trace_journal_spans" && *v == 12.0));
+        assert!(rows
+            .iter()
+            .any(|(name, _, v)| name == "qhorn_trace_journal_capacity" && *v == 8192.0));
+        assert!(rows
+            .iter()
+            .any(|(name, _, v)| name == "qhorn_trace_traces_committed_total" && *v == 5.0));
+        assert!(rows
+            .iter()
+            .any(|(name, _, v)| name == "qhorn_trace_overhead_nanos_total" && *v == 9000.0));
     }
 }

@@ -25,6 +25,9 @@ use qhorn_engine::session::LearnerKind;
 use qhorn_json::{FromJson, Json, JsonError, ToJson};
 use qhorn_relation::DatasetDef;
 
+/// The `list_traces` limit applied when the wire field is absent.
+pub const DEFAULT_TRACE_LIMIT: u64 = 50;
+
 /// A client → server message.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Request {
@@ -116,6 +119,30 @@ pub enum Request {
     /// Latency histograms and per-phase question counts (the same data
     /// `GET /metrics` renders as Prometheus text).
     Metrics,
+    /// Fetch one trace's span tree from the journal (or the slow log).
+    GetTrace {
+        /// The trace id as hex (as echoed in `X-Qhorn-Trace-Id` or the
+        /// JSON-lines `trace_id` envelope field).
+        id: String,
+    },
+    /// List recent traces, newest first, with optional filters.
+    ListTraces {
+        /// Keep only traces at least this long.
+        min_duration_nanos: Option<u64>,
+        /// Keep only traces whose root request was this message kind.
+        kind: Option<String>,
+        /// Keep only traces touching this session.
+        session: Option<u64>,
+        /// List the slow-request log instead of the journal.
+        slow_only: bool,
+        /// Maximum summaries returned (`0` = unlimited).
+        limit: u64,
+    },
+    /// Reconstruct one session's dialogue timeline from the journal.
+    SessionTimeline {
+        /// Session id.
+        session: u64,
+    },
 }
 
 impl Request {
@@ -137,6 +164,26 @@ impl Request {
             Request::CloseSession { .. } => "close_session",
             Request::Stats => "stats",
             Request::Metrics => "metrics",
+            Request::GetTrace { .. } => "get_trace",
+            Request::ListTraces { .. } => "list_traces",
+            Request::SessionTimeline { .. } => "session_timeline",
+        }
+    }
+
+    /// The session this request targets, when it names one (used to tag
+    /// the dispatch root span before the registry is even consulted).
+    #[must_use]
+    pub fn session_id(&self) -> Option<u64> {
+        match self {
+            Request::NextQuestion { session }
+            | Request::Answer { session, .. }
+            | Request::Correct { session, .. }
+            | Request::Verify { session, .. }
+            | Request::ExportQuery { session, .. }
+            | Request::CloseSession { session }
+            | Request::SessionTimeline { session } => Some(*session),
+            Request::EvaluateBatch { session, .. } => *session,
+            _ => None,
         }
     }
 
@@ -283,6 +330,20 @@ pub enum Reply {
     Stats(RegistryStats),
     /// Latency histograms and per-phase question counts.
     Metrics(MetricsSnapshot),
+    /// One trace's span tree.
+    Trace(crate::trace::TraceTree),
+    /// Trace summaries, newest first.
+    Traces {
+        /// The (filtered) listing.
+        traces: Vec<crate::trace::TraceSummary>,
+    },
+    /// One session's dialogue timeline.
+    Timeline {
+        /// Session id the timeline was asked for.
+        session: u64,
+        /// Request and learner-phase events, oldest first.
+        events: Vec<crate::trace::TimelineEvent>,
+    },
     /// Request-level failure.
     Error {
         /// Human-readable message.
@@ -294,6 +355,48 @@ impl From<ServiceError> for Reply {
     fn from(e: ServiceError) -> Self {
         Reply::Error {
             message: e.to_string(),
+        }
+    }
+}
+
+impl Reply {
+    /// The session this reply concerns, when it names one (used to tag
+    /// the dispatch root span for replies that mint the id, e.g.
+    /// `create_session`).
+    #[must_use]
+    pub fn session_id(&self) -> Option<u64> {
+        match self {
+            Reply::Created { session, .. }
+            | Reply::Step { session, .. }
+            | Reply::Closed { session }
+            | Reply::Timeline { session, .. } => Some(*session),
+            _ => None,
+        }
+    }
+
+    /// A stable label for what the request produced — the dispatch root
+    /// span's `outcome` attribute (and the timeline's event detail).
+    #[must_use]
+    pub fn outcome_label(&self) -> &'static str {
+        match self {
+            Reply::Created { step, .. } | Reply::Step { step, .. } => match step {
+                StepReply::Question { .. } => "question",
+                StepReply::Learned { .. } => "learned",
+                StepReply::Failed { .. } => "failed",
+                StepReply::Verified { .. } => "verified",
+            },
+            Reply::Batch { .. } => "batch",
+            Reply::Exported { .. } => "exported",
+            Reply::Closed { .. } => "closed",
+            Reply::DatasetUploaded { .. } => "dataset_uploaded",
+            Reply::Datasets { .. } => "datasets",
+            Reply::DatasetDropped { .. } => "dataset_dropped",
+            Reply::Stats(_) => "stats",
+            Reply::Metrics(_) => "metrics",
+            Reply::Trace(_) => "trace",
+            Reply::Traces { .. } => "traces",
+            Reply::Timeline { .. } => "timeline",
+            Reply::Error { .. } => "error",
         }
     }
 }
@@ -412,6 +515,39 @@ impl ToJson for Request {
             ]),
             Request::Stats => Json::object([("type", Json::Str("stats".into()))]),
             Request::Metrics => Json::object([("type", Json::Str("metrics".into()))]),
+            Request::GetTrace { id } => Json::object([
+                ("type", Json::Str("get_trace".into())),
+                ("id", id.to_json()),
+            ]),
+            Request::ListTraces {
+                min_duration_nanos,
+                kind,
+                session,
+                slow_only,
+                limit,
+            } => {
+                // Optional filters are omitted when unset, so the bare
+                // `GET /v1/traces` body is just `{"type":"list_traces"}`.
+                let mut pairs = vec![("type".to_string(), Json::Str("list_traces".into()))];
+                if let Some(n) = min_duration_nanos {
+                    pairs.push(("min_duration_nanos".to_string(), n.to_json()));
+                }
+                if let Some(k) = kind {
+                    pairs.push(("kind".to_string(), k.to_json()));
+                }
+                if let Some(s) = session {
+                    pairs.push(("session".to_string(), s.to_json()));
+                }
+                if *slow_only {
+                    pairs.push(("slow_only".to_string(), slow_only.to_json()));
+                }
+                pairs.push(("limit".to_string(), limit.to_json()));
+                Json::Obj(pairs)
+            }
+            Request::SessionTimeline { session } => Json::object([
+                ("type", Json::Str("session_timeline".into())),
+                ("session", session.to_json()),
+            ]),
         }
     }
 }
@@ -480,6 +616,19 @@ impl FromJson for Request {
             }),
             "stats" => Ok(Request::Stats),
             "metrics" => Ok(Request::Metrics),
+            "get_trace" => Ok(Request::GetTrace {
+                id: String::from_json(j.field("id")?)?,
+            }),
+            "list_traces" => Ok(Request::ListTraces {
+                min_duration_nanos: opt_field(j, "min_duration_nanos")?,
+                kind: opt_field(j, "kind")?,
+                session: opt_field(j, "session")?,
+                slow_only: opt_field(j, "slow_only")?.unwrap_or(false),
+                limit: opt_field(j, "limit")?.unwrap_or(DEFAULT_TRACE_LIMIT),
+            }),
+            "session_timeline" => Ok(Request::SessionTimeline {
+                session: u64::from_json(j.field("session")?)?,
+            }),
             other => Err(JsonError::msg(format!("unknown request type `{other}`"))),
         }
     }
@@ -566,6 +715,10 @@ impl ToJson for RegistryStats {
             ),
             ("batch_answers".to_string(), self.batch_answers.to_json()),
             ("snapshots".to_string(), self.snapshots.to_json()),
+            (
+                "compaction_errors".to_string(),
+                self.compaction_errors.to_json(),
+            ),
         ];
         // Omitted entirely when no durable store is configured.
         if let Some(store) = &self.store {
@@ -590,6 +743,7 @@ impl FromJson for RegistryStats {
             batch_signatures: u64::from_json(j.field("batch_signatures")?)?,
             batch_answers: u64::from_json(j.field("batch_answers")?)?,
             snapshots: u64::from_json(j.field("snapshots")?)?,
+            compaction_errors: u64::from_json(j.field("compaction_errors")?)?,
             store: opt_field(j, "store")?,
         })
     }
@@ -655,6 +809,22 @@ impl ToJson for Reply {
                 }
                 Json::Obj(pairs)
             }
+            Reply::Trace(tree) => {
+                let mut pairs = vec![("type".to_string(), Json::Str("trace".into()))];
+                if let Json::Obj(fields) = tree.to_json() {
+                    pairs.extend(fields);
+                }
+                Json::Obj(pairs)
+            }
+            Reply::Traces { traces } => Json::object([
+                ("type", Json::Str("traces".into())),
+                ("traces", traces.to_json()),
+            ]),
+            Reply::Timeline { session, events } => Json::object([
+                ("type", Json::Str("timeline".into())),
+                ("session", session.to_json()),
+                ("events", events.to_json()),
+            ]),
             Reply::Error { message } => Json::object([
                 ("type", Json::Str("error".into())),
                 ("message", message.to_json()),
@@ -697,6 +867,14 @@ impl FromJson for Reply {
             }),
             "stats" => Ok(Reply::Stats(RegistryStats::from_json(j)?)),
             "metrics" => Ok(Reply::Metrics(MetricsSnapshot::from_json(j)?)),
+            "trace" => Ok(Reply::Trace(crate::trace::TraceTree::from_json(j)?)),
+            "traces" => Ok(Reply::Traces {
+                traces: Vec::<crate::trace::TraceSummary>::from_json(j.field("traces")?)?,
+            }),
+            "timeline" => Ok(Reply::Timeline {
+                session: u64::from_json(j.field("session")?)?,
+                events: Vec::<crate::trace::TimelineEvent>::from_json(j.field("events")?)?,
+            }),
             "error" => Ok(Reply::Error {
                 message: String::from_json(j.field("message")?)?,
             }),
@@ -771,6 +949,37 @@ mod tests {
         round_trip_request(&Request::CloseSession { session: 7 });
         round_trip_request(&Request::Stats);
         round_trip_request(&Request::Metrics);
+        round_trip_request(&Request::GetTrace {
+            id: "00000000000000ab".into(),
+        });
+        round_trip_request(&Request::ListTraces {
+            min_duration_nanos: Some(1_000_000),
+            kind: Some("answer".into()),
+            session: Some(7),
+            slow_only: true,
+            limit: 10,
+        });
+        round_trip_request(&Request::ListTraces {
+            min_duration_nanos: None,
+            kind: None,
+            session: None,
+            slow_only: false,
+            limit: DEFAULT_TRACE_LIMIT,
+        });
+        round_trip_request(&Request::SessionTimeline { session: 7 });
+        // A bare listing body (what `GET /v1/traces` produces) defaults
+        // every filter.
+        let req: Request = qhorn_json::from_str(r#"{"type":"list_traces"}"#).unwrap();
+        assert_eq!(
+            req,
+            Request::ListTraces {
+                min_duration_nanos: None,
+                kind: None,
+                session: None,
+                slow_only: false,
+                limit: DEFAULT_TRACE_LIMIT,
+            }
+        );
     }
 
     #[test]
@@ -814,6 +1023,17 @@ mod tests {
             Request::CloseSession { session: 1 },
             Request::Stats,
             Request::Metrics,
+            Request::GetTrace {
+                id: "1234abcd".into(),
+            },
+            Request::ListTraces {
+                min_duration_nanos: None,
+                kind: None,
+                session: None,
+                slow_only: false,
+                limit: DEFAULT_TRACE_LIMIT,
+            },
+            Request::SessionTimeline { session: 1 },
         ];
         for req in &reqs {
             // kind_index panics if the kind is missing from the table;
@@ -904,6 +1124,55 @@ mod tests {
             live: 2,
             ..Default::default()
         }));
+        round_trip_reply(&Reply::Trace(crate::trace::TraceTree {
+            id: 0xab,
+            kind: "answer".into(),
+            session: Some(7),
+            start_nanos: 1_000,
+            duration_nanos: 2_000_000,
+            slow: true,
+            root: crate::trace::SpanNode {
+                name: "dispatch".into(),
+                start_nanos: 0,
+                duration_nanos: 2_000_000,
+                session: Some(7),
+                attrs: vec![
+                    ("kind".into(), crate::trace::AttrValue::Str("answer".into())),
+                    ("questions".into(), crate::trace::AttrValue::U64(4)),
+                    ("restored".into(), crate::trace::AttrValue::Bool(true)),
+                ],
+                children: vec![crate::trace::SpanNode {
+                    name: "registry".into(),
+                    start_nanos: 10,
+                    duration_nanos: 1_900_000,
+                    session: None,
+                    attrs: vec![],
+                    children: vec![],
+                }],
+            },
+        }));
+        round_trip_reply(&Reply::Traces {
+            traces: vec![crate::trace::TraceSummary {
+                id: 0xcd,
+                kind: "stats".into(),
+                session: None,
+                start_nanos: 5,
+                duration_nanos: 17,
+                spans: 1,
+                slow: false,
+            }],
+        });
+        round_trip_reply(&Reply::Traces { traces: vec![] });
+        round_trip_reply(&Reply::Timeline {
+            session: 7,
+            events: vec![crate::trace::TimelineEvent {
+                at_nanos: 42,
+                kind: "phase".into(),
+                detail: "matrix_questions: 3 questions".into(),
+                trace: 0xab,
+                duration_nanos: 9,
+            }],
+        });
         round_trip_reply(&Reply::Error {
             message: "unknown session 9".into(),
         });
@@ -933,6 +1202,7 @@ mod tests {
                 last_compaction_seq: 11,
                 recovered_sessions: 3,
                 torn_truncations: 0,
+                snapshot_sessions: 4,
             }),
             ..Default::default()
         });

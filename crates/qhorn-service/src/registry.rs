@@ -34,6 +34,8 @@ use crate::dataset::{DatasetCatalog, DatasetInfo};
 use crate::driver::{self, DriverCmd, DriverEvent, DriverHandle, QuestionOut};
 use crate::error::ServiceError;
 use crate::metrics::Metrics;
+use crate::metrics::PHASE_NAMES;
+use crate::trace::{self, AttrValue, TraceConfig, TraceStoreObserver, Tracer};
 use qhorn_core::learn::LearnOptions;
 use qhorn_core::{Obj, Query, Response};
 use qhorn_engine::persist::{self, SessionSnapshot};
@@ -65,6 +67,8 @@ pub struct RegistryConfig {
     /// Durable session store. `None` keeps the registry memory-only (a
     /// restart loses every session).
     pub store: Option<StoreConfig>,
+    /// Request tracing knobs (journal size, slow threshold, sampling).
+    pub trace: TraceConfig,
 }
 
 impl Default for RegistryConfig {
@@ -75,6 +79,7 @@ impl Default for RegistryConfig {
             driver_timeout: Duration::from_secs(10),
             max_snapshots: None,
             store: None,
+            trace: TraceConfig::default(),
         }
     }
 }
@@ -214,6 +219,9 @@ pub struct RegistryStats {
     pub batch_answers: u64,
     /// Snapshots currently held.
     pub snapshots: u64,
+    /// Compactions that failed (cumulative; see
+    /// [`SweepReport::compact_error`]).
+    pub compaction_errors: u64,
     /// Durable store counters (`None` when no store is configured).
     pub store: Option<StoreStats>,
 }
@@ -275,6 +283,10 @@ pub struct Registry {
     /// Latency histograms + per-phase question counters; the dispatch
     /// layer times every request into it, both frontends share it.
     metrics: Arc<Metrics>,
+    /// The span journal; the dispatch layer roots a trace per request
+    /// into it, every layer below records child spans.
+    tracer: Arc<Tracer>,
+    compaction_errors: AtomicU64,
     last_sweep: Mutex<Instant>,
     next_id: AtomicU64,
     created: AtomicU64,
@@ -310,13 +322,15 @@ impl Registry {
     /// the sessions created over it).
     pub fn open(config: RegistryConfig) -> Result<Self, ServiceError> {
         let shards = config.shards.max(1);
+        let tracer = Arc::new(Tracer::new(&config.trace));
         let mut next_id = 1u64;
         let mut recovered = Vec::new();
         let mut recovered_datasets = Vec::new();
         let store = match &config.store {
             Some(cfg) => {
-                let (store, state) =
+                let (mut store, state) =
                     SessionStore::open(cfg).map_err(|e| ServiceError::Store(e.to_string()))?;
+                store.set_observer(Box::new(TraceStoreObserver::new(Arc::clone(&tracer))));
                 next_id = state.max_session_id + 1;
                 recovered = state.sessions;
                 recovered_datasets = state.datasets;
@@ -339,6 +353,8 @@ impl Registry {
             store,
             snap_clock: AtomicU64::new(0),
             metrics: Arc::new(Metrics::new()),
+            tracer,
+            compaction_errors: AtomicU64::new(0),
             last_sweep: Mutex::new(Instant::now()),
             next_id: AtomicU64::new(next_id),
             created: AtomicU64::new(0),
@@ -695,6 +711,12 @@ impl Registry {
         &self.metrics
     }
 
+    /// The span journal behind request tracing.
+    #[must_use]
+    pub fn tracer(&self) -> &Arc<Tracer> {
+        &self.tracer
+    }
+
     /// Counts a served batch evaluation and folds its execution
     /// statistics into the cumulative counters (the server calls this).
     pub fn count_batch_run(&self, stats: &qhorn_engine::exec::ExecStats) {
@@ -758,6 +780,17 @@ impl Registry {
         }
         self.evicted.fetch_add(evicted as u64, Ordering::Relaxed);
         let (compacted, compact_error) = self.maybe_compact();
+        if let Some(msg) = &compact_error {
+            // A due compaction that fails is otherwise invisible outside
+            // this report: count it and journal a diagnosable event.
+            self.compaction_errors.fetch_add(1, Ordering::Relaxed);
+            self.tracer.record_event(
+                "store.compact_error",
+                Duration::ZERO,
+                None,
+                vec![("error", AttrValue::Str(msg.clone()))],
+            );
+        }
         SweepReport {
             evicted,
             compacted,
@@ -900,6 +933,7 @@ impl Registry {
             batch_signatures: self.batch_signatures.load(Ordering::Relaxed),
             batch_answers: self.batch_answers.load(Ordering::Relaxed),
             snapshots: self.snapshots.lock().expect("snapshots poisoned").len() as u64,
+            compaction_errors: self.compaction_errors.load(Ordering::Relaxed),
             store: self
                 .store
                 .as_ref()
@@ -920,6 +954,8 @@ impl Registry {
         f: impl FnOnce(&mut Entry) -> Result<T, ServiceError>,
     ) -> Result<T, ServiceError> {
         self.maybe_sweep();
+        let wait_started = Instant::now();
+        let mut restored_here = false;
         let handle = {
             let map = self.shard(id).lock().expect("shard poisoned");
             map.get(&id).cloned()
@@ -927,6 +963,7 @@ impl Registry {
         let handle = match handle {
             Some(h) => h,
             None => {
+                restored_here = true;
                 // Serialize restores per stripe: the winner rebuilds the
                 // entry while losers wait here, then find it in the shard.
                 let stripe = (id as usize) % self.restore_locks.len();
@@ -950,7 +987,20 @@ impl Registry {
             }
         };
         let mut entry = handle.lock().expect("entry poisoned");
-        f(&mut entry)
+        let span = trace::span("registry");
+        span.set_session(id);
+        span.attr_u64(
+            "stripe_wait_nanos",
+            u64::try_from(wait_started.elapsed().as_nanos()).unwrap_or(u64::MAX),
+        );
+        if restored_here {
+            span.attr_bool("restored", true);
+        }
+        let state_before = entry.state.as_str();
+        let result = f(&mut entry);
+        span.attr_str("state_before", state_before);
+        span.attr_str("state_after", entry.state.as_str());
+        result
     }
 
     /// Serializes an entry into the snapshot store. The driver's channel
@@ -1077,6 +1127,8 @@ impl Registry {
 
     /// Waits for the driver's next event and applies it to the entry.
     fn pump(&self, id: u64, entry: &mut Entry) -> Result<StepOutcome, ServiceError> {
+        let span = trace::span("driver.pump");
+        span.set_session(id);
         let event = entry
             .driver
             .evt_rx
@@ -1084,6 +1136,7 @@ impl Registry {
             .map_err(|_| ServiceError::DriverTimeout)?;
         match event {
             DriverEvent::Question(q) => {
+                span.attr_str("event", "question");
                 // Index in user-visible question order.
                 let info = QuestionInfo::from_out(q, entry.asked.len());
                 entry.asked.push(info.question.clone());
@@ -1098,6 +1151,9 @@ impl Registry {
                 entry.pending = None;
                 match result {
                     Ok((query, stats)) => {
+                        span.attr_str("event", "learn_finished");
+                        span.attr_u64("questions", stats.questions as u64);
+                        record_phase_spans(id, &stats);
                         entry.state = SessionState::Done;
                         entry.learned = Some(query.clone());
                         entry.failure = None;
@@ -1113,6 +1169,7 @@ impl Registry {
                         })
                     }
                     Err(message) => {
+                        span.attr_str("event", "learn_failed");
                         entry.state = SessionState::Failed;
                         entry.failure = Some(message.clone());
                         self.failed.fetch_add(1, Ordering::Relaxed);
@@ -1124,6 +1181,8 @@ impl Registry {
                 verified,
                 transcript,
             } => {
+                span.attr_str("event", "verify_finished");
+                span.attr_bool("verified", verified);
                 entry.transcript = transcript;
                 entry.pending = None;
                 entry.state = SessionState::Done;
@@ -1134,6 +1193,49 @@ impl Registry {
                 Ok(StepOutcome::Verified { verified })
             }
         }
+    }
+}
+
+/// Back-fills `learner.phase` spans from a finished learner's
+/// [`qhorn_core::learn::LearnStats`]: one span per phase that asked
+/// questions, laid out sequentially in phase order and ending at the
+/// pump that received the result. Phase durations are dialogue-clock
+/// (they include the user's think time across requests), so these spans
+/// can start long before — and span across — the request that finishes
+/// the learn; the trace view documents this.
+fn record_phase_spans(session: u64, stats: &qhorn_core::learn::LearnStats) {
+    if !trace::has_active() {
+        return;
+    }
+    let total: u64 = PHASE_NAMES
+        .iter()
+        .filter(|(p, _)| stats.phase(*p) > 0)
+        .map(|(p, _)| stats.phase_nanos(*p).max(1))
+        .sum();
+    let ended = Instant::now();
+    let mut remaining = total;
+    for &(phase, label) in PHASE_NAMES {
+        let questions = stats.phase(phase);
+        if questions == 0 {
+            continue;
+        }
+        let nanos = stats.phase_nanos(phase).max(1);
+        // This phase ends where the phases after it begin.
+        let tail_after = remaining - nanos;
+        remaining = tail_after;
+        let phase_end = ended
+            .checked_sub(Duration::from_nanos(tail_after))
+            .unwrap_or(ended);
+        trace::retro_span(
+            "learner.phase",
+            phase_end,
+            Duration::from_nanos(nanos),
+            Some(session),
+            vec![
+                ("phase", AttrValue::Str(label.to_string())),
+                ("questions", AttrValue::U64(questions as u64)),
+            ],
+        );
     }
 }
 

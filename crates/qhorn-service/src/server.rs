@@ -9,12 +9,24 @@
 //! concurrently (excess connections queue). Handlers poll a shutdown flag
 //! between requests via a read timeout, so [`Server::shutdown`] drains
 //! promptly even with idle keep-alive connections.
+//!
+//! ## Tracing
+//!
+//! A request line may carry an optional `"trace_id"` envelope field (a
+//! hex id). The request's trace adopts it (and is then always journaled),
+//! and the reply line echoes the id back in its own `"trace_id"` field.
+//! Requests without the field are traced under a server-minted id but
+//! their replies stay byte-identical to an untraced server's — the
+//! envelope field never appears unsolicited, so tracing cannot change
+//! reply bytes (the conformance suite pins this).
 
-use crate::dispatch::dispatch;
+use crate::dispatch::dispatch_traced;
 use crate::error::ServiceError;
 use crate::http::HttpClient;
 use crate::proto::{Reply, Request, StepReply};
 use crate::registry::Registry;
+use crate::trace;
+use qhorn_json::{FromJson, Json, ToJson};
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -141,13 +153,25 @@ fn handle_connection(stream: TcpStream, registry: &Arc<Registry>, stop: &AtomicB
                 if line.trim().is_empty() {
                     continue;
                 }
-                let reply = match qhorn_json::from_str::<Request>(&line) {
-                    Ok(req) => dispatch(registry, req),
-                    Err(e) => Reply::Error {
-                        message: format!("bad request: {e}"),
-                    },
+                let (reply, echo) = match decode_line(&line) {
+                    Ok((req, incoming, carried)) => {
+                        let (reply, id) = dispatch_traced(registry, req, incoming);
+                        // Echo the id only when the client opted in by
+                        // sending the envelope field.
+                        (reply, carried.then(|| trace::format_id(id)))
+                    }
+                    Err(e) => (
+                        Reply::Error {
+                            message: format!("bad request: {e}"),
+                        },
+                        None,
+                    ),
                 };
-                let mut out = qhorn_json::to_string(&reply);
+                let mut json = reply.to_json();
+                if let (Json::Obj(pairs), Some(id)) = (&mut json, echo) {
+                    pairs.push(("trace_id".to_string(), Json::Str(id)));
+                }
+                let mut out = qhorn_json::to_string(&json);
                 out.push('\n');
                 if writer.write_all(out.as_bytes()).is_err() || writer.flush().is_err() {
                     return;
@@ -157,6 +181,19 @@ fn handle_connection(stream: TcpStream, registry: &Arc<Registry>, stop: &AtomicB
             LineEvent::Stopped => return,
         }
     }
+}
+
+/// Decodes one request line: the [`Request`] plus the optional
+/// `"trace_id"` envelope field (the parsed id, and whether the field was
+/// present at all — a malformed id still opts into the echo, but a fresh
+/// id is minted). Splitting `Json::parse` from `Request::from_json`
+/// matches `qhorn_json::from_str` exactly, so error text is unchanged.
+fn decode_line(line: &str) -> Result<(Request, Option<u64>, bool), qhorn_json::JsonError> {
+    let json = Json::parse(line)?;
+    let envelope = json.get("trace_id");
+    let incoming = envelope.and_then(Json::as_str).and_then(trace::parse_id);
+    let req = Request::from_json(&json)?;
+    Ok((req, incoming, envelope.is_some()))
 }
 
 enum LineEvent {
@@ -276,6 +313,46 @@ impl Client {
                 qhorn_json::from_str(&line).map_err(|e| ServiceError::Transport(e.to_string()))
             }
             Transport::Http(http) => http.request(req),
+        }
+    }
+
+    /// Like [`Client::request`], but opts into tracing: sends `trace_id`
+    /// on the transport envelope (the JSON-lines field or the
+    /// `X-Qhorn-Trace-Id` header) and returns the server's echoed trace
+    /// id alongside the reply. Note the HTTP transport echoes an id even
+    /// when none was sent (the header is always set); the JSON-lines
+    /// transport echoes only when one was sent.
+    ///
+    /// # Errors
+    /// Transport failures and malformed replies.
+    pub fn request_traced(
+        &mut self,
+        req: &Request,
+        trace_id: Option<&str>,
+    ) -> Result<(Reply, Option<String>), ServiceError> {
+        match &mut self.transport {
+            Transport::Lines { stream, .. } => {
+                let mut json = req.to_json();
+                if let (Json::Obj(pairs), Some(id)) = (&mut json, trace_id) {
+                    pairs.push(("trace_id".to_string(), Json::Str(id.to_string())));
+                }
+                let mut line = qhorn_json::to_string(&json);
+                line.push('\n');
+                stream
+                    .write_all(line.as_bytes())
+                    .map_err(|e| ServiceError::Transport(e.to_string()))?;
+                let line = self.read_line()?;
+                let parsed =
+                    Json::parse(&line).map_err(|e| ServiceError::Transport(e.to_string()))?;
+                let echoed = parsed
+                    .get("trace_id")
+                    .and_then(Json::as_str)
+                    .map(str::to_string);
+                let reply = Reply::from_json(&parsed)
+                    .map_err(|e| ServiceError::Transport(e.to_string()))?;
+                Ok((reply, echoed))
+            }
+            Transport::Http(http) => http.request_traced(req, trace_id),
         }
     }
 

@@ -1,0 +1,220 @@
+//! Prometheus exposition under fire: scrape `GET /metrics` repeatedly
+//! while eight threads mutate the registry (answering questions and
+//! running batch evaluations), parse every exposition, and assert the
+//! invariants Prometheus relies on — histogram buckets cumulative within
+//! a scrape, counters monotone across scrapes, and every line well
+//! formed. Lock-striped counters make this genuinely concurrent: a torn
+//! read would show up as a counter going backwards.
+
+use qhorn_core::Query;
+use qhorn_engine::session::LearnerKind;
+use qhorn_service::proto::{Reply, Request, StepReply};
+use qhorn_service::registry::{Registry, RegistryConfig};
+use qhorn_service::{Client, HttpServer};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// One parsed exposition line: metric name, label pairs, value.
+type Row = (String, Vec<(String, String)>, f64);
+
+/// A minimal Prometheus text-format parser: every non-comment line must
+/// be `name[{label="value",…}] number`.
+fn parse_exposition(text: &str) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for line in text.lines() {
+        if line.starts_with('#') {
+            assert!(
+                line.starts_with("# HELP ") || line.starts_with("# TYPE "),
+                "bad comment: {line}"
+            );
+            continue;
+        }
+        assert!(!line.trim().is_empty(), "blank line in exposition");
+        let (series, value) = line
+            .rsplit_once(' ')
+            .unwrap_or_else(|| panic!("no value separator in {line}"));
+        let value: f64 = value
+            .parse()
+            .unwrap_or_else(|_| panic!("unparseable value in {line}"));
+        let (name, labels) = match series.split_once('{') {
+            None => (series.to_string(), Vec::new()),
+            Some((name, rest)) => {
+                let body = rest.strip_suffix('}').expect("unterminated label set");
+                let labels = body
+                    .split(',')
+                    .map(|pair| {
+                        let (k, v) = pair.split_once('=').expect("label without =");
+                        let v = v
+                            .strip_prefix('"')
+                            .and_then(|v| v.strip_suffix('"'))
+                            .expect("unquoted label value");
+                        (k.to_string(), v.to_string())
+                    })
+                    .collect();
+                (name.to_string(), labels)
+            }
+        };
+        rows.push((name, labels, value));
+    }
+    rows
+}
+
+fn label<'a>(labels: &'a [(String, String)], key: &str) -> Option<&'a str> {
+    labels
+        .iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v.as_str())
+}
+
+/// The monotone counter series of one scrape, keyed by `name{labels}`.
+fn counters(rows: &[Row]) -> Vec<(String, f64)> {
+    rows.iter()
+        .filter(|(name, _, _)| {
+            name.ends_with("_total")
+                || name.ends_with("_count")
+                || name.ends_with("_sum")
+                || name.ends_with("_bucket")
+        })
+        .map(|(name, labels, value)| {
+            let mut key = name.clone();
+            for (k, v) in labels {
+                key.push_str(&format!("|{k}={v}"));
+            }
+            (key, *value)
+        })
+        .collect()
+}
+
+fn bucket_cumulativity(rows: &[Row]) {
+    // For each message kind, the bucket series must be nondecreasing in
+    // exposition order and end at the _count value.
+    let mut kinds: Vec<&str> = rows
+        .iter()
+        .filter(|(name, _, _)| name == "qhorn_request_duration_seconds_bucket")
+        .filter_map(|(_, labels, _)| label(labels, "message"))
+        .collect();
+    kinds.dedup();
+    assert!(!kinds.is_empty());
+    for kind in kinds {
+        let buckets: Vec<f64> = rows
+            .iter()
+            .filter(|(name, labels, _)| {
+                name == "qhorn_request_duration_seconds_bucket"
+                    && label(labels, "message") == Some(kind)
+            })
+            .map(|(_, _, v)| *v)
+            .collect();
+        assert!(
+            buckets.windows(2).all(|w| w[0] <= w[1]),
+            "{kind} buckets not cumulative: {buckets:?}"
+        );
+        let count = rows
+            .iter()
+            .find(|(name, labels, _)| {
+                name == "qhorn_request_duration_seconds_count"
+                    && label(labels, "message") == Some(kind)
+            })
+            .map(|(_, _, v)| *v)
+            .expect("missing _count");
+        assert_eq!(*buckets.last().unwrap(), count, "{kind} +Inf != _count");
+    }
+}
+
+#[test]
+fn exposition_stays_consistent_under_concurrent_mutation() {
+    let registry = Arc::new(Registry::open(RegistryConfig::default()).unwrap());
+    let server = HttpServer::start("127.0.0.1:0", Arc::clone(&registry), 4).unwrap();
+    let addr = server.addr();
+    let stop = Arc::new(AtomicBool::new(false));
+
+    // Eight mutators: each opens its own session, answers to completion,
+    // then hammers batch evaluation until told to stop.
+    let goal: Query = qhorn_lang::parse_with_arity("all x1; some x2 x3", 3).unwrap();
+    let mutators: Vec<_> = (0..8)
+        .map(|_| {
+            let stop = Arc::clone(&stop);
+            let goal = goal.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect_http(addr).expect("connect");
+                let (session, mut step) = client
+                    .step(&Request::CreateSession {
+                        dataset: "chocolates".into(),
+                        size: 30,
+                        learner: LearnerKind::Qhorn1,
+                        max_questions: Some(10_000),
+                    })
+                    .expect("create");
+                while let StepReply::Question { question, .. } = step {
+                    let reply = client
+                        .request(&Request::Answer {
+                            session,
+                            response: goal.eval(&question),
+                        })
+                        .expect("answer");
+                    step = match reply {
+                        Reply::Step { step, .. } => step,
+                        other => panic!("unexpected reply {other:?}"),
+                    };
+                }
+                assert!(matches!(step, StepReply::Learned { .. }), "{step:?}");
+                while !stop.load(Ordering::Relaxed) {
+                    let reply = client
+                        .request(&Request::EvaluateBatch {
+                            session: Some(session),
+                            dataset: None,
+                            size: 0,
+                            query: None,
+                            workers: 2,
+                        })
+                        .expect("evaluate");
+                    assert!(matches!(reply, Reply::Batch { .. }), "{reply:?}");
+                }
+            })
+        })
+        .collect();
+
+    // Scrape while the mutators run: every exposition parses, buckets are
+    // cumulative within a scrape, counters never move backwards between
+    // scrapes.
+    let mut scraper = qhorn_service::http::HttpClient::connect(addr).expect("connect scraper");
+    let mut last: Vec<(String, f64)> = Vec::new();
+    for i in 0..25 {
+        let text = scraper.scrape_metrics().expect("scrape");
+        let rows = parse_exposition(&text);
+        bucket_cumulativity(&rows);
+        let now = counters(&rows);
+        for (key, value) in &last {
+            let current = now.iter().find(|(k, _)| k == key).map(|(_, v)| *v);
+            if let Some(current) = current {
+                assert!(
+                    current >= *value,
+                    "counter {key} went backwards: {value} -> {current} (scrape {i})"
+                );
+            }
+        }
+        last = now;
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    stop.store(true, Ordering::Relaxed);
+    for m in mutators {
+        m.join().expect("mutator panicked");
+    }
+    // One final scrape after the dust settles: answers from 8 sessions.
+    let mut c = qhorn_service::http::HttpClient::connect(addr).unwrap();
+    let rows = parse_exposition(&c.scrape_metrics().unwrap());
+    let answers = rows
+        .iter()
+        .find(|(name, _, _)| name == "qhorn_answers_total")
+        .map(|(_, _, v)| *v)
+        .unwrap();
+    assert!(answers >= 8.0, "answers_total {answers} too small");
+    let batch_runs = rows
+        .iter()
+        .find(|(name, _, _)| name == "qhorn_batch_runs_total")
+        .map(|(_, _, v)| *v)
+        .unwrap();
+    assert!(batch_runs >= 8.0, "batch_runs_total {batch_runs} too small");
+    server.shutdown();
+}

@@ -64,6 +64,28 @@ pub use record::{LogRecord, PersistedSession, SessionMeta, SnapshotEntry};
 use qhorn_json::{FromJson, Json, JsonError, ToJson};
 use std::fmt;
 use std::path::PathBuf;
+use std::time::Duration;
+
+/// Which store operation a [`StoreObserver`] is being told about.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StoreOp {
+    /// One record framed and written to the active segment (rotation, if
+    /// any, is included in the reported duration).
+    Append,
+    /// An `fsync` issued by the durability policy after an append.
+    Fsync,
+    /// A snapshot written and covered segments deleted.
+    Compaction,
+}
+
+/// A callback invoked synchronously after timed store operations — the
+/// hook the service layer uses to attach store spans to request traces.
+/// Implementations must be cheap and must not call back into the store.
+pub trait StoreObserver: Send {
+    /// Reports one completed operation: what ran, how long it took, and
+    /// how many payload bytes it moved (0 for [`StoreOp::Fsync`]).
+    fn observe(&self, op: StoreOp, duration: Duration, bytes: u64);
+}
 
 /// When appended records reach disk.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -163,6 +185,8 @@ pub struct StoreStats {
     pub recovered_sessions: u64,
     /// Torn tails truncated by recovery at open.
     pub torn_truncations: u64,
+    /// Sessions captured in the current snapshot file (0 = no snapshot).
+    pub snapshot_sessions: u64,
 }
 
 impl ToJson for StoreStats {
@@ -176,6 +200,7 @@ impl ToJson for StoreStats {
             ("last_compaction_seq", self.last_compaction_seq.to_json()),
             ("recovered_sessions", self.recovered_sessions.to_json()),
             ("torn_truncations", self.torn_truncations.to_json()),
+            ("snapshot_sessions", self.snapshot_sessions.to_json()),
         ])
     }
 }
@@ -191,6 +216,7 @@ impl FromJson for StoreStats {
             last_compaction_seq: u64::from_json(j.field("last_compaction_seq")?)?,
             recovered_sessions: u64::from_json(j.field("recovered_sessions")?)?,
             torn_truncations: u64::from_json(j.field("torn_truncations")?)?,
+            snapshot_sessions: u64::from_json(j.field("snapshot_sessions")?)?,
         })
     }
 }
@@ -210,6 +236,7 @@ mod tests {
             last_compaction_seq: 37,
             recovered_sessions: 5,
             torn_truncations: 1,
+            snapshot_sessions: 4,
         };
         let json = qhorn_json::to_string(&stats);
         let back: StoreStats = qhorn_json::from_str(&json).unwrap();

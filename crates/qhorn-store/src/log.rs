@@ -27,12 +27,13 @@
 
 use crate::crc::crc32;
 use crate::record::{LogRecord, PersistedSession, Replayer, SnapshotEntry};
-use crate::{FsyncPolicy, StoreConfig, StoreError, StoreStats};
+use crate::{FsyncPolicy, StoreConfig, StoreError, StoreObserver, StoreOp, StoreStats};
 use qhorn_json::{FromJson, Json, ToJson};
 use std::collections::BTreeMap;
 use std::fs::{self, File, OpenOptions};
 use std::io::Write;
 use std::path::{Path, PathBuf};
+use std::time::Instant;
 
 /// Largest accepted frame payload; a corrupt length field cannot make
 /// recovery attempt a multi-gigabyte allocation.
@@ -80,6 +81,8 @@ pub struct SessionStore {
     last_compaction_seq: u64,
     recovered_sessions: u64,
     torn_truncations: u64,
+    snapshot_sessions: u64,
+    observer: Option<Box<dyn StoreObserver>>,
 }
 
 impl SessionStore {
@@ -98,6 +101,7 @@ impl SessionStore {
         if snapshot_torn {
             torn_truncations += 1;
         }
+        let snapshot_sessions = snapshot_entries.len() as u64;
         let mut max_seq = snapshot_entries
             .iter()
             .map(|e| e.through_seq)
@@ -177,6 +181,8 @@ impl SessionStore {
             last_compaction_seq: 0,
             recovered_sessions: sessions.len() as u64,
             torn_truncations,
+            snapshot_sessions,
+            observer: None,
         };
         Ok((
             store,
@@ -197,26 +203,48 @@ impl SessionStore {
     pub fn append(&mut self, rec: &LogRecord) -> Result<u64, StoreError> {
         let seq = self.next_seq;
         let frame = frame(&rec.to_payload(seq))?;
+        let write_started = Instant::now();
         if self.active_len > 0 && self.active_len + frame.len() as u64 > self.segment_max_bytes {
             self.rotate()?;
         }
         self.active.write_all(&frame)?;
+        let write_elapsed = write_started.elapsed();
         self.active_len += frame.len() as u64;
         self.next_seq += 1;
         self.records_appended += 1;
         self.bytes_appended += frame.len() as u64;
+        let mut fsync_elapsed = None;
         match self.fsync {
-            FsyncPolicy::Always => self.active.sync_data()?,
+            FsyncPolicy::Always => {
+                let started = Instant::now();
+                self.active.sync_data()?;
+                fsync_elapsed = Some(started.elapsed());
+            }
             FsyncPolicy::EveryN(n) => {
                 self.unsynced += 1;
                 if self.unsynced >= n.max(1) {
+                    let started = Instant::now();
                     self.active.sync_data()?;
+                    fsync_elapsed = Some(started.elapsed());
                     self.unsynced = 0;
                 }
             }
             FsyncPolicy::Never => {}
         }
+        if let Some(obs) = &self.observer {
+            obs.observe(StoreOp::Append, write_elapsed, frame.len() as u64);
+            if let Some(d) = fsync_elapsed {
+                obs.observe(StoreOp::Fsync, d, 0);
+            }
+        }
         Ok(seq)
+    }
+
+    /// Installs an [`StoreObserver`] notified after each timed operation
+    /// (replacing any previous one). The service layer uses this to feed
+    /// store spans into request traces.
+    pub fn set_observer(&mut self, observer: Box<dyn StoreObserver>) {
+        self.observer = Some(observer);
     }
 
     /// Seals the active segment and starts a new one, returning the new
@@ -278,6 +306,7 @@ impl SessionStore {
             last_compaction_seq: self.last_compaction_seq,
             recovered_sessions: self.recovered_sessions,
             torn_truncations: self.torn_truncations,
+            snapshot_sessions: self.snapshot_sessions,
         }
     }
 
@@ -303,6 +332,7 @@ impl SessionStore {
         captured: &[SnapshotEntry],
         boundary: u64,
     ) -> Result<(), StoreError> {
+        let compact_started = Instant::now();
         // Everything currently on disk reflects records up to last_seq.
         let mut disk = self.replay_disk()?;
         let datasets = disk.take_datasets();
@@ -322,6 +352,7 @@ impl SessionStore {
         // Write-tmp → fsync → rename: the snapshot file is always either
         // the complete old one or the complete new one.
         let tmp = self.dir.join(SNAPSHOT_TMP);
+        let mut snapshot_bytes = 0u64;
         {
             let mut f = File::create(&tmp)?;
             let header = Json::object([
@@ -329,9 +360,13 @@ impl SessionStore {
                 ("version", 1u64.to_json()),
                 ("sessions", (merged.len() as u64).to_json()),
             ]);
-            f.write_all(&frame(header.to_string().as_bytes())?)?;
+            let header_frame = frame(header.to_string().as_bytes())?;
+            snapshot_bytes += header_frame.len() as u64;
+            f.write_all(&header_frame)?;
             for entry in merged.values() {
-                f.write_all(&frame(entry.to_json().to_string().as_bytes())?)?;
+                let entry_frame = frame(entry.to_json().to_string().as_bytes())?;
+                snapshot_bytes += entry_frame.len() as u64;
+                f.write_all(&entry_frame)?;
             }
             f.sync_data()?;
         }
@@ -365,11 +400,19 @@ impl SessionStore {
         self.sealed.retain(|&(index, _)| index >= boundary);
         self.compactions += 1;
         self.last_compaction_seq = through;
+        self.snapshot_sessions = merged.len() as u64;
         let sessions = merged.len() as u64;
         self.append(&LogRecord::SnapshotWritten {
             through_seq: through,
             sessions,
         })?;
+        if let Some(obs) = &self.observer {
+            obs.observe(
+                StoreOp::Compaction,
+                compact_started.elapsed(),
+                snapshot_bytes,
+            );
+        }
         Ok(())
     }
 
