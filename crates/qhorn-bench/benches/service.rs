@@ -8,7 +8,7 @@ use qhorn_engine::exec;
 use qhorn_engine::plan::CompiledQuery;
 use qhorn_engine::session::LearnerKind;
 use qhorn_engine::storage::Store;
-use qhorn_service::batch::execute_parallel;
+use qhorn_service::batch::{execute_parallel, execute_parallel_with_stats};
 use qhorn_service::registry::{CreateSpec, Registry, RegistryConfig, StepOutcome};
 use qhorn_sim::genobject::random_dense_object;
 use rand::rngs::SmallRng;
@@ -139,6 +139,14 @@ fn bench_parallel_batch(c: &mut Criterion) {
         b.iter(|| black_box(exec::execute(&plan, &store).len()))
     });
     for workers in [1usize, 2, 4, 8] {
+        // Record the pool actually spawned (the splitter caps it at the
+        // group count) so per-thread throughput can be read off the
+        // criterion totals: total ops/s ÷ threads_used.
+        let (_, stats) = execute_parallel_with_stats(&plan, &store, workers);
+        println!(
+            "parallel/{workers}: threads_used={} (divide group throughput by this for per-thread ops/s)",
+            stats.threads_used
+        );
         group.bench_with_input(
             BenchmarkId::new("parallel", workers),
             &workers,

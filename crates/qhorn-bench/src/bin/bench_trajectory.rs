@@ -1,12 +1,22 @@
 //! Perf-trajectory runner: executes the registry/store/http benchmark
 //! kernels with plain `std::time::Instant` timing and emits a
-//! machine-readable `BENCH_6.json` (name → ns/iter + throughput) so CI
+//! machine-readable `BENCH_7.json` (name → ns/iter + throughput) so CI
 //! and future PRs have a recorded baseline to diff against.
+//!
+//! Beyond the registry/store/transport series, the artifact carries a
+//! **kernel throughput** section (the lane-unrolled wide word path vs
+//! the scalar single-check evaluator, at arities 32 and 64, with the
+//! measured speedup under a top-level `kernel_speedup` key) and a
+//! **parallel batch** section (work-stealing `EvaluateBatch` over a
+//! signature-distinct store, with `threads_used` and per-thread
+//! throughput per entry and the box's `threads_available` recorded).
 //!
 //! The criterion benches under `benches/` remain the statistically
 //! careful tool for local investigation; this binary trades their
 //! sampling rigor for a dependency-free artifact that can run in a
-//! smoke step (`--quick`) and be committed at the repo root.
+//! smoke step (`--quick`) and be committed at the repo root. The
+//! written file is re-read and validated against the
+//! `qhorn-bench-trajectory/1` shape before the process exits.
 //!
 //! Usage:
 //!
@@ -15,30 +25,38 @@
 //! ```
 //!
 //! `--quick` cuts iteration counts ~10× for CI smoke runs; `--out`
-//! overrides the output path (default `BENCH_6.json` in the current
+//! overrides the output path (default `BENCH_7.json` in the current
 //! directory, i.e. the repo root when run via `cargo run`).
 
-use qhorn_core::{Obj, Query, Response};
+use qhorn_core::kernel::CompiledQuery;
+use qhorn_core::{BoolTuple, Expr, Obj, Query, Response, VarId, VarSet};
 use qhorn_engine::session::{Exchange, LearnerKind};
+use qhorn_engine::storage::Store;
 use qhorn_json::Json;
+use qhorn_service::batch;
 use qhorn_service::http::HttpClient;
 use qhorn_service::proto::{Reply, Request};
 use qhorn_service::registry::{CreateSpec, Registry, RegistryConfig, StepOutcome};
 use qhorn_service::{Client, HttpServer, Server};
 use qhorn_store::{FsyncPolicy, LogRecord, SessionMeta, SessionStore, StoreConfig};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 use std::hint::black_box;
 use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Instant;
 
 /// One measured benchmark: mean wall-clock per iteration and the derived
-/// element throughput.
+/// element throughput. Parallel entries additionally record the worker
+/// pool actually spawned (`threads_used`), from which the emitter
+/// derives per-thread throughput.
 struct BenchResult {
     name: &'static str,
     iters: u64,
     elements_per_iter: u64,
     ns_per_iter: f64,
     ops_per_sec: f64,
+    threads_used: Option<u64>,
 }
 
 /// Times `iters` calls of `f` after a short warmup (one tenth of the
@@ -66,6 +84,7 @@ fn bench<F: FnMut()>(
         elements_per_iter,
         ns_per_iter,
         ops_per_sec,
+        threads_used: None,
     }
 }
 
@@ -149,9 +168,117 @@ fn bench_store_append(
     result
 }
 
+/// The kernel workload's query: Horn-rule violations over variable pairs
+/// plus conjunction witnesses — witness-heavy after compilation, since
+/// every universal also contributes its guarantee witness.
+fn kernel_query(arity: u16) -> Query {
+    let step = arity / 8;
+    let mut exprs = Vec::new();
+    for i in 0..8u16 {
+        let a = (i * step) % arity;
+        let b = (i * step + 1) % arity;
+        let head = (i * step + 2) % arity;
+        let body: VarSet = [VarId(a), VarId(b)].into_iter().collect();
+        exprs.push(Expr::universal(body, VarId(head)));
+    }
+    for i in 0..4u16 {
+        let a = (i * step + 3) % arity;
+        let b = (i * step + 4) % arity;
+        exprs.push(Expr::conj([VarId(a), VarId(b)].into_iter().collect()));
+    }
+    Query::new(arity, exprs).expect("valid kernel query")
+}
+
+/// Distinct signatures for the kernel workload: random dense tuples,
+/// **closed under the query's Horn rules** (whenever a body holds the
+/// head is set too), so every object is an answer and both evaluators
+/// sweep the full tuple set — the throughput being measured, not an
+/// early-exit mix.
+fn kernel_signatures(
+    arity: u16,
+    plan: &CompiledQuery,
+    count: usize,
+    tuples_each: usize,
+) -> Vec<Obj> {
+    let mut rng = SmallRng::seed_from_u64(7);
+    (0..count)
+        .map(|_| {
+            let tuples: Vec<BoolTuple> = (0..tuples_each)
+                .map(|_| {
+                    let mut trues: VarSet = (0..arity)
+                        .filter(|_| rng.gen_bool(0.6))
+                        .map(VarId)
+                        .collect();
+                    for (body, head) in plan.violations() {
+                        if body.is_subset(&trues) {
+                            trues = trues.with(*head);
+                        }
+                    }
+                    BoolTuple::from_true_set(arity, trues)
+                })
+                .collect();
+            Obj::new(arity, tuples)
+        })
+        .collect()
+}
+
+/// Scalar vs lane-unrolled wide kernel throughput at one arity; returns
+/// `(scalar, wide)` results (ops/s counts tuples swept per second).
+fn bench_kernel_pair(
+    arity: u16,
+    scalar_name: &'static str,
+    wide_name: &'static str,
+    iters: u64,
+) -> (BenchResult, BenchResult) {
+    const SIGNATURES: usize = 512;
+    const TUPLES_EACH: usize = 96; // crosses the 64-tuple gather chunk
+    let plan = CompiledQuery::compile(&kernel_query(arity));
+    let sigs = kernel_signatures(arity, &plan, SIGNATURES, TUPLES_EACH);
+    // Closure under the Horn rules means full sweeps: every signature
+    // is an answer on both paths.
+    assert!(
+        sigs.iter()
+            .all(|s| plan.matches(s) && plan.matches_scalar(s)),
+        "kernel workload must be all-answers"
+    );
+    let elements = (SIGNATURES * TUPLES_EACH) as u64;
+    let scalar = bench(scalar_name, iters, elements, || {
+        let mut answers = 0usize;
+        for s in &sigs {
+            answers += usize::from(plan.matches_scalar(s));
+        }
+        black_box(answers);
+    });
+    let wide = bench(wide_name, iters, elements, || {
+        let mut answers = 0usize;
+        for s in &sigs {
+            answers += usize::from(plan.matches(s));
+        }
+        black_box(answers);
+    });
+    (scalar, wide)
+}
+
+/// Work-stealing parallel batch throughput over a signature-distinct
+/// store; records the pool actually spawned in `threads_used`.
+fn bench_parallel_batch(
+    name: &'static str,
+    plan: &CompiledQuery,
+    store: &Store,
+    workers: usize,
+    iters: u64,
+) -> BenchResult {
+    let (_, stats) = batch::execute_parallel_with_stats(plan, store, workers);
+    let mut result = bench(name, iters, store.len() as u64, || {
+        black_box(batch::execute_parallel(plan, store, workers).len());
+    });
+    result.threads_used = Some(stats.threads_used as u64);
+    result
+}
+
 fn main() {
     let mut quick = false;
-    let mut out = PathBuf::from("BENCH_6.json");
+    let mut out = PathBuf::from("BENCH_7.json");
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -228,6 +355,51 @@ fn main() {
     tcp.shutdown();
     http.shutdown();
 
+    // Kernel: the lane-unrolled wide word path vs the scalar
+    // single-check evaluator, at the word-path arities the batch engine
+    // cares about (32 and the 64 boundary).
+    let (scalar32, wide32) =
+        bench_kernel_pair(32, "kernel_scalar_arity32", "kernel_wide_arity32", n(60, 6));
+    let (scalar64, wide64) =
+        bench_kernel_pair(64, "kernel_scalar_arity64", "kernel_wide_arity64", n(60, 6));
+    let speedup32 = wide32.ops_per_sec / scalar32.ops_per_sec;
+    let speedup64 = wide64.ops_per_sec / scalar64.ops_per_sec;
+    eprintln!("kernel wide/scalar speedup: {speedup32:.2}x @ arity 32, {speedup64:.2}x @ arity 64");
+    results.extend([scalar32, wide32, scalar64, wide64]);
+
+    // Parallel batch: the work-stealing EvaluateBatch path over a
+    // signature-distinct store (every object a distinct signature, so
+    // the splitter has real work to distribute), single-worker vs the
+    // box's full parallelism.
+    let threads_available =
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    eprintln!("(available parallelism: {threads_available} thread(s))");
+    {
+        let arity = 12u16;
+        let plan = CompiledQuery::compile(&qhorn_bench::bench_role_preserving_target(arity));
+        let mut rng = SmallRng::seed_from_u64(11);
+        let mut store = Store::new(arity);
+        for _ in 0..n(20_000, 2_000) {
+            store.insert(qhorn_sim::genobject::random_dense_object(
+                arity, 24, &mut rng,
+            ));
+        }
+        results.push(bench_parallel_batch(
+            "parallel_batch_workers_1",
+            &plan,
+            &store,
+            1,
+            n(20, 2),
+        ));
+        results.push(bench_parallel_batch(
+            "parallel_batch_workers_max",
+            &plan,
+            &store,
+            threads_available,
+            n(20, 2),
+        ));
+    }
+
     let json = Json::Obj(vec![
         (
             "schema".to_string(),
@@ -239,12 +411,23 @@ fn main() {
         ),
         ("quick".to_string(), Json::Bool(quick)),
         (
+            "threads_available".to_string(),
+            Json::U64(threads_available as u64),
+        ),
+        (
+            "kernel_speedup".to_string(),
+            Json::Obj(vec![
+                ("arity32".to_string(), Json::F64(speedup32)),
+                ("arity64".to_string(), Json::F64(speedup64)),
+            ]),
+        ),
+        (
             "results".to_string(),
             Json::Arr(
                 results
                     .iter()
                     .map(|r| {
-                        Json::Obj(vec![
+                        let mut pairs = vec![
                             ("name".to_string(), Json::Str(r.name.to_string())),
                             ("iters".to_string(), Json::U64(r.iters)),
                             (
@@ -253,12 +436,84 @@ fn main() {
                             ),
                             ("ns_per_iter".to_string(), Json::F64(r.ns_per_iter)),
                             ("ops_per_sec".to_string(), Json::F64(r.ops_per_sec)),
-                        ])
+                        ];
+                        if let Some(threads) = r.threads_used {
+                            pairs.push(("threads_used".to_string(), Json::U64(threads)));
+                            pairs.push((
+                                "per_thread_ops_per_sec".to_string(),
+                                Json::F64(r.ops_per_sec / threads.max(1) as f64),
+                            ));
+                        }
+                        Json::Obj(pairs)
                     })
                     .collect(),
             ),
         ),
     ]);
     std::fs::write(&out, qhorn_json::to_string(&json) + "\n").expect("write bench output");
-    eprintln!("wrote {}", out.display());
+    let written = std::fs::read_to_string(&out).expect("re-read bench output");
+    validate_artifact(&written);
+    eprintln!("wrote {} (validated)", out.display());
+}
+
+/// Re-parses the written artifact and checks the
+/// `qhorn-bench-trajectory/1` shape, including the kernel-throughput
+/// and thread-count fields added with the multicore batch path. Panics
+/// (failing the smoke step) on any missing piece.
+fn validate_artifact(text: &str) {
+    let json: Json = qhorn_json::from_str(text).expect("artifact must parse");
+    let field = |key: &str| json.get(key).unwrap_or_else(|| panic!("missing `{key}`"));
+    assert!(
+        matches!(field("schema"), Json::Str(s) if s == "qhorn-bench-trajectory/1"),
+        "schema tag mismatch"
+    );
+    assert!(
+        field("threads_available").as_u64().is_some_and(|n| n >= 1),
+        "threads_available must be a positive integer"
+    );
+    let speedup = field("kernel_speedup");
+    for arity in ["arity32", "arity64"] {
+        assert!(
+            speedup
+                .get(arity)
+                .and_then(Json::as_f64)
+                .is_some_and(|s| s > 0.0),
+            "kernel_speedup.{arity} missing"
+        );
+    }
+    let Json::Arr(results) = field("results") else {
+        panic!("`results` must be an array");
+    };
+    let by_name = |name: &str| {
+        results
+            .iter()
+            .find(|r| matches!(r.get("name"), Some(Json::Str(s)) if s == name))
+            .unwrap_or_else(|| panic!("missing result `{name}`"))
+    };
+    for r in results {
+        for key in ["iters", "elements_per_iter", "ns_per_iter", "ops_per_sec"] {
+            assert!(r.get(key).is_some(), "result missing `{key}`");
+        }
+    }
+    for name in [
+        "kernel_scalar_arity32",
+        "kernel_wide_arity32",
+        "kernel_scalar_arity64",
+        "kernel_wide_arity64",
+    ] {
+        by_name(name);
+    }
+    for name in ["parallel_batch_workers_1", "parallel_batch_workers_max"] {
+        let r = by_name(name);
+        assert!(
+            r.get("threads_used")
+                .and_then(Json::as_u64)
+                .is_some_and(|n| n >= 1),
+            "`{name}` missing threads_used"
+        );
+        assert!(
+            r.get("per_thread_ops_per_sec").is_some(),
+            "`{name}` missing per_thread_ops_per_sec"
+        );
+    }
 }

@@ -18,10 +18,17 @@
 //! check is met. For arities ≤ 64 (every workload this system runs) both
 //! checks are single-`u64` AND/compare operations against each tuple's
 //! inline true-set word ([`crate::VarSet::as_word`]) — no allocation, no
-//! AST walk. Wider arities fall back to generic [`crate::VarSet`]
-//! operations, and bulk execution over large objects can instead sweep a
-//! columnar [`TupleMatrix`] (one bitmap per variable over the object's
-//! tuples) with word-parallel AND/AND-NOT passes.
+//! AST walk. The default path is **lane-unrolled**: tuple words are
+//! gathered into a fixed stack buffer in chunks of 64 and each pass over
+//! the buffer evaluates [`LANES`] (4) check masks at once, branchless
+//! within a lane group, with witness satisfaction tracked as a single
+//! `u64` bitmask (one bit per witness check). The original one-check-at-
+//! a-time evaluator survives as [`CompiledQuery::matches_scalar`] — the
+//! differential-test and benchmark baseline. Wider arities fall back to
+//! generic [`crate::VarSet`] operations, and bulk execution over large
+//! objects can instead sweep a columnar [`TupleMatrix`] (one contiguous
+//! cache-line-aligned bitmap buffer, one column per variable) whose
+//! AND/AND-NOT passes are unrolled 4 words (256 tuples) per step.
 //!
 //! Three entry points cover the system's evaluation patterns:
 //!
@@ -53,14 +60,80 @@ fn tuple_word(t: &BoolTuple) -> u64 {
 // Columnar matrices
 // ---------------------------------------------------------------------------
 
+/// Check masks evaluated per pass in the lane-unrolled kernels (an
+/// explicit `u64x4`-style unroll on stable std — wide enough for the
+/// compiler to emit vector AND/CMP sequences, narrow enough to stay in
+/// registers).
+pub const LANES: usize = 4;
+
+/// Tuple words buffered per chunk on the arity ≤ 64 wide path (512 bytes
+/// — a handful of cache lines, gathered once per chunk instead of once
+/// per check pass).
+const TUPLE_CHUNK: usize = 64;
+
+/// A contiguous `u64` buffer whose payload starts on a cache-line (64-
+/// byte) boundary: the allocation is padded by up to 7 words and the
+/// payload window begins at the first aligned word. Safe code only —
+/// alignment is achieved by offsetting into the over-allocation, not by
+/// a custom allocator.
+#[derive(Debug)]
+struct WordBuf {
+    data: Vec<u64>,
+    off: usize,
+    len: usize,
+}
+
+/// Words per cache line; the over-allocation margin of [`WordBuf`].
+const CACHE_LINE_WORDS: usize = 8;
+
+impl WordBuf {
+    fn zeroed(len: usize) -> Self {
+        let data = vec![0u64; len + CACHE_LINE_WORDS - 1];
+        // `align_offset` on an 8-byte-aligned `*const u64` is 0..=7; the
+        // `min` only guards the (never-taken) pessimistic return.
+        let off = data
+            .as_ptr()
+            .align_offset(CACHE_LINE_WORDS * 8)
+            .min(CACHE_LINE_WORDS - 1);
+        WordBuf { data, off, len }
+    }
+
+    #[inline]
+    fn words(&self) -> &[u64] {
+        &self.data[self.off..self.off + self.len]
+    }
+
+    #[inline]
+    fn words_mut(&mut self) -> &mut [u64] {
+        &mut self.data[self.off..self.off + self.len]
+    }
+}
+
+impl Clone for WordBuf {
+    fn clone(&self) -> Self {
+        // A fresh allocation lands at a fresh address: realign rather
+        // than copying the old offset.
+        let mut fresh = WordBuf::zeroed(self.len);
+        fresh.words_mut().copy_from_slice(self.words());
+        fresh
+    }
+}
+
 /// Column bitmaps over one object's tuples: `column(v)` has bit `i` set
-/// iff tuple `i` has variable `v` true.
+/// iff tuple `i` has variable `v` true. All columns live in one
+/// contiguous cache-line-aligned word buffer (column `v` occupies words
+/// `[v·words_per_col, (v+1)·words_per_col)`), and the ragged-tail mask is
+/// precomputed once at build time.
 #[derive(Clone, Debug)]
 pub struct TupleMatrix {
     rows: usize,
     words_per_col: usize,
-    /// Column-major bitmap data: `cols[v][w]`.
-    cols: Vec<Vec<u64>>,
+    /// Valid-row mask of the **last** word of each column (`u64::MAX`
+    /// when `rows` is a multiple of 64). Precomputed at build time so hot
+    /// loops never recompute it.
+    tail_mask: u64,
+    /// Column-major bitmap data; see [`TupleMatrix::col`].
+    buf: WordBuf,
 }
 
 impl TupleMatrix {
@@ -70,16 +143,25 @@ impl TupleMatrix {
         let rows = obj.len();
         let n = obj.arity() as usize;
         let words = rows.div_ceil(64);
-        let mut cols = vec![vec![0u64; words]; n];
-        for (i, t) in obj.tuples().iter().enumerate() {
-            for v in t.true_set().iter() {
-                cols[v.index()][i / 64] |= 1 << (i % 64);
+        let tail_mask = if rows.is_multiple_of(64) {
+            u64::MAX
+        } else {
+            (1u64 << (rows % 64)) - 1
+        };
+        let mut buf = WordBuf::zeroed(n * words);
+        {
+            let data = buf.words_mut();
+            for (i, t) in obj.tuples().iter().enumerate() {
+                for v in t.true_set().iter() {
+                    data[v.index() * words + i / 64] |= 1 << (i % 64);
+                }
             }
         }
         TupleMatrix {
             rows,
             words_per_col: words,
-            cols,
+            tail_mask,
+            buf,
         }
     }
 
@@ -89,7 +171,28 @@ impl TupleMatrix {
         self.rows
     }
 
+    /// The bitmap column of variable `v`.
+    #[inline]
+    fn col(&self, v: usize) -> &[u64] {
+        &self.buf.words()[v * self.words_per_col..(v + 1) * self.words_per_col]
+    }
+
+    /// Valid-row mask for word `w` (precomputed tail, full elsewhere).
+    #[inline]
+    fn word_mask(&self, w: usize) -> u64 {
+        if w + 1 == self.words_per_col {
+            self.tail_mask
+        } else {
+            u64::MAX
+        }
+    }
+
     /// `true` iff some tuple has all of `vars` true.
+    ///
+    /// Lane-unrolled: the AND-reduction runs [`LANES`] words (256 tuple
+    /// rows) per step. Padding bits beyond `rows` are zero in every
+    /// column, so once at least one column is ANDed in, no tail mask is
+    /// needed.
     #[must_use]
     pub fn any_with_all(&self, vars: &VarSet) -> bool {
         if self.rows == 0 {
@@ -98,47 +201,89 @@ impl TupleMatrix {
         if vars.is_empty() {
             return true;
         }
-        'words: for w in 0..self.words_per_col {
-            let mut acc = self.word_mask(w);
+        let wpc = self.words_per_col;
+        let mut w = 0;
+        while w + LANES <= wpc {
+            let mut acc = [u64::MAX; LANES];
             for v in vars.iter() {
-                acc &= self.cols[v.index()][w];
-                if acc == 0 {
-                    continue 'words;
+                let col = self.col(v.index());
+                for l in 0..LANES {
+                    acc[l] &= col[w + l];
+                }
+                if acc.iter().fold(0, |a, &b| a | b) == 0 {
+                    break;
                 }
             }
-            return true;
+            if acc.iter().fold(0, |a, &b| a | b) != 0 {
+                return true;
+            }
+            w += LANES;
+        }
+        while w < wpc {
+            let mut acc = u64::MAX;
+            for v in vars.iter() {
+                acc &= self.col(v.index())[w];
+                if acc == 0 {
+                    break;
+                }
+            }
+            if acc != 0 {
+                return true;
+            }
+            w += 1;
         }
         false
     }
 
     /// `true` iff some tuple has all of `body` true and `head` false — a
-    /// violation of `∀ body → head`.
+    /// violation of `∀ body → head`. Lane-unrolled like
+    /// [`TupleMatrix::any_with_all`]; the head column is negated, so the
+    /// (precomputed) tail mask re-zeroes the padding rows.
     #[must_use]
     pub fn any_violating(&self, body: &VarSet, head: VarId) -> bool {
-        'words: for w in 0..self.words_per_col {
-            let mut acc = self.word_mask(w) & !self.cols[head.index()][w];
-            if acc == 0 {
-                continue;
+        if self.rows == 0 {
+            return false;
+        }
+        let wpc = self.words_per_col;
+        let hcol = self.col(head.index());
+        let mut w = 0;
+        while w + LANES <= wpc {
+            let mut acc = [0u64; LANES];
+            for l in 0..LANES {
+                acc[l] = self.word_mask(w + l) & !hcol[w + l];
             }
-            for v in body.iter() {
-                acc &= self.cols[v.index()][w];
-                if acc == 0 {
-                    continue 'words;
+            if acc.iter().fold(0, |a, &b| a | b) != 0 {
+                for v in body.iter() {
+                    let col = self.col(v.index());
+                    for l in 0..LANES {
+                        acc[l] &= col[w + l];
+                    }
+                    if acc.iter().fold(0, |a, &b| a | b) == 0 {
+                        break;
+                    }
+                }
+                if acc.iter().fold(0, |a, &b| a | b) != 0 {
+                    return true;
                 }
             }
-            return true;
+            w += LANES;
+        }
+        while w < wpc {
+            let mut acc = self.word_mask(w) & !hcol[w];
+            if acc != 0 {
+                for v in body.iter() {
+                    acc &= self.col(v.index())[w];
+                    if acc == 0 {
+                        break;
+                    }
+                }
+                if acc != 0 {
+                    return true;
+                }
+            }
+            w += 1;
         }
         false
-    }
-
-    /// Valid-row mask for word `w` (handles the ragged last word).
-    fn word_mask(&self, w: usize) -> u64 {
-        let remaining = self.rows - w * 64;
-        if remaining >= 64 {
-            u64::MAX
-        } else {
-            (1u64 << remaining) - 1
-        }
     }
 }
 
@@ -146,11 +291,13 @@ impl TupleMatrix {
 // Compiled queries
 // ---------------------------------------------------------------------------
 
-/// The word-level check lists for arities ≤ 64: violations as
-/// `(body_mask, head_bit)`, witnesses as `need` masks.
+/// The word-level check lists for arities ≤ 64, stored as parallel flat
+/// arrays (violation `i` is `(bodies[i], heads[i])`) so the lane-unrolled
+/// evaluator can load [`LANES`] consecutive check masks per pass.
 #[derive(Clone, Debug)]
 struct WordChecks {
-    violations: Vec<(u64, u64)>,
+    bodies: Vec<u64>,
+    heads: Vec<u64>,
     witnesses: Vec<u64>,
 }
 
@@ -212,13 +359,11 @@ impl CompiledQuery {
 
     fn assemble(n: u16, violations: Vec<(VarSet, VarId)>, witnesses: Vec<VarSet>) -> Self {
         let words = (n <= 64).then(|| WordChecks {
-            violations: violations
+            bodies: violations
                 .iter()
-                .map(|(b, h)| {
-                    let body = b.as_word().expect("arity ≤ 64 bodies are inline");
-                    (body, 1u64 << h.index())
-                })
+                .map(|(b, _)| b.as_word().expect("arity ≤ 64 bodies are inline"))
                 .collect(),
+            heads: violations.iter().map(|(_, h)| 1u64 << h.index()).collect(),
             witnesses: witnesses
                 .iter()
                 .map(|w| w.as_word().expect("arity ≤ 64 conjunctions are inline"))
@@ -263,7 +408,8 @@ impl CompiledQuery {
     const MATRIX_ROWS_THRESHOLD: usize = 256;
 
     /// Evaluates the compiled query on an object. Arity ≤ 64 runs the
-    /// allocation-free single-word path; wider arities check tuples
+    /// allocation-free lane-unrolled word path ([`LANES`] check masks per
+    /// pass over chunk-buffered tuple words); wider arities check tuples
     /// directly, switching to a columnar matrix sweep for large objects.
     ///
     /// # Panics
@@ -272,7 +418,27 @@ impl CompiledQuery {
     pub fn matches(&self, obj: &Obj) -> bool {
         assert_eq!(obj.arity(), self.n, "arity mismatch");
         match &self.words {
-            Some(w) => self.matches_words(w, obj),
+            Some(w) => self.matches_words_wide(w, obj),
+            None if obj.len() >= Self::MATRIX_ROWS_THRESHOLD => {
+                self.matches_matrix(&TupleMatrix::build(obj))
+            }
+            None => self.matches_direct(obj),
+        }
+    }
+
+    /// [`CompiledQuery::matches`] through the **single-word scalar**
+    /// evaluator: one check mask at a time, one branchy compare per tuple
+    /// — the pre-lane-unrolling kernel. Kept as the differential-test
+    /// oracle and the benchmark baseline the wide path is measured
+    /// against; non-word arities dispatch exactly like `matches`.
+    ///
+    /// # Panics
+    /// Panics on arity mismatch.
+    #[must_use]
+    pub fn matches_scalar(&self, obj: &Obj) -> bool {
+        assert_eq!(obj.arity(), self.n, "arity mismatch");
+        match &self.words {
+            Some(w) => self.matches_words_scalar(w, obj),
             None if obj.len() >= Self::MATRIX_ROWS_THRESHOLD => {
                 self.matches_matrix(&TupleMatrix::build(obj))
             }
@@ -294,10 +460,12 @@ impl CompiledQuery {
         self.witnesses.iter().all(|w| obj.some_tuple_satisfies(w))
     }
 
-    fn matches_words(&self, w: &WordChecks, obj: &Obj) -> bool {
+    /// The scalar word evaluator: per-tuple violation compares, then one
+    /// pass over the tuples per witness check.
+    fn matches_words_scalar(&self, w: &WordChecks, obj: &Obj) -> bool {
         for t in obj.tuples() {
             let tw = tuple_word(t);
-            for &(body, head) in &w.violations {
+            for (&body, &head) in w.bodies.iter().zip(&w.heads) {
                 if tw & body == body && tw & head == 0 {
                     return false;
                 }
@@ -312,6 +480,85 @@ impl CompiledQuery {
             return false;
         }
         true
+    }
+
+    /// The lane-unrolled word evaluator: a **single pass** over the
+    /// object. Tuple words are gathered into a fixed stack buffer in
+    /// chunks of [`TUPLE_CHUNK`]; each pass over a chunk evaluates
+    /// [`LANES`] check masks branchlessly, and witness satisfaction is a
+    /// `u64` bitmask (bit `i` = witness `i` still unmet) cleared as
+    /// chunks are swept. Falls back to the scalar evaluator in the
+    /// (degenerate) > 64-witness case, where the bitmask would spill.
+    fn matches_words_wide(&self, w: &WordChecks, obj: &Obj) -> bool {
+        if w.witnesses.len() > 64 {
+            return self.matches_words_scalar(w, obj);
+        }
+        let mut unmet: u64 = if w.witnesses.is_empty() {
+            0
+        } else {
+            u64::MAX >> (64 - w.witnesses.len())
+        };
+        let mut buf = [0u64; TUPLE_CHUNK];
+        for chunk in obj.tuples().chunks(TUPLE_CHUNK) {
+            for (i, t) in chunk.iter().enumerate() {
+                buf[i] = tuple_word(t);
+            }
+            let words = &buf[..chunk.len()];
+
+            // Violations: LANES check masks per pass over the chunk.
+            let mut vi = 0;
+            while vi + LANES <= w.bodies.len() {
+                let b: [u64; LANES] = w.bodies[vi..vi + LANES].try_into().unwrap();
+                let h: [u64; LANES] = w.heads[vi..vi + LANES].try_into().unwrap();
+                for &tw in words {
+                    let mut hit = false;
+                    for l in 0..LANES {
+                        hit |= (tw & b[l] == b[l]) & (tw & h[l] == 0);
+                    }
+                    if hit {
+                        return false;
+                    }
+                }
+                vi += LANES;
+            }
+            for j in vi..w.bodies.len() {
+                let (b, h) = (w.bodies[j], w.heads[j]);
+                for &tw in words {
+                    if tw & b == b && tw & h == 0 {
+                        return false;
+                    }
+                }
+            }
+
+            // Witnesses: LANES need masks per pass, results folded into
+            // the unmet bitmask; fully-met lane groups are skipped.
+            if unmet != 0 {
+                let mut wi = 0;
+                while wi + LANES <= w.witnesses.len() {
+                    let group = ((1u64 << LANES) - 1) << wi;
+                    if unmet & group != 0 {
+                        let n: [u64; LANES] = w.witnesses[wi..wi + LANES].try_into().unwrap();
+                        let mut met = 0u64;
+                        for &tw in words {
+                            for (l, &need) in n.iter().enumerate() {
+                                met |= u64::from(tw & need == need) << (wi + l);
+                            }
+                        }
+                        unmet &= !met;
+                    }
+                    wi += LANES;
+                }
+                for j in wi..w.witnesses.len() {
+                    if unmet & (1 << j) != 0 {
+                        let need = w.witnesses[j];
+                        if words.iter().any(|&tw| tw & need == need) {
+                            unmet &= !(1 << j);
+                        }
+                    }
+                }
+            }
+        }
+        unmet == 0
     }
 
     /// Evaluates the compiled query on a prebuilt matrix (bulk execution
@@ -568,10 +815,10 @@ impl SubsetEvaluator {
         let plan = CompiledQuery::compile(q);
         let words = plan.words.as_ref().expect("n ≤ 6 compiles to words");
         let codes = 1u64 << n; // number of tuples in the universe, ≤ 64
-        let mut violations = vec![0u64; words.violations.len()];
+        let mut violations = vec![0u64; words.bodies.len()];
         let mut witnesses = vec![0u64; words.witnesses.len()];
         for code in 0..codes {
-            for (i, &(body, head)) in words.violations.iter().enumerate() {
+            for (i, (&body, &head)) in words.bodies.iter().zip(&words.heads).enumerate() {
                 if code & body == body && code & head == 0 {
                     violations[i] |= 1u64 << code;
                 }
@@ -603,11 +850,40 @@ impl SubsetEvaluator {
     }
 
     /// Evaluates the query on the object whose tuple set is `mask` (bit
-    /// `w` ⇔ the tuple with true-set word `w` is present).
+    /// `w` ⇔ the tuple with true-set word `w` is present). Lane-unrolled:
+    /// [`LANES`] check masks are tested per step, branchless within a
+    /// group — this is the innermost loop of `2^(2^n)`-object brute-force
+    /// enumeration, so per-check branches matter.
     #[must_use]
     pub fn accepts_subset(&self, mask: u64) -> bool {
-        self.violations.iter().all(|v| v & mask == 0)
-            && self.witnesses.iter().all(|w| w & mask != 0)
+        let v = &self.violations;
+        let mut vi = 0;
+        while vi + LANES <= v.len() {
+            let mut hit = 0u64;
+            for l in 0..LANES {
+                hit |= v[vi + l] & mask;
+            }
+            if hit != 0 {
+                return false;
+            }
+            vi += LANES;
+        }
+        if v[vi..].iter().any(|x| x & mask != 0) {
+            return false;
+        }
+        let w = &self.witnesses;
+        let mut wi = 0;
+        while wi + LANES <= w.len() {
+            let mut all = true;
+            for l in 0..LANES {
+                all &= w[wi + l] & mask != 0;
+            }
+            if !all {
+                return false;
+            }
+            wi += LANES;
+        }
+        w[wi..].iter().all(|x| x & mask != 0)
     }
 
     /// Materializes the object a subset mask denotes.
@@ -850,47 +1126,108 @@ mod tests {
         .prop_map(move |ts| Obj::new(n, ts))
     }
 
-    /// Differential property: kernel ≡ naive reference across arities
-    /// 1–8, for one-shot, compiled-strict, and compiled-relaxed paths.
+    /// Differential property: SIMD-wide ≡ single-word scalar ≡ naive
+    /// reference, for one-shot, compiled-strict, and compiled-relaxed
+    /// paths. Arities 1–8 cover the everyday range; 63/64/65 pin the
+    /// inline-word boundary (65 exercises the spilled `VarSet` path,
+    /// where `words` is `None` and wide/scalar collapse to the generic
+    /// evaluator).
     macro_rules! kernel_differential {
-        ($($name:ident: $n:expr;)*) => {
-            proptest! {
-                #![proptest_config(ProptestConfig::with_cases(48))]
-                $(
+        ($($name:ident: $n:expr, $cases:expr;)*) => {
+            $(
+                proptest! {
+                    #![proptest_config(ProptestConfig::with_cases($cases))]
                     #[test]
                     fn $name(q in arb_query($n), obj in arb_object($n)) {
                         let naive = reference::accepts(&q, &obj);
                         prop_assert_eq!(accepts(&q, &obj), naive, "one-shot vs naive: {} on {}", q, obj);
+                        let plan = CompiledQuery::compile(&q);
                         prop_assert_eq!(
-                            CompiledQuery::compile(&q).matches(&obj),
+                            plan.matches(&obj),
                             naive,
-                            "compiled vs naive: {} on {}", q, obj
+                            "compiled wide vs naive: {} on {}", q, obj
                         );
+                        prop_assert_eq!(
+                            plan.matches_scalar(&obj),
+                            naive,
+                            "compiled scalar vs naive: {} on {}", q, obj
+                        );
+                        prop_assert_eq!(
+                            plan.matches_matrix(&TupleMatrix::build(&obj)),
+                            naive,
+                            "matrix vs naive: {} on {}", q, obj
+                        );
+                        let relaxed_naive = reference::accepts_without_universal_guarantees(&q, &obj);
                         prop_assert_eq!(
                             accepts_without_universal_guarantees(&q, &obj),
-                            reference::accepts_without_universal_guarantees(&q, &obj),
+                            relaxed_naive,
                             "one-shot relaxed vs naive: {} on {}", q, obj
                         );
+                        let relaxed = CompiledQuery::compile_relaxed(&q);
                         prop_assert_eq!(
-                            CompiledQuery::compile_relaxed(&q).matches(&obj),
-                            reference::accepts_without_universal_guarantees(&q, &obj),
-                            "compiled relaxed vs naive: {} on {}", q, obj
+                            relaxed.matches(&obj),
+                            relaxed_naive,
+                            "compiled relaxed wide vs naive: {} on {}", q, obj
+                        );
+                        prop_assert_eq!(
+                            relaxed.matches_scalar(&obj),
+                            relaxed_naive,
+                            "compiled relaxed scalar vs naive: {} on {}", q, obj
                         );
                     }
-                )*
-            }
+                }
+            )*
         };
     }
 
     kernel_differential! {
-        differential_arity_1: 1;
-        differential_arity_2: 2;
-        differential_arity_3: 3;
-        differential_arity_4: 4;
-        differential_arity_5: 5;
-        differential_arity_6: 6;
-        differential_arity_7: 7;
-        differential_arity_8: 8;
+        differential_arity_1: 1, 48;
+        differential_arity_2: 2, 48;
+        differential_arity_3: 3, 48;
+        differential_arity_4: 4, 48;
+        differential_arity_5: 5, 48;
+        differential_arity_6: 6, 48;
+        differential_arity_7: 7, 48;
+        differential_arity_8: 8, 48;
+        differential_arity_63: 63, 24;
+        differential_arity_64: 64, 24;
+        differential_arity_65: 65, 24;
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// Objects larger than one gather chunk (64 tuples): the wide
+        /// path's chunked witness bookkeeping must agree with the scalar
+        /// and naive evaluators across the chunk boundary.
+        #[test]
+        fn wide_path_crosses_tuple_chunk_boundaries(
+            q in arb_query(32),
+            seed_tuples in prop::collection::vec(
+                prop::collection::btree_set(0u16..32, 0..=32usize),
+                60..=70,
+            ),
+            repeat in 1usize..=3,
+        ) {
+            // Repeat the tuple pool to reach up to ~210 rows (deduped by
+            // Obj construction; still crosses the 64- and 128-row marks).
+            let tuples: Vec<BoolTuple> = seed_tuples
+                .iter()
+                .cycle()
+                .take(seed_tuples.len() * repeat)
+                .map(|ids| BoolTuple::from_true_set(32, ids.iter().map(|&i| VarId(i)).collect()))
+                .collect();
+            let obj = Obj::new(32, tuples);
+            let naive = reference::accepts(&q, &obj);
+            let plan = CompiledQuery::compile(&q);
+            prop_assert_eq!(plan.matches(&obj), naive, "wide: {} on {} tuples", q, obj.len());
+            prop_assert_eq!(plan.matches_scalar(&obj), naive, "scalar: {} on {} tuples", q, obj.len());
+            prop_assert_eq!(
+                plan.matches_matrix(&TupleMatrix::build(&obj)),
+                naive,
+                "matrix: {} on {} tuples", q, obj.len()
+            );
+        }
     }
 
     // -- explain -----------------------------------------------------------

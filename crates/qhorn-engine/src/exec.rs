@@ -6,8 +6,15 @@
 
 use crate::plan::CompiledQuery;
 use crate::storage::{ObjectId, Store};
+use std::time::Instant;
 
 /// Execution statistics.
+///
+/// The wire encoding is **versioned additively**: `threads_used` and
+/// `eval_nanos` (added with the multicore batch path) are always emitted
+/// but optional on decode, so replies recorded by a pre-threading peer —
+/// or replayed against one — still round-trip. Absent fields decode as
+/// `0`, meaning "not recorded".
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct ExecStats {
     /// Objects in the store.
@@ -16,11 +23,39 @@ pub struct ExecStats {
     pub signatures_evaluated: usize,
     /// Objects returned as answers.
     pub answers: usize,
+    /// Worker threads that evaluated signature groups (1 for the
+    /// sequential path; 0 when decoded from a pre-threading encoding).
+    pub threads_used: usize,
+    /// Wall-clock nanoseconds spent evaluating. The only
+    /// non-deterministic field: comparisons that expect reproducible
+    /// stats should go through [`ExecStats::without_timing`].
+    pub eval_nanos: u64,
+}
+
+impl ExecStats {
+    /// A copy with the wall-clock field zeroed — equality on everything
+    /// deterministic (tests comparing parallel vs sequential runs, and
+    /// the conformance harness's byte-identity normalization, use this).
+    #[must_use]
+    pub fn without_timing(&self) -> ExecStats {
+        ExecStats {
+            eval_nanos: 0,
+            ..*self
+        }
+    }
 }
 
 mod json {
     use super::ExecStats;
     use qhorn_json::{FromJson, Json, JsonError, ToJson};
+
+    /// Additive-versioning decode: absent field ⇒ 0 ("not recorded").
+    fn u64_or_zero(j: &Json, key: &str) -> Result<u64, JsonError> {
+        match j.get(key) {
+            None => Ok(0),
+            Some(v) => u64::from_json(v),
+        }
+    }
 
     impl ToJson for ExecStats {
         fn to_json(&self) -> Json {
@@ -28,6 +63,8 @@ mod json {
                 ("objects", self.objects.to_json()),
                 ("signatures_evaluated", self.signatures_evaluated.to_json()),
                 ("answers", self.answers.to_json()),
+                ("threads_used", self.threads_used.to_json()),
+                ("eval_nanos", self.eval_nanos.to_json()),
             ])
         }
     }
@@ -38,6 +75,8 @@ mod json {
                 objects: usize::from_json(j.field("objects")?)?,
                 signatures_evaluated: usize::from_json(j.field("signatures_evaluated")?)?,
                 answers: usize::from_json(j.field("answers")?)?,
+                threads_used: u64_or_zero(j, "threads_used")? as usize,
+                eval_nanos: u64_or_zero(j, "eval_nanos")?,
             })
         }
     }
@@ -55,6 +94,7 @@ pub fn execute(plan: &CompiledQuery, store: &Store) -> Vec<ObjectId> {
 #[must_use]
 pub fn execute_with_stats(plan: &CompiledQuery, store: &Store) -> (Vec<ObjectId>, ExecStats) {
     assert_eq!(plan.arity(), store.arity(), "plan/store arity mismatch");
+    let start = Instant::now();
     let mut hits: Vec<ObjectId> = Vec::new();
     let mut evaluated = 0usize;
     for (signature, ids) in store.index().groups() {
@@ -68,6 +108,8 @@ pub fn execute_with_stats(plan: &CompiledQuery, store: &Store) -> (Vec<ObjectId>
         objects: store.len(),
         signatures_evaluated: evaluated,
         answers: hits.len(),
+        threads_used: 1,
+        eval_nanos: start.elapsed().as_nanos() as u64,
     };
     (hits, stats)
 }
@@ -161,9 +203,38 @@ mod tests {
             objects: 1000,
             signatures_evaluated: 37,
             answers: 12,
+            threads_used: 4,
+            eval_nanos: 123_456,
         };
         let json = qhorn_json::to_string(&stats);
         let back: ExecStats = qhorn_json::from_str(&json).unwrap();
         assert_eq!(back, stats);
+    }
+
+    #[test]
+    fn exec_stats_decodes_pre_threading_encoding() {
+        // A reply recorded before `threads_used`/`eval_nanos` existed
+        // must still decode — mixed-version replay stays green. Absent
+        // fields mean "not recorded" (0).
+        let legacy = r#"{"objects":1000,"signatures_evaluated":37,"answers":12}"#;
+        let back: ExecStats = qhorn_json::from_str(legacy).unwrap();
+        assert_eq!(
+            back,
+            ExecStats {
+                objects: 1000,
+                signatures_evaluated: 37,
+                answers: 12,
+                threads_used: 0,
+                eval_nanos: 0,
+            }
+        );
+    }
+
+    #[test]
+    fn sequential_stats_record_one_thread() {
+        let (_, stats) = execute_with_stats(&plan("all x1"), &store());
+        assert_eq!(stats.threads_used, 1);
+        assert_eq!(stats.without_timing().eval_nanos, 0);
+        assert_eq!(stats.without_timing().threads_used, 1);
     }
 }

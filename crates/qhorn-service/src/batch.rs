@@ -1,17 +1,41 @@
 //! Parallel batch evaluation — the service's bulk query path.
 //!
 //! [`qhorn_engine::exec::execute`] walks the store's signature groups
-//! sequentially. Here the groups are split into contiguous chunks and
-//! evaluated on scoped worker threads; results are merged and sorted, so
-//! the answer set is **identical** to the sequential path (asserted by
-//! tests and relied on by the `EvaluateBatch` protocol message).
+//! sequentially. Here a scoped worker pool drains the groups through a
+//! **work-stealing splitter**: a shared atomic cursor from which each
+//! worker claims small contiguous grains of groups. Static chunking (one
+//! contiguous slab per worker, the pre-multicore design) serializes the
+//! whole batch behind whichever worker drew the expensive signatures;
+//! with grain-sized claiming, a worker stuck on a skewed group only
+//! holds that grain while the rest of the pool drains the remainder.
+//!
+//! Results are merged and sorted, so the answer set is **identical** to
+//! the sequential path (asserted by the differential proptests in
+//! `tests/parallel_batch.rs` and relied on by the `EvaluateBatch`
+//! protocol message), and the merged [`ExecStats`] are deterministic in
+//! everything but the wall-clock `eval_nanos` field.
 
 use qhorn_engine::exec::ExecStats;
 use qhorn_engine::plan::CompiledQuery;
 use qhorn_engine::storage::{ObjectId, Store};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// Upper bound on groups claimed per steal. Small enough that a skewed
+/// tail can't hide more than 64 groups behind one slow worker, large
+/// enough that the atomic cursor isn't contended on big batches.
+const MAX_GRAIN: usize = 64;
+
+/// Groups claimed per steal from the shared cursor: aim for ~8 steals
+/// per worker so the pool rebalances around skew, clamped to
+/// [1, [`MAX_GRAIN`]].
+fn steal_grain(groups: usize, workers: usize) -> usize {
+    (groups / (workers * 8)).clamp(1, MAX_GRAIN)
+}
 
 /// [`execute_parallel`] plus statistics (same shape as the sequential
-/// path's [`ExecStats`]).
+/// path's [`ExecStats`]; `threads_used` records the pool size actually
+/// spawned, `eval_nanos` the wall clock of the evaluation region).
 ///
 /// # Panics
 /// Panics on plan/store arity mismatch, like the sequential path.
@@ -22,20 +46,34 @@ pub fn execute_parallel_with_stats(
     workers: usize,
 ) -> (Vec<ObjectId>, ExecStats) {
     assert_eq!(plan.arity(), store.arity(), "plan/store arity mismatch");
-    let workers = workers.max(1);
+    let start = Instant::now();
     let groups: Vec<(&qhorn_core::Obj, &[ObjectId])> = store.index().groups().collect();
     let evaluated = groups.len();
-    let chunk_len = groups.len().div_ceil(workers).max(1);
+    // Never spawn more workers than there are groups to steal.
+    let threads = workers.max(1).min(evaluated.max(1));
 
-    let mut hits: Vec<ObjectId> = if groups.is_empty() {
-        Vec::new()
-    } else if workers == 1 || groups.len() <= 1 {
-        evaluate_chunk(plan, &groups)
+    let mut hits: Vec<ObjectId> = if threads <= 1 {
+        evaluate_groups(plan, &groups)
     } else {
+        let grain = steal_grain(evaluated, threads);
+        let cursor = AtomicUsize::new(0);
         std::thread::scope(|scope| {
-            let handles: Vec<_> = groups
-                .chunks(chunk_len)
-                .map(|chunk| scope.spawn(move || evaluate_chunk(plan, chunk)))
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    let (groups, cursor) = (&groups, &cursor);
+                    scope.spawn(move || {
+                        let mut local = Vec::new();
+                        loop {
+                            let lo = cursor.fetch_add(grain, Ordering::Relaxed);
+                            if lo >= groups.len() {
+                                break;
+                            }
+                            let hi = (lo + grain).min(groups.len());
+                            local.extend(evaluate_groups(plan, &groups[lo..hi]));
+                        }
+                        local
+                    })
+                })
                 .collect();
             let mut all = Vec::new();
             for h in handles {
@@ -49,6 +87,8 @@ pub fn execute_parallel_with_stats(
         objects: store.len(),
         signatures_evaluated: evaluated,
         answers: hits.len(),
+        threads_used: threads,
+        eval_nanos: start.elapsed().as_nanos() as u64,
     };
     (hits, stats)
 }
@@ -61,7 +101,7 @@ pub fn execute_parallel(plan: &CompiledQuery, store: &Store, workers: usize) -> 
     execute_parallel_with_stats(plan, store, workers).0
 }
 
-fn evaluate_chunk(
+fn evaluate_groups(
     plan: &CompiledQuery,
     groups: &[(&qhorn_core::Obj, &[ObjectId])],
 ) -> Vec<ObjectId> {
@@ -110,12 +150,20 @@ mod tests {
             "all x2 -> x1",
         ] {
             let plan = CompiledQuery::compile(&parse_with_arity(src, 4).unwrap());
-            let expected = exec::execute(&plan, &s);
+            let (expected, seq_stats) = exec::execute_with_stats(&plan, &s);
             for workers in [1, 2, 3, 4, 8, 64] {
                 let (got, stats) = execute_parallel_with_stats(&plan, &s, workers);
                 assert_eq!(got, expected, "query {src}, workers {workers}");
                 assert_eq!(stats.objects, 257);
                 assert_eq!(stats.answers, expected.len());
+                assert_eq!(stats.signatures_evaluated, seq_stats.signatures_evaluated);
+                // The pool never outnumbers the groups, and the stats
+                // record the pool actually spawned.
+                assert_eq!(
+                    stats.threads_used,
+                    workers.min(stats.signatures_evaluated),
+                    "workers {workers}"
+                );
             }
         }
     }
@@ -127,6 +175,7 @@ mod tests {
         let (hits, stats) = execute_parallel_with_stats(&plan, &s, 0);
         assert!(hits.is_empty());
         assert_eq!(stats.signatures_evaluated, 0);
+        assert_eq!(stats.threads_used, 1, "clamped to one worker");
     }
 
     #[test]
@@ -135,6 +184,15 @@ mod tests {
         s.insert(Obj::from_bits("11"));
         s.insert(Obj::from_bits("10"));
         let plan = CompiledQuery::compile(&parse_with_arity("some x1", 2).unwrap());
-        assert_eq!(execute_parallel(&plan, &s, 16), exec::execute(&plan, &s));
+        let (got, stats) = execute_parallel_with_stats(&plan, &s, 16);
+        assert_eq!(got, exec::execute(&plan, &s));
+        assert_eq!(stats.threads_used, 2, "capped at the group count");
+    }
+
+    #[test]
+    fn steal_grain_scales_with_batch_and_pool() {
+        assert_eq!(steal_grain(1, 4), 1, "tiny batches steal singly");
+        assert_eq!(steal_grain(40_000, 4), MAX_GRAIN, "big batches cap out");
+        assert_eq!(steal_grain(256, 4), 8, "aim for ~8 steals per worker");
     }
 }

@@ -207,6 +207,8 @@ fn apply(registry: &Arc<Registry>, req: Request) -> Result<Reply, ServiceError> 
             span.attr_u64("signatures", stats.signatures_evaluated as u64);
             span.attr_u64("answers", stats.answers as u64);
             span.attr_u64("workers", workers.max(1) as u64);
+            span.attr_u64("threads_used", stats.threads_used as u64);
+            span.attr_u64("eval_nanos", stats.eval_nanos);
             drop(span);
             registry.count_batch_run(&stats);
             Ok(Reply::Batch {

@@ -385,6 +385,11 @@ pub fn render_prometheus(
             stats.batch_signatures,
         ),
         ("qhorn_batch_answers_total", "counter", stats.batch_answers),
+        (
+            "qhorn_batch_threads_used_total",
+            "counter",
+            stats.batch_threads_used,
+        ),
         ("qhorn_snapshots_held", "gauge", stats.snapshots),
         (
             "qhorn_compaction_errors_total",
@@ -636,6 +641,7 @@ mod tests {
             created: 4,
             live: 2,
             compaction_errors: 1,
+            batch_threads_used: 7,
             store: Some(qhorn_store::StoreStats {
                 records_appended: 9,
                 snapshot_sessions: 3,
@@ -735,6 +741,9 @@ mod tests {
         assert!(rows
             .iter()
             .any(|(name, _, v)| name == "qhorn_compaction_errors_total" && *v == 1.0));
+        assert!(rows
+            .iter()
+            .any(|(name, _, v)| name == "qhorn_batch_threads_used_total" && *v == 7.0));
 
         // Tracer health gauges surface.
         assert!(rows

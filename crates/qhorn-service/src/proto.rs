@@ -714,6 +714,10 @@ impl ToJson for RegistryStats {
                 self.batch_signatures.to_json(),
             ),
             ("batch_answers".to_string(), self.batch_answers.to_json()),
+            (
+                "batch_threads_used".to_string(),
+                self.batch_threads_used.to_json(),
+            ),
             ("snapshots".to_string(), self.snapshots.to_json()),
             (
                 "compaction_errors".to_string(),
@@ -742,6 +746,8 @@ impl FromJson for RegistryStats {
             batch_objects: u64::from_json(j.field("batch_objects")?)?,
             batch_signatures: u64::from_json(j.field("batch_signatures")?)?,
             batch_answers: u64::from_json(j.field("batch_answers")?)?,
+            // Additive versioning: absent on pre-threading encodings.
+            batch_threads_used: opt_field(j, "batch_threads_used")?.unwrap_or(0),
             snapshots: u64::from_json(j.field("snapshots")?)?,
             compaction_errors: u64::from_json(j.field("compaction_errors")?)?,
             store: opt_field(j, "store")?,
@@ -1084,6 +1090,8 @@ mod tests {
                 objects: 1000,
                 signatures_evaluated: 37,
                 answers: 3,
+                threads_used: 4,
+                eval_nanos: 987_654,
             },
             workers: 4,
         });
@@ -1122,6 +1130,7 @@ mod tests {
         round_trip_reply(&Reply::Stats(RegistryStats {
             created: 5,
             live: 2,
+            batch_threads_used: 12,
             ..Default::default()
         }));
         round_trip_reply(&Reply::Trace(crate::trace::TraceTree {
@@ -1210,6 +1219,38 @@ mod tests {
         assert!(line.contains("\"store\""), "{line}");
         assert!(line.contains("\"records_appended\":17"), "{line}");
         round_trip_reply(&with_store);
+    }
+
+    #[test]
+    fn pre_threading_replies_still_decode() {
+        // Replies recorded before `threads_used`/`eval_nanos`/
+        // `batch_threads_used` existed must keep decoding (additive
+        // versioning): absent fields mean "not recorded" (0).
+        let legacy_batch = r#"{"type":"batch","answers":[0,4],"stats":{"objects":10,"signatures_evaluated":3,"answers":2},"workers":2}"#;
+        let reply: Reply = qhorn_json::from_str(legacy_batch).unwrap();
+        match reply {
+            Reply::Batch { stats, .. } => {
+                assert_eq!(stats.threads_used, 0);
+                assert_eq!(stats.eval_nanos, 0);
+                assert_eq!(stats.objects, 10);
+            }
+            other => panic!("decoded {other:?}"),
+        }
+
+        let legacy_stats = concat!(
+            r#"{"type":"stats","created":5,"live":2,"evicted":0,"restored":0,"#,
+            r#""completed":1,"failed":0,"answers":9,"batch_runs":3,"#,
+            r#""batch_objects":30,"batch_signatures":9,"batch_answers":6,"#,
+            r#""snapshots":0,"compaction_errors":0}"#
+        );
+        let reply: Reply = qhorn_json::from_str(legacy_stats).unwrap();
+        match reply {
+            Reply::Stats(stats) => {
+                assert_eq!(stats.batch_threads_used, 0);
+                assert_eq!(stats.batch_runs, 3);
+            }
+            other => panic!("decoded {other:?}"),
+        }
     }
 
     #[test]

@@ -217,6 +217,12 @@ pub struct RegistryStats {
     pub batch_signatures: u64,
     /// Answers returned by batch evaluations (cumulative).
     pub batch_answers: u64,
+    /// Worker threads used across batch evaluations (cumulative sum of
+    /// per-run `threads_used`; divide by `batch_runs` for the mean pool
+    /// size). Deterministic — unlike per-run `eval_nanos`, which stays
+    /// out of this wire object. Optional on decode for mixed-version
+    /// replay.
+    pub batch_threads_used: u64,
     /// Snapshots currently held.
     pub snapshots: u64,
     /// Compactions that failed (cumulative; see
@@ -299,6 +305,7 @@ pub struct Registry {
     batch_objects: AtomicU64,
     batch_signatures: AtomicU64,
     batch_answers: AtomicU64,
+    batch_threads: AtomicU64,
 }
 
 impl Registry {
@@ -367,6 +374,7 @@ impl Registry {
             batch_objects: AtomicU64::new(0),
             batch_signatures: AtomicU64::new(0),
             batch_answers: AtomicU64::new(0),
+            batch_threads: AtomicU64::new(0),
         };
         for session in recovered {
             let id = session.id;
@@ -725,6 +733,8 @@ impl Registry {
             .fetch_add(stats.objects as u64, Ordering::Relaxed);
         self.batch_signatures
             .fetch_add(stats.signatures_evaluated as u64, Ordering::Relaxed);
+        self.batch_threads
+            .fetch_add(stats.threads_used as u64, Ordering::Relaxed);
         self.batch_answers
             .fetch_add(stats.answers as u64, Ordering::Relaxed);
     }
@@ -932,6 +942,7 @@ impl Registry {
             batch_objects: self.batch_objects.load(Ordering::Relaxed),
             batch_signatures: self.batch_signatures.load(Ordering::Relaxed),
             batch_answers: self.batch_answers.load(Ordering::Relaxed),
+            batch_threads_used: self.batch_threads.load(Ordering::Relaxed),
             snapshots: self.snapshots.lock().expect("snapshots poisoned").len() as u64,
             compaction_errors: self.compaction_errors.load(Ordering::Relaxed),
             store: self

@@ -93,7 +93,24 @@ impl<'a> Script<'a> {
     /// decoded for the script's control flow.
     fn send(&mut self, req: &Request) -> Reply {
         let reply = self.client.request(req).expect("transport");
-        self.log.push(qhorn_json::to_string(&reply));
+        // `eval_nanos` is the protocol's only wall-clock (hence
+        // run-to-run volatile) reply field; zero it so the recorded log
+        // stays byte-comparable across transports and runs. Everything
+        // else in a batch reply — answers, deterministic stats,
+        // `threads_used` — must match exactly.
+        let logged = match &reply {
+            Reply::Batch {
+                answers,
+                stats,
+                workers,
+            } => Reply::Batch {
+                answers: answers.clone(),
+                stats: stats.without_timing(),
+                workers: *workers,
+            },
+            other => other.clone(),
+        };
+        self.log.push(qhorn_json::to_string(&logged));
         reply
     }
 

@@ -1,0 +1,121 @@
+//! Differential proptests for the work-stealing parallel batch path.
+//!
+//! The `EvaluateBatch` protocol message routes through
+//! [`qhorn_service::batch::execute_parallel_with_stats`]; these
+//! properties pin that path to the sequential engine on **skewed**
+//! signature distributions (a few signatures holding most of the
+//! objects — exactly the shape that starves a static splitter) across
+//! arbitrary queries and worker counts: identical ascending-id answers,
+//! identical deterministic stats, and a deterministic `threads_used`.
+
+use proptest::prelude::*;
+use qhorn_core::{BoolTuple, Expr, Obj, Query, VarId, VarSet};
+use qhorn_engine::exec;
+use qhorn_engine::plan::CompiledQuery;
+use qhorn_engine::storage::Store;
+use qhorn_service::batch::execute_parallel_with_stats;
+
+const ARITY: u16 = 5;
+
+/// Random query over [`ARITY`] variables (any expression shape).
+fn arb_query() -> impl Strategy<Value = Query> {
+    let vars = || {
+        prop::collection::btree_set(0..ARITY, 0..=ARITY as usize)
+            .prop_map(|ids| ids.into_iter().map(VarId).collect::<VarSet>())
+    };
+    let universal = (0..ARITY, vars()).prop_map(|(h, mut body)| {
+        body.remove(VarId(h));
+        Expr::universal(body, VarId(h))
+    });
+    let ehorn = (0..ARITY, vars()).prop_map(|(h, mut body)| {
+        body.remove(VarId(h));
+        Expr::existential_horn(body, VarId(h))
+    });
+    let conj = vars()
+        .prop_filter("non-empty", |s| !s.is_empty())
+        .prop_map(Expr::conj);
+    prop::collection::vec(prop_oneof![universal, ehorn, conj], 0..5)
+        .prop_map(|exprs| Query::new(ARITY, exprs).expect("valid by construction"))
+}
+
+/// A random signature: a small tuple set over [`ARITY`] variables.
+fn arb_signature() -> impl Strategy<Value = Obj> {
+    prop::collection::vec(
+        prop::collection::btree_set(0..ARITY, 0..=ARITY as usize)
+            .prop_map(|ids| BoolTuple::from_true_set(ARITY, ids.into_iter().map(VarId).collect())),
+        0..5,
+    )
+    .prop_map(|ts| Obj::new(ARITY, ts))
+}
+
+/// A skewed store: each distinct signature gets an object count drawn
+/// from a heavy-tailed range (most signatures are small, a few hold
+/// hundreds of objects), and insertion interleaves round-robin so the
+/// group index sees them in mixed order.
+fn arb_skewed_store() -> impl Strategy<Value = Store> {
+    prop::collection::vec(
+        (
+            arb_signature(),
+            // 4:1 light:heavy arms — most groups are small, but about
+            // one in five dwarfs the rest (the skew a static splitter
+            // serializes behind).
+            prop_oneof![
+                1usize..=4,
+                1usize..=4,
+                1usize..=4,
+                1usize..=4,
+                100usize..=300,
+            ],
+        ),
+        1..=10,
+    )
+    .prop_map(|weighted| {
+        let mut store = Store::new(ARITY);
+        let mut remaining: Vec<(Obj, usize)> = weighted;
+        // Round-robin over the signatures until every count is spent,
+        // interleaving heavy and light groups in the insertion order.
+        while remaining.iter().any(|(_, n)| *n > 0) {
+            for (sig, n) in &mut remaining {
+                if *n > 0 {
+                    store.insert(sig.clone());
+                    *n -= 1;
+                }
+            }
+        }
+        store
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Parallel evaluation over any worker count returns exactly the
+    /// sequential engine's answers (same ids, same ascending order) and
+    /// merges stats deterministically.
+    #[test]
+    fn parallel_batch_equals_sequential_on_skewed_stores(
+        q in arb_query(),
+        store in arb_skewed_store(),
+        workers in 0usize..=16,
+    ) {
+        let plan = CompiledQuery::compile(&q);
+        let (expected, seq) = exec::execute_with_stats(&plan, &store);
+        let (got, par) = execute_parallel_with_stats(&plan, &store, workers);
+
+        prop_assert_eq!(&got, &expected, "answers diverge: {} workers", workers);
+        prop_assert_eq!(par.objects, seq.objects);
+        prop_assert_eq!(par.signatures_evaluated, seq.signatures_evaluated);
+        prop_assert_eq!(par.answers, seq.answers);
+        prop_assert_eq!(par.answers, got.len());
+        // The pool size is a pure function of the request and the store:
+        // never more workers than groups, never fewer than one.
+        prop_assert_eq!(
+            par.threads_used,
+            workers.max(1).min(seq.signatures_evaluated.max(1)),
+        );
+        // Everything except the wall clock is deterministic, so two runs
+        // normalized by `without_timing` are identical.
+        let (_, again) = execute_parallel_with_stats(&plan, &store, workers);
+        prop_assert_eq!(par.without_timing(), again.without_timing());
+    }
+}
