@@ -1,15 +1,21 @@
 //! Perf-trajectory runner: executes the registry/store/http benchmark
 //! kernels with plain `std::time::Instant` timing and emits a
-//! machine-readable `BENCH_7.json` (name → ns/iter + throughput) so CI
+//! machine-readable `BENCH_8.json` (name → ns/iter + throughput) so CI
 //! and future PRs have a recorded baseline to diff against.
 //!
 //! Beyond the registry/store/transport series, the artifact carries a
 //! **kernel throughput** section (the lane-unrolled wide word path vs
 //! the scalar single-check evaluator, at arities 32 and 64, with the
-//! measured speedup under a top-level `kernel_speedup` key) and a
+//! measured speedup under a top-level `kernel_speedup` key), a
 //! **parallel batch** section (work-stealing `EvaluateBatch` over a
 //! signature-distinct store, with `threads_used` and per-thread
-//! throughput per entry and the box's `threads_available` recorded).
+//! throughput per entry and the box's `threads_available` recorded),
+//! and an **observability overhead** A/B (top-level
+//! `observability_overhead`): the TCP stats round trip is measured once
+//! under the default config (trace head-sampling, structured logging,
+//! saturation telemetry, and the always-on profile all live) and once
+//! with journaling sampled out via the runtime `set_trace_config` knob,
+//! recording the fractional overhead the defaults add.
 //!
 //! The criterion benches under `benches/` remain the statistically
 //! careful tool for local investigation; this binary trades their
@@ -25,7 +31,7 @@
 //! ```
 //!
 //! `--quick` cuts iteration counts ~10× for CI smoke runs; `--out`
-//! overrides the output path (default `BENCH_7.json` in the current
+//! overrides the output path (default `BENCH_8.json` in the current
 //! directory, i.e. the repo root when run via `cargo run`).
 
 use qhorn_core::kernel::CompiledQuery;
@@ -278,7 +284,7 @@ fn bench_parallel_batch(
 
 fn main() {
     let mut quick = false;
-    let mut out = PathBuf::from("BENCH_7.json");
+    let mut out = PathBuf::from("BENCH_8.json");
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -334,6 +340,81 @@ fn main() {
         assert!(matches!(reply, Reply::Stats(_)));
         black_box(reply);
     }));
+
+    // Observability overhead A/B: the same round trip with trace
+    // journaling sampled out and the slow-request threshold parked at
+    // its maximum, via the runtime `set_trace_config` knob. Saturation
+    // telemetry and the always-on profile stay hot on both sides, so
+    // the delta isolates what the default journaling adds per request.
+    let saved = match tcp_client
+        .request(&Request::SetTraceConfig {
+            slow_threshold_ms: None,
+            sample_every: None,
+        })
+        .expect("read trace config")
+    {
+        Reply::TraceConfig {
+            slow_threshold_ms,
+            sample_every,
+        } => (slow_threshold_ms, sample_every),
+        other => panic!("unexpected reply {other:?}"),
+    };
+    // Interleaved A/B/A/B rounds, per-request floor per side: on a
+    // 1-CPU shared box the round trip is dominated by scheduler wakeup
+    // noise (round means swing ±10% run to run), so the comparison uses
+    // the minimum single-request latency — the deterministic per-request
+    // cost with the scheduler noise floor-filtered out — gathered over
+    // alternating rounds so neither side inherits a drift window.
+    fn time_stats(client: &mut Client, iters: u64) -> f64 {
+        for _ in 0..(iters / 10).max(1) {
+            let reply = client.request(&Request::Stats).expect("stats");
+            assert!(matches!(reply, Reply::Stats(_)));
+        }
+        let mut floor = f64::INFINITY;
+        for _ in 0..iters {
+            let start = Instant::now();
+            let reply = client.request(&Request::Stats).expect("stats");
+            floor = floor.min(start.elapsed().as_nanos() as f64);
+            assert!(matches!(reply, Reply::Stats(_)));
+            black_box(&reply);
+        }
+        floor
+    }
+    let set_config = |client: &mut Client, slow_ms: u64, sample: u64| {
+        let reply = client
+            .request(&Request::SetTraceConfig {
+                slow_threshold_ms: Some(slow_ms),
+                sample_every: Some(sample),
+            })
+            .expect("set trace config");
+        assert!(matches!(reply, Reply::TraceConfig { .. }));
+    };
+    let round_iters = n(200, 50);
+    let rounds = n(16, 4);
+    let mut instrumented_ns = f64::INFINITY;
+    let mut baseline_ns = f64::INFINITY;
+    for _ in 0..rounds {
+        set_config(&mut tcp_client, 600_000, 0);
+        baseline_ns = baseline_ns.min(time_stats(&mut tcp_client, round_iters));
+        set_config(&mut tcp_client, saved.0, saved.1);
+        instrumented_ns = instrumented_ns.min(time_stats(&mut tcp_client, round_iters));
+    }
+    results.push(BenchResult {
+        name: "tcp_stats_round_trip_untraced",
+        iters: round_iters * rounds,
+        elements_per_iter: 1,
+        ns_per_iter: baseline_ns,
+        ops_per_sec: 1e9 / baseline_ns,
+        threads_used: None,
+    });
+    let overhead_fraction = instrumented_ns / baseline_ns - 1.0;
+    eprintln!(
+        "tcp_stats_round_trip_untraced: {baseline_ns:.0} ns/iter (per-request floor over {rounds} interleaved rounds)"
+    );
+    eprintln!(
+        "observability overhead on stats round trip: {:.2}% ({instrumented_ns:.0} ns vs {baseline_ns:.0} ns untraced)",
+        overhead_fraction * 100.0
+    );
 
     let mut http_client = Client::connect_http(http.addr()).expect("http client");
     results.push(bench("http_stats_round_trip", n(2_000, 200), 1, || {
@@ -422,6 +503,20 @@ fn main() {
             ]),
         ),
         (
+            "observability_overhead".to_string(),
+            Json::Obj(vec![
+                (
+                    "instrumented_ns_per_iter".to_string(),
+                    Json::F64(instrumented_ns),
+                ),
+                ("baseline_ns_per_iter".to_string(), Json::F64(baseline_ns)),
+                (
+                    "overhead_fraction".to_string(),
+                    Json::F64(overhead_fraction),
+                ),
+            ]),
+        ),
+        (
             "results".to_string(),
             Json::Arr(
                 results
@@ -458,8 +553,9 @@ fn main() {
 
 /// Re-parses the written artifact and checks the
 /// `qhorn-bench-trajectory/1` shape, including the kernel-throughput
-/// and thread-count fields added with the multicore batch path. Panics
-/// (failing the smoke step) on any missing piece.
+/// and thread-count fields added with the multicore batch path and the
+/// observability-overhead A/B pair. Panics (failing the smoke step) on
+/// any missing piece.
 fn validate_artifact(text: &str) {
     let json: Json = qhorn_json::from_str(text).expect("artifact must parse");
     let field = |key: &str| json.get(key).unwrap_or_else(|| panic!("missing `{key}`"));
@@ -481,6 +577,23 @@ fn validate_artifact(text: &str) {
             "kernel_speedup.{arity} missing"
         );
     }
+    let overhead = field("observability_overhead");
+    for key in ["instrumented_ns_per_iter", "baseline_ns_per_iter"] {
+        assert!(
+            overhead
+                .get(key)
+                .and_then(Json::as_f64)
+                .is_some_and(|ns| ns > 0.0),
+            "observability_overhead.{key} missing"
+        );
+    }
+    assert!(
+        overhead
+            .get("overhead_fraction")
+            .and_then(Json::as_f64)
+            .is_some(),
+        "observability_overhead.overhead_fraction missing"
+    );
     let Json::Arr(results) = field("results") else {
         panic!("`results` must be an array");
     };
@@ -500,6 +613,8 @@ fn validate_artifact(text: &str) {
         "kernel_wide_arity32",
         "kernel_scalar_arity64",
         "kernel_wide_arity64",
+        "tcp_stats_round_trip",
+        "tcp_stats_round_trip_untraced",
     ] {
         by_name(name);
     }

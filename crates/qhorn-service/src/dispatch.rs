@@ -211,6 +211,9 @@ fn apply(registry: &Arc<Registry>, req: Request) -> Result<Reply, ServiceError> 
             span.attr_u64("eval_nanos", stats.eval_nanos);
             drop(span);
             registry.count_batch_run(&stats);
+            if let Some(id) = session {
+                registry.add_session_eval(id, stats.eval_nanos);
+            }
             Ok(Reply::Batch {
                 answers: hits.into_iter().map(|id| id.0).collect(),
                 stats,
@@ -263,7 +266,35 @@ fn apply(registry: &Arc<Registry>, req: Request) -> Result<Reply, ServiceError> 
         Request::SessionTimeline { session } => Ok(Reply::Timeline {
             session,
             events: registry.tracer().timeline(session),
+            resources: registry.session_resources(session).ok(),
         }),
+        Request::Health => Ok(Reply::Health(registry.health())),
+        Request::Profile { reset } => {
+            let layers = registry.tracer().profile();
+            if reset {
+                registry.tracer().reset_profile();
+            }
+            Ok(Reply::Profile {
+                uptime_seconds: registry.uptime_seconds(),
+                layers,
+            })
+        }
+        Request::SessionResources { session } => Ok(Reply::SessionResources(
+            registry.session_resources(session)?,
+        )),
+        Request::SetTraceConfig {
+            slow_threshold_ms,
+            sample_every,
+        } => {
+            let (slow_threshold_ms, sample_every) = registry
+                .tracer()
+                .configure(slow_threshold_ms, sample_every)
+                .map_err(ServiceError::InvalidConfig)?;
+            Ok(Reply::TraceConfig {
+                slow_threshold_ms,
+                sample_every,
+            })
+        }
     }
 }
 

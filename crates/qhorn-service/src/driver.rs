@@ -13,6 +13,7 @@
 //! terminates (every learner asks a bounded number of questions), then
 //! the thread exits — no panics, no detached spin.
 
+use crate::metrics::DriverMailbox;
 use qhorn_core::learn::{LearnOptions, LearnOutcome, LearnStats};
 use qhorn_core::{Obj, Query, Response};
 use qhorn_engine::session::{Exchange, LearnerKind, RealizedQuestion, Session};
@@ -79,12 +80,14 @@ pub(crate) struct DriverHandle {
 }
 
 /// Spawns a driver thread over a shared store. `seed_transcript` restores
-/// a snapshotted session (replay happens on the next `Relearn`).
+/// a snapshotted session (replay happens on the next `Relearn`); `mail`
+/// is the registry-wide mailbox telemetry every send/receive feeds.
 pub(crate) fn spawn(
     store: Arc<DataStore>,
     hints: DomainHints,
     kind: LearnerKind,
     seed_transcript: Vec<Exchange>,
+    mail: Arc<DriverMailbox>,
 ) -> DriverHandle {
     let (cmd_tx, cmd_rx) = mpsc::channel::<DriverCmd>();
     let (ans_tx, ans_rx) = mpsc::channel::<Response>();
@@ -100,6 +103,7 @@ pub(crate) fn spawn(
                 &cmd_rx,
                 &ans_rx,
                 &evt_tx,
+                &mail,
             )
         })
         .expect("spawn driver thread");
@@ -110,6 +114,7 @@ pub(crate) fn spawn(
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run(
     store: &Arc<DataStore>,
     hints: DomainHints,
@@ -118,13 +123,15 @@ fn run(
     cmd_rx: &mpsc::Receiver<DriverCmd>,
     ans_rx: &mpsc::Receiver<Response>,
     evt_tx: &mpsc::Sender<DriverEvent>,
+    mail: &Arc<DriverMailbox>,
 ) {
     let mut session = Session::with_transcript(store, hints, seed_transcript);
     while let Ok(cmd) = cmd_rx.recv() {
+        mail.cmd_received();
         match cmd {
             DriverCmd::Learn(opts) => {
                 let outcome = {
-                    let respond = respond_via(store, ans_rx, evt_tx);
+                    let respond = respond_via(store, ans_rx, evt_tx, mail);
                     match kind {
                         LearnerKind::Qhorn1 => session.learn_qhorn1(&opts, respond),
                         LearnerKind::RolePreserving => {
@@ -141,6 +148,7 @@ fn run(
                 if evt_tx.send(finished).is_err() {
                     return; // registry gone
                 }
+                mail.event_sent();
             }
             DriverCmd::Relearn(corrections, opts) => {
                 // Resolve question-keyed corrections to transcript
@@ -157,7 +165,7 @@ fn run(
                     })
                     .collect();
                 let outcome = {
-                    let respond = respond_via(store, ans_rx, evt_tx);
+                    let respond = respond_via(store, ans_rx, evt_tx, mail);
                     session.relearn_with_corrections_as(kind, &by_index, &opts, respond)
                 };
                 let finished = DriverEvent::LearnFinished {
@@ -169,10 +177,11 @@ fn run(
                 if evt_tx.send(finished).is_err() {
                     return;
                 }
+                mail.event_sent();
             }
             DriverCmd::Verify(query) => {
                 let outcome = {
-                    let respond = respond_via(store, ans_rx, evt_tx);
+                    let respond = respond_via(store, ans_rx, evt_tx, mail);
                     session.verify(&query, respond)
                 };
                 let finished = match outcome {
@@ -188,6 +197,7 @@ fn run(
                 if evt_tx.send(finished).is_err() {
                     return;
                 }
+                mail.event_sent();
             }
         }
     }
@@ -200,6 +210,7 @@ fn respond_via<'a>(
     store: &'a Arc<DataStore>,
     ans_rx: &'a mpsc::Receiver<Response>,
     evt_tx: &'a mpsc::Sender<DriverEvent>,
+    mail: &'a Arc<DriverMailbox>,
 ) -> impl FnMut(&RealizedQuestion) -> Response + 'a {
     move |realized: &RealizedQuestion| {
         let question = match store.bridge().booleanize_object(realized.object()) {
@@ -214,7 +225,10 @@ fn respond_via<'a>(
         if evt_tx.send(DriverEvent::Question(out)).is_err() {
             return Response::NonAnswer;
         }
-        ans_rx.recv().unwrap_or(Response::NonAnswer)
+        mail.event_sent();
+        let answer = ans_rx.recv().unwrap_or(Response::NonAnswer);
+        mail.answer_received();
+        answer
     }
 }
 

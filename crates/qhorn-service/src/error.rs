@@ -39,6 +39,8 @@ pub enum ServiceError {
     Store(String),
     /// Transport-level failure (client helper).
     Transport(String),
+    /// A runtime configuration change was out of bounds.
+    InvalidConfig(String),
 }
 
 impl fmt::Display for ServiceError {
@@ -58,6 +60,7 @@ impl fmt::Display for ServiceError {
             ServiceError::UnknownTrace(id) => write!(f, "unknown trace `{id}`"),
             ServiceError::Store(msg) => write!(f, "store error: {msg}"),
             ServiceError::Transport(msg) => write!(f, "transport error: {msg}"),
+            ServiceError::InvalidConfig(msg) => write!(f, "invalid config: {msg}"),
         }
     }
 }

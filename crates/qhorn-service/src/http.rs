@@ -32,6 +32,11 @@
 //! | `GET`/`POST /v1/traces`     | `list_traces`     |
 //! | `GET /v1/session/{id}/timeline` | `session_timeline` |
 //! | `POST /v1/session/timeline` | `session_timeline`|
+//! | `GET`/`POST /v1/health`     | `health`          |
+//! | `GET`/`POST /v1/debug/profile` | `profile`      |
+//! | `GET /v1/session/{id}/resources` | `session_resources` |
+//! | `POST /v1/session/resources`| `session_resources` |
+//! | `POST /v1/trace/config`     | `set_trace_config`|
 //! | `GET /metrics`              | Prometheus text   |
 //!
 //! Dataset uploads ride the same body framing as every other route, so
@@ -61,7 +66,7 @@ use crate::metrics::render_prometheus;
 use crate::proto::{Reply, Request, DEFAULT_TRACE_LIMIT};
 use crate::registry::Registry;
 use crate::trace;
-use qhorn_json::{FromJson, Json};
+use qhorn_json::{FromJson, Json, ToJson};
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -93,6 +98,10 @@ const ROUTES: &[(&str, &str)] = &[
     ("/v1/trace", "get_trace"),
     ("/v1/traces", "list_traces"),
     ("/v1/session/timeline", "session_timeline"),
+    ("/v1/health", "health"),
+    ("/v1/debug/profile", "profile"),
+    ("/v1/session/resources", "session_resources"),
+    ("/v1/trace/config", "set_trace_config"),
 ];
 
 /// The request path carrying a protocol message kind (client side).
@@ -115,10 +124,11 @@ pub fn status_for(e: &ServiceError) -> u16 {
         ServiceError::WrongState { .. } | ServiceError::DatasetConflict(_) => 409,
         ServiceError::Parse(_) => 400,
         // Semantic (not syntactic) rejections: the request parsed fine
-        // but names an impossible computation.
+        // but names an impossible computation (or config).
         ServiceError::Engine(_)
         | ServiceError::InvalidDataset(_)
-        | ServiceError::InvalidSize(_) => 422,
+        | ServiceError::InvalidSize(_)
+        | ServiceError::InvalidConfig(_) => 422,
         ServiceError::DriverTimeout => 504,
         ServiceError::Store(_) => 500,
         ServiceError::Transport(_) => 502,
@@ -163,21 +173,30 @@ impl HttpServer {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
-        let (conn_tx, conn_rx) = mpsc::channel::<TcpStream>();
+        // Accepted connections carry their accept instant so the pool
+        // telemetry can measure queue wait.
+        let (conn_tx, conn_rx) = mpsc::channel::<(TcpStream, std::time::Instant)>();
         let conn_rx = Arc::new(Mutex::new(conn_rx));
+        let pool = registry.register_pool("http", workers.max(1));
 
         let mut handles = Vec::with_capacity(workers.max(1));
         for i in 0..workers.max(1) {
             let rx = Arc::clone(&conn_rx);
             let reg = Arc::clone(&registry);
             let stop = Arc::clone(&shutdown);
+            let pool = Arc::clone(&pool);
             handles.push(
                 std::thread::Builder::new()
                     .name(format!("qhorn-http-worker-{i}"))
                     .spawn(move || loop {
                         let stream = { rx.lock().expect("conn channel poisoned").recv() };
                         match stream {
-                            Ok(s) => handle_connection(s, &reg, &stop),
+                            Ok((s, queued_at)) => {
+                                pool.dequeue(queued_at);
+                                pool.worker_busy();
+                                handle_connection(s, &reg, &stop);
+                                pool.worker_idle();
+                            }
                             Err(_) => break, // acceptor gone and queue drained
                         }
                     })
@@ -186,6 +205,7 @@ impl HttpServer {
         }
 
         let stop = Arc::clone(&shutdown);
+        let accept_pool = Arc::clone(&pool);
         let acceptor = std::thread::Builder::new()
             .name("qhorn-http-acceptor".into())
             .spawn(move || {
@@ -195,7 +215,8 @@ impl HttpServer {
                     }
                     match stream {
                         Ok(s) => {
-                            if conn_tx.send(s).is_err() {
+                            accept_pool.enqueue();
+                            if conn_tx.send((s, std::time::Instant::now())).is_err() {
                                 break;
                             }
                         }
@@ -208,6 +229,14 @@ impl HttpServer {
                 }
             })
             .expect("spawn http acceptor");
+        crate::log::info(
+            "http",
+            "http server listening",
+            &[
+                ("addr", Json::Str(local.to_string())),
+                ("workers", (workers.max(1) as u64).to_json()),
+            ],
+        );
 
         Ok(HttpServer {
             addr: local,
@@ -327,6 +356,14 @@ fn handle_connection(stream: TcpStream, registry: &Arc<Registry>, stop: &AtomicB
             ReadOutcome::Bad(failure) => {
                 // Framing is unreliable after a parse failure: answer (so
                 // the peer learns why) and close.
+                crate::log::warn(
+                    "http",
+                    "rejected unparseable http request",
+                    &[
+                        ("status", u64::from(failure.status).to_json()),
+                        ("reason", Json::Str(failure.message.clone())),
+                    ],
+                );
                 let response = HttpResponse {
                     status: failure.status,
                     content_type: "application/json",
@@ -367,6 +404,7 @@ fn respond(registry: &Arc<Registry>, req: &HttpRequest) -> HttpResponse {
             &registry.metrics().snapshot(),
             &registry.stats(),
             &registry.tracer().stats(),
+            &registry.ops_snapshot(),
         );
         return HttpResponse {
             status: 200,
@@ -377,13 +415,16 @@ fn respond(registry: &Arc<Registry>, req: &HttpRequest) -> HttpResponse {
         };
     }
     // Path-parameter routes, ahead of the exact-route table.
-    // `GET /v1/trace/{id}`: the span tree for one trace.
+    // `GET /v1/trace/{id}`: the span tree for one trace (`/v1/trace/config`
+    // is an exact route, not a trace id).
     if let Some(id) = req.path.strip_prefix("/v1/trace/") {
-        if req.method != "GET" {
-            return error_response(405, format!("method {} not allowed", req.method))
-                .with_allow("GET");
+        if id != "config" {
+            if req.method != "GET" {
+                return error_response(405, format!("method {} not allowed", req.method))
+                    .with_allow("GET");
+            }
+            return dispatch_api(registry, req, Request::GetTrace { id: id.to_string() });
         }
-        return dispatch_api(registry, req, Request::GetTrace { id: id.to_string() });
     }
     // `GET /v1/session/{id}/timeline`: one session's dialogue timeline.
     if let Some(id_text) = req
@@ -400,11 +441,31 @@ fn respond(registry: &Arc<Registry>, req: &HttpRequest) -> HttpResponse {
         };
         return dispatch_api(registry, req, Request::SessionTimeline { session });
     }
+    // `GET /v1/session/{id}/resources`: one session's resource accounting.
+    if let Some(id_text) = req
+        .path
+        .strip_prefix("/v1/session/")
+        .and_then(|rest| rest.strip_suffix("/resources"))
+    {
+        if !id_text.is_empty() {
+            if req.method != "GET" {
+                return error_response(405, format!("method {} not allowed", req.method))
+                    .with_allow("GET");
+            }
+            let Ok(session) = id_text.parse::<u64>() else {
+                return error_response(400, format!("bad session id `{id_text}`"));
+            };
+            return dispatch_api(registry, req, Request::SessionResources { session });
+        }
+    }
     let Some((_, kind)) = ROUTES.iter().find(|(path, _)| *path == req.path) else {
         return error_response(404, format!("no route for `{}`", req.path));
     };
     // GET works for the read-only routes; everything else is POST.
-    let read_only = matches!(*kind, "stats" | "metrics" | "list_datasets" | "list_traces");
+    let read_only = matches!(
+        *kind,
+        "stats" | "metrics" | "list_datasets" | "list_traces" | "health" | "profile"
+    );
     if !(req.method == "POST" || (req.method == "GET" && read_only)) {
         return error_response(405, format!("method {} not allowed", req.method))
             .with_allow(if read_only { "GET, POST" } else { "POST" });
@@ -1053,6 +1114,33 @@ mod tests {
         assert_eq!(status_for(&ServiceError::DatasetConflict("x".into())), 409);
         assert_eq!(status_for(&ServiceError::InvalidDataset("x".into())), 422);
         assert_eq!(status_for(&ServiceError::InvalidSize("x".into())), 422);
+        assert_eq!(status_for(&ServiceError::InvalidConfig("x".into())), 422);
+    }
+
+    #[test]
+    fn observability_routes_resolve() {
+        assert_eq!(route_for_kind("health"), "/v1/health");
+        assert_eq!(route_for_kind("profile"), "/v1/debug/profile");
+        assert_eq!(route_for_kind("session_resources"), "/v1/session/resources");
+        assert_eq!(route_for_kind("set_trace_config"), "/v1/trace/config");
+        // Empty bodies decode for the field-free reads; the config route
+        // with an empty body is a no-op update (both knobs absent).
+        assert_eq!(decode_body("health", b"").unwrap(), Request::Health);
+        assert_eq!(
+            decode_body("profile", b"").unwrap(),
+            Request::Profile { reset: false }
+        );
+        assert_eq!(
+            decode_body("profile", br#"{"reset":true}"#).unwrap(),
+            Request::Profile { reset: true }
+        );
+        assert_eq!(
+            decode_body("set_trace_config", br#"{"slow_threshold_ms":250}"#).unwrap(),
+            Request::SetTraceConfig {
+                slow_threshold_ms: Some(250),
+                sample_every: None,
+            }
+        );
     }
 
     #[test]

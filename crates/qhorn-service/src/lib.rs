@@ -26,7 +26,13 @@
 //!   status codes from [`ServiceError`], and `GET /metrics` Prometheus
 //!   text exposition;
 //! * [`metrics`] — lock-striped per-message latency histograms
-//!   (fixed log-scale buckets) and learner question counts per phase;
+//!   (fixed log-scale buckets), learner question counts per phase, and
+//!   saturation telemetry (worker-pool queue depth, registry lock waits,
+//!   driver mailboxes, store append/fsync timings) behind the health
+//!   verdict at `GET /v1/health`;
+//! * [`log`] — std-only structured logging: leveled JSON-lines events
+//!   correlated to trace ids, per-target runtime-adjustable levels, and
+//!   token-bucket rate limiting;
 //! * [`trace`] — end-to-end request tracing: a bounded lock-striped span
 //!   journal fed by every layer (dispatch → registry → driver → learner
 //!   phases → store), wire-exposed span trees (`GET /v1/trace/{id}`),
@@ -79,6 +85,7 @@ pub mod dispatch;
 mod driver;
 pub mod error;
 pub mod http;
+pub mod log;
 pub mod metrics;
 pub mod proto;
 pub mod registry;

@@ -21,7 +21,7 @@ use qhorn_core::learn::{LearnStats, Phase};
 use qhorn_json::{FromJson, Json, JsonError, ToJson};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Histogram bucket count: 27 finite log-scale bounds plus `+Inf`.
 pub const BUCKETS: usize = 28;
@@ -57,6 +57,10 @@ pub const MESSAGE_KINDS: &[&str] = &[
     "get_trace",
     "list_traces",
     "session_timeline",
+    "health",
+    "profile",
+    "session_resources",
+    "set_trace_config",
 ];
 
 /// The learner phases exported as question counters, with their stable
@@ -292,6 +296,400 @@ impl FromJson for MetricsSnapshot {
 }
 
 // ---------------------------------------------------------------------------
+// Saturation telemetry
+// ---------------------------------------------------------------------------
+
+/// Live contention counters for one frontend worker pool: accept-queue
+/// depth, busy workers, and cumulative queue-wait. All atomics — updated
+/// from the acceptor and every worker without locking.
+pub struct PoolTelemetry {
+    /// Stable pool label for export (e.g. `"lines"`, `"http"`).
+    pub name: String,
+    /// Workers serving this pool (fixed at construction).
+    pub workers: u64,
+    busy: AtomicU64,
+    queue_depth: AtomicU64,
+    queue_peak: AtomicU64,
+    enqueued: AtomicU64,
+    dequeued: AtomicU64,
+    queue_wait_nanos: AtomicU64,
+}
+
+impl PoolTelemetry {
+    /// An idle pool with `workers` workers.
+    #[must_use]
+    pub fn new(name: &str, workers: usize) -> Self {
+        PoolTelemetry {
+            name: name.to_string(),
+            workers: workers as u64,
+            busy: AtomicU64::new(0),
+            queue_depth: AtomicU64::new(0),
+            queue_peak: AtomicU64::new(0),
+            enqueued: AtomicU64::new(0),
+            dequeued: AtomicU64::new(0),
+            queue_wait_nanos: AtomicU64::new(0),
+        }
+    }
+
+    /// The acceptor queued a connection. Called *before* the channel send
+    /// so the gauge never reads below the true depth.
+    pub fn enqueue(&self) {
+        self.enqueued.fetch_add(1, Ordering::Relaxed);
+        let depth = self.queue_depth.fetch_add(1, Ordering::Relaxed) + 1;
+        self.queue_peak.fetch_max(depth, Ordering::Relaxed);
+    }
+
+    /// A worker dequeued a connection that waited `queued_at.elapsed()`.
+    pub fn dequeue(&self, queued_at: Instant) {
+        self.dequeued.fetch_add(1, Ordering::Relaxed);
+        self.queue_depth.fetch_sub(1, Ordering::Relaxed);
+        let wait = u64::try_from(queued_at.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        self.queue_wait_nanos.fetch_add(wait, Ordering::Relaxed);
+    }
+
+    /// A worker started serving a connection.
+    pub fn worker_busy(&self) {
+        self.busy.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A worker finished its connection and is idle again.
+    pub fn worker_idle(&self) {
+        self.busy.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy for export.
+    #[must_use]
+    pub fn snapshot(&self) -> PoolSnapshot {
+        PoolSnapshot {
+            name: self.name.clone(),
+            workers: self.workers,
+            busy: self.busy.load(Ordering::Relaxed),
+            queue_depth: self.queue_depth.load(Ordering::Relaxed),
+            queue_peak: self.queue_peak.load(Ordering::Relaxed),
+            enqueued: self.enqueued.load(Ordering::Relaxed),
+            dequeued: self.dequeued.load(Ordering::Relaxed),
+            queue_wait_nanos: self.queue_wait_nanos.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// One worker pool's saturation figures, as carried by the `Health` reply.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PoolSnapshot {
+    /// Pool label (`"lines"`, `"http"`, …).
+    pub name: String,
+    /// Workers serving the pool.
+    pub workers: u64,
+    /// Workers currently inside a connection.
+    pub busy: u64,
+    /// Accepted connections waiting for a worker right now.
+    pub queue_depth: u64,
+    /// High-water mark of `queue_depth` since startup.
+    pub queue_peak: u64,
+    /// Connections ever queued.
+    pub enqueued: u64,
+    /// Connections ever picked up by a worker.
+    pub dequeued: u64,
+    /// Total nanoseconds connections spent waiting in the queue.
+    pub queue_wait_nanos: u64,
+}
+
+impl ToJson for PoolSnapshot {
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("name", self.name.to_json()),
+            ("workers", self.workers.to_json()),
+            ("busy", self.busy.to_json()),
+            ("queue_depth", self.queue_depth.to_json()),
+            ("queue_peak", self.queue_peak.to_json()),
+            ("enqueued", self.enqueued.to_json()),
+            ("dequeued", self.dequeued.to_json()),
+            ("queue_wait_nanos", self.queue_wait_nanos.to_json()),
+        ])
+    }
+}
+
+impl FromJson for PoolSnapshot {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        Ok(PoolSnapshot {
+            name: String::from_json(j.field("name")?)?,
+            workers: u64::from_json(j.field("workers")?)?,
+            busy: u64::from_json(j.field("busy")?)?,
+            queue_depth: u64::from_json(j.field("queue_depth")?)?,
+            queue_peak: u64::from_json(j.field("queue_peak")?)?,
+            enqueued: u64::from_json(j.field("enqueued")?)?,
+            dequeued: u64::from_json(j.field("dequeued")?)?,
+            queue_wait_nanos: u64::from_json(j.field("queue_wait_nanos")?)?,
+        })
+    }
+}
+
+/// Live counters over every session driver's mailboxes. Monotone
+/// sent/received pairs rather than gauges: a driver dying with queued
+/// items would leave a gauge permanently wrong, while the pair difference
+/// is at worst stale by the dead driver's backlog.
+#[derive(Default)]
+pub struct DriverMailbox {
+    cmds_sent: AtomicU64,
+    cmds_received: AtomicU64,
+    events_sent: AtomicU64,
+    events_received: AtomicU64,
+    answers_sent: AtomicU64,
+    answers_received: AtomicU64,
+}
+
+impl DriverMailbox {
+    /// The registry queued a command for a driver.
+    pub fn cmd_sent(&self) {
+        self.cmds_sent.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A driver picked a command up.
+    pub fn cmd_received(&self) {
+        self.cmds_received.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A driver emitted an event (question, learn/verify finished).
+    pub fn event_sent(&self) {
+        self.events_sent.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The registry pump drained an event.
+    pub fn event_received(&self) {
+        self.events_received.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The registry forwarded a user answer to a driver.
+    pub fn answer_sent(&self) {
+        self.answers_sent.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A driver consumed a user answer.
+    pub fn answer_received(&self) {
+        self.answers_received.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy for export.
+    #[must_use]
+    pub fn snapshot(&self) -> MailboxSnapshot {
+        MailboxSnapshot {
+            cmds_sent: self.cmds_sent.load(Ordering::Relaxed),
+            cmds_received: self.cmds_received.load(Ordering::Relaxed),
+            events_sent: self.events_sent.load(Ordering::Relaxed),
+            events_received: self.events_received.load(Ordering::Relaxed),
+            answers_sent: self.answers_sent.load(Ordering::Relaxed),
+            answers_received: self.answers_received.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Driver-mailbox traffic counters, as carried by the `Health` reply.
+/// `*_sent - *_received` bounds the queued backlog.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MailboxSnapshot {
+    /// Commands queued to drivers.
+    pub cmds_sent: u64,
+    /// Commands drivers picked up.
+    pub cmds_received: u64,
+    /// Events drivers emitted.
+    pub events_sent: u64,
+    /// Events the registry pump drained.
+    pub events_received: u64,
+    /// User answers forwarded to drivers.
+    pub answers_sent: u64,
+    /// User answers drivers consumed.
+    pub answers_received: u64,
+}
+
+impl ToJson for MailboxSnapshot {
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("cmds_sent", self.cmds_sent.to_json()),
+            ("cmds_received", self.cmds_received.to_json()),
+            ("events_sent", self.events_sent.to_json()),
+            ("events_received", self.events_received.to_json()),
+            ("answers_sent", self.answers_sent.to_json()),
+            ("answers_received", self.answers_received.to_json()),
+        ])
+    }
+}
+
+impl FromJson for MailboxSnapshot {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        Ok(MailboxSnapshot {
+            cmds_sent: u64::from_json(j.field("cmds_sent")?)?,
+            cmds_received: u64::from_json(j.field("cmds_received")?)?,
+            events_sent: u64::from_json(j.field("events_sent")?)?,
+            events_received: u64::from_json(j.field("events_received")?)?,
+            answers_sent: u64::from_json(j.field("answers_sent")?)?,
+            answers_received: u64::from_json(j.field("answers_received")?)?,
+        })
+    }
+}
+
+/// Live append/fsync-path counters, fed by the store observer on every
+/// operation (traced or not).
+#[derive(Default)]
+pub struct StoreTelemetry {
+    appends: AtomicU64,
+    append_nanos: AtomicU64,
+    append_bytes: AtomicU64,
+    fsyncs: AtomicU64,
+    fsync_nanos: AtomicU64,
+    compactions: AtomicU64,
+    compaction_nanos: AtomicU64,
+}
+
+impl StoreTelemetry {
+    /// Folds one store operation in.
+    pub fn observe(&self, op: qhorn_store::StoreOp, duration: Duration, bytes: u64) {
+        let nanos = u64::try_from(duration.as_nanos()).unwrap_or(u64::MAX);
+        match op {
+            qhorn_store::StoreOp::Append => {
+                self.appends.fetch_add(1, Ordering::Relaxed);
+                self.append_nanos.fetch_add(nanos, Ordering::Relaxed);
+                self.append_bytes.fetch_add(bytes, Ordering::Relaxed);
+            }
+            qhorn_store::StoreOp::Fsync => {
+                self.fsyncs.fetch_add(1, Ordering::Relaxed);
+                self.fsync_nanos.fetch_add(nanos, Ordering::Relaxed);
+            }
+            qhorn_store::StoreOp::Compaction => {
+                self.compactions.fetch_add(1, Ordering::Relaxed);
+                self.compaction_nanos.fetch_add(nanos, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// A point-in-time copy for export.
+    #[must_use]
+    pub fn snapshot(&self) -> StoreOpsSnapshot {
+        StoreOpsSnapshot {
+            appends: self.appends.load(Ordering::Relaxed),
+            append_nanos: self.append_nanos.load(Ordering::Relaxed),
+            append_bytes: self.append_bytes.load(Ordering::Relaxed),
+            fsyncs: self.fsyncs.load(Ordering::Relaxed),
+            fsync_nanos: self.fsync_nanos.load(Ordering::Relaxed),
+            compactions: self.compactions.load(Ordering::Relaxed),
+            compaction_nanos: self.compaction_nanos.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Observed store-operation timings, as carried by the `Health` reply.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StoreOpsSnapshot {
+    /// Appends observed.
+    pub appends: u64,
+    /// Total append wall time, nanoseconds.
+    pub append_nanos: u64,
+    /// Bytes appended (frame sizes as observed).
+    pub append_bytes: u64,
+    /// Fsyncs observed.
+    pub fsyncs: u64,
+    /// Total fsync wall time, nanoseconds.
+    pub fsync_nanos: u64,
+    /// Compactions observed.
+    pub compactions: u64,
+    /// Total compaction wall time, nanoseconds.
+    pub compaction_nanos: u64,
+}
+
+impl ToJson for StoreOpsSnapshot {
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("appends", self.appends.to_json()),
+            ("append_nanos", self.append_nanos.to_json()),
+            ("append_bytes", self.append_bytes.to_json()),
+            ("fsyncs", self.fsyncs.to_json()),
+            ("fsync_nanos", self.fsync_nanos.to_json()),
+            ("compactions", self.compactions.to_json()),
+            ("compaction_nanos", self.compaction_nanos.to_json()),
+        ])
+    }
+}
+
+impl FromJson for StoreOpsSnapshot {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        Ok(StoreOpsSnapshot {
+            appends: u64::from_json(j.field("appends")?)?,
+            append_nanos: u64::from_json(j.field("append_nanos")?)?,
+            append_bytes: u64::from_json(j.field("append_bytes")?)?,
+            fsyncs: u64::from_json(j.field("fsyncs")?)?,
+            fsync_nanos: u64::from_json(j.field("fsync_nanos")?)?,
+            compactions: u64::from_json(j.field("compactions")?)?,
+            compaction_nanos: u64::from_json(j.field("compaction_nanos")?)?,
+        })
+    }
+}
+
+/// Every saturation signal at one instant: worker pools, registry stripe
+/// lock waits, driver mailboxes, and the store append/fsync path. The
+/// payload of the `Health` reply and the input to the health verdict.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SaturationSnapshot {
+    /// One entry per registered frontend pool.
+    pub pools: Vec<PoolSnapshot>,
+    /// Registry entry-stripe lock acquisitions measured.
+    pub lock_waits: u64,
+    /// Total nanoseconds spent waiting on registry stripe locks.
+    pub lock_wait_nanos: u64,
+    /// Driver mailbox traffic.
+    pub mailbox: MailboxSnapshot,
+    /// Store operation timings (absent when running storeless).
+    pub store: Option<StoreOpsSnapshot>,
+}
+
+impl ToJson for SaturationSnapshot {
+    fn to_json(&self) -> Json {
+        let mut pairs = vec![
+            ("pools".to_string(), self.pools.to_json()),
+            ("lock_waits".to_string(), self.lock_waits.to_json()),
+            (
+                "lock_wait_nanos".to_string(),
+                self.lock_wait_nanos.to_json(),
+            ),
+            ("mailbox".to_string(), self.mailbox.to_json()),
+        ];
+        if let Some(store) = &self.store {
+            pairs.push(("store".to_string(), store.to_json()));
+        }
+        Json::Obj(pairs)
+    }
+}
+
+impl FromJson for SaturationSnapshot {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        Ok(SaturationSnapshot {
+            pools: Vec::<PoolSnapshot>::from_json(j.field("pools")?)?,
+            lock_waits: u64::from_json(j.field("lock_waits")?)?,
+            lock_wait_nanos: u64::from_json(j.field("lock_wait_nanos")?)?,
+            mailbox: MailboxSnapshot::from_json(j.field("mailbox")?)?,
+            store: j
+                .get("store")
+                .map(StoreOpsSnapshot::from_json)
+                .transpose()?,
+        })
+    }
+}
+
+/// The operational counters [`render_prometheus`] exports beyond request
+/// metrics: saturation, logging, the always-on profile, and uptime.
+/// Bundled so the exporter signature survives future additions.
+pub struct OpsSnapshot {
+    /// Saturation signals (pools, locks, mailboxes, store path).
+    pub saturation: SaturationSnapshot,
+    /// Structured-log emission counters.
+    pub logs: crate::log::LogStats,
+    /// Always-on per-layer profile, in `PROFILE_LAYERS` order.
+    pub profile: Vec<crate::trace::LayerProfile>,
+    /// Seconds since process start.
+    pub uptime_seconds: u64,
+    /// Process start time, seconds since the Unix epoch.
+    pub start_unix_seconds: u64,
+}
+
+// ---------------------------------------------------------------------------
 // Prometheus text exposition
 // ---------------------------------------------------------------------------
 
@@ -310,14 +708,15 @@ fn le_label(i: usize) -> String {
     s
 }
 
-/// Renders the snapshot plus the registry's cumulative counters and the
-/// tracer's health gauges as Prometheus text exposition (format version
-/// 0.0.4).
+/// Renders the snapshot plus the registry's cumulative counters, the
+/// tracer's health gauges, and the operational bundle (saturation, logs,
+/// profile, uptime) as Prometheus text exposition (format version 0.0.4).
 #[must_use]
 pub fn render_prometheus(
     snapshot: &MetricsSnapshot,
     stats: &crate::registry::RegistryStats,
     trace: &crate::trace::TraceStats,
+    ops: &OpsSnapshot,
 ) -> String {
     let mut out = String::with_capacity(16 * 1024);
     out.push_str(&format!(
@@ -325,6 +724,15 @@ pub fn render_prometheus(
          # TYPE qhorn_build_info gauge\n\
          qhorn_build_info{{version=\"{}\"}} 1\n",
         env!("CARGO_PKG_VERSION")
+    ));
+    out.push_str(&format!(
+        "# HELP qhorn_process_start_time_seconds Unix time the process started.\n\
+         # TYPE qhorn_process_start_time_seconds gauge\n\
+         qhorn_process_start_time_seconds {}\n\
+         # HELP qhorn_uptime_seconds Seconds since process start.\n\
+         # TYPE qhorn_uptime_seconds gauge\n\
+         qhorn_uptime_seconds {}\n",
+        ops.start_unix_seconds, ops.uptime_seconds
     ));
     out.push_str(
         "# HELP qhorn_request_duration_seconds Wall-clock latency of served protocol messages.\n\
@@ -473,6 +881,137 @@ pub fn render_prometheus(
         ];
         for (name, kind, value) in store_counters {
             out.push_str(&format!("# TYPE {name} {kind}\n{name} {value}\n"));
+        }
+    }
+
+    // Saturation: per-pool gauges/counters.
+    type PoolSeries = (&'static str, &'static str, fn(&PoolSnapshot) -> u64);
+    let pool_series: &[PoolSeries] = &[
+        ("qhorn_pool_workers", "gauge", |p| p.workers),
+        ("qhorn_pool_busy_workers", "gauge", |p| p.busy),
+        ("qhorn_pool_queue_depth", "gauge", |p| p.queue_depth),
+        ("qhorn_pool_queue_peak", "gauge", |p| p.queue_peak),
+        ("qhorn_pool_enqueued_total", "counter", |p| p.enqueued),
+        ("qhorn_pool_dequeued_total", "counter", |p| p.dequeued),
+        ("qhorn_pool_queue_wait_nanos_total", "counter", |p| {
+            p.queue_wait_nanos
+        }),
+    ];
+    for (name, kind, get) in pool_series {
+        if ops.saturation.pools.is_empty() {
+            continue;
+        }
+        out.push_str(&format!("# TYPE {name} {kind}\n"));
+        for pool in &ops.saturation.pools {
+            out.push_str(&format!("{name}{{pool=\"{}\"}} {}\n", pool.name, get(pool)));
+        }
+    }
+    let mailbox = &ops.saturation.mailbox;
+    let mut ops_counters: Vec<(&str, &str, u64)> = vec![
+        (
+            "qhorn_registry_lock_waits_total",
+            "counter",
+            ops.saturation.lock_waits,
+        ),
+        (
+            "qhorn_registry_lock_wait_nanos_total",
+            "counter",
+            ops.saturation.lock_wait_nanos,
+        ),
+        ("qhorn_driver_cmds_sent_total", "counter", mailbox.cmds_sent),
+        (
+            "qhorn_driver_cmds_received_total",
+            "counter",
+            mailbox.cmds_received,
+        ),
+        (
+            "qhorn_driver_events_sent_total",
+            "counter",
+            mailbox.events_sent,
+        ),
+        (
+            "qhorn_driver_events_received_total",
+            "counter",
+            mailbox.events_received,
+        ),
+        (
+            "qhorn_driver_answers_sent_total",
+            "counter",
+            mailbox.answers_sent,
+        ),
+        (
+            "qhorn_driver_answers_received_total",
+            "counter",
+            mailbox.answers_received,
+        ),
+        ("qhorn_log_suppressed_total", "counter", ops.logs.suppressed),
+    ];
+    if let Some(store) = &ops.saturation.store {
+        ops_counters.extend([
+            ("qhorn_store_op_appends_total", "counter", store.appends),
+            (
+                "qhorn_store_op_append_nanos_total",
+                "counter",
+                store.append_nanos,
+            ),
+            (
+                "qhorn_store_op_append_bytes_total",
+                "counter",
+                store.append_bytes,
+            ),
+            ("qhorn_store_op_fsyncs_total", "counter", store.fsyncs),
+            (
+                "qhorn_store_op_fsync_nanos_total",
+                "counter",
+                store.fsync_nanos,
+            ),
+            (
+                "qhorn_store_op_compactions_total",
+                "counter",
+                store.compactions,
+            ),
+            (
+                "qhorn_store_op_compaction_nanos_total",
+                "counter",
+                store.compaction_nanos,
+            ),
+        ]);
+    }
+    for (name, kind, value) in &ops_counters {
+        out.push_str(&format!("# TYPE {name} {kind}\n{name} {value}\n"));
+    }
+
+    // Structured-log emission counters, by level.
+    out.push_str(
+        "# HELP qhorn_log_events_total Structured log lines emitted, by level.\n\
+         # TYPE qhorn_log_events_total counter\n",
+    );
+    for (i, n) in ops.logs.events.iter().enumerate() {
+        let level = crate::log::Level::from_u8(i as u8);
+        out.push_str(&format!(
+            "qhorn_log_events_total{{level=\"{}\"}} {n}\n",
+            level.as_str()
+        ));
+    }
+
+    // Always-on profile: time by layer.
+    type ProfileSeries = (&'static str, fn(&crate::trace::LayerProfile) -> u64);
+    let profile_series: &[ProfileSeries] = &[
+        ("qhorn_profile_spans_total", |l| l.spans),
+        ("qhorn_profile_self_nanos_total", |l| l.self_nanos),
+        ("qhorn_profile_total_nanos_total", |l| l.total_nanos),
+    ];
+    for (name, get) in profile_series {
+        if ops.profile.is_empty() {
+            continue;
+        }
+        out.push_str(&format!("# TYPE {name} counter\n"));
+        for layer in &ops.profile {
+            out.push_str(&format!(
+                "{name}{{layer=\"{}\"}} {}\n",
+                layer.layer,
+                get(layer)
+            ));
         }
     }
     out
@@ -658,7 +1197,46 @@ mod tests {
             slow_traces: 1,
             overhead_nanos: 9_000,
         };
-        let text = render_prometheus(&m.snapshot(), &stats, &trace);
+        let pool = PoolTelemetry::new("lines", 4);
+        pool.enqueue();
+        pool.worker_busy();
+        let mut logs = crate::log::LogStats::default();
+        logs.events[crate::log::Level::Warn as usize] = 6;
+        logs.suppressed = 2;
+        let ops = OpsSnapshot {
+            saturation: SaturationSnapshot {
+                pools: vec![pool.snapshot()],
+                lock_waits: 13,
+                lock_wait_nanos: 77_000,
+                mailbox: MailboxSnapshot {
+                    cmds_sent: 3,
+                    cmds_received: 3,
+                    events_sent: 8,
+                    events_received: 7,
+                    answers_sent: 5,
+                    answers_received: 5,
+                },
+                store: Some(StoreOpsSnapshot {
+                    appends: 21,
+                    append_nanos: 1_000,
+                    append_bytes: 4_096,
+                    fsyncs: 2,
+                    fsync_nanos: 500,
+                    compactions: 0,
+                    compaction_nanos: 0,
+                }),
+            },
+            logs,
+            profile: vec![crate::trace::LayerProfile {
+                layer: "dispatch".to_string(),
+                spans: 9,
+                self_nanos: 1_234,
+                total_nanos: 5_678,
+            }],
+            uptime_seconds: 42,
+            start_unix_seconds: 1_700_000_000,
+        };
+        let text = render_prometheus(&m.snapshot(), &stats, &trace, &ops);
         let rows = parse_exposition(&text);
 
         // Build info carries the crate version as a label, value 1.
@@ -758,5 +1336,137 @@ mod tests {
         assert!(rows
             .iter()
             .any(|(name, _, v)| name == "qhorn_trace_overhead_nanos_total" && *v == 9000.0));
+
+        // Uptime and start time near build info.
+        assert!(rows
+            .iter()
+            .any(|(name, _, v)| name == "qhorn_uptime_seconds" && *v == 42.0));
+        assert!(rows.iter().any(
+            |(name, _, v)| name == "qhorn_process_start_time_seconds" && *v == 1_700_000_000.0
+        ));
+
+        // Saturation series: per-pool gauges carry the pool label.
+        assert!(rows.iter().any(|(name, labels, v)| {
+            name == "qhorn_pool_queue_depth"
+                && labels.iter().any(|(k, val)| k == "pool" && val == "lines")
+                && *v == 1.0
+        }));
+        assert!(rows.iter().any(|(name, labels, v)| {
+            name == "qhorn_pool_busy_workers"
+                && labels.iter().any(|(k, val)| k == "pool" && val == "lines")
+                && *v == 1.0
+        }));
+        assert!(rows
+            .iter()
+            .any(|(name, _, v)| name == "qhorn_registry_lock_wait_nanos_total" && *v == 77_000.0));
+        assert!(rows
+            .iter()
+            .any(|(name, _, v)| name == "qhorn_driver_events_sent_total" && *v == 8.0));
+        assert!(rows
+            .iter()
+            .any(|(name, _, v)| name == "qhorn_store_op_appends_total" && *v == 21.0));
+
+        // Log counters: per-level series plus the suppression counter.
+        assert!(rows.iter().any(|(name, labels, v)| {
+            name == "qhorn_log_events_total"
+                && labels.iter().any(|(k, val)| k == "level" && val == "warn")
+                && *v == 6.0
+        }));
+        assert!(rows
+            .iter()
+            .any(|(name, _, v)| name == "qhorn_log_suppressed_total" && *v == 2.0));
+
+        // Always-on profile series carry the layer label.
+        assert!(rows.iter().any(|(name, labels, v)| {
+            name == "qhorn_profile_self_nanos_total"
+                && labels
+                    .iter()
+                    .any(|(k, val)| k == "layer" && val == "dispatch")
+                && *v == 1234.0
+        }));
+    }
+
+    #[test]
+    fn pool_telemetry_tracks_depth_peak_and_wait() {
+        let pool = PoolTelemetry::new("http", 2);
+        let q1 = Instant::now();
+        pool.enqueue();
+        pool.enqueue();
+        let snap = pool.snapshot();
+        assert_eq!(snap.queue_depth, 2);
+        assert_eq!(snap.queue_peak, 2);
+        pool.dequeue(q1);
+        pool.worker_busy();
+        let snap = pool.snapshot();
+        assert_eq!(snap.queue_depth, 1);
+        assert_eq!(snap.queue_peak, 2);
+        assert_eq!(snap.busy, 1);
+        assert_eq!(snap.enqueued, 2);
+        assert_eq!(snap.dequeued, 1);
+        pool.worker_idle();
+        assert_eq!(pool.snapshot().busy, 0);
+    }
+
+    #[test]
+    fn saturation_snapshot_round_trips_through_json() {
+        let snap = SaturationSnapshot {
+            pools: vec![PoolSnapshot {
+                name: "lines".to_string(),
+                workers: 4,
+                busy: 3,
+                queue_depth: 2,
+                queue_peak: 9,
+                enqueued: 100,
+                dequeued: 98,
+                queue_wait_nanos: 12_345,
+            }],
+            lock_waits: 7,
+            lock_wait_nanos: 9_999,
+            mailbox: MailboxSnapshot {
+                cmds_sent: 1,
+                cmds_received: 1,
+                events_sent: 2,
+                events_received: 2,
+                answers_sent: 3,
+                answers_received: 3,
+            },
+            store: Some(StoreOpsSnapshot {
+                appends: 4,
+                append_nanos: 5,
+                append_bytes: 6,
+                fsyncs: 7,
+                fsync_nanos: 8,
+                compactions: 9,
+                compaction_nanos: 10,
+            }),
+        };
+        let line = qhorn_json::to_string(&snap);
+        let back: SaturationSnapshot = qhorn_json::from_str(&line).unwrap();
+        assert_eq!(back, snap);
+
+        // Storeless snapshots omit the key entirely and still decode.
+        let no_store = SaturationSnapshot {
+            store: None,
+            ..snap
+        };
+        let line = qhorn_json::to_string(&no_store);
+        assert!(!line.contains("\"store\""));
+        let back: SaturationSnapshot = qhorn_json::from_str(&line).unwrap();
+        assert_eq!(back, no_store);
+    }
+
+    #[test]
+    fn store_telemetry_buckets_by_operation() {
+        let t = StoreTelemetry::default();
+        t.observe(qhorn_store::StoreOp::Append, Duration::from_nanos(100), 64);
+        t.observe(qhorn_store::StoreOp::Append, Duration::from_nanos(200), 32);
+        t.observe(qhorn_store::StoreOp::Fsync, Duration::from_nanos(500), 0);
+        let snap = t.snapshot();
+        assert_eq!(snap.appends, 2);
+        assert_eq!(snap.append_nanos, 300);
+        assert_eq!(snap.append_bytes, 96);
+        assert_eq!(snap.fsyncs, 1);
+        assert_eq!(snap.fsync_nanos, 500);
+        assert_eq!(snap.compactions, 0);
     }
 }

@@ -18,7 +18,8 @@
 use crate::dataset::{DatasetInfo, DEFAULT_SIZE};
 use crate::error::ServiceError;
 use crate::metrics::MetricsSnapshot;
-use crate::registry::{QuestionInfo, RegistryStats, StepOutcome};
+use crate::registry::{HealthReport, QuestionInfo, RegistryStats, SessionResources, StepOutcome};
+use crate::trace::LayerProfile;
 use qhorn_core::{Obj, Query, Response};
 use qhorn_engine::exec::ExecStats;
 use qhorn_engine::session::LearnerKind;
@@ -143,6 +144,31 @@ pub enum Request {
         /// Session id.
         session: u64,
     },
+    /// Saturation health check: pool queue depths, busy-worker
+    /// fractions, lock waits, and an `ok`/`degraded`/`saturated` verdict.
+    Health,
+    /// The always-on self-profile: per-layer span counts and self/total
+    /// time accumulated since start (or the last reset).
+    Profile {
+        /// Zero the accumulators after reading them.
+        reset: bool,
+    },
+    /// Per-session resource accounting (questions by phase, transcript
+    /// bytes, store bytes, kernel and driver time).
+    SessionResources {
+        /// Session id.
+        session: u64,
+    },
+    /// Adjust the tracer's runtime knobs. Fields left absent keep their
+    /// current values; out-of-bounds values are rejected with a 422.
+    SetTraceConfig {
+        /// New slow-request threshold in milliseconds
+        /// (`1..=600_000`).
+        slow_threshold_ms: Option<u64>,
+        /// New journal sampling rate: keep every Nth non-slow trace
+        /// (`0` disables journaling of non-slow traces; max `1_000_000`).
+        sample_every: Option<u64>,
+    },
 }
 
 impl Request {
@@ -167,6 +193,10 @@ impl Request {
             Request::GetTrace { .. } => "get_trace",
             Request::ListTraces { .. } => "list_traces",
             Request::SessionTimeline { .. } => "session_timeline",
+            Request::Health => "health",
+            Request::Profile { .. } => "profile",
+            Request::SessionResources { .. } => "session_resources",
+            Request::SetTraceConfig { .. } => "set_trace_config",
         }
     }
 
@@ -181,7 +211,8 @@ impl Request {
             | Request::Verify { session, .. }
             | Request::ExportQuery { session, .. }
             | Request::CloseSession { session }
-            | Request::SessionTimeline { session } => Some(*session),
+            | Request::SessionTimeline { session }
+            | Request::SessionResources { session } => Some(*session),
             Request::EvaluateBatch { session, .. } => *session,
             _ => None,
         }
@@ -343,6 +374,31 @@ pub enum Reply {
         session: u64,
         /// Request and learner-phase events, oldest first.
         events: Vec<crate::trace::TimelineEvent>,
+        /// The session's resource accounting (`None` when the registry
+        /// no longer knows the session — its timeline survives in the
+        /// journal either way). Asking about an evicted session restores
+        /// it, so counters then read as since-restore. Omitted from the
+        /// wire when absent.
+        resources: Option<SessionResources>,
+    },
+    /// The saturation health check's verdict and signals.
+    Health(HealthReport),
+    /// The always-on self-profile, one entry per instrumented layer.
+    Profile {
+        /// Seconds since process start (normalizes the accumulators).
+        uptime_seconds: u64,
+        /// Per-layer accumulators, in [`crate::trace::PROFILE_LAYERS`]
+        /// order, zero layers included.
+        layers: Vec<LayerProfile>,
+    },
+    /// One session's resource accounting.
+    SessionResources(SessionResources),
+    /// The tracer's effective runtime config after a `set_trace_config`.
+    TraceConfig {
+        /// Slow-request threshold in milliseconds.
+        slow_threshold_ms: u64,
+        /// Journal sampling rate (keep every Nth non-slow trace).
+        sample_every: u64,
     },
     /// Request-level failure.
     Error {
@@ -370,6 +426,7 @@ impl Reply {
             | Reply::Step { session, .. }
             | Reply::Closed { session }
             | Reply::Timeline { session, .. } => Some(*session),
+            Reply::SessionResources(r) => Some(r.session),
             _ => None,
         }
     }
@@ -396,6 +453,10 @@ impl Reply {
             Reply::Trace(_) => "trace",
             Reply::Traces { .. } => "traces",
             Reply::Timeline { .. } => "timeline",
+            Reply::Health(_) => "health",
+            Reply::Profile { .. } => "profile",
+            Reply::SessionResources(_) => "session_resources",
+            Reply::TraceConfig { .. } => "trace_config",
             Reply::Error { .. } => "error",
         }
     }
@@ -548,6 +609,34 @@ impl ToJson for Request {
                 ("type", Json::Str("session_timeline".into())),
                 ("session", session.to_json()),
             ]),
+            Request::Health => Json::object([("type", Json::Str("health".into()))]),
+            Request::Profile { reset } => {
+                // `reset` is omitted when false, so the bare
+                // `GET /v1/debug/profile` body is just `{"type":"profile"}`.
+                let mut pairs = vec![("type".to_string(), Json::Str("profile".into()))];
+                if *reset {
+                    pairs.push(("reset".to_string(), reset.to_json()));
+                }
+                Json::Obj(pairs)
+            }
+            Request::SessionResources { session } => Json::object([
+                ("type", Json::Str("session_resources".into())),
+                ("session", session.to_json()),
+            ]),
+            Request::SetTraceConfig {
+                slow_threshold_ms,
+                sample_every,
+            } => {
+                // Absent knobs keep their current values.
+                let mut pairs = vec![("type".to_string(), Json::Str("set_trace_config".into()))];
+                if let Some(ms) = slow_threshold_ms {
+                    pairs.push(("slow_threshold_ms".to_string(), ms.to_json()));
+                }
+                if let Some(n) = sample_every {
+                    pairs.push(("sample_every".to_string(), n.to_json()));
+                }
+                Json::Obj(pairs)
+            }
         }
     }
 }
@@ -628,6 +717,17 @@ impl FromJson for Request {
             }),
             "session_timeline" => Ok(Request::SessionTimeline {
                 session: u64::from_json(j.field("session")?)?,
+            }),
+            "health" => Ok(Request::Health),
+            "profile" => Ok(Request::Profile {
+                reset: opt_field(j, "reset")?.unwrap_or(false),
+            }),
+            "session_resources" => Ok(Request::SessionResources {
+                session: u64::from_json(j.field("session")?)?,
+            }),
+            "set_trace_config" => Ok(Request::SetTraceConfig {
+                slow_threshold_ms: opt_field(j, "slow_threshold_ms")?,
+                sample_every: opt_field(j, "sample_every")?,
             }),
             other => Err(JsonError::msg(format!("unknown request type `{other}`"))),
         }
@@ -723,6 +823,7 @@ impl ToJson for RegistryStats {
                 "compaction_errors".to_string(),
                 self.compaction_errors.to_json(),
             ),
+            ("uptime_seconds".to_string(), self.uptime_seconds.to_json()),
         ];
         // Omitted entirely when no durable store is configured.
         if let Some(store) = &self.store {
@@ -750,7 +851,75 @@ impl FromJson for RegistryStats {
             batch_threads_used: opt_field(j, "batch_threads_used")?.unwrap_or(0),
             snapshots: u64::from_json(j.field("snapshots")?)?,
             compaction_errors: u64::from_json(j.field("compaction_errors")?)?,
+            // Additive versioning: absent on pre-observability encodings.
+            uptime_seconds: opt_field(j, "uptime_seconds")?.unwrap_or(0),
             store: opt_field(j, "store")?,
+        })
+    }
+}
+
+impl ToJson for SessionResources {
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("session", self.session.to_json()),
+            ("state", self.state.to_json()),
+            ("questions", self.questions.to_json()),
+            (
+                "questions_by_phase",
+                Json::Obj(
+                    self.questions_by_phase
+                        .iter()
+                        .map(|(name, n)| (name.clone(), n.to_json()))
+                        .collect(),
+                ),
+            ),
+            ("transcript_bytes", self.transcript_bytes.to_json()),
+            ("store_bytes", self.store_bytes.to_json()),
+            ("eval_nanos", self.eval_nanos.to_json()),
+            ("driver_nanos", self.driver_nanos.to_json()),
+        ])
+    }
+}
+
+impl FromJson for SessionResources {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        let phases = j
+            .field("questions_by_phase")?
+            .as_obj()
+            .ok_or_else(|| JsonError::msg("questions_by_phase must be an object"))?;
+        let mut questions_by_phase = Vec::with_capacity(phases.len());
+        for (name, n) in phases {
+            questions_by_phase.push((name.clone(), u64::from_json(n)?));
+        }
+        Ok(SessionResources {
+            session: u64::from_json(j.field("session")?)?,
+            state: String::from_json(j.field("state")?)?,
+            questions: u64::from_json(j.field("questions")?)?,
+            questions_by_phase,
+            transcript_bytes: u64::from_json(j.field("transcript_bytes")?)?,
+            store_bytes: u64::from_json(j.field("store_bytes")?)?,
+            eval_nanos: u64::from_json(j.field("eval_nanos")?)?,
+            driver_nanos: u64::from_json(j.field("driver_nanos")?)?,
+        })
+    }
+}
+
+impl ToJson for HealthReport {
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("verdict", self.verdict.to_json()),
+            ("uptime_seconds", self.uptime_seconds.to_json()),
+            ("saturation", self.saturation.to_json()),
+        ])
+    }
+}
+
+impl FromJson for HealthReport {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        Ok(HealthReport {
+            verdict: String::from_json(j.field("verdict")?)?,
+            uptime_seconds: u64::from_json(j.field("uptime_seconds")?)?,
+            saturation: crate::metrics::SaturationSnapshot::from_json(j.field("saturation")?)?,
         })
     }
 }
@@ -826,10 +995,50 @@ impl ToJson for Reply {
                 ("type", Json::Str("traces".into())),
                 ("traces", traces.to_json()),
             ]),
-            Reply::Timeline { session, events } => Json::object([
-                ("type", Json::Str("timeline".into())),
-                ("session", session.to_json()),
-                ("events", events.to_json()),
+            Reply::Timeline {
+                session,
+                events,
+                resources,
+            } => {
+                let mut pairs = vec![
+                    ("type".to_string(), Json::Str("timeline".into())),
+                    ("session".to_string(), session.to_json()),
+                    ("events".to_string(), events.to_json()),
+                ];
+                if let Some(resources) = resources {
+                    pairs.push(("resources".to_string(), resources.to_json()));
+                }
+                Json::Obj(pairs)
+            }
+            Reply::Health(report) => {
+                let mut pairs = vec![("type".to_string(), Json::Str("health".into()))];
+                if let Json::Obj(fields) = report.to_json() {
+                    pairs.extend(fields);
+                }
+                Json::Obj(pairs)
+            }
+            Reply::Profile {
+                uptime_seconds,
+                layers,
+            } => Json::object([
+                ("type", Json::Str("profile".into())),
+                ("uptime_seconds", uptime_seconds.to_json()),
+                ("layers", layers.to_json()),
+            ]),
+            Reply::SessionResources(resources) => {
+                let mut pairs = vec![("type".to_string(), Json::Str("session_resources".into()))];
+                if let Json::Obj(fields) = resources.to_json() {
+                    pairs.extend(fields);
+                }
+                Json::Obj(pairs)
+            }
+            Reply::TraceConfig {
+                slow_threshold_ms,
+                sample_every,
+            } => Json::object([
+                ("type", Json::Str("trace_config".into())),
+                ("slow_threshold_ms", slow_threshold_ms.to_json()),
+                ("sample_every", sample_every.to_json()),
             ]),
             Reply::Error { message } => Json::object([
                 ("type", Json::Str("error".into())),
@@ -880,6 +1089,17 @@ impl FromJson for Reply {
             "timeline" => Ok(Reply::Timeline {
                 session: u64::from_json(j.field("session")?)?,
                 events: Vec::<crate::trace::TimelineEvent>::from_json(j.field("events")?)?,
+                resources: opt_field(j, "resources")?,
+            }),
+            "health" => Ok(Reply::Health(HealthReport::from_json(j)?)),
+            "profile" => Ok(Reply::Profile {
+                uptime_seconds: u64::from_json(j.field("uptime_seconds")?)?,
+                layers: Vec::<LayerProfile>::from_json(j.field("layers")?)?,
+            }),
+            "session_resources" => Ok(Reply::SessionResources(SessionResources::from_json(j)?)),
+            "trace_config" => Ok(Reply::TraceConfig {
+                slow_threshold_ms: u64::from_json(j.field("slow_threshold_ms")?)?,
+                sample_every: u64::from_json(j.field("sample_every")?)?,
             }),
             "error" => Ok(Reply::Error {
                 message: String::from_json(j.field("message")?)?,
@@ -973,6 +1193,18 @@ mod tests {
             limit: DEFAULT_TRACE_LIMIT,
         });
         round_trip_request(&Request::SessionTimeline { session: 7 });
+        round_trip_request(&Request::Health);
+        round_trip_request(&Request::Profile { reset: false });
+        round_trip_request(&Request::Profile { reset: true });
+        round_trip_request(&Request::SessionResources { session: 7 });
+        round_trip_request(&Request::SetTraceConfig {
+            slow_threshold_ms: Some(250),
+            sample_every: Some(10),
+        });
+        round_trip_request(&Request::SetTraceConfig {
+            slow_threshold_ms: None,
+            sample_every: None,
+        });
         // A bare listing body (what `GET /v1/traces` produces) defaults
         // every filter.
         let req: Request = qhorn_json::from_str(r#"{"type":"list_traces"}"#).unwrap();
@@ -1040,6 +1272,13 @@ mod tests {
                 limit: DEFAULT_TRACE_LIMIT,
             },
             Request::SessionTimeline { session: 1 },
+            Request::Health,
+            Request::Profile { reset: false },
+            Request::SessionResources { session: 1 },
+            Request::SetTraceConfig {
+                slow_threshold_ms: None,
+                sample_every: None,
+            },
         ];
         for req in &reqs {
             // kind_index panics if the kind is missing from the table;
@@ -1181,6 +1420,87 @@ mod tests {
                 trace: 0xab,
                 duration_nanos: 9,
             }],
+            resources: None,
+        });
+        round_trip_reply(&Reply::Timeline {
+            session: 7,
+            events: vec![],
+            resources: Some(SessionResources {
+                session: 7,
+                state: "learning".into(),
+                questions: 4,
+                questions_by_phase: vec![("classify_heads".into(), 4)],
+                transcript_bytes: 211,
+                store_bytes: 0,
+                eval_nanos: 0,
+                driver_nanos: 88_120,
+            }),
+        });
+        round_trip_reply(&Reply::Health(HealthReport {
+            verdict: "degraded".into(),
+            uptime_seconds: 3600,
+            saturation: crate::metrics::SaturationSnapshot {
+                pools: vec![crate::metrics::PoolSnapshot {
+                    name: "http".into(),
+                    workers: 4,
+                    busy: 4,
+                    queue_depth: 3,
+                    queue_peak: 7,
+                    enqueued: 120,
+                    dequeued: 117,
+                    queue_wait_nanos: 9_000_000,
+                }],
+                lock_waits: 240,
+                lock_wait_nanos: 1_500_000,
+                mailbox: crate::metrics::MailboxSnapshot {
+                    cmds_sent: 5,
+                    cmds_received: 5,
+                    events_sent: 40,
+                    events_received: 40,
+                    answers_sent: 35,
+                    answers_received: 35,
+                },
+                store: Some(crate::metrics::StoreOpsSnapshot {
+                    appends: 21,
+                    append_nanos: 84_000,
+                    append_bytes: 9_216,
+                    fsyncs: 2,
+                    fsync_nanos: 3_000_000,
+                    compactions: 1,
+                    compaction_nanos: 500_000,
+                }),
+            },
+        }));
+        round_trip_reply(&Reply::Profile {
+            uptime_seconds: 42,
+            layers: vec![
+                LayerProfile {
+                    layer: "dispatch".into(),
+                    spans: 10,
+                    self_nanos: 1_000,
+                    total_nanos: 90_000,
+                },
+                LayerProfile {
+                    layer: "kernel".into(),
+                    spans: 3,
+                    self_nanos: 60_000,
+                    total_nanos: 60_000,
+                },
+            ],
+        });
+        round_trip_reply(&Reply::SessionResources(SessionResources {
+            session: 7,
+            state: "done".into(),
+            questions: 17,
+            questions_by_phase: vec![("matrix_questions".into(), 9), ("core_questions".into(), 8)],
+            transcript_bytes: 2_048,
+            store_bytes: 4_096,
+            eval_nanos: 500_000,
+            driver_nanos: 7_000_000,
+        }));
+        round_trip_reply(&Reply::TraceConfig {
+            slow_threshold_ms: 250,
+            sample_every: 10,
         });
         round_trip_reply(&Reply::Error {
             message: "unknown session 9".into(),
@@ -1247,6 +1567,7 @@ mod tests {
         match reply {
             Reply::Stats(stats) => {
                 assert_eq!(stats.batch_threads_used, 0);
+                assert_eq!(stats.uptime_seconds, 0);
                 assert_eq!(stats.batch_runs, 3);
             }
             other => panic!("decoded {other:?}"),

@@ -33,23 +33,26 @@
 use crate::dataset::{DatasetCatalog, DatasetInfo};
 use crate::driver::{self, DriverCmd, DriverEvent, DriverHandle, QuestionOut};
 use crate::error::ServiceError;
-use crate::metrics::Metrics;
 use crate::metrics::PHASE_NAMES;
+use crate::metrics::{
+    DriverMailbox, Metrics, OpsSnapshot, PoolTelemetry, SaturationSnapshot, StoreTelemetry,
+};
 use crate::trace::{self, AttrValue, TraceConfig, TraceStoreObserver, Tracer};
 use qhorn_core::learn::LearnOptions;
 use qhorn_core::{Obj, Query, Response};
 use qhorn_engine::persist::{self, SessionSnapshot};
 use qhorn_engine::session::{Exchange, LearnerKind};
 use qhorn_engine::DataStore;
+use qhorn_json::Json;
 use qhorn_relation::synthesize::DomainHints;
 use qhorn_relation::DatasetDef;
 use qhorn_store::{
     LogRecord, PersistedSession, SessionMeta, SessionStore, SnapshotEntry, StoreConfig, StoreStats,
 };
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::{Duration, Instant};
+use std::time::{Duration, Instant, SystemTime};
 
 /// Registry construction parameters.
 #[derive(Clone, Debug)]
@@ -228,8 +231,57 @@ pub struct RegistryStats {
     /// Compactions that failed (cumulative; see
     /// [`SweepReport::compact_error`]).
     pub compaction_errors: u64,
+    /// Seconds since this registry (process) started. Optional on decode
+    /// for mixed-version replay.
+    pub uptime_seconds: u64,
     /// Durable store counters (`None` when no store is configured).
     pub store: Option<StoreStats>,
+}
+
+/// Per-session resource accounting, as served by the `SessionResources`
+/// protocol message. Counters accumulate on the **live entry only**:
+/// eviction-and-restore resets them (snapshots deliberately do not carry
+/// accounting state), so treat them as since-last-restore figures.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SessionResources {
+    /// The session id.
+    pub session: u64,
+    /// Current session state (stable wire name).
+    pub state: String,
+    /// User answers processed.
+    pub questions: u64,
+    /// `(phase label, questions)` for each phase that asked questions,
+    /// folded in at each learn completion.
+    pub questions_by_phase: Vec<(String, u64)>,
+    /// Bytes of rendered question text shipped to the user.
+    pub transcript_bytes: u64,
+    /// Durable-log bytes this session's records appended.
+    pub store_bytes: u64,
+    /// Kernel evaluation nanoseconds spent by this session's batch runs.
+    pub eval_nanos: u64,
+    /// Wall nanoseconds requests spent waiting on this session's driver.
+    pub driver_nanos: u64,
+}
+
+/// The `GET /v1/health` verdict plus the saturation evidence behind it.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HealthReport {
+    /// `"ok"`, `"degraded"`, or `"saturated"`.
+    pub verdict: String,
+    /// Seconds since process start (normalizes the counters).
+    pub uptime_seconds: u64,
+    /// The signals the verdict was computed from.
+    pub saturation: SaturationSnapshot,
+}
+
+/// Live-entry resource accumulators (see [`SessionResources`]).
+#[derive(Clone, Copy, Debug, Default)]
+struct ResourceUsage {
+    transcript_bytes: u64,
+    store_bytes: u64,
+    eval_nanos: u64,
+    driver_nanos: u64,
+    questions_by_phase: [u64; PHASE_NAMES.len()],
 }
 
 struct Entry {
@@ -249,6 +301,7 @@ struct Entry {
     failure: Option<String>,
     answered: usize,
     last_touch: Instant,
+    resources: ResourceUsage,
 }
 
 struct SnapshotRecord {
@@ -292,6 +345,24 @@ pub struct Registry {
     /// The span journal; the dispatch layer roots a trace per request
     /// into it, every layer below records child spans.
     tracer: Arc<Tracer>,
+    /// Frontend worker-pool telemetry, one slot per registered pool
+    /// ([`Registry::register_pool`]); feeds the health verdict.
+    pools: Mutex<Vec<Arc<PoolTelemetry>>>,
+    /// Entry-stripe contention: acquisitions measured / nanos waited
+    /// (the `with_entry` stripe-wait measurement, made scrapeable).
+    lock_waits: AtomicU64,
+    lock_wait_nanos: AtomicU64,
+    /// Shared driver-mailbox traffic counters (all sessions).
+    mailbox: Arc<DriverMailbox>,
+    /// Store append/fsync-path timings, fed by the store observer.
+    store_telemetry: Arc<StoreTelemetry>,
+    /// Last health verdict (0 ok / 1 degraded / 2 saturated), for
+    /// transition logging.
+    last_verdict: AtomicU8,
+    /// Process start, for `uptime_seconds`.
+    start: Instant,
+    /// Process start as Unix seconds, for Prometheus.
+    start_unix_seconds: u64,
     compaction_errors: AtomicU64,
     last_sweep: Mutex<Instant>,
     next_id: AtomicU64,
@@ -330,6 +401,7 @@ impl Registry {
     pub fn open(config: RegistryConfig) -> Result<Self, ServiceError> {
         let shards = config.shards.max(1);
         let tracer = Arc::new(Tracer::new(&config.trace));
+        let store_telemetry = Arc::new(StoreTelemetry::default());
         let mut next_id = 1u64;
         let mut recovered = Vec::new();
         let mut recovered_datasets = Vec::new();
@@ -337,7 +409,10 @@ impl Registry {
             Some(cfg) => {
                 let (mut store, state) =
                     SessionStore::open(cfg).map_err(|e| ServiceError::Store(e.to_string()))?;
-                store.set_observer(Box::new(TraceStoreObserver::new(Arc::clone(&tracer))));
+                store.set_observer(Box::new(TraceStoreObserver::new(
+                    Arc::clone(&tracer),
+                    Arc::clone(&store_telemetry),
+                )));
                 next_id = state.max_session_id + 1;
                 recovered = state.sessions;
                 recovered_datasets = state.datasets;
@@ -361,6 +436,16 @@ impl Registry {
             snap_clock: AtomicU64::new(0),
             metrics: Arc::new(Metrics::new()),
             tracer,
+            pools: Mutex::new(Vec::new()),
+            lock_waits: AtomicU64::new(0),
+            lock_wait_nanos: AtomicU64::new(0),
+            mailbox: Arc::new(DriverMailbox::default()),
+            store_telemetry,
+            last_verdict: AtomicU8::new(0),
+            start: Instant::now(),
+            start_unix_seconds: SystemTime::now()
+                .duration_since(SystemTime::UNIX_EPOCH)
+                .map_or(0, |d| d.as_secs()),
             compaction_errors: AtomicU64::new(0),
             last_sweep: Mutex::new(Instant::now()),
             next_id: AtomicU64::new(next_id),
@@ -376,9 +461,17 @@ impl Registry {
             batch_answers: AtomicU64::new(0),
             batch_threads: AtomicU64::new(0),
         };
+        let recovered_count = recovered.len();
         for session in recovered {
             let id = session.id;
             registry.insert_snapshot(id, snapshot_record_from_persisted(session));
+        }
+        if recovered_count > 0 {
+            crate::log::info(
+                "registry",
+                "recovered sessions from the durable store",
+                &[("sessions", Json::U64(recovered_count as u64))],
+            );
         }
         Ok(registry)
     }
@@ -395,16 +488,31 @@ impl Registry {
     pub fn create_session(&self, spec: CreateSpec) -> Result<(u64, StepOutcome), ServiceError> {
         self.maybe_sweep();
         let (store, hints) = self.catalog.get(&spec.dataset, spec.size)?;
-        let driver = driver::spawn(Arc::clone(&store), hints, spec.learner, Vec::new());
+        let driver = driver::spawn(
+            Arc::clone(&store),
+            hints,
+            spec.learner,
+            Vec::new(),
+            Arc::clone(&self.mailbox),
+        );
         driver
             .cmd_tx
             .send(DriverCmd::Learn(learn_options(&spec)))
             .map_err(|_| ServiceError::DriverTimeout)?;
+        self.mailbox.cmd_sent();
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-        self.log_append(&LogRecord::SessionCreated {
+        let created_bytes = self.log_append(&LogRecord::SessionCreated {
             id,
             meta: session_meta(&spec, spec.learner),
         })?;
+        crate::log::info(
+            "registry",
+            "session created",
+            &[
+                ("session", Json::U64(id)),
+                ("dataset", Json::Str(spec.dataset.clone())),
+            ],
+        );
         let mut entry = Entry {
             state: SessionState::Learning,
             kind: spec.learner,
@@ -419,6 +527,10 @@ impl Registry {
             failure: None,
             answered: 0,
             last_touch: Instant::now(),
+            resources: ResourceUsage {
+                store_bytes: created_bytes,
+                ..ResourceUsage::default()
+            },
         };
         let outcome = match self.pump(id, &mut entry) {
             Ok(outcome) => outcome,
@@ -426,6 +538,14 @@ impl Registry {
                 // The client never learns this id; compensate so recovery
                 // does not resurrect an ownerless phantom session.
                 let _ = self.log_append(&LogRecord::SessionClosed { id });
+                crate::log::warn(
+                    "registry",
+                    "session creation failed after its first pump",
+                    &[
+                        ("session", Json::U64(id)),
+                        ("error", Json::Str(e.to_string())),
+                    ],
+                );
                 return Err(e);
             }
         };
@@ -503,12 +623,15 @@ impl Registry {
             };
             // Durable before acknowledged: once the answer is applied, the
             // log has it (under `FsyncPolicy::Always`, on disk).
-            if let Err(e) = self.log_append(&LogRecord::ExchangeAppended {
+            match self.log_append(&LogRecord::ExchangeAppended {
                 id,
                 exchange: exchange.clone(),
             }) {
-                entry.pending = Some(pending);
-                return Err(e);
+                Ok(bytes) => entry.resources.store_bytes += bytes,
+                Err(e) => {
+                    entry.pending = Some(pending);
+                    return Err(e);
+                }
             }
             entry.transcript.push(exchange);
             entry.answered += 1;
@@ -521,6 +644,7 @@ impl Registry {
                 .ans_tx
                 .send(response)
                 .map_err(|_| ServiceError::DriverTimeout)?;
+            self.mailbox.answer_sent();
             self.answers.fetch_add(1, Ordering::Relaxed);
             self.pump(id, entry)
         })
@@ -555,10 +679,11 @@ impl Registry {
                 )))?;
                 by_question.push((q.clone(), r));
             }
-            self.log_append(&LogRecord::Corrected {
+            let bytes = self.log_append(&LogRecord::Corrected {
                 id,
                 corrections: corrections.to_vec(),
             })?;
+            entry.resources.store_bytes += bytes;
             for e in &mut entry.transcript {
                 if let Some((_, r)) = by_question.iter().find(|(q, _)| *q == e.question) {
                     e.response = *r;
@@ -574,6 +699,7 @@ impl Registry {
                 .cmd_tx
                 .send(DriverCmd::Relearn(by_question, learn_options(&entry.spec)))
                 .map_err(|_| ServiceError::DriverTimeout)?;
+            self.mailbox.cmd_sent();
             self.pump(id, entry)
         })
     }
@@ -622,6 +748,7 @@ impl Registry {
                 .cmd_tx
                 .send(DriverCmd::Verify(q))
                 .map_err(|_| ServiceError::DriverTimeout)?;
+            self.mailbox.cmd_sent();
             self.pump(id, entry)
         })
     }
@@ -725,6 +852,128 @@ impl Registry {
         &self.tracer
     }
 
+    /// Registers a frontend worker pool for saturation telemetry. Pool
+    /// names are deduplicated (`http`, `http-2`, …) so two servers over
+    /// one registry export distinct series.
+    pub fn register_pool(&self, name: &str, workers: usize) -> Arc<PoolTelemetry> {
+        let mut pools = self.pools.lock().expect("pools poisoned");
+        let mut label = name.to_string();
+        let mut n = 1usize;
+        while pools.iter().any(|p| p.name == label) {
+            n += 1;
+            label = format!("{name}-{n}");
+        }
+        let pool = Arc::new(PoolTelemetry::new(&label, workers));
+        pools.push(Arc::clone(&pool));
+        pool
+    }
+
+    /// Every saturation signal at this instant.
+    #[must_use]
+    pub fn saturation(&self) -> SaturationSnapshot {
+        SaturationSnapshot {
+            pools: self
+                .pools
+                .lock()
+                .expect("pools poisoned")
+                .iter()
+                .map(|p| p.snapshot())
+                .collect(),
+            lock_waits: self.lock_waits.load(Ordering::Relaxed),
+            lock_wait_nanos: self.lock_wait_nanos.load(Ordering::Relaxed),
+            mailbox: self.mailbox.snapshot(),
+            store: self.store.as_ref().map(|_| self.store_telemetry.snapshot()),
+        }
+    }
+
+    /// Computes the health verdict from the current saturation signals:
+    /// **saturated** when any pool has every worker busy *and* a non-empty
+    /// accept queue, **degraded** when any pool is queueing or ≥ 75% busy,
+    /// **ok** otherwise. Verdict transitions are logged at warn level.
+    #[must_use]
+    pub fn health(&self) -> HealthReport {
+        let saturation = self.saturation();
+        let verdict = health_verdict(&saturation);
+        let code = match verdict {
+            "ok" => 0u8,
+            "degraded" => 1,
+            _ => 2,
+        };
+        let prev = self.last_verdict.swap(code, Ordering::Relaxed);
+        if prev != code {
+            crate::log::warn(
+                "health",
+                "health verdict changed",
+                &[
+                    ("from", Json::Str(verdict_name(prev).to_string())),
+                    ("to", Json::Str(verdict.to_string())),
+                ],
+            );
+        }
+        HealthReport {
+            verdict: verdict.to_string(),
+            uptime_seconds: self.uptime_seconds(),
+            saturation,
+        }
+    }
+
+    /// Seconds since this registry (process) started.
+    #[must_use]
+    pub fn uptime_seconds(&self) -> u64 {
+        self.start.elapsed().as_secs()
+    }
+
+    /// The operational bundle `/metrics` exports beyond request metrics.
+    #[must_use]
+    pub fn ops_snapshot(&self) -> OpsSnapshot {
+        OpsSnapshot {
+            saturation: self.saturation(),
+            logs: crate::log::stats(),
+            profile: self.tracer.profile(),
+            uptime_seconds: self.uptime_seconds(),
+            start_unix_seconds: self.start_unix_seconds,
+        }
+    }
+
+    /// The session's resource accounting (see [`SessionResources`] for
+    /// reset semantics).
+    ///
+    /// # Errors
+    /// [`ServiceError::UnknownSession`].
+    pub fn session_resources(&self, id: u64) -> Result<SessionResources, ServiceError> {
+        self.with_entry(id, |entry| {
+            entry.last_touch = Instant::now();
+            Ok(SessionResources {
+                session: id,
+                state: entry.state.as_str().to_string(),
+                questions: entry.answered as u64,
+                questions_by_phase: PHASE_NAMES
+                    .iter()
+                    .zip(entry.resources.questions_by_phase.iter())
+                    .filter(|(_, &n)| n > 0)
+                    .map(|((_, name), &n)| ((*name).to_string(), n))
+                    .collect(),
+                transcript_bytes: entry.resources.transcript_bytes,
+                store_bytes: entry.resources.store_bytes,
+                eval_nanos: entry.resources.eval_nanos,
+                driver_nanos: entry.resources.driver_nanos,
+            })
+        })
+    }
+
+    /// Charges kernel evaluation time to a session's accounting.
+    /// Best-effort: sessions evicted between the batch run and this call
+    /// simply miss the charge (live-entry-only semantics).
+    pub fn add_session_eval(&self, id: u64, eval_nanos: u64) {
+        let handle = {
+            let map = self.shard(id).lock().expect("shard poisoned");
+            map.get(&id).cloned()
+        };
+        if let Some(h) = handle {
+            h.lock().expect("entry poisoned").resources.eval_nanos += eval_nanos;
+        }
+    }
+
     /// Counts a served batch evaluation and folds its execution
     /// statistics into the cumulative counters (the server calls this).
     pub fn count_batch_run(&self, stats: &qhorn_engine::exec::ExecStats) {
@@ -789,6 +1038,13 @@ impl Registry {
             }
         }
         self.evicted.fetch_add(evicted as u64, Ordering::Relaxed);
+        if evicted > 0 {
+            crate::log::debug(
+                "registry",
+                "idle sessions evicted to snapshots",
+                &[("sessions", Json::U64(evicted as u64))],
+            );
+        }
         let (compacted, compact_error) = self.maybe_compact();
         if let Some(msg) = &compact_error {
             // A due compaction that fails is otherwise invisible outside
@@ -799,6 +1055,11 @@ impl Registry {
                 Duration::ZERO,
                 None,
                 vec![("error", AttrValue::Str(msg.clone()))],
+            );
+            crate::log::error(
+                "registry",
+                "due compaction failed; log keeps growing until a sweep succeeds",
+                &[("error", Json::Str(msg.clone()))],
             );
         }
         SweepReport {
@@ -919,7 +1180,9 @@ impl Registry {
                 return Err(ServiceError::UnknownSession(id));
             }
         }
-        self.log_append(&LogRecord::SessionClosed { id })
+        self.log_append(&LogRecord::SessionClosed { id })?;
+        crate::log::info("registry", "session closed", &[("session", Json::U64(id))]);
+        Ok(())
     }
 
     /// Aggregate counters.
@@ -945,6 +1208,7 @@ impl Registry {
             batch_threads_used: self.batch_threads.load(Ordering::Relaxed),
             snapshots: self.snapshots.lock().expect("snapshots poisoned").len() as u64,
             compaction_errors: self.compaction_errors.load(Ordering::Relaxed),
+            uptime_seconds: self.uptime_seconds(),
             store: self
                 .store
                 .as_ref()
@@ -998,12 +1262,13 @@ impl Registry {
             }
         };
         let mut entry = handle.lock().expect("entry poisoned");
+        let wait_nanos = u64::try_from(wait_started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        self.lock_waits.fetch_add(1, Ordering::Relaxed);
+        self.lock_wait_nanos
+            .fetch_add(wait_nanos, Ordering::Relaxed);
         let span = trace::span("registry");
         span.set_session(id);
-        span.attr_u64(
-            "stripe_wait_nanos",
-            u64::try_from(wait_started.elapsed().as_nanos()).unwrap_or(u64::MAX),
-        );
+        span.attr_u64("stripe_wait_nanos", wait_nanos);
         if restored_here {
             span.attr_bool("restored", true);
         }
@@ -1089,6 +1354,7 @@ impl Registry {
             hints,
             record.kind,
             snap.transcript.clone(),
+            Arc::clone(&self.mailbox),
         );
         let mut entry = Entry {
             state: SessionState::Learning,
@@ -1104,6 +1370,7 @@ impl Registry {
             failure: None,
             answered: record.answered,
             last_touch: Instant::now(),
+            resources: ResourceUsage::default(),
         };
         if entry.learned.is_some() {
             entry.state = SessionState::Done;
@@ -1114,8 +1381,14 @@ impl Registry {
                 .cmd_tx
                 .send(DriverCmd::Relearn(Vec::new(), learn_options(&entry.spec)))
                 .map_err(|_| ServiceError::DriverTimeout)?;
+            self.mailbox.cmd_sent();
             self.pump(id, &mut entry)?;
         }
+        crate::log::debug(
+            "registry",
+            "session restored from snapshot",
+            &[("session", Json::U64(id))],
+        );
         self.restored.fetch_add(1, Ordering::Relaxed);
         self.shard(id)
             .lock()
@@ -1125,31 +1398,40 @@ impl Registry {
     }
 
     /// Appends one record to the durable log, when one is configured.
-    fn log_append(&self, record: &LogRecord) -> Result<(), ServiceError> {
+    /// Returns the framed bytes the append added (0 storeless) so callers
+    /// can charge per-session accounting.
+    fn log_append(&self, record: &LogRecord) -> Result<u64, ServiceError> {
         if let Some(store) = &self.store {
+            let mut store = store.lock().expect("store poisoned");
+            let before = store.bytes_appended();
             store
-                .lock()
-                .expect("store poisoned")
                 .append(record)
                 .map_err(|e| ServiceError::Store(e.to_string()))?;
+            Ok(store.bytes_appended() - before)
+        } else {
+            Ok(0)
         }
-        Ok(())
     }
 
     /// Waits for the driver's next event and applies it to the entry.
     fn pump(&self, id: u64, entry: &mut Entry) -> Result<StepOutcome, ServiceError> {
         let span = trace::span("driver.pump");
         span.set_session(id);
+        let wait_started = Instant::now();
         let event = entry
             .driver
             .evt_rx
             .recv_timeout(self.config.driver_timeout)
             .map_err(|_| ServiceError::DriverTimeout)?;
+        entry.resources.driver_nanos +=
+            u64::try_from(wait_started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        self.mailbox.event_received();
         match event {
             DriverEvent::Question(q) => {
                 span.attr_str("event", "question");
                 // Index in user-visible question order.
                 let info = QuestionInfo::from_out(q, entry.asked.len());
+                entry.resources.transcript_bytes += info.rendered.len() as u64;
                 entry.asked.push(info.question.clone());
                 entry.pending = Some(info.clone());
                 if entry.state != SessionState::Verifying {
@@ -1165,15 +1447,27 @@ impl Registry {
                         span.attr_str("event", "learn_finished");
                         span.attr_u64("questions", stats.questions as u64);
                         record_phase_spans(id, &stats);
+                        for (i, (phase, _)) in PHASE_NAMES.iter().enumerate() {
+                            entry.resources.questions_by_phase[i] += stats.phase(*phase) as u64;
+                        }
                         entry.state = SessionState::Done;
                         entry.learned = Some(query.clone());
                         entry.failure = None;
                         self.completed.fetch_add(1, Ordering::Relaxed);
                         self.metrics.record_learn(&stats);
-                        self.log_append(&LogRecord::QueryLearned {
+                        let bytes = self.log_append(&LogRecord::QueryLearned {
                             id,
                             query: query.clone(),
                         })?;
+                        entry.resources.store_bytes += bytes;
+                        crate::log::info(
+                            "registry",
+                            "session learned its query",
+                            &[
+                                ("session", Json::U64(id)),
+                                ("questions", Json::U64(stats.questions as u64)),
+                            ],
+                        );
                         Ok(StepOutcome::Learned {
                             query,
                             questions: entry.answered,
@@ -1184,6 +1478,14 @@ impl Registry {
                         entry.state = SessionState::Failed;
                         entry.failure = Some(message.clone());
                         self.failed.fetch_add(1, Ordering::Relaxed);
+                        crate::log::warn(
+                            "registry",
+                            "session failed learning",
+                            &[
+                                ("session", Json::U64(id)),
+                                ("error", Json::Str(message.clone())),
+                            ],
+                        );
                         Ok(StepOutcome::Failed { message })
                     }
                 }
@@ -1200,11 +1502,43 @@ impl Registry {
                 entry.verified = Some(verified);
                 // Durable: recovery restores the session as verified
                 // without waiting for a compaction snapshot.
-                self.log_append(&LogRecord::Verified { id, verified })?;
+                let bytes = self.log_append(&LogRecord::Verified { id, verified })?;
+                entry.resources.store_bytes += bytes;
+                crate::log::info(
+                    "registry",
+                    "session verification finished",
+                    &[
+                        ("session", Json::U64(id)),
+                        ("verified", Json::Bool(verified)),
+                    ],
+                );
                 Ok(StepOutcome::Verified { verified })
             }
         }
     }
+}
+
+/// Maps the stored verdict code back to its wire name.
+fn verdict_name(code: u8) -> &'static str {
+    match code {
+        0 => "ok",
+        1 => "degraded",
+        _ => "saturated",
+    }
+}
+
+/// The health decision rule (see [`Registry::health`] for the semantics).
+fn health_verdict(s: &SaturationSnapshot) -> &'static str {
+    let mut verdict = "ok";
+    for p in &s.pools {
+        if p.workers > 0 && p.busy >= p.workers && p.queue_depth > 0 {
+            return "saturated";
+        }
+        if p.queue_depth > 0 || (p.workers > 0 && p.busy * 4 >= p.workers * 3) {
+            verdict = "degraded";
+        }
+    }
+    verdict
 }
 
 /// Back-fills `learner.phase` spans from a finished learner's

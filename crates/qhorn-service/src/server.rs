@@ -55,21 +55,30 @@ impl Server {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
-        let (conn_tx, conn_rx) = mpsc::channel::<TcpStream>();
+        // Accepted connections carry their accept instant so the pool
+        // telemetry can measure queue wait.
+        let (conn_tx, conn_rx) = mpsc::channel::<(TcpStream, std::time::Instant)>();
         let conn_rx = Arc::new(Mutex::new(conn_rx));
+        let pool = registry.register_pool("lines", workers.max(1));
 
         let mut handles = Vec::with_capacity(workers.max(1));
         for i in 0..workers.max(1) {
             let rx = Arc::clone(&conn_rx);
             let reg = Arc::clone(&registry);
             let stop = Arc::clone(&shutdown);
+            let pool = Arc::clone(&pool);
             handles.push(
                 std::thread::Builder::new()
                     .name(format!("qhorn-worker-{i}"))
                     .spawn(move || loop {
                         let stream = { rx.lock().expect("conn channel poisoned").recv() };
                         match stream {
-                            Ok(s) => handle_connection(s, &reg, &stop),
+                            Ok((s, queued_at)) => {
+                                pool.dequeue(queued_at);
+                                pool.worker_busy();
+                                handle_connection(s, &reg, &stop);
+                                pool.worker_idle();
+                            }
                             Err(_) => break, // acceptor gone and queue drained
                         }
                     })
@@ -78,6 +87,7 @@ impl Server {
         }
 
         let stop = Arc::clone(&shutdown);
+        let accept_pool = Arc::clone(&pool);
         let acceptor = std::thread::Builder::new()
             .name("qhorn-acceptor".into())
             .spawn(move || {
@@ -89,7 +99,8 @@ impl Server {
                     }
                     match stream {
                         Ok(s) => {
-                            if conn_tx.send(s).is_err() {
+                            accept_pool.enqueue();
+                            if conn_tx.send((s, std::time::Instant::now())).is_err() {
                                 break;
                             }
                         }
@@ -102,6 +113,14 @@ impl Server {
                 }
             })
             .expect("spawn acceptor");
+        crate::log::info(
+            "server",
+            "json-lines server listening",
+            &[
+                ("addr", Json::Str(local.to_string())),
+                ("workers", (workers.max(1) as u64).to_json()),
+            ],
+        );
 
         Ok(Server {
             addr: local,

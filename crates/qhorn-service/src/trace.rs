@@ -33,8 +33,22 @@
 //! this one request" needs no config change. Unsampled traces cost two
 //! atomic increments and a handful of thread-local pushes; the journaling
 //! cost of the rest is itself measured and exported as
-//! `qhorn_trace_overhead_nanos_total`.
+//! `qhorn_trace_overhead_nanos_total`. The slow threshold and sampling
+//! rate are runtime-adjustable ([`Tracer::configure`], the
+//! `set_trace_config` wire message).
+//!
+//! ## The always-on profile
+//!
+//! Separately from journaling, **every** span close — sampled out or not —
+//! feeds a per-layer time accumulator: wall time is attributed to the
+//! span's layer ([`PROFILE_LAYERS`], the span-name prefix before `.`) as
+//! *self time* (duration minus the time its children accounted for), so
+//! the accumulated self times across layers partition request wall time.
+//! [`Tracer::profile`] snapshots it, `GET /v1/debug/profile` serves it,
+//! and [`Tracer::reset_profile`] rewinds it — "where do the nanoseconds
+//! go" without attaching a profiler.
 
+use crate::metrics::StoreTelemetry;
 use qhorn_json::{FromJson, Json, JsonError, ToJson};
 use std::cell::{Cell, RefCell};
 use std::collections::VecDeque;
@@ -181,6 +195,72 @@ pub fn parse_id(s: &str) -> Option<u64> {
 }
 
 // ---------------------------------------------------------------------
+// The always-on per-layer profile
+// ---------------------------------------------------------------------
+
+/// The fixed layers the self-profile attributes time to: a span named
+/// `"store.append"` lands under `"store"`, `"dispatch"` under itself;
+/// names with an unknown prefix fall into the trailing `"other"` bucket.
+pub const PROFILE_LAYERS: &[&str] = &[
+    "dispatch", "registry", "driver", "learner", "kernel", "store", "other",
+];
+
+/// Maps a span name onto its [`PROFILE_LAYERS`] slot.
+fn layer_index(name: &str) -> usize {
+    let prefix = name.split('.').next().unwrap_or(name);
+    PROFILE_LAYERS
+        .iter()
+        .position(|l| *l == prefix)
+        .unwrap_or(PROFILE_LAYERS.len() - 1)
+}
+
+/// One layer's accumulators (atomic; all spans feed them, sampled or not).
+#[derive(Default)]
+struct LayerCell {
+    spans: AtomicU64,
+    self_nanos: AtomicU64,
+    total_nanos: AtomicU64,
+}
+
+/// One layer's cumulative time, as snapshotted by [`Tracer::profile`]
+/// and served by `GET /v1/debug/profile`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct LayerProfile {
+    /// Layer name (one of [`PROFILE_LAYERS`]).
+    pub layer: String,
+    /// Spans closed under this layer.
+    pub spans: u64,
+    /// Wall nanoseconds attributed to this layer alone (excluding time
+    /// its child spans accounted for). Summed across layers, self times
+    /// partition traced request wall time.
+    pub self_nanos: u64,
+    /// Wall nanoseconds spent in this layer including its children.
+    pub total_nanos: u64,
+}
+
+impl ToJson for LayerProfile {
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("layer", Json::Str(self.layer.clone())),
+            ("spans", self.spans.to_json()),
+            ("self_nanos", self.self_nanos.to_json()),
+            ("total_nanos", self.total_nanos.to_json()),
+        ])
+    }
+}
+
+impl FromJson for LayerProfile {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        Ok(LayerProfile {
+            layer: String::from_json(j.field("layer")?)?,
+            spans: u64::from_json(j.field("spans")?)?,
+            self_nanos: u64::from_json(j.field("self_nanos")?)?,
+            total_nanos: u64::from_json(j.field("total_nanos")?)?,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------
 // Thread-local recording context
 // ---------------------------------------------------------------------
 
@@ -191,6 +271,10 @@ struct OpenSpan {
     start: Instant,
     session: Option<u64>,
     attrs: Vec<(&'static str, AttrValue)>,
+    /// Wall nanoseconds already attributed to closed children (and retro
+    /// spans) of this span — subtracted at close so the profile records
+    /// this span's *self* time.
+    child_nanos: u64,
 }
 
 struct ActiveTrace {
@@ -226,6 +310,14 @@ pub fn has_active() -> bool {
     ACTIVE.with(|a| a.borrow().is_some())
 }
 
+/// The calling thread's active trace id, if any — so log lines can
+/// correlate to the request trace without threading ids through every
+/// call site.
+#[must_use]
+pub fn current_trace_id() -> Option<u64> {
+    ACTIVE.with(|a| a.borrow().as_ref().map(|at| at.trace))
+}
+
 /// Opens a child span on the calling thread's active trace. A cheap
 /// no-op (no allocation, no lock) when no trace is active.
 #[must_use]
@@ -244,6 +336,7 @@ pub fn span(name: &'static str) -> SpanGuard {
             start: Instant::now(),
             session: None,
             attrs: Vec::new(),
+            child_nanos: 0,
         });
         SpanGuard { id: Some(id) }
     })
@@ -277,6 +370,15 @@ pub fn retro_span(
             session,
             attrs,
         });
+        // The retro span's time belongs to its layer, not the enclosing
+        // span's self time (a store append inside `registry` is store
+        // work). Learner-phase durations are dialogue-clock and can
+        // exceed the enclosing request; saturation below keeps the
+        // parent's self time at zero rather than wrapping.
+        if let Some(parent) = at.open.last_mut() {
+            parent.child_nanos = parent.child_nanos.saturating_add(duration_nanos);
+        }
+        at.tracer.profile_add(name, duration_nanos, duration_nanos);
     });
 }
 
@@ -340,16 +442,33 @@ impl Drop for SpanGuard {
             }
             let now = Instant::now();
             // Strict LIFO in practice; pop any forgotten inner spans too.
-            while let Some(open) = at.open.pop() {
-                let done_id = open.id;
-                let rec = close(&at.tracer, at.trace, open, now);
-                at.done.push(rec);
-                if done_id == id {
+            while !at.open.is_empty() {
+                if close_top(at, now) == id {
                     break;
                 }
             }
         });
     }
+}
+
+/// Pops and closes the innermost open span: the finished record joins
+/// `done`, its wall time is charged to the parent's child accounting,
+/// and its **self time** (duration minus what its own children covered)
+/// feeds the always-on per-layer profile — for every span, kept by the
+/// sampler or not. Returns the closed span's id.
+fn close_top(at: &mut ActiveTrace, now: Instant) -> u64 {
+    let open = at.open.pop().expect("caller checked non-empty");
+    let child_nanos = open.child_nanos;
+    let rec = close(&at.tracer, at.trace, open, now);
+    let duration = rec.duration_nanos;
+    if let Some(parent) = at.open.last_mut() {
+        parent.child_nanos = parent.child_nanos.saturating_add(duration);
+    }
+    at.tracer
+        .profile_add(rec.name, duration.saturating_sub(child_nanos), duration);
+    let id = rec.span;
+    at.done.push(rec);
+    id
 }
 
 fn close(tracer: &Tracer, trace: u64, open: OpenSpan, now: Instant) -> SpanRecord {
@@ -431,8 +550,12 @@ pub struct Tracer {
     next_stripe: AtomicUsize,
     next_trace: AtomicU64,
     next_span: AtomicU64,
-    slow_threshold_nanos: u64,
-    sample_every: u64,
+    /// Runtime-adjustable ([`Tracer::configure`]).
+    slow_threshold_nanos: AtomicU64,
+    /// Runtime-adjustable ([`Tracer::configure`]).
+    sample_every: AtomicU64,
+    /// The always-on per-layer time accumulators, [`PROFILE_LAYERS`] order.
+    profile: Vec<LayerCell>,
     slow_log: Mutex<VecDeque<TraceTree>>,
     slow_cap: usize,
     journal_len: AtomicU64,
@@ -455,8 +578,11 @@ impl Tracer {
             next_stripe: AtomicUsize::new(0),
             next_trace: AtomicU64::new(0),
             next_span: AtomicU64::new(0),
-            slow_threshold_nanos: duration_as_nanos(config.slow_threshold),
-            sample_every: config.sample_every,
+            slow_threshold_nanos: AtomicU64::new(duration_as_nanos(config.slow_threshold)),
+            sample_every: AtomicU64::new(config.sample_every),
+            profile: (0..PROFILE_LAYERS.len())
+                .map(|_| LayerCell::default())
+                .collect(),
             slow_log: Mutex::new(VecDeque::new()),
             slow_cap: config.slow_log_traces.max(1),
             journal_len: AtomicU64::new(0),
@@ -496,6 +622,7 @@ impl Tracer {
                     start: Instant::now(),
                     session: None,
                     attrs: Vec::new(),
+                    child_nanos: 0,
                 }],
                 done: Vec::new(),
             });
@@ -512,21 +639,22 @@ impl Tracer {
     /// whether to keep it, and journal it if so.
     fn finish(self: Arc<Self>, mut at: ActiveTrace) {
         let now = Instant::now();
-        while let Some(open) = at.open.pop() {
-            let rec = close(&self, at.trace, open, now);
-            at.done.push(rec);
+        while !at.open.is_empty() {
+            close_top(&mut at, now);
         }
         // The root is the last span closed.
         let root_duration = at.done.last().map_or(0, |r| r.duration_nanos);
-        let slow = root_duration >= self.slow_threshold_nanos;
-        let sampled = self.sample_every != 0 && at.trace.is_multiple_of(self.sample_every);
+        let slow_threshold_nanos = self.slow_threshold_nanos.load(Ordering::Relaxed);
+        let sample_every = self.sample_every.load(Ordering::Relaxed);
+        let slow = root_duration >= slow_threshold_nanos;
+        let sampled = sample_every != 0 && at.trace.is_multiple_of(sample_every);
         if !(at.explicit || slow || sampled) {
             self.traces_sampled_out.fetch_add(1, Ordering::Relaxed);
             return;
         }
         if slow {
             self.slow_traces.fetch_add(1, Ordering::Relaxed);
-            if let Some(tree) = build_tree(at.trace, &at.done, self.slow_threshold_nanos) {
+            if let Some(tree) = build_tree(at.trace, &at.done, slow_threshold_nanos) {
                 let mut log = self.slow_log.lock().expect("slow log poisoned");
                 log.push_back(tree);
                 while log.len() > self.slow_cap {
@@ -583,6 +711,7 @@ impl Tracer {
         let span = self.next_span.fetch_add(1, Ordering::Relaxed) + 1;
         let end_nanos = nanos_since(self.epoch, Instant::now());
         let duration_nanos = duration_as_nanos(duration);
+        self.profile_add(name, duration_nanos, duration_nanos);
         self.commit(vec![SpanRecord {
             trace,
             span,
@@ -616,7 +745,11 @@ impl Tracer {
             .into_iter()
             .filter(|s| s.trace == id)
             .collect();
-        if let Some(tree) = build_tree(id, &spans, self.slow_threshold_nanos) {
+        if let Some(tree) = build_tree(
+            id,
+            &spans,
+            self.slow_threshold_nanos.load(Ordering::Relaxed),
+        ) {
             return Some(tree);
         }
         let log = self.slow_log.lock().expect("slow log poisoned");
@@ -647,7 +780,7 @@ impl Tracer {
                     start_nanos: root.start_nanos,
                     duration_nanos: root.duration_nanos,
                     spans: counts.get(&root.trace).copied().unwrap_or(1),
-                    slow: root.duration_nanos >= self.slow_threshold_nanos,
+                    slow: root.duration_nanos >= self.slow_threshold_nanos.load(Ordering::Relaxed),
                 })
                 .collect()
         };
@@ -718,7 +851,94 @@ impl Tracer {
             overhead_nanos: self.overhead_nanos.load(Ordering::Relaxed),
         }
     }
+
+    /// Charges a closed span to its layer's always-on profile cell.
+    /// `self_nanos` is wall time net of already-charged children.
+    fn profile_add(&self, name: &str, self_nanos: u64, total_nanos: u64) {
+        let cell = &self.profile[layer_index(name)];
+        cell.spans.fetch_add(1, Ordering::Relaxed);
+        cell.self_nanos.fetch_add(self_nanos, Ordering::Relaxed);
+        cell.total_nanos.fetch_add(total_nanos, Ordering::Relaxed);
+    }
+
+    /// The cumulative time-by-layer profile, one row per
+    /// [`PROFILE_LAYERS`] entry (in that order), including empty layers.
+    #[must_use]
+    pub fn profile(&self) -> Vec<LayerProfile> {
+        PROFILE_LAYERS
+            .iter()
+            .zip(&self.profile)
+            .map(|(layer, cell)| LayerProfile {
+                layer: (*layer).to_string(),
+                spans: cell.spans.load(Ordering::Relaxed),
+                self_nanos: cell.self_nanos.load(Ordering::Relaxed),
+                total_nanos: cell.total_nanos.load(Ordering::Relaxed),
+            })
+            .collect()
+    }
+
+    /// Zeroes every profile cell. Not atomic across cells — spans closing
+    /// concurrently may survive in some layers and not others.
+    pub fn reset_profile(&self) {
+        for cell in &self.profile {
+            cell.spans.store(0, Ordering::Relaxed);
+            cell.self_nanos.store(0, Ordering::Relaxed);
+            cell.total_nanos.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// Applies a runtime trace-config change. `None` leaves a knob as-is.
+    /// Validates both knobs before touching either; returns the effective
+    /// `(slow_threshold_ms, sample_every)` on success, or a message naming
+    /// the out-of-bounds knob.
+    ///
+    /// # Errors
+    /// When a knob is outside its documented bounds.
+    pub fn configure(
+        &self,
+        slow_threshold_ms: Option<u64>,
+        sample_every: Option<u64>,
+    ) -> Result<(u64, u64), String> {
+        if let Some(ms) = slow_threshold_ms {
+            if !(MIN_SLOW_THRESHOLD_MS..=MAX_SLOW_THRESHOLD_MS).contains(&ms) {
+                return Err(format!(
+                    "slow_threshold_ms must be in {MIN_SLOW_THRESHOLD_MS}..={MAX_SLOW_THRESHOLD_MS}, got {ms}"
+                ));
+            }
+        }
+        if let Some(every) = sample_every {
+            if every > MAX_SAMPLE_EVERY {
+                return Err(format!(
+                    "sample_every must be at most {MAX_SAMPLE_EVERY}, got {every}"
+                ));
+            }
+        }
+        if let Some(ms) = slow_threshold_ms {
+            self.slow_threshold_nanos
+                .store(ms.saturating_mul(1_000_000), Ordering::Relaxed);
+        }
+        if let Some(every) = sample_every {
+            self.sample_every.store(every, Ordering::Relaxed);
+        }
+        Ok(self.current_config())
+    }
+
+    /// The effective `(slow_threshold_ms, sample_every)` pair.
+    #[must_use]
+    pub fn current_config(&self) -> (u64, u64) {
+        (
+            self.slow_threshold_nanos.load(Ordering::Relaxed) / 1_000_000,
+            self.sample_every.load(Ordering::Relaxed),
+        )
+    }
 }
+
+/// Lower bound for the runtime-adjustable slow threshold (1 ms).
+pub const MIN_SLOW_THRESHOLD_MS: u64 = 1;
+/// Upper bound for the runtime-adjustable slow threshold (10 minutes).
+pub const MAX_SLOW_THRESHOLD_MS: u64 = 600_000;
+/// Upper bound for the head-sampling divisor (0 disables sampling).
+pub const MAX_SAMPLE_EVERY: u64 = 1_000_000;
 
 fn attr_str(s: &SpanRecord, key: &str) -> Option<String> {
     s.attrs.iter().find_map(|(k, v)| match v {
@@ -1071,19 +1291,22 @@ fn build_node(
 /// Forwards [`qhorn_store`] operation timings into the active trace as
 /// retro spans. Without an active trace, appends and fsyncs are dropped
 /// (too hot for standalone events) but compactions — rare and expensive —
-/// are journaled as standalone events.
+/// are journaled as standalone events. Every operation — traced or not —
+/// also feeds the store saturation telemetry.
 pub(crate) struct TraceStoreObserver {
     tracer: Arc<Tracer>,
+    telemetry: Arc<StoreTelemetry>,
 }
 
 impl TraceStoreObserver {
-    pub(crate) fn new(tracer: Arc<Tracer>) -> Self {
-        TraceStoreObserver { tracer }
+    pub(crate) fn new(tracer: Arc<Tracer>, telemetry: Arc<StoreTelemetry>) -> Self {
+        TraceStoreObserver { tracer, telemetry }
     }
 }
 
 impl qhorn_store::StoreObserver for TraceStoreObserver {
     fn observe(&self, op: qhorn_store::StoreOp, duration: Duration, bytes: u64) {
+        self.telemetry.observe(op, duration, bytes);
         let name = match op {
             qhorn_store::StoreOp::Append => "store.append",
             qhorn_store::StoreOp::Fsync => "store.fsync",
@@ -1276,6 +1499,116 @@ mod tests {
         assert!(held <= stats.journal_capacity);
         assert_eq!(stats.journal_spans, held);
         assert_eq!(stats.spans_recorded, 200);
+    }
+
+    #[test]
+    fn profile_partitions_self_time_across_layers() {
+        let t = tracer(&always_sample());
+        {
+            let _root = t.begin("dispatch", None);
+            {
+                let _reg = span("registry");
+                std::thread::sleep(Duration::from_micros(50));
+            }
+        }
+        let profile = t.profile();
+        // One row per layer, in table order, empty layers included.
+        assert_eq!(profile.len(), PROFILE_LAYERS.len());
+        for (row, layer) in profile.iter().zip(PROFILE_LAYERS) {
+            assert_eq!(row.layer, *layer);
+        }
+        let by_layer = |name: &str| {
+            profile
+                .iter()
+                .find(|p| p.layer == name)
+                .expect("layer row exists")
+        };
+        let dispatch = by_layer("dispatch");
+        let registry = by_layer("registry");
+        assert_eq!(dispatch.spans, 1);
+        assert_eq!(registry.spans, 1);
+        assert!(registry.total_nanos > 0);
+        assert!(dispatch.total_nanos >= registry.total_nanos);
+        // With a single nested child, the parent's self time is exactly
+        // its total net of the child's, so per-layer self times sum to
+        // the root's wall time — the ≥90 % accounting invariant.
+        assert_eq!(
+            dispatch.self_nanos,
+            dispatch.total_nanos - registry.total_nanos
+        );
+        let self_sum: u64 = profile.iter().map(|p| p.self_nanos).sum();
+        assert_eq!(self_sum, dispatch.total_nanos);
+    }
+
+    #[test]
+    fn retro_spans_and_events_charge_their_layer() {
+        let t = tracer(&always_sample());
+        {
+            let _root = t.begin("dispatch", None);
+            retro_span(
+                "learner.phase",
+                Instant::now(),
+                Duration::from_micros(30),
+                None,
+                vec![("phase", AttrValue::Str("matrix".into()))],
+            );
+        }
+        t.record_event("store.append", Duration::from_micros(5), None, vec![]);
+        let profile = t.profile();
+        let learner = profile.iter().find(|p| p.layer == "learner").unwrap();
+        assert_eq!(learner.spans, 1);
+        assert_eq!(learner.total_nanos, 30_000);
+        assert_eq!(learner.self_nanos, 30_000);
+        let store = profile.iter().find(|p| p.layer == "store").unwrap();
+        assert_eq!(store.spans, 1);
+        assert_eq!(store.total_nanos, 5_000);
+        // The dispatch root's self time nets out the retro-recorded
+        // learner span it encloses.
+        let dispatch = profile.iter().find(|p| p.layer == "dispatch").unwrap();
+        assert_eq!(
+            dispatch.self_nanos,
+            dispatch.total_nanos.saturating_sub(30_000)
+        );
+        // A span with an unknown prefix lands in the catch-all layer.
+        t.record_event("mystery.op", Duration::from_micros(1), None, vec![]);
+        let other = t
+            .profile()
+            .into_iter()
+            .find(|p| p.layer == "other")
+            .unwrap();
+        assert_eq!(other.spans, 1);
+    }
+
+    #[test]
+    fn reset_profile_zeroes_every_cell() {
+        let t = tracer(&always_sample());
+        {
+            let _root = t.begin("dispatch", None);
+        }
+        assert!(t.profile().iter().any(|p| p.spans > 0));
+        t.reset_profile();
+        for row in t.profile() {
+            assert_eq!((row.spans, row.self_nanos, row.total_nanos), (0, 0, 0));
+        }
+    }
+
+    #[test]
+    fn configure_validates_both_knobs_before_applying_either() {
+        let t = tracer(&always_sample());
+        let initial = t.current_config();
+        // Out-of-bounds values are rejected…
+        assert!(t.configure(Some(0), None).is_err());
+        assert!(t.configure(Some(MAX_SLOW_THRESHOLD_MS + 1), None).is_err());
+        assert!(t.configure(None, Some(MAX_SAMPLE_EVERY + 1)).is_err());
+        // …and a bad second knob must not apply a good first one.
+        assert!(t.configure(Some(77), Some(MAX_SAMPLE_EVERY + 1)).is_err());
+        assert_eq!(t.current_config(), initial);
+        // Valid updates apply and echo the effective pair.
+        assert_eq!(t.configure(Some(5), Some(3)), Ok((5, 3)));
+        assert_eq!(t.current_config(), (5, 3));
+        // Absent knobs keep their current values; 0 disables sampling.
+        assert_eq!(t.configure(None, Some(0)), Ok((5, 0)));
+        assert_eq!(t.current_config(), (5, 0));
     }
 
     #[test]

@@ -216,5 +216,103 @@ fn exposition_stays_consistent_under_concurrent_mutation() {
         .map(|(_, _, v)| *v)
         .unwrap();
     assert!(batch_runs >= 8.0, "batch_runs_total {batch_runs} too small");
+
+    // The saturation/ops series ride the same exposition: the pool's
+    // accounting must balance after the load stops, the registry's
+    // stripe locks must have been crossed, and the uptime/profile
+    // series must be live.
+    let series = |name: &str, pool: Option<&str>| {
+        rows.iter()
+            .find(|(n, labels, _)| {
+                n == name && pool.is_none_or(|p| label(labels, "pool") == Some(p))
+            })
+            .map(|(_, _, v)| *v)
+            .unwrap_or_else(|| panic!("missing series {name}"))
+    };
+    assert_eq!(series("qhorn_pool_workers", Some("http")), 4.0);
+    let busy = series("qhorn_pool_busy_workers", Some("http"));
+    assert!((0.0..=4.0).contains(&busy), "busy {busy} out of bounds");
+    // Our own in-flight scrape may be queued, but never more than the
+    // lingering keep-alive connections.
+    let depth = series("qhorn_pool_queue_depth", Some("http"));
+    assert!((0.0..=16.0).contains(&depth), "depth {depth} out of bounds");
+    let enqueued = series("qhorn_pool_enqueued_total", Some("http"));
+    let dequeued = series("qhorn_pool_dequeued_total", Some("http"));
+    assert!(enqueued >= 9.0, "enqueued {enqueued} too small");
+    assert!(dequeued + depth >= enqueued, "queue accounting leaked");
+    assert!(series("qhorn_registry_lock_waits_total", None) > 0.0);
+    assert!(series("qhorn_uptime_seconds", None) >= 0.0);
+    assert!(series("qhorn_process_start_time_seconds", None) > 0.0);
+    let dispatch_spans = rows
+        .iter()
+        .find(|(n, labels, _)| {
+            n == "qhorn_profile_spans_total" && label(labels, "layer") == Some("dispatch")
+        })
+        .map(|(_, _, v)| *v)
+        .expect("missing dispatch profile series");
+    assert!(dispatch_spans >= 8.0, "dispatch spans {dispatch_spans}");
     server.shutdown();
+}
+
+/// Many clients, few workers: with a single HTTP worker pinned by held
+/// connections, the queue-depth and busy-worker gauges must go non-zero
+/// (scraped through a second, unsaturated frontend on the same
+/// registry) and drain back to zero when the load drops.
+#[test]
+fn queue_depth_rises_under_load_and_drains() {
+    let registry = Arc::new(Registry::open(RegistryConfig::default()).unwrap());
+    let loaded = HttpServer::start("127.0.0.1:0", Arc::clone(&registry), 1).unwrap();
+    let probe = HttpServer::start("127.0.0.1:0", Arc::clone(&registry), 2).unwrap();
+    let mut scraper = qhorn_service::http::HttpClient::connect(probe.addr()).expect("connect");
+
+    let gauge = |rows: &[Row], name: &str, pool: &str| {
+        rows.iter()
+            .find(|(n, labels, _)| n == name && label(labels, "pool") == Some(pool))
+            .map(|(_, _, v)| *v)
+            .unwrap_or_else(|| panic!("missing series {name}{{pool={pool}}}"))
+    };
+
+    // Eight held connections against one worker: one gets served, the
+    // rest queue. Both HTTP pools export; the loaded one is "http" (the
+    // probe registered second, as "http-2").
+    let held: Vec<std::net::TcpStream> = (0..8)
+        .map(|_| std::net::TcpStream::connect(loaded.addr()).expect("connect"))
+        .collect();
+    let mut saturated = false;
+    for _ in 0..200 {
+        let rows = parse_exposition(&scraper.scrape_metrics().expect("scrape"));
+        let depth = gauge(&rows, "qhorn_pool_queue_depth", "http");
+        let busy = gauge(&rows, "qhorn_pool_busy_workers", "http");
+        assert!(busy <= 1.0, "1-worker pool reports busy {busy}");
+        assert!(depth <= 8.0, "depth {depth} exceeds held connections");
+        if depth > 0.0 && busy >= 1.0 {
+            saturated = true;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    assert!(saturated, "queue depth never rose under held connections");
+
+    drop(held);
+    let mut drained = false;
+    for _ in 0..200 {
+        let rows = parse_exposition(&scraper.scrape_metrics().expect("scrape"));
+        if gauge(&rows, "qhorn_pool_queue_depth", "http") == 0.0
+            && gauge(&rows, "qhorn_pool_busy_workers", "http") == 0.0
+        {
+            // Fully drained: everything enqueued was dequeued and the
+            // peak recorded the pile-up.
+            let enq = gauge(&rows, "qhorn_pool_enqueued_total", "http");
+            let deq = gauge(&rows, "qhorn_pool_dequeued_total", "http");
+            assert_eq!(enq, deq, "queue accounting leaked");
+            assert!(gauge(&rows, "qhorn_pool_queue_peak", "http") >= 1.0);
+            drained = true;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    assert!(drained, "queue never drained after dropping connections");
+
+    loaded.shutdown();
+    probe.shutdown();
 }

@@ -175,12 +175,18 @@ fn timeline_reconstructs_the_dialogue() {
     let Reply::Timeline {
         session: echoed,
         events,
+        resources,
     } = reply
     else {
         panic!("expected a timeline, got {reply:?}");
     };
     assert_eq!(echoed, session);
     assert!(!events.is_empty());
+    // The live session's accounting rides along with its timeline.
+    let resources = resources.expect("live session must attach resources");
+    assert_eq!(resources.session, session);
+    assert!(resources.questions > 0, "{resources:?}");
+    assert!(resources.transcript_bytes > 0, "{resources:?}");
     assert!(
         events.windows(2).all(|w| w[0].at_nanos <= w[1].at_nanos),
         "timeline out of order"

@@ -287,6 +287,14 @@ impl SessionStore {
         self.next_seq - 1
     }
 
+    /// Total framed bytes appended over this store's lifetime. Sampling
+    /// this around an [`append`](Self::append) yields the exact byte cost
+    /// of that record — the service's per-session accounting does so.
+    #[must_use]
+    pub fn bytes_appended(&self) -> u64 {
+        self.bytes_appended
+    }
+
     /// Total bytes across all live segments — the `sweep` compaction
     /// trigger compares this against `compact_threshold_bytes`.
     #[must_use]
