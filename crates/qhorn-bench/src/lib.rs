@@ -9,6 +9,8 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod load;
+
 use qhorn_core::oracle::MembershipOracle;
 use qhorn_core::{Expr, Obj, Query, Response};
 use qhorn_sim::genquery::{random_qhorn1, random_role_preserving, RolePreservingParams};

@@ -1,0 +1,156 @@
+//! Load-subsystem acceptance: seed-pinned determinism of the workload
+//! script, stability of the `BENCH_9` artifact's fields under
+//! `--quick`, and the mixed-population soak contract (zero leaked
+//! sessions, every queued connection served on both frontend pools).
+
+use qhorn_bench::load::{
+    build_script, run_load, upload_datasets, LoadConfig, Population, TransportKind,
+};
+use qhorn_json::Json;
+use qhorn_service::proto::{Reply, Request};
+use qhorn_service::registry::{Registry, RegistryConfig};
+use qhorn_service::{Client, HttpServer, Server};
+use std::sync::Arc;
+
+#[test]
+fn same_seed_yields_byte_identical_scripts() {
+    let cfg = LoadConfig::quick(0xDEED);
+    let first = build_script(&cfg).canonical_json();
+    let second = build_script(&cfg).canonical_json();
+    assert_eq!(first, second, "same seed must rebuild the same bytes");
+    // And the quick/full tiers stay deterministic independently.
+    let full = LoadConfig::full(0xDEED);
+    assert_eq!(
+        build_script(&full).canonical_json(),
+        build_script(&full).canonical_json()
+    );
+    assert_ne!(
+        first,
+        build_script(&LoadConfig::quick(0xDEEE)).canonical_json(),
+        "different seeds must produce different scripts"
+    );
+}
+
+#[test]
+fn quick_harness_emits_stable_bench_fields() {
+    // Run the real binary the CI smoke step runs, and pin the artifact
+    // fields CI greps for — if a field is renamed this fails here first.
+    let out = std::path::PathBuf::from(env!("CARGO_TARGET_TMPDIR"))
+        .join(format!("bench9-fields-{}.json", std::process::id()));
+    let _ = std::fs::remove_file(&out);
+    let status = std::process::Command::new(env!("CARGO_BIN_EXE_load_harness"))
+        .args(["--quick", "--out"])
+        .arg(&out)
+        .status()
+        .expect("run load_harness");
+    assert!(status.success(), "load_harness --quick must exit 0");
+    let text = std::fs::read_to_string(&out).expect("artifact written");
+    let json: Json = qhorn_json::from_str(&text).expect("artifact parses");
+    for key in [
+        "schema",
+        "quick",
+        "seed",
+        "load_p50",
+        "load_p95",
+        "load_p99",
+        "questions_by_phase",
+        "populations",
+        "transports",
+        "store",
+        "soak",
+    ] {
+        assert!(json.get(key).is_some(), "BENCH_9 artifact missing `{key}`");
+    }
+    for transport in ["tcp_us", "http_us"] {
+        assert!(
+            json.get("load_p99")
+                .and_then(|p| p.get(transport))
+                .and_then(Json::as_u64)
+                .is_some(),
+            "load_p99.{transport} missing"
+        );
+    }
+    for name in ["compliant", "noisy_then_corrected", "abandoning"] {
+        assert!(
+            json.get("populations").and_then(|p| p.get(name)).is_some(),
+            "populations.{name} missing"
+        );
+    }
+    let _ = std::fs::remove_file(&out);
+}
+
+#[test]
+fn mixed_population_soak_leaves_nothing_behind() {
+    // A small but fully mixed run over BOTH transports against one
+    // shared registry, then the soak ledger: no session may outlive its
+    // dialogue, and both frontend pools must have served every
+    // connection they ever queued.
+    let mut cfg = LoadConfig::quick(0x50AC);
+    cfg.sweep_sizes = vec![8];
+    cfg.sweep_arities = vec![3];
+    cfg.dialogues_per_population = 2;
+    cfg.target_rps = 2_000.0;
+    let script = build_script(&cfg);
+
+    let registry = Arc::new(Registry::open(RegistryConfig::default()).expect("open registry"));
+    let tcp = Server::start("127.0.0.1:0", Arc::clone(&registry), 2).expect("tcp server");
+    let http = HttpServer::start("127.0.0.1:0", Arc::clone(&registry), 2).expect("http server");
+
+    let mut setup = Client::connect(tcp.addr()).expect("setup client");
+    assert_eq!(upload_datasets(&mut setup, &script), 1);
+
+    let tcp_report = run_load(&script, &cfg, TransportKind::Tcp, tcp.addr());
+    let http_report = run_load(&script, &cfg, TransportKind::Http, http.addr());
+
+    for report in [&tcp_report, &http_report] {
+        assert_eq!(
+            report.populations.len(),
+            Population::ALL.len(),
+            "every population reports"
+        );
+        for (name, tally) in &report.populations {
+            assert_eq!(tally.dialogues, 2, "population {name} ran its dialogues");
+        }
+        let compliant = &report.populations[0].1;
+        assert_eq!(compliant.learned, 2, "compliant users reach learned");
+        assert_eq!(compliant.verified, 2, "compliant users verify");
+        let abandoning = &report.populations[2].1;
+        assert_eq!(abandoning.abandoned, 2, "abandoning users walk away");
+        let wire_errors: u64 = report.errors_by_class.values().sum();
+        assert_eq!(wire_errors, 0, "clean run must be error-free: {report:?}");
+    }
+
+    // Zero leaked sessions: every dialogue closed its session, even the
+    // abandoned ones.
+    let stats = match setup.request(&Request::Stats).expect("stats") {
+        Reply::Stats(s) => s,
+        other => panic!("unexpected reply {other:?}"),
+    };
+    assert_eq!(stats.live, 0, "no session may survive the run");
+    assert_eq!(
+        stats.created, 12,
+        "3 populations × 2 dialogues × 2 transports"
+    );
+
+    // Both pools drained: enqueued == dequeued (the in-flight setup
+    // connection was dequeued when a worker picked it up, so it does not
+    // disturb the ledger).
+    let health = match setup.request(&Request::Health).expect("health") {
+        Reply::Health(h) => h,
+        other => panic!("unexpected reply {other:?}"),
+    };
+    let mut seen = Vec::new();
+    for pool in &health.saturation.pools {
+        assert_eq!(
+            pool.enqueued, pool.dequeued,
+            "pool `{}` left connections queued",
+            pool.name
+        );
+        seen.push(pool.name.clone());
+    }
+    assert!(seen.len() >= 2, "both frontend pools must report: {seen:?}");
+
+    drop(setup);
+    tcp.shutdown();
+    http.shutdown();
+}

@@ -35,6 +35,7 @@
 
 pub mod binding;
 pub mod datasets;
+pub mod generate;
 pub mod interference;
 mod json;
 pub mod proposition;
@@ -45,6 +46,7 @@ pub mod upload;
 pub mod value;
 
 pub use binding::Booleanizer;
+pub use generate::{generate_dataset, sweep, verify_dataset, GenParams, GenRng};
 pub use proposition::{Cmp, PropError, Proposition};
 pub use relation::{DataTuple, FlatRelation, NestedObject, NestedRelation};
 pub use schema::{Attr, FlatSchema, NestedSchema, SchemaError};

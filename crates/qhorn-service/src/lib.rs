@@ -87,6 +87,7 @@ pub mod error;
 pub mod http;
 pub mod log;
 pub mod metrics;
+mod pool;
 pub mod proto;
 pub mod registry;
 pub mod server;

@@ -1,0 +1,164 @@
+//! Shared worker-pool plumbing for the TCP and HTTP frontends.
+//!
+//! Both frontends hand accepted connections to a fixed pool of handler
+//! threads through an `mpsc` channel whose receiver is shared behind a
+//! [`Mutex`]. The loop here fixes two failure modes the original inline
+//! loops had:
+//!
+//! 1. **Poison cascade.** A worker that panicked while holding the
+//!    receiver lock leaves it poisoned; every sibling worker's
+//!    `lock().expect(..)` then panicked too and the whole pool silently
+//!    went dead while the acceptor kept queueing connections. The lock
+//!    only serializes `recv()` — the receiver itself is never left in a
+//!    broken state — so poisoning is recoverable by construction.
+//! 2. **Panic leaks.** A panic in the connection handler escaped past
+//!    the telemetry bookkeeping, leaving the pool's `busy` gauge stuck
+//!    high (skewing saturation verdicts) and killing the worker thread.
+//!
+//! [`run_worker`] recovers the lock from poisoning, isolates handler
+//! panics with [`catch_unwind`], always rebalances the busy gauge, and
+//! keeps the worker alive for the next connection.
+
+use crate::metrics::PoolTelemetry;
+use qhorn_json::Json;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc::Receiver;
+use std::sync::{Mutex, PoisonError};
+use std::time::Instant;
+
+/// Drains `(item, queued_at)` pairs from the shared receiver until the
+/// sender side hangs up, running `handle` on each item with pool
+/// telemetry bookkeeping around it. Survives both a poisoned receiver
+/// lock and panics inside `handle`.
+pub(crate) fn run_worker<T>(
+    rx: &Mutex<Receiver<(T, Instant)>>,
+    pool: &PoolTelemetry,
+    mut handle: impl FnMut(T),
+) {
+    loop {
+        let item = {
+            // Recover rather than cascade: the mutex only guards recv(),
+            // so a poisoned lock still protects a fully usable receiver.
+            rx.lock().unwrap_or_else(PoisonError::into_inner).recv()
+        };
+        match item {
+            Ok((item, queued_at)) => {
+                pool.dequeue(queued_at);
+                pool.worker_busy();
+                let outcome = catch_unwind(AssertUnwindSafe(|| handle(item)));
+                pool.worker_idle();
+                if let Err(payload) = outcome {
+                    crate::log::error(
+                        "service.pool",
+                        "connection handler panicked; worker kept alive",
+                        &[("panic", Json::Str(panic_message(payload.as_ref())))],
+                    );
+                }
+            }
+            Err(_) => break, // sender gone and queue drained
+        }
+    }
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::{mpsc, Arc};
+
+    type SharedRx = Arc<Mutex<Receiver<(u64, Instant)>>>;
+
+    fn pool_pair(workers: usize) -> (mpsc::Sender<(u64, Instant)>, SharedRx, Arc<PoolTelemetry>) {
+        let (tx, rx) = mpsc::channel::<(u64, Instant)>();
+        (
+            tx,
+            Arc::new(Mutex::new(rx)),
+            Arc::new(PoolTelemetry::new("test", workers)),
+        )
+    }
+
+    /// A handler panic must not kill the pool: later items are still
+    /// served, telemetry balances, and the busy gauge returns to zero.
+    #[test]
+    fn pool_survives_handler_panic() {
+        let (tx, rx, pool) = pool_pair(2);
+        let served = Arc::new(AtomicU64::new(0));
+        let mut workers = Vec::new();
+        for _ in 0..2 {
+            let rx = Arc::clone(&rx);
+            let pool = Arc::clone(&pool);
+            let served = Arc::clone(&served);
+            workers.push(std::thread::spawn(move || {
+                run_worker(&rx, &pool, |item: u64| {
+                    if item == 13 {
+                        panic!("injected handler panic");
+                    }
+                    served.fetch_add(1, Ordering::SeqCst);
+                });
+            }));
+        }
+        for item in [1u64, 13, 2, 13, 3, 4] {
+            pool.enqueue();
+            tx.send((item, Instant::now())).unwrap();
+        }
+        drop(tx);
+        for w in workers {
+            w.join().expect("worker must survive handler panics");
+        }
+        assert_eq!(served.load(Ordering::SeqCst), 4);
+        let snap = pool.snapshot();
+        assert_eq!(snap.enqueued, 6);
+        assert_eq!(snap.dequeued, 6);
+        assert_eq!(snap.busy, 0, "panic must not leak the busy gauge");
+        assert_eq!(snap.queue_depth, 0);
+    }
+
+    /// Even with the receiver lock already poisoned by an unrelated
+    /// panic, workers recover it and keep draining the queue.
+    #[test]
+    fn pool_recovers_from_poisoned_receiver_lock() {
+        let (tx, rx, pool) = pool_pair(1);
+        // Poison the lock the way the old code path would have: panic
+        // while holding it.
+        {
+            let rx = Arc::clone(&rx);
+            let _ = std::thread::spawn(move || {
+                let _guard = rx.lock().unwrap();
+                panic!("poison the receiver lock");
+            })
+            .join();
+        }
+        assert!(rx.is_poisoned());
+        let served = Arc::new(AtomicU64::new(0));
+        let worker = {
+            let rx = Arc::clone(&rx);
+            let pool = Arc::clone(&pool);
+            let served = Arc::clone(&served);
+            std::thread::spawn(move || {
+                run_worker(&rx, &pool, |_item: u64| {
+                    served.fetch_add(1, Ordering::SeqCst);
+                });
+            })
+        };
+        for item in 0..5u64 {
+            pool.enqueue();
+            tx.send((item, Instant::now())).unwrap();
+        }
+        drop(tx);
+        worker.join().expect("worker must survive a poisoned lock");
+        assert_eq!(served.load(Ordering::SeqCst), 5);
+        let snap = pool.snapshot();
+        assert_eq!(snap.enqueued, snap.dequeued);
+    }
+}

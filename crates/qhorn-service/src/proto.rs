@@ -874,6 +874,11 @@ impl ToJson for SessionResources {
                 ),
             ),
             ("transcript_bytes", self.transcript_bytes.to_json()),
+            (
+                "transcript_cache_bytes",
+                self.transcript_cache_bytes.to_json(),
+            ),
+            ("transcript_truncated", self.transcript_truncated.to_json()),
             ("store_bytes", self.store_bytes.to_json()),
             ("eval_nanos", self.eval_nanos.to_json()),
             ("driver_nanos", self.driver_nanos.to_json()),
@@ -897,6 +902,8 @@ impl FromJson for SessionResources {
             questions: u64::from_json(j.field("questions")?)?,
             questions_by_phase,
             transcript_bytes: u64::from_json(j.field("transcript_bytes")?)?,
+            transcript_cache_bytes: opt_field(j, "transcript_cache_bytes")?.unwrap_or(0),
+            transcript_truncated: opt_field(j, "transcript_truncated")?.unwrap_or(0),
             store_bytes: u64::from_json(j.field("store_bytes")?)?,
             eval_nanos: u64::from_json(j.field("eval_nanos")?)?,
             driver_nanos: u64::from_json(j.field("driver_nanos")?)?,
@@ -1431,6 +1438,8 @@ mod tests {
                 questions: 4,
                 questions_by_phase: vec![("classify_heads".into(), 4)],
                 transcript_bytes: 211,
+                transcript_cache_bytes: 180,
+                transcript_truncated: 0,
                 store_bytes: 0,
                 eval_nanos: 0,
                 driver_nanos: 88_120,
@@ -1494,6 +1503,8 @@ mod tests {
             questions: 17,
             questions_by_phase: vec![("matrix_questions".into(), 9), ("core_questions".into(), 8)],
             transcript_bytes: 2_048,
+            transcript_cache_bytes: 1_024,
+            transcript_truncated: 3,
             store_bytes: 4_096,
             eval_nanos: 500_000,
             driver_nanos: 7_000_000,

@@ -43,7 +43,7 @@ use qhorn_core::{Obj, Query, Response};
 use qhorn_engine::persist::{self, SessionSnapshot};
 use qhorn_engine::session::{Exchange, LearnerKind};
 use qhorn_engine::DataStore;
-use qhorn_json::Json;
+use qhorn_json::{Json, ToJson};
 use qhorn_relation::synthesize::DomainHints;
 use qhorn_relation::DatasetDef;
 use qhorn_store::{
@@ -72,7 +72,19 @@ pub struct RegistryConfig {
     pub store: Option<StoreConfig>,
     /// Request tracing knobs (journal size, slow threshold, sampling).
     pub trace: TraceConfig,
+    /// Bound on a live session's in-memory replay cache (the serialized
+    /// size of its retained transcript). Past it the oldest exchanges are
+    /// truncated out of the cache — the durable log keeps the full
+    /// history, and eviction of a truncated session restores from the
+    /// log rather than caching a lossy snapshot. `None` = unbounded (the
+    /// pre-bound behavior: a long noisy dialogue grows memory forever).
+    pub max_transcript_bytes: Option<usize>,
 }
+
+/// Default [`RegistryConfig::max_transcript_bytes`]: roomy enough that
+/// ordinary dialogues never truncate, small enough that a runaway
+/// correction loop cannot exhaust memory.
+pub const DEFAULT_MAX_TRANSCRIPT_BYTES: usize = 4 << 20;
 
 impl Default for RegistryConfig {
     fn default() -> Self {
@@ -83,6 +95,7 @@ impl Default for RegistryConfig {
             max_snapshots: None,
             store: None,
             trace: TraceConfig::default(),
+            max_transcript_bytes: Some(DEFAULT_MAX_TRANSCRIPT_BYTES),
         }
     }
 }
@@ -255,6 +268,13 @@ pub struct SessionResources {
     pub questions_by_phase: Vec<(String, u64)>,
     /// Bytes of rendered question text shipped to the user.
     pub transcript_bytes: u64,
+    /// Current serialized size of the in-memory replay cache (the
+    /// retained transcript), bounded by
+    /// [`RegistryConfig::max_transcript_bytes`].
+    pub transcript_cache_bytes: u64,
+    /// Exchanges truncated out of the replay cache to honor the bound
+    /// (the durable log still holds them).
+    pub transcript_truncated: u64,
     /// Durable-log bytes this session's records appended.
     pub store_bytes: u64,
     /// Kernel evaluation nanoseconds spent by this session's batch runs.
@@ -278,6 +298,8 @@ pub struct HealthReport {
 #[derive(Clone, Copy, Debug, Default)]
 struct ResourceUsage {
     transcript_bytes: u64,
+    transcript_cache_bytes: u64,
+    transcript_truncated: u64,
     store_bytes: u64,
     eval_nanos: u64,
     driver_nanos: u64,
@@ -633,7 +655,9 @@ impl Registry {
                     return Err(e);
                 }
             }
+            entry.resources.transcript_cache_bytes += exchange_cache_bytes(&exchange);
             entry.transcript.push(exchange);
+            self.enforce_transcript_bound(entry);
             entry.answered += 1;
             entry.last_touch = Instant::now();
             if entry.state == SessionState::AwaitingAnswer {
@@ -954,6 +978,8 @@ impl Registry {
                     .map(|((_, name), &n)| ((*name).to_string(), n))
                     .collect(),
                 transcript_bytes: entry.resources.transcript_bytes,
+                transcript_cache_bytes: entry.resources.transcript_cache_bytes,
+                transcript_truncated: entry.resources.transcript_truncated,
                 store_bytes: entry.resources.store_bytes,
                 eval_nanos: entry.resources.eval_nanos,
                 driver_nanos: entry.resources.driver_nanos,
@@ -1114,6 +1140,14 @@ impl Registry {
             };
             for (id, handle) in handles {
                 let entry = handle.lock().expect("entry poisoned");
+                if entry.resources.transcript_truncated > 0 {
+                    // A bounded replay cache is lossy; capturing it would
+                    // bake the truncation into the compaction snapshot
+                    // and lose durable history. Skip the capture —
+                    // `write_snapshot` carries uncaptured sessions
+                    // forward from the (complete) disk state.
+                    continue;
+                }
                 let through_seq = store.lock().expect("store poisoned").last_seq();
                 captured.push(SnapshotEntry {
                     through_seq,
@@ -1283,6 +1317,15 @@ impl Registry {
     /// ends drop with the entry; a parked learner then self-terminates on
     /// `NonAnswer` feeds (see `crate::driver`).
     fn snapshot_entry(&self, id: u64, entry: Entry) {
+        if entry.resources.transcript_truncated > 0 && self.store.is_some() {
+            // The in-memory transcript is lossy (bounded replay cache)
+            // but the durable log holds the full history: skip caching a
+            // truncated snapshot and let restore fall through to
+            // `SessionStore::load_session`, which the per-session index
+            // makes cheap. Storeless registries keep the lossy snapshot —
+            // it is all they have, and restore replays what survived.
+            return;
+        }
         let snap = SessionSnapshot::new(entry.transcript.clone(), entry.learned.clone());
         let json = persist::session_to_json(&snap).expect("snapshots always serialize");
         let record = SnapshotRecord {
@@ -1372,6 +1415,7 @@ impl Registry {
             last_touch: Instant::now(),
             resources: ResourceUsage::default(),
         };
+        self.reset_transcript_cache(&mut entry);
         if entry.learned.is_some() {
             entry.state = SessionState::Done;
         } else {
@@ -1395,6 +1439,40 @@ impl Registry {
             .expect("shard poisoned")
             .insert(id, Arc::new(Mutex::new(entry)));
         Ok(())
+    }
+
+    /// Truncates the oldest exchanges out of the entry's replay cache
+    /// until it fits `max_transcript_bytes`. The most recent exchange is
+    /// always retained (an anchor for replay), `asked` is untouched (so
+    /// `Correct` indices stay valid), and the driver keeps its own full
+    /// transcript — corrections to truncated exchanges still relearn
+    /// correctly, the registry just stops mirroring unbounded history.
+    fn enforce_transcript_bound(&self, entry: &mut Entry) {
+        let Some(cap) = self.config.max_transcript_bytes else {
+            return;
+        };
+        let cap = cap as u64;
+        let mut dropped = 0u64;
+        while entry.resources.transcript_cache_bytes > cap && entry.transcript.len() > 1 {
+            let oldest = entry.transcript.remove(0);
+            entry.resources.transcript_cache_bytes = entry
+                .resources
+                .transcript_cache_bytes
+                .saturating_sub(exchange_cache_bytes(&oldest));
+            dropped += 1;
+        }
+        if dropped > 0 {
+            entry.resources.transcript_truncated += dropped;
+        }
+    }
+
+    /// Recomputes the replay-cache footprint after a wholesale transcript
+    /// replacement (learn/verify completion, restore) and re-applies the
+    /// bound.
+    fn reset_transcript_cache(&self, entry: &mut Entry) {
+        entry.resources.transcript_cache_bytes =
+            entry.transcript.iter().map(exchange_cache_bytes).sum();
+        self.enforce_transcript_bound(entry);
     }
 
     /// Appends one record to the durable log, when one is configured.
@@ -1441,6 +1519,7 @@ impl Registry {
             }
             DriverEvent::LearnFinished { result, transcript } => {
                 entry.transcript = transcript;
+                self.reset_transcript_cache(entry);
                 entry.pending = None;
                 match result {
                     Ok((query, stats)) => {
@@ -1497,6 +1576,7 @@ impl Registry {
                 span.attr_str("event", "verify_finished");
                 span.attr_bool("verified", verified);
                 entry.transcript = transcript;
+                self.reset_transcript_cache(entry);
                 entry.pending = None;
                 entry.state = SessionState::Done;
                 entry.verified = Some(verified);
@@ -1629,6 +1709,12 @@ fn session_meta(spec: &CreateSpec, kind: LearnerKind) -> SessionMeta {
         learner: kind,
         max_questions: spec.max_questions,
     }
+}
+
+/// Serialized size of one exchange in the replay cache — the unit the
+/// `max_transcript_bytes` bound is measured in.
+fn exchange_cache_bytes(e: &Exchange) -> u64 {
+    e.to_json().to_string().len() as u64
 }
 
 /// Captures a live entry's full state for a compaction snapshot.
@@ -1992,6 +2078,93 @@ mod tests {
         ));
         // The survivor restores normally.
         assert!(equivalent(&reg.learned_query(second).unwrap(), &target));
+    }
+
+    #[test]
+    fn transcript_bound_truncates_cache_and_restore_round_trips() {
+        let dir = std::env::temp_dir().join(format!(
+            "qhorn-transcript-bound-{}-{}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .as_nanos()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let config = RegistryConfig {
+            ttl: Duration::from_millis(0),
+            // A bound far below any real dialogue's transcript: every
+            // session drives past it within a few answers.
+            max_transcript_bytes: Some(64),
+            store: Some(StoreConfig {
+                fsync: qhorn_store::FsyncPolicy::Never,
+                ..StoreConfig::new(dir.clone())
+            }),
+            ..Default::default()
+        };
+        let reg = Registry::open(config).unwrap();
+        let target = parse_with_arity("all x1; some x2 x3", 3).unwrap();
+        let (id, first) = reg.create_session(spec(LearnerKind::Qhorn1)).unwrap();
+        let learned = drive_to_done(&reg, id, first, &target);
+        assert!(equivalent(&learned, &target));
+
+        // The bound was enforced and is visible on the wire surface.
+        let res = reg.session_resources(id).unwrap();
+        assert!(
+            res.transcript_truncated > 0,
+            "a full dialogue must overflow a 64-byte cache (resources {res:?})"
+        );
+        let live_cache = {
+            let handle = reg.shard(id).lock().unwrap().get(&id).cloned().unwrap();
+            let entry = handle.lock().unwrap();
+            assert!(
+                entry.transcript.len() <= 1,
+                "64 bytes holds at most the anchor exchange, kept {}",
+                entry.transcript.len()
+            );
+            entry.resources.transcript_cache_bytes
+        };
+        assert_eq!(res.transcript_cache_bytes, live_cache);
+
+        // Evict: the lossy in-memory snapshot is skipped (the durable
+        // log has the full history), so restore goes through the store.
+        std::thread::sleep(Duration::from_millis(5));
+        assert_eq!(reg.sweep().evicted, 1);
+        assert_eq!(reg.stats().live, 0);
+        assert_eq!(
+            reg.stats().snapshots,
+            0,
+            "truncated sessions must not cache lossy snapshots"
+        );
+        let restored = reg.learned_query(id).unwrap();
+        assert!(
+            equivalent(&restored, &target),
+            "restore after truncation must replay the full durable history"
+        );
+        assert_eq!(reg.stats().restored, 1);
+
+        // The restored session still corrects by pre-eviction index —
+        // `asked` is never truncated.
+        let fix = honest_label_for_index_zero(&reg, id, &target);
+        let outcome = reg.correct(id, &[(0, fix)]).unwrap();
+        let relearned = drive_to_done(&reg, id, outcome, &target);
+        assert!(equivalent(&relearned, &target));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unbounded_config_never_truncates() {
+        let config = RegistryConfig {
+            max_transcript_bytes: None,
+            ..Default::default()
+        };
+        let reg = Registry::open(config).unwrap();
+        let target = parse_with_arity("all x1; some x2 x3", 3).unwrap();
+        let (id, first) = reg.create_session(spec(LearnerKind::Qhorn1)).unwrap();
+        drive_to_done(&reg, id, first, &target);
+        let res = reg.session_resources(id).unwrap();
+        assert_eq!(res.transcript_truncated, 0);
+        assert!(res.transcript_cache_bytes > 0, "cache is still accounted");
     }
 
     #[test]

@@ -70,17 +70,8 @@ impl Server {
             handles.push(
                 std::thread::Builder::new()
                     .name(format!("qhorn-worker-{i}"))
-                    .spawn(move || loop {
-                        let stream = { rx.lock().expect("conn channel poisoned").recv() };
-                        match stream {
-                            Ok((s, queued_at)) => {
-                                pool.dequeue(queued_at);
-                                pool.worker_busy();
-                                handle_connection(s, &reg, &stop);
-                                pool.worker_idle();
-                            }
-                            Err(_) => break, // acceptor gone and queue drained
-                        }
+                    .spawn(move || {
+                        crate::pool::run_worker(&rx, &pool, |s| handle_connection(s, &reg, &stop));
                     })
                     .expect("spawn worker"),
             );

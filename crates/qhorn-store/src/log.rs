@@ -31,7 +31,7 @@ use crate::{FsyncPolicy, StoreConfig, StoreError, StoreObserver, StoreOp, StoreS
 use qhorn_json::{FromJson, Json, ToJson};
 use std::collections::BTreeMap;
 use std::fs::{self, File, OpenOptions};
-use std::io::Write;
+use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 use std::time::Instant;
 
@@ -83,6 +83,35 @@ pub struct SessionStore {
     torn_truncations: u64,
     snapshot_sessions: u64,
     observer: Option<Box<dyn StoreObserver>>,
+    /// Per-session secondary index: for each session id, the
+    /// `(segment index, frame start offset)` of every log frame that
+    /// belongs to it, in append (= sequence) order. Maintained on
+    /// [`SessionStore::append`], rebuilt during [`SessionStore::open`]'s
+    /// recovery scan, and pruned when compaction deletes segments —
+    /// so [`SessionStore::load_session`] reads only one session's
+    /// frames instead of replaying the whole log. A `SessionClosed`
+    /// record collapses its id's entry to just the closing frame
+    /// (earlier frames can no longer change the outcome), keeping the
+    /// index bounded for long-gone sessions.
+    session_index: BTreeMap<u64, Vec<(u64, u64)>>,
+}
+
+/// Records `frame` (spanning `[start, start+len)` of segment `segment`)
+/// in the per-session index, if it belongs to a session.
+fn index_record(
+    index: &mut BTreeMap<u64, Vec<(u64, u64)>>,
+    rec: &LogRecord,
+    segment: u64,
+    start: u64,
+) {
+    let Some(id) = rec.session_id() else { return };
+    let slots = index.entry(id).or_default();
+    if matches!(rec, LogRecord::SessionClosed { .. }) {
+        // Replaying the close alone (over any snapshot state) yields
+        // "no such session", same as replaying the full history.
+        slots.clear();
+    }
+    slots.push((segment, start));
 }
 
 impl SessionStore {
@@ -113,6 +142,7 @@ impl SessionStore {
         let mut segments = list_segments(&config.dir)?;
         let mut scanned: Vec<(u64, u64)> = Vec::new(); // (index, valid bytes)
         let mut stop_at: Option<usize> = None;
+        let mut session_index: BTreeMap<u64, Vec<(u64, u64)>> = BTreeMap::new();
         for (i, &(index, ref path)) in segments.iter().enumerate() {
             let (frames, torn_scan) = scan_frames(&fs::read(path)?);
             let mut valid_len = 0u64;
@@ -121,6 +151,7 @@ impl SessionStore {
                 match LogRecord::from_payload(&payload) {
                     Ok((seq, rec)) => {
                         max_seq = max_seq.max(seq);
+                        index_record(&mut session_index, &rec, index, valid_len);
                         replayer.apply(seq, rec);
                         valid_len = end;
                     }
@@ -183,6 +214,7 @@ impl SessionStore {
             torn_truncations,
             snapshot_sessions,
             observer: None,
+            session_index,
         };
         Ok((
             store,
@@ -207,7 +239,11 @@ impl SessionStore {
         if self.active_len > 0 && self.active_len + frame.len() as u64 > self.segment_max_bytes {
             self.rotate()?;
         }
+        let (frame_segment, frame_start) = (self.active_index, self.active_len);
         self.active.write_all(&frame)?;
+        // Index only after the write succeeds — a failed append must not
+        // leave the index pointing at bytes that never reached the file.
+        index_record(&mut self.session_index, rec, frame_segment, frame_start);
         let write_elapsed = write_started.elapsed();
         self.active_len += frame.len() as u64;
         self.next_seq += 1;
@@ -406,6 +442,13 @@ impl SessionStore {
             let _ = fs::remove_file(segment_path(&self.dir, index));
         }
         self.sealed.retain(|&(index, _)| index >= boundary);
+        // Deleted segments' frames are now covered by the snapshot; a
+        // session left with no frames is served from the snapshot alone
+        // (or, for closed sessions, correctly not at all).
+        self.session_index.retain(|_, slots| {
+            slots.retain(|&(segment, _)| segment >= boundary);
+            !slots.is_empty()
+        });
         self.compactions += 1;
         self.last_compaction_seq = through;
         self.snapshot_sessions = merged.len() as u64;
@@ -428,9 +471,66 @@ impl SessionStore {
     /// in-memory caches have dropped it. Returns `None` for unknown or
     /// closed ids.
     ///
+    /// Uses the per-session secondary index: only the snapshot entry for
+    /// `id` (if any) plus that session's own log frames are read, so
+    /// restore cost scales with the session's history, not with every
+    /// other session's log volume. [`load_session_unindexed`]
+    /// (Self::load_session_unindexed) is the reference full-scan path;
+    /// the differential suite pins the two equal.
+    ///
     /// # Errors
-    /// I/O failures.
+    /// I/O failures; [`StoreError::Corrupt`] when an indexed frame fails
+    /// its checksum or does not decode (appends only ever frame decodable
+    /// payloads, so that means in-place file corruption).
     pub fn load_session(&self, id: u64) -> Result<Option<PersistedSession>, StoreError> {
+        let (entries, _) = read_snapshot(&self.dir.join(SNAPSHOT_FILE))?;
+        let mut replayer = Replayer::new();
+        replayer.seed(entries.into_iter().filter(|e| e.session.id == id).collect());
+        let mut records: Vec<(u64, LogRecord)> = Vec::new();
+        if let Some(slots) = self.session_index.get(&id) {
+            // Group by segment so each file is opened once; offsets
+            // within a segment are already in append (sequence) order.
+            let mut by_segment: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
+            for &(segment, start) in slots {
+                by_segment.entry(segment).or_default().push(start);
+            }
+            for (segment, starts) in by_segment {
+                let path = segment_path(&self.dir, segment);
+                let mut file = File::open(&path)?;
+                for start in starts {
+                    let payload = read_frame_at(&mut file, start).map_err(|e| {
+                        StoreError::Corrupt(format!(
+                            "indexed frame at byte {start} of {}: {e}",
+                            path.display()
+                        ))
+                    })?;
+                    let (seq, rec) = LogRecord::from_payload(&payload).map_err(|e| {
+                        StoreError::Corrupt(format!(
+                            "undecodable indexed record at byte {start} of {}: {e}",
+                            path.display()
+                        ))
+                    })?;
+                    records.push((seq, rec));
+                }
+            }
+        }
+        // The snapshot's `through_seq` gate skips any frame it already
+        // covers, so replaying snapshot + indexed frames is exact.
+        records.sort_by_key(|&(seq, _)| seq);
+        for (seq, rec) in records {
+            replayer.apply(seq, rec);
+        }
+        Ok(replayer.finish().into_iter().find(|s| s.id == id))
+    }
+
+    /// The pre-index reference restore path: replays the snapshot and
+    /// **every** frame of **every** segment, then picks out `id`. Kept
+    /// for the differential test and the load harness's restore-scaling
+    /// bench; prefer [`load_session`](Self::load_session).
+    ///
+    /// # Errors
+    /// I/O failures; [`StoreError::Corrupt`] on in-place corruption.
+    pub fn load_session_unindexed(&self, id: u64) -> Result<Option<PersistedSession>, StoreError> {
         let replayer = self.replay_disk()?;
         Ok(replayer.finish().into_iter().find(|s| s.id == id))
     }
@@ -484,6 +584,27 @@ fn frame(payload: &[u8]) -> Result<Vec<u8>, StoreError> {
     out.extend_from_slice(&crc32(payload).to_le_bytes());
     out.extend_from_slice(payload);
     Ok(out)
+}
+
+/// Reads and checksum-verifies the single frame starting at byte
+/// `start` of `file`, returning its payload. Errors (I/O, oversized
+/// length, CRC mismatch) are reported as strings for the caller to wrap.
+fn read_frame_at(file: &mut File, start: u64) -> Result<Vec<u8>, String> {
+    file.seek(SeekFrom::Start(start))
+        .map_err(|e| e.to_string())?;
+    let mut header = [0u8; 8];
+    file.read_exact(&mut header).map_err(|e| e.to_string())?;
+    let len = u32::from_le_bytes(header[0..4].try_into().expect("4 bytes"));
+    if len > MAX_RECORD_BYTES {
+        return Err(format!("oversized frame length {len}"));
+    }
+    let crc = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes"));
+    let mut payload = vec![0u8; len as usize];
+    file.read_exact(&mut payload).map_err(|e| e.to_string())?;
+    if crc32(&payload) != crc {
+        return Err("checksum mismatch".to_string());
+    }
+    Ok(payload)
 }
 
 /// Parses frames from raw bytes. Returns `(frames, torn)` where each

@@ -1,9 +1,12 @@
 //! Regression: a CRC-valid but undecodable frame **mid-segment** must
 //! surface as [`StoreError::Corrupt`] from the replay paths
-//! (`load_session`, `write_snapshot`), not silently discard every record
-//! behind it. (A torn physical tail — incomplete or checksum-failing
-//! trailing bytes — is different: crashes produce those legitimately, and
-//! recovery truncates them.)
+//! (`load_session` when the session's own frames are affected,
+//! `load_session_unindexed` and `write_snapshot` always), not silently
+//! discard every record behind it. Since the per-session index, a
+//! session whose own frames are intact restores completely even when an
+//! unrelated frame is corrupt — isolation, not silence. (A torn physical
+//! tail — incomplete or checksum-failing trailing bytes — is different:
+//! crashes produce those legitimately, and recovery truncates them.)
 //!
 //! The bug this pins: `replay_disk` used to `break` out of a segment on
 //! the first undecodable frame, so `load_session` reported sessions whose
@@ -79,15 +82,27 @@ fn valid_crc_garbage_mid_segment_is_corrupt_not_silent_truncation() {
         })
         .unwrap();
 
-    // Before the fix both calls returned Ok with session 2's record
-    // silently dropped (`load_session(2)` came back `None`).
+    // Before the fix both replay paths returned Ok with session 2's
+    // record silently dropped (`load_session(2)` came back `None`).
+    // Session 2's post-garbage frame is desynchronized from the store's
+    // offset accounting, so the indexed read lands on the garbage and
+    // reports it loudly.
     match store.load_session(2) {
         Err(StoreError::Corrupt(msg)) => {
             assert!(msg.contains("seg-000001"), "{msg}");
         }
         other => panic!("expected StoreError::Corrupt, got {other:?}"),
     }
-    assert!(matches!(store.load_session(1), Err(StoreError::Corrupt(_))));
+    // Session 1's own frames are intact, and the per-session index lets
+    // its restore avoid other sessions' frames entirely — so it is served
+    // complete rather than refused (corruption isolation, not silence:
+    // nothing of session 1's history is missing). The full-scan
+    // reference path still refuses, as before the index existed.
+    assert_eq!(store.load_session(1).unwrap().map(|s| s.id), Some(1));
+    assert!(matches!(
+        store.load_session_unindexed(1),
+        Err(StoreError::Corrupt(_))
+    ));
     let _ = std::fs::remove_dir_all(&dir);
 }
 

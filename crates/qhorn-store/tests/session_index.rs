@@ -1,0 +1,193 @@
+//! Differential suite for the per-session secondary index: for every
+//! session id (live, closed, snapshot-only, or unknown) and across
+//! rotation, reopen, and compaction, the indexed
+//! [`SessionStore::load_session`] must return exactly what the full-scan
+//! reference path [`SessionStore::load_session_unindexed`] returns.
+
+use qhorn_core::{Obj, Response};
+use qhorn_engine::session::{Exchange, LearnerKind};
+use qhorn_lang::parse_with_arity;
+use qhorn_store::{
+    FsyncPolicy, LogRecord, PersistedSession, SessionMeta, SessionStore, SnapshotEntry, StoreConfig,
+};
+use std::path::PathBuf;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR"))
+        .join(format!("session-index-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn meta(dataset: &str) -> SessionMeta {
+    SessionMeta {
+        dataset: dataset.into(),
+        size: 30,
+        learner: LearnerKind::Qhorn1,
+        max_questions: Some(500),
+    }
+}
+
+fn exchange(bits: &str, response: Response) -> Exchange {
+    Exchange {
+        question: Obj::from_bits(bits),
+        from_store: false,
+        response,
+    }
+}
+
+/// Appends a varied history for `id`: create, exchanges, a correction, a
+/// learned query, a verification.
+fn drive(store: &mut SessionStore, id: u64, exchanges: usize) {
+    store
+        .append(&LogRecord::SessionCreated {
+            id,
+            meta: meta("chocolates"),
+        })
+        .unwrap();
+    for i in 0..exchanges {
+        let label = if i % 3 == 0 {
+            Response::NonAnswer
+        } else {
+            Response::Answer
+        };
+        store
+            .append(&LogRecord::ExchangeAppended {
+                id,
+                exchange: exchange(if i % 2 == 0 { "110 011" } else { "000" }, label),
+            })
+            .unwrap();
+    }
+    if exchanges > 1 {
+        store
+            .append(&LogRecord::Corrected {
+                id,
+                corrections: vec![(0, Response::Answer)],
+            })
+            .unwrap();
+    }
+    store
+        .append(&LogRecord::QueryLearned {
+            id,
+            query: parse_with_arity("all x1; some x2 x3", 3).unwrap(),
+        })
+        .unwrap();
+    store
+        .append(&LogRecord::Verified { id, verified: true })
+        .unwrap();
+}
+
+/// Asserts indexed ≡ full-scan for every id in `ids` (which should
+/// include ids that do not exist and ids that were closed).
+fn assert_paths_agree(store: &SessionStore, ids: &[u64]) {
+    for &id in ids {
+        let indexed = store.load_session(id).unwrap();
+        let scanned = store.load_session_unindexed(id).unwrap();
+        assert_eq!(indexed, scanned, "paths diverge for session {id}");
+    }
+}
+
+#[test]
+fn indexed_load_matches_full_scan_across_rotation() {
+    let dir = temp_dir("rotation");
+    let cfg = StoreConfig {
+        fsync: FsyncPolicy::Never,
+        segment_max_bytes: 256, // force many segments
+        ..StoreConfig::new(dir.clone())
+    };
+    let (mut store, _) = SessionStore::open(&cfg).unwrap();
+    for id in 1..=6u64 {
+        drive(&mut store, id, id as usize);
+    }
+    store.append(&LogRecord::SessionClosed { id: 3 }).unwrap();
+    // Store-level records must not perturb the index.
+    store
+        .append(&LogRecord::DatasetDropped {
+            name: "nope".into(),
+        })
+        .unwrap();
+    let probe: Vec<u64> = (0..=8).collect(); // includes unknown 0, 7, 8
+    assert_paths_agree(&store, &probe);
+    assert!(store.load_session(3).unwrap().is_none(), "closed is gone");
+    assert!(store.load_session(5).unwrap().is_some());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn index_is_rebuilt_on_reopen() {
+    let dir = temp_dir("reopen");
+    let cfg = StoreConfig {
+        fsync: FsyncPolicy::Always,
+        segment_max_bytes: 512,
+        ..StoreConfig::new(dir.clone())
+    };
+    {
+        let (mut store, _) = SessionStore::open(&cfg).unwrap();
+        for id in 1..=4u64 {
+            drive(&mut store, id, 3);
+        }
+        store.append(&LogRecord::SessionClosed { id: 2 }).unwrap();
+    }
+    // Crash-reopen: the index exists only in memory, so this exercises
+    // the recovery-scan rebuild.
+    let (mut store, recovered) = SessionStore::open(&cfg).unwrap();
+    assert_eq!(recovered.sessions.len(), 3);
+    let probe: Vec<u64> = (0..=6).collect();
+    assert_paths_agree(&store, &probe);
+    // Appends after reopen extend the rebuilt index seamlessly.
+    drive(&mut store, 9, 2);
+    assert_paths_agree(&store, &[2, 9]);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn index_survives_compaction_and_snapshot_only_sessions() {
+    let dir = temp_dir("compaction");
+    let cfg = StoreConfig {
+        fsync: FsyncPolicy::Never,
+        segment_max_bytes: 256,
+        ..StoreConfig::new(dir.clone())
+    };
+    let (mut store, _) = SessionStore::open(&cfg).unwrap();
+    for id in 1..=5u64 {
+        drive(&mut store, id, 2);
+    }
+    store.append(&LogRecord::SessionClosed { id: 4 }).unwrap();
+
+    // Compact: capture a freshened state for session 1, let the others
+    // be carried forward from disk. Sessions 2, 3, 5 become
+    // snapshot-only (all their frames predate the boundary).
+    let boundary = store.rotate().unwrap();
+    let mut captured = PersistedSession::new(1, meta("chocolates"));
+    captured.answered = 99; // visibly distinct captured state
+    store
+        .write_snapshot(
+            &[SnapshotEntry {
+                through_seq: store.last_seq(),
+                session: captured,
+            }],
+            boundary,
+        )
+        .unwrap();
+
+    let probe: Vec<u64> = (0..=7).collect();
+    assert_paths_agree(&store, &probe);
+    assert_eq!(store.load_session(1).unwrap().unwrap().answered, 99);
+    assert!(store.load_session(4).unwrap().is_none());
+
+    // New history after compaction lands in the index and still agrees.
+    drive(&mut store, 6, 4);
+    store
+        .append(&LogRecord::ExchangeAppended {
+            id: 5,
+            exchange: exchange("111", Response::Answer),
+        })
+        .unwrap();
+    assert_paths_agree(&store, &probe);
+
+    // And a reopen after compaction rebuilds the pruned index correctly.
+    drop(store);
+    let (store, _) = SessionStore::open(&cfg).unwrap();
+    assert_paths_agree(&store, &probe);
+    let _ = std::fs::remove_dir_all(&dir);
+}
