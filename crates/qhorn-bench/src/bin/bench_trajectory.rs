@@ -1,6 +1,6 @@
 //! Perf-trajectory runner: executes the registry/store/http benchmark
 //! kernels with plain `std::time::Instant` timing and emits a
-//! machine-readable `BENCH_8.json` (name → ns/iter + throughput) so CI
+//! machine-readable `BENCH_10.json` (name → ns/iter + throughput) so CI
 //! and future PRs have a recorded baseline to diff against.
 //!
 //! Beyond the registry/store/transport series, the artifact carries a
@@ -17,6 +17,16 @@
 //! with journaling sampled out via the runtime `set_trace_config` knob,
 //! recording the fractional overhead the defaults add.
 //!
+//! Two sections added with the lockdep/lint tooling: a
+//! **lockdep pass-through pin** (top-level `lockdep_off_overhead`) —
+//! raw `std::sync::Mutex` lock/unlock vs the class-tagged
+//! `OrderedMutex` every workspace lock routes through, asserting the
+//! wrapper stays within 5% of raw when the `lockdep` feature is off —
+//! and an embedded **`qhorn-lint` report** (top-level `lint`, from
+//! `--lint-report PATH` pointing at a `qhorn-lint --format json`
+//! output) so suppression counts are trendable alongside the perf
+//! series.
+//!
 //! The criterion benches under `benches/` remain the statistically
 //! careful tool for local investigation; this binary trades their
 //! sampling rigor for a dependency-free artifact that can run in a
@@ -27,18 +37,21 @@
 //! Usage:
 //!
 //! ```text
-//! bench_trajectory [--quick] [--out PATH]
+//! bench_trajectory [--quick] [--out PATH] [--lint-report PATH]
 //! ```
 //!
 //! `--quick` cuts iteration counts ~10× for CI smoke runs; `--out`
-//! overrides the output path (default `BENCH_8.json` in the current
-//! directory, i.e. the repo root when run via `cargo run`).
+//! overrides the output path (default `BENCH_10.json` in the current
+//! directory, i.e. the repo root when run via `cargo run`);
+//! `--lint-report` embeds a `qhorn-lint --format json` report under
+//! the artifact's `lint` key (absent flag → `lint: null`).
 
 use qhorn_core::kernel::CompiledQuery;
 use qhorn_core::{BoolTuple, Expr, Obj, Query, Response, VarId, VarSet};
 use qhorn_engine::session::{Exchange, LearnerKind};
 use qhorn_engine::storage::Store;
 use qhorn_json::Json;
+use qhorn_lockdep::{LockClass, OrderedMutex};
 use qhorn_service::batch;
 use qhorn_service::http::HttpClient;
 use qhorn_service::proto::{Reply, Request};
@@ -284,14 +297,22 @@ fn bench_parallel_batch(
 
 fn main() {
     let mut quick = false;
-    let mut out = PathBuf::from("BENCH_8.json");
+    let mut out = PathBuf::from("BENCH_10.json");
+    let mut lint_report: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--quick" => quick = true,
             "--out" => out = PathBuf::from(args.next().expect("--out needs a path")),
+            "--lint-report" => {
+                lint_report = Some(PathBuf::from(
+                    args.next().expect("--lint-report needs a path"),
+                ));
+            }
             other => {
-                eprintln!("unknown flag {other}; usage: bench_trajectory [--quick] [--out PATH]");
+                eprintln!(
+                    "unknown flag {other}; usage: bench_trajectory [--quick] [--out PATH] [--lint-report PATH]"
+                );
                 std::process::exit(2);
             }
         }
@@ -481,6 +502,68 @@ fn main() {
         ));
     }
 
+    // Lockdep pass-through pin: raw `std::sync::Mutex` lock/unlock vs
+    // the class-tagged `OrderedMutex` every workspace lock routes
+    // through. With the `lockdep` feature off (every release/CI build)
+    // the wrapper's class is a ZST and `lock_recover` must compile down
+    // to the raw lock — pinned at ≤5% plus a 5 ns jitter allowance on
+    // the ~20 ns lock/unlock, using the same interleaved min-of-rounds
+    // filtering as the observability A/B.
+    let lockdep_feature = cfg!(feature = "lockdep");
+    let raw = std::sync::Mutex::new(0u64); // qhorn-lint: allow(raw-mutex)
+    let ordered = OrderedMutex::new(LockClass::new("bench.lockdep_overhead"), 0u64);
+    let lock_iters = n(200_000, 20_000);
+    let lock_rounds = n(16, 4);
+    let mut raw_ns = f64::INFINITY;
+    let mut ordered_ns = f64::INFINITY;
+    for _ in 0..lock_rounds {
+        let start = Instant::now();
+        for _ in 0..lock_iters {
+            *raw.lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner) += 1;
+        }
+        raw_ns = raw_ns.min(start.elapsed().as_nanos() as f64 / lock_iters as f64);
+        let start = Instant::now();
+        for _ in 0..lock_iters {
+            *ordered.lock_recover() += 1;
+        }
+        ordered_ns = ordered_ns.min(start.elapsed().as_nanos() as f64 / lock_iters as f64);
+    }
+    black_box(
+        *raw.lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner),
+    );
+    black_box(*ordered.lock_recover());
+    let lockdep_overhead_fraction = ordered_ns / raw_ns - 1.0;
+    let lockdep_within_bound = ordered_ns <= raw_ns * 1.05 + 5.0;
+    eprintln!(
+        "lockdep-off pass-through: ordered {ordered_ns:.1} ns vs raw {raw_ns:.1} ns per lock/unlock ({:+.2}%, feature {})",
+        lockdep_overhead_fraction * 100.0,
+        if lockdep_feature { "ON" } else { "off" },
+    );
+    if !lockdep_feature {
+        assert!(
+            lockdep_within_bound,
+            "OrderedMutex with lockdep off must stay within 5% of a raw Mutex: \
+             {ordered_ns:.1} ns vs {raw_ns:.1} ns"
+        );
+    }
+
+    // The embedded lint report (suppression counts become trendable
+    // alongside the perf series).
+    let lint = match &lint_report {
+        Some(path) => {
+            let text = std::fs::read_to_string(path).expect("read lint report");
+            let report: Json = qhorn_json::from_str(&text).expect("lint report must parse");
+            assert!(
+                matches!(report.get("schema"), Some(Json::Str(s)) if s == "qhorn-lint-report/1"),
+                "--lint-report must point at a `qhorn-lint --format json` output"
+            );
+            report
+        }
+        None => Json::Null,
+    };
+
     let json = Json::Obj(vec![
         (
             "schema".to_string(),
@@ -516,6 +599,23 @@ fn main() {
                 ),
             ]),
         ),
+        (
+            "lockdep_off_overhead".to_string(),
+            Json::Obj(vec![
+                ("lockdep_feature".to_string(), Json::Bool(lockdep_feature)),
+                ("raw_mutex_ns_per_iter".to_string(), Json::F64(raw_ns)),
+                (
+                    "ordered_mutex_ns_per_iter".to_string(),
+                    Json::F64(ordered_ns),
+                ),
+                (
+                    "overhead_fraction".to_string(),
+                    Json::F64(lockdep_overhead_fraction),
+                ),
+                ("within_bound".to_string(), Json::Bool(lockdep_within_bound)),
+            ]),
+        ),
+        ("lint".to_string(), lint),
         (
             "results".to_string(),
             Json::Arr(
@@ -594,6 +694,39 @@ fn validate_artifact(text: &str) {
             .is_some(),
         "observability_overhead.overhead_fraction missing"
     );
+    let lockdep = field("lockdep_off_overhead");
+    for key in ["raw_mutex_ns_per_iter", "ordered_mutex_ns_per_iter"] {
+        assert!(
+            lockdep
+                .get(key)
+                .and_then(Json::as_f64)
+                .is_some_and(|ns| ns > 0.0),
+            "lockdep_off_overhead.{key} missing"
+        );
+    }
+    match (lockdep.get("lockdep_feature"), lockdep.get("within_bound")) {
+        (Some(Json::Bool(feature)), Some(Json::Bool(within))) => {
+            // The pin only binds the pass-through build; a lockdep-ON
+            // artifact records its (real) detector overhead unasserted.
+            assert!(
+                *feature || *within,
+                "lockdep-off artifact must be within the 5% pass-through bound"
+            );
+        }
+        _ => panic!("lockdep_off_overhead.{{lockdep_feature,within_bound}} missing"),
+    }
+    match field("lint") {
+        Json::Null => {}
+        report => {
+            assert!(
+                report
+                    .get("suppression_count")
+                    .and_then(Json::as_u64)
+                    .is_some(),
+                "embedded lint report missing suppression_count"
+            );
+        }
+    }
     let Json::Arr(results) = field("results") else {
         panic!("`results` must be an array");
     };

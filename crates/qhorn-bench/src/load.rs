@@ -26,6 +26,7 @@
 use qhorn_core::{Query, Response};
 use qhorn_engine::session::LearnerKind;
 use qhorn_json::{Json, ToJson};
+use qhorn_lockdep::{LockClass, OrderedMutex};
 use qhorn_relation::generate::{generate_dataset, sweep, verify_dataset};
 use qhorn_relation::DatasetDef;
 use qhorn_service::proto::{Reply, Request, StepReply};
@@ -35,7 +36,6 @@ use rand::{Rng, SeedableRng};
 use std::collections::BTreeMap;
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// A scripted user archetype.
@@ -578,7 +578,7 @@ pub fn run_load(
 ) -> TransportReport {
     let pacer = Pacer::new(cfg.target_rps);
     let next_dialogue = AtomicU64::new(0);
-    let recorder = Mutex::new(Recorder::default());
+    let recorder = OrderedMutex::new(LockClass::new("bench.recorder"), Recorder::default());
     let started = Instant::now();
 
     std::thread::scope(|scope| {
@@ -596,7 +596,7 @@ pub fn run_load(
                         break;
                     };
                     let tally = run_dialogue(&mut ctx, plan);
-                    let mut rec = recorder.lock().expect("recorder");
+                    let mut rec = recorder.lock_recover();
                     let agg = rec.tallies.entry(plan.population.name()).or_default();
                     agg.dialogues += tally.dialogues;
                     agg.learned += tally.learned;
@@ -605,7 +605,7 @@ pub fn run_load(
                     agg.abandoned += tally.abandoned;
                     agg.questions += tally.questions;
                 }
-                let mut rec = recorder.lock().expect("recorder");
+                let mut rec = recorder.lock_recover();
                 for (kind, lat) in ctx.latencies {
                     rec.latencies.entry(kind).or_default().extend(lat);
                 }
@@ -617,7 +617,7 @@ pub fn run_load(
     });
 
     let wall_seconds = started.elapsed().as_secs_f64();
-    let rec = recorder.into_inner().expect("recorder");
+    let rec = recorder.into_inner_recover();
     let mut errors_by_class: BTreeMap<&'static str, u64> =
         ERROR_CLASSES.iter().map(|&c| (c, 0)).collect();
     for (class, n) in rec.errors {

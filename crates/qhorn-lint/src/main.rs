@@ -1,0 +1,74 @@
+//! CLI for the workspace lint. Exit codes: 0 clean, 1 violations,
+//! 2 usage or I/O error.
+
+use qhorn_lint::{find_workspace_root, run, Options};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: qhorn-lint [--root PATH] [--format text|json] [--bless]
+
+  --root PATH    workspace root (default: discovered from the current dir)
+  --format FMT   report format: text (default) or json
+  --bless        regenerate tests/wire_golden/ fixtures from the code
+";
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut format = String::from("text");
+    let mut bless = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => return usage_error("--root needs a path"),
+            },
+            "--format" => match args.next().as_deref() {
+                Some("text") => format = "text".into(),
+                Some("json") => format = "json".into(),
+                _ => return usage_error("--format must be text or json"),
+            },
+            "--bless" => bless = true,
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage_error(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let root = match root.or_else(|| {
+        std::env::current_dir()
+            .ok()
+            .and_then(|d| find_workspace_root(&d))
+    }) {
+        Some(r) => r,
+        None => return usage_error("could not find a workspace root; pass --root"),
+    };
+
+    let mut opts = Options::new(root);
+    opts.bless = bless;
+    match run(&opts) {
+        Ok(report) => {
+            if format == "json" {
+                println!("{}", qhorn_json::to_string_pretty(&report.to_json()));
+            } else {
+                print!("{}", report.render_text());
+            }
+            if report.clean() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("qhorn-lint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("qhorn-lint: {msg}\n{USAGE}");
+    ExitCode::from(2)
+}

@@ -1,0 +1,223 @@
+//! The token-level rules (everything except the wire-schema diff,
+//! which lives in `wire.rs`).
+
+use crate::scan::{line_of, line_offsets, FileScan};
+use crate::{Finding, RULE_LOCK_UNWRAP, RULE_PRINT_IN_LIB, RULE_RAW_MUTEX, RULE_WALL_CLOCK};
+
+/// Files whose code runs while constructing protocol replies — the
+/// paths where wall-clock reads would make responses nondeterministic
+/// (replies must be a function of registry state, not of when the
+/// encoder ran). Timestamping at ingest (log envelopes, registry
+/// construction) is fine and deliberately out of scope.
+pub const REPLY_PATHS: &[&str] = &[
+    "crates/qhorn-service/src/proto.rs",
+    "crates/qhorn-service/src/dispatch.rs",
+    "crates/qhorn-service/src/batch.rs",
+    "crates/qhorn-service/src/error.rs",
+];
+
+/// Is this path a binary target (where direct stdout/stderr printing is
+/// the program's job, not a logging violation)?
+pub fn is_bin_path(rel_path: &str) -> bool {
+    rel_path.contains("/src/bin/")
+        || rel_path.ends_with("/src/main.rs")
+        || rel_path == "src/main.rs"
+}
+
+/// Runs every token rule over one scanned file. `rel_path` is
+/// workspace-relative with `/` separators.
+pub fn check_file(rel_path: &str, scan: &FileScan, findings: &mut Vec<Finding>) {
+    let joined = scan.masked_lines.join("\n");
+    let offsets = line_offsets(&joined);
+    let in_test = |line: usize| scan.test_lines.get(line).copied().unwrap_or(false);
+
+    // --- lock-unwrap -----------------------------------------------------
+    // `.lock()/.read()/.write()/.into_inner()` immediately followed
+    // (across whitespace) by `.unwrap()` or `.expect(`: lock results in
+    // production code must route through the poison-recovering helpers
+    // (`lock_recover` & friends) so one panicking holder cannot cascade.
+    for pat in [".lock()", ".read()", ".write()", ".into_inner()"] {
+        for start in find_all(&joined, pat) {
+            let line = line_of(&offsets, start);
+            if in_test(line) {
+                continue;
+            }
+            let rest = joined[start + pat.len()..].trim_start();
+            let bad = if rest.starts_with(".unwrap()") {
+                Some(".unwrap()")
+            } else if rest.starts_with(".expect(") {
+                Some(".expect(..)")
+            } else {
+                None
+            };
+            if let Some(method) = bad {
+                findings.push(Finding {
+                    rule: RULE_LOCK_UNWRAP,
+                    file: rel_path.to_string(),
+                    line: line + 1,
+                    message: format!(
+                        "`{pat}{method}` on a lock result in non-test code; \
+                         route through the poison-recovering helper \
+                         (`lock_recover()` / `*_recover()`) instead"
+                    ),
+                });
+            }
+        }
+    }
+
+    // --- print-in-lib ----------------------------------------------------
+    // Library code reports through the structured `log.rs` macros so
+    // output is levelled, rate-limited, and capturable; bin targets own
+    // their stdout and are exempt.
+    if !is_bin_path(rel_path) {
+        for pat in ["println!", "eprintln!", "print!(", "eprint!("] {
+            for start in find_all(&joined, pat) {
+                // `eprintln!` contains `println!`: require a token boundary.
+                if start > 0 {
+                    let prev = joined.as_bytes()[start - 1];
+                    if prev.is_ascii_alphanumeric() || prev == b'_' {
+                        continue;
+                    }
+                }
+                let line = line_of(&offsets, start);
+                if in_test(line) {
+                    continue;
+                }
+                findings.push(Finding {
+                    rule: RULE_PRINT_IN_LIB,
+                    file: rel_path.to_string(),
+                    line: line + 1,
+                    message: format!(
+                        "`{}` in library code; emit through the structured \
+                         log.rs macros instead",
+                        pat.trim_end_matches('('),
+                    ),
+                });
+            }
+        }
+    }
+
+    // --- raw-mutex -------------------------------------------------------
+    // Every lock must be a class-tagged `OrderedMutex`/`OrderedRwLock`
+    // so the lockdep witness graph sees it; a raw `std::sync` lock is
+    // invisible to the detector. qhorn-lockdep itself (the one place
+    // raw locks are wrapped) is exempt.
+    if !rel_path.starts_with("crates/qhorn-lockdep/") {
+        for pat in ["Mutex::new(", "RwLock::new("] {
+            for start in find_all(&joined, pat) {
+                // Reject identifier-glued matches (`OrderedMutex::new(`).
+                if start > 0 {
+                    let prev = joined.as_bytes()[start - 1];
+                    if prev.is_ascii_alphanumeric() || prev == b'_' {
+                        continue;
+                    }
+                }
+                let line = line_of(&offsets, start);
+                if in_test(line) {
+                    continue;
+                }
+                findings.push(Finding {
+                    rule: RULE_RAW_MUTEX,
+                    file: rel_path.to_string(),
+                    line: line + 1,
+                    message: format!(
+                        "raw `{}..)` outside qhorn-lockdep; construct a \
+                         class-tagged `Ordered{}..)` so the lock-order \
+                         detector can see it",
+                        pat, pat,
+                    ),
+                });
+            }
+        }
+    }
+
+    // --- wall-clock-in-reply ---------------------------------------------
+    if REPLY_PATHS.contains(&rel_path) {
+        for start in find_all(&joined, "SystemTime::now") {
+            let line = line_of(&offsets, start);
+            if in_test(line) {
+                continue;
+            }
+            findings.push(Finding {
+                rule: RULE_WALL_CLOCK,
+                file: rel_path.to_string(),
+                line: line + 1,
+                message: "`SystemTime::now` in a reply-construction path; replies \
+                          must be deterministic functions of registry state"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+/// Byte offsets of every occurrence of `needle` in `hay`.
+fn find_all(hay: &str, needle: &str) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut from = 0usize;
+    while let Some(rel) = hay[from..].find(needle) {
+        out.push(from + rel);
+        from += rel + 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::scan_source;
+
+    fn findings_for(rel_path: &str, src: &str) -> Vec<Finding> {
+        let scan = scan_source(src);
+        let mut findings = Vec::new();
+        check_file(rel_path, &scan, &mut findings);
+        findings
+    }
+
+    #[test]
+    fn lock_unwrap_fires_across_lines_but_not_in_tests() {
+        let src = "fn f() { m.lock()\n    .expect(\"poisoned\"); }\n\
+                   #[cfg(test)]\nmod tests { fn t() { m.lock().unwrap(); } }\n";
+        let f = findings_for("crates/x/src/lib.rs", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, RULE_LOCK_UNWRAP);
+        assert_eq!(f[0].line, 1);
+    }
+
+    #[test]
+    fn lock_unwrap_ignores_unwrap_or_else() {
+        let src = "fn f() { m.lock().unwrap_or_else(PoisonError::into_inner); }\n";
+        assert!(findings_for("crates/x/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn print_rule_exempts_bins_and_strings() {
+        let lib = findings_for("crates/x/src/lib.rs", "fn f() { println!(\"hi\"); }\n");
+        assert_eq!(lib.len(), 1);
+        assert_eq!(lib[0].rule, RULE_PRINT_IN_LIB);
+        let bin = findings_for(
+            "crates/x/src/bin/tool.rs",
+            "fn main() { println!(\"hi\"); }\n",
+        );
+        assert!(bin.is_empty());
+        let s = findings_for("crates/x/src/lib.rs", "fn f() { let x = \"println!\"; }\n");
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn raw_mutex_sees_through_the_ordered_wrapper() {
+        let src = "fn f() { let a = Mutex::new(1); let b = OrderedMutex::new(c, 1); }\n";
+        let f = findings_for("crates/x/src/lib.rs", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, RULE_RAW_MUTEX);
+        assert!(findings_for("crates/qhorn-lockdep/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn wall_clock_only_in_reply_paths() {
+        let src = "fn f() { let t = SystemTime::now(); }\n";
+        assert!(findings_for("crates/qhorn-service/src/log.rs", src).is_empty());
+        let f = findings_for("crates/qhorn-service/src/proto.rs", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, RULE_WALL_CLOCK);
+    }
+}

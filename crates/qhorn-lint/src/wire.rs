@@ -1,0 +1,469 @@
+//! The wire-schema compatibility rule.
+//!
+//! The protocol is additively versioned: decoders treat absent fields
+//! as defaults, so *adding* a wire field is always safe, while
+//! *deleting* or *re-typing* one silently breaks every older peer and
+//! every durable log record already on disk. This rule extracts the
+//! field set of every `ToJson`/`FromJson` impl in the workspace
+//! (token-level: identifier-shaped string literals inside the impl
+//! block, with a per-field encoding token as a "kind") and diffs it
+//! against committed golden fixtures under `tests/wire_golden/` —
+//! one JSON file per crate. Deleting or re-typing a recorded field
+//! fails the lint; additions (and new types) fail too until the
+//! fixtures are regenerated with `qhorn-lint --bless`, which is the
+//! reviewable "yes, the schema grew" act.
+
+use crate::scan::{line_of, line_offsets, match_delim, FileScan};
+use crate::{Finding, RULE_WIRE_SCHEMA};
+use qhorn_json::Json;
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// `field name → encoding kind`, per direction.
+#[derive(Default, Debug, Clone, PartialEq, Eq)]
+pub struct TypeSchema {
+    /// Fields written by `ToJson`.
+    pub to: BTreeMap<String, String>,
+    /// Fields read by `FromJson`.
+    pub from: BTreeMap<String, String>,
+    /// Where the first impl was seen (workspace-relative path, 1-based
+    /// line) — the anchor for findings about this type.
+    pub site: (String, usize),
+}
+
+/// Every wire type in one crate.
+pub type CrateSchema = BTreeMap<String, TypeSchema>;
+
+/// `crate name → schema`. BTreeMaps throughout so blessed fixtures are
+/// byte-stable across runs.
+pub type WorkspaceSchema = BTreeMap<String, CrateSchema>;
+
+/// Extracts the wire schema of one scanned file into `out`.
+pub fn extract_file(crate_name: &str, rel_path: &str, scan: &FileScan, out: &mut WorkspaceSchema) {
+    let joined = scan.masked_lines.join("\n");
+    let offsets = line_offsets(&joined);
+    for (marker, dir_is_to) in [("impl ToJson for ", true), ("impl FromJson for ", false)] {
+        let mut from = 0usize;
+        while let Some(rel) = joined[from..].find(marker) {
+            let header = from + rel + marker.len();
+            from = header;
+            let name_end = joined[header..]
+                .find(|c: char| !(c.is_alphanumeric() || c == '_' || c == ':'))
+                .map_or(joined.len(), |p| header + p);
+            let full_name = &joined[header..name_end];
+            // Last path segment: `persist::SessionSnapshot` → the type.
+            let name = full_name.rsplit("::").next().unwrap_or(full_name);
+            if name.is_empty() {
+                continue;
+            }
+            let Some(open) = joined[name_end..].find('{').map(|p| name_end + p) else {
+                continue;
+            };
+            let Some(close) = match_delim(joined.as_bytes(), open, b'{', b'}') else {
+                continue;
+            };
+            let first_line = line_of(&offsets, open);
+            let last_line = line_of(&offsets, close);
+            let mut fields: Vec<(String, String)> = Vec::new();
+            for (line, content) in &scan.strings {
+                if *line < first_line || *line > last_line {
+                    continue;
+                }
+                if !is_wire_key(content) {
+                    continue;
+                }
+                let kind = guess_kind(&scan.masked_lines[*line]);
+                fields.push((content.clone(), kind));
+            }
+            if fields.is_empty() {
+                continue; // generic plumbing impls (qhorn-json), unit types
+            }
+            let entry = out
+                .entry(crate_name.to_string())
+                .or_default()
+                .entry(name.to_string())
+                .or_insert_with(|| TypeSchema {
+                    site: (rel_path.to_string(), line_of(&offsets, header) + 1),
+                    ..TypeSchema::default()
+                });
+            let side = if dir_is_to {
+                &mut entry.to
+            } else {
+                &mut entry.from
+            };
+            for (key, kind) in fields {
+                side.entry(key).or_insert(kind); // first occurrence wins
+            }
+        }
+    }
+}
+
+/// Identifier-shaped and plausibly a wire key (`"threads_used"`,
+/// `"timeline"`) rather than a message or format string.
+fn is_wire_key(s: &str) -> bool {
+    !s.is_empty()
+        && s.len() <= 40
+        && s.chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_lowercase() || c == '_')
+        && s.chars()
+            .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+}
+
+/// A deterministic token describing how the field on this (masked)
+/// line is encoded. Re-typing a field changes the surrounding encode /
+/// decode call, which changes this token, which fails the diff.
+fn guess_kind(masked_line: &str) -> String {
+    // `usize::from_json(..)` → "usize::from_json": the decoded Rust
+    // type is part of the kind, so re-typing the decoder is caught.
+    if let Some(pos) = masked_line.find("::from_json") {
+        let head = &masked_line[..pos];
+        let seg_start = head
+            .rfind(|c: char| !(c.is_alphanumeric() || c == '_'))
+            .map_or(0, |p| p + 1);
+        if seg_start < pos {
+            return format!("{}::from_json", &head[seg_start..pos]);
+        }
+    }
+    for (token, kind) in [
+        ("u64_or_zero", "u64_or_zero"),
+        ("opt_field", "optional"),
+        ("Json::U64", "u64"),
+        ("Json::I64", "i64"),
+        ("Json::F64", "f64"),
+        ("Json::Bool", "bool"),
+        ("Json::Str", "str"),
+        ("Json::Arr", "arr"),
+        ("Json::Obj", "obj"),
+        ("Json::Null", "null"),
+        (".to_json()", "json"),
+        ("=>", "tag"), // enum variant tag in a match arm
+        ("field(", "field"),
+    ] {
+        if masked_line.contains(token) {
+            return kind.to_string();
+        }
+    }
+    "val".to_string()
+}
+
+// ---------------------------------------------------------------------------
+// Golden fixtures
+// ---------------------------------------------------------------------------
+
+pub const GOLDEN_SCHEMA: &str = "qhorn-wire-golden/1";
+
+fn dir_to_json(dir: &BTreeMap<String, String>) -> Json {
+    Json::object(dir.iter().map(|(k, v)| (k.clone(), Json::Str(v.clone()))))
+}
+
+fn json_to_dir(j: &Json) -> BTreeMap<String, String> {
+    let mut out = BTreeMap::new();
+    if let Some(obj) = j.as_obj() {
+        for (k, v) in obj {
+            if let Some(s) = v.as_str() {
+                out.insert(k.clone(), s.to_string());
+            }
+        }
+    }
+    out
+}
+
+/// Renders one crate's schema as its golden fixture document.
+pub fn crate_to_json(crate_name: &str, schema: &CrateSchema) -> Json {
+    Json::object([
+        ("schema", Json::Str(GOLDEN_SCHEMA.to_string())),
+        ("crate", Json::Str(crate_name.to_string())),
+        (
+            "types",
+            Json::object(schema.iter().map(|(name, t)| {
+                (
+                    name.clone(),
+                    Json::object([("to", dir_to_json(&t.to)), ("from", dir_to_json(&t.from))]),
+                )
+            })),
+        ),
+    ])
+}
+
+/// Parses a golden fixture document back into a crate schema (sites
+/// point at the fixture file itself).
+pub fn crate_from_json(fixture_rel_path: &str, j: &Json) -> CrateSchema {
+    let mut out = CrateSchema::new();
+    let Ok(types) = j.field("types") else {
+        return out;
+    };
+    if let Some(obj) = types.as_obj() {
+        for (name, t) in obj {
+            out.insert(
+                name.clone(),
+                TypeSchema {
+                    to: t.field("to").map(json_to_dir).unwrap_or_default(),
+                    from: t.field("from").map(json_to_dir).unwrap_or_default(),
+                    site: (fixture_rel_path.to_string(), 1),
+                },
+            );
+        }
+    }
+    out
+}
+
+/// Loads every committed fixture under `golden_dir`.
+pub fn load_golden(golden_dir: &Path) -> std::io::Result<WorkspaceSchema> {
+    let mut out = WorkspaceSchema::new();
+    if !golden_dir.exists() {
+        return Ok(out);
+    }
+    let mut entries: Vec<_> = std::fs::read_dir(golden_dir)?
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|e| e == "json"))
+        .collect();
+    entries.sort();
+    for path in entries {
+        let crate_name = path
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or_default()
+            .to_string();
+        let text = std::fs::read_to_string(&path)?;
+        let Ok(doc) = Json::parse(&text) else {
+            continue; // unparseable fixture → treated as missing → diff reports it
+        };
+        let rel = format!("tests/wire_golden/{crate_name}.json");
+        out.insert(crate_name, crate_from_json(&rel, &doc));
+    }
+    Ok(out)
+}
+
+/// Regenerates the fixtures from the observed schema, removing stale
+/// per-crate files for crates that no longer have wire types.
+pub fn bless(golden_dir: &Path, observed: &WorkspaceSchema) -> std::io::Result<Vec<String>> {
+    std::fs::create_dir_all(golden_dir)?;
+    let mut written = Vec::new();
+    for (crate_name, schema) in observed {
+        let path = golden_dir.join(format!("{crate_name}.json"));
+        let doc = qhorn_json::to_string_pretty(&crate_to_json(crate_name, schema));
+        std::fs::write(&path, doc + "\n")?;
+        written.push(crate_name.clone());
+    }
+    for entry in std::fs::read_dir(golden_dir)?.filter_map(Result::ok) {
+        let path = entry.path();
+        if path.extension().is_some_and(|e| e == "json") {
+            let stem = path
+                .file_stem()
+                .and_then(|s| s.to_str())
+                .unwrap_or_default();
+            if !observed.contains_key(stem) {
+                std::fs::remove_file(&path)?;
+            }
+        }
+    }
+    Ok(written)
+}
+
+/// Diffs observed schema against golden fixtures into findings.
+pub fn diff(observed: &WorkspaceSchema, golden: &WorkspaceSchema, findings: &mut Vec<Finding>) {
+    let mut crates: Vec<&String> = observed.keys().chain(golden.keys()).collect();
+    crates.sort();
+    crates.dedup();
+    for crate_name in crates {
+        let obs = observed.get(crate_name);
+        let gold = golden.get(crate_name);
+        match (obs, gold) {
+            (Some(obs), None) => {
+                let (file, line) = obs
+                    .values()
+                    .next()
+                    .map(|t| t.site.clone())
+                    .unwrap_or_default();
+                findings.push(Finding {
+                    rule: RULE_WIRE_SCHEMA,
+                    file,
+                    line,
+                    message: format!(
+                        "crate `{crate_name}` has wire types but no golden fixture; \
+                         run `qhorn-lint --bless` and commit tests/wire_golden/{crate_name}.json"
+                    ),
+                });
+            }
+            (None, Some(gold)) => {
+                for (type_name, t) in gold {
+                    findings.push(Finding {
+                        rule: RULE_WIRE_SCHEMA,
+                        file: t.site.0.clone(),
+                        line: t.site.1,
+                        message: format!(
+                            "wire type `{type_name}` (crate `{crate_name}`) was deleted \
+                             but is still recorded in the golden fixture; deleting wire \
+                             types breaks decoding of durable logs and older peers"
+                        ),
+                    });
+                }
+            }
+            (Some(obs), Some(gold)) => diff_crate(crate_name, obs, gold, findings),
+            (None, None) => unreachable!(),
+        }
+    }
+}
+
+fn diff_crate(
+    crate_name: &str,
+    obs: &CrateSchema,
+    gold: &CrateSchema,
+    findings: &mut Vec<Finding>,
+) {
+    let mut names: Vec<&String> = obs.keys().chain(gold.keys()).collect();
+    names.sort();
+    names.dedup();
+    for name in names {
+        match (obs.get(name), gold.get(name)) {
+            (Some(o), None) => findings.push(Finding {
+                rule: RULE_WIRE_SCHEMA,
+                file: o.site.0.clone(),
+                line: o.site.1,
+                message: format!(
+                    "new wire type `{name}` (crate `{crate_name}`) is not in the golden \
+                     fixture; run `qhorn-lint --bless` to record it"
+                ),
+            }),
+            (None, Some(g)) => findings.push(Finding {
+                rule: RULE_WIRE_SCHEMA,
+                file: g.site.0.clone(),
+                line: g.site.1,
+                message: format!(
+                    "wire type `{name}` (crate `{crate_name}`) was deleted but the golden \
+                     fixture still records it"
+                ),
+            }),
+            (Some(o), Some(g)) => {
+                for (dir_name, o_dir, g_dir) in
+                    [("ToJson", &o.to, &g.to), ("FromJson", &o.from, &g.from)]
+                {
+                    let mut keys: Vec<&String> = o_dir.keys().chain(g_dir.keys()).collect();
+                    keys.sort();
+                    keys.dedup();
+                    for key in keys {
+                        match (o_dir.get(key), g_dir.get(key)) {
+                            (Some(_), None) => findings.push(Finding {
+                                rule: RULE_WIRE_SCHEMA,
+                                file: o.site.0.clone(),
+                                line: o.site.1,
+                                message: format!(
+                                    "wire field `{key}` added to `{name}` ({dir_name}); \
+                                     additions are wire-safe but must be blessed: run \
+                                     `qhorn-lint --bless`"
+                                ),
+                            }),
+                            (None, Some(_)) => findings.push(Finding {
+                                rule: RULE_WIRE_SCHEMA,
+                                file: o.site.0.clone(),
+                                line: o.site.1,
+                                message: format!(
+                                    "wire field `{key}` deleted from `{name}` ({dir_name}); \
+                                     the protocol is additive-only — absent-decodes-as-default \
+                                     means peers still send/expect it"
+                                ),
+                            }),
+                            (Some(ok), Some(gk)) if ok != gk => findings.push(Finding {
+                                rule: RULE_WIRE_SCHEMA,
+                                file: o.site.0.clone(),
+                                line: o.site.1,
+                                message: format!(
+                                    "wire field `{key}` of `{name}` ({dir_name}) re-typed: \
+                                     encoding token was `{gk}`, now `{ok}`"
+                                ),
+                            }),
+                            _ => {}
+                        }
+                    }
+                }
+            }
+            (None, None) => unreachable!(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::scan_source;
+
+    const SRC: &str = r#"
+impl ToJson for Stats {
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("objects", self.objects.to_json()),
+            ("threads_used", Json::U64(self.threads_used)),
+        ])
+    }
+}
+impl FromJson for Stats {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        Ok(Stats {
+            objects: usize::from_json(j.field("objects")?)?,
+            threads_used: u64_or_zero(j, "threads_used")?,
+        })
+    }
+}
+"#;
+
+    fn observed() -> WorkspaceSchema {
+        let scan = scan_source(SRC);
+        let mut out = WorkspaceSchema::new();
+        extract_file("demo", "crates/demo/src/lib.rs", &scan, &mut out);
+        out
+    }
+
+    #[test]
+    fn extracts_both_directions_with_kinds() {
+        let out = observed();
+        let t = &out["demo"]["Stats"];
+        assert_eq!(t.to["objects"], "json");
+        assert_eq!(t.to["threads_used"], "u64");
+        assert_eq!(t.from["objects"], "usize::from_json");
+        assert_eq!(t.from["threads_used"], "u64_or_zero");
+    }
+
+    #[test]
+    fn round_trips_through_fixture_json() {
+        let out = observed();
+        let doc = crate_to_json("demo", &out["demo"]);
+        let back = crate_from_json("tests/wire_golden/demo.json", &doc);
+        assert_eq!(back["Stats"].to, out["demo"]["Stats"].to);
+        assert_eq!(back["Stats"].from, out["demo"]["Stats"].from);
+        let mut findings = Vec::new();
+        let golden: WorkspaceSchema = [("demo".to_string(), back)].into();
+        diff(&observed(), &golden, &mut findings);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn deletion_retype_and_addition_all_fire() {
+        let obs = observed();
+        let mut golden = obs.clone();
+        {
+            let t = golden.get_mut("demo").unwrap().get_mut("Stats").unwrap();
+            t.to.insert("ghost_field".into(), "u64".into()); // deleted in code
+            t.to.insert("threads_used".into(), "str".into()); // re-typed in code
+            t.from.remove("objects"); // added in code
+        }
+        let mut findings = Vec::new();
+        diff(&obs, &golden, &mut findings);
+        let msgs: Vec<&str> = findings.iter().map(|f| f.message.as_str()).collect();
+        assert!(
+            msgs.iter().any(|m| m.contains("`ghost_field` deleted")),
+            "{msgs:?}"
+        );
+        assert!(
+            msgs.iter()
+                .any(|m| m.contains("`threads_used` of `Stats` (ToJson) re-typed")),
+            "{msgs:?}"
+        );
+        assert!(
+            msgs.iter()
+                .any(|m| m.contains("`objects` added to `Stats` (FromJson)")),
+            "{msgs:?}"
+        );
+    }
+}

@@ -1,0 +1,215 @@
+//! The witness graph behind the `lockdep` feature.
+//!
+//! Each thread keeps a stack of currently held [`LockClass`]es. Every
+//! acquisition adds, for each held class `H`, the directed edge
+//! `H → acquired` to a process-global graph along with the two source
+//! locations that witnessed it. An edge whose reverse direction is
+//! already reachable closes a cycle: that acquisition panics, quoting
+//! the new site and the recorded sites of the contradicting edge.
+//!
+//! The first observed order wins — the graph is append-only, so a
+//! violation is reported deterministically at the second (contradicting)
+//! pattern regardless of thread interleaving, which is the whole point:
+//! the detector does not need the deadlock to actually happen.
+
+use super::LockClass;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::panic::Location;
+use std::sync::{Mutex, OnceLock, PoisonError};
+
+type Site = &'static Location<'static>;
+
+/// A witnessed `from → to` ordering: the site that held `from` and the
+/// site that then acquired `to`.
+struct EdgeInfo {
+    holder_site: Site,
+    acquire_site: Site,
+}
+
+struct Graph {
+    /// Interned class names, indexed by class id.
+    names: Vec<&'static str>,
+    /// `(held, acquired) → first witness`.
+    edges: HashMap<(u32, u32), EdgeInfo>,
+}
+
+fn graph() -> &'static Mutex<Graph> {
+    static GRAPH: OnceLock<Mutex<Graph>> = OnceLock::new();
+    GRAPH.get_or_init(|| {
+        Mutex::new(Graph {
+            names: Vec::new(),
+            edges: HashMap::new(),
+        })
+    })
+}
+
+/// Interns `name`, returning its stable class id. Two classes created
+/// with the same name are the same class.
+pub(crate) fn intern(name: &'static str) -> u32 {
+    let mut g = graph().lock().unwrap_or_else(PoisonError::into_inner);
+    if let Some(id) = g.names.iter().position(|n| *n == name) {
+        return id as u32;
+    }
+    g.names.push(name);
+    (g.names.len() - 1) as u32
+}
+
+struct Held {
+    class_id: u32,
+    token: u64,
+    site: Site,
+}
+
+thread_local! {
+    static HELD: RefCell<Vec<Held>> = const { RefCell::new(Vec::new()) };
+    static NEXT_TOKEN: RefCell<u64> = const { RefCell::new(0) };
+}
+
+/// Pops its acquisition from the thread's held stack on drop. Tokens
+/// (not indices) identify the entry so guards may drop out of order.
+pub(crate) struct HeldToken {
+    token: u64,
+}
+
+impl Drop for HeldToken {
+    fn drop(&mut self) {
+        HELD.with(|held| {
+            let mut held = held.borrow_mut();
+            if let Some(pos) = held.iter().rposition(|h| h.token == self.token) {
+                held.remove(pos);
+            }
+        });
+    }
+}
+
+/// Is `to` reachable from `from` through witnessed edges?
+fn reachable(g: &Graph, from: u32, to: u32) -> bool {
+    if from == to {
+        return true;
+    }
+    let mut seen = vec![false; g.names.len()];
+    let mut stack = vec![from];
+    seen[from as usize] = true;
+    while let Some(node) = stack.pop() {
+        for (&(a, b), _) in g.edges.iter() {
+            if a == node && !seen[b as usize] {
+                if b == to {
+                    return true;
+                }
+                seen[b as usize] = true;
+                stack.push(b);
+            }
+        }
+    }
+    false
+}
+
+/// Finds one witnessed path `from → … → to` and renders it with the
+/// sites that established each hop.
+fn witness_path(g: &Graph, from: u32, to: u32) -> String {
+    // BFS with parent tracking; graphs here are tiny (tens of classes).
+    let mut parent: HashMap<u32, u32> = HashMap::new();
+    let mut queue = std::collections::VecDeque::from([from]);
+    'search: while let Some(node) = queue.pop_front() {
+        for (&(a, b), _) in g.edges.iter() {
+            if a == node && b != from && !parent.contains_key(&b) {
+                parent.insert(b, a);
+                if b == to {
+                    break 'search;
+                }
+                queue.push_back(b);
+            }
+        }
+    }
+    let mut hops = vec![to];
+    let mut node = to;
+    while node != from {
+        match parent.get(&node) {
+            Some(&p) => {
+                hops.push(p);
+                node = p;
+            }
+            None => return String::from("  (witness path unavailable)"),
+        }
+    }
+    hops.reverse();
+    let mut out = String::new();
+    for pair in hops.windows(2) {
+        let info = &g.edges[&(pair[0], pair[1])];
+        out.push_str(&format!(
+            "  {} -> {}: held at {}, acquired at {}\n",
+            g.names[pair[0] as usize],
+            g.names[pair[1] as usize],
+            info.holder_site,
+            info.acquire_site,
+        ));
+    }
+    out
+}
+
+/// Records an acquisition of `class` at `site`: checks the held stack
+/// for recursion and the witness graph for a cycle, then registers the
+/// new edges. Returns the token whose drop releases the hold.
+///
+/// Runs **before** the actual `lock()` call so violations surface even
+/// on schedules that would have blocked forever.
+pub(crate) fn acquire(class: LockClass, site: Site) -> HeldToken {
+    let held_snapshot: Vec<(u32, u64, Site)> = HELD.with(|held| {
+        held.borrow()
+            .iter()
+            .map(|h| (h.class_id, h.token, h.site))
+            .collect()
+    });
+
+    if let Some(&(_, _, prev_site)) = held_snapshot.iter().find(|(id, _, _)| *id == class.id) {
+        panic!(
+            "qhorn-lockdep: recursive acquisition of lock class `{}`\n  \
+             already held at {prev_site}\n  re-acquired at {site}",
+            class.name,
+        );
+    }
+
+    {
+        let mut g = graph().lock().unwrap_or_else(PoisonError::into_inner);
+        for &(held_id, _, holder_site) in &held_snapshot {
+            if g.edges.contains_key(&(held_id, class.id)) {
+                continue; // already witnessed in this order
+            }
+            // Would `held → class` close a cycle? That is: is `held`
+            // already reachable from `class`?
+            if reachable(&g, class.id, held_id) {
+                let path = witness_path(&g, class.id, held_id);
+                let held_name = g.names[held_id as usize];
+                panic!(
+                    "qhorn-lockdep: lock-order violation\n  \
+                     acquiring `{}` at {site}\n  while holding `{held_name}` (held at {holder_site})\n  \
+                     but the witness graph already orders `{}` before `{held_name}`:\n{path}  \
+                     one of these paths must release before the other acquires",
+                    class.name, class.name,
+                );
+            }
+            g.edges.insert(
+                (held_id, class.id),
+                EdgeInfo {
+                    holder_site,
+                    acquire_site: site,
+                },
+            );
+        }
+    }
+
+    let token = NEXT_TOKEN.with(|t| {
+        let mut t = t.borrow_mut();
+        *t += 1;
+        *t
+    });
+    HELD.with(|held| {
+        held.borrow_mut().push(Held {
+            class_id: class.id,
+            token,
+            site,
+        })
+    });
+    HeldToken { token }
+}

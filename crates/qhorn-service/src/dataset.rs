@@ -14,12 +14,13 @@
 use crate::error::ServiceError;
 use qhorn_engine::DataStore;
 use qhorn_json::{FromJson, Json, JsonError, ToJson};
+use qhorn_lockdep::{LockClass, OrderedMutex};
 use qhorn_relation::datasets::{cellars, chocolates};
 use qhorn_relation::synthesize::DomainHints;
 use qhorn_relation::DatasetDef;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 /// Default object count when a request omits `size` (applied at the wire
 /// layer — an *explicit* `size: 0` is rejected, not coerced).
@@ -187,8 +188,8 @@ struct CachedBuiltin {
 /// Uploads are registered through the registry (which also logs them to
 /// the durable store); the catalog itself is storage-agnostic.
 pub struct DatasetCatalog {
-    builtins: Mutex<HashMap<(String, usize), CachedBuiltin>>,
-    uploads: Mutex<HashMap<String, BuiltDataset>>,
+    builtins: OrderedMutex<HashMap<(String, usize), CachedBuiltin>>,
+    uploads: OrderedMutex<HashMap<String, BuiltDataset>>,
     clock: AtomicU64,
 }
 
@@ -203,8 +204,8 @@ impl DatasetCatalog {
     #[must_use]
     pub fn new() -> Self {
         DatasetCatalog {
-            builtins: Mutex::new(HashMap::new()),
-            uploads: Mutex::new(HashMap::new()),
+            builtins: OrderedMutex::new(LockClass::new("catalog.builtins"), HashMap::new()),
+            uploads: OrderedMutex::new(LockClass::new("catalog.uploads"), HashMap::new()),
             clock: AtomicU64::new(0),
         }
     }
@@ -223,7 +224,7 @@ impl DatasetCatalog {
         size: usize,
     ) -> Result<(Arc<DataStore>, DomainHints), ServiceError> {
         validate_size(size)?;
-        if let Some(built) = self.uploads.lock().expect("uploads poisoned").get(name) {
+        if let Some(built) = self.uploads.lock_recover().get(name) {
             return Ok((Arc::clone(&built.store), built.hints.clone()));
         }
         if !NAMES.contains(&name) {
@@ -232,7 +233,7 @@ impl DatasetCatalog {
         let stamp = self.clock.fetch_add(1, Ordering::Relaxed);
         let key = (name.to_string(), size);
         {
-            let mut cache = self.builtins.lock().expect("builtins poisoned");
+            let mut cache = self.builtins.lock_recover();
             if let Some(cached) = cache.get_mut(&key) {
                 cached.touched = stamp;
                 return Ok((Arc::clone(&cached.built.store), cached.built.hints.clone()));
@@ -252,7 +253,7 @@ impl DatasetCatalog {
             // builds (it dies with the sessions holding the Arc).
             return Ok((built.store, built.hints));
         }
-        let mut cache = self.builtins.lock().expect("builtins poisoned");
+        let mut cache = self.builtins.lock_recover();
         let entry = cache.entry(key.clone()).or_insert(CachedBuiltin {
             built: built.clone(),
             objects,
@@ -301,7 +302,7 @@ impl DatasetCatalog {
         }
         let def_bytes = qhorn_json::to_string(def).len();
         {
-            let uploads = self.uploads.lock().expect("uploads poisoned");
+            let uploads = self.uploads.lock_recover();
             if uploads.contains_key(&def.name) {
                 return Err(ServiceError::DatasetConflict(format!(
                     "dataset `{}` is already registered (drop it first to replace)",
@@ -339,10 +340,7 @@ impl DatasetCatalog {
     /// caller serializes uploads (the registry holds its upload lock
     /// across prepare → log append → install).
     pub fn install(&self, name: &str, built: BuiltDataset) {
-        self.uploads
-            .lock()
-            .expect("uploads poisoned")
-            .insert(name.to_string(), built);
+        self.uploads.lock_recover().insert(name.to_string(), built);
     }
 
     /// Removes an uploaded dataset, returning it (the registry
@@ -361,8 +359,7 @@ impl DatasetCatalog {
             )));
         }
         self.uploads
-            .lock()
-            .expect("uploads poisoned")
+            .lock_recover()
             .remove(name)
             .ok_or_else(|| ServiceError::UnknownDataset(name.to_string()))
     }
@@ -380,7 +377,7 @@ impl DatasetCatalog {
                 objects: None,
             })
             .collect();
-        let uploads = self.uploads.lock().expect("uploads poisoned");
+        let uploads = self.uploads.lock_recover();
         let mut uploaded: Vec<DatasetInfo> = uploads
             .iter()
             .map(|(name, built)| DatasetInfo {

@@ -67,10 +67,11 @@ use crate::proto::{Reply, Request, DEFAULT_TRACE_LIMIT};
 use crate::registry::Registry;
 use crate::trace;
 use qhorn_json::{FromJson, Json, ToJson};
+use qhorn_lockdep::{LockClass, OrderedMutex};
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -176,7 +177,7 @@ impl HttpServer {
         // Accepted connections carry their accept instant so the pool
         // telemetry can measure queue wait.
         let (conn_tx, conn_rx) = mpsc::channel::<(TcpStream, std::time::Instant)>();
-        let conn_rx = Arc::new(Mutex::new(conn_rx));
+        let conn_rx = Arc::new(OrderedMutex::new(LockClass::new("pool.receiver"), conn_rx));
         let pool = registry.register_pool("http", workers.max(1));
 
         let mut handles = Vec::with_capacity(workers.max(1));

@@ -26,8 +26,9 @@
 
 use crate::trace;
 use qhorn_json::Json;
+use qhorn_lockdep::{LockClass, OrderedMutex};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, OnceLock};
 use std::time::{Instant, SystemTime, UNIX_EPOCH};
 
 /// Log severity, ordered `Trace < Debug < Info < Warn < Error`.
@@ -94,7 +95,7 @@ enum Sink {
     /// One line per event on standard error.
     Stderr,
     /// Collected in memory (tests).
-    Capture(Arc<Mutex<Vec<String>>>),
+    Capture(Arc<OrderedMutex<Vec<String>>>),
 }
 
 /// Token-bucket state plus the sink, behind one mutex — taken only for
@@ -121,10 +122,10 @@ pub struct LogStats {
 pub struct Logger {
     default_level: AtomicU8,
     /// `(target, level)` overrides; outranks the default for that target.
-    overrides: Mutex<Vec<(String, Level)>>,
+    overrides: OrderedMutex<Vec<(String, Level)>>,
     /// Fast-path hint so the common no-override case skips the lock.
     has_overrides: AtomicBool,
-    inner: Mutex<Inner>,
+    inner: OrderedMutex<Inner>,
     emitted: [AtomicU64; LEVELS],
     suppressed: AtomicU64,
 }
@@ -149,8 +150,8 @@ impl Logger {
     /// A logger that collects rendered lines in memory, for tests.
     /// Returns the logger and the shared line buffer.
     #[must_use]
-    pub fn capturing(level: Level) -> (Logger, Arc<Mutex<Vec<String>>>) {
-        let lines = Arc::new(Mutex::new(Vec::new()));
+    pub fn capturing(level: Level) -> (Logger, Arc<OrderedMutex<Vec<String>>>) {
+        let lines = Arc::new(OrderedMutex::new(LockClass::new("log.capture"), Vec::new()));
         let logger = Logger::with_sink(Sink::Capture(Arc::clone(&lines)), level);
         (logger, lines)
     }
@@ -158,13 +159,16 @@ impl Logger {
     fn with_sink(sink: Sink, level: Level) -> Logger {
         Logger {
             default_level: AtomicU8::new(level as u8),
-            overrides: Mutex::new(Vec::new()),
+            overrides: OrderedMutex::new(LockClass::new("log.overrides"), Vec::new()),
             has_overrides: AtomicBool::new(false),
-            inner: Mutex::new(Inner {
-                sink,
-                tokens_milli: Logger::BURST * 1000,
-                last_refill: Instant::now(),
-            }),
+            inner: OrderedMutex::new(
+                LockClass::new("log.sink"),
+                Inner {
+                    sink,
+                    tokens_milli: Logger::BURST * 1000,
+                    last_refill: Instant::now(),
+                },
+            ),
             emitted: Default::default(),
             suppressed: AtomicU64::new(0),
         }
@@ -177,7 +181,7 @@ impl Logger {
 
     /// Sets (or with `None` clears) a per-target level override.
     pub fn set_target_level(&self, target: &str, level: Option<Level>) {
-        let mut overrides = self.overrides.lock().expect("log overrides poisoned");
+        let mut overrides = self.overrides.lock_recover();
         overrides.retain(|(t, _)| t != target);
         if let Some(level) = level {
             overrides.push((target.to_string(), level));
@@ -191,7 +195,7 @@ impl Logger {
     #[must_use]
     pub fn enabled(&self, level: Level, target: &str) -> bool {
         if self.has_overrides.load(Ordering::Relaxed) {
-            let overrides = self.overrides.lock().expect("log overrides poisoned");
+            let overrides = self.overrides.lock_recover();
             if let Some((_, min)) = overrides.iter().find(|(t, _)| t == target) {
                 return level >= *min;
             }
@@ -212,10 +216,12 @@ impl Logger {
         }
         let line = render_line(level, target, msg, fields);
         self.emitted[level as usize].fetch_add(1, Ordering::Relaxed);
-        let mut inner = self.inner.lock().expect("log sink poisoned");
+        let mut inner = self.inner.lock_recover();
         match &mut inner.sink {
-            Sink::Stderr => eprintln!("{line}"),
-            Sink::Capture(lines) => lines.lock().expect("capture poisoned").push(line),
+            // The stderr sink IS the logger's terminal output — the one
+            // legitimate direct print in library code.
+            Sink::Stderr => eprintln!("{line}"), // qhorn-lint: allow(print-in-lib)
+            Sink::Capture(lines) => lines.lock_recover().push(line),
         }
     }
 
@@ -234,7 +240,7 @@ impl Logger {
 
     /// Refills by elapsed time, then takes one token if available.
     fn take_token(&self) -> bool {
-        let mut inner = self.inner.lock().expect("log sink poisoned");
+        let mut inner = self.inner.lock_recover();
         let elapsed = inner.last_refill.elapsed();
         inner.last_refill = Instant::now();
         let refill = (elapsed.as_nanos() as u64).saturating_mul(Logger::REFILL_PER_SEC) / 1_000_000;

@@ -19,8 +19,8 @@
 
 use qhorn_core::learn::{LearnStats, Phase};
 use qhorn_json::{FromJson, Json, JsonError, ToJson};
+use qhorn_lockdep::{LockClass, OrderedMutex};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// Histogram bucket count: 27 finite log-scale bounds plus `+Inf`.
@@ -109,7 +109,7 @@ impl Histogram {
 /// The live metrics registry: lock-striped latency histograms plus
 /// per-phase question counters. Cheap to share behind an `Arc`.
 pub struct Metrics {
-    stripes: Vec<Mutex<Vec<Histogram>>>,
+    stripes: Vec<OrderedMutex<Vec<Histogram>>>,
     /// Round-robin assignment cursor for new threads.
     next_stripe: AtomicUsize,
     /// Questions per learner phase (indexed like [`PHASE_NAMES`]).
@@ -130,7 +130,12 @@ impl Metrics {
     pub fn new() -> Self {
         Metrics {
             stripes: (0..STRIPES)
-                .map(|_| Mutex::new(vec![Histogram::new(); MESSAGE_KINDS.len()]))
+                .map(|_| {
+                    OrderedMutex::new(
+                        LockClass::new("metrics.stripe"),
+                        vec![Histogram::new(); MESSAGE_KINDS.len()],
+                    )
+                })
                 .collect(),
             next_stripe: AtomicUsize::new(0),
             phase_questions: (0..PHASE_NAMES.len()).map(|_| AtomicU64::new(0)).collect(),
@@ -139,7 +144,7 @@ impl Metrics {
     }
 
     /// The stripe this thread records into (assigned once, round-robin).
-    fn stripe(&self) -> &Mutex<Vec<Histogram>> {
+    fn stripe(&self) -> &OrderedMutex<Vec<Histogram>> {
         thread_local! {
             static STRIPE: std::cell::Cell<usize> = const { std::cell::Cell::new(usize::MAX) };
         }
@@ -160,7 +165,7 @@ impl Metrics {
             return;
         }
         let nanos = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
-        let mut stripe = self.stripe().lock().expect("metrics stripe poisoned");
+        let mut stripe = self.stripe().lock_recover();
         stripe[kind_index].record(nanos);
     }
 
@@ -181,7 +186,7 @@ impl Metrics {
     pub fn snapshot(&self) -> MetricsSnapshot {
         let mut totals = vec![Histogram::new(); MESSAGE_KINDS.len()];
         for stripe in &self.stripes {
-            let stripe = stripe.lock().expect("metrics stripe poisoned");
+            let stripe = stripe.lock_recover();
             for (total, h) in totals.iter_mut().zip(stripe.iter()) {
                 for (t, c) in total.counts.iter_mut().zip(h.counts.iter()) {
                     *t += c;

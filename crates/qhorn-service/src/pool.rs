@@ -2,7 +2,7 @@
 //!
 //! Both frontends hand accepted connections to a fixed pool of handler
 //! threads through an `mpsc` channel whose receiver is shared behind a
-//! [`Mutex`]. The loop here fixes two failure modes the original inline
+//! mutex (now the class-tagged [`OrderedMutex`]). The loop here fixes two failure modes the original inline
 //! loops had:
 //!
 //! 1. **Poison cascade.** A worker that panicked while holding the
@@ -21,9 +21,9 @@
 
 use crate::metrics::PoolTelemetry;
 use qhorn_json::Json;
+use qhorn_lockdep::OrderedMutex;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc::Receiver;
-use std::sync::{Mutex, PoisonError};
 use std::time::Instant;
 
 /// Drains `(item, queued_at)` pairs from the shared receiver until the
@@ -31,7 +31,7 @@ use std::time::Instant;
 /// telemetry bookkeeping around it. Survives both a poisoned receiver
 /// lock and panics inside `handle`.
 pub(crate) fn run_worker<T>(
-    rx: &Mutex<Receiver<(T, Instant)>>,
+    rx: &OrderedMutex<Receiver<(T, Instant)>>,
     pool: &PoolTelemetry,
     mut handle: impl FnMut(T),
 ) {
@@ -39,7 +39,7 @@ pub(crate) fn run_worker<T>(
         let item = {
             // Recover rather than cascade: the mutex only guards recv(),
             // so a poisoned lock still protects a fully usable receiver.
-            rx.lock().unwrap_or_else(PoisonError::into_inner).recv()
+            rx.lock_recover().recv()
         };
         match item {
             Ok((item, queued_at)) => {
@@ -77,13 +77,15 @@ mod tests {
     use std::sync::atomic::{AtomicU64, Ordering};
     use std::sync::{mpsc, Arc};
 
-    type SharedRx = Arc<Mutex<Receiver<(u64, Instant)>>>;
+    use qhorn_lockdep::LockClass;
+
+    type SharedRx = Arc<OrderedMutex<Receiver<(u64, Instant)>>>;
 
     fn pool_pair(workers: usize) -> (mpsc::Sender<(u64, Instant)>, SharedRx, Arc<PoolTelemetry>) {
         let (tx, rx) = mpsc::channel::<(u64, Instant)>();
         (
             tx,
-            Arc::new(Mutex::new(rx)),
+            Arc::new(OrderedMutex::new(LockClass::new("pool.receiver"), rx)),
             Arc::new(PoolTelemetry::new("test", workers)),
         )
     }

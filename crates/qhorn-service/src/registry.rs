@@ -44,14 +44,16 @@ use qhorn_engine::persist::{self, SessionSnapshot};
 use qhorn_engine::session::{Exchange, LearnerKind};
 use qhorn_engine::DataStore;
 use qhorn_json::{Json, ToJson};
+use qhorn_lockdep::{LockClass, OrderedMutex};
 use qhorn_relation::synthesize::DomainHints;
 use qhorn_relation::DatasetDef;
 use qhorn_store::{
     LogRecord, PersistedSession, SessionMeta, SessionStore, SnapshotEntry, StoreConfig, StoreStats,
+    SyncSessionStore,
 };
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::time::{Duration, Instant, SystemTime};
 
 /// Registry construction parameters.
@@ -343,22 +345,22 @@ struct SnapshotRecord {
 /// The sharded session registry. Cheap to share (`Arc`).
 pub struct Registry {
     config: RegistryConfig,
-    shards: Vec<Mutex<HashMap<u64, Arc<Mutex<Entry>>>>>,
-    snapshots: Mutex<HashMap<u64, SnapshotRecord>>,
+    shards: Vec<OrderedMutex<HashMap<u64, Arc<OrderedMutex<Entry>>>>>,
+    snapshots: OrderedMutex<HashMap<u64, SnapshotRecord>>,
     /// Built-in and uploaded datasets behind shared `Arc<DataStore>`s —
     /// sessions and snapshot restores resolve names here instead of
     /// rebuilding stores per restore.
     catalog: DatasetCatalog,
     /// Serializes dataset uploads/drops with their durable log appends,
     /// so catalog state and log order cannot disagree.
-    catalog_lock: Mutex<()>,
+    catalog_lock: OrderedMutex<()>,
     /// Serializes snapshot restores per stripe so concurrent touches of
     /// one evicted id all land on the single restored entry, without
     /// unrelated sessions' restores queueing behind each other.
-    restore_locks: Vec<Mutex<()>>,
+    restore_locks: Vec<OrderedMutex<()>>,
     /// The durable log (`qhorn-store`); appends happen under the entry
     /// lock, so per-session record order matches per-session state order.
-    store: Option<Mutex<SessionStore>>,
+    store: Option<SyncSessionStore>,
     /// Monotonic clock stamping snapshot touches for the LRU cap.
     snap_clock: AtomicU64,
     /// Latency histograms + per-phase question counters; the dispatch
@@ -369,7 +371,7 @@ pub struct Registry {
     tracer: Arc<Tracer>,
     /// Frontend worker-pool telemetry, one slot per registered pool
     /// ([`Registry::register_pool`]); feeds the health verdict.
-    pools: Mutex<Vec<Arc<PoolTelemetry>>>,
+    pools: OrderedMutex<Vec<Arc<PoolTelemetry>>>,
     /// Entry-stripe contention: acquisitions measured / nanos waited
     /// (the `with_entry` stripe-wait measurement, made scrapeable).
     lock_waits: AtomicU64,
@@ -386,7 +388,7 @@ pub struct Registry {
     /// Process start as Unix seconds, for Prometheus.
     start_unix_seconds: u64,
     compaction_errors: AtomicU64,
-    last_sweep: Mutex<Instant>,
+    last_sweep: OrderedMutex<Instant>,
     next_id: AtomicU64,
     created: AtomicU64,
     evicted: AtomicU64,
@@ -438,7 +440,7 @@ impl Registry {
                 next_id = state.max_session_id + 1;
                 recovered = state.sessions;
                 recovered_datasets = state.datasets;
-                Some(Mutex::new(store))
+                Some(SyncSessionStore::new(store))
             }
             None => None,
         };
@@ -449,16 +451,20 @@ impl Registry {
         }
         let registry = Registry {
             config,
-            shards: (0..shards).map(|_| Mutex::new(HashMap::new())).collect(),
-            snapshots: Mutex::new(HashMap::new()),
+            shards: (0..shards)
+                .map(|_| OrderedMutex::new(LockClass::new("registry.shard"), HashMap::new()))
+                .collect(),
+            snapshots: OrderedMutex::new(LockClass::new("registry.snapshots"), HashMap::new()),
             catalog,
-            catalog_lock: Mutex::new(()),
-            restore_locks: (0..shards).map(|_| Mutex::new(())).collect(),
+            catalog_lock: OrderedMutex::new(LockClass::new("registry.catalog_order"), ()),
+            restore_locks: (0..shards)
+                .map(|_| OrderedMutex::new(LockClass::new("registry.restore"), ()))
+                .collect(),
             store,
             snap_clock: AtomicU64::new(0),
             metrics: Arc::new(Metrics::new()),
             tracer,
-            pools: Mutex::new(Vec::new()),
+            pools: OrderedMutex::new(LockClass::new("registry.pools"), Vec::new()),
             lock_waits: AtomicU64::new(0),
             lock_wait_nanos: AtomicU64::new(0),
             mailbox: Arc::new(DriverMailbox::default()),
@@ -469,7 +475,7 @@ impl Registry {
                 .duration_since(SystemTime::UNIX_EPOCH)
                 .map_or(0, |d| d.as_secs()),
             compaction_errors: AtomicU64::new(0),
-            last_sweep: Mutex::new(Instant::now()),
+            last_sweep: OrderedMutex::new(LockClass::new("registry.sweep_clock"), Instant::now()),
             next_id: AtomicU64::new(next_id),
             created: AtomicU64::new(0),
             evicted: AtomicU64::new(0),
@@ -498,7 +504,7 @@ impl Registry {
         Ok(registry)
     }
 
-    fn shard(&self, id: u64) -> &Mutex<HashMap<u64, Arc<Mutex<Entry>>>> {
+    fn shard(&self, id: u64) -> &OrderedMutex<HashMap<u64, Arc<OrderedMutex<Entry>>>> {
         &self.shards[(id as usize) % self.shards.len()]
     }
 
@@ -572,10 +578,10 @@ impl Registry {
             }
         };
         self.created.fetch_add(1, Ordering::Relaxed);
-        self.shard(id)
-            .lock()
-            .expect("shard poisoned")
-            .insert(id, Arc::new(Mutex::new(entry)));
+        self.shard(id).lock_recover().insert(
+            id,
+            Arc::new(OrderedMutex::new(LockClass::new("registry.entry"), entry)),
+        );
         Ok((id, outcome))
     }
 
@@ -825,7 +831,7 @@ impl Registry {
     /// and existing uploads), [`ServiceError::InvalidDataset`] on
     /// validation failures, [`ServiceError::Store`] on log failures.
     pub fn upload_dataset(&self, def: DatasetDef) -> Result<DatasetInfo, ServiceError> {
-        let _guard = self.catalog_lock.lock().expect("catalog lock poisoned");
+        let _guard = self.catalog_lock.lock_recover();
         let built = self.catalog.prepare(&def)?;
         let info = DatasetInfo {
             name: def.name.clone(),
@@ -847,7 +853,7 @@ impl Registry {
     /// [`ServiceError::UnknownDataset`] for unregistered ones,
     /// [`ServiceError::Store`] on log failures.
     pub fn drop_dataset(&self, name: &str) -> Result<(), ServiceError> {
-        let _guard = self.catalog_lock.lock().expect("catalog lock poisoned");
+        let _guard = self.catalog_lock.lock_recover();
         let built = self.catalog.remove(name)?;
         if let Err(e) = self.log_append(&LogRecord::DatasetDropped { name: name.into() }) {
             // Compensate: the drop never became durable, so it must not
@@ -880,7 +886,7 @@ impl Registry {
     /// names are deduplicated (`http`, `http-2`, …) so two servers over
     /// one registry export distinct series.
     pub fn register_pool(&self, name: &str, workers: usize) -> Arc<PoolTelemetry> {
-        let mut pools = self.pools.lock().expect("pools poisoned");
+        let mut pools = self.pools.lock_recover();
         let mut label = name.to_string();
         let mut n = 1usize;
         while pools.iter().any(|p| p.name == label) {
@@ -898,8 +904,7 @@ impl Registry {
         SaturationSnapshot {
             pools: self
                 .pools
-                .lock()
-                .expect("pools poisoned")
+                .lock_recover()
                 .iter()
                 .map(|p| p.snapshot())
                 .collect(),
@@ -992,11 +997,11 @@ impl Registry {
     /// simply miss the charge (live-entry-only semantics).
     pub fn add_session_eval(&self, id: u64, eval_nanos: u64) {
         let handle = {
-            let map = self.shard(id).lock().expect("shard poisoned");
+            let map = self.shard(id).lock_recover();
             map.get(&id).cloned()
         };
         if let Some(h) = handle {
-            h.lock().expect("entry poisoned").resources.eval_nanos += eval_nanos;
+            h.lock_recover().resources.eval_nanos += eval_nanos;
         }
     }
 
@@ -1022,7 +1027,7 @@ impl Registry {
         // use, from sweeping on every request), at least once a minute.
         let interval = (self.config.ttl / 4).clamp(Duration::from_secs(1), Duration::from_secs(60));
         {
-            let mut last = self.last_sweep.lock().expect("sweep clock poisoned");
+            let mut last = self.last_sweep.lock_recover();
             if last.elapsed() < interval {
                 return;
             }
@@ -1037,15 +1042,14 @@ impl Registry {
         let ttl = self.config.ttl;
         let mut evicted = 0usize;
         for shard in &self.shards {
-            let mut map = shard.lock().expect("shard poisoned");
+            let mut map = shard.lock_recover();
             let expired: Vec<u64> = map
                 .iter()
                 .filter(|(_, h)| {
                     // Skip entries some request currently holds; both the
                     // clone in `with_entry` and this check happen under
                     // the shard lock, so the count is trustworthy.
-                    Arc::strong_count(h) == 1
-                        && h.lock().expect("entry poisoned").last_touch.elapsed() > ttl
+                    Arc::strong_count(h) == 1 && h.lock_recover().last_touch.elapsed() > ttl
                 })
                 .map(|(&id, _)| id)
                 .collect();
@@ -1053,7 +1057,7 @@ impl Registry {
                 if let Some(handle) = map.remove(&id) {
                     match Arc::try_unwrap(handle) {
                         Ok(mutex) => {
-                            self.snapshot_entry(id, mutex.into_inner().expect("entry poisoned"));
+                            self.snapshot_entry(id, mutex.into_inner_recover());
                             evicted += 1;
                         }
                         Err(handle) => {
@@ -1103,7 +1107,7 @@ impl Registry {
             return (false, None);
         };
         let over = {
-            let s = store.lock().expect("store poisoned");
+            let s = store.lock();
             s.live_log_bytes() > cfg.compact_threshold_bytes
         };
         if !over {
@@ -1127,19 +1131,15 @@ impl Registry {
     fn compact_store(&self) -> Result<(), ServiceError> {
         let store = self.store.as_ref().expect("caller checked store");
         let store_err = |e: qhorn_store::StoreError| ServiceError::Store(e.to_string());
-        let boundary = store
-            .lock()
-            .expect("store poisoned")
-            .rotate()
-            .map_err(store_err)?;
+        let boundary = store.lock().rotate().map_err(store_err)?;
         let mut captured = Vec::new();
         for shard in &self.shards {
-            let handles: Vec<(u64, Arc<Mutex<Entry>>)> = {
-                let map = shard.lock().expect("shard poisoned");
+            let handles: Vec<(u64, Arc<OrderedMutex<Entry>>)> = {
+                let map = shard.lock_recover();
                 map.iter().map(|(&id, h)| (id, Arc::clone(h))).collect()
             };
             for (id, handle) in handles {
-                let entry = handle.lock().expect("entry poisoned");
+                let entry = handle.lock_recover();
                 if entry.resources.transcript_truncated > 0 {
                     // A bounded replay cache is lossy; capturing it would
                     // bake the truncation into the compaction snapshot
@@ -1148,7 +1148,7 @@ impl Registry {
                     // forward from the (complete) disk state.
                     continue;
                 }
-                let through_seq = store.lock().expect("store poisoned").last_seq();
+                let through_seq = store.lock().last_seq();
                 captured.push(SnapshotEntry {
                     through_seq,
                     session: persisted_from_entry(id, &entry),
@@ -1156,9 +1156,9 @@ impl Registry {
             }
         }
         {
-            let snaps = self.snapshots.lock().expect("snapshots poisoned");
+            let snaps = self.snapshots.lock_recover();
             for (&id, record) in snaps.iter() {
-                let through_seq = store.lock().expect("store poisoned").last_seq();
+                let through_seq = store.lock().last_seq();
                 captured.push(SnapshotEntry {
                     through_seq,
                     session: persisted_from_record(id, record)?,
@@ -1167,7 +1167,6 @@ impl Registry {
         }
         store
             .lock()
-            .expect("store poisoned")
             .write_snapshot(&captured, boundary)
             .map_err(store_err)
     }
@@ -1185,26 +1184,13 @@ impl Registry {
         // taken, entry not yet inserted), and the close would durably log
         // `SessionClosed` while the restore resurrects the session live.
         let stripe = (id as usize) % self.restore_locks.len();
-        let _closing = self.restore_locks[stripe]
-            .lock()
-            .expect("restore lock poisoned");
-        let live = self
-            .shard(id)
-            .lock()
-            .expect("shard poisoned")
-            .remove(&id)
-            .is_some();
-        let snapshotted = self
-            .snapshots
-            .lock()
-            .expect("snapshots poisoned")
-            .remove(&id)
-            .is_some();
+        let _closing = self.restore_locks[stripe].lock_recover();
+        let live = self.shard(id).lock_recover().remove(&id).is_some();
+        let snapshotted = self.snapshots.lock_recover().remove(&id).is_some();
         if !live && !snapshotted {
             let in_store = match &self.store {
                 Some(store) => store
                     .lock()
-                    .expect("store poisoned")
                     .load_session(id)
                     .map_err(|e| ServiceError::Store(e.to_string()))?
                     .is_some(),
@@ -1225,7 +1211,7 @@ impl Registry {
         let live = self
             .shards
             .iter()
-            .map(|s| s.lock().expect("shard poisoned").len() as u64)
+            .map(|s| s.lock_recover().len() as u64)
             .sum();
         RegistryStats {
             created: self.created.load(Ordering::Relaxed),
@@ -1240,13 +1226,10 @@ impl Registry {
             batch_signatures: self.batch_signatures.load(Ordering::Relaxed),
             batch_answers: self.batch_answers.load(Ordering::Relaxed),
             batch_threads_used: self.batch_threads.load(Ordering::Relaxed),
-            snapshots: self.snapshots.lock().expect("snapshots poisoned").len() as u64,
+            snapshots: self.snapshots.lock_recover().len() as u64,
             compaction_errors: self.compaction_errors.load(Ordering::Relaxed),
             uptime_seconds: self.uptime_seconds(),
-            store: self
-                .store
-                .as_ref()
-                .map(|s| s.lock().expect("store poisoned").stats()),
+            store: self.store.as_ref().map(|s| s.lock().stats()),
         }
     }
 
@@ -1266,7 +1249,7 @@ impl Registry {
         let wait_started = Instant::now();
         let mut restored_here = false;
         let handle = {
-            let map = self.shard(id).lock().expect("shard poisoned");
+            let map = self.shard(id).lock_recover();
             map.get(&id).cloned()
         };
         let handle = match handle {
@@ -1276,18 +1259,16 @@ impl Registry {
                 // Serialize restores per stripe: the winner rebuilds the
                 // entry while losers wait here, then find it in the shard.
                 let stripe = (id as usize) % self.restore_locks.len();
-                let _restoring = self.restore_locks[stripe]
-                    .lock()
-                    .expect("restore lock poisoned");
+                let _restoring = self.restore_locks[stripe].lock_recover();
                 let again = {
-                    let map = self.shard(id).lock().expect("shard poisoned");
+                    let map = self.shard(id).lock_recover();
                     map.get(&id).cloned()
                 };
                 match again {
                     Some(h) => h,
                     None => {
                         self.restore(id)?;
-                        let map = self.shard(id).lock().expect("shard poisoned");
+                        let map = self.shard(id).lock_recover();
                         map.get(&id)
                             .cloned()
                             .ok_or(ServiceError::UnknownSession(id))?
@@ -1295,7 +1276,7 @@ impl Registry {
                 }
             }
         };
-        let mut entry = handle.lock().expect("entry poisoned");
+        let mut entry = handle.lock_recover();
         let wait_nanos = u64::try_from(wait_started.elapsed().as_nanos()).unwrap_or(u64::MAX);
         self.lock_waits.fetch_add(1, Ordering::Relaxed);
         self.lock_wait_nanos
@@ -1346,7 +1327,7 @@ impl Registry {
     /// gone otherwise.
     fn insert_snapshot(&self, id: u64, mut record: SnapshotRecord) {
         record.touched = self.snap_clock.fetch_add(1, Ordering::Relaxed);
-        let mut map = self.snapshots.lock().expect("snapshots poisoned");
+        let mut map = self.snapshots.lock_recover();
         map.insert(id, record);
         if let Some(cap) = self.config.max_snapshots {
             while map.len() > cap {
@@ -1366,11 +1347,7 @@ impl Registry {
     /// back `Done`; mid-learning sessions replay their transcript and
     /// park on the first genuinely new question.
     fn restore(&self, id: u64) -> Result<(), ServiceError> {
-        let cached = self
-            .snapshots
-            .lock()
-            .expect("snapshots poisoned")
-            .remove(&id);
+        let cached = self.snapshots.lock_recover().remove(&id);
         let record = match cached {
             Some(record) => record,
             // Dropped past the LRU cap (or never cached): fall through to
@@ -1378,7 +1355,6 @@ impl Registry {
             None => match &self.store {
                 Some(store) => store
                     .lock()
-                    .expect("store poisoned")
                     .load_session(id)
                     .map_err(|e| ServiceError::Store(e.to_string()))?
                     .map(snapshot_record_from_persisted)
@@ -1434,10 +1410,10 @@ impl Registry {
             &[("session", Json::U64(id))],
         );
         self.restored.fetch_add(1, Ordering::Relaxed);
-        self.shard(id)
-            .lock()
-            .expect("shard poisoned")
-            .insert(id, Arc::new(Mutex::new(entry)));
+        self.shard(id).lock_recover().insert(
+            id,
+            Arc::new(OrderedMutex::new(LockClass::new("registry.entry"), entry)),
+        );
         Ok(())
     }
 
@@ -1480,7 +1456,7 @@ impl Registry {
     /// can charge per-session accounting.
     fn log_append(&self, record: &LogRecord) -> Result<u64, ServiceError> {
         if let Some(store) = &self.store {
-            let mut store = store.lock().expect("store poisoned");
+            let mut store = store.lock();
             let before = store.bytes_appended();
             store
                 .append(record)

@@ -27,11 +27,12 @@ use crate::proto::{Reply, Request, StepReply};
 use crate::registry::Registry;
 use crate::trace;
 use qhorn_json::{FromJson, Json, ToJson};
+use qhorn_lockdep::{LockClass, OrderedMutex};
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -58,7 +59,7 @@ impl Server {
         // Accepted connections carry their accept instant so the pool
         // telemetry can measure queue wait.
         let (conn_tx, conn_rx) = mpsc::channel::<(TcpStream, std::time::Instant)>();
-        let conn_rx = Arc::new(Mutex::new(conn_rx));
+        let conn_rx = Arc::new(OrderedMutex::new(LockClass::new("pool.receiver"), conn_rx));
         let pool = registry.register_pool("lines", workers.max(1));
 
         let mut handles = Vec::with_capacity(workers.max(1));

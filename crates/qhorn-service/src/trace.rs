@@ -50,10 +50,11 @@
 
 use crate::metrics::StoreTelemetry;
 use qhorn_json::{FromJson, Json, JsonError, ToJson};
+use qhorn_lockdep::{LockClass, OrderedMutex};
 use std::cell::{Cell, RefCell};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Journal stripes; must be a power of two-ish small number — more
@@ -545,7 +546,7 @@ impl Drop for RootGuard {
 /// The span journal and its id mints; one per [`crate::Registry`].
 pub struct Tracer {
     epoch: Instant,
-    journal: Vec<Mutex<VecDeque<SpanRecord>>>,
+    journal: Vec<OrderedMutex<VecDeque<SpanRecord>>>,
     stripe_cap: usize,
     next_stripe: AtomicUsize,
     next_trace: AtomicU64,
@@ -556,7 +557,7 @@ pub struct Tracer {
     sample_every: AtomicU64,
     /// The always-on per-layer time accumulators, [`PROFILE_LAYERS`] order.
     profile: Vec<LayerCell>,
-    slow_log: Mutex<VecDeque<TraceTree>>,
+    slow_log: OrderedMutex<VecDeque<TraceTree>>,
     slow_cap: usize,
     journal_len: AtomicU64,
     spans_recorded: AtomicU64,
@@ -573,7 +574,9 @@ impl Tracer {
         let stripe_cap = config.journal_spans.div_ceil(STRIPES).max(1);
         Tracer {
             epoch: Instant::now(),
-            journal: (0..STRIPES).map(|_| Mutex::new(VecDeque::new())).collect(),
+            journal: (0..STRIPES)
+                .map(|_| OrderedMutex::new(LockClass::new("trace.journal"), VecDeque::new()))
+                .collect(),
             stripe_cap,
             next_stripe: AtomicUsize::new(0),
             next_trace: AtomicU64::new(0),
@@ -583,7 +586,7 @@ impl Tracer {
             profile: (0..PROFILE_LAYERS.len())
                 .map(|_| LayerCell::default())
                 .collect(),
-            slow_log: Mutex::new(VecDeque::new()),
+            slow_log: OrderedMutex::new(LockClass::new("trace.slow_log"), VecDeque::new()),
             slow_cap: config.slow_log_traces.max(1),
             journal_len: AtomicU64::new(0),
             spans_recorded: AtomicU64::new(0),
@@ -655,7 +658,7 @@ impl Tracer {
         if slow {
             self.slow_traces.fetch_add(1, Ordering::Relaxed);
             if let Some(tree) = build_tree(at.trace, &at.done, slow_threshold_nanos) {
-                let mut log = self.slow_log.lock().expect("slow log poisoned");
+                let mut log = self.slow_log.lock_recover();
                 log.push_back(tree);
                 while log.len() > self.slow_cap {
                     log.pop_front();
@@ -677,7 +680,7 @@ impl Tracer {
         let idx = stripe_index(&self.next_stripe);
         let mut evicted = 0u64;
         {
-            let mut stripe = self.journal[idx].lock().expect("trace journal poisoned");
+            let mut stripe = self.journal[idx].lock_recover();
             for s in spans {
                 stripe.push_back(s);
             }
@@ -730,7 +733,7 @@ impl Tracer {
     pub fn snapshot_spans(&self) -> Vec<SpanRecord> {
         let mut out = Vec::new();
         for stripe in &self.journal {
-            let stripe = stripe.lock().expect("trace journal poisoned");
+            let stripe = stripe.lock_recover();
             out.extend(stripe.iter().cloned());
         }
         out
@@ -752,7 +755,7 @@ impl Tracer {
         ) {
             return Some(tree);
         }
-        let log = self.slow_log.lock().expect("slow log poisoned");
+        let log = self.slow_log.lock_recover();
         log.iter().rev().find(|t| t.id == id).cloned()
     }
 
@@ -761,7 +764,7 @@ impl Tracer {
     #[must_use]
     pub fn list(&self, filter: &TraceFilter) -> Vec<TraceSummary> {
         let mut out: Vec<TraceSummary> = if filter.slow_only {
-            let log = self.slow_log.lock().expect("slow log poisoned");
+            let log = self.slow_log.lock_recover();
             log.iter().map(TraceTree::summary).collect()
         } else {
             let spans = self.snapshot_spans();

@@ -57,9 +57,11 @@
 pub mod crc;
 mod log;
 mod record;
+mod sync;
 
 pub use log::{RecoveredState, SessionStore};
 pub use record::{LogRecord, PersistedSession, SessionMeta, SnapshotEntry};
+pub use sync::SyncSessionStore;
 
 use qhorn_json::{FromJson, Json, JsonError, ToJson};
 use std::fmt;
